@@ -1,0 +1,176 @@
+//! Figure 11: isolation via fair CPU scheduling.
+//!
+//! Paper setup: a small fixed-capacity Firestore environment (no
+//! auto-scaling) with fair CPU scheduling enabled or disabled. A "culprit"
+//! database sends CPU-intensive, inefficiently-indexed queries linearly
+//! ramping to 500 QPS; a "bystander" sends a steady 100 QPS of single-
+//! document fetches. Expected shape (log-scale y): without fairness the
+//! bystander's p50/p99 explode by orders of magnitude once capacity is
+//! exhausted halfway through; with fair sharing only a small p99 bump
+//! remains.
+
+use bench::{banner, emit_figure, write_csv};
+use firestore_core::Caller;
+use server::fairshare::SchedulingMode;
+use server::{FirestoreService, ServiceOptions};
+use simkit::stats::{LatencySeries, Samples};
+use simkit::{Duration, SimClock, SimRng, Timestamp};
+use workloads::driver::LoadDriver;
+use workloads::isolation::{
+    bystander_doc, culprit_qps_at, culprit_query, setup_bystander, setup_culprit, BYSTANDER,
+    CULPRIT,
+};
+
+const DURATION_S: f64 = 200.0;
+const BUCKET_S: u64 = 10;
+const BYSTANDER_QPS: f64 = 100.0;
+const CULPRIT_PEAK_QPS: f64 = 500.0;
+const CULPRIT_DOCS: usize = 2_000;
+const BYSTANDER_DOCS: usize = 200;
+
+struct RunResult {
+    /// (bucket end second, p50 ms, p99 ms) of bystander latency.
+    timeline: Vec<(f64, f64, f64)>,
+}
+
+fn run(mode: SchedulingMode) -> RunResult {
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    let svc = FirestoreService::new(
+        clock,
+        ServiceOptions {
+            backend_tasks: 2,
+            autoscaling: false, // fixed capacity, per the paper
+            scheduling: mode,
+            ..ServiceOptions::default()
+        },
+    );
+    svc.create_database(CULPRIT);
+    svc.create_database(BYSTANDER);
+    let mut rng = SimRng::new(11);
+    setup_culprit(&svc.database(CULPRIT).unwrap(), CULPRIT_DOCS, &mut rng).unwrap();
+    setup_bystander(&svc.database(BYSTANDER).unwrap(), BYSTANDER_DOCS).unwrap();
+
+    // Calibrate CPU costs from real executions.
+    let culprit_db = svc.database(CULPRIT).unwrap();
+    let (culprit_cpu, bystander_cpu) = {
+        let q = culprit_query(&mut rng);
+        let result = culprit_db
+            .run_query(&q, firestore_core::Consistency::Strong, &Caller::Service)
+            .unwrap();
+        let c = svc.cost_model().query_cost(
+            result.stats.entries_scanned + result.stats.seeks * 4,
+            result.stats.docs_fetched,
+            result.stats.bytes_returned,
+        );
+        let b = svc.cost_model().query_cost(1, 1, 256);
+        (c, b)
+    };
+    eprintln!(
+        "  [{:?}] culprit query cpu={culprit_cpu}, bystander fetch cpu={bystander_cpu}",
+        mode
+    );
+
+    let start = svc.clock().now();
+    let mut driver = LoadDriver::new(&svc);
+    let mut timeline = Vec::new();
+    let mut bucket = Samples::new();
+    let mut next_real_bystander = 0u64;
+
+    for sec in 0..DURATION_S as u64 {
+        let t0 = start + Duration::from_secs(sec);
+        let t1 = start + Duration::from_secs(sec + 1);
+        // Gather this second's arrivals from both databases, in time order.
+        let mut arrivals: Vec<(Timestamp, bool)> = Vec::new(); // (at, is_culprit)
+        let culprit_qps = culprit_qps_at(sec as f64, DURATION_S, CULPRIT_PEAK_QPS);
+        for (qps, is_culprit) in [(culprit_qps, true), (BYSTANDER_QPS, false)] {
+            if qps <= 0.0 {
+                continue;
+            }
+            let mut t = 0.0;
+            loop {
+                t += rng.exponential(1.0 / qps);
+                if t >= 1.0 {
+                    break;
+                }
+                arrivals.push((t0 + Duration::from_millis_f64(t * 1000.0), is_culprit));
+            }
+        }
+        arrivals.sort_by_key(|(at, _)| *at);
+        let mut cursor = t0;
+        for (at, is_culprit) in arrivals {
+            if at > cursor {
+                driver.advance(cursor, at, Duration::from_millis(1));
+                cursor = at;
+            }
+            if is_culprit {
+                let cpu = culprit_cpu.mul_f64(rng.lognormal(0.0, 0.2));
+                let storage = svc.latency_model().spanner_read(200, &mut rng);
+                driver.submit(CULPRIT, true, cpu, storage, at);
+            } else {
+                next_real_bystander += 1;
+                if next_real_bystander.is_multiple_of(200) {
+                    // Keep a trickle of real engine executions flowing.
+                    let name = bystander_doc(BYSTANDER_DOCS, &mut rng);
+                    let _ = svc.get_document(BYSTANDER, &name, &Caller::Service, &mut rng);
+                }
+                let cpu = bystander_cpu.mul_f64(rng.lognormal(0.0, 0.2));
+                let storage = svc.latency_model().spanner_read(1, &mut rng);
+                driver.submit(BYSTANDER, true, cpu, storage, at);
+            }
+        }
+        driver.advance(cursor, t1, Duration::from_millis(1));
+        for (db, _, _, latency) in driver.outcomes.drain(..) {
+            if db == BYSTANDER {
+                bucket.push_duration(latency);
+            }
+        }
+        if (sec + 1) % BUCKET_S == 0 {
+            let p50 = bucket.percentile(0.5).unwrap_or(f64::NAN);
+            let p99 = bucket.percentile(0.99).unwrap_or(f64::NAN);
+            timeline.push(((sec + 1) as f64, p50, p99));
+            bucket = Samples::new();
+        }
+    }
+    RunResult { timeline }
+}
+
+fn main() {
+    banner(
+        "Figure 11",
+        "fixed-capacity environment; culprit ramps inefficient queries 0→500 QPS, bystander runs 100 QPS of single-document fetches; fair CPU scheduling on vs off",
+    );
+    let fair = run(SchedulingMode::FairShare);
+    let fifo = run(SchedulingMode::Fifo);
+
+    let mut fair_series = LatencySeries::new("bystander latency, fair scheduling");
+    fair_series.points = fair.timeline.clone();
+    let mut fifo_series = LatencySeries::new("bystander latency, no fairness (FIFO)");
+    fifo_series.points = fifo.timeline.clone();
+    emit_figure(
+        "fig11_isolation",
+        "bystander p50/p99 over time while the culprit ramps (log y in the paper)",
+        &[fair_series, fifo_series],
+    );
+
+    // Headline comparison at the end of the ramp.
+    let tail = |r: &RunResult| {
+        r.timeline
+            .iter()
+            .rev()
+            .take(5)
+            .map(|p| p.2)
+            .fold(0.0, f64::max)
+    };
+    let fair_tail = tail(&fair);
+    let fifo_tail = tail(&fifo);
+    println!(
+        "\npeak bystander p99 during saturation: fair={fair_tail:.1}ms, fifo={fifo_tail:.1}ms ({}x degradation without fairness)",
+        (fifo_tail / fair_tail).round()
+    );
+    write_csv(
+        "fig11_summary.csv",
+        "mode,peak_bystander_p99_ms",
+        &format!("fair,{fair_tail}\nfifo,{fifo_tail}\n"),
+    );
+}

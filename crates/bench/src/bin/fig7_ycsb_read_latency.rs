@@ -1,0 +1,76 @@
+//! Figure 7: YCSB read latency (p50/p99) vs target throughput, workloads A
+//! and B.
+//!
+//! Paper setup: YCSB against a production database in the `nam5`
+//! multi-region; uniform keys, 900-byte single-field documents; 10-minute
+//! runs per target QPS measuring the last 5 minutes. Expected shape: p50
+//! roughly flat across throughputs; p99 rises at high QPS (more on the
+//! write-heavy workload A) until auto-scaling catches up.
+
+use bench::{banner, emit_figure};
+use server::{FirestoreService, ServiceOptions};
+use simkit::stats::LatencySeries;
+use simkit::{Duration, SimClock};
+use workloads::driver::{run_ycsb, DriverConfig};
+use workloads::ycsb::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+
+fn main() {
+    banner(
+        "Figure 7 (and the read half of the YCSB scalability study)",
+        "YCSB A (50/50) and B (95/5), uniform keys, 900B docs, nam5 multi-region",
+    );
+    let qps_sweep = [500.0, 1000.0, 2000.0, 4000.0, 8000.0];
+    let mut all_series = Vec::new();
+    for workload in [YcsbWorkload::A, YcsbWorkload::B] {
+        let mut p_series = LatencySeries::new(format!("workload {} read", workload.label()));
+        for &qps in &qps_sweep {
+            let clock = SimClock::new();
+            clock.advance(Duration::from_secs(1));
+            // Fresh service per point: the paper also ramps each target
+            // level separately; the pool starts small and must auto-scale.
+            let svc = FirestoreService::new(
+                clock,
+                ServiceOptions {
+                    backend_tasks: 4,
+                    ..ServiceOptions::default()
+                },
+            );
+            svc.create_database("ycsb");
+            let generator = YcsbGenerator::new(YcsbConfig {
+                workload,
+                records: 5_000,
+                field_size: 900,
+            });
+            let mut rng = simkit::SimRng::new(7);
+            generator
+                .load(&svc.database("ycsb").unwrap(), &mut rng)
+                .unwrap();
+            let mut report = run_ycsb(
+                &svc,
+                "ycsb",
+                &generator,
+                &DriverConfig {
+                    target_qps: qps,
+                    duration: Duration::from_secs(600),
+                    warmup: Duration::from_secs(300),
+                    sample_every: 200,
+                    ..DriverConfig::default()
+                },
+            );
+            p_series.add_point(qps, &mut report.read_latency);
+            eprintln!(
+                "  workload {} @ {qps:>6} QPS: {} ops, {} real, backend scaled to {} tasks",
+                workload.label(),
+                report.operations,
+                report.real_executions,
+                svc.backend.lock().cores()
+            );
+        }
+        all_series.push(p_series);
+    }
+    emit_figure(
+        "fig7_ycsb_read_latency",
+        "YCSB read latency vs target QPS",
+        &all_series,
+    );
+}

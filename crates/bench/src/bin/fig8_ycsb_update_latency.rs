@@ -1,0 +1,71 @@
+//! Figure 8: YCSB update latency (p50/p99) vs target throughput, workloads
+//! A and B.
+//!
+//! Same runs as Figure 7, reporting the update-side latency. Expected
+//! shape: updates sit well above reads (quorum commit + commit wait); p50
+//! flat; p99 grows with throughput, most on the write-heavy workload A
+//! whose rapid ramp outpaces auto-scaling and load-based splitting.
+
+use bench::{banner, emit_figure};
+use server::{FirestoreService, ServiceOptions};
+use simkit::stats::LatencySeries;
+use simkit::{Duration, SimClock};
+use workloads::driver::{run_ycsb, DriverConfig};
+use workloads::ycsb::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+
+fn main() {
+    banner(
+        "Figure 8 (update half of the YCSB scalability study)",
+        "YCSB A (50/50) and B (95/5), uniform keys, 900B docs, nam5 multi-region",
+    );
+    let qps_sweep = [500.0, 1000.0, 2000.0, 4000.0, 8000.0];
+    let mut all_series = Vec::new();
+    for workload in [YcsbWorkload::A, YcsbWorkload::B] {
+        let mut p_series = LatencySeries::new(format!("workload {} update", workload.label()));
+        for &qps in &qps_sweep {
+            let clock = SimClock::new();
+            clock.advance(Duration::from_secs(1));
+            let svc = FirestoreService::new(
+                clock,
+                ServiceOptions {
+                    backend_tasks: 4,
+                    ..ServiceOptions::default()
+                },
+            );
+            svc.create_database("ycsb");
+            let generator = YcsbGenerator::new(YcsbConfig {
+                workload,
+                records: 5_000,
+                field_size: 900,
+            });
+            let mut rng = simkit::SimRng::new(8);
+            generator
+                .load(&svc.database("ycsb").unwrap(), &mut rng)
+                .unwrap();
+            let mut report = run_ycsb(
+                &svc,
+                "ycsb",
+                &generator,
+                &DriverConfig {
+                    target_qps: qps,
+                    duration: Duration::from_secs(600),
+                    warmup: Duration::from_secs(300),
+                    sample_every: 200,
+                    ..DriverConfig::default()
+                },
+            );
+            p_series.add_point(qps, &mut report.update_latency);
+            eprintln!(
+                "  workload {} @ {qps:>6} QPS: {} update samples",
+                workload.label(),
+                report.update_latency.len()
+            );
+        }
+        all_series.push(p_series);
+    }
+    emit_figure(
+        "fig8_ycsb_update_latency",
+        "YCSB update latency vs target QPS",
+        &all_series,
+    );
+}

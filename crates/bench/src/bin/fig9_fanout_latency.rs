@@ -1,0 +1,77 @@
+//! Figure 9: real-time notification latency vs number of listeners.
+//!
+//! Paper setup: one document written once per second while an exponentially
+//! growing number of clients (1 → 10k Listen connections) hold a real-time
+//! query over it; notification latency is "the delay from when the
+//! Firestore Backend receives an acknowledgement from Spanner denoting a
+//! write is committed until the corresponding notification is sent to all
+//! clients by the Frontend". Expected shape: latency stays roughly flat
+//! because the Frontend pool auto-scales with the listener count,
+//! independently of the write path.
+
+use bench::{banner, emit_figure};
+use server::{FirestoreService, ServiceOptions};
+use simkit::stats::{LatencySeries, Samples};
+use simkit::{Duration, SimClock, SimRng};
+use workloads::fanout::FanoutFixture;
+
+fn main() {
+    banner(
+        "Figure 9",
+        "1 write/s to one document; 1→10000 real-time listeners; notification latency to the last client",
+    );
+    let listener_sweep = [1usize, 10, 100, 1_000, 10_000];
+    let mut to_all = LatencySeries::new("notify all listeners");
+    let mut per_client = LatencySeries::new("per-client delivery");
+    for &n in &listener_sweep {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let svc = FirestoreService::new(clock, ServiceOptions::default());
+        svc.create_database("scores");
+        let mut fixture = FanoutFixture::new(&svc, "scores", n).unwrap();
+        let mut rng = SimRng::new(9 + n as u64);
+
+        // Let the Frontend auto-scaler see the registered listeners and
+        // react (its reaction delay and 2x step limit are part of the
+        // model: reaching the pool size for 10k listeners takes several
+        // decisions).
+        for _ in 0..30 {
+            svc.clock().advance(Duration::from_secs(10));
+            svc.autoscale_frontends(svc.clock().now());
+        }
+
+        let mut all_latency = Samples::new();
+        let mut client_latency = Samples::new();
+        // 30 scoreboard writes, one per second.
+        for _ in 0..30 {
+            svc.clock().advance(Duration::from_secs(1));
+            fixture.write_once(&svc).unwrap();
+            svc.realtime().tick();
+            let delivered = fixture.poll_all();
+            assert_eq!(delivered, n, "every listener must hear the write");
+            // Commit→client delays: Real-time Cache processing (changelog →
+            // matcher → frontend hops) plus the Frontend pool's fan-out.
+            let rtc_hops = svc.latency_model().hop(&mut rng) + svc.latency_model().hop(&mut rng);
+            let delays = svc.fanout_delays(n, &mut rng);
+            let mut slowest = Duration::ZERO;
+            for d in &delays {
+                let total = rtc_hops + *d;
+                client_latency.push_duration(total);
+                slowest = slowest.max(total);
+            }
+            all_latency.push_duration(slowest);
+        }
+        to_all.add_point(n as f64, &mut all_latency);
+        per_client.add_point(n as f64, &mut client_latency);
+        eprintln!(
+            "  {n:>6} listeners: frontend pool scaled to {} tasks, {} notifications delivered",
+            svc.frontend_tasks(),
+            svc.realtime().stats().notifications
+        );
+    }
+    emit_figure(
+        "fig9_fanout_latency",
+        "notification latency vs number of Listen connections (log-scale x)",
+        &[to_all, per_client],
+    );
+}

@@ -1,0 +1,456 @@
+//! The standalone Firestore emulator (paper §I: "a standalone emulator
+//! allows developers to safely experiment").
+//!
+//! An interactive REPL over the full engine — documents, queries, composite
+//! indexes, security rules, real-time listeners, triggers and billing all
+//! behave exactly as in the library, with no cloud anywhere.
+//!
+//! ```text
+//! cargo run -p bench --bin firestore_emulator
+//! > set /restaurants/one city="SF" rating=4.5
+//! > get /restaurants/one
+//! > query /restaurants where city == "SF" order rating desc limit 10
+//! > listen /restaurants
+//! > set /restaurants/two city="SF" rating=5
+//! > poll
+//! ```
+//!
+//! `help` lists every command. Also scriptable: `firestore_emulator < script.txt`.
+
+use firestore_core::database::doc;
+use firestore_core::{Caller, Consistency, Direction, FilterOp, FirestoreError, Query, Value};
+use realtime::{Connection, ListenEvent, QueryId};
+use rules::AuthContext;
+use server::{FirestoreService, ServiceOptions};
+use simkit::{Duration, SimClock};
+use std::collections::HashMap;
+use std::io::{BufRead, Write as _};
+
+struct Emulator {
+    service: FirestoreService,
+    database: firestore_core::FirestoreDatabase,
+    caller: Caller,
+    conn: Connection,
+    listeners: HashMap<String, QueryId>,
+    rng: simkit::SimRng,
+}
+
+fn parse_value(token: &str) -> Result<Value, String> {
+    if token == "null" {
+        return Ok(Value::Null);
+    }
+    if token == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if token == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(stripped) = token.strip_prefix('"') {
+        return Ok(Value::Str(stripped.trim_end_matches('"').to_string()));
+    }
+    if let Ok(i) = token.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = token.parse::<f64>() {
+        return Ok(Value::Double(f));
+    }
+    // Bare words are strings, like the console's convenience parsing.
+    Ok(Value::Str(token.to_string()))
+}
+
+fn parse_fields(tokens: &[&str]) -> Result<Vec<(String, Value)>, String> {
+    tokens
+        .iter()
+        .map(|t| {
+            let (k, v) = t
+                .split_once('=')
+                .ok_or_else(|| format!("expected field=value, got `{t}`"))?;
+            Ok((k.to_string(), parse_value(v)?))
+        })
+        .collect()
+}
+
+fn parse_op(op: &str) -> Result<FilterOp, String> {
+    match op {
+        "==" | "=" => Ok(FilterOp::Eq),
+        "<" => Ok(FilterOp::Lt),
+        "<=" => Ok(FilterOp::Le),
+        ">" => Ok(FilterOp::Gt),
+        ">=" => Ok(FilterOp::Ge),
+        "contains" => Ok(FilterOp::ArrayContains),
+        other => Err(format!("unknown operator `{other}`")),
+    }
+}
+
+fn parse_query(tokens: &[&str]) -> Result<Query, String> {
+    let mut it = tokens.iter().peekable();
+    let path = it.next().ok_or("query needs a collection path")?;
+    let mut q = Query::parse(path).map_err(|e| e.to_string())?;
+    while let Some(&tok) = it.next() {
+        match tok {
+            "where" => {
+                let field = it.next().ok_or("where needs: field op value")?;
+                let op = parse_op(it.next().ok_or("where needs an operator")?)?;
+                let value = parse_value(it.next().ok_or("where needs a value")?)?;
+                q = q.filter(*field, op, value);
+            }
+            "order" => {
+                let field = it.next().ok_or("order needs a field")?;
+                let dir = match it.peek() {
+                    Some(&&"desc") => {
+                        it.next();
+                        Direction::Desc
+                    }
+                    Some(&&"asc") => {
+                        it.next();
+                        Direction::Asc
+                    }
+                    _ => Direction::Asc,
+                };
+                q = q.order_by(*field, dir);
+            }
+            "limit" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("limit needs a number")?
+                    .parse()
+                    .map_err(|_| "limit needs a number")?;
+                q = q.limit(n);
+            }
+            "offset" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("offset needs a number")?
+                    .parse()
+                    .map_err(|_| "offset needs a number")?;
+                q = q.offset(n);
+            }
+            other => return Err(format!("unknown query clause `{other}`")),
+        }
+    }
+    Ok(q)
+}
+
+impl Emulator {
+    fn new() -> Emulator {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let service = FirestoreService::new(clock, ServiceOptions::default());
+        let database = service.create_database("emulator");
+        let conn = service.connect();
+        Emulator {
+            service,
+            database,
+            caller: Caller::Service,
+            conn,
+            listeners: HashMap::new(),
+            rng: simkit::SimRng::new(0xE1),
+        }
+    }
+
+    fn run_line(&mut self, line: &str) -> Result<String, String> {
+        let tokens = tokenize(line);
+        let tokens: Vec<&str> = tokens.iter().map(String::as_str).collect();
+        let Some(&cmd) = tokens.first() else {
+            return Ok(String::new());
+        };
+        let args = &tokens[1..];
+        match cmd {
+            "help" => Ok(HELP.to_string()),
+            "set" | "create" | "update" => {
+                let path = args.first().ok_or("set needs a document path")?;
+                let fields = parse_fields(&args[1..])?;
+                let name = doc(path);
+                let w = match cmd {
+                    "create" => firestore_core::Write::create(name, fields),
+                    "update" => firestore_core::Write::update(name, fields),
+                    _ => firestore_core::Write::set(name, fields),
+                };
+                let (result, _) = self
+                    .service
+                    .commit("emulator", vec![w], &self.caller, &mut self.rng)
+                    .map_err(|e| e.to_string())?;
+                self.service.realtime().tick();
+                Ok(format!("committed at {}", result.commit_ts))
+            }
+            "delete" => {
+                let path = args.first().ok_or("delete needs a document path")?;
+                self.service
+                    .commit(
+                        "emulator",
+                        vec![firestore_core::Write::delete(doc(path))],
+                        &self.caller,
+                        &mut self.rng,
+                    )
+                    .map_err(|e| e.to_string())?;
+                self.service.realtime().tick();
+                Ok("deleted".to_string())
+            }
+            "get" => {
+                let path = args.first().ok_or("get needs a document path")?;
+                let (d, _) = self
+                    .service
+                    .get_document("emulator", &doc(path), &self.caller, &mut self.rng)
+                    .map_err(|e| e.to_string())?;
+                match d {
+                    Some(d) => Ok(format!("{d}")),
+                    None => Ok("(not found)".to_string()),
+                }
+            }
+            "query" => {
+                let q = parse_query(args)?;
+                match self
+                    .service
+                    .run_query("emulator", &q, &self.caller, &mut self.rng)
+                    .map(|(r, _)| r)
+                {
+                    Ok(result) => {
+                        let mut out = format!(
+                            "{} result(s), {} index entries scanned\n",
+                            result.documents.len(),
+                            result.stats.entries_scanned
+                        );
+                        for d in &result.documents {
+                            out.push_str(&format!("  {d}\n"));
+                        }
+                        Ok(out)
+                    }
+                    Err(FirestoreError::MissingIndex { suggestion }) => Err(format!(
+                        "missing index — create it with: index {suggestion}"
+                    )),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            "count" => {
+                let q = parse_query(args)?;
+                let (n, stats) = self
+                    .database
+                    .run_count(&q, Consistency::Strong, &self.caller)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "count = {n} ({} entries examined)",
+                    stats.entries_scanned
+                ))
+            }
+            "index" => {
+                // index <collection_id> field:asc field:desc ...
+                let coll = args.first().ok_or("index needs a collection id")?;
+                let mut fields = Vec::new();
+                for spec in &args[1..] {
+                    let (f, d) = spec.split_once(':').unwrap_or((*spec, "asc"));
+                    fields.push(match d {
+                        "desc" => firestore_core::index::IndexedField::desc(f),
+                        _ => firestore_core::index::IndexedField::asc(f),
+                    });
+                }
+                if fields.is_empty() {
+                    return Err("index needs at least one field:dir".into());
+                }
+                let id =
+                    firestore_core::database::create_index_blocking(&self.database, coll, fields)
+                        .map_err(|e| e.to_string())?;
+                Ok(format!("built composite index {id:?} on {coll}"))
+            }
+            "exempt" => {
+                let coll = args.first().ok_or("exempt needs a collection id")?;
+                let field = args.get(1).ok_or("exempt needs a field")?;
+                self.database.add_index_exemption(coll, field);
+                Ok(format!("{coll}.{field} exempted from automatic indexing"))
+            }
+            "listen" => {
+                let q = parse_query(args)?;
+                let key = args.join(" ");
+                let qid = self
+                    .service
+                    .listen("emulator", &self.conn, q, &self.caller)
+                    .map_err(|e| e.to_string())?;
+                self.listeners.insert(key.clone(), qid);
+                Ok(format!("listening: {key} (poll to receive snapshots)"))
+            }
+            "unlisten" => {
+                let key = args.join(" ");
+                match self.listeners.remove(&key) {
+                    Some(qid) => {
+                        self.conn.unlisten(qid);
+                        Ok("unlistened".to_string())
+                    }
+                    None => Err(format!("no listener for `{key}`")),
+                }
+            }
+            "poll" => {
+                self.service.realtime().tick();
+                let events = self.conn.poll();
+                if events.is_empty() {
+                    return Ok("(no events)".to_string());
+                }
+                let mut out = String::new();
+                for e in events {
+                    match e {
+                        ListenEvent::Snapshot {
+                            query,
+                            at,
+                            changes,
+                            is_initial,
+                        } => {
+                            out.push_str(&format!(
+                                "snapshot {query:?} at {at}{}:\n",
+                                if is_initial { " (initial)" } else { "" }
+                            ));
+                            for c in changes {
+                                out.push_str(&format!("  {:?}: {}\n", c.kind, c.doc));
+                            }
+                        }
+                        ListenEvent::Reset { query } => {
+                            out.push_str(&format!("reset {query:?}: re-run the query\n"));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            "rules" => {
+                // Inline rules until a lone `.` line are handled by the REPL
+                // loop; `rules clear` drops them.
+                if args.first() == Some(&"clear") {
+                    self.database.clear_rules();
+                    Ok("rules cleared (third-party access now denied)".to_string())
+                } else {
+                    Err("use `rules-begin` then lines then `.`, or `rules clear`".into())
+                }
+            }
+            "auth" => match args.first() {
+                None | Some(&"service") => {
+                    self.caller = Caller::Service;
+                    Ok("caller: privileged service".to_string())
+                }
+                Some(&"anon") => {
+                    self.caller = Caller::EndUser(None);
+                    Ok("caller: unauthenticated end user".to_string())
+                }
+                Some(uid) => {
+                    self.caller = Caller::EndUser(Some(AuthContext::uid(*uid)));
+                    Ok(format!("caller: end user `{uid}`"))
+                }
+            },
+            "stats" => {
+                let (docs, bytes) = self.database.storage_stats().map_err(|e| e.to_string())?;
+                let rt = self.service.realtime().stats();
+                let usage = self.service.billing.usage("emulator");
+                Ok(format!(
+                    "documents: {docs} ({bytes} bytes)\nactive listeners: {}\nsnapshots sent: {}\nbilled reads/writes/deletes: {}/{}/{}",
+                    rt.active_queries, rt.snapshots, usage.total_reads(), usage.writes, usage.deletes
+                ))
+            }
+            other => Err(format!("unknown command `{other}` (try `help`)")),
+        }
+    }
+}
+
+const HELP: &str = "\
+commands:
+  set    /coll/doc field=value ...     write (create or replace)
+  create /coll/doc field=value ...     write that must not overwrite
+  update /coll/doc field=value ...     write that must exist
+  delete /coll/doc                     delete
+  get    /coll/doc                     point read
+  query  /coll [where f op v]... [order f asc|desc]... [limit n] [offset n]
+  count  /coll [where ...]             COUNT aggregation
+  index  <collection> f:asc g:desc     build a composite index (with backfill)
+  exempt <collection> <field>          exclude a field from auto-indexing
+  listen /coll [where ...]             register a real-time query
+  unlisten /coll [where ...]           stop it
+  poll                                 drain real-time snapshots
+  rules-begin ... .                    install security rules (end with a lone .)
+  rules clear                          remove rules
+  auth <uid>|anon|service              switch the caller identity
+  stats                                storage / realtime / billing counters
+  quit
+values: 42, 4.5, true, false, null, \"quoted string\", bareword";
+
+fn main() {
+    let mut emulator = Emulator::new();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("firestore-rs emulator — `help` for commands, `quit` to exit");
+    }
+    let stdin = std::io::stdin();
+    let mut collecting_rules: Option<String> = None;
+    loop {
+        if interactive {
+            print!("> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if let Some(buf) = &mut collecting_rules {
+            if line.trim() == "." {
+                let src = std::mem::take(buf);
+                collecting_rules = None;
+                match emulator.database.set_rules(&src) {
+                    Ok(()) => println!("rules installed"),
+                    Err(e) => println!("error: {e}"),
+                }
+            } else {
+                buf.push_str(line);
+                buf.push('\n');
+            }
+            continue;
+        }
+        match line.trim() {
+            "" => continue,
+            "quit" | "exit" => break,
+            "rules-begin" => {
+                collecting_rules = Some(String::new());
+                if interactive {
+                    println!("(enter rules; finish with a line containing only `.`)");
+                }
+                continue;
+            }
+            other => match emulator.run_line(other) {
+                Ok(out) if out.is_empty() => {}
+                Ok(out) => println!("{out}"),
+                Err(e) => println!("error: {e}"),
+            },
+        }
+    }
+}
+
+/// Split a command line into tokens, keeping double-quoted spans (which may
+/// contain spaces) as single tokens with their quotes preserved for
+/// `parse_value`.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push('"');
+            }
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Crude interactivity check without extra dependencies: scripts pipe stdin.
+fn atty_stdin() -> bool {
+    use std::os::unix::fs::FileTypeExt;
+    std::fs::metadata("/dev/stdin")
+        .map(|m| {
+            let ft = m.file_type();
+            ft.is_char_device() && !ft.is_fifo()
+        })
+        .unwrap_or(false)
+}

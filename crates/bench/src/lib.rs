@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Shared utilities for the figure-regeneration binaries.
+//!
+//! Every binary under `src/bin/` reproduces one table or figure of the
+//! paper's evaluation section (see `EXPERIMENTS.md` at the workspace root),
+//! printing the series to stdout and writing CSV under
+//! `target/experiments/`.
+
+use simkit::stats::LatencySeries;
+use std::fs;
+use std::path::PathBuf;
+
+/// The directory experiment CSVs are written to.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Write an experiment's CSV output.
+pub fn write_csv(name: &str, header: &str, body: &str) {
+    let path = experiments_dir().join(name);
+    let contents = format!("{header}\n{body}");
+    fs::write(&path, contents).expect("write experiment CSV");
+    println!("(wrote {})", path.display());
+}
+
+/// Print and persist a set of latency series for one figure.
+pub fn emit_figure(figure: &str, title: &str, series: &[LatencySeries]) {
+    println!("=== {figure}: {title} ===");
+    let mut body = String::new();
+    for s in series {
+        println!("{}", s.to_table());
+        body.push_str(&s.to_csv());
+    }
+    write_csv(&format!("{figure}.csv"), "series,x,p50_ms,p99_ms", &body);
+}
+
+/// Standard experiment banner with the reproduction caveat.
+pub fn banner(figure: &str, paper_setup: &str) {
+    println!("# Reproducing {figure}");
+    println!("# Paper setup: {paper_setup}");
+    println!(
+        "# This run executes the full Firestore engine in-process with modeled\n\
+         # network/replication latency; compare *shapes*, not absolute numbers.\n"
+    );
+}

@@ -1,0 +1,989 @@
+//! `FirestoreClient`: the Mobile/Web SDK entry point.
+//!
+//! All service traffic goes through [`firestore_core::Caller::EndUser`], so
+//! security rules apply exactly as they would for a real device. The client
+//! works in two states:
+//!
+//! * **connected** — reads/queries are served by the service and cached;
+//!   writes are applied to the local cache immediately (latency
+//!   compensation) and flushed; listeners combine the service's real-time
+//!   snapshots with local pending writes;
+//! * **disconnected** — everything is served from the local cache; writes
+//!   queue up; on [`FirestoreClient::reconnect`] pending mutations replay
+//!   ("last update wins" blind writes, §III-E) and every listener is
+//!   re-seeded from a fresh server snapshot, emitting reconciliation deltas.
+
+use crate::listener::{local_results, ClientSnapshot, ListenerId, ListenerState};
+use crate::store::{LocalStore, ServerEntry};
+use firestore_core::{
+    Caller, Consistency, Document, DocumentName, FirestoreDatabase, FirestoreError, Precondition,
+    Query, Value, Write,
+};
+use parking_lot::Mutex;
+use realtime::{Connection, ListenEvent, RealtimeCache};
+use rules::AuthContext;
+use simkit::Timestamp;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Client configuration.
+#[derive(Clone, Debug, Default)]
+pub struct ClientOptions {
+    /// The authenticated end user (`None` = anonymous/unauthenticated).
+    pub auth: Option<AuthContext>,
+}
+
+/// Client-side errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientError {
+    /// The operation needs connectivity and the cache cannot serve it.
+    Offline,
+    /// The service rejected the request.
+    Service(FirestoreError),
+    /// A queued blind write was rejected after the fact (e.g. by security
+    /// rules); the local cache has been rolled back.
+    WriteRejected(FirestoreError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Offline => write!(f, "client is offline and the cache cannot serve this"),
+            ClientError::Service(e) => write!(f, "service error: {e}"),
+            ClientError::WriteRejected(e) => write!(f, "queued write rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FirestoreError> for ClientError {
+    fn from(e: FirestoreError) -> Self {
+        ClientError::Service(e)
+    }
+}
+
+struct ClientState {
+    connected: bool,
+    store: LocalStore,
+    listeners: HashMap<ListenerId, ListenerState>,
+    next_listener: u64,
+    conn: Option<Connection>,
+    /// Errors from asynchronously rejected queued writes.
+    write_errors: Vec<ClientError>,
+}
+
+/// A Mobile/Web SDK client instance (one end-user device).
+pub struct FirestoreClient {
+    db: FirestoreDatabase,
+    rtc: RealtimeCache,
+    auth: Option<AuthContext>,
+    state: Mutex<ClientState>,
+}
+
+impl FirestoreClient {
+    /// Create a connected client.
+    pub fn connect(db: FirestoreDatabase, rtc: RealtimeCache, options: ClientOptions) -> Self {
+        let conn = rtc.connect();
+        FirestoreClient {
+            db,
+            rtc,
+            auth: options.auth,
+            state: Mutex::new(ClientState {
+                connected: true,
+                store: LocalStore::new(),
+                listeners: HashMap::new(),
+                next_listener: 1,
+                conn: Some(conn),
+                write_errors: Vec::new(),
+            }),
+        }
+    }
+
+    /// Create a connected client with a persisted cache restored ("a warm
+    /// cache as a starting point", §IV-E). Queued writes flush on the first
+    /// [`FirestoreClient::sync`].
+    pub fn connect_with_cache(
+        db: FirestoreDatabase,
+        rtc: RealtimeCache,
+        options: ClientOptions,
+        cache: LocalStore,
+    ) -> Self {
+        let client = FirestoreClient::connect(db, rtc, options);
+        client.state.lock().store = cache;
+        client
+    }
+
+    fn caller(&self) -> Caller {
+        Caller::EndUser(self.auth.clone())
+    }
+
+    /// Whether the client currently talks to the service.
+    pub fn is_connected(&self) -> bool {
+        self.state.lock().connected
+    }
+
+    /// Number of queued (unacknowledged) writes.
+    pub fn pending_writes(&self) -> usize {
+        self.state.lock().store.pending_len()
+    }
+
+    /// Drain asynchronously rejected write errors.
+    pub fn take_write_errors(&self) -> Vec<ClientError> {
+        std::mem::take(&mut self.state.lock().write_errors)
+    }
+
+    /// Serialize the local cache for persistence.
+    pub fn persist_cache(&self) -> Vec<u8> {
+        self.state.lock().store.persist()
+    }
+
+    // --- connectivity ---------------------------------------------------------
+
+    /// Simulate losing network connectivity.
+    pub fn disconnect(&self) {
+        let mut st = self.state.lock();
+        st.connected = false;
+        if let Some(conn) = st.conn.take() {
+            conn.close();
+        }
+        for l in st.listeners.values_mut() {
+            l.server_query = None;
+        }
+    }
+
+    /// Reconnect: flush queued writes, then re-seed every listener from a
+    /// fresh server snapshot (automatic reconciliation, §I: "fully
+    /// disconnected operation, with automatic reconciliation on
+    /// reconnection").
+    pub fn reconnect(&self) -> Result<(), ClientError> {
+        {
+            let mut st = self.state.lock();
+            if st.connected {
+                return Ok(());
+            }
+            st.connected = true;
+            st.conn = Some(self.rtc.connect());
+        }
+        self.flush()?;
+        let ids: Vec<ListenerId> = self.state.lock().listeners.keys().copied().collect();
+        for id in ids {
+            self.reseed_listener(id)?;
+        }
+        Ok(())
+    }
+
+    // --- reads ------------------------------------------------------------------
+
+    /// Fetch one document: from the service when connected (updating the
+    /// cache), from the cache otherwise.
+    pub fn get(&self, path: &str) -> Result<Option<Document>, ClientError> {
+        let name = parse_doc(path)?;
+        {
+            let st = self.state.lock();
+            if !st.connected {
+                return match st.store.merged_doc(&name) {
+                    Some(doc) => Ok(doc),
+                    None => Err(ClientError::Offline),
+                };
+            }
+            // Latency compensation: a pending local write wins even online.
+            if st.store.has_pending_for(&name) {
+                return Ok(st.store.merged_doc(&name).flatten());
+            }
+        }
+        let doc = self
+            .db
+            .get_document(&name, Consistency::Strong, &self.caller())?;
+        let mut st = self.state.lock();
+        st.store.apply_server(name.clone(), doc);
+        Ok(st.store.merged_doc(&name).flatten())
+    }
+
+    /// Run a one-shot query: server results merged with pending local
+    /// writes when connected; pure cache results offline.
+    pub fn query(&self, query: &Query) -> Result<Vec<Document>, ClientError> {
+        let connected = self.state.lock().connected;
+        if connected {
+            let result =
+                self.db
+                    .run_query(&query.without_window(), Consistency::Strong, &self.caller())?;
+            let mut st = self.state.lock();
+            for doc in &result.documents {
+                st.store.apply_server(doc.name.clone(), Some(doc.clone()));
+            }
+            Ok(local_results(query, &st.store))
+        } else {
+            Ok(local_results(query, &self.state.lock().store))
+        }
+    }
+
+    // --- writes -----------------------------------------------------------------
+
+    /// Set (create or replace) a document — a blind write, acknowledged
+    /// locally at once and flushed asynchronously.
+    pub fn set(
+        &self,
+        path: &str,
+        fields: impl IntoIterator<Item = (impl Into<String>, Value)>,
+    ) -> Result<(), ClientError> {
+        let name = parse_doc(path)?;
+        self.enqueue(Write::set(name, fields))
+    }
+
+    /// Merge fields into a document (the SDKs' `set(..., {merge: true})`):
+    /// unlisted fields are preserved; creates the document if absent.
+    pub fn merge(
+        &self,
+        path: &str,
+        fields: impl IntoIterator<Item = (impl Into<String>, Value)>,
+    ) -> Result<(), ClientError> {
+        let name = parse_doc(path)?;
+        self.enqueue(Write::merge(name, fields))
+    }
+
+    /// Delete a document (blind).
+    pub fn delete(&self, path: &str) -> Result<(), ClientError> {
+        let name = parse_doc(path)?;
+        self.enqueue(Write::delete(name))
+    }
+
+    fn enqueue(&self, write: Write) -> Result<(), ClientError> {
+        let name = write.op.name().clone();
+        {
+            let mut st = self.state.lock();
+            st.store.enqueue(write);
+            Self::notify_listeners(&mut st, &[name], true);
+        }
+        // Flush opportunistically while connected.
+        if self.state.lock().connected {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Push queued writes to the service in order. Transient errors keep
+    /// the mutation queued; permanent rejections roll back the local cache
+    /// and surface via [`FirestoreClient::take_write_errors`].
+    pub fn flush(&self) -> Result<(), ClientError> {
+        loop {
+            let (id, write) = {
+                let st = self.state.lock();
+                if !st.connected {
+                    return Ok(());
+                }
+                let next = st.store.pending().next().map(|p| (p.id, p.write.clone()));
+                match next {
+                    None => return Ok(()),
+                    Some(pair) => pair,
+                }
+            };
+            let name = write.op.name().clone();
+            match self.db.commit_writes(vec![write.clone()], &self.caller()) {
+                Ok(result) => {
+                    let mut st = self.state.lock();
+                    st.store.remove_pending(id);
+                    // The acknowledged server state equals the write.
+                    let server_doc = match &write.op {
+                        firestore_core::WriteOp::Set { fields, .. } => {
+                            let mut d = Document::new(name.clone(), fields.clone());
+                            d.update_time = result.commit_ts;
+                            d.create_time = match st.store.server_doc(&name) {
+                                Some(ServerEntry::Exists(prev)) => prev.create_time,
+                                _ => result.commit_ts,
+                            };
+                            Some(d)
+                        }
+                        firestore_core::WriteOp::Merge { fields, .. } => {
+                            let (mut merged, create_time) = match st.store.server_doc(&name) {
+                                Some(ServerEntry::Exists(prev)) => {
+                                    (prev.fields.clone(), prev.create_time)
+                                }
+                                _ => (Default::default(), result.commit_ts),
+                            };
+                            for (k, v) in fields {
+                                merged.insert(k.clone(), v.clone());
+                            }
+                            let mut d =
+                                Document::new(name.clone(), merged.into_iter().collect::<Vec<_>>());
+                            d.update_time = result.commit_ts;
+                            d.create_time = create_time;
+                            Some(d)
+                        }
+                        _ => None,
+                    };
+                    st.store.apply_server(name.clone(), server_doc);
+                    Self::notify_listeners(&mut st, &[name], false);
+                }
+                Err(e) if e.is_retryable() => {
+                    // Keep it queued; a later sync retries.
+                    return Ok(());
+                }
+                Err(e) => {
+                    // Permanent rejection: roll back the local effect.
+                    let mut st = self.state.lock();
+                    st.store.remove_pending(id);
+                    st.write_errors.push(ClientError::WriteRejected(e));
+                    Self::notify_listeners(&mut st, &[name], false);
+                }
+            }
+        }
+    }
+
+    // --- transactions -------------------------------------------------------------
+
+    /// Run an optimistic-concurrency transaction ("transactional writes
+    /// based on optimistic concurrency control while connected", §III-E):
+    /// reads record freshness, the commit revalidates every read, and the
+    /// transaction retries automatically when validation fails.
+    pub fn run_transaction<R>(
+        &self,
+        max_attempts: usize,
+        mut f: impl FnMut(&mut ClientTransaction<'_>) -> Result<R, ClientError>,
+    ) -> Result<R, ClientError> {
+        if !self.state.lock().connected {
+            return Err(ClientError::Offline);
+        }
+        let mut last = ClientError::Service(FirestoreError::Aborted("no attempts".into()));
+        for _ in 0..max_attempts.max(1) {
+            let mut txn = ClientTransaction {
+                client: self,
+                reads: HashMap::new(),
+                writes: Vec::new(),
+            };
+            match f(&mut txn) {
+                Err(e) => return Err(e),
+                Ok(r) => match txn.commit() {
+                    Ok(names) => {
+                        let mut st = self.state.lock();
+                        Self::notify_listeners(&mut st, &names, false);
+                        return Ok(r);
+                    }
+                    Err(ClientError::Service(e)) if e.is_retryable() => {
+                        last = ClientError::Service(e);
+                    }
+                    Err(ClientError::Service(FirestoreError::FailedPrecondition(m))) => {
+                        // Freshness check failed: retry (§III-E).
+                        last = ClientError::Service(FirestoreError::FailedPrecondition(m));
+                    }
+                    Err(e) => return Err(e),
+                },
+            }
+        }
+        Err(last)
+    }
+
+    // --- listeners ------------------------------------------------------------------
+
+    /// Register an `onSnapshot` listener. The initial snapshot is queued
+    /// immediately (from the server when connected, from the cache
+    /// otherwise).
+    pub fn listen(&self, query: Query) -> Result<ListenerId, ClientError> {
+        let id = {
+            let mut st = self.state.lock();
+            let id = ListenerId(st.next_listener);
+            st.next_listener += 1;
+            id
+        };
+        let connected = self.state.lock().connected;
+        if connected {
+            self.seed_listener_from_server(id, query)?;
+        } else {
+            let mut st = self.state.lock();
+            let mut l = ListenerState::new(id, query, &st.store);
+            l.emit_initial(true);
+            st.listeners.insert(id, l);
+        }
+        Ok(id)
+    }
+
+    fn seed_listener_from_server(&self, id: ListenerId, query: Query) -> Result<(), ClientError> {
+        let snapshot_ts = self.db.strong_read_ts();
+        let result = self.db.run_query(
+            &query.without_window(),
+            Consistency::AtTimestamp(snapshot_ts),
+            &self.caller(),
+        )?;
+        let mut st = self.state.lock();
+        // Detect server-side deletions for documents we previously cached
+        // in this query's collection.
+        let fresh: Vec<DocumentName> = result.documents.iter().map(|d| d.name.clone()).collect();
+        let stale: Vec<DocumentName> = st
+            .store
+            .known_names()
+            .into_iter()
+            .filter(|n| query.collection.contains(n) && !fresh.contains(n))
+            .collect();
+        for name in stale {
+            if !st.store.has_pending_for(&name) {
+                st.store.apply_server(name, None);
+            }
+        }
+        for doc in &result.documents {
+            st.store.apply_server(doc.name.clone(), Some(doc.clone()));
+        }
+        let mut l = ListenerState::new(id, query.clone(), &st.store);
+        l.emit_initial(false);
+        if let Some(conn) = &st.conn {
+            let qid = conn.listen(self.db.directory(), query, result.documents, snapshot_ts);
+            l.server_query = Some(qid);
+        }
+        st.listeners.insert(id, l);
+        Ok(())
+    }
+
+    fn reseed_listener(&self, id: ListenerId) -> Result<(), ClientError> {
+        let query = {
+            let mut st = self.state.lock();
+            let Some(old) = st.listeners.remove(&id) else {
+                return Ok(());
+            };
+            let query = old.query.clone();
+            // Keep the old view to diff against: re-insert a fresh listener
+            // below; deltas come from the re-applied names.
+            drop(old);
+            query
+        };
+        // Build a fresh server-backed listener but compute deltas against
+        // what the application last saw: re-create with the same id; the
+        // initial snapshot after reconnect is the reconciled view.
+        self.seed_listener_from_server(id, query)
+    }
+
+    /// Stop a listener.
+    pub fn unlisten(&self, id: ListenerId) {
+        let mut st = self.state.lock();
+        if let Some(l) = st.listeners.remove(&id) {
+            if let (Some(qid), Some(conn)) = (l.server_query, st.conn.as_ref()) {
+                conn.unlisten(qid);
+            }
+        }
+    }
+
+    /// Process service events (real-time snapshots, resets) and flush
+    /// pending writes. Call this from the application's event loop.
+    pub fn sync(&self) -> Result<(), ClientError> {
+        let events = {
+            let st = self.state.lock();
+            if !st.connected {
+                return Ok(());
+            }
+            match &st.conn {
+                Some(conn) => conn.poll(),
+                None => Vec::new(),
+            }
+        };
+        let mut resets: Vec<ListenerId> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for event in events {
+                match event {
+                    ListenEvent::Snapshot {
+                        query,
+                        changes,
+                        is_initial,
+                        ..
+                    } => {
+                        if is_initial {
+                            continue; // seeded synchronously at listen time
+                        }
+                        let mut touched: Vec<DocumentName> = Vec::new();
+                        for c in &changes {
+                            let doc = match c.kind {
+                                realtime::ChangeKind::Removed => None,
+                                _ => Some(c.doc.clone()),
+                            };
+                            // Note: a Removed event may mean "stopped
+                            // matching" rather than "deleted"; the cache
+                            // conservatively forgets the document either
+                            // way and re-fetches on demand.
+                            if !st.store.has_pending_for(&c.doc.name) {
+                                st.store.apply_server(c.doc.name.clone(), doc);
+                            }
+                            touched.push(c.doc.name.clone());
+                        }
+                        let _ = query;
+                        Self::notify_listeners(&mut st, &touched, false);
+                    }
+                    ListenEvent::Reset { query } => {
+                        let id = st
+                            .listeners
+                            .iter()
+                            .find(|(_, l)| l.server_query == Some(query))
+                            .map(|(id, _)| *id);
+                        if let Some(id) = id {
+                            resets.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        for id in resets {
+            self.reseed_listener(id)?;
+        }
+        self.flush()
+    }
+
+    /// Drain queued snapshots of one listener (call [`FirestoreClient::sync`]
+    /// first to pick up service events).
+    pub fn take_snapshots(&self, id: ListenerId) -> Vec<ClientSnapshot> {
+        let mut st = self.state.lock();
+        st.listeners
+            .get_mut(&id)
+            .map(|l| l.take())
+            .unwrap_or_default()
+    }
+
+    fn notify_listeners(st: &mut ClientState, names: &[DocumentName], from_cache: bool) {
+        if names.is_empty() {
+            return;
+        }
+        // Split borrow: listeners and store are separate fields.
+        let store = &st.store;
+        for l in st.listeners.values_mut() {
+            l.apply_names(names, store, from_cache);
+        }
+    }
+}
+
+fn parse_doc(path: &str) -> Result<DocumentName, ClientError> {
+    DocumentName::parse(path)
+        .map_err(|e| ClientError::Service(FirestoreError::InvalidArgument(e.to_string())))
+}
+
+/// An in-flight optimistic client transaction.
+pub struct ClientTransaction<'a> {
+    client: &'a FirestoreClient,
+    /// Documents read, with the `update_time` observed (`None` = absent).
+    reads: HashMap<DocumentName, Option<Timestamp>>,
+    writes: Vec<Write>,
+}
+
+impl ClientTransaction<'_> {
+    /// Read a document from the service, recording its version for the
+    /// commit-time freshness check.
+    pub fn get(&mut self, path: &str) -> Result<Option<Document>, ClientError> {
+        let name = parse_doc(path)?;
+        let doc = self
+            .client
+            .db
+            .get_document(&name, Consistency::Strong, &self.client.caller())?;
+        self.reads.insert(name, doc.as_ref().map(|d| d.update_time));
+        Ok(doc)
+    }
+
+    /// Buffer a set.
+    pub fn set(
+        &mut self,
+        path: &str,
+        fields: impl IntoIterator<Item = (impl Into<String>, Value)>,
+    ) -> Result<(), ClientError> {
+        let name = parse_doc(path)?;
+        self.writes.push(Write::set(name, fields));
+        Ok(())
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&mut self, path: &str) -> Result<(), ClientError> {
+        let name = parse_doc(path)?;
+        self.writes.push(Write::delete(name));
+        Ok(())
+    }
+
+    /// Commit: every read is revalidated (verify-only writes for reads that
+    /// were not written). Returns the touched names.
+    fn commit(self) -> Result<Vec<DocumentName>, ClientError> {
+        let mut writes = Vec::with_capacity(self.writes.len() + self.reads.len());
+        let written: Vec<&DocumentName> = self.writes.iter().map(|w| w.op.name()).collect();
+        let mut names: Vec<DocumentName> = Vec::new();
+        for (name, version) in &self.reads {
+            let precondition = match version {
+                Some(ts) => Precondition::UpdateTimeEquals(*ts),
+                None => Precondition::MustNotExist,
+            };
+            if written.contains(&name) {
+                continue; // the write itself carries the precondition below
+            }
+            writes.push(Write::verify(name.clone(), precondition));
+        }
+        for mut w in self.writes {
+            if let Some(version) = self.reads.get(w.op.name()) {
+                w = w.with_precondition(match version {
+                    Some(ts) => Precondition::UpdateTimeEquals(*ts),
+                    None => Precondition::MustNotExist,
+                });
+            }
+            names.push(w.op.name().clone());
+            writes.push(w);
+        }
+        let result = self.client.db.commit_writes(writes, &self.client.caller());
+        match result {
+            Ok(res) => {
+                // Refresh the cache for written docs.
+                let mut st = self.client.state.lock();
+                for name in &names {
+                    // Cheap approach: forget, re-fetch lazily.
+                    let _ = res;
+                    let doc = self
+                        .client
+                        .db
+                        .get_document(name, Consistency::Strong, &Caller::Service)
+                        .ok()
+                        .flatten();
+                    st.store.apply_server(name.clone(), doc);
+                }
+                Ok(names)
+            }
+            Err(e) => Err(ClientError::Service(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firestore_core::database::doc as docname;
+    use realtime::RealtimeOptions;
+    use simkit::{Duration, SimClock};
+    use spanner::SpannerDatabase;
+
+    const OPEN_RULES: &str = r#"
+        service cloud.firestore {
+          match /databases/{db}/documents {
+            match /{document=**} {
+              allow read, write;
+            }
+          }
+        }
+    "#;
+
+    fn setup() -> (FirestoreDatabase, RealtimeCache) {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let spanner = SpannerDatabase::new(clock);
+        let db = FirestoreDatabase::create_default(spanner.clone());
+        db.set_rules(OPEN_RULES).unwrap();
+        let cache = RealtimeCache::new(spanner.truetime().clone(), RealtimeOptions::default());
+        db.set_observer(cache.observer_for(db.directory()));
+        (db, cache)
+    }
+
+    fn client(db: &FirestoreDatabase, rtc: &RealtimeCache) -> FirestoreClient {
+        FirestoreClient::connect(
+            db.clone(),
+            rtc.clone(),
+            ClientOptions {
+                auth: Some(AuthContext::uid("alice")),
+            },
+        )
+    }
+
+    #[test]
+    fn online_write_and_read() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        c.set("/todos/1", [("title", Value::from("milk"))]).unwrap();
+        assert_eq!(c.pending_writes(), 0, "flushed immediately while online");
+        let got = c.get("/todos/1").unwrap().unwrap();
+        assert_eq!(got.fields["title"], Value::from("milk"));
+        // And it reached the server.
+        let on_server = db
+            .get_document(&docname("/todos/1"), Consistency::Strong, &Caller::Service)
+            .unwrap();
+        assert!(on_server.is_some());
+    }
+
+    #[test]
+    fn offline_writes_queue_and_replay() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        c.disconnect();
+        c.set("/todos/1", [("title", Value::from("offline"))])
+            .unwrap();
+        c.set("/todos/2", [("title", Value::from("second"))])
+            .unwrap();
+        assert_eq!(c.pending_writes(), 2);
+        // Local reads see the pending writes.
+        assert!(c.get("/todos/1").unwrap().is_some());
+        // Server has nothing yet.
+        assert!(db
+            .get_document(&docname("/todos/1"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_none());
+        c.reconnect().unwrap();
+        assert_eq!(c.pending_writes(), 0);
+        assert!(db
+            .get_document(&docname("/todos/1"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn offline_get_unknown_is_offline_error() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        c.disconnect();
+        assert_eq!(c.get("/todos/unseen").unwrap_err(), ClientError::Offline);
+    }
+
+    #[test]
+    fn offline_queries_serve_from_cache() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        c.set("/todos/1", [("done", Value::Bool(false))]).unwrap();
+        let q = Query::parse("/todos").unwrap();
+        assert_eq!(c.query(&q).unwrap().len(), 1);
+        c.disconnect();
+        // Cache still serves the query.
+        assert_eq!(c.query(&q).unwrap().len(), 1);
+        // And local mutations apply.
+        c.delete("/todos/1").unwrap();
+        assert_eq!(c.query(&q).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn blind_writes_last_update_wins() {
+        let (db, rtc) = setup();
+        let a = client(&db, &rtc);
+        let b = client(&db, &rtc);
+        a.disconnect();
+        a.set("/doc/x", [("v", Value::from("from-a"))]).unwrap();
+        b.set("/doc/x", [("v", Value::from("from-b"))]).unwrap();
+        // A reconnects later: its write replays and wins (last update).
+        a.reconnect().unwrap();
+        let final_doc = db
+            .get_document(&docname("/doc/x"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .unwrap();
+        assert_eq!(final_doc.fields["v"], Value::from("from-a"));
+    }
+
+    #[test]
+    fn listener_sees_remote_and_local_changes() {
+        let (db, rtc) = setup();
+        let alice = client(&db, &rtc);
+        let bob = client(&db, &rtc);
+        let q = Query::parse("/todos").unwrap();
+        let l = alice.listen(q).unwrap();
+        let initial = alice.take_snapshots(l);
+        assert_eq!(initial.len(), 1);
+        assert!(initial[0].documents.is_empty());
+
+        // Local write: immediate snapshot from cache.
+        alice.set("/todos/mine", [("t", Value::from("a"))]).unwrap();
+        let snaps = alice.take_snapshots(l);
+        assert!(!snaps.is_empty());
+
+        // Remote write by bob: arrives via real-time sync.
+        bob.set("/todos/theirs", [("t", Value::from("b"))]).unwrap();
+        rtc.tick();
+        alice.sync().unwrap();
+        let snaps = alice.take_snapshots(l);
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].documents.len(), 2);
+        assert!(!snaps[0].from_cache);
+    }
+
+    #[test]
+    fn disconnected_listener_reconciles_on_reconnect() {
+        let (db, rtc) = setup();
+        let alice = client(&db, &rtc);
+        let bob = client(&db, &rtc);
+        bob.set("/todos/1", [("t", Value::from("keep"))]).unwrap();
+        bob.set("/todos/2", [("t", Value::from("to-delete"))])
+            .unwrap();
+
+        let q = Query::parse("/todos").unwrap();
+        let l = alice.listen(q).unwrap();
+        assert_eq!(alice.take_snapshots(l)[0].documents.len(), 2);
+
+        alice.disconnect();
+        // While alice is offline: bob deletes one doc and adds another.
+        bob.delete("/todos/2").unwrap();
+        bob.set("/todos/3", [("t", Value::from("new"))]).unwrap();
+        // Alice makes a local change meanwhile.
+        alice
+            .set("/todos/local", [("t", Value::from("mine"))])
+            .unwrap();
+        let offline_snaps = alice.take_snapshots(l);
+        assert!(!offline_snaps.is_empty());
+        assert!(offline_snaps.iter().all(|s| s.from_cache));
+
+        alice.reconnect().unwrap();
+        let snaps = alice.take_snapshots(l);
+        // The reconciled snapshot reflects: 1 (kept), 3 (new), local (pushed).
+        let last = snaps.last().unwrap();
+        let ids: Vec<&str> = last.documents.iter().map(|d| d.name.id()).collect();
+        assert!(ids.contains(&"1"), "{ids:?}");
+        assert!(ids.contains(&"3"), "{ids:?}");
+        assert!(ids.contains(&"local"), "{ids:?}");
+        assert!(!ids.contains(&"2"), "{ids:?}");
+    }
+
+    #[test]
+    fn occ_transaction_retries_on_conflict() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        c.set("/counters/hits", [("n", Value::Int(0))]).unwrap();
+        let db2 = db.clone();
+        let mut attempt = 0;
+        c.run_transaction(5, |txn| {
+            attempt += 1;
+            let doc = txn.get("/counters/hits")?.unwrap();
+            let n = match doc.fields["n"] {
+                Value::Int(n) => n,
+                _ => unreachable!(),
+            };
+            if attempt == 1 {
+                // A concurrent writer bumps the counter between our read
+                // and our commit: the freshness check must fail.
+                db2.commit_writes(
+                    vec![Write::set(
+                        docname("/counters/hits"),
+                        [("n", Value::Int(100))],
+                    )],
+                    &Caller::Service,
+                )
+                .unwrap();
+            }
+            txn.set("/counters/hits", [("n", Value::Int(n + 1))])?;
+            Ok(())
+        })
+        .unwrap();
+        assert!(attempt >= 2, "first attempt must have failed freshness");
+        let final_doc = c.get("/counters/hits").unwrap().unwrap();
+        assert_eq!(final_doc.fields["n"], Value::Int(101));
+    }
+
+    #[test]
+    fn occ_readonly_validation() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        c.set("/cfg/a", [("v", Value::Int(1))]).unwrap();
+        // Transaction reads /cfg/a, writes /cfg/b. A concurrent change to
+        // /cfg/a between read and commit must abort the first attempt.
+        let db2 = db.clone();
+        let mut attempt = 0;
+        c.run_transaction(5, |txn| {
+            attempt += 1;
+            let a = txn.get("/cfg/a")?.unwrap();
+            if attempt == 1 {
+                db2.commit_writes(
+                    vec![Write::set(docname("/cfg/a"), [("v", Value::Int(9))])],
+                    &Caller::Service,
+                )
+                .unwrap();
+            }
+            txn.set("/cfg/b", [("copy", a.fields["v"].clone())])?;
+            Ok(())
+        })
+        .unwrap();
+        assert!(attempt >= 2);
+        // The second attempt read v=9.
+        let b = c.get("/cfg/b").unwrap().unwrap();
+        assert_eq!(b.fields["copy"], Value::Int(9));
+    }
+
+    #[test]
+    fn rejected_write_rolls_back() {
+        let (db, rtc) = setup();
+        // Rules: only docs with owner == uid can be written.
+        db.set_rules(
+            r#"
+            service cloud.firestore {
+              match /databases/{db}/documents {
+                match /docs/{id} {
+                  allow read;
+                  allow write: if request.resource.data.owner == request.auth.uid;
+                }
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let c = client(&db, &rtc);
+        c.set("/docs/spoof", [("owner", Value::from("bob"))])
+            .unwrap();
+        assert_eq!(c.pending_writes(), 0);
+        let errors = c.take_write_errors();
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(
+            &errors[0],
+            ClientError::WriteRejected(FirestoreError::PermissionDenied(_))
+        ));
+        // The local cache rolled back.
+        assert!(c.get("/docs/spoof").unwrap().is_none());
+    }
+
+    #[test]
+    fn transactions_require_connectivity() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        c.disconnect();
+        let err = c.run_transaction(3, |_txn| Ok(())).unwrap_err();
+        assert_eq!(err, ClientError::Offline);
+    }
+
+    #[test]
+    fn merge_latency_compensation_and_flush() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        c.set(
+            "/profile/me",
+            [("name", Value::from("Dana")), ("bio", Value::from("old"))],
+        )
+        .unwrap();
+        c.disconnect();
+        c.merge("/profile/me", [("bio", Value::from("new"))])
+            .unwrap();
+        // The merged local view keeps the unlisted field.
+        let local = c.get("/profile/me").unwrap().unwrap();
+        assert_eq!(local.fields["name"], Value::from("Dana"));
+        assert_eq!(local.fields["bio"], Value::from("new"));
+        c.reconnect().unwrap();
+        let on_server = db
+            .get_document(
+                &docname("/profile/me"),
+                Consistency::Strong,
+                &Caller::Service,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(on_server.fields["name"], Value::from("Dana"));
+        assert_eq!(on_server.fields["bio"], Value::from("new"));
+    }
+
+    #[test]
+    fn cache_persistence_warm_start() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        c.set("/todos/1", [("t", Value::from("x"))]).unwrap();
+        c.get("/todos/1").unwrap();
+        c.disconnect();
+        c.set("/todos/queued", [("t", Value::from("q"))]).unwrap();
+        let blob = c.persist_cache();
+
+        // A fresh client restores the cache: the cached doc is readable
+        // offline and the queued write survives.
+        let c2 = FirestoreClient::connect_with_cache(
+            db.clone(),
+            rtc.clone(),
+            ClientOptions {
+                auth: Some(AuthContext::uid("alice")),
+            },
+            LocalStore::restore(&blob).unwrap(),
+        );
+        c2.disconnect();
+        assert!(c2.get("/todos/1").unwrap().is_some());
+        assert_eq!(c2.pending_writes(), 1);
+        c2.reconnect().unwrap();
+        assert!(db
+            .get_document(
+                &docname("/todos/queued"),
+                Consistency::Strong,
+                &Caller::Service
+            )
+            .unwrap()
+            .is_some());
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! The Mobile/Web client SDK (paper §III-E, §IV-E).
+//!
+//! "The Client (Mobile and Web) SDKs build a local cache of the documents
+//! accessed by the client together with the necessary local indexes ...
+//! Mutations to documents by the client are acknowledged immediately after
+//! updating the local cache; the updates are also flushed to the Firestore
+//! API asynchronously. ... A disconnected client can therefore continue to
+//! serve queries and updates using its local cache, and reconcile its local
+//! cache when it eventually reconnects."
+//!
+//! * [`store`] — the local cache: server documents plus the ordered queue
+//!   of pending (unacknowledged) mutations, merged into a latency-
+//!   compensated overlay view.
+//! * [`listener`] — snapshot listeners: merged-query views that emit
+//!   `onSnapshot`-style deltas, flagged `from_cache` while disconnected.
+//! * [`client`] — [`client::FirestoreClient`]: reads, blind writes,
+//!   optimistic-concurrency transactions with automatic retry, real-time
+//!   listeners, disconnect/reconnect reconciliation, and opt-in cache
+//!   persistence.
+//!
+//! The "network" between the SDK and the service is simulated by direct
+//! calls into [`firestore_core::FirestoreDatabase`] and
+//! [`realtime::RealtimeCache`]; a [`client::FirestoreClient`] in the
+//! disconnected state simply stops making those calls, exactly like a
+//! device in airplane mode.
+
+pub mod client;
+pub mod listener;
+pub mod store;
+
+pub use client::{ClientError, ClientOptions, FirestoreClient};
+pub use listener::{ClientSnapshot, ListenerId};
+pub use store::{LocalStore, PendingMutation};

@@ -1,0 +1,331 @@
+//! The local cache: server state + pending mutation overlay.
+//!
+//! The store keeps (a) the latest *server* version of every document the
+//! client has seen and (b) the ordered queue of *pending* mutations the
+//! client has issued but the service has not acknowledged. The merged view
+//! — pending mutations applied over server state — is what every local read
+//! and listener sees (latency compensation, §IV-E).
+
+use firestore_core::{Document, DocumentName, Value, Write, WriteOp};
+use simkit::Timestamp;
+use std::collections::{BTreeMap, HashMap};
+
+/// One unacknowledged local mutation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingMutation {
+    /// Client-assigned sequence number (flush order).
+    pub id: u64,
+    /// The blind write ("last update wins", §III-E).
+    pub write: Write,
+}
+
+/// Cached knowledge about one document's server state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerEntry {
+    /// The document existed with these contents at the cached version.
+    Exists(Document),
+    /// The server confirmed the document does not exist.
+    Missing,
+}
+
+/// The client-side cache.
+#[derive(Debug, Default)]
+pub struct LocalStore {
+    server: HashMap<DocumentName, ServerEntry>,
+    pending: BTreeMap<u64, PendingMutation>,
+    next_mutation: u64,
+}
+
+impl LocalStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        LocalStore::default()
+    }
+
+    /// Record the server's version of a document.
+    pub fn apply_server(&mut self, name: DocumentName, doc: Option<Document>) {
+        let entry = match doc {
+            Some(d) => ServerEntry::Exists(d),
+            None => ServerEntry::Missing,
+        };
+        self.server.insert(name, entry);
+    }
+
+    /// The cached server version, if known.
+    pub fn server_doc(&self, name: &DocumentName) -> Option<&ServerEntry> {
+        self.server.get(name)
+    }
+
+    /// Enqueue a local mutation; returns its id.
+    pub fn enqueue(&mut self, write: Write) -> u64 {
+        let id = self.next_mutation;
+        self.next_mutation += 1;
+        self.pending.insert(id, PendingMutation { id, write });
+        id
+    }
+
+    /// Remove an acknowledged (or rejected) mutation.
+    pub fn remove_pending(&mut self, id: u64) -> Option<PendingMutation> {
+        self.pending.remove(&id)
+    }
+
+    /// Pending mutations in flush order.
+    pub fn pending(&self) -> impl Iterator<Item = &PendingMutation> {
+        self.pending.values()
+    }
+
+    /// Number of pending mutations.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the document has pending local writes.
+    pub fn has_pending_for(&self, name: &DocumentName) -> bool {
+        self.pending.values().any(|p| p.write.op.name() == name)
+    }
+
+    /// The merged (latency-compensated) view of one document: pending
+    /// mutations applied in order over the cached server state. Returns
+    /// `None` when nothing at all is known, `Some(None)` for known-absent.
+    pub fn merged_doc(&self, name: &DocumentName) -> Option<Option<Document>> {
+        let mut state: Option<Option<Document>> = match self.server.get(name) {
+            Some(ServerEntry::Exists(d)) => Some(Some(d.clone())),
+            Some(ServerEntry::Missing) => Some(None),
+            None => None,
+        };
+        for p in self.pending.values() {
+            if p.write.op.name() != name {
+                continue;
+            }
+            state = Some(match &p.write.op {
+                WriteOp::Set { fields, .. } => {
+                    let mut d = Document::new(name.clone(), fields.clone());
+                    // Local writes carry a provisional local timestamp of
+                    // zero; server acknowledgement replaces it.
+                    d.update_time = Timestamp::ZERO;
+                    Some(d)
+                }
+                WriteOp::Merge { fields, .. } => {
+                    let mut merged = match state.flatten() {
+                        Some(d) => d.fields,
+                        None => Default::default(),
+                    };
+                    for (k, v) in fields {
+                        merged.insert(k.clone(), v.clone());
+                    }
+                    let mut d = Document::new(name.clone(), merged.into_iter().collect::<Vec<_>>());
+                    d.update_time = Timestamp::ZERO;
+                    Some(d)
+                }
+                WriteOp::Delete { .. } => None,
+                WriteOp::Verify { .. } => continue,
+            });
+        }
+        state
+    }
+
+    /// All names with any cached or pending state (for local query scans).
+    pub fn known_names(&self) -> Vec<DocumentName> {
+        let mut names: Vec<DocumentName> = self.server.keys().cloned().collect();
+        for p in self.pending.values() {
+            let n = p.write.op.name();
+            if !names.contains(n) {
+                names.push(n.clone());
+            }
+        }
+        names
+    }
+
+    /// Serialize the *server* cache for opt-in persistence ("an end user
+    /// can choose to persist their local cache", §IV-E). Pending mutations
+    /// are persisted too so queued writes survive restarts.
+    pub fn persist(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let docs: Vec<(&DocumentName, &ServerEntry)> = self.server.iter().collect();
+        out.extend_from_slice(&(docs.len() as u32).to_be_bytes());
+        for (name, entry) in docs {
+            let name_enc = name.encode();
+            out.extend_from_slice(&(name_enc.len() as u32).to_be_bytes());
+            out.extend_from_slice(&name_enc);
+            match entry {
+                ServerEntry::Missing => out.extend_from_slice(&u32::MAX.to_be_bytes()),
+                ServerEntry::Exists(d) => {
+                    let bytes = d.encode();
+                    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                    out.extend_from_slice(&bytes);
+                }
+            }
+        }
+        let pending: Vec<&PendingMutation> = self.pending.values().collect();
+        out.extend_from_slice(&(pending.len() as u32).to_be_bytes());
+        for p in pending {
+            let name_enc = p.write.op.name().encode();
+            out.extend_from_slice(&(name_enc.len() as u32).to_be_bytes());
+            out.extend_from_slice(&name_enc);
+            match &p.write.op {
+                WriteOp::Delete { .. } | WriteOp::Verify { .. } => {
+                    out.extend_from_slice(&u32::MAX.to_be_bytes())
+                }
+                // Merges persist as their merged-at-persist-time contents
+                // (full-set replay is equivalent for the local overlay).
+                WriteOp::Set { fields, .. } | WriteOp::Merge { fields, .. } => {
+                    let doc = Document::new(p.write.op.name().clone(), fields.clone());
+                    let bytes = doc.encode();
+                    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                    out.extend_from_slice(&bytes);
+                }
+            }
+        }
+        out
+    }
+
+    /// Restore a persisted cache (warm start).
+    pub fn restore(bytes: &[u8]) -> Option<LocalStore> {
+        let mut store = LocalStore::new();
+        let mut pos = 0usize;
+        let read_u32 = |bytes: &[u8], pos: &mut usize| -> Option<u32> {
+            let raw = bytes.get(*pos..*pos + 4)?;
+            *pos += 4;
+            Some(u32::from_be_bytes(raw.try_into().ok()?))
+        };
+        let n_docs = read_u32(bytes, &mut pos)?;
+        for _ in 0..n_docs {
+            let name_len = read_u32(bytes, &mut pos)? as usize;
+            let name = DocumentName::decode(bytes.get(pos..pos + name_len)?)?;
+            pos += name_len;
+            let doc_len = read_u32(bytes, &mut pos)?;
+            if doc_len == u32::MAX {
+                store.server.insert(name, ServerEntry::Missing);
+            } else {
+                let doc_len = doc_len as usize;
+                let doc = Document::decode(name.clone(), bytes.get(pos..pos + doc_len)?)?;
+                pos += doc_len;
+                store.server.insert(name, ServerEntry::Exists(doc));
+            }
+        }
+        let n_pending = read_u32(bytes, &mut pos)?;
+        for _ in 0..n_pending {
+            let name_len = read_u32(bytes, &mut pos)? as usize;
+            let name = DocumentName::decode(bytes.get(pos..pos + name_len)?)?;
+            pos += name_len;
+            let doc_len = read_u32(bytes, &mut pos)?;
+            if doc_len == u32::MAX {
+                store.enqueue(Write::delete(name));
+            } else {
+                let doc_len = doc_len as usize;
+                let doc = Document::decode(name.clone(), bytes.get(pos..pos + doc_len)?)?;
+                pos += doc_len;
+                let fields: Vec<(String, Value)> = doc.fields.into_iter().collect();
+                store.enqueue(Write::set(name, fields));
+            }
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(p: &str) -> DocumentName {
+        DocumentName::parse(p).unwrap()
+    }
+
+    fn doc(p: &str, v: i64) -> Document {
+        Document::new(name(p), [("v", Value::Int(v))])
+    }
+
+    #[test]
+    fn merged_view_prefers_pending() {
+        let mut s = LocalStore::new();
+        s.apply_server(name("/c/d"), Some(doc("/c/d", 1)));
+        assert_eq!(
+            s.merged_doc(&name("/c/d")).unwrap().unwrap().fields["v"],
+            Value::Int(1)
+        );
+        s.enqueue(Write::set(name("/c/d"), [("v", Value::Int(2))]));
+        assert_eq!(
+            s.merged_doc(&name("/c/d")).unwrap().unwrap().fields["v"],
+            Value::Int(2)
+        );
+        assert!(s.has_pending_for(&name("/c/d")));
+    }
+
+    #[test]
+    fn pending_delete_hides_document() {
+        let mut s = LocalStore::new();
+        s.apply_server(name("/c/d"), Some(doc("/c/d", 1)));
+        s.enqueue(Write::delete(name("/c/d")));
+        assert_eq!(s.merged_doc(&name("/c/d")), Some(None));
+    }
+
+    #[test]
+    fn pending_applied_in_order() {
+        let mut s = LocalStore::new();
+        s.enqueue(Write::set(name("/c/d"), [("v", Value::Int(1))]));
+        s.enqueue(Write::delete(name("/c/d")));
+        s.enqueue(Write::set(name("/c/d"), [("v", Value::Int(3))]));
+        assert_eq!(
+            s.merged_doc(&name("/c/d")).unwrap().unwrap().fields["v"],
+            Value::Int(3)
+        );
+        assert_eq!(s.pending_len(), 3);
+    }
+
+    #[test]
+    fn unknown_document_is_none() {
+        let s = LocalStore::new();
+        assert_eq!(s.merged_doc(&name("/c/d")), None);
+    }
+
+    #[test]
+    fn ack_removes_pending_and_keeps_server_state() {
+        let mut s = LocalStore::new();
+        let id = s.enqueue(Write::set(name("/c/d"), [("v", Value::Int(2))]));
+        // Server acks: record server state, drop pending.
+        let mut acked = doc("/c/d", 2);
+        acked.update_time = Timestamp::from_millis(9);
+        s.apply_server(name("/c/d"), Some(acked));
+        s.remove_pending(id);
+        let merged = s.merged_doc(&name("/c/d")).unwrap().unwrap();
+        assert_eq!(merged.update_time, Timestamp::from_millis(9));
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn known_names_includes_pending_only_docs() {
+        let mut s = LocalStore::new();
+        s.apply_server(name("/c/a"), Some(doc("/c/a", 1)));
+        s.enqueue(Write::set(name("/c/b"), [("v", Value::Int(2))]));
+        let names = s.known_names();
+        assert!(names.contains(&name("/c/a")));
+        assert!(names.contains(&name("/c/b")));
+    }
+
+    #[test]
+    fn persist_restore_round_trip() {
+        let mut s = LocalStore::new();
+        s.apply_server(name("/c/a"), Some(doc("/c/a", 1)));
+        s.apply_server(name("/c/gone"), None);
+        s.enqueue(Write::set(name("/c/b"), [("v", Value::Int(2))]));
+        s.enqueue(Write::delete(name("/c/a")));
+        let bytes = s.persist();
+        let restored = LocalStore::restore(&bytes).unwrap();
+        assert_eq!(restored.pending_len(), 2);
+        assert_eq!(
+            restored.merged_doc(&name("/c/a")),
+            Some(None),
+            "pending delete"
+        );
+        assert_eq!(
+            restored.merged_doc(&name("/c/b")).unwrap().unwrap().fields["v"],
+            Value::Int(2)
+        );
+        assert_eq!(restored.merged_doc(&name("/c/gone")), Some(None));
+        // Truncated blobs are rejected.
+        assert!(LocalStore::restore(&bytes[..bytes.len() - 1]).is_none());
+    }
+}

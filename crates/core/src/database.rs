@@ -1,0 +1,1142 @@
+//! `FirestoreDatabase`: the assembled engine.
+//!
+//! One `FirestoreDatabase` corresponds to one customer database: a directory
+//! inside a shared Spanner database, an index catalog, optional security
+//! rules, a commit observer (the Real-time Cache), write triggers, and the
+//! read/write/query entry points the Frontend exposes.
+
+use crate::document::{Document, Value};
+use crate::error::{FirestoreError, FirestoreResult};
+use crate::executor::{self, QueryResult, ReadAccess, ENTITIES};
+use crate::index::{IndexCatalog, IndexId, IndexState, IndexedField};
+use crate::observer::{CommitObserver, CommitOutcome, DocumentChange, NullObserver};
+use crate::path::{CollectionPath, DocumentName};
+use crate::planner::plan_query;
+use crate::query::Query;
+use crate::triggers::TriggerRegistry;
+#[cfg(test)]
+use crate::write::Precondition;
+use crate::write::{self, Caller, Write, WriteResult, WriteStats};
+use parking_lot::RwLock;
+use rules::{Method, RequestContext, Ruleset};
+use simkit::{Duration, Timestamp};
+use spanner::database::DirectoryId;
+use spanner::messaging::MessageQueue;
+use spanner::{ReadWriteTransaction, SpannerDatabase};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Read consistency of a non-transactional read or query (§III-C: "point-in-
+/// time queries that are either strongly-consistent or from a recent
+/// timestamp").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Consistency {
+    /// Strongly consistent: sees every write acknowledged before the read.
+    Strong,
+    /// Read at an explicit (possibly slightly stale) timestamp.
+    AtTimestamp(Timestamp),
+}
+
+/// Options for creating a database.
+#[derive(Clone, Debug)]
+pub struct DatabaseOptions {
+    /// Human-readable database id (used by the multi-tenant scheduler).
+    pub database_id: String,
+    /// Window added to "now" for the max commit timestamp `M` handed to
+    /// Prepare (§IV-D2 step 5).
+    pub max_commit_window: Duration,
+}
+
+impl Default for DatabaseOptions {
+    fn default() -> Self {
+        DatabaseOptions {
+            database_id: "(default)".to_string(),
+            max_commit_window: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Inner {
+    spanner: SpannerDatabase,
+    dir: DirectoryId,
+    catalog: RwLock<IndexCatalog>,
+    ruleset: RwLock<Option<Ruleset>>,
+    observer: RwLock<Arc<dyn CommitObserver>>,
+    triggers: TriggerRegistry,
+    queue: MessageQueue,
+    options: DatabaseOptions,
+}
+
+/// A Firestore database handle. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct FirestoreDatabase {
+    inner: Arc<Inner>,
+}
+
+impl FirestoreDatabase {
+    /// Create (or attach) a Firestore database on `spanner`, allocating a
+    /// fresh directory.
+    pub fn create(spanner: SpannerDatabase, options: DatabaseOptions) -> FirestoreDatabase {
+        spanner.create_table(ENTITIES);
+        spanner.create_table(crate::executor::INDEX_ENTRIES);
+        let dir = spanner.allocate_directory();
+        let queue = MessageQueue::new(spanner.clone());
+        FirestoreDatabase {
+            inner: Arc::new(Inner {
+                spanner,
+                dir,
+                catalog: RwLock::new(IndexCatalog::new()),
+                ruleset: RwLock::new(None),
+                observer: RwLock::new(Arc::new(NullObserver)),
+                triggers: TriggerRegistry::new(),
+                queue,
+                options,
+            }),
+        }
+    }
+
+    /// Create with default options.
+    pub fn create_default(spanner: SpannerDatabase) -> FirestoreDatabase {
+        FirestoreDatabase::create(spanner, DatabaseOptions::default())
+    }
+
+    /// This database's id.
+    pub fn id(&self) -> &str {
+        &self.inner.options.database_id
+    }
+
+    /// The underlying Spanner handle.
+    pub fn spanner(&self) -> &SpannerDatabase {
+        &self.inner.spanner
+    }
+
+    /// The directory this database occupies.
+    pub fn directory(&self) -> DirectoryId {
+        self.inner.dir
+    }
+
+    /// The transactional message queue (used by triggers).
+    pub fn queue(&self) -> &MessageQueue {
+        &self.inner.queue
+    }
+
+    /// The trigger registry.
+    pub fn triggers(&self) -> &TriggerRegistry {
+        &self.inner.triggers
+    }
+
+    /// Install (or replace) the security rules.
+    pub fn set_rules(&self, source: &str) -> FirestoreResult<()> {
+        let ruleset = rules::parse_ruleset(source)
+            .map_err(|e| FirestoreError::InvalidArgument(e.to_string()))?;
+        *self.inner.ruleset.write() = Some(ruleset);
+        Ok(())
+    }
+
+    /// Remove the security rules (all third-party access denied).
+    pub fn clear_rules(&self) {
+        *self.inner.ruleset.write() = None;
+    }
+
+    /// Attach the Real-time Cache (or other observer) to the write path.
+    pub fn set_observer(&self, observer: Arc<dyn CommitObserver>) {
+        *self.inner.observer.write() = observer;
+    }
+
+    /// Run `f` with mutable access to the index catalog.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&mut IndexCatalog) -> R) -> R {
+        f(&mut self.inner.catalog.write())
+    }
+
+    /// Exempt a field from automatic indexing (§III-B).
+    pub fn add_index_exemption(&self, collection_id: &str, field: &str) {
+        self.inner
+            .catalog
+            .write()
+            .add_exemption(collection_id, field);
+    }
+
+    /// The strong read timestamp.
+    pub fn strong_read_ts(&self) -> Timestamp {
+        self.inner.spanner.strong_read_ts()
+    }
+
+    fn read_ts(&self, c: Consistency) -> Timestamp {
+        match c {
+            Consistency::Strong => self.strong_read_ts(),
+            Consistency::AtTimestamp(ts) => ts,
+        }
+    }
+
+    // --- reads --------------------------------------------------------------
+
+    /// Fetch one document.
+    pub fn get_document(
+        &self,
+        name: &DocumentName,
+        consistency: Consistency,
+        caller: &Caller,
+    ) -> FirestoreResult<Option<Document>> {
+        let ts = self.read_ts(consistency);
+        let key = self.inner.dir.key(&name.encode());
+        let row = self
+            .inner
+            .spanner
+            .snapshot_read_versioned(ENTITIES, &key, ts)?;
+        let doc = match row {
+            None => None,
+            Some((bytes, version_ts)) => Some(
+                write::decode_from_storage(name.clone(), &bytes, version_ts)
+                    .ok_or_else(|| FirestoreError::Internal(format!("corrupt document {name}")))?,
+            ),
+        };
+        if caller.is_third_party() {
+            self.authorize_read(name, doc.as_ref(), Method::Get, caller, ts)?;
+        }
+        Ok(doc)
+    }
+
+    fn authorize_read(
+        &self,
+        name: &DocumentName,
+        doc: Option<&Document>,
+        method: Method,
+        caller: &Caller,
+        ts: Timestamp,
+    ) -> FirestoreResult<()> {
+        let ruleset = self.inner.ruleset.read();
+        let Some(ruleset) = ruleset.as_ref() else {
+            return Err(FirestoreError::PermissionDenied(
+                "no security rules installed; third-party access denied".into(),
+            ));
+        };
+        let doc_path: Vec<&str> = name.segments().iter().map(String::as_str).collect();
+        let req = RequestContext::for_document(
+            method,
+            &doc_path,
+            caller.auth(),
+            doc.map(|d| write::fields_to_rule(&d.fields)),
+            None,
+        );
+        let source = write::SnapshotDataSource {
+            spanner: &self.inner.spanner,
+            dir: self.inner.dir,
+            ts,
+        };
+        if ruleset.allows(&req, &source) {
+            Ok(())
+        } else {
+            Err(FirestoreError::PermissionDenied(format!(
+                "{method:?} {name} denied by rules"
+            )))
+        }
+    }
+
+    /// Run a query outside any transaction (lock-free timestamp read).
+    pub fn run_query(
+        &self,
+        query: &Query,
+        consistency: Consistency,
+        caller: &Caller,
+    ) -> FirestoreResult<QueryResult> {
+        let ts = self.read_ts(consistency);
+        let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
+        let result = executor::execute(
+            &self.inner.spanner,
+            self.inner.dir,
+            &plan,
+            query,
+            ReadAccess::Snapshot(ts),
+        )?;
+        if caller.is_third_party() {
+            // Authorize each returned document as a `list` access. (The
+            // production service proves the query's constraints satisfy the
+            // rules instead; the per-document check is equivalent for the
+            // rule shapes this reproduction supports.)
+            for doc in &result.documents {
+                self.authorize_read(&doc.name, Some(doc), Method::List, caller, ts)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Run a query with a per-RPC work limit, returning partial results and
+    /// a resume point when truncated (§IV-C). Continue with
+    /// `query.clone().start_after(resume_after)`.
+    pub fn run_query_partial(
+        &self,
+        query: &Query,
+        consistency: Consistency,
+        caller: &Caller,
+        work_limit: usize,
+    ) -> FirestoreResult<QueryResult> {
+        let ts = self.read_ts(consistency);
+        let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
+        let result = executor::execute_limited(
+            &self.inner.spanner,
+            self.inner.dir,
+            &plan,
+            query,
+            ReadAccess::Snapshot(ts),
+            work_limit,
+        )?;
+        if caller.is_third_party() {
+            for doc in &result.documents {
+                self.authorize_read(&doc.name, Some(doc), Method::List, caller, ts)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// A COUNT aggregation (paper §VIII): the number of documents the query
+    /// matches, computed from index entries without fetching documents. The
+    /// returned stats reflect the entries examined — the cost such a query
+    /// must be billed by ("a COUNT query returns a single value but may
+    /// count millions of documents").
+    pub fn run_count(
+        &self,
+        query: &Query,
+        consistency: Consistency,
+        caller: &Caller,
+    ) -> FirestoreResult<(usize, crate::executor::QueryStats)> {
+        if caller.is_third_party() {
+            // Counting reveals result-set size: require list permission on
+            // the collection via a representative (empty-resource) check.
+            let ts = self.read_ts(consistency);
+            let probe = query.collection.doc("__count__");
+            self.authorize_read(&probe, None, Method::List, caller, ts)?;
+        }
+        // Counting must ignore limit/offset windows per Firestore COUNT
+        // semantics with no window... production COUNT respects the window;
+        // we count the windowed result set to match it.
+        let ts = self.read_ts(consistency);
+        let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
+        let counted = executor::count(&self.inner.spanner, self.inner.dir, &plan, query, ts)?;
+        Ok(counted)
+    }
+
+    // --- writes -------------------------------------------------------------
+
+    /// Commit a batch of writes atomically.
+    pub fn commit_writes(
+        &self,
+        writes: Vec<Write>,
+        caller: &Caller,
+    ) -> FirestoreResult<WriteResult> {
+        for w in &writes {
+            write::validate_write(w)?;
+        }
+        let mut txn = self.inner.spanner.begin();
+        let result = self.commit_pipeline(&mut txn, writes, caller);
+        if result.is_err() {
+            self.inner.spanner.abort(&mut txn);
+        }
+        result
+    }
+
+    /// The shared §IV-D2 pipeline; `txn` may already contain reads (server
+    /// SDK transactions).
+    fn commit_pipeline(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        writes: Vec<Write>,
+        caller: &Caller,
+    ) -> FirestoreResult<WriteResult> {
+        let spanner = &self.inner.spanner;
+        let dir = self.inner.dir;
+
+        // Step 2: read affected documents with exclusive locks; verify
+        // preconditions.
+        let mut olds: Vec<Option<Document>> = Vec::with_capacity(writes.len());
+        for w in &writes {
+            let name = w.op.name().clone();
+            let key = dir.key(&name.encode());
+            let old = match spanner.txn_read_for_update_versioned(txn, ENTITIES, &key)? {
+                None => None,
+                Some((bytes, version_ts)) => Some(
+                    write::decode_from_storage(name.clone(), &bytes, version_ts).ok_or_else(
+                        || FirestoreError::Internal(format!("corrupt document {name}")),
+                    )?,
+                ),
+            };
+            write::check_precondition(w, old.as_ref())?;
+            olds.push(old);
+        }
+
+        // Step 3: security rules for third-party requests, resolved inside
+        // this transaction.
+        if caller.is_third_party() {
+            let ruleset = self.inner.ruleset.read();
+            let Some(ruleset) = ruleset.as_ref() else {
+                return Err(FirestoreError::PermissionDenied(
+                    "no security rules installed; third-party access denied".into(),
+                ));
+            };
+            for (w, old) in writes.iter().zip(&olds) {
+                let req = write::write_request_context(w, old.as_ref(), caller.auth());
+                let allowed = {
+                    let source = write::TxnDataSource {
+                        spanner,
+                        dir,
+                        txn: RefCell::new(&mut *txn),
+                    };
+                    ruleset.allows(&req, &source)
+                };
+                if !allowed {
+                    return Err(FirestoreError::PermissionDenied(format!(
+                        "{:?} {} denied by rules",
+                        write::write_method(w, old.as_ref()),
+                        w.op.name()
+                    )));
+                }
+            }
+        }
+
+        // Mutating writes become document changes; verify-only ops end here.
+        let mut changes: Vec<DocumentChange> = Vec::with_capacity(writes.len());
+        for (w, old) in writes.iter().zip(olds) {
+            if !w.op.is_mutation() {
+                continue;
+            }
+            let name = w.op.name().clone();
+            let new = match &w.op {
+                crate::write::WriteOp::Set { fields, .. } => {
+                    let mut d = Document::new(name.clone(), fields.clone());
+                    d.create_time = old
+                        .as_ref()
+                        .map(|o| o.create_time)
+                        .unwrap_or(Timestamp::ZERO);
+                    Some(d)
+                }
+                crate::write::WriteOp::Merge { fields, .. } => {
+                    // Merge over the current contents: unlisted fields
+                    // survive, listed ones are replaced.
+                    let mut merged = old.as_ref().map(|o| o.fields.clone()).unwrap_or_default();
+                    for (k, v) in fields {
+                        merged.insert(k.clone(), v.clone());
+                    }
+                    let mut d = Document::new(name.clone(), merged.into_iter().collect::<Vec<_>>());
+                    d.create_time = old
+                        .as_ref()
+                        .map(|o| o.create_time)
+                        .unwrap_or(Timestamp::ZERO);
+                    Some(d)
+                }
+                crate::write::WriteOp::Delete { .. } | crate::write::WriteOp::Verify { .. } => None,
+            };
+            changes.push(DocumentChange { name, old, new });
+        }
+
+        // Step 4: index-entry diffs + row mutations.
+        let mut stats = WriteStats::default();
+        {
+            let mut catalog = self.inner.catalog.write();
+            for change in &changes {
+                stats.index_entries_touched +=
+                    write::apply_change_to_txn(spanner, dir, &mut catalog, txn, change)?;
+                stats.documents += 1;
+            }
+        }
+
+        // Step 4b: triggers — persist messages transactionally (§IV-D2).
+        self.inner
+            .triggers
+            .enqueue_matches(&self.inner.queue, txn, &changes)?;
+
+        stats.payload_bytes = txn.payload_bytes();
+
+        // Step 5: Prepare the Real-time Cache with max timestamp M.
+        let now = spanner.truetime().clock().now();
+        let max_ts = now + self.inner.options.max_commit_window;
+        let names: Vec<DocumentName> = changes.iter().map(|c| c.name.clone()).collect();
+        let observer = self.inner.observer.read().clone();
+        let (token, min_ts) = observer
+            .prepare(&names, max_ts)
+            .map_err(|_| FirestoreError::Unavailable("Real-time Cache Prepare failed".into()))?;
+
+        // Step 6: Spanner commit within [m, M].
+        let taken = std::mem::take(txn);
+        match spanner.commit(taken, min_ts, max_ts) {
+            Ok(info) => {
+                stats.participants = info.participants;
+                // Step 7: Accept with full document copies at the commit
+                // timestamp.
+                let mut final_changes = changes;
+                for c in &mut final_changes {
+                    if let Some(new) = &mut c.new {
+                        new.update_time = info.commit_ts;
+                        if new.create_time == Timestamp::ZERO {
+                            new.create_time = info.commit_ts;
+                        }
+                    }
+                }
+                observer.accept(
+                    token,
+                    CommitOutcome::Committed(info.commit_ts),
+                    final_changes,
+                );
+                Ok(WriteResult {
+                    commit_ts: info.commit_ts,
+                    stats,
+                })
+            }
+            Err(e) => {
+                let (outcome, err) = write::classify_commit_error(e);
+                observer.accept(token, outcome, vec![]);
+                Err(err)
+            }
+        }
+    }
+
+    // --- interactive transactions (Server SDK, §III-D) ----------------------
+
+    /// Begin an interactive lock-based transaction.
+    pub fn begin_transaction(&self) -> FirestoreTransaction {
+        FirestoreTransaction {
+            db: self.clone(),
+            txn: self.inner.spanner.begin(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// Run `f` in a transaction, retrying on transient conflicts with the
+    /// Server SDKs' automatic retry (§III-D), up to `max_attempts`.
+    pub fn run_transaction<R>(
+        &self,
+        max_attempts: usize,
+        mut f: impl FnMut(&mut FirestoreTransaction) -> FirestoreResult<R>,
+    ) -> FirestoreResult<R> {
+        let mut last_err = FirestoreError::Aborted("no attempts made".into());
+        for _ in 0..max_attempts.max(1) {
+            let mut txn = self.begin_transaction();
+            match f(&mut txn).and_then(|r| txn.commit().map(|_| r)) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_retryable() => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    // --- maintenance ---------------------------------------------------------
+
+    /// Storage statistics: `(live documents, approximate live bytes)` of
+    /// this database's directory.
+    pub fn storage_stats(&self) -> FirestoreResult<(usize, usize)> {
+        let ts = self.strong_read_ts();
+        let range = self.inner.dir.range();
+        let docs = self.inner.spanner.snapshot_count(ENTITIES, &range, ts)?;
+        let rows = self
+            .inner
+            .spanner
+            .snapshot_scan(ENTITIES, &range, ts, usize::MAX)?;
+        let bytes = rows.iter().map(|(k, v)| k.len() + v.len()).sum();
+        Ok((docs, bytes))
+    }
+}
+
+impl std::fmt::Debug for FirestoreDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FirestoreDatabase({} @ {:?})", self.id(), self.inner.dir)
+    }
+}
+
+/// An interactive transaction: locking reads followed by a commit of
+/// buffered writes.
+pub struct FirestoreTransaction {
+    db: FirestoreDatabase,
+    txn: ReadWriteTransaction,
+    writes: Vec<Write>,
+}
+
+impl FirestoreTransaction {
+    /// Read a document with a lock (exclusive, §IV-D2 step 2 — reads in
+    /// Firestore transactions are reads-for-update).
+    pub fn get(&mut self, name: &DocumentName) -> FirestoreResult<Option<Document>> {
+        let key = self.db.inner.dir.key(&name.encode());
+        match self
+            .db
+            .inner
+            .spanner
+            .txn_read_for_update_versioned(&mut self.txn, ENTITIES, &key)?
+        {
+            None => Ok(None),
+            Some((bytes, version_ts)) => {
+                write::decode_from_storage(name.clone(), &bytes, version_ts)
+                    .map(Some)
+                    .ok_or_else(|| FirestoreError::Internal(format!("corrupt document {name}")))
+            }
+        }
+    }
+
+    /// Run a query inside the transaction (reads acquire shared locks;
+    /// "long-lived or large transactions may lead to lock contention and
+    /// deadlocks that are resolved by failing and retrying", §IV-D3).
+    pub fn query(&mut self, query: &Query) -> FirestoreResult<QueryResult> {
+        let plan = plan_query(&mut self.db.inner.catalog.write(), self.db.inner.dir, query)?;
+        executor::execute(
+            &self.db.inner.spanner,
+            self.db.inner.dir,
+            &plan,
+            query,
+            ReadAccess::Transaction(&mut self.txn),
+        )
+    }
+
+    /// Buffer a set.
+    pub fn set(
+        &mut self,
+        name: DocumentName,
+        fields: impl IntoIterator<Item = (impl Into<String>, Value)>,
+    ) {
+        self.writes.push(Write::set(name, fields));
+    }
+
+    /// Buffer a create.
+    pub fn create(
+        &mut self,
+        name: DocumentName,
+        fields: impl IntoIterator<Item = (impl Into<String>, Value)>,
+    ) {
+        self.writes.push(Write::create(name, fields));
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&mut self, name: DocumentName) {
+        self.writes.push(Write::delete(name));
+    }
+
+    /// Buffer an arbitrary write.
+    pub fn write(&mut self, w: Write) {
+        self.writes.push(w);
+    }
+
+    /// Commit the transaction.
+    pub fn commit(mut self) -> FirestoreResult<WriteResult> {
+        for w in &self.writes {
+            write::validate_write(w)?;
+        }
+        let writes = std::mem::take(&mut self.writes);
+        let result = self.db.clone().commit_pipeline_for(&mut self.txn, writes);
+        if result.is_err() {
+            self.db.inner.spanner.abort(&mut self.txn);
+        }
+        result
+    }
+
+    /// Abort the transaction, releasing locks.
+    pub fn abort(mut self) {
+        self.db.inner.spanner.abort(&mut self.txn);
+    }
+}
+
+impl FirestoreDatabase {
+    fn commit_pipeline_for(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        writes: Vec<Write>,
+    ) -> FirestoreResult<WriteResult> {
+        // Interactive transactions come from Server SDKs: privileged.
+        self.commit_pipeline(txn, writes, &Caller::Service)
+    }
+}
+
+impl Drop for FirestoreTransaction {
+    fn drop(&mut self) {
+        self.db.inner.spanner.abort(&mut self.txn);
+    }
+}
+
+/// Convenience: build a collection path (panics on invalid path; for
+/// examples and tests).
+pub fn collection(path: &str) -> CollectionPath {
+    CollectionPath::parse(path).expect("valid collection path")
+}
+
+/// Convenience: build a document name (panics on invalid path; for examples
+/// and tests).
+pub fn doc(path: &str) -> DocumentName {
+    DocumentName::parse(path).expect("valid document name")
+}
+
+/// Convenience: build a field map.
+pub fn fields(entries: impl IntoIterator<Item = (&'static str, Value)>) -> BTreeMap<String, Value> {
+    entries
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+/// Re-export for `with_catalog` users.
+pub use crate::index::IndexedField as Field;
+
+/// Create a composite index synchronously: register as `Building`, backfill
+/// every existing document, then mark `Ready` (§IV-D1's background service,
+/// run to completion; see [`crate::backfill`] for the incremental version).
+pub fn create_index_blocking(
+    db: &FirestoreDatabase,
+    collection_id: &str,
+    fields: Vec<IndexedField>,
+) -> FirestoreResult<IndexId> {
+    let id = db.with_catalog(|c| c.add_composite(collection_id, fields, IndexState::Building));
+    crate::backfill::run_backfill(db, id, 100)?;
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::FilterOp;
+    use simkit::SimClock;
+
+    fn setup() -> FirestoreDatabase {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let spanner = SpannerDatabase::new(clock);
+        FirestoreDatabase::create_default(spanner)
+    }
+
+    fn put(db: &FirestoreDatabase, path: &str, fs: Vec<(&'static str, Value)>) -> WriteResult {
+        db.commit_writes(vec![Write::set(doc(path), fs)], &Caller::Service)
+            .unwrap()
+    }
+
+    #[test]
+    fn write_then_read() {
+        let db = setup();
+        let r = put(&db, "/restaurants/one", vec![("city", Value::from("SF"))]);
+        let got = db
+            .get_document(
+                &doc("/restaurants/one"),
+                Consistency::Strong,
+                &Caller::Service,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.fields["city"], Value::from("SF"));
+        assert_eq!(got.update_time, r.commit_ts);
+        assert_eq!(got.create_time, r.commit_ts);
+    }
+
+    #[test]
+    fn update_preserves_create_time() {
+        let db = setup();
+        let first = put(&db, "/c/d", vec![("v", Value::Int(1))]);
+        let second = put(&db, "/c/d", vec![("v", Value::Int(2))]);
+        let got = db
+            .get_document(&doc("/c/d"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.create_time, first.commit_ts);
+        assert_eq!(got.update_time, second.commit_ts);
+        assert_eq!(got.fields["v"], Value::Int(2));
+    }
+
+    #[test]
+    fn delete_removes_document_and_entries() {
+        let db = setup();
+        put(&db, "/c/d", vec![("v", Value::Int(1))]);
+        db.commit_writes(vec![Write::delete(doc("/c/d"))], &Caller::Service)
+            .unwrap();
+        assert!(db
+            .get_document(&doc("/c/d"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_none());
+        // The query no longer returns it.
+        let q = Query::parse("/c").unwrap().filter("v", FilterOp::Eq, 1i64);
+        let res = db
+            .run_query(&q, Consistency::Strong, &Caller::Service)
+            .unwrap();
+        assert!(res.documents.is_empty());
+    }
+
+    #[test]
+    fn query_via_auto_index() {
+        let db = setup();
+        put(
+            &db,
+            "/restaurants/a",
+            vec![("city", Value::from("SF")), ("r", Value::Int(3))],
+        );
+        put(
+            &db,
+            "/restaurants/b",
+            vec![("city", Value::from("NY")), ("r", Value::Int(5))],
+        );
+        put(
+            &db,
+            "/restaurants/c",
+            vec![("city", Value::from("SF")), ("r", Value::Int(4))],
+        );
+        let q = Query::parse("/restaurants")
+            .unwrap()
+            .filter("city", FilterOp::Eq, "SF");
+        let res = db
+            .run_query(&q, Consistency::Strong, &Caller::Service)
+            .unwrap();
+        let ids: Vec<&str> = res.documents.iter().map(|d| d.name.id()).collect();
+        assert_eq!(ids, vec!["a", "c"]);
+        assert!(res.stats.entries_scanned >= 2);
+    }
+
+    #[test]
+    fn snapshot_reads_are_stable() {
+        let db = setup();
+        put(&db, "/c/d", vec![("v", Value::Int(1))]);
+        let ts = db.strong_read_ts();
+        put(&db, "/c/d", vec![("v", Value::Int(2))]);
+        let old = db
+            .get_document(&doc("/c/d"), Consistency::AtTimestamp(ts), &Caller::Service)
+            .unwrap()
+            .unwrap();
+        assert_eq!(old.fields["v"], Value::Int(1));
+    }
+
+    #[test]
+    fn occ_precondition_detects_concurrent_update() {
+        let db = setup();
+        let r1 = put(&db, "/c/d", vec![("v", Value::Int(1))]);
+        // Another writer sneaks in.
+        put(&db, "/c/d", vec![("v", Value::Int(2))]);
+        // An OCC write conditioned on the first version must fail.
+        let stale = Write::set(doc("/c/d"), [("v", Value::Int(3))])
+            .with_precondition(Precondition::UpdateTimeEquals(r1.commit_ts));
+        let err = db.commit_writes(vec![stale], &Caller::Service).unwrap_err();
+        assert!(matches!(err, FirestoreError::FailedPrecondition(_)));
+    }
+
+    #[test]
+    fn transaction_readmodifywrite() {
+        let db = setup();
+        put(
+            &db,
+            "/restaurants/one",
+            vec![
+                ("numRatings", Value::Int(2)),
+                ("avgRating", Value::Double(4.0)),
+            ],
+        );
+        // The paper's example: add a rating and update the aggregates.
+        db.run_transaction(5, |txn| {
+            let r = txn.get(&doc("/restaurants/one"))?.expect("exists");
+            let n = match r.fields["numRatings"] {
+                Value::Int(n) => n,
+                _ => unreachable!(),
+            };
+            let avg = match r.fields["avgRating"] {
+                Value::Double(a) => a,
+                _ => unreachable!(),
+            };
+            let new_avg = (avg * n as f64 + 5.0) / (n + 1) as f64;
+            txn.create(
+                doc("/restaurants/one/ratings/2"),
+                [("rating", Value::Int(5)), ("userId", Value::from("alice"))],
+            );
+            txn.set(
+                doc("/restaurants/one"),
+                [
+                    ("numRatings", Value::Int(n + 1)),
+                    ("avgRating", Value::Double(new_avg)),
+                ],
+            );
+            Ok(())
+        })
+        .unwrap();
+        let r = db
+            .get_document(
+                &doc("/restaurants/one"),
+                Consistency::Strong,
+                &Caller::Service,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.fields["numRatings"], Value::Int(3));
+        let rating = db
+            .get_document(
+                &doc("/restaurants/one/ratings/2"),
+                Consistency::Strong,
+                &Caller::Service,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(rating.fields["rating"], Value::Int(5));
+    }
+
+    #[test]
+    fn transaction_conflict_retries() {
+        let db = setup();
+        put(&db, "/c/d", vec![("v", Value::Int(0))]);
+        // Hold a lock with another transaction to force one conflict.
+        let mut blocker = db.begin_transaction();
+        blocker.get(&doc("/c/d")).unwrap();
+        let blocker = std::cell::RefCell::new(Some(blocker));
+        let mut attempts = 0;
+        let db2 = db.clone();
+        let result = db.run_transaction(5, |txn| {
+            attempts += 1;
+            if attempts > 1 {
+                // Release the blocker so the retry can succeed.
+                if let Some(b) = blocker.borrow_mut().take() {
+                    b.abort();
+                }
+            }
+            txn.get(&doc("/c/d"))?;
+            txn.set(doc("/c/d"), [("v", Value::Int(9))]);
+            Ok(())
+        });
+        result.unwrap();
+        assert!(attempts > 1, "first attempt must have conflicted");
+        let got = db2
+            .get_document(&doc("/c/d"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.fields["v"], Value::Int(9));
+    }
+
+    #[test]
+    fn third_party_requires_rules() {
+        let db = setup();
+        let w = Write::set(doc("/c/d"), [("v", Value::Int(1))]);
+        let err = db
+            .commit_writes(
+                vec![w],
+                &Caller::EndUser(Some(rules::AuthContext::uid("u"))),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn fig3_rules_enforced_on_write_path() {
+        let db = setup();
+        db.set_rules(
+            r#"
+            service cloud.firestore {
+              match /databases/{database}/documents {
+                match /restaurants/{restaurant}/ratings/{rating} {
+                  allow read: if request.auth != null;
+                  allow create: if request.auth != null
+                                && request.resource.data.userId == request.auth.uid;
+                  allow update, delete: if false;
+                }
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let alice = Caller::EndUser(Some(rules::AuthContext::uid("alice")));
+        let ok = Write::create(
+            doc("/restaurants/one/ratings/2"),
+            [("rating", Value::Int(5)), ("userId", Value::from("alice"))],
+        );
+        db.commit_writes(vec![ok], &alice).unwrap();
+        // Updating the rating is denied.
+        let upd = Write::set(
+            doc("/restaurants/one/ratings/2"),
+            [("rating", Value::Int(1)), ("userId", Value::from("alice"))],
+        );
+        assert!(matches!(
+            db.commit_writes(vec![upd], &alice).unwrap_err(),
+            FirestoreError::PermissionDenied(_)
+        ));
+        // Spoofing another user's id on create is denied.
+        let spoof = Write::create(
+            doc("/restaurants/one/ratings/3"),
+            [("rating", Value::Int(5)), ("userId", Value::from("bob"))],
+        );
+        assert!(matches!(
+            db.commit_writes(vec![spoof], &alice).unwrap_err(),
+            FirestoreError::PermissionDenied(_)
+        ));
+        // Reads require auth.
+        let anon = Caller::EndUser(None);
+        assert!(matches!(
+            db.get_document(
+                &doc("/restaurants/one/ratings/2"),
+                Consistency::Strong,
+                &anon
+            ),
+            Err(FirestoreError::PermissionDenied(_))
+        ));
+        let got = db
+            .get_document(
+                &doc("/restaurants/one/ratings/2"),
+                Consistency::Strong,
+                &alice,
+            )
+            .unwrap();
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn batch_commit_is_atomic() {
+        let db = setup();
+        put(&db, "/c/exists", vec![("v", Value::Int(1))]);
+        // Batch with one failing precondition: nothing is applied.
+        let batch = vec![
+            Write::set(doc("/c/new"), [("v", Value::Int(1))]),
+            Write::create(doc("/c/exists"), [("v", Value::Int(2))]), // fails
+        ];
+        assert!(db.commit_writes(batch, &Caller::Service).is_err());
+        assert!(db
+            .get_document(&doc("/c/new"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn query_results_carry_version_timestamps() {
+        let db = setup();
+        let r1 = put(&db, "/c/a", vec![("v", Value::Int(1))]);
+        let r2 = put(&db, "/c/a", vec![("v", Value::Int(2))]);
+        put(&db, "/c/b", vec![("v", Value::Int(3))]);
+        // Index-served query.
+        let q = Query::parse("/c").unwrap().filter("v", FilterOp::Eq, 2i64);
+        let result = db.run_query(&q, Consistency::Strong, &Caller::Service).unwrap();
+        assert_eq!(result.documents[0].update_time, r2.commit_ts);
+        assert_eq!(result.documents[0].create_time, r1.commit_ts);
+        // Primary-scan query.
+        let all = db
+            .run_query(&Query::parse("/c").unwrap(), Consistency::Strong, &Caller::Service)
+            .unwrap();
+        for d in &all.documents {
+            assert!(d.update_time > Timestamp::ZERO, "{} has no version", d.name);
+            // And it matches the point-read's view.
+            let direct = db
+                .get_document(&d.name, Consistency::Strong, &Caller::Service)
+                .unwrap()
+                .unwrap();
+            assert_eq!(d.update_time, direct.update_time);
+            assert_eq!(d.create_time, direct.create_time);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_unlisted_fields() {
+        let db = setup();
+        put(
+            &db,
+            "/c/d",
+            vec![("a", Value::Int(1)), ("b", Value::Int(2))],
+        );
+        db.commit_writes(
+            vec![Write::merge(
+                doc("/c/d"),
+                [("b", Value::Int(20)), ("c", Value::Int(3))],
+            )],
+            &Caller::Service,
+        )
+        .unwrap();
+        let got = db
+            .get_document(&doc("/c/d"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.fields["a"], Value::Int(1), "unlisted field preserved");
+        assert_eq!(got.fields["b"], Value::Int(20), "listed field replaced");
+        assert_eq!(got.fields["c"], Value::Int(3), "new field added");
+        // Merge into a missing document upserts.
+        db.commit_writes(
+            vec![Write::merge(doc("/c/new"), [("x", Value::Int(9))])],
+            &Caller::Service,
+        )
+        .unwrap();
+        assert!(db
+            .get_document(&doc("/c/new"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_some());
+        // Index entries follow the merged contents.
+        let q = Query::parse("/c").unwrap().filter("a", FilterOp::Eq, 1i64);
+        assert_eq!(
+            db.run_query(&q, Consistency::Strong, &Caller::Service)
+                .unwrap()
+                .documents
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn count_query_without_fetching() {
+        let db = setup();
+        for i in 0..30 {
+            put(
+                &db,
+                &format!("/r/d{i:02}"),
+                vec![
+                    ("city", Value::from(if i % 3 == 0 { "SF" } else { "NY" })),
+                    ("n", Value::Int(i)),
+                ],
+            );
+        }
+        let q = Query::parse("/r")
+            .unwrap()
+            .filter("city", FilterOp::Eq, "SF");
+        let (count, stats) = db
+            .run_count(&q, Consistency::Strong, &Caller::Service)
+            .unwrap();
+        assert_eq!(count, 10);
+        assert!(
+            stats.entries_scanned >= 10,
+            "the count is billed by entries examined"
+        );
+        assert_eq!(stats.docs_fetched, 0, "COUNT never fetches documents");
+        // Windowed count.
+        let q = Query::parse("/r")
+            .unwrap()
+            .filter("city", FilterOp::Eq, "SF")
+            .limit(4)
+            .offset(8);
+        let (count, _) = db
+            .run_count(&q, Consistency::Strong, &Caller::Service)
+            .unwrap();
+        assert_eq!(count, 2);
+        // Inequality count.
+        let q = Query::parse("/r").unwrap().filter("n", FilterOp::Ge, 25i64);
+        let (count, _) = db
+            .run_count(&q, Consistency::Strong, &Caller::Service)
+            .unwrap();
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn partial_results_resume_to_completion() {
+        let db = setup();
+        for i in 0..25 {
+            put(&db, &format!("/r/d{i:02}"), vec![("v", Value::Int(i))]);
+        }
+        let ts = db.strong_read_ts();
+        let mut collected = Vec::new();
+        let mut query = Query::parse("/r").unwrap();
+        loop {
+            let result = db
+                .run_query_partial(&query, Consistency::AtTimestamp(ts), &Caller::Service, 7)
+                .unwrap();
+            collected.extend(result.documents.iter().map(|d| d.name.id().to_string()));
+            match result.resume_after {
+                Some(after) => query = Query::parse("/r").unwrap().start_after(after),
+                None => break,
+            }
+        }
+        assert_eq!(
+            collected.len(),
+            25,
+            "resumption covers everything exactly once"
+        );
+        let mut sorted = collected.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 25);
+    }
+
+    #[test]
+    fn storage_stats_track_documents() {
+        let db = setup();
+        assert_eq!(db.storage_stats().unwrap().0, 0);
+        put(&db, "/c/a", vec![("v", Value::Int(1))]);
+        put(&db, "/c/b", vec![("v", Value::Int(2))]);
+        let (docs, bytes) = db.storage_stats().unwrap();
+        assert_eq!(docs, 2);
+        assert!(bytes > 0);
+    }
+}

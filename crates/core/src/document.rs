@@ -1,0 +1,567 @@
+//! The schemaless document model.
+//!
+//! "Firestore supports a rich set of primitive and complex data types, such
+//! as maps and arrays. Each document is identified by a string, and is
+//! essentially a set of key-value pairs that add up to at most 1MiB"
+//! (§III-A). Each key-value pair is a *field*.
+//!
+//! Documents are stored as a single row in the Spanner `Entities` table,
+//! serialized into one column (the paper uses a protocol buffer; we use an
+//! equivalent hand-rolled tag-length-value binary format so the workspace
+//! stays dependency-free).
+
+use crate::path::DocumentName;
+use bytes::Bytes;
+use simkit::Timestamp;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The maximum serialized size of one document (1 MiB, §III-A).
+pub const MAX_DOCUMENT_SIZE: usize = 1 << 20;
+
+/// A field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer. Sorts numerically together with [`Value::Double`].
+    Int(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// Microsecond-precision timestamp value (a data value, distinct from
+    /// commit timestamps).
+    Timestamp(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// A reference to another document.
+    Reference(DocumentName),
+    /// An ordered array. Arrays cannot directly contain other arrays
+    /// (matching production Firestore); the constructor does not enforce
+    /// this, the write path validates it.
+    Array(Vec<Value>),
+    /// A string-keyed map.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Build a map value from pairs.
+    pub fn map(entries: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Value {
+        Value::Map(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// A short type name.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Double(_) => "double",
+            Value::Timestamp(_) => "timestamp",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Reference(_) => "reference",
+            Value::Array(_) => "array",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Whether this value contains a nested array inside an array (invalid).
+    pub fn has_nested_array(&self) -> bool {
+        fn inner(v: &Value, in_array: bool) -> bool {
+            match v {
+                Value::Array(items) => {
+                    if in_array {
+                        return true;
+                    }
+                    items.iter().any(|i| inner(i, true))
+                }
+                // A map creates a fresh nesting context: array→map→array
+                // is legal, only array→array is not.
+                Value::Map(m) => m.values().any(|i| inner(i, false)),
+                _ => false,
+            }
+        }
+        inner(self, false)
+    }
+
+    /// Approximate in-memory/serialized size in bytes (for the 1 MiB limit
+    /// and billing accounting).
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Double(_) | Value::Timestamp(_) => 8,
+            Value::Str(s) => s.len() + 1,
+            Value::Bytes(b) => b.len() + 1,
+            Value::Reference(r) => r.to_string().len() + 1,
+            Value::Array(items) => 1 + items.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Map(m) => {
+                1 + m
+                    .iter()
+                    .map(|(k, v)| k.len() + 1 + v.approx_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(x) => write!(f, "{x}"),
+            Value::Timestamp(us) => write!(f, "t{us}us"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::Reference(r) => write!(f, "{r}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Double(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+/// A document: a name, its fields, and its version metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Document {
+    /// The unique document name.
+    pub name: DocumentName,
+    /// The fields.
+    pub fields: BTreeMap<String, Value>,
+    /// Commit timestamp of the creating write.
+    pub create_time: Timestamp,
+    /// Commit timestamp of the latest write.
+    pub update_time: Timestamp,
+}
+
+impl Document {
+    /// Build a document (timestamps are set by the write pipeline).
+    pub fn new(
+        name: DocumentName,
+        fields: impl IntoIterator<Item = (impl Into<String>, Value)>,
+    ) -> Document {
+        Document {
+            name,
+            fields: fields.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+            create_time: Timestamp::ZERO,
+            update_time: Timestamp::ZERO,
+        }
+    }
+
+    /// Get a field by (dot-separated) path, e.g. `address.city`.
+    pub fn get(&self, field_path: &str) -> Option<&Value> {
+        let mut parts = field_path.split('.');
+        let first = parts.next()?;
+        let mut cur = self.fields.get(first)?;
+        for p in parts {
+            match cur {
+                Value::Map(m) => cur = m.get(p)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Total serialized size estimate.
+    pub fn approx_size(&self) -> usize {
+        self.name.to_string().len()
+            + self
+                .fields
+                .iter()
+                .map(|(k, v)| k.len() + 1 + v.approx_size())
+                .sum::<usize>()
+    }
+
+    /// Serialize to the storage representation.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(64 + self.approx_size());
+        out.extend_from_slice(&self.create_time.as_nanos().to_be_bytes());
+        out.extend_from_slice(&self.update_time.as_nanos().to_be_bytes());
+        encode_value(&Value::Map(self.fields.clone()), &mut out);
+        Bytes::from(out)
+    }
+
+    /// Deserialize from the storage representation. `name` comes from the
+    /// row key.
+    pub fn decode(name: DocumentName, bytes: &[u8]) -> Option<Document> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let create_time = Timestamp::from_nanos(u64::from_be_bytes(bytes[0..8].try_into().ok()?));
+        let update_time = Timestamp::from_nanos(u64::from_be_bytes(bytes[8..16].try_into().ok()?));
+        let mut pos = 16;
+        let v = decode_value(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return None;
+        }
+        match v {
+            Value::Map(fields) => Some(Document {
+                name,
+                fields,
+                create_time,
+                update_time,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{", self.name)?;
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, " {k}: {v}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+// --- binary serialization -------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_DOUBLE: u8 = 4;
+const TAG_TIMESTAMP: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_BYTES: u8 = 7;
+const TAG_REFERENCE: u8 = 8;
+const TAG_ARRAY: u8 = 9;
+const TAG_MAP: u8 = 10;
+
+fn encode_varint(mut n: u64, out: &mut Vec<u8>) {
+    loop {
+        let b = (n & 0x7F) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn decode_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut n: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        n |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(n);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Encode a value (internal storage format; not order-preserving — see
+/// [`crate::encoding`] for the index-key encoding).
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Double(x) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&x.to_bits().to_be_bytes());
+        }
+        Value::Timestamp(us) => {
+            out.push(TAG_TIMESTAMP);
+            out.extend_from_slice(&us.to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            encode_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            encode_varint(b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        Value::Reference(r) => {
+            let enc = r.encode();
+            out.push(TAG_REFERENCE);
+            encode_varint(enc.len() as u64, out);
+            out.extend_from_slice(&enc);
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            encode_varint(items.len() as u64, out);
+            for i in items {
+                encode_value(i, out);
+            }
+        }
+        Value::Map(m) => {
+            out.push(TAG_MAP);
+            encode_varint(m.len() as u64, out);
+            for (k, val) in m {
+                encode_varint(k.len() as u64, out);
+                out.extend_from_slice(k.as_bytes());
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+/// Decode a value from `bytes` starting at `pos`.
+pub fn decode_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    let tag = *bytes.get(*pos)?;
+    *pos += 1;
+    Some(match tag {
+        TAG_NULL => Value::Null,
+        TAG_FALSE => Value::Bool(false),
+        TAG_TRUE => Value::Bool(true),
+        TAG_INT => {
+            let raw = bytes.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Value::Int(i64::from_be_bytes(raw.try_into().ok()?))
+        }
+        TAG_DOUBLE => {
+            let raw = bytes.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Value::Double(f64::from_bits(u64::from_be_bytes(raw.try_into().ok()?)))
+        }
+        TAG_TIMESTAMP => {
+            let raw = bytes.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Value::Timestamp(i64::from_be_bytes(raw.try_into().ok()?))
+        }
+        TAG_STR => {
+            let len = decode_varint(bytes, pos)? as usize;
+            let raw = bytes.get(*pos..*pos + len)?;
+            *pos += len;
+            Value::Str(String::from_utf8(raw.to_vec()).ok()?)
+        }
+        TAG_BYTES => {
+            let len = decode_varint(bytes, pos)? as usize;
+            let raw = bytes.get(*pos..*pos + len)?;
+            *pos += len;
+            Value::Bytes(raw.to_vec())
+        }
+        TAG_REFERENCE => {
+            let len = decode_varint(bytes, pos)? as usize;
+            let raw = bytes.get(*pos..*pos + len)?;
+            *pos += len;
+            Value::Reference(DocumentName::decode(raw)?)
+        }
+        TAG_ARRAY => {
+            let len = decode_varint(bytes, pos)? as usize;
+            let mut items = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                items.push(decode_value(bytes, pos)?);
+            }
+            Value::Array(items)
+        }
+        TAG_MAP => {
+            let len = decode_varint(bytes, pos)? as usize;
+            let mut m = BTreeMap::new();
+            for _ in 0..len {
+                let klen = decode_varint(bytes, pos)? as usize;
+                let raw = bytes.get(*pos..*pos + klen)?;
+                *pos += klen;
+                let k = String::from_utf8(raw.to_vec()).ok()?;
+                let v = decode_value(bytes, pos)?;
+                m.insert(k, v);
+            }
+            Value::Map(m)
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn restaurant() -> Document {
+        // Figure 1 of the paper.
+        Document::new(
+            DocumentName::parse("/restaurants/one").unwrap(),
+            [
+                ("name", Value::from("One Fine Dine")),
+                ("city", Value::from("SF")),
+                ("type", Value::from("BBQ")),
+                ("avgRating", Value::from(4.5)),
+                ("numRatings", Value::from(100i64)),
+                (
+                    "tags",
+                    Value::Array(vec![Value::from("smoked"), Value::from("brisket")]),
+                ),
+                (
+                    "address",
+                    Value::map([
+                        ("street", Value::from("1 Main St")),
+                        ("zip", Value::from("94000")),
+                    ]),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut doc = restaurant();
+        doc.create_time = Timestamp::from_millis(5);
+        doc.update_time = Timestamp::from_millis(9);
+        let bytes = doc.encode();
+        let decoded = Document::decode(doc.name.clone(), &bytes).unwrap();
+        assert_eq!(doc, decoded);
+    }
+
+    #[test]
+    fn round_trips_every_value_type() {
+        let doc = Document::new(
+            DocumentName::parse("/t/all").unwrap(),
+            [
+                ("null", Value::Null),
+                ("bool", Value::Bool(true)),
+                ("int", Value::Int(-42)),
+                ("double", Value::Double(3.25)),
+                ("nan", Value::Double(f64::NAN)),
+                ("ts", Value::Timestamp(1_600_000_000_000_000)),
+                ("str", Value::from("héllo")),
+                ("bytes", Value::Bytes(vec![0, 1, 255])),
+                (
+                    "ref",
+                    Value::Reference(DocumentName::parse("/restaurants/one").unwrap()),
+                ),
+                (
+                    "arr",
+                    Value::Array(vec![Value::Int(1), Value::from("two"), Value::Null]),
+                ),
+                (
+                    "map",
+                    Value::map([("nested", Value::map([("deep", Value::Bool(false))]))]),
+                ),
+            ],
+        );
+        let bytes = doc.encode();
+        let decoded = Document::decode(doc.name.clone(), &bytes).unwrap();
+        // NaN != NaN, so compare piecewise.
+        for (k, v) in &doc.fields {
+            if k == "nan" {
+                assert!(matches!(decoded.fields["nan"], Value::Double(x) if x.is_nan()));
+            } else {
+                assert_eq!(&decoded.fields[k], v, "field {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let name = DocumentName::parse("/t/d").unwrap();
+        assert!(Document::decode(name.clone(), b"short").is_none());
+        let mut valid = restaurant().encode().to_vec();
+        valid.push(0xEE); // trailing garbage
+        assert!(Document::decode(name.clone(), &valid).is_none());
+        let mut truncated = restaurant().encode().to_vec();
+        truncated.truncate(truncated.len() - 3);
+        assert!(Document::decode(name, &truncated).is_none());
+    }
+
+    #[test]
+    fn field_path_lookup() {
+        let doc = restaurant();
+        assert_eq!(doc.get("city"), Some(&Value::from("SF")));
+        assert_eq!(doc.get("address.zip"), Some(&Value::from("94000")));
+        assert_eq!(doc.get("address.missing"), None);
+        assert_eq!(doc.get("city.not_a_map"), None);
+        assert_eq!(doc.get("absent"), None);
+    }
+
+    #[test]
+    fn nested_array_detection() {
+        let ok = Value::Array(vec![Value::map([(
+            "inner",
+            Value::Array(vec![Value::Int(1)]),
+        )])]);
+        // Array -> map -> array is legal in Firestore.
+        assert!(!ok.has_nested_array());
+        let bad = Value::Array(vec![Value::Array(vec![Value::Int(1)])]);
+        assert!(bad.has_nested_array());
+        assert!(!Value::Int(3).has_nested_array());
+    }
+
+    #[test]
+    fn size_accounting_scales() {
+        let small = restaurant();
+        let mut big = restaurant();
+        big.fields
+            .insert("blob".into(), Value::Str("x".repeat(100_000)));
+        assert!(big.approx_size() > small.approx_size() + 100_000 - 10);
+        assert!(small.approx_size() < MAX_DOCUMENT_SIZE);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for n in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            encode_varint(n, &mut buf);
+            let mut pos = 0;
+            assert_eq!(decode_varint(&buf, &mut pos), Some(n));
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

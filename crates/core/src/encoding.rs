@@ -1,0 +1,336 @@
+//! Order-preserving encoding of field values for `IndexEntries` keys.
+//!
+//! "The encoding of the n-tuple of values in *values* preserves the index's
+//! desired sort order" (§IV-D1), so that "a linear scan of a range of
+//! IndexEntries rows corresponds to a linear scan of a range of the logical
+//! Firestore index". Firestore also allows "sorting on any value including
+//! arrays and maps and sorting across fields with inconsistent types" — one
+//! reason its queries cannot be pushed down to Spanner.
+//!
+//! The total order implemented here (matching production Firestore):
+//!
+//! ```text
+//! null < bool(false < true) < numbers(NaN first, int and double together)
+//!      < timestamp < string < bytes < reference < array < map
+//! ```
+//!
+//! * Numbers are encoded as an order-preserving transform of their `f64`
+//!   value, so `Int(3)` and `Double(3.0)` encode identically and sort
+//!   numerically. Integers of magnitude above 2^53 round to the nearest
+//!   representable double in the *index* (the stored document keeps the
+//!   exact value) — a documented precision trade of this reproduction.
+//! * `-0.0` is normalized to `0.0`; `NaN` sorts before every other number.
+//! * Strings and bytes are escaped (`0x00 → 0x00 0xFF`) and terminated
+//!   (`0x00 0x01`), making every encoding prefix-free: no value's encoding
+//!   is a prefix of a different value's encoding, so tuple concatenation
+//!   preserves lexicographic tuple order.
+//! * A descending field is the bytewise complement of the ascending
+//!   encoding (order-reversing and still prefix-free).
+
+use crate::document::Value;
+
+/// Type tags, in sort order.
+const TAG_NULL: u8 = 0x10;
+const TAG_FALSE: u8 = 0x18;
+const TAG_TRUE: u8 = 0x19;
+const TAG_NAN: u8 = 0x20;
+const TAG_NUMBER: u8 = 0x21;
+const TAG_TIMESTAMP: u8 = 0x28;
+const TAG_STRING: u8 = 0x30;
+const TAG_BYTES: u8 = 0x38;
+const TAG_REFERENCE: u8 = 0x40;
+const TAG_ARRAY: u8 = 0x48;
+const TAG_MAP: u8 = 0x50;
+/// Terminates arrays and maps; sorts before every element tag, so shorter
+/// composites sort first (prefix order).
+const TAG_END: u8 = 0x00;
+
+/// Sort direction of an indexed field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::Asc => Direction::Desc,
+            Direction::Desc => Direction::Asc,
+        }
+    }
+}
+
+/// Order-preserving byte transform of an `f64`.
+fn sortable_f64(x: f64) -> [u8; 8] {
+    let x = if x == 0.0 { 0.0 } else { x }; // normalize -0.0
+    let bits = x.to_bits();
+    let flipped = if bits & 0x8000_0000_0000_0000 != 0 {
+        !bits // negative: complement everything
+    } else {
+        bits | 0x8000_0000_0000_0000 // positive: set sign bit
+    };
+    flipped.to_be_bytes()
+}
+
+fn encode_escaped(bytes: &[u8], out: &mut Vec<u8>) {
+    for &b in bytes {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.push(0x01);
+}
+
+/// Append the ascending order-preserving encoding of `v` to `out`.
+pub fn encode_value_asc(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(i) => encode_number(*i as f64, out),
+        Value::Double(x) => encode_number(*x, out),
+        Value::Timestamp(us) => {
+            out.push(TAG_TIMESTAMP);
+            // Biased so negative timestamps sort first.
+            out.extend_from_slice(&((*us as u64) ^ 0x8000_0000_0000_0000).to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STRING);
+            encode_escaped(s.as_bytes(), out);
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            encode_escaped(b, out);
+        }
+        Value::Reference(r) => {
+            out.push(TAG_REFERENCE);
+            encode_escaped(&r.encode(), out);
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            for i in items {
+                encode_value_asc(i, out);
+            }
+            out.push(TAG_END);
+        }
+        Value::Map(m) => {
+            out.push(TAG_MAP);
+            for (k, val) in m {
+                out.push(TAG_STRING);
+                encode_escaped(k.as_bytes(), out);
+                encode_value_asc(val, out);
+            }
+            out.push(TAG_END);
+        }
+    }
+}
+
+fn encode_number(x: f64, out: &mut Vec<u8>) {
+    if x.is_nan() {
+        out.push(TAG_NAN);
+    } else {
+        out.push(TAG_NUMBER);
+        out.extend_from_slice(&sortable_f64(x));
+    }
+}
+
+/// Append the encoding of `v` in the given direction.
+pub fn encode_value(v: &Value, dir: Direction, out: &mut Vec<u8>) {
+    match dir {
+        Direction::Asc => encode_value_asc(v, out),
+        Direction::Desc => {
+            let start = out.len();
+            encode_value_asc(v, out);
+            for b in &mut out[start..] {
+                *b = !*b;
+            }
+        }
+    }
+}
+
+/// The ascending encoding as a standalone vector.
+pub fn encoded(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_value_asc(v, &mut out);
+    out
+}
+
+/// The `(first_tag, last_tag)` of the *type region* `v` belongs to in the
+/// ascending encoding: every value of the same type encodes with a leading
+/// byte in `first_tag..=last_tag`, and no other type's encoding does.
+///
+/// Inequality predicates only match values of the same type (production
+/// Firestore semantics: `n > 2` never returns strings even though strings
+/// sort above numbers); the planner turns these tags into scan bounds.
+pub fn class_tags(v: &Value) -> (u8, u8) {
+    match v {
+        Value::Null => (TAG_NULL, TAG_NULL),
+        Value::Bool(_) => (TAG_FALSE, TAG_TRUE),
+        Value::Int(_) | Value::Double(_) => (TAG_NAN, TAG_NUMBER),
+        Value::Timestamp(_) => (TAG_TIMESTAMP, TAG_TIMESTAMP),
+        Value::Str(_) => (TAG_STRING, TAG_STRING),
+        Value::Bytes(_) => (TAG_BYTES, TAG_BYTES),
+        Value::Reference(_) => (TAG_REFERENCE, TAG_REFERENCE),
+        Value::Array(_) => (TAG_ARRAY, TAG_ARRAY),
+        Value::Map(_) => (TAG_MAP, TAG_MAP),
+    }
+}
+
+/// Whether two values belong to the same ordering type class.
+pub fn same_class(a: &Value, b: &Value) -> bool {
+    class_tags(a) == class_tags(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::DocumentName;
+    use std::cmp::Ordering;
+
+    fn enc(v: &Value) -> Vec<u8> {
+        encoded(v)
+    }
+
+    fn assert_order(a: &Value, b: &Value) {
+        assert_eq!(
+            enc(a).cmp(&enc(b)),
+            Ordering::Less,
+            "expected {a:?} < {b:?}\n  {:02x?}\n  {:02x?}",
+            enc(a),
+            enc(b)
+        );
+    }
+
+    #[test]
+    fn cross_type_order_matches_firestore() {
+        let reference = Value::Reference(DocumentName::parse("/a/b").unwrap());
+        let ordered = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Double(f64::NAN),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Int(-5),
+            Value::Double(-0.5),
+            Value::Int(0),
+            Value::Double(0.5),
+            Value::Int(1),
+            Value::Double(f64::INFINITY),
+            Value::Timestamp(-10),
+            Value::Timestamp(10),
+            Value::Str("".into()),
+            Value::Str("a".into()),
+            Value::Bytes(vec![]),
+            Value::Bytes(vec![0]),
+            reference,
+            Value::Array(vec![]),
+            Value::Array(vec![Value::Int(1)]),
+            Value::Map(Default::default()),
+            Value::map([("a", Value::Int(1))]),
+        ];
+        for w in ordered.windows(2) {
+            assert_order(&w[0], &w[1]);
+        }
+    }
+
+    #[test]
+    fn int_and_double_sort_together() {
+        assert_order(&Value::Int(2), &Value::Double(2.5));
+        assert_order(&Value::Double(2.5), &Value::Int(3));
+        assert_eq!(enc(&Value::Int(3)), enc(&Value::Double(3.0)));
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(enc(&Value::Double(-0.0)), enc(&Value::Double(0.0)));
+        assert_eq!(enc(&Value::Double(0.0)), enc(&Value::Int(0)));
+    }
+
+    #[test]
+    fn string_order_is_bytewise() {
+        let strs = ["", "a", "a\0b", "ab", "b", "ba"];
+        for w in strs.windows(2) {
+            assert_order(&Value::Str(w[0].into()), &Value::Str(w[1].into()));
+        }
+    }
+
+    #[test]
+    fn string_with_nul_is_prefix_free() {
+        // "a" must not be a byte-prefix of the encoding of "a\0x".
+        let a = enc(&Value::Str("a".into()));
+        let anul = enc(&Value::Str("a\0x".into()));
+        assert!(!anul.starts_with(&a));
+        assert_order(&Value::Str("a".into()), &Value::Str("a\0x".into()));
+    }
+
+    #[test]
+    fn array_prefix_order() {
+        let short = Value::Array(vec![Value::Int(1)]);
+        let long = Value::Array(vec![Value::Int(1), Value::Int(0)]);
+        let bigger = Value::Array(vec![Value::Int(2)]);
+        assert_order(&short, &long);
+        assert_order(&long, &bigger);
+    }
+
+    #[test]
+    fn map_order_by_sorted_keys_then_values() {
+        let a1 = Value::map([("a", Value::Int(1))]);
+        let a2 = Value::map([("a", Value::Int(2))]);
+        let b1 = Value::map([("b", Value::Int(1))]);
+        let a1b = Value::map([("a", Value::Int(1)), ("b", Value::Int(0))]);
+        assert_order(&a1, &a2);
+        assert_order(&a2, &b1);
+        assert_order(&a1, &a1b);
+    }
+
+    #[test]
+    fn descending_reverses_order() {
+        let pairs = [
+            (Value::Int(1), Value::Int(2)),
+            (Value::Str("a".into()), Value::Str("b".into())),
+            (Value::Null, Value::Bool(false)),
+        ];
+        for (a, b) in pairs {
+            let mut da = Vec::new();
+            let mut db = Vec::new();
+            encode_value(&a, Direction::Desc, &mut da);
+            encode_value(&b, Direction::Desc, &mut db);
+            assert_eq!(
+                da.cmp(&db),
+                Ordering::Greater,
+                "{a:?} desc should sort after {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encodings_are_deterministic() {
+        let v = Value::map([("x", Value::Array(vec![Value::Int(1), Value::from("s")]))]);
+        assert_eq!(enc(&v), enc(&v.clone()));
+    }
+
+    #[test]
+    fn timestamps_biased_ordering() {
+        let ts = [-1_000_000i64, -1, 0, 1, 1_000_000];
+        for w in ts.windows(2) {
+            assert_order(&Value::Timestamp(w[0]), &Value::Timestamp(w[1]));
+        }
+    }
+
+    #[test]
+    fn equal_values_encode_equal() {
+        assert_eq!(enc(&Value::from("x")), enc(&Value::from("x")));
+        assert_eq!(
+            enc(&Value::map([("k", Value::Int(1))])),
+            enc(&Value::map([("k", Value::Int(1))]))
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Firestore-level errors.
+
+use spanner::SpannerError;
+use std::fmt;
+
+/// Result alias.
+pub type FirestoreResult<T> = Result<T, FirestoreError>;
+
+/// Errors returned by the Firestore engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FirestoreError {
+    /// The document does not exist (e.g. update precondition).
+    NotFound(String),
+    /// The document already exists (create precondition).
+    AlreadyExists(String),
+    /// Security rules denied the request.
+    PermissionDenied(String),
+    /// A precondition (e.g. `update_time` freshness check) failed.
+    FailedPrecondition(String),
+    /// Malformed request (bad path, oversized document, invalid query...).
+    InvalidArgument(String),
+    /// No index set can serve the query; the message names the composite
+    /// index to create — mirroring the production error that "includes a
+    /// link for adding the required index" (§IV-D3).
+    MissingIndex {
+        /// Human-readable suggestion.
+        suggestion: String,
+    },
+    /// Transient conflict (lock contention, commit window); retry with
+    /// backoff, as the Server SDKs do automatically (§III-D).
+    Aborted(String),
+    /// A dependency was unavailable (e.g. the Real-time Cache Prepare
+    /// failed, §IV-D2: "the write fails and an error is returned").
+    Unavailable(String),
+    /// The write outcome is unknown (commit timed out).
+    Unknown(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl FirestoreError {
+    /// Whether the Server SDK retry-with-backoff logic should retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FirestoreError::Aborted(_) | FirestoreError::Unavailable(_)
+        )
+    }
+}
+
+impl fmt::Display for FirestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirestoreError::NotFound(m) => write!(f, "not found: {m}"),
+            FirestoreError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            FirestoreError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
+            FirestoreError::FailedPrecondition(m) => write!(f, "failed precondition: {m}"),
+            FirestoreError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            FirestoreError::MissingIndex { suggestion } => {
+                write!(f, "the query requires an index; create {suggestion}")
+            }
+            FirestoreError::Aborted(m) => write!(f, "aborted: {m}"),
+            FirestoreError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            FirestoreError::Unknown(m) => write!(f, "unknown outcome: {m}"),
+            FirestoreError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FirestoreError {}
+
+impl From<SpannerError> for FirestoreError {
+    fn from(e: SpannerError) -> Self {
+        match e {
+            SpannerError::LockConflict { .. } => FirestoreError::Aborted(e.to_string()),
+            SpannerError::CommitWindowExpired => FirestoreError::Aborted(e.to_string()),
+            SpannerError::UnknownOutcome => FirestoreError::Unknown(e.to_string()),
+            SpannerError::SnapshotTooOld => FirestoreError::FailedPrecondition(e.to_string()),
+            other => FirestoreError::Internal(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability() {
+        assert!(FirestoreError::Aborted("x".into()).is_retryable());
+        assert!(FirestoreError::Unavailable("x".into()).is_retryable());
+        assert!(!FirestoreError::NotFound("x".into()).is_retryable());
+        assert!(!FirestoreError::PermissionDenied("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn spanner_error_mapping() {
+        assert!(matches!(
+            FirestoreError::from(SpannerError::CommitWindowExpired),
+            FirestoreError::Aborted(_)
+        ));
+        assert!(matches!(
+            FirestoreError::from(SpannerError::UnknownOutcome),
+            FirestoreError::Unknown(_)
+        ));
+        assert!(matches!(
+            FirestoreError::from(SpannerError::NoSuchTable("t".into())),
+            FirestoreError::Internal(_)
+        ));
+    }
+}

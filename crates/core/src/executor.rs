@@ -1,0 +1,542 @@
+//! Query execution: index scans, zig-zag joins, document fetch.
+//!
+//! "Firestore's query engine executes all queries using either a linear
+//! scan over a range of a single secondary index in the Spanner
+//! IndexEntries table, or a join of several such secondary indexes, followed
+//! by lookup of the corresponding documents in the Entities table, with no
+//! in-memory sorting, filtering, etc." (§IV-D3)
+//!
+//! Every `IndexEntries` row's *value* is the encoded document name, so an
+//! entry key never needs to be parsed: the executor compares raw *suffix*
+//! bytes (the part of the key after the scan's equality prefix — sort-order
+//! values followed by the name) to zig-zag join multiple indexes in order.
+
+use crate::document::Document;
+use crate::error::{FirestoreError, FirestoreResult};
+use crate::path::DocumentName;
+use crate::planner::{Plan, ScanSpec};
+use crate::query::Query;
+use bytes::Bytes;
+use simkit::Timestamp;
+use spanner::{Key, KeyRange, ReadWriteTransaction, SpannerDatabase};
+
+/// The Entities table name.
+pub const ENTITIES: &str = "Entities";
+/// The IndexEntries table name.
+pub const INDEX_ENTRIES: &str = "IndexEntries";
+
+/// Work accounting for a query execution — the quantity the fair-share
+/// scheduler charges (§IV-C: "an individual RPC is not a uniform work
+/// unit ... one RPC can cost a million times another").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Index entries read from storage.
+    pub entries_scanned: usize,
+    /// Zig-zag seek operations.
+    pub seeks: usize,
+    /// Documents fetched from `Entities`.
+    pub docs_fetched: usize,
+    /// Total bytes of returned documents.
+    pub bytes_returned: usize,
+}
+
+/// How a query reads: lock-free at a timestamp, or inside a read-write
+/// transaction (acquiring read locks, §IV-D3).
+pub enum ReadAccess<'a> {
+    /// Lock-free consistent read at the given timestamp.
+    Snapshot(Timestamp),
+    /// Locking reads within a transaction.
+    Transaction(&'a mut ReadWriteTransaction),
+}
+
+/// The result of a query execution.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Matching documents, in query order.
+    pub documents: Vec<Document>,
+    /// Work accounting.
+    pub stats: QueryStats,
+    /// Set when the execution stopped early at a per-RPC work limit
+    /// (§IV-C: "Firestore APIs support returning partial results for a
+    /// query as well as resuming a partially-executed query"): re-issue the
+    /// query with `start_after(resume_after)` to continue.
+    pub resume_after: Option<DocumentName>,
+}
+
+fn scan_range(spec: &ScanSpec) -> KeyRange {
+    let prefix_key = Key::from(spec.prefix.clone());
+    let mut start = spec.prefix.clone();
+    let mut end: Option<Key> = prefix_key.prefix_end();
+    if let Some(lower) = &spec.lower {
+        let mut bounded = spec.prefix.clone();
+        bounded.extend_from_slice(&lower.value_bytes);
+        if lower.inclusive {
+            start = bounded;
+        } else {
+            // Skip every entry whose suffix starts with the bound value.
+            match Key::from(bounded).prefix_end() {
+                Some(k) => start = k.as_slice().to_vec(),
+                None => start = vec![0xFF; 64],
+            }
+        }
+    }
+    if let Some(upper) = &spec.upper {
+        let mut bounded = spec.prefix.clone();
+        bounded.extend_from_slice(&upper.value_bytes);
+        end = if upper.inclusive {
+            Key::from(bounded).prefix_end()
+        } else {
+            Some(Key::from(bounded))
+        };
+    }
+    KeyRange::new(Key::from(start), end)
+}
+
+/// One scanned posting: the suffix bytes (order values + name) and the
+/// document name carried in the row value.
+struct Posting {
+    suffix: Vec<u8>,
+    name_bytes: Bytes,
+}
+
+fn scan_postings(
+    db: &SpannerDatabase,
+    access: &mut ReadAccess<'_>,
+    spec: &ScanSpec,
+    reverse: bool,
+    cap: usize,
+    stats: &mut QueryStats,
+) -> FirestoreResult<Vec<Posting>> {
+    let range = scan_range(spec);
+    let rows = match access {
+        ReadAccess::Snapshot(ts) => {
+            if reverse {
+                db.snapshot_scan_rev(INDEX_ENTRIES, &range, *ts, cap)?
+            } else {
+                db.snapshot_scan(INDEX_ENTRIES, &range, *ts, cap)?
+            }
+        }
+        ReadAccess::Transaction(txn) => {
+            let mut rows = db.txn_scan(txn, INDEX_ENTRIES, &range, cap.min(1_000_000))?;
+            if reverse {
+                rows.reverse();
+            }
+            rows
+        }
+    };
+    stats.entries_scanned += rows.len();
+    Ok(rows
+        .into_iter()
+        .map(|(k, v)| Posting {
+            suffix: k.as_slice()[spec.prefix.len()..].to_vec(),
+            name_bytes: v,
+        })
+        .collect())
+}
+
+/// Zig-zag intersect postings lists by suffix. Lists are in scan order
+/// (already reversed when scanning descending); intersection preserves that
+/// order. `cmp` handles forward/backward comparison.
+fn zigzag_intersect(lists: Vec<Vec<Posting>>, reverse: bool, stats: &mut QueryStats) -> Vec<Bytes> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    if lists.len() == 1 {
+        return lists
+            .into_iter()
+            .next()
+            .unwrap()
+            .into_iter()
+            .map(|p| p.name_bytes)
+            .collect();
+    }
+    let fwd = |a: &[u8], b: &[u8]| if reverse { b.cmp(a) } else { a.cmp(b) };
+    let mut idx = vec![0usize; lists.len()];
+    let mut out = Vec::new();
+    'outer: loop {
+        // Find the maximum current suffix across lists.
+        let mut target: Option<&[u8]> = None;
+        for (li, list) in lists.iter().enumerate() {
+            let Some(p) = list.get(idx[li]) else {
+                break 'outer;
+            };
+            target = Some(match target {
+                None => &p.suffix,
+                Some(t) if fwd(&p.suffix, t).is_gt() => &p.suffix,
+                Some(t) => t,
+            });
+        }
+        let target = target.expect("non-empty lists").to_vec();
+        // Advance every list to the target (binary search = zig-zag seek).
+        let mut all_match = true;
+        for (li, list) in lists.iter().enumerate() {
+            let slice = &list[idx[li]..];
+            let pos = slice.partition_point(|p| fwd(&p.suffix, &target).is_lt());
+            if pos > 0 {
+                stats.seeks += 1;
+            }
+            idx[li] += pos;
+            match list.get(idx[li]) {
+                None => break 'outer,
+                Some(p) if p.suffix == target => {}
+                Some(_) => all_match = false,
+            }
+        }
+        if all_match {
+            out.push(lists[0][idx[0]].name_bytes.clone());
+            for i in idx.iter_mut() {
+                *i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn fetch_document(
+    db: &SpannerDatabase,
+    access: &mut ReadAccess<'_>,
+    dir_key: &Key,
+    name: &DocumentName,
+    stats: &mut QueryStats,
+) -> FirestoreResult<Option<Document>> {
+    let raw = match access {
+        ReadAccess::Snapshot(ts) => db.snapshot_read_versioned(ENTITIES, dir_key, *ts)?,
+        ReadAccess::Transaction(txn) => db.txn_read_versioned(txn, ENTITIES, dir_key)?,
+    };
+    stats.docs_fetched += 1;
+    match raw {
+        None => Ok(None),
+        Some((bytes, version_ts)) => {
+            crate::write::decode_from_storage(name.clone(), &bytes, version_ts)
+                .map(Some)
+                .ok_or_else(|| FirestoreError::Internal(format!("corrupt document {name}")))
+        }
+    }
+}
+
+/// Execute `plan` for `query` with no per-RPC work limit.
+pub fn execute(
+    db: &SpannerDatabase,
+    dir: spanner::database::DirectoryId,
+    plan: &Plan,
+    query: &Query,
+    access: ReadAccess<'_>,
+) -> FirestoreResult<QueryResult> {
+    execute_limited(db, dir, plan, query, access, usize::MAX)
+}
+
+/// Execute `plan` for `query`, returning at most `work_limit` documents —
+/// the per-RPC result cap that "protects the system against problematic
+/// workloads" (§IV-C). A truncated result carries `resume_after`.
+pub fn execute_limited(
+    db: &SpannerDatabase,
+    dir: spanner::database::DirectoryId,
+    plan: &Plan,
+    query: &Query,
+    mut access: ReadAccess<'_>,
+    work_limit: usize,
+) -> FirestoreResult<QueryResult> {
+    let mut stats = QueryStats::default();
+    let limit_cap = match (query.limit, &query.start_after) {
+        // With a limit and no cursor we can cap single-scan reads.
+        (Some(l), None) => query.offset.saturating_add(l),
+        _ => usize::MAX,
+    };
+
+    let name_keys: Vec<(Key, DocumentName, Option<Document>)> = match plan {
+        Plan::PrimaryScan { reverse } => {
+            let range = collection_range(dir, query);
+            let rows = match &mut access {
+                ReadAccess::Snapshot(ts) => {
+                    db.snapshot_scan_versioned(ENTITIES, &range, *ts, usize::MAX, *reverse)?
+                }
+                ReadAccess::Transaction(txn) => {
+                    let mut rows: Vec<(Key, bytes::Bytes, Timestamp)> = db
+                        .txn_scan(txn, ENTITIES, &range, usize::MAX)?
+                        .into_iter()
+                        .map(|(k, v)| (k, v, Timestamp::ZERO))
+                        .collect();
+                    // Transactional scans re-read versions per row for the
+                    // timestamp (the scan itself already holds the locks).
+                    for (k, _, ts) in rows.iter_mut() {
+                        if let Some((_, version_ts)) =
+                            db.txn_read_versioned(txn, ENTITIES, k)?
+                        {
+                            *ts = version_ts;
+                        }
+                    }
+                    if *reverse {
+                        rows.reverse();
+                    }
+                    rows
+                }
+            };
+            stats.entries_scanned += rows.len();
+            let want_segments = query.collection.segments().len() + 1;
+            let mut out = Vec::new();
+            for (k, bytes, version_ts) in rows {
+                let name_bytes = &k.as_slice()[4..]; // strip directory prefix
+                let Some(name) = DocumentName::decode(name_bytes) else {
+                    return Err(FirestoreError::Internal("corrupt entity key".into()));
+                };
+                // The collection's key range also covers sub-collection
+                // documents; keep only direct children.
+                if name.segments().len() != want_segments {
+                    continue;
+                }
+                stats.docs_fetched += 1;
+                let Some(doc) = crate::write::decode_from_storage(name.clone(), &bytes, version_ts)
+                else {
+                    return Err(FirestoreError::Internal(format!("corrupt document {name}")));
+                };
+                out.push((k.clone(), name, Some(doc)));
+            }
+            out
+        }
+        Plan::IndexScans { scans, reverse } => {
+            let single = scans.len() == 1;
+            let cap = if single { limit_cap } else { usize::MAX };
+            let mut lists = Vec::with_capacity(scans.len());
+            for s in scans {
+                lists.push(scan_postings(
+                    db,
+                    &mut access,
+                    s,
+                    *reverse,
+                    cap,
+                    &mut stats,
+                )?);
+            }
+            let names = zigzag_intersect(lists, *reverse, &mut stats);
+            let mut out = Vec::with_capacity(names.len());
+            for nb in names {
+                let Some(name) = DocumentName::decode(&nb) else {
+                    return Err(FirestoreError::Internal("corrupt index entry".into()));
+                };
+                out.push((dir.key(&nb), name, None));
+            }
+            out
+        }
+    };
+
+    // Cursor, offset, limit.
+    let mut iter: Box<dyn Iterator<Item = (Key, DocumentName, Option<Document>)>> =
+        Box::new(name_keys.into_iter());
+    if let Some(after) = &query.start_after {
+        let after = after.clone();
+        let mut seen = false;
+        iter = Box::new(iter.skip_while(move |(_, n, _)| {
+            if seen {
+                return false;
+            }
+            if *n == after {
+                seen = true;
+            }
+            true
+        }));
+    }
+    let iter = iter.skip(query.offset);
+    let mut limited: Vec<(Key, DocumentName, Option<Document>)> = match query.limit {
+        Some(l) => iter.take(l).collect(),
+        None => iter.collect(),
+    };
+    // Per-RPC work cap: truncate and report the resume point.
+    let mut resume_after = None;
+    if limited.len() > work_limit {
+        limited.truncate(work_limit);
+        resume_after = limited.last().map(|(_, n, _)| n.clone());
+    }
+
+    let mut documents = Vec::with_capacity(limited.len());
+    for (key, name, prefetched) in limited {
+        let doc = match prefetched {
+            Some(d) => Some(d),
+            None => fetch_document(db, &mut access, &key, &name, &mut stats)?,
+        };
+        // An entry without a document would indicate index corruption; the
+        // write path keeps them strongly consistent, so treat it as fatal.
+        let Some(mut doc) = doc else {
+            return Err(FirestoreError::Internal(format!(
+                "dangling index entry for {name}"
+            )));
+        };
+        if let Some(projection) = &query.projection {
+            doc.fields.retain(|k, _| projection.iter().any(|p| p == k));
+        }
+        stats.bytes_returned += doc.approx_size();
+        documents.push(doc);
+    }
+
+    Ok(QueryResult {
+        documents,
+        stats,
+        resume_after,
+    })
+}
+
+/// Count the documents matching `query` without fetching them (the COUNT
+/// aggregation of paper §VIII): index entries are scanned and intersected
+/// exactly like a normal execution, but the `Entities` lookups are skipped.
+/// Respects the query's offset/limit window.
+pub fn count(
+    db: &SpannerDatabase,
+    dir: spanner::database::DirectoryId,
+    plan: &Plan,
+    query: &Query,
+    ts: Timestamp,
+) -> FirestoreResult<(usize, QueryStats)> {
+    let mut stats = QueryStats::default();
+    let mut access = ReadAccess::Snapshot(ts);
+    let total = match plan {
+        Plan::PrimaryScan { .. } => {
+            let range = collection_range(dir, query);
+            let rows = db.snapshot_scan(ENTITIES, &range, ts, usize::MAX)?;
+            stats.entries_scanned += rows.len();
+            let want_segments = query.collection.segments().len() + 1;
+            rows.iter()
+                .filter(|(k, _)| {
+                    DocumentName::decode(&k.as_slice()[4..])
+                        .is_some_and(|n| n.segments().len() == want_segments)
+                })
+                .count()
+        }
+        Plan::IndexScans { scans, reverse } => {
+            let mut lists = Vec::with_capacity(scans.len());
+            for s in scans {
+                lists.push(scan_postings(
+                    db,
+                    &mut access,
+                    s,
+                    *reverse,
+                    usize::MAX,
+                    &mut stats,
+                )?);
+            }
+            zigzag_intersect(lists, *reverse, &mut stats).len()
+        }
+    };
+    let windowed = total
+        .saturating_sub(query.offset)
+        .min(query.limit.unwrap_or(usize::MAX));
+    Ok((windowed, stats))
+}
+
+/// The Entities-table key range of a query's collection.
+pub fn collection_range(dir: spanner::database::DirectoryId, query: &Query) -> KeyRange {
+    let prefix = dir.key(&query.collection.encode_prefix());
+    KeyRange::prefix(&prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_range_without_bounds_covers_prefix() {
+        let spec = ScanSpec {
+            index: crate::index::IndexId(3),
+            prefix: vec![1, 2, 3],
+            lower: None,
+            upper: None,
+        };
+        let r = scan_range(&spec);
+        assert!(r.contains(&Key::from(vec![1, 2, 3, 9, 9])));
+        assert!(!r.contains(&Key::from(vec![1, 2, 4])));
+    }
+
+    #[test]
+    fn scan_range_bounds() {
+        use crate::planner::SuffixBound;
+        let mk = |lower: Option<(u8, bool)>, upper: Option<(u8, bool)>| ScanSpec {
+            index: crate::index::IndexId(0),
+            prefix: vec![7],
+            lower: lower.map(|(b, inclusive)| SuffixBound {
+                value_bytes: vec![b],
+                inclusive,
+            }),
+            upper: upper.map(|(b, inclusive)| SuffixBound {
+                value_bytes: vec![b],
+                inclusive,
+            }),
+        };
+        // > 5 (exclusive lower): entries with value byte 5 excluded.
+        let r = scan_range(&mk(Some((5, false)), None));
+        assert!(!r.contains(&Key::from(vec![7, 5, 200])));
+        assert!(r.contains(&Key::from(vec![7, 6, 0])));
+        // >= 5: included.
+        let r = scan_range(&mk(Some((5, true)), None));
+        assert!(r.contains(&Key::from(vec![7, 5, 0])));
+        // < 9: value 9 excluded.
+        let r = scan_range(&mk(None, Some((9, false))));
+        assert!(r.contains(&Key::from(vec![7, 8, 255])));
+        assert!(!r.contains(&Key::from(vec![7, 9, 0])));
+        // <= 9: value 9 included, 10 excluded.
+        let r = scan_range(&mk(None, Some((9, true))));
+        assert!(r.contains(&Key::from(vec![7, 9, 77])));
+        assert!(!r.contains(&Key::from(vec![7, 10])));
+    }
+
+    #[test]
+    fn zigzag_intersects_sorted_lists() {
+        let mk = |suffixes: &[&[u8]]| {
+            suffixes
+                .iter()
+                .map(|s| Posting {
+                    suffix: s.to_vec(),
+                    name_bytes: Bytes::copy_from_slice(s),
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut stats = QueryStats::default();
+        let a = mk(&[b"a", b"c", b"e", b"g"]);
+        let b = mk(&[b"b", b"c", b"d", b"g", b"h"]);
+        let out = zigzag_intersect(vec![a, b], false, &mut stats);
+        let got: Vec<&[u8]> = out.iter().map(|b| b.as_ref()).collect();
+        assert_eq!(got, vec![b"c".as_ref(), b"g".as_ref()]);
+        assert!(stats.seeks > 0);
+    }
+
+    #[test]
+    fn zigzag_reverse_order() {
+        let mk = |suffixes: &[&[u8]]| {
+            suffixes
+                .iter()
+                .map(|s| Posting {
+                    suffix: s.to_vec(),
+                    name_bytes: Bytes::copy_from_slice(s),
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut stats = QueryStats::default();
+        // Reverse-scanned lists arrive in descending order.
+        let a = mk(&[b"g", b"e", b"c", b"a"]);
+        let b = mk(&[b"h", b"g", b"d", b"c"]);
+        let out = zigzag_intersect(vec![a, b], true, &mut stats);
+        let got: Vec<&[u8]> = out.iter().map(|b| b.as_ref()).collect();
+        assert_eq!(got, vec![b"g".as_ref(), b"c".as_ref()]);
+    }
+
+    #[test]
+    fn zigzag_single_list_passthrough() {
+        let mut stats = QueryStats::default();
+        let list = vec![Posting {
+            suffix: b"x".to_vec(),
+            name_bytes: Bytes::from_static(b"x"),
+        }];
+        let out = zigzag_intersect(vec![list], false, &mut stats);
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.seeks, 0);
+    }
+
+    #[test]
+    fn zigzag_empty_inputs() {
+        let mut stats = QueryStats::default();
+        assert!(zigzag_intersect(vec![], false, &mut stats).is_empty());
+        let empty: Vec<Posting> = vec![];
+        let nonempty = vec![Posting {
+            suffix: b"a".to_vec(),
+            name_bytes: Bytes::from_static(b"a"),
+        }];
+        assert!(zigzag_intersect(vec![empty, nonempty], false, &mut stats).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Firestore core: the paper's primary contribution.
+//!
+//! This crate implements the Firestore database engine described in
+//! *Firestore: The NoSQL Serverless Database for the Application Developer*
+//! (ICDE 2023) on top of the [`spanner`] substrate:
+//!
+//! * [`path`] — hierarchical document names (`/restaurants/one/ratings/2`)
+//!   and their order-preserving byte encoding into Spanner row keys.
+//! * [`document`] — the schemaless document model: typed field values up to
+//!   1 MiB per document, with a compact binary serialization standing in for
+//!   the protocol buffer encoding of §IV-D1.
+//! * [`encoding`] — order-preserving encoding of field values for the
+//!   `IndexEntries` table, covering the full value domain (null < bool <
+//!   number < timestamp < string < bytes < reference < array < map) with
+//!   int/double sorting together numerically.
+//! * [`index`] — automatic single-field indexes, user-defined composite
+//!   indexes, exemptions, and index-entry computation (arrays and maps are
+//!   flattened to one entry per element, §V-B2).
+//! * [`query`] — the restricted query language: predicates with a constant,
+//!   conjunctions, one inequality matching the first sort order, orders,
+//!   limits, offsets, projections (§III-C).
+//! * [`planner`] — greedy index-set selection (§IV-D3) producing either a
+//!   single index scan or a zig-zag join of several indexes; queries with no
+//!   serving index set fail with the index the user must create.
+//! * [`executor`] — index scans / zig-zag joins over `IndexEntries` followed
+//!   by document lookups in `Entities`, with no in-memory sort or filter.
+//! * [`write`] — the commit pipeline of §IV-D2: read+lock, security rules,
+//!   index-entry diffs, Prepare/Accept two-phase commit with the Real-time
+//!   Cache (via the [`observer::CommitObserver`] trait), and every failure
+//!   path the paper enumerates.
+//! * [`backfill`] — the background index build/removal service.
+//! * [`triggers`] — write triggers over the substrate's transactional
+//!   messaging (§III-F).
+//! * [`database`] — `FirestoreDatabase`, the assembled engine.
+
+pub mod backfill;
+pub mod database;
+pub mod document;
+pub mod encoding;
+pub mod error;
+pub mod executor;
+pub mod index;
+pub mod matching;
+pub mod observer;
+pub mod path;
+pub mod planner;
+pub mod query;
+pub mod triggers;
+pub mod write;
+
+pub use database::{Consistency, FirestoreDatabase};
+pub use document::{Document, Value};
+pub use encoding::Direction;
+pub use error::{FirestoreError, FirestoreResult};
+pub use index::{IndexCatalog, IndexDefinition, IndexId};
+pub use observer::{CommitObserver, CommitOutcome, DocumentChange, NullObserver};
+pub use path::{CollectionPath, DocumentName};
+pub use query::{FieldFilter, FilterOp, Query};
+pub use write::{Caller, Precondition, Write, WriteOp, WriteResult};

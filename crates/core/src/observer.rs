@@ -1,0 +1,139 @@
+//! The commit-observer interface between the write path and the Real-time
+//! Cache.
+//!
+//! Paper §IV-D2, steps 5 and 7: before committing, the Backend runs a
+//! two-phase commit with the Real-time Cache — one or more `Prepare` RPCs
+//! carrying a maximum commit timestamp `M` (each returning a minimum allowed
+//! timestamp `m`), then, after the Spanner commit, `Accept` RPCs carrying
+//! the outcome and, on success, "the name of each deleted document, a full
+//! copy of each inserted document, and a full copy of each modified
+//! document".
+//!
+//! The `realtime` crate implements this trait; [`NullObserver`] serves
+//! databases without any real-time listeners.
+
+use crate::document::Document;
+use crate::path::DocumentName;
+use simkit::Timestamp;
+
+/// One document's change in a committed write.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DocumentChange {
+    /// The document's name.
+    pub name: DocumentName,
+    /// Previous version (`None` for an insert).
+    pub old: Option<Document>,
+    /// New version (`None` for a delete).
+    pub new: Option<Document>,
+}
+
+impl DocumentChange {
+    /// Whether this change deletes the document.
+    pub fn is_delete(&self) -> bool {
+        self.new.is_none()
+    }
+
+    /// Whether this change creates the document.
+    pub fn is_insert(&self) -> bool {
+        self.old.is_none() && self.new.is_some()
+    }
+}
+
+/// The outcome reported by an `Accept`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Spanner committed at the given timestamp.
+    Committed(Timestamp),
+    /// Spanner definitively failed (contention, timestamp window).
+    Failed,
+    /// The outcome is unknown (timeout); the Real-time Cache must discard
+    /// its in-memory mutation sequence and mark the range out of sync.
+    Unknown,
+}
+
+/// A token correlating `prepare` with its `accept`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrepareToken(pub u64);
+
+/// Errors from `prepare`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrepareUnavailable;
+
+/// The Real-time Cache's side of the write two-phase commit.
+pub trait CommitObserver: Send + Sync {
+    /// Phase one: announce a pending write to `names` with maximum commit
+    /// timestamp `max_ts`. Returns the minimum allowed commit timestamp and
+    /// a token for the matching [`CommitObserver::accept`]. An error fails
+    /// the write (paper: "the Prepare RPC fails because the Real-time Cache
+    /// is unavailable ... the write fails").
+    fn prepare(
+        &self,
+        names: &[DocumentName],
+        max_ts: Timestamp,
+    ) -> Result<(PrepareToken, Timestamp), PrepareUnavailable>;
+
+    /// Phase two: report the outcome. On success `changes` carries the full
+    /// document copies.
+    fn accept(&self, token: PrepareToken, outcome: CommitOutcome, changes: Vec<DocumentChange>);
+}
+
+/// An observer for databases with no real-time listeners: allows any commit
+/// timestamp and ignores outcomes.
+#[derive(Debug, Default)]
+pub struct NullObserver;
+
+impl CommitObserver for NullObserver {
+    fn prepare(
+        &self,
+        _names: &[DocumentName],
+        _max_ts: Timestamp,
+    ) -> Result<(PrepareToken, Timestamp), PrepareUnavailable> {
+        Ok((PrepareToken(0), Timestamp::ZERO))
+    }
+
+    fn accept(&self, _token: PrepareToken, _outcome: CommitOutcome, _changes: Vec<DocumentChange>) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Value;
+
+    #[test]
+    fn change_classification() {
+        let name = DocumentName::parse("/c/d").unwrap();
+        let doc = Document::new(name.clone(), [("x", Value::Int(1))]);
+        let insert = DocumentChange {
+            name: name.clone(),
+            old: None,
+            new: Some(doc.clone()),
+        };
+        assert!(insert.is_insert() && !insert.is_delete());
+        let delete = DocumentChange {
+            name: name.clone(),
+            old: Some(doc.clone()),
+            new: None,
+        };
+        assert!(delete.is_delete() && !delete.is_insert());
+        let modify = DocumentChange {
+            name,
+            old: Some(doc.clone()),
+            new: Some(doc),
+        };
+        assert!(!modify.is_insert() && !modify.is_delete());
+    }
+
+    #[test]
+    fn null_observer_permits_everything() {
+        let o = NullObserver;
+        let (token, min) = o.prepare(&[], Timestamp::from_secs(1)).unwrap();
+        assert_eq!(min, Timestamp::ZERO);
+        o.accept(
+            token,
+            CommitOutcome::Committed(Timestamp::from_secs(1)),
+            vec![],
+        );
+        o.accept(token, CommitOutcome::Unknown, vec![]);
+    }
+}

@@ -1,0 +1,375 @@
+//! Hierarchical document names and collection paths.
+//!
+//! "Documents can be arranged in hierarchically-nested collections. The
+//! combination of the collection name and the identifying string forms the
+//! document's unique name (key)." (§III-A). Segments alternate collection id
+//! and document id: `/restaurants/one/ratings/2` is document `2` in
+//! sub-collection `ratings` of document `/restaurants/one`.
+//!
+//! Names encode to Spanner row keys order-preservingly: each segment is
+//! escaped (`0x00 → 0x00 0xFF`) and terminated (`0x00 0x01`), so sibling
+//! order matches byte order and every collection is a contiguous key range.
+
+use spanner::{Key, KeyRange};
+use std::fmt;
+
+/// Segment escape: 0x00 inside a segment becomes 0x00 0xFF.
+const ESCAPE: u8 = 0x00;
+const ESCAPED_NUL: u8 = 0xFF;
+/// Segment terminator: 0x00 0x01 — sorts before any escaped content byte,
+/// so a segment is always a strict prefix-free unit.
+const TERMINATOR: u8 = 0x01;
+
+fn encode_segment(seg: &str, out: &mut Vec<u8>) {
+    for &b in seg.as_bytes() {
+        if b == ESCAPE {
+            out.push(ESCAPE);
+            out.push(ESCAPED_NUL);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(ESCAPE);
+    out.push(TERMINATOR);
+}
+
+fn decode_segments(bytes: &[u8]) -> Option<Vec<String>> {
+    let mut segments = Vec::new();
+    let mut cur = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == ESCAPE {
+            if i + 1 >= bytes.len() {
+                return None;
+            }
+            match bytes[i + 1] {
+                ESCAPED_NUL => {
+                    cur.push(ESCAPE);
+                    i += 2;
+                }
+                TERMINATOR => {
+                    segments.push(String::from_utf8(std::mem::take(&mut cur)).ok()?);
+                    i += 2;
+                }
+                _ => return None,
+            }
+        } else {
+            cur.push(bytes[i]);
+            i += 1;
+        }
+    }
+    if !cur.is_empty() {
+        return None;
+    }
+    Some(segments)
+}
+
+/// Errors constructing paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// Empty path or empty segment.
+    Empty,
+    /// A document name needs an even number of segments.
+    NotADocument,
+    /// A collection path needs an odd number of segments.
+    NotACollection,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "empty path or segment"),
+            PathError::NotADocument => {
+                write!(f, "document names need an even number of segments")
+            }
+            PathError::NotACollection => {
+                write!(f, "collection paths need an odd number of segments")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A full document name, e.g. `/restaurants/one/ratings/2`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocumentName {
+    segments: Vec<String>,
+}
+
+impl DocumentName {
+    /// Parse from a `/`-separated string.
+    pub fn parse(path: &str) -> Result<Self, PathError> {
+        let segments: Vec<String> = path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        Self::from_segments(segments)
+    }
+
+    /// Construct from segments.
+    pub fn from_segments(segments: Vec<String>) -> Result<Self, PathError> {
+        if segments.is_empty() {
+            return Err(PathError::Empty);
+        }
+        if segments.iter().any(|s| s.is_empty()) {
+            return Err(PathError::Empty);
+        }
+        if !segments.len().is_multiple_of(2) {
+            return Err(PathError::NotADocument);
+        }
+        Ok(DocumentName { segments })
+    }
+
+    /// The path segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// The document id (final segment).
+    pub fn id(&self) -> &str {
+        self.segments.last().expect("non-empty")
+    }
+
+    /// The collection this document belongs to.
+    pub fn parent(&self) -> CollectionPath {
+        CollectionPath {
+            segments: self.segments[..self.segments.len() - 1].to_vec(),
+        }
+    }
+
+    /// The collection id (second-to-last segment).
+    pub fn collection_id(&self) -> &str {
+        &self.segments[self.segments.len() - 2]
+    }
+
+    /// A sub-collection of this document.
+    pub fn collection(&self, id: &str) -> CollectionPath {
+        let mut segments = self.segments.clone();
+        segments.push(id.to_string());
+        CollectionPath { segments }
+    }
+
+    /// Order-preserving byte encoding (no directory prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.segments.iter().map(|s| s.len() + 2).sum());
+        for s in &self.segments {
+            encode_segment(s, &mut out);
+        }
+        out
+    }
+
+    /// Encode into a Spanner key.
+    pub fn to_key(&self) -> Key {
+        Key::from(self.encode())
+    }
+
+    /// Decode from the byte encoding.
+    pub fn decode(bytes: &[u8]) -> Option<DocumentName> {
+        let segments = decode_segments(bytes)?;
+        DocumentName::from_segments(segments).ok()
+    }
+}
+
+impl fmt::Display for DocumentName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.segments {
+            write!(f, "/{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DocumentName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DocumentName({self})")
+    }
+}
+
+/// A collection path, e.g. `/restaurants` or `/restaurants/one/ratings`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CollectionPath {
+    segments: Vec<String>,
+}
+
+impl CollectionPath {
+    /// Parse from a `/`-separated string.
+    pub fn parse(path: &str) -> Result<Self, PathError> {
+        let segments: Vec<String> = path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if segments.is_empty() {
+            return Err(PathError::Empty);
+        }
+        if segments.iter().any(|s| s.is_empty()) {
+            return Err(PathError::Empty);
+        }
+        if segments.len() % 2 != 1 {
+            return Err(PathError::NotACollection);
+        }
+        Ok(CollectionPath { segments })
+    }
+
+    /// The path segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// The collection id (final segment).
+    pub fn id(&self) -> &str {
+        self.segments.last().expect("non-empty")
+    }
+
+    /// The name of a document in this collection.
+    pub fn doc(&self, id: &str) -> DocumentName {
+        let mut segments = self.segments.clone();
+        segments.push(id.to_string());
+        DocumentName { segments }
+    }
+
+    /// Byte encoding of this collection prefix (all documents in the
+    /// collection share it).
+    pub fn encode_prefix(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for s in &self.segments {
+            encode_segment(s, &mut out);
+        }
+        out
+    }
+
+    /// The contiguous key range of documents *directly in* this collection.
+    ///
+    /// Note this range also covers documents in sub-collections (their keys
+    /// extend a document key in this collection); callers filter by segment
+    /// count when that matters. For index scans this never arises because
+    /// index entries are per-(index, collection).
+    pub fn key_range(&self) -> KeyRange {
+        KeyRange::prefix(&Key::from(self.encode_prefix()))
+    }
+
+    /// Whether `doc` is directly inside this collection.
+    pub fn contains(&self, doc: &DocumentName) -> bool {
+        doc.segments.len() == self.segments.len() + 1
+            && doc.segments[..self.segments.len()] == self.segments[..]
+    }
+}
+
+impl fmt::Display for CollectionPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.segments {
+            write!(f, "/{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CollectionPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CollectionPath({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_document_names() {
+        let d = DocumentName::parse("/restaurants/one/ratings/2").unwrap();
+        assert_eq!(d.id(), "2");
+        assert_eq!(d.collection_id(), "ratings");
+        assert_eq!(d.parent().to_string(), "/restaurants/one/ratings");
+        assert_eq!(d.to_string(), "/restaurants/one/ratings/2");
+        assert_eq!(
+            DocumentName::parse("/a").unwrap_err(),
+            PathError::NotADocument
+        );
+        assert_eq!(DocumentName::parse("").unwrap_err(), PathError::Empty);
+    }
+
+    #[test]
+    fn parse_collection_paths() {
+        let c = CollectionPath::parse("/restaurants/one/ratings").unwrap();
+        assert_eq!(c.id(), "ratings");
+        assert_eq!(c.doc("2").to_string(), "/restaurants/one/ratings/2");
+        assert_eq!(
+            CollectionPath::parse("/a/b").unwrap_err(),
+            PathError::NotACollection
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for path in ["/a/b", "/restaurants/one/ratings/2", "/c/with spaces/d/αβγ"] {
+            let d = DocumentName::parse(path).unwrap();
+            let decoded = DocumentName::decode(&d.encode()).unwrap();
+            assert_eq!(d, decoded);
+        }
+    }
+
+    #[test]
+    fn encoding_handles_nul_bytes() {
+        let d = DocumentName::from_segments(vec!["a\0b".into(), "c".into()]).unwrap();
+        let decoded = DocumentName::decode(&d.encode()).unwrap();
+        assert_eq!(decoded.segments()[0], "a\0b");
+    }
+
+    #[test]
+    fn encoding_preserves_sibling_order() {
+        let c = CollectionPath::parse("/restaurants").unwrap();
+        let names = ["a", "ab", "b", "ba", "z"];
+        let mut encoded: Vec<Vec<u8>> = names.iter().map(|n| c.doc(n).encode()).collect();
+        let sorted = {
+            let mut s = encoded.clone();
+            s.sort();
+            s
+        };
+        encoded.sort();
+        assert_eq!(encoded, sorted);
+        // And encoded order equals name order.
+        for w in names.windows(2) {
+            assert!(c.doc(w[0]).encode() < c.doc(w[1]).encode());
+        }
+    }
+
+    #[test]
+    fn collection_range_contains_documents() {
+        let c = CollectionPath::parse("/restaurants").unwrap();
+        let r = c.key_range();
+        assert!(r.contains(&c.doc("one").to_key()));
+        assert!(r.contains(&c.doc("zzz").to_key()));
+        let other = CollectionPath::parse("/reviews").unwrap();
+        assert!(!r.contains(&other.doc("one").to_key()));
+    }
+
+    #[test]
+    fn prefix_freedom_no_segment_bleed() {
+        // "ab" in collection c must NOT sort inside the range of documents
+        // whose id starts with "a" + terminator tricks.
+        let c = CollectionPath::parse("/c").unwrap();
+        let a = c.doc("a");
+        let ab = c.doc("ab");
+        // /c/a's sub-collection range must not contain /c/ab.
+        let sub = a.collection("sub").key_range();
+        assert!(!sub.contains(&ab.to_key()));
+    }
+
+    #[test]
+    fn contains_is_direct_only() {
+        let c = CollectionPath::parse("/restaurants").unwrap();
+        assert!(c.contains(&DocumentName::parse("/restaurants/one").unwrap()));
+        assert!(!c.contains(&DocumentName::parse("/restaurants/one/ratings/2").unwrap()));
+        assert!(!c.contains(&DocumentName::parse("/reviews/one").unwrap()));
+    }
+
+    #[test]
+    fn subcollection_navigation() {
+        let d = DocumentName::parse("/restaurants/one").unwrap();
+        let sub = d.collection("ratings");
+        assert_eq!(sub.to_string(), "/restaurants/one/ratings");
+        assert!(sub.contains(&sub.doc("2")));
+    }
+}

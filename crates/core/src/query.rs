@@ -1,0 +1,353 @@
+//! The query model.
+//!
+//! "Both modes support the same query features: projections, predicate
+//! comparisons with a constant, conjunctions, orders, limits, offsets. A
+//! query can have at most one inequality predicate, which must match the
+//! first sort order. These restrictions allow Firestore's queries to be
+//! directly satisfied from its secondary indexes." (§III-C)
+
+use crate::document::Value;
+use crate::encoding::Direction;
+use crate::error::{FirestoreError, FirestoreResult};
+use crate::path::{CollectionPath, DocumentName};
+
+/// The comparison operators supported by predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterOp {
+    /// Equality with a constant.
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Array membership (`array-contains`).
+    ArrayContains,
+}
+
+impl FilterOp {
+    /// Whether this operator is an inequality (range) operator.
+    pub fn is_inequality(&self) -> bool {
+        matches!(
+            self,
+            FilterOp::Lt | FilterOp::Le | FilterOp::Gt | FilterOp::Ge
+        )
+    }
+}
+
+/// One predicate: `field op constant`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldFilter {
+    /// Dot-separated field path.
+    pub field: String,
+    /// Operator.
+    pub op: FilterOp,
+    /// The constant.
+    pub value: Value,
+}
+
+/// A query over a single collection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// The collection scanned.
+    pub collection: CollectionPath,
+    /// Conjunction of predicates.
+    pub filters: Vec<FieldFilter>,
+    /// Explicit sort orders.
+    pub order_by: Vec<(String, Direction)>,
+    /// Maximum results.
+    pub limit: Option<usize>,
+    /// Results skipped before returning.
+    pub offset: usize,
+    /// If set, only these fields are returned (projection).
+    pub projection: Option<Vec<String>>,
+    /// Resume cursor: return only documents after this name in result
+    /// order. Supports the paper's "resuming a partially-executed query"
+    /// (§IV-C); exact for name-ordered queries.
+    pub start_after: Option<DocumentName>,
+}
+
+impl Query {
+    /// A query returning every document of `collection`.
+    pub fn collection(collection: CollectionPath) -> Query {
+        Query {
+            collection,
+            filters: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+            offset: 0,
+            projection: None,
+            start_after: None,
+        }
+    }
+
+    /// Parse the collection path and build a query.
+    pub fn parse(path: &str) -> FirestoreResult<Query> {
+        CollectionPath::parse(path)
+            .map(Query::collection)
+            .map_err(|e| FirestoreError::InvalidArgument(e.to_string()))
+    }
+
+    /// Add a predicate.
+    pub fn filter(
+        mut self,
+        field: impl Into<String>,
+        op: FilterOp,
+        value: impl Into<Value>,
+    ) -> Query {
+        self.filters.push(FieldFilter {
+            field: field.into(),
+            op,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Add a sort order.
+    pub fn order_by(mut self, field: impl Into<String>, direction: Direction) -> Query {
+        self.order_by.push((field.into(), direction));
+        self
+    }
+
+    /// Limit the result count.
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Skip the first `n` results.
+    pub fn offset(mut self, n: usize) -> Query {
+        self.offset = n;
+        self
+    }
+
+    /// Project to the given fields.
+    pub fn select(mut self, fields: impl IntoIterator<Item = impl Into<String>>) -> Query {
+        self.projection = Some(fields.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Resume after the given document.
+    pub fn start_after(mut self, name: DocumentName) -> Query {
+        self.start_after = Some(name);
+        self
+    }
+
+    /// The same query with limit/offset/cursor removed. Real-time query
+    /// views are seeded with the *unwindowed* result set so a document
+    /// leaving a limited window can be backfilled from below without a
+    /// requery (the Frontend over-fetches, the view applies the window).
+    pub fn without_window(&self) -> Query {
+        Query {
+            limit: None,
+            offset: 0,
+            start_after: None,
+            ..self.clone()
+        }
+    }
+
+    /// The equality-like filters (Eq and ArrayContains).
+    pub fn equality_filters(&self) -> Vec<&FieldFilter> {
+        self.filters
+            .iter()
+            .filter(|f| !f.op.is_inequality())
+            .collect()
+    }
+
+    /// The inequality filters (all must be on one field).
+    pub fn inequality_filters(&self) -> Vec<&FieldFilter> {
+        self.filters
+            .iter()
+            .filter(|f| f.op.is_inequality())
+            .collect()
+    }
+
+    /// Validate the query's structural restrictions and return the
+    /// *effective* sort orders: the explicit orders, preceded by the
+    /// inequality field if not explicitly first, and always followed by the
+    /// document name as the final tiebreak.
+    ///
+    /// Errors mirror production Firestore's validation.
+    pub fn validate(&self) -> FirestoreResult<Vec<(String, Direction)>> {
+        let inequalities = self.inequality_filters();
+        let ineq_field: Option<&str> = match inequalities.as_slice() {
+            [] => None,
+            fs => {
+                let field = fs[0].field.as_str();
+                if fs.iter().any(|f| f.field != field) {
+                    return Err(FirestoreError::InvalidArgument(
+                        "a query can have at most one inequality field".into(),
+                    ));
+                }
+                Some(field)
+            }
+        };
+        // Multiple array-contains are disallowed (one index entry list per
+        // query), matching production.
+        if self
+            .filters
+            .iter()
+            .filter(|f| f.op == FilterOp::ArrayContains)
+            .count()
+            > 1
+        {
+            return Err(FirestoreError::InvalidArgument(
+                "at most one array-contains filter is allowed".into(),
+            ));
+        }
+        let mut orders = self.order_by.clone();
+        if let Some(field) = ineq_field {
+            match orders.first() {
+                None => orders.insert(0, (field.to_string(), Direction::Asc)),
+                Some((first, _)) if first == field => {}
+                Some((first, _)) => {
+                    return Err(FirestoreError::InvalidArgument(format!(
+                        "inequality on `{field}` must match the first sort order (got `{first}`)"
+                    )));
+                }
+            }
+        }
+        // An equality on an order-by field makes the order redundant but is
+        // legal; duplicate order fields are not.
+        let mut seen = std::collections::HashSet::new();
+        for (f, _) in &orders {
+            if !seen.insert(f.clone()) {
+                return Err(FirestoreError::InvalidArgument(format!(
+                    "duplicate order-by field `{f}`"
+                )));
+            }
+        }
+        // Final implicit tiebreak: document name, in the direction of the
+        // last explicit order (ascending when none).
+        let name_dir = orders.last().map(|(_, d)| *d).unwrap_or(Direction::Asc);
+        orders.push(("__name__".to_string(), name_dir));
+        Ok(orders)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Query {
+        Query::parse("/restaurants").unwrap()
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let q = base()
+            .filter("city", FilterOp::Eq, "SF")
+            .filter("numRatings", FilterOp::Gt, 2i64)
+            .order_by("numRatings", Direction::Asc)
+            .limit(10)
+            .offset(5)
+            .select(["city"]);
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, 5);
+        assert_eq!(q.projection.as_deref(), Some(&["city".to_string()][..]));
+    }
+
+    #[test]
+    fn validate_simple_query() {
+        let orders = base()
+            .filter("city", FilterOp::Eq, "SF")
+            .validate()
+            .unwrap();
+        assert_eq!(orders, vec![("__name__".to_string(), Direction::Asc)]);
+    }
+
+    #[test]
+    fn inequality_implies_leading_order() {
+        let orders = base()
+            .filter("numRatings", FilterOp::Gt, 2i64)
+            .validate()
+            .unwrap();
+        assert_eq!(orders[0], ("numRatings".to_string(), Direction::Asc));
+        assert_eq!(orders[1].0, "__name__");
+    }
+
+    #[test]
+    fn two_inequality_fields_rejected() {
+        let err = base()
+            .filter("a", FilterOp::Gt, 1i64)
+            .filter("b", FilterOp::Lt, 2i64)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn range_on_one_field_allowed() {
+        // a > 1 AND a <= 5 is a single-field range: fine.
+        let orders = base()
+            .filter("a", FilterOp::Gt, 1i64)
+            .filter("a", FilterOp::Le, 5i64)
+            .validate()
+            .unwrap();
+        assert_eq!(orders[0].0, "a");
+    }
+
+    #[test]
+    fn inequality_must_match_first_order() {
+        let err = base()
+            .filter("numRatings", FilterOp::Gt, 2i64)
+            .order_by("avgRating", Direction::Desc)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::InvalidArgument(_)));
+        // Matching first order is fine (the paper's example query).
+        let ok = base()
+            .filter("numRatings", FilterOp::Gt, 2i64)
+            .order_by("numRatings", Direction::Desc)
+            .order_by("avgRating", Direction::Desc)
+            .validate()
+            .unwrap();
+        assert_eq!(ok[0], ("numRatings".to_string(), Direction::Desc));
+    }
+
+    #[test]
+    fn name_tiebreak_follows_last_order_direction() {
+        let orders = base()
+            .order_by("avgRating", Direction::Desc)
+            .validate()
+            .unwrap();
+        assert_eq!(
+            orders.last().unwrap(),
+            &("__name__".to_string(), Direction::Desc)
+        );
+    }
+
+    #[test]
+    fn duplicate_order_fields_rejected() {
+        let err = base()
+            .order_by("a", Direction::Asc)
+            .order_by("a", Direction::Desc)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn multiple_array_contains_rejected() {
+        let err = base()
+            .filter("tags", FilterOp::ArrayContains, "a")
+            .filter("tags", FilterOp::ArrayContains, "b")
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn filter_classification() {
+        let q = base()
+            .filter("city", FilterOp::Eq, "SF")
+            .filter("n", FilterOp::Ge, 1i64)
+            .filter("tags", FilterOp::ArrayContains, "bbq");
+        assert_eq!(q.equality_filters().len(), 2);
+        assert_eq!(q.inequality_filters().len(), 1);
+    }
+}

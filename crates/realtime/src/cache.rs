@@ -1,0 +1,869 @@
+//! The Real-time Cache state machine: Changelog + Query Matcher task pairs
+//! and Frontend sessions (paper §IV-D4, Fig 5).
+//!
+//! The request/response flow mirrors the paper:
+//!
+//! 1. a client opens a [`Connection`] (the long-lived Frontend connection),
+//! 2. the caller runs the query on the Backend and registers it via
+//!    [`Connection::listen`] with the initial snapshot and its timestamp
+//!    (the query's *max-commit-version*),
+//! 3. the connection subscribes to every Changelog/Matcher task pair whose
+//!    document-name ranges cover the query's result set,
+//! 4. the write path's Prepare/Accept two-phase commit feeds committed
+//!    mutations (in timestamp order) and heartbeats into the tasks,
+//! 5. the Frontend session emits a new incremental snapshot for a query
+//!    only when every subscribed range has reached a common timestamp, and
+//!    all queries on a connection advance together.
+
+use crate::range::RangeMap;
+use crate::view::QueryView;
+pub use crate::view::{ChangeKind, DocChangeEvent};
+use firestore_core::executor::collection_range;
+use firestore_core::observer::{
+    CommitObserver, CommitOutcome, DocumentChange, PrepareToken, PrepareUnavailable,
+};
+use firestore_core::{Document, Query};
+use parking_lot::Mutex;
+use simkit::{Duration, Timestamp, TrueTime};
+use spanner::database::DirectoryId;
+use spanner::{Key, KeyRange};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A client connection id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ConnectionId(pub u64);
+
+/// A registered real-time query id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// An event delivered to a client connection.
+#[derive(Clone, Debug)]
+pub enum ListenEvent {
+    /// A consistent incremental snapshot: the deltas from the previous
+    /// snapshot, at timestamp `at`.
+    Snapshot {
+        /// The query this snapshot belongs to.
+        query: QueryId,
+        /// The consistent timestamp.
+        at: Timestamp,
+        /// Visible deltas (non-empty except for the initial snapshot).
+        changes: Vec<DocChangeEvent>,
+        /// Whether this is the initial snapshot after `listen`.
+        is_initial: bool,
+    },
+    /// The query's range went out of sync (unknown write outcome, task
+    /// restart); the client must re-run the query and listen again.
+    Reset {
+        /// The invalidated query.
+        query: QueryId,
+    },
+}
+
+/// Configuration of the cache.
+#[derive(Clone, Debug)]
+pub struct RealtimeOptions {
+    /// Number of paired Changelog/Query Matcher tasks.
+    pub tasks: usize,
+    /// Extra wait beyond a Prepare's max timestamp before the Changelog
+    /// gives up on its Accept and marks the range out-of-sync ("the maximum
+    /// timestamp (plus a small margin) sets how long the Changelog will
+    /// wait", §IV-D4).
+    pub accept_margin: Duration,
+}
+
+impl Default for RealtimeOptions {
+    fn default() -> Self {
+        RealtimeOptions {
+            tasks: 4,
+            accept_margin: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Aggregate statistics (observability + benchmark instrumentation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RealtimeStats {
+    /// Prepare RPCs processed.
+    pub prepares: u64,
+    /// Accept RPCs processed.
+    pub accepts: u64,
+    /// Document-change events delivered to clients.
+    pub notifications: u64,
+    /// Snapshot events emitted.
+    pub snapshots: u64,
+    /// Query resets due to out-of-sync ranges.
+    pub resets: u64,
+    /// Currently registered real-time queries.
+    pub active_queries: usize,
+}
+
+struct Pending {
+    token: u64,
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    keys: Vec<Key>,
+}
+
+#[derive(Default)]
+struct TaskState {
+    pending: Vec<Pending>,
+    watermark: Timestamp,
+    /// Subscriptions routed to this task.
+    subscribers: Vec<(ConnectionId, QueryId)>,
+}
+
+struct QueryState {
+    range: KeyRange,
+    sources: Vec<usize>,
+    source_watermarks: HashMap<usize, Timestamp>,
+    /// Updates at or below this timestamp are already reflected.
+    resume: Timestamp,
+    view: QueryView,
+    /// Committed-but-not-yet-consistent updates, by commit timestamp.
+    buffered: BTreeMap<Timestamp, Vec<DocumentChange>>,
+}
+
+#[derive(Default)]
+struct ConnState {
+    queries: HashMap<QueryId, QueryState>,
+    out: VecDeque<ListenEvent>,
+}
+
+struct RtState {
+    ranges: RangeMap,
+    tasks: Vec<TaskState>,
+    conns: HashMap<ConnectionId, ConnState>,
+    next_conn: u64,
+    next_query: u64,
+    next_token: u64,
+    stats: RealtimeStats,
+}
+
+/// The Real-time Cache. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct RealtimeCache {
+    truetime: TrueTime,
+    opts: RealtimeOptions,
+    state: Arc<Mutex<RtState>>,
+}
+
+impl RealtimeCache {
+    /// Create a cache with the given TrueTime source and options.
+    pub fn new(truetime: TrueTime, opts: RealtimeOptions) -> RealtimeCache {
+        let ranges = if opts.tasks <= 1 {
+            RangeMap::single()
+        } else {
+            RangeMap::uniform(opts.tasks)
+        };
+        let tasks = (0..ranges.tasks()).map(|_| TaskState::default()).collect();
+        RealtimeCache {
+            truetime,
+            opts,
+            state: Arc::new(Mutex::new(RtState {
+                ranges,
+                tasks,
+                conns: HashMap::new(),
+                next_conn: 1,
+                next_query: 1,
+                next_token: 1,
+                stats: RealtimeStats::default(),
+            })),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> RealtimeStats {
+        let st = self.state.lock();
+        let mut s = st.stats;
+        s.active_queries = st.conns.values().map(|c| c.queries.len()).sum();
+        s
+    }
+
+    /// Open a client connection (to a Frontend task).
+    pub fn connect(&self) -> Connection {
+        let mut st = self.state.lock();
+        let id = ConnectionId(st.next_conn);
+        st.next_conn += 1;
+        st.conns.insert(id, ConnState::default());
+        Connection {
+            cache: self.clone(),
+            id,
+        }
+    }
+
+    /// A per-database [`CommitObserver`] adapter for the write path.
+    pub fn observer_for(&self, dir: DirectoryId) -> Arc<DatabaseObserver> {
+        Arc::new(DatabaseObserver {
+            cache: self.clone(),
+            dir,
+        })
+    }
+
+    /// Periodic maintenance: expire timed-out Prepares (→ out-of-sync
+    /// resets) and emit heartbeats so idle ranges advance ("Changelog tasks
+    /// generate a heartbeat every few milliseconds for every idle key
+    /// range", §IV-D4). Call this on a timer (the serving layer does).
+    pub fn tick(&self) {
+        let now = self.truetime.clock().now();
+        let mut st = self.state.lock();
+        // Expire pending prepares past max + margin: unknown outcome.
+        let mut expired: Vec<(usize, Vec<Key>)> = Vec::new();
+        for (ti, task) in st.tasks.iter_mut().enumerate() {
+            let margin = self.opts.accept_margin;
+            let mut expired_keys = Vec::new();
+            task.pending.retain(|p| {
+                if p.max_ts.saturating_add(margin) < now {
+                    expired_keys.extend(p.keys.iter().cloned());
+                    false
+                } else {
+                    true
+                }
+            });
+            if !expired_keys.is_empty() {
+                expired.push((ti, expired_keys));
+            }
+        }
+        for (_, keys) in expired {
+            Self::reset_matching(&mut st, &keys);
+        }
+        self.advance_all(&mut st);
+    }
+
+    // --- write-path protocol -------------------------------------------------
+
+    fn prepare(
+        &self,
+        dir: DirectoryId,
+        names: &[firestore_core::DocumentName],
+        max_ts: Timestamp,
+    ) -> Result<(PrepareToken, Timestamp), PrepareUnavailable> {
+        let mut st = self.state.lock();
+        st.stats.prepares += 1;
+        let token = st.next_token;
+        st.next_token += 1;
+        let keys: Vec<Key> = names.iter().map(|n| dir.key(&n.encode())).collect();
+        let mut by_task: HashMap<usize, Vec<Key>> = HashMap::new();
+        for k in keys {
+            by_task.entry(st.ranges.owner(&k)).or_default().push(k);
+        }
+        let mut overall_min = Timestamp::ZERO;
+        for (ti, task_keys) in by_task {
+            let task = &mut st.tasks[ti];
+            let min_ts = task.watermark + Duration::from_nanos(1);
+            overall_min = overall_min.max(min_ts);
+            task.pending.push(Pending {
+                token,
+                min_ts,
+                max_ts,
+                keys: task_keys,
+            });
+        }
+        Ok((PrepareToken(token), overall_min))
+    }
+
+    fn accept(
+        &self,
+        dir: DirectoryId,
+        token: PrepareToken,
+        outcome: CommitOutcome,
+        changes: Vec<DocumentChange>,
+    ) {
+        let mut st = self.state.lock();
+        st.stats.accepts += 1;
+        // Collect this token's pending keys and drop the entries.
+        let mut pending_keys: Vec<Key> = Vec::new();
+        for task in st.tasks.iter_mut() {
+            task.pending.retain(|p| {
+                if p.token == token.0 {
+                    pending_keys.extend(p.keys.iter().cloned());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        match outcome {
+            CommitOutcome::Committed(ts) => {
+                // Route each change to the subscriptions of the task owning
+                // its key (the Changelog → Query Matcher forward).
+                self.route_changes(&mut st, dir, ts, &changes);
+            }
+            CommitOutcome::Failed => {
+                // Dropped; nothing was committed.
+            }
+            CommitOutcome::Unknown => {
+                // "the system cannot guarantee ordering of the updates for
+                // that name range": reset every query matching the range.
+                Self::reset_matching(&mut st, &pending_keys);
+            }
+        }
+        self.advance_all(&mut st);
+    }
+
+    fn route_changes(
+        &self,
+        st: &mut RtState,
+        dir: DirectoryId,
+        ts: Timestamp,
+        changes: &[DocumentChange],
+    ) {
+        for change in changes {
+            // The change's true key: the writing database's directory plus
+            // the encoded name. Subscriptions of other directories can
+            // never contain it — tenant isolation at the matcher.
+            let key = dir.key(&change.name.encode());
+            let owner = st.ranges.owner(&key);
+            // The Changelog task owning the document's key forwards the
+            // update to the Query Matcher, which matches it against the
+            // queries registered for that key range.
+            let mut targets: Vec<(ConnectionId, QueryId)> = Vec::new();
+            let task = &st.tasks[owner];
+            {
+                for &(conn, qid) in &task.subscribers {
+                    let Some(conn_state) = st.conns.get(&conn) else {
+                        continue;
+                    };
+                    let Some(qs) = conn_state.queries.get(&qid) else {
+                        continue;
+                    };
+                    if qs.range.contains(&key) && ts > qs.resume && !targets.contains(&(conn, qid))
+                    {
+                        targets.push((conn, qid));
+                    }
+                }
+            }
+            for (conn, qid) in targets {
+                if let Some(conn_state) = st.conns.get_mut(&conn) {
+                    if let Some(qs) = conn_state.queries.get_mut(&qid) {
+                        qs.buffered.entry(ts).or_default().push(change.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset_matching(st: &mut RtState, keys: &[Key]) {
+        let mut to_reset: Vec<(ConnectionId, QueryId)> = Vec::new();
+        for (conn_id, conn) in st.conns.iter() {
+            for (qid, qs) in conn.queries.iter() {
+                if keys.iter().any(|k| qs.range.contains(k)) {
+                    to_reset.push((*conn_id, *qid));
+                }
+            }
+        }
+        for (conn_id, qid) in to_reset {
+            if let Some(conn) = st.conns.get_mut(&conn_id) {
+                conn.queries.remove(&qid);
+                conn.out.push_back(ListenEvent::Reset { query: qid });
+                st.stats.resets += 1;
+            }
+        }
+        for task in st.tasks.iter_mut() {
+            task.subscribers.retain(|(c, q)| {
+                st.conns
+                    .get(c)
+                    .is_some_and(|conn| conn.queries.contains_key(q))
+            });
+        }
+    }
+
+    /// Recompute task watermarks, propagate them to subscriptions, and pump
+    /// every connection.
+    fn advance_all(&self, st: &mut RtState) {
+        let safe_now = self.truetime.strong_read_timestamp();
+        for ti in 0..st.tasks.len() {
+            let task = &mut st.tasks[ti];
+            let w = task
+                .pending
+                .iter()
+                .map(|p| Timestamp(p.min_ts.0.saturating_sub(1)))
+                .min()
+                .unwrap_or(safe_now)
+                .max(task.watermark);
+            task.watermark = w;
+            let subs = task.subscribers.clone();
+            for (conn, qid) in subs {
+                if let Some(conn_state) = st.conns.get_mut(&conn) {
+                    if let Some(qs) = conn_state.queries.get_mut(&qid) {
+                        let entry = qs.source_watermarks.entry(ti).or_insert(Timestamp::ZERO);
+                        *entry = (*entry).max(w);
+                    }
+                }
+            }
+        }
+        let conn_ids: Vec<ConnectionId> = st.conns.keys().copied().collect();
+        for conn in conn_ids {
+            Self::pump(st, conn);
+        }
+    }
+
+    /// Apply buffered updates up to the connection's consistent timestamp
+    /// and emit snapshots ("queries on the same connection are only updated
+    /// to a timestamp t once all queries' max-commit-version has reached at
+    /// least t", §IV-D4).
+    fn pump(st: &mut RtState, conn_id: ConnectionId) {
+        let Some(conn) = st.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.queries.is_empty() {
+            return;
+        }
+        let conn_watermark = conn
+            .queries
+            .values()
+            .map(|qs| {
+                qs.sources
+                    .iter()
+                    .map(|s| {
+                        qs.source_watermarks
+                            .get(s)
+                            .copied()
+                            .unwrap_or(Timestamp::ZERO)
+                    })
+                    .min()
+                    .unwrap_or(Timestamp::ZERO)
+            })
+            .min()
+            .expect("non-empty");
+        let mut emitted = Vec::new();
+        for (qid, qs) in conn.queries.iter_mut() {
+            if conn_watermark <= qs.resume {
+                continue;
+            }
+            let ready: Vec<Timestamp> = qs
+                .buffered
+                .range(..=conn_watermark)
+                .map(|(t, _)| *t)
+                .collect();
+            let mut batch: Vec<DocumentChange> = Vec::new();
+            for t in ready {
+                if let Some(changes) = qs.buffered.remove(&t) {
+                    batch.extend(changes);
+                }
+            }
+            qs.resume = conn_watermark;
+            if batch.is_empty() {
+                continue;
+            }
+            let deltas = qs.view.apply(&batch);
+            if !deltas.is_empty() {
+                emitted.push(ListenEvent::Snapshot {
+                    query: *qid,
+                    at: conn_watermark,
+                    changes: deltas,
+                    is_initial: false,
+                });
+            }
+        }
+        for e in &emitted {
+            if let ListenEvent::Snapshot { changes, .. } = e {
+                st.stats.notifications += changes.len() as u64;
+                st.stats.snapshots += 1;
+            }
+        }
+        conn.out.extend(emitted);
+    }
+}
+
+/// A client's long-lived connection to a Frontend task.
+#[derive(Clone)]
+pub struct Connection {
+    cache: RealtimeCache,
+    id: ConnectionId,
+}
+
+impl Connection {
+    /// This connection's id.
+    pub fn id(&self) -> ConnectionId {
+        self.id
+    }
+
+    /// Register a real-time query. `initial` is the snapshot the Backend
+    /// returned **for the unwindowed query** (`query.without_window()`) and
+    /// `snapshot_ts` its timestamp (the max-commit-version); the view
+    /// applies the query's own limit/offset so that window eviction can
+    /// backfill without a requery. The initial snapshot event is queued
+    /// immediately.
+    pub fn listen(
+        &self,
+        dir: DirectoryId,
+        query: Query,
+        initial: Vec<Document>,
+        snapshot_ts: Timestamp,
+    ) -> QueryId {
+        let mut st = self.cache.state.lock();
+        let qid = QueryId(st.next_query);
+        st.next_query += 1;
+        let range = collection_range(dir, &query);
+        let sources = st.ranges.owners_of_range(&range);
+        for &s in &sources {
+            st.tasks[s].subscribers.push((self.id, qid));
+        }
+        let mut source_watermarks = HashMap::new();
+        for &s in &sources {
+            source_watermarks.insert(s, snapshot_ts);
+        }
+        let view = QueryView::new(query, initial);
+        let initial_events = view.initial_events();
+        let conn = st.conns.get_mut(&self.id).expect("connection registered");
+        conn.out.push_back(ListenEvent::Snapshot {
+            query: qid,
+            at: snapshot_ts,
+            changes: initial_events,
+            is_initial: true,
+        });
+        conn.queries.insert(
+            qid,
+            QueryState {
+                range,
+                sources,
+                source_watermarks,
+                resume: snapshot_ts,
+                view,
+                buffered: BTreeMap::new(),
+            },
+        );
+        st.stats.snapshots += 1;
+        qid
+    }
+
+    /// Stop a real-time query.
+    pub fn unlisten(&self, qid: QueryId) {
+        let mut st = self.cache.state.lock();
+        if let Some(conn) = st.conns.get_mut(&self.id) {
+            conn.queries.remove(&qid);
+        }
+        let conn_id = self.id;
+        for task in st.tasks.iter_mut() {
+            task.subscribers
+                .retain(|(c, q)| !(c == &conn_id && q == &qid));
+        }
+    }
+
+    /// Drain queued events.
+    pub fn poll(&self) -> Vec<ListenEvent> {
+        let mut st = self.cache.state.lock();
+        match st.conns.get_mut(&self.id) {
+            Some(conn) => conn.out.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Close the connection, dropping all its queries.
+    pub fn close(&self) {
+        let mut st = self.cache.state.lock();
+        st.conns.remove(&self.id);
+        let conn_id = self.id;
+        for task in st.tasks.iter_mut() {
+            task.subscribers.retain(|(c, _)| c != &conn_id);
+        }
+    }
+}
+
+/// The per-database adapter plugged into
+/// [`firestore_core::FirestoreDatabase::set_observer`].
+pub struct DatabaseObserver {
+    cache: RealtimeCache,
+    dir: DirectoryId,
+}
+
+impl CommitObserver for DatabaseObserver {
+    fn prepare(
+        &self,
+        names: &[firestore_core::DocumentName],
+        max_ts: Timestamp,
+    ) -> Result<(PrepareToken, Timestamp), PrepareUnavailable> {
+        self.cache.prepare(self.dir, names, max_ts)
+    }
+
+    fn accept(&self, token: PrepareToken, outcome: CommitOutcome, changes: Vec<DocumentChange>) {
+        self.cache.accept(self.dir, token, outcome, changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firestore_core::database::doc;
+    use firestore_core::{Caller, Consistency, FirestoreDatabase, Value, Write};
+    use simkit::SimClock;
+    use spanner::SpannerDatabase;
+
+    fn setup() -> (FirestoreDatabase, RealtimeCache) {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let spanner = SpannerDatabase::new(clock);
+        let db = FirestoreDatabase::create_default(spanner.clone());
+        let cache = RealtimeCache::new(spanner.truetime().clone(), RealtimeOptions::default());
+        db.set_observer(cache.observer_for(db.directory()));
+        (db, cache)
+    }
+
+    fn put(db: &FirestoreDatabase, path: &str, rating: i64) {
+        db.commit_writes(
+            vec![Write::set(
+                doc(path),
+                [("rating", Value::Int(rating)), ("city", Value::from("SF"))],
+            )],
+            &Caller::Service,
+        )
+        .unwrap();
+    }
+
+    fn listen_all(
+        db: &FirestoreDatabase,
+        cache: &RealtimeCache,
+        conn: &Connection,
+        query: Query,
+    ) -> QueryId {
+        let ts = db.strong_read_ts();
+        let initial = db
+            .run_query(
+                &query.without_window(),
+                Consistency::AtTimestamp(ts),
+                &Caller::Service,
+            )
+            .unwrap();
+        let qid = conn.listen(db.directory(), query, initial.documents, ts);
+        let _ = cache; // shared state
+        qid
+    }
+
+    #[test]
+    fn initial_snapshot_then_incremental_updates() {
+        let (db, cache) = setup();
+        put(&db, "/restaurants/a", 3);
+        let conn = cache.connect();
+        let q = Query::parse("/restaurants").unwrap();
+        let qid = listen_all(&db, &cache, &conn, q);
+
+        let events = conn.poll();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            ListenEvent::Snapshot {
+                query,
+                changes,
+                is_initial,
+                ..
+            } => {
+                assert_eq!(*query, qid);
+                assert!(*is_initial);
+                assert_eq!(changes.len(), 1);
+                assert_eq!(changes[0].kind, ChangeKind::Added);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A write produces an incremental snapshot.
+        put(&db, "/restaurants/b", 5);
+        cache.tick();
+        let events = conn.poll();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            ListenEvent::Snapshot {
+                changes,
+                is_initial,
+                ..
+            } => {
+                assert!(!*is_initial);
+                assert_eq!(changes.len(), 1);
+                assert_eq!(changes[0].kind, ChangeKind::Added);
+                assert_eq!(changes[0].doc.name.id(), "b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn updates_and_deletes_stream() {
+        let (db, cache) = setup();
+        put(&db, "/restaurants/a", 3);
+        let conn = cache.connect();
+        let qid = listen_all(&db, &cache, &conn, Query::parse("/restaurants").unwrap());
+        conn.poll();
+
+        put(&db, "/restaurants/a", 4);
+        cache.tick();
+        let events = conn.poll();
+        assert!(matches!(
+            &events[0],
+            ListenEvent::Snapshot { changes, .. }
+                if changes.len() == 1 && changes[0].kind == ChangeKind::Modified
+        ));
+
+        db.commit_writes(vec![Write::delete(doc("/restaurants/a"))], &Caller::Service)
+            .unwrap();
+        cache.tick();
+        let events = conn.poll();
+        assert!(matches!(
+            &events[0],
+            ListenEvent::Snapshot { changes, .. }
+                if changes.len() == 1 && changes[0].kind == ChangeKind::Removed
+        ));
+        conn.unlisten(qid);
+        assert_eq!(cache.stats().active_queries, 0);
+    }
+
+    #[test]
+    fn snapshot_timestamps_are_consistent_and_increasing() {
+        let (db, cache) = setup();
+        let conn = cache.connect();
+        listen_all(&db, &cache, &conn, Query::parse("/restaurants").unwrap());
+        conn.poll();
+        let mut last = Timestamp::ZERO;
+        for i in 0..5 {
+            put(&db, &format!("/restaurants/r{i}"), i);
+            cache.tick();
+            for e in conn.poll() {
+                if let ListenEvent::Snapshot { at, .. } = e {
+                    assert!(at > last);
+                    last = at;
+                }
+            }
+        }
+        assert!(last > Timestamp::ZERO);
+    }
+
+    #[test]
+    fn filtered_query_only_gets_matching_updates() {
+        let (db, cache) = setup();
+        let conn = cache.connect();
+        let q = Query::parse("/restaurants").unwrap().filter(
+            "rating",
+            firestore_core::FilterOp::Eq,
+            5i64,
+        );
+        listen_all(&db, &cache, &conn, q);
+        conn.poll();
+        put(&db, "/restaurants/low", 1);
+        cache.tick();
+        assert!(
+            conn.poll().is_empty(),
+            "non-matching write produces no snapshot"
+        );
+        put(&db, "/restaurants/hi", 5);
+        cache.tick();
+        let events = conn.poll();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn multiple_connections_fan_out() {
+        let (db, cache) = setup();
+        let conns: Vec<Connection> = (0..10).map(|_| cache.connect()).collect();
+        for c in &conns {
+            listen_all(&db, &cache, c, Query::parse("/restaurants").unwrap());
+            c.poll();
+        }
+        put(&db, "/restaurants/x", 7);
+        cache.tick();
+        for c in &conns {
+            let events = c.poll();
+            assert_eq!(events.len(), 1, "every listener hears the write");
+        }
+        assert_eq!(cache.stats().notifications, 10);
+    }
+
+    #[test]
+    fn unknown_outcome_resets_matching_queries() {
+        let (db, cache) = setup();
+        put(&db, "/restaurants/a", 1);
+        let conn = cache.connect();
+        let qid = listen_all(&db, &cache, &conn, Query::parse("/restaurants").unwrap());
+        // A query on an unrelated collection must survive.
+        let other = listen_all(&db, &cache, &conn, Query::parse("/users").unwrap());
+        conn.poll();
+
+        db.spanner()
+            .inject_commit_failure(spanner::SpannerError::UnknownOutcome);
+        let err = db
+            .commit_writes(
+                vec![Write::set(
+                    doc("/restaurants/b"),
+                    [("rating", Value::Int(1))],
+                )],
+                &Caller::Service,
+            )
+            .unwrap_err();
+        assert!(matches!(err, firestore_core::FirestoreError::Unknown(_)));
+        cache.tick();
+        let events = conn.poll();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], ListenEvent::Reset { query } if query == qid));
+        assert_eq!(cache.stats().resets, 1);
+        // The unrelated query is still live.
+        let st = cache.stats();
+        assert_eq!(st.active_queries, 1);
+        let _ = other;
+    }
+
+    #[test]
+    fn failed_commit_produces_no_snapshot() {
+        let (db, cache) = setup();
+        let conn = cache.connect();
+        listen_all(&db, &cache, &conn, Query::parse("/restaurants").unwrap());
+        conn.poll();
+        db.spanner()
+            .inject_commit_failure(spanner::SpannerError::CommitWindowExpired);
+        let _ = db.commit_writes(
+            vec![Write::set(
+                doc("/restaurants/x"),
+                [("rating", Value::Int(1))],
+            )],
+            &Caller::Service,
+        );
+        cache.tick();
+        assert!(conn.poll().is_empty());
+        // And nothing was reset: failure is a clean outcome.
+        assert_eq!(cache.stats().resets, 0);
+    }
+
+    #[test]
+    fn connection_close_removes_subscriptions() {
+        let (db, cache) = setup();
+        let conn = cache.connect();
+        listen_all(&db, &cache, &conn, Query::parse("/restaurants").unwrap());
+        conn.close();
+        assert_eq!(cache.stats().active_queries, 0);
+        put(&db, "/restaurants/x", 1);
+        cache.tick();
+        assert!(conn.poll().is_empty());
+    }
+
+    #[test]
+    fn limit_query_streams_window_changes() {
+        let (db, cache) = setup();
+        for i in 0..3 {
+            put(&db, &format!("/restaurants/r{i}"), i);
+        }
+        let conn = cache.connect();
+        let q = Query::parse("/restaurants")
+            .unwrap()
+            .order_by("rating", firestore_core::Direction::Desc)
+            .limit(2);
+        listen_all(&db, &cache, &conn, q);
+        let initial = conn.poll();
+        match &initial[0] {
+            ListenEvent::Snapshot { changes, .. } => assert_eq!(changes.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Delete the top doc: window backfills from below.
+        db.commit_writes(
+            vec![Write::delete(doc("/restaurants/r2"))],
+            &Caller::Service,
+        )
+        .unwrap();
+        cache.tick();
+        let events = conn.poll();
+        match &events[0] {
+            ListenEvent::Snapshot { changes, .. } => {
+                let kinds: Vec<ChangeKind> = changes.iter().map(|c| c.kind).collect();
+                assert!(kinds.contains(&ChangeKind::Removed));
+                assert!(kinds.contains(&ChangeKind::Added));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

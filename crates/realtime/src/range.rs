@@ -1,0 +1,172 @@
+//! Document-name range ownership.
+//!
+//! "A separate mechanism establishes and shares consistent ownership of
+//! document-name ranges to specific Changelog and Query Matcher tasks"
+//! (§IV-D4); production uses the Slicer auto-sharding framework, and
+//! "load-balancing is achieved by dynamically changing the document-name
+//! range ownership".
+//!
+//! A [`RangeMap`] partitions the full key space (directory-prefixed
+//! document names) into contiguous ranges, each owned by one task index.
+//! Boundaries can be split and reassigned at runtime.
+
+use spanner::{Key, KeyRange};
+
+/// A partition of the key space into task-owned ranges.
+#[derive(Clone, Debug)]
+pub struct RangeMap {
+    /// `(start_key, owner)` entries sorted by start; the first starts at
+    /// the empty key.
+    boundaries: Vec<(Key, usize)>,
+    tasks: usize,
+}
+
+impl RangeMap {
+    /// A single task owning everything.
+    pub fn single() -> RangeMap {
+        RangeMap {
+            boundaries: vec![(Key::empty(), 0)],
+            tasks: 1,
+        }
+    }
+
+    /// Split the 32-bit directory-prefix space uniformly across `tasks`
+    /// tasks. With many databases this spreads load; a single database's
+    /// directory lands in one task until further splits.
+    pub fn uniform(tasks: usize) -> RangeMap {
+        assert!(tasks > 0);
+        let mut boundaries = Vec::with_capacity(tasks);
+        for i in 0..tasks {
+            let start = if i == 0 {
+                Key::empty()
+            } else {
+                let v = ((i as u64) << 32) / tasks as u64;
+                Key::from((v as u32).to_be_bytes().to_vec())
+            };
+            boundaries.push((start, i));
+        }
+        RangeMap { boundaries, tasks }
+    }
+
+    /// Number of distinct tasks.
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Number of ranges (≥ tasks after splits).
+    pub fn ranges(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// The task owning `key`.
+    pub fn owner(&self, key: &Key) -> usize {
+        match self
+            .boundaries
+            .binary_search_by(|(start, _)| start.cmp(key))
+        {
+            Ok(i) => self.boundaries[i].1,
+            Err(0) => self.boundaries[0].1,
+            Err(i) => self.boundaries[i - 1].1,
+        }
+    }
+
+    /// All tasks owning parts of `range`.
+    pub fn owners_of_range(&self, range: &KeyRange) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, (start, owner)) in self.boundaries.iter().enumerate() {
+            let end = self.boundaries.get(i + 1).map(|(s, _)| s.clone());
+            let piece = KeyRange::new(start.clone(), end);
+            if piece.intersects(range) && !out.contains(owner) {
+                out.push(*owner);
+            }
+        }
+        out
+    }
+
+    /// The key range(s) owned by `task`.
+    pub fn ranges_of(&self, task: usize) -> Vec<KeyRange> {
+        let mut out = Vec::new();
+        for (i, (start, owner)) in self.boundaries.iter().enumerate() {
+            if *owner != task {
+                continue;
+            }
+            let end = self.boundaries.get(i + 1).map(|(s, _)| s.clone());
+            out.push(KeyRange::new(start.clone(), end));
+        }
+        out
+    }
+
+    /// Split the range containing `at` so that keys from `at` onward belong
+    /// to `new_owner` (load-balancing move). No-op if `at` is already a
+    /// boundary start owned by `new_owner`.
+    pub fn split_at(&mut self, at: Key, new_owner: usize) {
+        self.tasks = self.tasks.max(new_owner + 1);
+        match self
+            .boundaries
+            .binary_search_by(|(start, _)| start.cmp(&at))
+        {
+            Ok(i) => self.boundaries[i].1 = new_owner,
+            Err(i) => self.boundaries.insert(i, (at, new_owner)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_owns_all() {
+        let m = RangeMap::single();
+        assert_eq!(m.owner(&Key::from("anything")), 0);
+        assert_eq!(m.owners_of_range(&KeyRange::all()), vec![0]);
+    }
+
+    #[test]
+    fn uniform_partitions_cover_space() {
+        let m = RangeMap::uniform(4);
+        assert_eq!(m.tasks(), 4);
+        // Directory prefixes land in different tasks.
+        let k = |d: u32| Key::from(d.to_be_bytes().to_vec());
+        let owners: Vec<usize> = [0u32, 0x4000_0000, 0x8000_0000, 0xC000_0000]
+            .iter()
+            .map(|d| m.owner(&k(*d)))
+            .collect();
+        assert_eq!(owners, vec![0, 1, 2, 3]);
+        // Every key has an owner.
+        assert!(m.owner(&Key::empty()) == 0);
+        assert!(m.owner(&Key::from(vec![0xFF; 8])) == 3);
+    }
+
+    #[test]
+    fn owners_of_range_spanning() {
+        let m = RangeMap::uniform(4);
+        let all = m.owners_of_range(&KeyRange::all());
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        let narrow = KeyRange::prefix(&Key::from(1u32.to_be_bytes().to_vec()));
+        assert_eq!(m.owners_of_range(&narrow), vec![0]);
+    }
+
+    #[test]
+    fn split_moves_ownership() {
+        let mut m = RangeMap::single();
+        m.split_at(Key::from("m"), 1);
+        assert_eq!(m.owner(&Key::from("a")), 0);
+        assert_eq!(m.owner(&Key::from("m")), 1);
+        assert_eq!(m.owner(&Key::from("z")), 1);
+        assert_eq!(m.ranges(), 2);
+        assert_eq!(m.tasks(), 2);
+        // ranges_of reports the pieces.
+        assert_eq!(m.ranges_of(0).len(), 1);
+        assert_eq!(m.ranges_of(1).len(), 1);
+    }
+
+    #[test]
+    fn split_at_existing_boundary_reassigns() {
+        let mut m = RangeMap::single();
+        m.split_at(Key::from("m"), 1);
+        m.split_at(Key::from("m"), 2);
+        assert_eq!(m.owner(&Key::from("z")), 2);
+        assert_eq!(m.ranges(), 2);
+    }
+}

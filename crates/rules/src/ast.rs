@@ -1,0 +1,207 @@
+//! Abstract syntax tree of the rules language.
+
+use crate::value::RuleValue;
+
+/// A parsed ruleset: the top-level `match` blocks (the optional
+/// `service cloud.firestore { ... }` wrapper is unwrapped by the parser).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Ruleset {
+    /// Top-level match blocks.
+    pub roots: Vec<MatchBlock>,
+}
+
+/// A `match <pattern> { ... }` block. Nested patterns are relative to the
+/// parent block's pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatchBlock {
+    /// The path pattern, one entry per `/`-separated segment.
+    pub pattern: Vec<Segment>,
+    /// `allow` statements that apply when this block's full pattern matches
+    /// the entire request path.
+    pub allows: Vec<Allow>,
+    /// Nested match blocks, matched against the remaining path.
+    pub children: Vec<MatchBlock>,
+}
+
+/// One segment of a match pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Segment {
+    /// A literal segment, e.g. `restaurants`.
+    Literal(String),
+    /// A single-segment wildcard `{name}` binding the segment to `name`.
+    Single(String),
+    /// A recursive wildcard `{name=**}` matching one or more remaining
+    /// segments, bound as a `/`-joined string.
+    Recursive(String),
+}
+
+/// An `allow <methods>: if <condition>;` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Allow {
+    /// The methods granted.
+    pub methods: Vec<MethodSpec>,
+    /// Grant condition; `allow read;` without a condition parses as `true`.
+    pub condition: Expr,
+}
+
+/// A method *specifier* as written in rules: includes the `read`/`write`
+/// groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MethodSpec {
+    /// `read` = `get` + `list`.
+    Read,
+    /// `write` = `create` + `update` + `delete`.
+    Write,
+    /// Single-document read.
+    Get,
+    /// Query.
+    List,
+    /// New document.
+    Create,
+    /// Existing-document update.
+    Update,
+    /// Delete.
+    Delete,
+}
+
+/// A concrete operation being authorized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Single-document read.
+    Get,
+    /// Query over a collection.
+    List,
+    /// New document creation.
+    Create,
+    /// Existing-document update.
+    Update,
+    /// Document deletion.
+    Delete,
+}
+
+impl Method {
+    /// The method name exposed as `request.method` in conditions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Get => "get",
+            Method::List => "list",
+            Method::Create => "create",
+            Method::Update => "update",
+            Method::Delete => "delete",
+        }
+    }
+}
+
+impl MethodSpec {
+    /// Whether this specifier covers the concrete `method`.
+    pub fn covers(&self, method: Method) -> bool {
+        match self {
+            MethodSpec::Read => matches!(method, Method::Get | Method::List),
+            MethodSpec::Write => {
+                matches!(method, Method::Create | Method::Update | Method::Delete)
+            }
+            MethodSpec::Get => method == Method::Get,
+            MethodSpec::List => method == Method::List,
+            MethodSpec::Create => method == Method::Create,
+            MethodSpec::Update => method == Method::Update,
+            MethodSpec::Delete => method == Method::Delete,
+        }
+    }
+}
+
+/// Binary operators, in ascending precedence groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `||` (short-circuit)
+    Or,
+    /// `&&` (short-circuit)
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in` (list / map-key membership)
+    In,
+    /// `+` (numbers add; strings concatenate)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `%`
+    Mod,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `!`
+    Not,
+    /// `-`
+    Neg,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(RuleValue),
+    /// A bare identifier: a wildcard binding, `request`, or `resource`.
+    Var(String),
+    /// `expr.field`
+    Member(Box<Expr>, String),
+    /// `expr[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `!expr` / `-expr`
+    Unary(UnaryOp, Box<Expr>),
+    /// `lhs op rhs`
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `callee(args)`: a global function (`get`, `exists`) when the callee
+    /// is a [`Expr::Var`], or a method (`x.size()`) when it is a member.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `[a, b, c]`
+    List(Vec<Expr>),
+    /// A path literal `/users/$(request.auth.uid)` used with `get`/`exists`.
+    Path(Vec<PathPart>),
+}
+
+/// One part of a path literal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PathPart {
+    /// A literal segment.
+    Literal(String),
+    /// A `$(expr)` interpolation; must evaluate to a string or int.
+    Interp(Expr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_spec_groups() {
+        assert!(MethodSpec::Read.covers(Method::Get));
+        assert!(MethodSpec::Read.covers(Method::List));
+        assert!(!MethodSpec::Read.covers(Method::Create));
+        assert!(MethodSpec::Write.covers(Method::Create));
+        assert!(MethodSpec::Write.covers(Method::Update));
+        assert!(MethodSpec::Write.covers(Method::Delete));
+        assert!(!MethodSpec::Write.covers(Method::Get));
+        assert!(MethodSpec::Update.covers(Method::Update));
+        assert!(!MethodSpec::Update.covers(Method::Delete));
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(Method::Create.name(), "create");
+        assert_eq!(Method::List.name(), "list");
+    }
+}

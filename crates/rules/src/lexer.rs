@@ -1,0 +1,624 @@
+//! Tokenizer for the rules language.
+
+use std::fmt;
+
+/// A token with its source position (byte offset) for error reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source where the token starts.
+    pub offset: usize,
+}
+
+/// The kinds of tokens in the rules language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`match`, `allow`, `if`, ...). Keywords are
+    /// distinguished by the parser so they can still appear as field names.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Quoted string literal (single or double quotes).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `/`
+    Slash,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `%`
+    Percent,
+    /// `$`
+    Dollar,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "int {i}"),
+            TokenKind::Float(x) => write!(f, "float {x}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            other => {
+                let s = match other {
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Slash => "/",
+                    TokenKind::Colon => ":",
+                    TokenKind::Semi => ";",
+                    TokenKind::Comma => ",",
+                    TokenKind::Dot => ".",
+                    TokenKind::Assign => "=",
+                    TokenKind::Eq => "==",
+                    TokenKind::Ne => "!=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::AndAnd => "&&",
+                    TokenKind::OrOr => "||",
+                    TokenKind::Bang => "!",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::StarStar => "**",
+                    TokenKind::Percent => "%",
+                    TokenKind::Dollar => "$",
+                    TokenKind::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset of the error.
+    pub offset: usize,
+}
+
+/// Tokenize `source` into a vector ending with [`TokenKind::Eof`].
+///
+/// Supports `//` line comments and `/* */` block comments. Note `//` only
+/// counts as a comment when the second `/` directly follows the first —
+/// paths like `/a/b` never contain `//`.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'/' => {
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'{' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'}' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'[' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b':' => {
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'$' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dollar,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'*' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    tokens.push(Token {
+                        kind: TokenKind::StarStar,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Star,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Eq,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    tokens.push(Token {
+                        kind: TokenKind::AndAnd,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `&&`".into(),
+                        offset: i,
+                    });
+                }
+            }
+            b'|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    tokens.push(Token {
+                        kind: TokenKind::OrOr,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `||`".into(),
+                        offset: i,
+                    });
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    match bytes[i] {
+                        // Only ASCII escapes are recognized; a backslash
+                        // before a multibyte character passes through
+                        // literally (advancing by whole characters keeps
+                        // `i` on a UTF-8 boundary).
+                        b'\\' if i + 1 < bytes.len() && bytes[i + 1].is_ascii() => {
+                            let esc = bytes[i + 1];
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'\'' => '\'',
+                                b'"' => '"',
+                                other => other as char,
+                            });
+                            i += 2;
+                        }
+                        b if b == quote => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {
+                            // Multibyte UTF-8 passes through untouched;
+                            // advance by the actual character so `i` stays
+                            // on a boundary even for truncated input.
+                            let ch = source[i..].chars().next().expect("i is on a char boundary");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &source[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("invalid float literal {text}"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        message: format!("invalid int literal {text}"),
+                        offset: start,
+                    })?)
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(source[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{}`", other as char),
+                    offset: i,
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: source.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("match /a/{b} { allow read: if true; }"),
+            vec![
+                TokenKind::Ident("match".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::LBrace,
+                TokenKind::Ident("b".into()),
+                TokenKind::RBrace,
+                TokenKind::LBrace,
+                TokenKind::Ident("allow".into()),
+                TokenKind::Ident("read".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("if".into()),
+                TokenKind::Ident("true".into()),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a == b != c <= d >= e < f > g && h || !i"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("c".into()),
+                TokenKind::Le,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("g".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("h".into()),
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Ident("i".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds(r#"42 3.25 "hi" 'there'"#),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Str("hi".into()),
+                TokenKind::Str("there".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\nc""#),
+            vec![TokenKind::Str("a\"b\nc".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n/* block\nmore */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn slash_in_path_is_not_comment() {
+        assert_eq!(
+            kinds("/a /b"),
+            vec![
+                TokenKind::Slash,
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn recursive_wildcard_token() {
+        assert_eq!(
+            kinds("{doc=**}"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::Ident("doc".into()),
+                TokenKind::Assign,
+                TokenKind::StarStar,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("abc @").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+        assert!(tokenize("a & b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("\"héllo\""),
+            vec![TokenKind::Str("héllo".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Firebase-style security rules (paper §III-E, Fig 3).
+//!
+//! Firestore allows direct third-party access from end-user devices, so data
+//! must be "secured at a finer granularity than the whole database". The
+//! customer expresses restrictions in a small rules language:
+//!
+//! ```text
+//! service cloud.firestore {
+//!   match /databases/{database}/documents {
+//!     match /restaurants/{restaurant}/ratings/{rating} {
+//!       allow read: if request.auth != null;
+//!       allow create: if request.auth != null
+//!                     && request.resource.data.userId == request.auth.uid;
+//!       allow update, delete: if false;
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! This crate implements the language from scratch: a hand-written lexer
+//! ([`lexer`]), a recursive-descent parser ([`parser`]) producing an AST
+//! ([`ast`]), and an evaluator ([`eval`]) with the semantics the paper
+//! depends on:
+//!
+//! * nested `match` blocks with `{single}` and `{recursive=**}` wildcards,
+//! * `allow` statements for `read`/`get`/`list`/`write`/`create`/`update`/
+//!   `delete`; access is granted if *any* applicable allow's condition holds,
+//! * conditions over `request.auth`, `request.resource.data` (the incoming
+//!   document) and `resource.data` (the stored document),
+//! * `get()`/`exists()` lookups of *other* documents, which the caller
+//!   resolves "in a transactionally-consistent fashion with the operation
+//!   being authorized" via the [`eval::DataSource`] trait,
+//! * evaluation errors deny (an error in a condition never grants access).
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::{Method, Ruleset};
+pub use eval::{AuthContext, DataSource, EmptyDataSource, EvalError, RequestContext};
+pub use parser::{parse_ruleset, ParseError};
+pub use value::RuleValue;
+
+/// Parse and evaluate in one call: returns whether `request` is allowed by
+/// `source` (any parse failure denies and is reported as an error).
+pub fn check(
+    source: &str,
+    request: &RequestContext,
+    data: &dyn DataSource,
+) -> Result<bool, ParseError> {
+    let ruleset = parse_ruleset(source)?;
+    Ok(ruleset.allows(request, data))
+}

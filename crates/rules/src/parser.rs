@@ -1,0 +1,641 @@
+//! Recursive-descent parser for the rules language.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! ruleset   := [version] [service] matches
+//! version   := "rules_version" "=" STRING ";"
+//! service   := "service" IDENT ("." IDENT)* "{" matches "}"
+//! matches   := match*
+//! match     := "match" pattern "{" (match | allow)* "}"
+//! pattern   := ("/" segment)+
+//! segment   := IDENT | INT | "{" IDENT ["=" "**"] "}"
+//! allow     := "allow" methods [":" "if" expr] ";"
+//! methods   := method ("," method)*
+//! expr      := or
+//! or        := and ("||" and)*
+//! and       := eq ("&&" eq)*
+//! eq        := rel (("=="|"!=") rel)*
+//! rel       := add (("<"|"<="|">"|">="|"in") add)*
+//! add       := mul (("+"|"-") mul)*
+//! mul       := unary (("*"|"%") unary)*          // no "/": it starts paths
+//! unary     := ("!"|"-") unary | postfix
+//! postfix   := primary ("." IDENT ["(" args ")"] | "[" expr "]" | "(" args ")")*
+//! primary   := literal | IDENT | "(" expr ")" | "[" args "]" | path
+//! path      := ("/" (IDENT | INT | "$" "(" expr ")"))+
+//! ```
+//!
+//! Division is intentionally absent (as in this subset `/` unambiguously
+//! introduces a path literal); the real language resolves the ambiguity with
+//! more lookahead, but division is vanishingly rare in access conditions.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use crate::value::RuleValue;
+use std::fmt;
+
+/// A parse (or lex) error with a byte offset into the source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rules parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+/// Parse a complete ruleset from source text.
+pub fn parse_ruleset(source: &str) -> Result<Ruleset, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.ruleset()
+}
+
+/// Parse a single expression (exposed for tests and tooling).
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing {}", self.peek())))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            offset: self.offset(),
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn ruleset(&mut self) -> Result<Ruleset, ParseError> {
+        // Optional `rules_version = '2';`
+        if self.eat_ident("rules_version") {
+            self.expect(TokenKind::Assign)?;
+            match self.bump() {
+                TokenKind::Str(_) => {}
+                other => return Err(self.error(format!("expected version string, found {other}"))),
+            }
+            self.expect(TokenKind::Semi)?;
+        }
+        let mut roots = Vec::new();
+        if self.eat_ident("service") {
+            // service cloud.firestore { ... }
+            self.expect_ident()?;
+            while self.eat(&TokenKind::Dot) {
+                self.expect_ident()?;
+            }
+            self.expect(TokenKind::LBrace)?;
+            while !self.eat(&TokenKind::RBrace) {
+                roots.push(self.match_block()?);
+            }
+        } else {
+            while self.peek() != &TokenKind::Eof {
+                roots.push(self.match_block()?);
+            }
+        }
+        self.expect_eof()?;
+        Ok(Ruleset { roots })
+    }
+
+    fn match_block(&mut self) -> Result<MatchBlock, ParseError> {
+        if !self.eat_ident("match") {
+            return Err(self.error(format!("expected `match`, found {}", self.peek())));
+        }
+        let pattern = self.pattern()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut allows = Vec::new();
+        let mut children = Vec::new();
+        loop {
+            if self.eat(&TokenKind::RBrace) {
+                break;
+            }
+            match self.peek() {
+                TokenKind::Ident(s) if s == "match" => children.push(self.match_block()?),
+                TokenKind::Ident(s) if s == "allow" => allows.push(self.allow()?),
+                other => {
+                    return Err(
+                        self.error(format!("expected `match`, `allow` or `}}`, found {other}"))
+                    )
+                }
+            }
+        }
+        Ok(MatchBlock {
+            pattern,
+            allows,
+            children,
+        })
+    }
+
+    fn pattern(&mut self) -> Result<Vec<Segment>, ParseError> {
+        let mut segments = Vec::new();
+        self.expect(TokenKind::Slash)?;
+        loop {
+            let seg = match self.peek().clone() {
+                TokenKind::Ident(s) => {
+                    self.bump();
+                    Segment::Literal(s)
+                }
+                TokenKind::Int(i) => {
+                    self.bump();
+                    Segment::Literal(i.to_string())
+                }
+                TokenKind::LBrace => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let seg = if self.eat(&TokenKind::Assign) {
+                        self.expect(TokenKind::StarStar)?;
+                        Segment::Recursive(name)
+                    } else {
+                        Segment::Single(name)
+                    };
+                    self.expect(TokenKind::RBrace)?;
+                    seg
+                }
+                other => return Err(self.error(format!("expected path segment, found {other}"))),
+            };
+            segments.push(seg);
+            if !self.eat(&TokenKind::Slash) {
+                break;
+            }
+        }
+        Ok(segments)
+    }
+
+    fn allow(&mut self) -> Result<Allow, ParseError> {
+        // `allow` already peeked by caller.
+        assert!(self.eat_ident("allow"));
+        let mut methods = vec![self.method_spec()?];
+        while self.eat(&TokenKind::Comma) {
+            methods.push(self.method_spec()?);
+        }
+        let condition = if self.eat(&TokenKind::Colon) {
+            if !self.eat_ident("if") {
+                return Err(self.error(format!("expected `if`, found {}", self.peek())));
+            }
+            self.expr()?
+        } else {
+            Expr::Lit(RuleValue::Bool(true))
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(Allow { methods, condition })
+    }
+
+    fn method_spec(&mut self) -> Result<MethodSpec, ParseError> {
+        let name = self.expect_ident()?;
+        Ok(match name.as_str() {
+            "read" => MethodSpec::Read,
+            "write" => MethodSpec::Write,
+            "get" => MethodSpec::Get,
+            "list" => MethodSpec::List,
+            "create" => MethodSpec::Create,
+            "update" => MethodSpec::Update,
+            "delete" => MethodSpec::Delete,
+            other => return Err(self.error(format!("unknown method `{other}`"))),
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.eq_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.eq_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = if self.eat(&TokenKind::Eq) {
+                BinOp::Eq
+            } else if self.eat(&TokenKind::Ne) {
+                BinOp::Ne
+            } else {
+                break;
+            };
+            let rhs = self.rel_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = if self.eat(&TokenKind::Lt) {
+                BinOp::Lt
+            } else if self.eat(&TokenKind::Le) {
+                BinOp::Le
+            } else if self.eat(&TokenKind::Gt) {
+                BinOp::Gt
+            } else if self.eat(&TokenKind::Ge) {
+                BinOp::Ge
+            } else if matches!(self.peek(), TokenKind::Ident(s) if s == "in") {
+                self.bump();
+                BinOp::In
+            } else {
+                break;
+            };
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = if self.eat(&TokenKind::Plus) {
+                BinOp::Add
+            } else if self.eat(&TokenKind::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat(&TokenKind::Star) {
+                BinOp::Mul
+            } else if self.eat(&TokenKind::Percent) {
+                BinOp::Mod
+            } else {
+                break;
+            };
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Bang) {
+            Ok(Expr::Unary(UnaryOp::Not, Box::new(self.unary_expr()?)))
+        } else if self.eat(&TokenKind::Minus) {
+            Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary_expr()?)))
+        } else {
+            self.postfix_expr()
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let field = self.expect_ident()?;
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.call_args()?;
+                    e = Expr::Call(Box::new(Expr::Member(Box::new(e), field)), args);
+                } else {
+                    e = Expr::Member(Box::new(e), field);
+                }
+            } else if self.eat(&TokenKind::LBracket) {
+                let idx = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.peek() == &TokenKind::LParen && matches!(e, Expr::Var(_)) {
+                let args = self.call_args()?;
+                e = Expr::Call(Box::new(e), args);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            args.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Lit(RuleValue::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Expr::Lit(RuleValue::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(RuleValue::Str(s)))
+            }
+            TokenKind::Ident(s) => match s.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Lit(RuleValue::Bool(true)))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Lit(RuleValue::Bool(false)))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Lit(RuleValue::Null))
+                }
+                _ => {
+                    self.bump();
+                    Ok(Expr::Var(s))
+                }
+            },
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &TokenKind::RBracket {
+                    items.push(self.expr()?);
+                    while self.eat(&TokenKind::Comma) {
+                        items.push(self.expr()?);
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                Ok(Expr::List(items))
+            }
+            TokenKind::Slash => self.path_literal(),
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+
+    fn path_literal(&mut self) -> Result<Expr, ParseError> {
+        let mut parts = Vec::new();
+        while self.eat(&TokenKind::Slash) {
+            match self.peek().clone() {
+                TokenKind::Ident(s) => {
+                    self.bump();
+                    parts.push(PathPart::Literal(s));
+                }
+                TokenKind::Int(i) => {
+                    self.bump();
+                    parts.push(PathPart::Literal(i.to_string()));
+                }
+                TokenKind::Dollar => {
+                    self.bump();
+                    self.expect(TokenKind::LParen)?;
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RParen)?;
+                    parts.push(PathPart::Interp(e));
+                }
+                other => {
+                    return Err(self.error(format!("expected path segment, found {other}")));
+                }
+            }
+        }
+        if parts.is_empty() {
+            return Err(self.error("empty path literal".to_string()));
+        }
+        Ok(Expr::Path(parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_codelab_rules() {
+        // Figure 3 of the paper (restaurant ratings).
+        let src = r#"
+            rules_version = '2';
+            service cloud.firestore {
+              match /databases/{database}/documents {
+                match /restaurants/{restaurant}/ratings/{rating} {
+                  allow read;
+                  allow create: if request.auth != null
+                                && request.resource.data.userId == request.auth.uid;
+                  allow update, delete: if false;
+                }
+              }
+            }
+        "#;
+        let rs = parse_ruleset(src).unwrap();
+        assert_eq!(rs.roots.len(), 1);
+        let docs = &rs.roots[0];
+        assert_eq!(docs.pattern.len(), 3);
+        assert_eq!(docs.pattern[0], Segment::Literal("databases".into()));
+        assert_eq!(docs.pattern[1], Segment::Single("database".into()));
+        let ratings = &docs.children[0];
+        assert_eq!(ratings.allows.len(), 3);
+        assert_eq!(ratings.allows[0].methods, vec![MethodSpec::Read]);
+        assert_eq!(
+            ratings.allows[0].condition,
+            Expr::Lit(RuleValue::Bool(true))
+        );
+        assert_eq!(
+            ratings.allows[2].methods,
+            vec![MethodSpec::Update, MethodSpec::Delete]
+        );
+    }
+
+    #[test]
+    fn parses_recursive_wildcard() {
+        let rs = parse_ruleset("match /docs/{doc=**} { allow read: if true; }").unwrap();
+        assert_eq!(rs.roots[0].pattern[1], Segment::Recursive("doc".into()));
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let e = parse_expr("a || b && c").unwrap();
+        match e {
+            Expr::Binary(BinOp::Or, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Binary(BinOp::And, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_comparison_over_and() {
+        let e = parse_expr("a == 1 && b != 2").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn member_chains_and_calls() {
+        let e = parse_expr("request.resource.data.userId").unwrap();
+        assert!(matches!(e, Expr::Member(_, ref f) if f == "userId"));
+        let e = parse_expr("request.resource.data.keys().size()").unwrap();
+        assert!(matches!(e, Expr::Call(_, _)));
+        let e = parse_expr("get(/users/$(request.auth.uid)).data.role == 'admin'").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn path_literal_with_interp() {
+        let e = parse_expr("/users/$(uid)/prefs/1").unwrap();
+        match e {
+            Expr::Path(parts) => {
+                assert_eq!(parts.len(), 4);
+                assert_eq!(parts[0], PathPart::Literal("users".into()));
+                assert!(matches!(parts[1], PathPart::Interp(_)));
+                assert_eq!(parts[3], PathPart::Literal("1".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_operator_and_lists() {
+        let e = parse_expr("'a' in ['a', 'b']").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::In, _, _)));
+    }
+
+    #[test]
+    fn unary_operators() {
+        assert!(matches!(
+            parse_expr("!x").unwrap(),
+            Expr::Unary(UnaryOp::Not, _)
+        ));
+        assert!(matches!(
+            parse_expr("-3").unwrap(),
+            Expr::Unary(UnaryOp::Neg, _)
+        ));
+    }
+
+    #[test]
+    fn index_expression() {
+        assert!(matches!(parse_expr("xs[0]").unwrap(), Expr::Index(_, _)));
+    }
+
+    #[test]
+    fn allows_without_service_wrapper() {
+        let rs =
+            parse_ruleset("match /a/{b} { allow read; } match /c/{d} { allow write; }").unwrap();
+        assert_eq!(rs.roots.len(), 2);
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = parse_ruleset("match /a/{b} { allow frobnicate; }").unwrap_err();
+        assert!(err.message.contains("frobnicate"));
+        assert!(err.offset > 0);
+        assert!(parse_ruleset("match { }").is_err());
+        assert!(parse_expr("a +").is_err());
+        assert!(parse_expr("(a").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_expr("a b").is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The value domain of rules expressions.
+//!
+//! Rules operate over a JSON-like value space: the fields of the stored and
+//! incoming documents, wildcard bindings (strings), and auth token claims.
+//! The Firestore layer converts its richer document values into `RuleValue`s
+//! before evaluation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value in rules-expression space.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuleValue {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Double.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered list.
+    List(Vec<RuleValue>),
+    /// String-keyed map.
+    Map(BTreeMap<String, RuleValue>),
+}
+
+impl RuleValue {
+    /// Build a map from `(key, value)` pairs.
+    pub fn map(entries: impl IntoIterator<Item = (impl Into<String>, RuleValue)>) -> RuleValue {
+        RuleValue::Map(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Whether this value is "truthy" *as a rules condition*: only `true`
+    /// grants; everything else (including errors upstream) denies.
+    pub fn is_true(&self) -> bool {
+        matches!(self, RuleValue::Bool(true))
+    }
+
+    /// Field access on maps; `Null` for missing fields on maps, `None` if
+    /// not a map at all.
+    pub fn get_field(&self, name: &str) -> Option<RuleValue> {
+        match self {
+            RuleValue::Map(m) => Some(m.get(name).cloned().unwrap_or(RuleValue::Null)),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (ints widen to floats) used by comparisons.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            RuleValue::Int(i) => Some(*i as f64),
+            RuleValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The `size()` builtin: string length (bytes), list length, map size.
+    pub fn size(&self) -> Option<i64> {
+        match self {
+            RuleValue::Str(s) => Some(s.len() as i64),
+            RuleValue::List(l) => Some(l.len() as i64),
+            RuleValue::Map(m) => Some(m.len() as i64),
+            _ => None,
+        }
+    }
+
+    /// Equality per rules semantics: numbers compare numerically across
+    /// int/float; otherwise structural.
+    pub fn rules_eq(&self, other: &RuleValue) -> bool {
+        match (self.as_number(), other.as_number()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self == other,
+        }
+    }
+
+    /// Ordering for `<`, `<=`, `>`, `>=`: defined for number/number and
+    /// string/string pairs; everything else is an evaluation error.
+    pub fn rules_cmp(&self, other: &RuleValue) -> Option<std::cmp::Ordering> {
+        if let (Some(a), Some(b)) = (self.as_number(), other.as_number()) {
+            return a.partial_cmp(&b);
+        }
+        if let (RuleValue::Str(a), RuleValue::Str(b)) = (self, other) {
+            return Some(a.cmp(b));
+        }
+        None
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            RuleValue::Null => "null",
+            RuleValue::Bool(_) => "bool",
+            RuleValue::Int(_) => "int",
+            RuleValue::Float(_) => "float",
+            RuleValue::Str(_) => "string",
+            RuleValue::List(_) => "list",
+            RuleValue::Map(_) => "map",
+        }
+    }
+}
+
+impl fmt::Display for RuleValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleValue::Null => write!(f, "null"),
+            RuleValue::Bool(b) => write!(f, "{b}"),
+            RuleValue::Int(i) => write!(f, "{i}"),
+            RuleValue::Float(x) => write!(f, "{x}"),
+            RuleValue::Str(s) => write!(f, "{s:?}"),
+            RuleValue::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            RuleValue::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for RuleValue {
+    fn from(b: bool) -> Self {
+        RuleValue::Bool(b)
+    }
+}
+impl From<i64> for RuleValue {
+    fn from(i: i64) -> Self {
+        RuleValue::Int(i)
+    }
+}
+impl From<f64> for RuleValue {
+    fn from(x: f64) -> Self {
+        RuleValue::Float(x)
+    }
+}
+impl From<&str> for RuleValue {
+    fn from(s: &str) -> Self {
+        RuleValue::Str(s.to_string())
+    }
+}
+impl From<String> for RuleValue {
+    fn from(s: String) -> Self {
+        RuleValue::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_is_strict() {
+        assert!(RuleValue::Bool(true).is_true());
+        assert!(!RuleValue::Bool(false).is_true());
+        assert!(!RuleValue::Int(1).is_true());
+        assert!(!RuleValue::Str("true".into()).is_true());
+        assert!(!RuleValue::Null.is_true());
+    }
+
+    #[test]
+    fn field_access() {
+        let m = RuleValue::map([("a", RuleValue::Int(1))]);
+        assert_eq!(m.get_field("a"), Some(RuleValue::Int(1)));
+        assert_eq!(m.get_field("missing"), Some(RuleValue::Null));
+        assert_eq!(RuleValue::Int(1).get_field("a"), None);
+    }
+
+    #[test]
+    fn numeric_equality_crosses_types() {
+        assert!(RuleValue::Int(3).rules_eq(&RuleValue::Float(3.0)));
+        assert!(!RuleValue::Int(3).rules_eq(&RuleValue::Float(3.5)));
+        assert!(RuleValue::Str("a".into()).rules_eq(&RuleValue::Str("a".into())));
+        assert!(!RuleValue::Str("3".into()).rules_eq(&RuleValue::Int(3)));
+    }
+
+    #[test]
+    fn ordering_rules() {
+        use std::cmp::Ordering::*;
+        assert_eq!(
+            RuleValue::Int(1).rules_cmp(&RuleValue::Float(2.0)),
+            Some(Less)
+        );
+        assert_eq!(
+            RuleValue::Str("b".into()).rules_cmp(&RuleValue::Str("a".into())),
+            Some(Greater)
+        );
+        assert_eq!(
+            RuleValue::Str("a".into()).rules_cmp(&RuleValue::Int(1)),
+            None
+        );
+        assert_eq!(
+            RuleValue::Bool(true).rules_cmp(&RuleValue::Bool(false)),
+            None
+        );
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(RuleValue::Str("abc".into()).size(), Some(3));
+        assert_eq!(RuleValue::List(vec![RuleValue::Null]).size(), Some(1));
+        assert_eq!(RuleValue::map([("a", RuleValue::Null)]).size(), Some(1));
+        assert_eq!(RuleValue::Int(5).size(), None);
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let v = RuleValue::map([
+            (
+                "list",
+                RuleValue::List(vec![RuleValue::Int(1), RuleValue::Bool(false)]),
+            ),
+            ("s", RuleValue::Str("x".into())),
+        ]);
+        assert_eq!(v.to_string(), "{list: [1, false], s: \"x\"}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Robustness: the rules front-end must never panic — security rules are
+//! customer-supplied input to a multi-tenant service, so a crash is an
+//! availability incident (paper §IV-C: "or even worse, crashing tasks").
+
+use proptest::prelude::*;
+use rules::eval::{AuthContext, EmptyDataSource, RequestContext};
+use rules::{parse_ruleset, Method, RuleValue};
+
+proptest! {
+    /// Arbitrary input never panics the lexer/parser.
+    #[test]
+    fn parser_never_panics(input in ".{0,256}") {
+        let _ = parse_ruleset(&input);
+    }
+
+    /// Arbitrary ASCII with rules-ish tokens never panics.
+    #[test]
+    fn parser_never_panics_on_rulesish_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("match".to_string()),
+                Just("allow".to_string()),
+                Just("read".to_string()),
+                Just("write:".to_string()),
+                Just("if".to_string()),
+                Just("/".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(";".to_string()),
+                Just("==".to_string()),
+                Just("&&".to_string()),
+                Just("request.auth.uid".to_string()),
+                Just("$".to_string()),
+                Just("**".to_string()),
+                Just("'str'".to_string()),
+                Just("42".to_string()),
+                "[a-z]{1,8}",
+            ],
+            0..40,
+        )
+    ) {
+        let input = parts.join(" ");
+        let _ = parse_ruleset(&input);
+    }
+
+    /// Valid rulesets with arbitrary request data never panic during
+    /// evaluation, and evaluation is deterministic.
+    #[test]
+    fn evaluation_never_panics(
+        uid in "[a-z]{1,8}",
+        field_val in prop_oneof![
+            any::<i64>().prop_map(RuleValue::Int),
+            any::<bool>().prop_map(RuleValue::Bool),
+            "[a-z]{0,8}".prop_map(RuleValue::Str),
+            Just(RuleValue::Null),
+        ],
+        path_tail in "[a-z]{1,8}",
+    ) {
+        let src = r#"
+            service cloud.firestore {
+              match /databases/{db}/documents {
+                match /docs/{id} {
+                  allow read: if request.auth != null;
+                  allow create: if request.resource.data.owner == request.auth.uid
+                                && request.resource.data.n > 0;
+                  allow update: if resource.data.owner == request.auth.uid;
+                }
+                match /{any=**} {
+                  allow read: if request.auth.uid == 'root';
+                }
+              }
+            }
+        "#;
+        let ruleset = parse_ruleset(src).unwrap();
+        let data = RuleValue::map([
+            ("owner", RuleValue::Str(uid.clone())),
+            ("n", field_val),
+        ]);
+        for method in [Method::Get, Method::List, Method::Create, Method::Update, Method::Delete] {
+            let req = RequestContext::for_document(
+                method,
+                &["docs", &path_tail],
+                Some(AuthContext::uid(uid.clone())),
+                Some(data.clone()),
+                Some(data.clone()),
+            );
+            let a = ruleset.allows(&req, &EmptyDataSource);
+            let b = ruleset.allows(&req, &EmptyDataSource);
+            prop_assert_eq!(a, b, "evaluation must be deterministic");
+        }
+    }
+
+    /// Deeply nested expressions neither overflow the stack nor panic.
+    #[test]
+    fn nested_expressions_are_safe(depth in 1usize..60) {
+        let mut cond = String::from("true");
+        for _ in 0..depth {
+            cond = format!("({cond} && !false)");
+        }
+        let src = format!(
+            "match /databases/{{db}}/documents {{ match /x/{{y}} {{ allow read: if {cond}; }} }}"
+        );
+        if let Ok(ruleset) = parse_ruleset(&src) {
+            let req = RequestContext::for_document(Method::Get, &["x", "1"], None, None, None);
+            prop_assert!(ruleset.allows(&req, &EmptyDataSource));
+        }
+    }
+}
+
+#[test]
+fn pathological_inputs() {
+    // Handcrafted nasties.
+    for input in [
+        "",
+        "match",
+        "match /",
+        "match /{ }",
+        "match /a/{b} { allow read: if ; }",
+        "service",
+        "service cloud. { }",
+        "rules_version =",
+        "match /a/{b} { allow read: if (((((; }",
+        "match /a/{b=**}/c { allow read; }", // recursive wildcard mid-path parses, never matches trailing
+        "match /a/{b} { allow read: if 'unterminated; }",
+        "match /a/{b} { allow read: if x in in in; }",
+        "\u{0}\u{1}\u{2}",
+        "match /a/{b} { allow read: if 99999999999999999999999999 > 0; }",
+    ] {
+        let _ = parse_ruleset(input); // must not panic
+    }
+}
+
+#[test]
+fn recursive_wildcard_mid_pattern_never_grants() {
+    // `=**` must be terminal to match; mid-pattern it silently matches
+    // nothing rather than granting too broadly.
+    let src = "match /databases/{db}/documents { match /a/{b=**}/c { allow read; } }";
+    if let Ok(ruleset) = parse_ruleset(src) {
+        let req = RequestContext::for_document(Method::Get, &["a", "x", "c"], None, None, None);
+        assert!(!ruleset.allows(&req, &EmptyDataSource));
+    }
+}

@@ -1,0 +1,169 @@
+//! Admission control: per-database in-flight limits and load shedding.
+//!
+//! §VI: "One is a low-tech manual tool that limits the number of per-task
+//! in-flight RPCs for a given database, which has been one of our more
+//! effective mechanisms for preventing isolation failure." §IV-C: "some
+//! components do targeted load-shedding to drop excess work before
+//! auto-scaling can take effect."
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Why a request was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The database hit its in-flight limit.
+    PerDatabaseLimit,
+    /// The whole component is shedding load.
+    Overloaded,
+}
+
+/// Counters for observability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected by a per-database limit.
+    pub rejected_per_db: u64,
+    /// Requests shed by the global limit.
+    pub shed: u64,
+}
+
+#[derive(Default)]
+struct AdmissionState {
+    inflight: HashMap<String, usize>,
+    total_inflight: usize,
+    /// Manual per-database overrides (the §VI emergency tool).
+    overrides: HashMap<String, usize>,
+    stats: AdmissionStats,
+}
+
+/// The admission controller of one component (e.g. the Backend pool).
+pub struct AdmissionController {
+    /// Default per-database in-flight limit.
+    pub default_limit: usize,
+    /// Global in-flight limit; beyond it, excess work is shed.
+    pub global_limit: usize,
+    state: Mutex<AdmissionState>,
+}
+
+impl AdmissionController {
+    /// Create with the given limits.
+    pub fn new(default_limit: usize, global_limit: usize) -> AdmissionController {
+        AdmissionController {
+            default_limit,
+            global_limit,
+            state: Mutex::new(AdmissionState::default()),
+        }
+    }
+
+    /// Manually cap one database (set below the default to throttle an
+    /// incident, §VI).
+    pub fn set_override(&self, database: &str, limit: usize) {
+        self.state
+            .lock()
+            .overrides
+            .insert(database.to_string(), limit);
+    }
+
+    /// Remove a manual cap.
+    pub fn clear_override(&self, database: &str) {
+        self.state.lock().overrides.remove(database);
+    }
+
+    /// Try to admit a request for `database`. On success the caller must
+    /// call [`AdmissionController::release`] when the request finishes.
+    pub fn try_admit(&self, database: &str) -> Result<(), AdmissionError> {
+        let mut st = self.state.lock();
+        if st.total_inflight >= self.global_limit {
+            st.stats.shed += 1;
+            return Err(AdmissionError::Overloaded);
+        }
+        let limit = st
+            .overrides
+            .get(database)
+            .copied()
+            .unwrap_or(self.default_limit);
+        let inflight = st.inflight.entry(database.to_string()).or_insert(0);
+        if *inflight >= limit {
+            st.stats.rejected_per_db += 1;
+            return Err(AdmissionError::PerDatabaseLimit);
+        }
+        *inflight += 1;
+        st.total_inflight += 1;
+        st.stats.admitted += 1;
+        Ok(())
+    }
+
+    /// Release a previously admitted request.
+    pub fn release(&self, database: &str) {
+        let mut st = self.state.lock();
+        if let Some(n) = st.inflight.get_mut(database) {
+            *n = n.saturating_sub(1);
+        }
+        st.total_inflight = st.total_inflight.saturating_sub(1);
+    }
+
+    /// Current in-flight count for a database.
+    pub fn inflight(&self, database: &str) -> usize {
+        self.state
+            .lock()
+            .inflight
+            .get(database)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> AdmissionStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_database_limit_enforced() {
+        let a = AdmissionController::new(2, 100);
+        assert!(a.try_admit("db1").is_ok());
+        assert!(a.try_admit("db1").is_ok());
+        assert_eq!(a.try_admit("db1"), Err(AdmissionError::PerDatabaseLimit));
+        // Another database is unaffected.
+        assert!(a.try_admit("db2").is_ok());
+        a.release("db1");
+        assert!(a.try_admit("db1").is_ok());
+        assert_eq!(a.stats().rejected_per_db, 1);
+    }
+
+    #[test]
+    fn global_shedding() {
+        let a = AdmissionController::new(10, 3);
+        for i in 0..3 {
+            assert!(a.try_admit(&format!("db{i}")).is_ok());
+        }
+        assert_eq!(a.try_admit("db9"), Err(AdmissionError::Overloaded));
+        assert_eq!(a.stats().shed, 1);
+        a.release("db0");
+        assert!(a.try_admit("db9").is_ok());
+    }
+
+    #[test]
+    fn manual_override_caps_one_database() {
+        let a = AdmissionController::new(10, 100);
+        a.set_override("noisy", 1);
+        assert!(a.try_admit("noisy").is_ok());
+        assert_eq!(a.try_admit("noisy"), Err(AdmissionError::PerDatabaseLimit));
+        a.clear_override("noisy");
+        assert!(a.try_admit("noisy").is_ok());
+        assert_eq!(a.inflight("noisy"), 2);
+    }
+
+    #[test]
+    fn release_is_saturating() {
+        let a = AdmissionController::new(10, 100);
+        a.release("never-admitted");
+        assert_eq!(a.inflight("never-admitted"), 0);
+    }
+}

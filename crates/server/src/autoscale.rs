@@ -1,0 +1,152 @@
+//! Target-utilization auto-scaling with a reaction delay.
+//!
+//! "All components build on Google's auto-scaling infrastructure, so the
+//! number of tasks in a given component adjusts in response to load" (§IV-C)
+//! — but "auto-scaling incorporates delays because short-lived traffic
+//! spikes do not merit auto-scaling". The delay is what produces the
+//! transient p99 inflation of Figs 7–8 at high ramp rates, and the prompt
+//! Frontend scale-up is why Fig 9's notification latency stays flat.
+
+use simkit::{Duration, Timestamp};
+
+/// An auto-scaler for one task pool.
+#[derive(Clone, Debug)]
+pub struct AutoScaler {
+    /// Minimum pool size.
+    pub min_tasks: usize,
+    /// Maximum pool size.
+    pub max_tasks: usize,
+    /// Utilization the scaler steers toward (e.g. 0.6).
+    pub target_utilization: f64,
+    /// Utilization must stay out of band for this long before acting.
+    pub reaction_delay: Duration,
+    /// Largest multiplicative step per decision (e.g. 2.0 = at most
+    /// doubling).
+    pub max_step: f64,
+    /// Time the pool first left the target band (None = in band).
+    out_of_band_since: Option<Timestamp>,
+}
+
+impl AutoScaler {
+    /// A scaler with typical parameters.
+    pub fn new(min_tasks: usize, max_tasks: usize) -> AutoScaler {
+        AutoScaler {
+            min_tasks,
+            max_tasks,
+            target_utilization: 0.6,
+            reaction_delay: Duration::from_secs(30),
+            max_step: 2.0,
+            out_of_band_since: None,
+        }
+    }
+
+    /// Observe the pool's utilization at `now`; returns the new size when a
+    /// scaling decision fires.
+    pub fn observe(
+        &mut self,
+        current_tasks: usize,
+        utilization: f64,
+        now: Timestamp,
+    ) -> Option<usize> {
+        let hysteresis = 0.15;
+        let in_band = utilization <= self.target_utilization + hysteresis
+            && (utilization >= self.target_utilization - 2.0 * hysteresis
+                || current_tasks <= self.min_tasks);
+        if in_band {
+            self.out_of_band_since = None;
+            return None;
+        }
+        let since = *self.out_of_band_since.get_or_insert(now);
+        if now.saturating_sub(since) < self.reaction_delay {
+            return None;
+        }
+        self.out_of_band_since = None;
+        // Steer capacity so utilization would hit the target.
+        let ideal = (current_tasks as f64 * utilization / self.target_utilization).ceil();
+        let stepped = if ideal > current_tasks as f64 {
+            ideal.min(current_tasks as f64 * self.max_step)
+        } else {
+            ideal.max(current_tasks as f64 / self.max_step)
+        };
+        let new = (stepped as usize).clamp(self.min_tasks, self.max_tasks);
+        if new == current_tasks {
+            None
+        } else {
+            Some(new)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler() -> AutoScaler {
+        let mut s = AutoScaler::new(2, 64);
+        s.reaction_delay = Duration::from_secs(10);
+        s
+    }
+
+    #[test]
+    fn stays_put_in_band() {
+        let mut s = scaler();
+        for sec in 0..100 {
+            assert_eq!(s.observe(4, 0.6, Timestamp::from_secs(sec)), None);
+        }
+    }
+
+    #[test]
+    fn scales_up_after_delay() {
+        let mut s = scaler();
+        assert_eq!(
+            s.observe(4, 0.95, Timestamp::from_secs(0)),
+            None,
+            "within delay"
+        );
+        assert_eq!(s.observe(4, 0.95, Timestamp::from_secs(5)), None);
+        let new = s.observe(4, 0.95, Timestamp::from_secs(10));
+        assert!(new.is_some());
+        assert!(new.unwrap() > 4);
+        assert!(new.unwrap() <= 8, "step-limited to 2x");
+    }
+
+    #[test]
+    fn short_spike_does_not_scale() {
+        let mut s = scaler();
+        assert_eq!(s.observe(4, 0.95, Timestamp::from_secs(0)), None);
+        // Back in band: the spike ended; the timer resets.
+        assert_eq!(s.observe(4, 0.6, Timestamp::from_secs(5)), None);
+        assert_eq!(s.observe(4, 0.95, Timestamp::from_secs(6)), None);
+        assert_eq!(
+            s.observe(4, 0.95, Timestamp::from_secs(10)),
+            None,
+            "timer restarted at t=6"
+        );
+    }
+
+    #[test]
+    fn scales_down_when_idle() {
+        let mut s = scaler();
+        s.observe(32, 0.05, Timestamp::from_secs(0));
+        let new = s.observe(32, 0.05, Timestamp::from_secs(10)).unwrap();
+        assert!(new < 32);
+        assert!(new >= 16, "step-limited shrink");
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut s = scaler();
+        s.observe(64, 1.0, Timestamp::from_secs(0));
+        assert_eq!(
+            s.observe(64, 1.0, Timestamp::from_secs(10)),
+            None,
+            "already at max"
+        );
+        s.observe(2, 0.0, Timestamp::from_secs(20));
+        assert_eq!(
+            s.observe(2, 0.0, Timestamp::from_secs(40)),
+            None,
+            "already at min"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Operation metering, billing, and the daily free quota.
+//!
+//! "Firestore's billing model is primarily based on three components:
+//! document reads, writes, deletes ... also charges for the amount of data
+//! stored and network egress. Firestore provides a free quota for each of
+//! these dimensions, resetting daily" (§IV-B). Idle databases cost nothing —
+//! "at low scale QPS and storage consumption, Firestore costs close to
+//! nothing" (§I) — and work served from the client SDK's local cache is
+//! never billed (§IV-E).
+
+use parking_lot::Mutex;
+use simkit::Timestamp;
+use std::collections::HashMap;
+
+/// The daily free allowances (modeled on the documented Firestore free
+/// tier).
+#[derive(Clone, Copy, Debug)]
+pub struct FreeQuota {
+    /// Document reads per day.
+    pub reads_per_day: u64,
+    /// Document writes per day.
+    pub writes_per_day: u64,
+    /// Document deletes per day.
+    pub deletes_per_day: u64,
+    /// Stored bytes that are free.
+    pub free_storage_bytes: u64,
+}
+
+impl Default for FreeQuota {
+    fn default() -> Self {
+        FreeQuota {
+            reads_per_day: 50_000,
+            writes_per_day: 20_000,
+            deletes_per_day: 20_000,
+            free_storage_bytes: 1 << 30, // 1 GiB
+        }
+    }
+}
+
+/// Prices per unit beyond the free quota (cents per 100k ops / GiB-month,
+/// abstract units for the simulation).
+#[derive(Clone, Copy, Debug)]
+pub struct PriceSheet {
+    /// Per document read.
+    pub per_read: f64,
+    /// Per document write.
+    pub per_write: f64,
+    /// Per document delete.
+    pub per_delete: f64,
+    /// Per stored byte per day.
+    pub per_byte_day: f64,
+}
+
+impl Default for PriceSheet {
+    fn default() -> Self {
+        // Modeled on list prices: $0.06/100k reads, $0.18/100k writes,
+        // $0.02/100k deletes, $0.18/GiB-month.
+        PriceSheet {
+            per_read: 0.06 / 100_000.0,
+            per_write: 0.18 / 100_000.0,
+            per_delete: 0.02 / 100_000.0,
+            per_byte_day: 0.18 / (30.0 * (1u64 << 30) as f64),
+        }
+    }
+}
+
+/// One database's usage counters for the current day.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Usage {
+    /// Billed document reads (each document returned by a query counts,
+    /// §IV-B: billing "based on only the number of documents in the result
+    /// set").
+    pub reads: u64,
+    /// Document writes.
+    pub writes: u64,
+    /// Document deletes.
+    pub deletes: u64,
+    /// Current stored bytes (gauge, not a daily counter).
+    pub storage_bytes: u64,
+    /// Real-time query snapshots delivered (reads for billing purposes).
+    pub realtime_docs: u64,
+}
+
+impl Usage {
+    /// Total billable read-ops (queries + realtime deliveries).
+    pub fn total_reads(&self) -> u64 {
+        self.reads + self.realtime_docs
+    }
+}
+
+/// The bill for one database-day.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Bill {
+    /// Reads beyond quota.
+    pub billed_reads: u64,
+    /// Writes beyond quota.
+    pub billed_writes: u64,
+    /// Deletes beyond quota.
+    pub billed_deletes: u64,
+    /// Bytes beyond quota.
+    pub billed_storage_bytes: u64,
+    /// Total charge in dollars.
+    pub total_dollars: f64,
+}
+
+struct MeterState {
+    usage: HashMap<String, Usage>,
+    day_start: Timestamp,
+}
+
+/// The metering component: one per region, shared across databases.
+pub struct BillingMeter {
+    quota: FreeQuota,
+    prices: PriceSheet,
+    state: Mutex<MeterState>,
+    /// Seconds per billing day (daily in production; configurable so tests
+    /// and experiments can compress time).
+    pub day_seconds: u64,
+}
+
+impl BillingMeter {
+    /// Create a meter.
+    pub fn new(quota: FreeQuota, prices: PriceSheet) -> BillingMeter {
+        BillingMeter {
+            quota,
+            prices,
+            state: Mutex::new(MeterState {
+                usage: HashMap::new(),
+                day_start: Timestamp::ZERO,
+            }),
+            day_seconds: 86_400,
+        }
+    }
+
+    /// Record document reads.
+    pub fn record_reads(&self, database: &str, n: u64) {
+        self.state
+            .lock()
+            .usage
+            .entry(database.to_string())
+            .or_default()
+            .reads += n;
+    }
+
+    /// Record document writes.
+    pub fn record_writes(&self, database: &str, n: u64) {
+        self.state
+            .lock()
+            .usage
+            .entry(database.to_string())
+            .or_default()
+            .writes += n;
+    }
+
+    /// Record document deletes.
+    pub fn record_deletes(&self, database: &str, n: u64) {
+        self.state
+            .lock()
+            .usage
+            .entry(database.to_string())
+            .or_default()
+            .deletes += n;
+    }
+
+    /// Record real-time snapshot documents delivered.
+    pub fn record_realtime_docs(&self, database: &str, n: u64) {
+        self.state
+            .lock()
+            .usage
+            .entry(database.to_string())
+            .or_default()
+            .realtime_docs += n;
+    }
+
+    /// Update the storage gauge.
+    pub fn set_storage(&self, database: &str, bytes: u64) {
+        self.state
+            .lock()
+            .usage
+            .entry(database.to_string())
+            .or_default()
+            .storage_bytes = bytes;
+    }
+
+    /// Current usage of one database.
+    pub fn usage(&self, database: &str) -> Usage {
+        self.state
+            .lock()
+            .usage
+            .get(database)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Usage across all databases (for the Fig 6 production statistics).
+    pub fn all_usage(&self) -> Vec<(String, Usage)> {
+        self.state
+            .lock()
+            .usage
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Compute the day's bill for one database.
+    pub fn bill(&self, database: &str) -> Bill {
+        let u = self.usage(database);
+        let billed_reads = u.total_reads().saturating_sub(self.quota.reads_per_day);
+        let billed_writes = u.writes.saturating_sub(self.quota.writes_per_day);
+        let billed_deletes = u.deletes.saturating_sub(self.quota.deletes_per_day);
+        let billed_storage_bytes = u
+            .storage_bytes
+            .saturating_sub(self.quota.free_storage_bytes);
+        let total_dollars = billed_reads as f64 * self.prices.per_read
+            + billed_writes as f64 * self.prices.per_write
+            + billed_deletes as f64 * self.prices.per_delete
+            + billed_storage_bytes as f64 * self.prices.per_byte_day;
+        Bill {
+            billed_reads,
+            billed_writes,
+            billed_deletes,
+            billed_storage_bytes,
+            total_dollars,
+        }
+    }
+
+    /// Roll the billing day if `now` has passed the day boundary; counters
+    /// reset (storage gauge persists).
+    pub fn maybe_roll_day(&self, now: Timestamp) {
+        let mut st = self.state.lock();
+        if now.saturating_sub(st.day_start).as_secs_f64() >= self.day_seconds as f64 {
+            st.day_start = now;
+            for u in st.usage.values_mut() {
+                let storage = u.storage_bytes;
+                *u = Usage {
+                    storage_bytes: storage,
+                    ..Usage::default()
+                };
+            }
+        }
+    }
+}
+
+impl Default for BillingMeter {
+    fn default() -> Self {
+        BillingMeter::new(FreeQuota::default(), PriceSheet::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_database_costs_nothing() {
+        let m = BillingMeter::default();
+        assert_eq!(m.bill("idle").total_dollars, 0.0);
+    }
+
+    #[test]
+    fn usage_below_quota_is_free() {
+        let m = BillingMeter::default();
+        m.record_reads("db", 49_999);
+        m.record_writes("db", 19_999);
+        m.set_storage("db", 1 << 29);
+        let b = m.bill("db");
+        assert_eq!(b.billed_reads, 0);
+        assert_eq!(b.billed_writes, 0);
+        assert_eq!(b.total_dollars, 0.0);
+    }
+
+    #[test]
+    fn usage_beyond_quota_is_billed() {
+        let m = BillingMeter::default();
+        m.record_reads("db", 150_000);
+        m.record_writes("db", 120_000);
+        m.record_deletes("db", 20_001);
+        let b = m.bill("db");
+        assert_eq!(b.billed_reads, 100_000);
+        assert_eq!(b.billed_writes, 100_000);
+        assert_eq!(b.billed_deletes, 1);
+        assert!(
+            (b.total_dollars - (0.06 + 0.18)).abs() < 0.01,
+            "{}",
+            b.total_dollars
+        );
+    }
+
+    #[test]
+    fn realtime_docs_count_as_reads() {
+        let m = BillingMeter::default();
+        m.record_realtime_docs("db", 60_000);
+        assert_eq!(m.bill("db").billed_reads, 10_000);
+    }
+
+    #[test]
+    fn daily_reset_keeps_storage() {
+        let m = BillingMeter::default();
+        m.record_reads("db", 100_000);
+        m.set_storage("db", 42);
+        m.maybe_roll_day(Timestamp::from_secs(86_401));
+        let u = m.usage("db");
+        assert_eq!(u.reads, 0);
+        assert_eq!(u.storage_bytes, 42);
+        // Not yet a day since the roll: no further reset.
+        m.record_reads("db", 7);
+        m.maybe_roll_day(Timestamp::from_secs(86_500));
+        assert_eq!(m.usage("db").reads, 7);
+    }
+}

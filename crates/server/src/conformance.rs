@@ -1,0 +1,140 @@
+//! The conforming-traffic ("500/50/5") rule (paper §IV-C).
+//!
+//! "Firestore requires conforming traffic to grow progressively — increase
+//! at most 50% every 5 minutes, starting from a 500 QPS base. Firestore is
+//! designed to handle spiky traffic and will still accept traffic that
+//! violates this rule as long as it can maintain isolation." The allowance
+//! is "designed to conservatively match Spanner's splitting behavior"
+//! (§IV-D1): load-based splits need time to react.
+
+use parking_lot::Mutex;
+use simkit::{Duration, Timestamp};
+use std::collections::HashMap;
+
+/// Parameters of the rule.
+#[derive(Clone, Copy, Debug)]
+pub struct ConformanceRule {
+    /// Base allowance (500 QPS).
+    pub base_qps: f64,
+    /// Growth factor per period (1.5 = +50%).
+    pub growth: f64,
+    /// Growth period (5 minutes).
+    pub period: Duration,
+}
+
+impl Default for ConformanceRule {
+    fn default() -> Self {
+        ConformanceRule {
+            base_qps: 500.0,
+            growth: 1.5,
+            period: Duration::from_secs(300),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct DbTraffic {
+    /// The allowance last granted.
+    allowance: f64,
+    /// When the allowance last grew.
+    last_growth: Timestamp,
+}
+
+/// Tracks per-database traffic against the rule.
+pub struct TrafficConformance {
+    rule: ConformanceRule,
+    state: Mutex<HashMap<String, DbTraffic>>,
+}
+
+impl TrafficConformance {
+    /// Create with the standard 500/50/5 rule.
+    pub fn new(rule: ConformanceRule) -> TrafficConformance {
+        TrafficConformance {
+            rule,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The current allowance for `database` at `now`, growing it when a
+    /// full period of sustained traffic has elapsed.
+    pub fn allowance(&self, database: &str, now: Timestamp) -> f64 {
+        let mut st = self.state.lock();
+        let entry = st.entry(database.to_string()).or_insert(DbTraffic {
+            allowance: self.rule.base_qps,
+            last_growth: now,
+        });
+        // Grow once per elapsed period.
+        while now.saturating_sub(entry.last_growth) >= self.rule.period {
+            entry.allowance *= self.rule.growth;
+            entry.last_growth = entry.last_growth + self.rule.period;
+        }
+        entry.allowance
+    }
+
+    /// Whether `qps` conforms for `database` at `now`. Non-conforming
+    /// traffic is *not* rejected (the paper accepts it while isolation
+    /// holds); callers use this signal for observability and SLO
+    /// accounting.
+    pub fn is_conforming(&self, database: &str, qps: f64, now: Timestamp) -> bool {
+        qps <= self.allowance(database, now)
+    }
+
+    /// The time needed to ramp from the base to `target_qps` while
+    /// conforming (the "steady exponential ramp-up" best practice, §V-B1).
+    pub fn ramp_time_to(&self, target_qps: f64) -> Duration {
+        if target_qps <= self.rule.base_qps {
+            return Duration::ZERO;
+        }
+        let periods = (target_qps / self.rule.base_qps).ln() / self.rule.growth.ln();
+        Duration::from_millis_f64(periods.ceil() * self.rule.period.as_millis_f64())
+    }
+}
+
+impl Default for TrafficConformance {
+    fn default() -> Self {
+        TrafficConformance::new(ConformanceRule::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_allowance_is_500() {
+        let t = TrafficConformance::default();
+        assert!(t.is_conforming("db", 499.0, Timestamp::ZERO));
+        assert!(t.is_conforming("db", 500.0, Timestamp::ZERO));
+        assert!(!t.is_conforming("db", 501.0, Timestamp::ZERO));
+    }
+
+    #[test]
+    fn allowance_grows_50_percent_per_5_minutes() {
+        let t = TrafficConformance::default();
+        let _ = t.allowance("db", Timestamp::ZERO);
+        assert_eq!(t.allowance("db", Timestamp::from_secs(299)), 500.0);
+        assert_eq!(t.allowance("db", Timestamp::from_secs(300)), 750.0);
+        assert_eq!(t.allowance("db", Timestamp::from_secs(600)), 1125.0);
+        // Multiple periods at once compound.
+        assert_eq!(t.allowance("db", Timestamp::from_secs(900)), 1687.5);
+    }
+
+    #[test]
+    fn databases_are_independent() {
+        let t = TrafficConformance::default();
+        let _ = t.allowance("old", Timestamp::ZERO);
+        let _ = t.allowance("old", Timestamp::from_secs(600));
+        // A new database starts fresh at its first-seen time.
+        assert_eq!(t.allowance("new", Timestamp::from_secs(600)), 500.0);
+        assert!(t.allowance("old", Timestamp::from_secs(600)) > 500.0);
+    }
+
+    #[test]
+    fn ramp_time_matches_growth() {
+        let t = TrafficConformance::default();
+        assert_eq!(t.ramp_time_to(400.0), Duration::ZERO);
+        // 500 → 8000 ≈ 6.8 growth steps → 7 periods = 35 min.
+        let ramp = t.ramp_time_to(8000.0);
+        assert_eq!(ramp, Duration::from_secs(7 * 300));
+    }
+}

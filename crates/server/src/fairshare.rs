@@ -1,0 +1,443 @@
+//! Fair-CPU-share scheduling keyed by database id (paper §IV-C).
+//!
+//! "We use a fair-CPU-share scheduler in our Backend tasks, keyed by
+//! database ID." The scheduler simulates a pool of CPU cores executing jobs
+//! whose *cost* is CPU time (from [`simkit::latency::CpuCostModel`]):
+//!
+//! * [`SchedulingMode::FairShare`] — processor sharing across *databases*:
+//!   each active database receives an equal share of the pool regardless of
+//!   how many jobs it has queued; within one database jobs run FIFO.
+//! * [`SchedulingMode::Fifo`] — a single global FIFO queue (the "fairness
+//!   disabled" arm of Fig 11): a flood from one database heads-of-line
+//!   blocks everyone.
+//!
+//! Time advances in quanta; per quantum the pool's capacity is divided per
+//! the mode. Completion times feed the latency measurements of Fig 11 and
+//! the YCSB experiments.
+
+use simkit::{Duration, Timestamp};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Scheduling discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulingMode {
+    /// Fair CPU share per database id.
+    FairShare,
+    /// Global FIFO (no isolation).
+    Fifo,
+}
+
+/// Request priority class (§IV-C: "certain batch and internal workloads
+/// set custom tags on their RPCs, which allow schedulers to prioritize
+/// latency-sensitive workloads over such RPCs"; §VIII proposes exposing
+/// this per-database QoS to customers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// User-facing traffic: served first.
+    #[default]
+    LatencySensitive,
+    /// Batch/internal traffic: uses whatever share remains.
+    Batch,
+}
+
+/// A unit of CPU work submitted by a database.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Opaque id returned on completion.
+    pub id: u64,
+    /// The owning database.
+    pub database: String,
+    /// Remaining CPU time.
+    pub remaining: Duration,
+    /// Submission time.
+    pub submitted: Timestamp,
+    /// QoS class.
+    pub priority: Priority,
+}
+
+impl Job {
+    /// A latency-sensitive job.
+    pub fn new(id: u64, database: impl Into<String>, cost: Duration, submitted: Timestamp) -> Job {
+        Job {
+            id,
+            database: database.into(),
+            remaining: cost,
+            submitted,
+            priority: Priority::LatencySensitive,
+        }
+    }
+
+    /// Tag as batch traffic.
+    pub fn batch(mut self) -> Job {
+        self.priority = Priority::Batch;
+        self
+    }
+}
+
+/// A finished job with its completion time.
+#[derive(Clone, Debug)]
+pub struct CompletedJob {
+    /// The job.
+    pub id: u64,
+    /// Owning database.
+    pub database: String,
+    /// Submission time.
+    pub submitted: Timestamp,
+    /// Completion time.
+    pub completed: Timestamp,
+}
+
+impl CompletedJob {
+    /// Queueing + service latency.
+    pub fn latency(&self) -> Duration {
+        self.completed - self.submitted
+    }
+}
+
+/// The simulated CPU pool.
+#[derive(Debug)]
+pub struct CpuScheduler {
+    mode: SchedulingMode,
+    /// Pool capacity in cores (may be fractional during scale changes).
+    cores: f64,
+    /// Per-database FIFO queues (fair-share mode): latency-sensitive and
+    /// batch, the former always served first within the database's share.
+    queues: BTreeMap<String, (VecDeque<Job>, VecDeque<Job>)>,
+    /// Global queue (FIFO mode).
+    fifo: VecDeque<Job>,
+    /// Completions since the last drain.
+    completed: Vec<CompletedJob>,
+    /// Busy core-time accumulated since the last utilization query.
+    busy: Duration,
+    /// Wall time accumulated since the last utilization query.
+    elapsed: Duration,
+}
+
+impl CpuScheduler {
+    /// A pool of `cores` CPUs with the given discipline.
+    pub fn new(cores: usize, mode: SchedulingMode) -> CpuScheduler {
+        CpuScheduler {
+            mode,
+            cores: cores as f64,
+            queues: BTreeMap::new(),
+            fifo: VecDeque::new(),
+            completed: Vec::new(),
+            busy: Duration::ZERO,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Change the pool size (auto-scaling).
+    pub fn set_cores(&mut self, cores: usize) {
+        self.cores = cores as f64;
+    }
+
+    /// Current pool size.
+    pub fn cores(&self) -> usize {
+        self.cores as usize
+    }
+
+    /// Jobs currently queued or running.
+    pub fn backlog(&self) -> usize {
+        match self.mode {
+            SchedulingMode::FairShare => {
+                self.queues.values().map(|(ls, b)| ls.len() + b.len()).sum()
+            }
+            SchedulingMode::Fifo => self.fifo.len(),
+        }
+    }
+
+    /// Jobs queued for one database.
+    pub fn backlog_of(&self, database: &str) -> usize {
+        match self.mode {
+            SchedulingMode::FairShare => self
+                .queues
+                .get(database)
+                .map(|(ls, b)| ls.len() + b.len())
+                .unwrap_or(0),
+            SchedulingMode::Fifo => self.fifo.iter().filter(|j| j.database == database).count(),
+        }
+    }
+
+    /// Submit a job.
+    pub fn submit(&mut self, job: Job) {
+        match self.mode {
+            SchedulingMode::FairShare => {
+                let slot = self.queues.entry(job.database.clone()).or_default();
+                match job.priority {
+                    Priority::LatencySensitive => slot.0.push_back(job),
+                    Priority::Batch => slot.1.push_back(job),
+                }
+            }
+            SchedulingMode::Fifo => self.fifo.push_back(job),
+        }
+    }
+
+    /// Advance simulated time from `from` to `until` in steps of `quantum`,
+    /// executing queued work. Returns jobs completed in the interval.
+    pub fn advance(
+        &mut self,
+        from: Timestamp,
+        until: Timestamp,
+        quantum: Duration,
+    ) -> Vec<CompletedJob> {
+        assert!(quantum > Duration::ZERO);
+        let mut now = from;
+        while now < until {
+            let step = quantum.min(until - now);
+            let slice_end = now + step;
+            self.run_quantum(step, slice_end);
+            now = slice_end;
+            self.elapsed += step;
+        }
+        std::mem::take(&mut self.completed)
+    }
+
+    fn run_quantum(&mut self, quantum: Duration, quantum_end: Timestamp) {
+        // Total core-time available this quantum.
+        let mut budget = quantum.mul_f64(self.cores);
+        match self.mode {
+            SchedulingMode::Fifo => {
+                while budget > Duration::ZERO {
+                    let Some(job) = self.fifo.front_mut() else {
+                        break;
+                    };
+                    let spend = job.remaining.min(budget);
+                    job.remaining = job.remaining - spend;
+                    budget = budget - spend;
+                    self.busy += spend;
+                    if job.remaining == Duration::ZERO {
+                        let job = self.fifo.pop_front().expect("front exists");
+                        self.completed.push(CompletedJob {
+                            id: job.id,
+                            database: job.database,
+                            submitted: job.submitted,
+                            completed: quantum_end,
+                        });
+                    }
+                }
+            }
+            SchedulingMode::FairShare => {
+                // Repeatedly divide the remaining budget equally across
+                // active databases; a database that drains its queues
+                // returns its unused share to the others. Within one
+                // database, latency-sensitive jobs run before batch jobs.
+                loop {
+                    self.queues
+                        .retain(|_, (ls, b)| !ls.is_empty() || !b.is_empty());
+                    let active = self.queues.len();
+                    if active == 0 || budget <= Duration::ZERO {
+                        break;
+                    }
+                    let share = budget.mul_f64(1.0 / active as f64);
+                    if share == Duration::ZERO {
+                        break;
+                    }
+                    let mut spent_total = Duration::ZERO;
+                    for (ls, batch) in self.queues.values_mut() {
+                        let mut share_left = share;
+                        for q in [&mut *ls, &mut *batch] {
+                            while share_left > Duration::ZERO {
+                                let Some(job) = q.front_mut() else { break };
+                                let spend = job.remaining.min(share_left);
+                                job.remaining = job.remaining - spend;
+                                share_left = share_left - spend;
+                                spent_total += spend;
+                                if job.remaining == Duration::ZERO {
+                                    let job = q.pop_front().expect("front exists");
+                                    self.completed.push(CompletedJob {
+                                        id: job.id,
+                                        database: job.database,
+                                        submitted: job.submitted,
+                                        completed: quantum_end,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    self.busy += spent_total;
+                    if spent_total == Duration::ZERO {
+                        break; // nothing runnable consumed budget
+                    }
+                    budget = budget - spent_total.min(budget);
+                }
+            }
+        }
+    }
+
+    /// Utilization since the last call (busy core-time / available
+    /// core-time), then reset the counters. Drives the auto-scaler.
+    pub fn take_utilization(&mut self) -> f64 {
+        let available = self.elapsed.mul_f64(self.cores);
+        let u = if available == Duration::ZERO {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / available.as_secs_f64()
+        };
+        self.busy = Duration::ZERO;
+        self.elapsed = Duration::ZERO;
+        u.min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, db: &str, cost_ms: u64, at_ms: u64) -> Job {
+        Job::new(
+            id,
+            db,
+            Duration::from_millis(cost_ms),
+            Timestamp::from_millis(at_ms),
+        )
+    }
+
+    fn advance_all(s: &mut CpuScheduler, from_ms: u64, until_ms: u64) -> Vec<CompletedJob> {
+        s.advance(
+            Timestamp::from_millis(from_ms),
+            Timestamp::from_millis(until_ms),
+            Duration::from_millis(1),
+        )
+    }
+
+    #[test]
+    fn single_job_completes_after_its_cost() {
+        let mut s = CpuScheduler::new(1, SchedulingMode::Fifo);
+        s.submit(job(1, "a", 5, 0));
+        let done = advance_all(&mut s, 0, 10);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completed, Timestamp::from_millis(5));
+        assert_eq!(done[0].latency(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocks() {
+        let mut s = CpuScheduler::new(1, SchedulingMode::Fifo);
+        s.submit(job(1, "culprit", 100, 0));
+        s.submit(job(2, "bystander", 1, 0));
+        let done = advance_all(&mut s, 0, 200);
+        let bystander = done.iter().find(|j| j.id == 2).unwrap();
+        assert!(
+            bystander.latency() >= Duration::from_millis(100),
+            "bystander waits behind the culprit: {:?}",
+            bystander.latency()
+        );
+    }
+
+    #[test]
+    fn fair_share_isolates_bystander() {
+        let mut s = CpuScheduler::new(1, SchedulingMode::FairShare);
+        s.submit(job(1, "culprit", 100, 0));
+        s.submit(job(2, "bystander", 1, 0));
+        let done = advance_all(&mut s, 0, 200);
+        let bystander = done.iter().find(|j| j.id == 2).unwrap();
+        assert!(
+            bystander.latency() <= Duration::from_millis(3),
+            "fair share serves the bystander promptly: {:?}",
+            bystander.latency()
+        );
+        // The culprit still finishes.
+        assert!(done.iter().any(|j| j.id == 1));
+    }
+
+    #[test]
+    fn fair_share_within_database_is_fifo() {
+        let mut s = CpuScheduler::new(1, SchedulingMode::FairShare);
+        s.submit(job(1, "a", 5, 0));
+        s.submit(job(2, "a", 5, 0));
+        let done = advance_all(&mut s, 0, 20);
+        assert!(done[0].id == 1 && done[1].id == 2);
+        assert!(done[0].completed <= done[1].completed);
+    }
+
+    #[test]
+    fn idle_share_redistributes() {
+        // Database `a` has lots of work, `b` a single tiny job: after b
+        // finishes, a gets the whole machine; total time ≈ total work.
+        let mut s = CpuScheduler::new(1, SchedulingMode::FairShare);
+        s.submit(job(1, "a", 50, 0));
+        s.submit(job(2, "b", 2, 0));
+        let done = advance_all(&mut s, 0, 100);
+        let a = done.iter().find(|j| j.id == 1).unwrap();
+        assert!(
+            a.completed <= Timestamp::from_millis(54),
+            "work-conserving: total ≈ 52ms, got {:?}",
+            a.completed
+        );
+    }
+
+    #[test]
+    fn more_cores_go_faster() {
+        let run = |cores: usize| {
+            let mut s = CpuScheduler::new(cores, SchedulingMode::FairShare);
+            for i in 0..8 {
+                s.submit(job(i, &format!("db{i}"), 10, 0));
+            }
+            let done = advance_all(&mut s, 0, 200);
+            done.iter().map(|j| j.completed).max().unwrap()
+        };
+        let slow = run(1);
+        let fast = run(8);
+        assert!(fast < slow);
+        assert_eq!(
+            fast,
+            Timestamp::from_millis(10),
+            "8 cores run 8 jobs in parallel"
+        );
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut s = CpuScheduler::new(2, SchedulingMode::FairShare);
+        s.submit(job(1, "a", 10, 0));
+        advance_all(&mut s, 0, 10);
+        let u = s.take_utilization();
+        assert!((u - 0.5).abs() < 0.05, "one core of two busy: {u}");
+        // Counters reset.
+        advance_all(&mut s, 10, 20);
+        assert_eq!(s.take_utilization(), 0.0);
+    }
+
+    #[test]
+    fn batch_yields_to_latency_sensitive_within_database() {
+        // §VIII: "a bug in their daily batch job should not lead to
+        // rejection of user-facing traffic."
+        let mut s = CpuScheduler::new(1, SchedulingMode::FairShare);
+        s.submit(job(1, "app", 100, 0).batch()); // runaway batch job
+        s.submit(job(2, "app", 1, 0)); // user-facing request
+        let done = advance_all(&mut s, 0, 200);
+        let user = done.iter().find(|j| j.id == 2).unwrap();
+        assert!(
+            user.latency() <= Duration::from_millis(3),
+            "user-facing request preempts the batch backlog: {:?}",
+            user.latency()
+        );
+        // Batch work still completes once user traffic drains.
+        assert!(done.iter().any(|j| j.id == 1));
+    }
+
+    #[test]
+    fn batch_does_not_affect_other_databases() {
+        let mut s = CpuScheduler::new(1, SchedulingMode::FairShare);
+        for i in 0..10 {
+            s.submit(job(i, "batchy", 50, 0).batch());
+        }
+        s.submit(job(100, "other", 1, 0));
+        let done = advance_all(&mut s, 0, 1000);
+        let other = done.iter().find(|j| j.id == 100).unwrap();
+        assert!(other.latency() <= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn backlog_tracking() {
+        let mut s = CpuScheduler::new(1, SchedulingMode::FairShare);
+        s.submit(job(1, "a", 5, 0));
+        s.submit(job(2, "b", 5, 0));
+        assert_eq!(s.backlog(), 2);
+        assert_eq!(s.backlog_of("a"), 1);
+        assert_eq!(s.backlog_of("missing"), 0);
+        advance_all(&mut s, 0, 20);
+        assert_eq!(s.backlog(), 0);
+    }
+}

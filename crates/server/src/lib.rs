@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! The multi-tenant Firestore service (paper §IV-A..C, §VI).
+//!
+//! "Firestore's multi-tenant architecture is key to its serverless
+//! scalability. All its components ... are shared across large numbers of
+//! Firestore databases." This crate implements the serving machinery that
+//! makes that safe and billable:
+//!
+//! * [`fairshare`] — the fair-CPU-share scheduler keyed by database id that
+//!   keeps one database's traffic from starving others (Fig 11's A/B
+//!   switch);
+//! * [`autoscale`] — target-utilization auto-scaling with a reaction delay
+//!   ("auto-scaling incorporates delays because short-lived traffic spikes
+//!   do not merit auto-scaling", §IV-C);
+//! * [`admission`] — per-database in-flight RPC limits and load shedding
+//!   (the "low-tech manual tool" of §VI plus targeted shedding of §IV-C);
+//! * [`conformance`] — the 500/50/5 conforming-traffic rule (§IV-C);
+//! * [`billing`] — operation metering with a daily free quota ("serverless
+//!   pay-as-you-go pricing together with a daily free quota", §I);
+//! * [`router`] — global routing of requests to the region hosting each
+//!   database (§IV-A);
+//! * [`service`] — the assembled [`service::FirestoreService`]: database
+//!   provisioning on shared infrastructure, metered request entry points,
+//!   and real-time listener registration.
+
+pub mod admission;
+pub mod autoscale;
+pub mod billing;
+pub mod conformance;
+pub mod fairshare;
+pub mod router;
+pub mod service;
+
+pub use admission::AdmissionController;
+pub use autoscale::AutoScaler;
+pub use billing::{BillingMeter, FreeQuota, Usage};
+pub use conformance::TrafficConformance;
+pub use fairshare::{CpuScheduler, Job, SchedulingMode};
+pub use service::{FirestoreService, ServiceOptions};

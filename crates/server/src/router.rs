@@ -1,0 +1,102 @@
+//! Global routing (paper §IV-A).
+//!
+//! "Firestore RPCs from the application get routed and distributed across
+//! the Frontend tasks in the region where the database is located." A
+//! customer picks the database's location at creation time; the global
+//! router maps database ids to regions and rejects requests for unknown
+//! databases.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A region identifier, e.g. `nam5` or `eur3`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RegionId(pub String);
+
+/// The global routing table.
+#[derive(Default)]
+pub struct Router {
+    table: RwLock<HashMap<String, RegionId>>,
+}
+
+impl Router {
+    /// Empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register a database in a region (at creation time; placement is
+    /// immutable thereafter, as in production).
+    pub fn register(&self, database: &str, region: RegionId) -> Result<(), RouteError> {
+        let mut t = self.table.write();
+        if t.contains_key(database) {
+            return Err(RouteError::AlreadyRegistered);
+        }
+        t.insert(database.to_string(), region);
+        Ok(())
+    }
+
+    /// Resolve the region serving `database`.
+    pub fn route(&self, database: &str) -> Result<RegionId, RouteError> {
+        self.table
+            .read()
+            .get(database)
+            .cloned()
+            .ok_or(RouteError::UnknownDatabase)
+    }
+
+    /// Databases hosted in `region`.
+    pub fn databases_in(&self, region: &RegionId) -> Vec<String> {
+        self.table
+            .read()
+            .iter()
+            .filter(|(_, r)| *r == region)
+            .map(|(d, _)| d.clone())
+            .collect()
+    }
+}
+
+/// Routing errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// No such database.
+    UnknownDatabase,
+    /// The database already has a location.
+    AlreadyRegistered,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_to_registered_region() {
+        let r = Router::new();
+        r.register("app1", RegionId("nam5".into())).unwrap();
+        r.register("app2", RegionId("eur3".into())).unwrap();
+        assert_eq!(r.route("app1").unwrap(), RegionId("nam5".into()));
+        assert_eq!(r.route("app2").unwrap(), RegionId("eur3".into()));
+        assert_eq!(r.route("ghost"), Err(RouteError::UnknownDatabase));
+    }
+
+    #[test]
+    fn placement_is_immutable() {
+        let r = Router::new();
+        r.register("app", RegionId("nam5".into())).unwrap();
+        assert_eq!(
+            r.register("app", RegionId("eur3".into())),
+            Err(RouteError::AlreadyRegistered)
+        );
+    }
+
+    #[test]
+    fn region_listing() {
+        let r = Router::new();
+        r.register("a", RegionId("nam5".into())).unwrap();
+        r.register("b", RegionId("nam5".into())).unwrap();
+        r.register("c", RegionId("eur3".into())).unwrap();
+        let mut in_nam5 = r.databases_in(&RegionId("nam5".into()));
+        in_nam5.sort();
+        assert_eq!(in_nam5, vec!["a", "b"]);
+    }
+}

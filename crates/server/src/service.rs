@@ -1,0 +1,569 @@
+//! The assembled multi-tenant service.
+//!
+//! One [`FirestoreService`] models one region: a shared Spanner database,
+//! a shared Real-time Cache, shared Frontend/Backend pools with
+//! auto-scaling, an admission controller, a billing meter, and any number
+//! of customer databases multiplexed on top (paper Fig 4). Request entry
+//! points meter billing and report the modeled CPU cost and latency of
+//! each operation so experiment harnesses can feed the fair-share
+//! scheduler and latency distributions.
+
+use crate::admission::AdmissionController;
+use crate::autoscale::AutoScaler;
+use crate::billing::BillingMeter;
+use crate::conformance::TrafficConformance;
+use crate::fairshare::{CpuScheduler, SchedulingMode};
+use crate::router::{RegionId, Router};
+use firestore_core::database::DatabaseOptions;
+use firestore_core::{
+    Caller, Consistency, Document, DocumentName, FirestoreDatabase, FirestoreError,
+    FirestoreResult, Query, Write, WriteResult,
+};
+use parking_lot::{Mutex, RwLock};
+use realtime::{Connection, QueryId, RealtimeCache, RealtimeOptions};
+use simkit::latency::{CpuCostModel, Deployment, LatencyModel};
+use simkit::{Duration, SimClock, SimRng, Timestamp};
+use spanner::SpannerDatabase;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceOptions {
+    /// Region name (e.g. `nam5`).
+    pub region: String,
+    /// Replica placement (drives commit latency, §IV-D2).
+    pub deployment: Deployment,
+    /// Initial Backend pool size (CPU cores).
+    pub backend_tasks: usize,
+    /// Initial Frontend pool size.
+    pub frontend_tasks: usize,
+    /// Backend scheduling discipline (the Fig 11 switch).
+    pub scheduling: SchedulingMode,
+    /// Whether pools auto-scale (disabled for the fixed-capacity isolation
+    /// experiment).
+    pub autoscaling: bool,
+    /// Real-time cache task pairs.
+    pub realtime_tasks: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            region: "nam5".to_string(),
+            deployment: Deployment::MultiRegional,
+            backend_tasks: 8,
+            frontend_tasks: 4,
+            scheduling: SchedulingMode::FairShare,
+            autoscaling: true,
+            realtime_tasks: 4,
+        }
+    }
+}
+
+/// The cost and latency breakdown of one served request, for experiment
+/// harnesses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServedRequest {
+    /// Backend CPU consumed (what the fair-share scheduler arbitrates).
+    pub cpu_cost: Duration,
+    /// Modeled storage/replication latency (excluding CPU queueing).
+    pub storage_latency: Duration,
+}
+
+/// One region of the multi-tenant Firestore service.
+pub struct FirestoreService {
+    clock: SimClock,
+    spanner: SpannerDatabase,
+    rtc: RealtimeCache,
+    databases: RwLock<HashMap<String, FirestoreDatabase>>,
+    /// Billing meter shared by all hosted databases.
+    pub billing: BillingMeter,
+    /// Backend admission control.
+    pub admission: AdmissionController,
+    /// Conforming-traffic tracking.
+    pub conformance: TrafficConformance,
+    /// Global routing table (§IV-A): database → hosting region.
+    pub router: Router,
+    /// The Backend CPU pool.
+    pub backend: Mutex<CpuScheduler>,
+    backend_scaler: Mutex<AutoScaler>,
+    frontend_tasks: AtomicUsize,
+    frontend_scaler: Mutex<AutoScaler>,
+    latency: LatencyModel,
+    cost: CpuCostModel,
+    options: ServiceOptions,
+}
+
+impl FirestoreService {
+    /// Bring up a region.
+    pub fn new(clock: SimClock, options: ServiceOptions) -> FirestoreService {
+        let spanner = SpannerDatabase::new(clock.clone());
+        let rtc = RealtimeCache::new(
+            spanner.truetime().clone(),
+            RealtimeOptions {
+                tasks: options.realtime_tasks,
+                ..RealtimeOptions::default()
+            },
+        );
+        let latency = match options.deployment {
+            Deployment::Regional => LatencyModel::regional(),
+            Deployment::MultiRegional => LatencyModel::multi_regional(),
+        };
+        FirestoreService {
+            clock,
+            spanner,
+            rtc,
+            databases: RwLock::new(HashMap::new()),
+            billing: BillingMeter::default(),
+            admission: AdmissionController::new(1000, 100_000),
+            conformance: TrafficConformance::default(),
+            router: Router::new(),
+            backend: Mutex::new(CpuScheduler::new(options.backend_tasks, options.scheduling)),
+            backend_scaler: Mutex::new(AutoScaler::new(options.backend_tasks.max(1), 4096)),
+            frontend_tasks: AtomicUsize::new(options.frontend_tasks),
+            frontend_scaler: Mutex::new(AutoScaler::new(options.frontend_tasks.max(1), 4096)),
+            latency,
+            cost: CpuCostModel::default(),
+            options,
+        }
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The shared Spanner database.
+    pub fn spanner(&self) -> &SpannerDatabase {
+        &self.spanner
+    }
+
+    /// The shared Real-time Cache.
+    pub fn realtime(&self) -> &RealtimeCache {
+        &self.rtc
+    }
+
+    /// The latency model of this region's deployment.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The CPU cost model.
+    pub fn cost_model(&self) -> &CpuCostModel {
+        &self.cost
+    }
+
+    /// Current Frontend pool size.
+    pub fn frontend_tasks(&self) -> usize {
+        self.frontend_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Provision a database on the shared infrastructure ("initialize a
+    /// Firestore database", §I — this is all a customer does).
+    pub fn create_database(&self, id: &str) -> FirestoreDatabase {
+        let db = FirestoreDatabase::create(
+            self.spanner.clone(),
+            DatabaseOptions {
+                database_id: id.to_string(),
+                ..DatabaseOptions::default()
+            },
+        );
+        db.set_observer(self.rtc.observer_for(db.directory()));
+        self.databases.write().insert(id.to_string(), db.clone());
+        // Placement is chosen at creation time and immutable (§IV-A).
+        let _ = self.router.register(id, RegionId(self.options.region.clone()));
+        db
+    }
+
+    /// Look up a hosted database.
+    pub fn database(&self, id: &str) -> Option<FirestoreDatabase> {
+        self.databases.read().get(id).cloned()
+    }
+
+    /// Number of hosted databases.
+    pub fn database_count(&self) -> usize {
+        self.databases.read().len()
+    }
+
+    fn require(&self, id: &str) -> FirestoreResult<FirestoreDatabase> {
+        self.database(id)
+            .ok_or_else(|| FirestoreError::NotFound(format!("database {id}")))
+    }
+
+    // --- metered request entry points -------------------------------------
+
+    /// Serve a single-document read.
+    pub fn get_document(
+        &self,
+        database: &str,
+        name: &DocumentName,
+        caller: &Caller,
+        rng: &mut SimRng,
+    ) -> FirestoreResult<(Option<Document>, ServedRequest)> {
+        let db = self.require(database)?;
+        let doc = db.get_document(name, Consistency::Strong, caller)?;
+        self.billing.record_reads(database, 1);
+        let bytes = doc.as_ref().map(|d| d.approx_size()).unwrap_or(0);
+        let served = ServedRequest {
+            cpu_cost: self.cost.query_cost(1, 1, bytes),
+            storage_latency: self.latency.spanner_read(1, rng) + self.latency.hop(rng),
+        };
+        Ok((doc, served))
+    }
+
+    /// Serve a query.
+    pub fn run_query(
+        &self,
+        database: &str,
+        query: &Query,
+        caller: &Caller,
+        rng: &mut SimRng,
+    ) -> FirestoreResult<(firestore_core::executor::QueryResult, ServedRequest)> {
+        let db = self.require(database)?;
+        let result = db.run_query(query, Consistency::Strong, caller)?;
+        self.billing
+            .record_reads(database, result.documents.len() as u64);
+        let served = ServedRequest {
+            cpu_cost: self.cost.query_cost(
+                result.stats.entries_scanned + result.stats.seeks * 4,
+                result.stats.docs_fetched,
+                result.stats.bytes_returned,
+            ),
+            storage_latency: self
+                .latency
+                .spanner_read(result.stats.entries_scanned.max(1), rng)
+                + self.latency.hop(rng),
+        };
+        Ok((result, served))
+    }
+
+    /// Serve a commit.
+    pub fn commit(
+        &self,
+        database: &str,
+        writes: Vec<Write>,
+        caller: &Caller,
+        rng: &mut SimRng,
+    ) -> FirestoreResult<(WriteResult, ServedRequest)> {
+        let db = self.require(database)?;
+        let deletes = writes
+            .iter()
+            .filter(|w| matches!(w.op, firestore_core::WriteOp::Delete { .. }))
+            .count();
+        let result = db.commit_writes(writes, caller)?;
+        self.billing.record_writes(
+            database,
+            (result.stats.documents - deletes.min(result.stats.documents)) as u64,
+        );
+        self.billing.record_deletes(database, deletes as u64);
+        let served = ServedRequest {
+            cpu_cost: self.cost.write_cost(
+                result.stats.index_entries_touched,
+                result.stats.payload_bytes,
+            ),
+            storage_latency: self.latency.spanner_commit(
+                result.stats.participants,
+                result.stats.payload_bytes,
+                rng,
+            ) + self.latency.hop(rng).mul_f64(2.0), // Prepare + Accept hops
+        };
+        Ok((result, served))
+    }
+
+    /// Open a real-time connection.
+    pub fn connect(&self) -> Connection {
+        self.rtc.connect()
+    }
+
+    /// Register a real-time query for `conn`: runs the initial (unwindowed)
+    /// snapshot on the Backend, bills its reads, and subscribes (§IV-D4
+    /// steps 1–4).
+    pub fn listen(
+        &self,
+        database: &str,
+        conn: &Connection,
+        query: Query,
+        caller: &Caller,
+    ) -> FirestoreResult<QueryId> {
+        let db = self.require(database)?;
+        let snapshot_ts = db.strong_read_ts();
+        let initial = db.run_query(
+            &query.without_window(),
+            Consistency::AtTimestamp(snapshot_ts),
+            caller,
+        )?;
+        self.billing
+            .record_reads(database, initial.documents.len() as u64);
+        Ok(conn.listen(db.directory(), query, initial.documents, snapshot_ts))
+    }
+
+    /// Model the per-listener notification delays of one fan-out: each
+    /// Frontend task serializes the sends of the listeners it hosts
+    /// (round-robin assignment), so delay grows within a task but the pool
+    /// scales out with listener count (Fig 9).
+    pub fn fanout_delays(&self, listeners: usize, rng: &mut SimRng) -> Vec<Duration> {
+        let tasks = self.frontend_tasks.load(Ordering::Relaxed).max(1);
+        let per_send = Duration::from_micros(30);
+        (0..listeners)
+            .map(|i| {
+                let rank_in_task = (i / tasks) as u64;
+                self.latency.hop(rng) + per_send * (rank_in_task + 1)
+            })
+            .collect()
+    }
+
+    /// Observe real-time load and let the Frontend pool scale with the
+    /// number of active queries ("the increase in active real-time queries
+    /// increases the load on Frontend tasks, which leads autoscaling to
+    /// quickly scale up the number of Frontend tasks, independently of the
+    /// rest of the system", §V-B1).
+    pub fn autoscale_frontends(&self, now: Timestamp) {
+        if !self.options.autoscaling {
+            return;
+        }
+        let active = self.rtc.stats().active_queries;
+        let tasks = self.frontend_tasks.load(Ordering::Relaxed);
+        // Model: one task comfortably serves ~64 active queries.
+        let utilization = active as f64 / (tasks as f64 * 64.0);
+        if let Some(new) = self.frontend_scaler.lock().observe(tasks, utilization, now) {
+            self.frontend_tasks.store(new, Ordering::Relaxed);
+        }
+    }
+
+    /// Observe Backend utilization and scale the pool.
+    pub fn autoscale_backend(&self, now: Timestamp) {
+        if !self.options.autoscaling {
+            return;
+        }
+        let mut backend = self.backend.lock();
+        let utilization = backend.take_utilization();
+        let tasks = backend.cores();
+        if let Some(new) = self.backend_scaler.lock().observe(tasks, utilization, now) {
+            backend.set_cores(new);
+        }
+    }
+
+    /// Periodic service maintenance: real-time heartbeats, billing day
+    /// rolls, storage maintenance, auto-scaling.
+    pub fn tick(&self) {
+        let now = self.clock.now();
+        self.rtc.tick();
+        self.billing.maybe_roll_day(now);
+        self.spanner.maintain(Timestamp::from_nanos(
+            now.as_nanos()
+                .saturating_sub(Duration::from_secs(3600).as_nanos()),
+        ));
+        self.autoscale_frontends(now);
+        self.autoscale_backend(now);
+        // Refresh storage gauges.
+        let dbs: Vec<(String, FirestoreDatabase)> = self
+            .databases
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (id, db) in dbs {
+            if let Ok((_, bytes)) = db.storage_stats() {
+                self.billing.set_storage(&id, bytes as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firestore_core::database::doc;
+    use firestore_core::Value;
+
+    fn service() -> FirestoreService {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        FirestoreService::new(clock, ServiceOptions::default())
+    }
+
+    #[test]
+    fn multi_tenant_databases_are_isolated() {
+        let svc = service();
+        let a = svc.create_database("app-a");
+        let b = svc.create_database("app-b");
+        assert_eq!(svc.database_count(), 2);
+        a.commit_writes(
+            vec![Write::set(doc("/users/u"), [("app", Value::from("a"))])],
+            &Caller::Service,
+        )
+        .unwrap();
+        // Database B cannot see A's document despite the shared Spanner.
+        assert!(b
+            .get_document(&doc("/users/u"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_none());
+        assert!(a
+            .get_document(&doc("/users/u"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn requests_are_metered() {
+        let svc = service();
+        svc.create_database("app");
+        let mut rng = SimRng::new(1);
+        let (result, served) = svc
+            .commit(
+                "app",
+                vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+                &Caller::Service,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(result.commit_ts > Timestamp::ZERO);
+        assert!(served.cpu_cost > Duration::ZERO);
+        assert!(served.storage_latency > Duration::ZERO);
+        assert_eq!(svc.billing.usage("app").writes, 1);
+
+        let (doc_read, _) = svc
+            .get_document("app", &doc("/c/d"), &Caller::Service, &mut rng)
+            .unwrap();
+        assert!(doc_read.is_some());
+        assert_eq!(svc.billing.usage("app").reads, 1);
+
+        let q = Query::parse("/c").unwrap();
+        let (qr, _) = svc
+            .run_query("app", &q, &Caller::Service, &mut rng)
+            .unwrap();
+        assert_eq!(qr.documents.len(), 1);
+        assert_eq!(svc.billing.usage("app").reads, 2);
+
+        svc.commit(
+            "app",
+            vec![Write::delete(doc("/c/d"))],
+            &Caller::Service,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(svc.billing.usage("app").deletes, 1);
+    }
+
+    #[test]
+    fn unknown_database_rejected() {
+        let svc = service();
+        let mut rng = SimRng::new(1);
+        assert!(matches!(
+            svc.get_document("ghost", &doc("/c/d"), &Caller::Service, &mut rng),
+            Err(FirestoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn realtime_listen_through_service() {
+        let svc = service();
+        svc.create_database("app");
+        let conn = svc.connect();
+        let q = Query::parse("/scores").unwrap();
+        svc.listen("app", &conn, q, &Caller::Service).unwrap();
+        conn.poll(); // initial snapshot
+        let mut rng = SimRng::new(2);
+        svc.commit(
+            "app",
+            vec![Write::set(doc("/scores/game1"), [("home", Value::Int(1))])],
+            &Caller::Service,
+            &mut rng,
+        )
+        .unwrap();
+        svc.realtime().tick();
+        let events = conn.poll();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn multi_regional_commits_slower_than_regional() {
+        let mk = |deployment| {
+            let clock = SimClock::new();
+            clock.advance(Duration::from_secs(1));
+            let svc = FirestoreService::new(
+                clock,
+                ServiceOptions {
+                    deployment,
+                    ..ServiceOptions::default()
+                },
+            );
+            svc.create_database("app");
+            let mut rng = SimRng::new(3);
+            let mut total = Duration::ZERO;
+            for i in 0..50 {
+                let (_, served) = svc
+                    .commit(
+                        "app",
+                        vec![Write::set(
+                            doc(&format!("/c/d{i}")),
+                            [("v", Value::Int(i as i64))],
+                        )],
+                        &Caller::Service,
+                        &mut rng,
+                    )
+                    .unwrap();
+                total += served.storage_latency;
+            }
+            total
+        };
+        let regional = mk(Deployment::Regional);
+        let multi = mk(Deployment::MultiRegional);
+        assert!(
+            multi > regional.mul_f64(2.0),
+            "multi {multi} vs regional {regional}"
+        );
+    }
+
+    #[test]
+    fn frontend_autoscaling_follows_listeners() {
+        let svc = service();
+        svc.create_database("app");
+        let before = svc.frontend_tasks();
+        // Register many listeners, then advance past the reaction delay.
+        let conn = svc.connect();
+        for i in 0..2000 {
+            let q = Query::parse(&format!("/c{i}")).unwrap();
+            svc.listen("app", &conn, q, &Caller::Service).unwrap();
+        }
+        svc.autoscale_frontends(svc.clock().now());
+        svc.clock().advance(Duration::from_secs(60));
+        svc.autoscale_frontends(svc.clock().now());
+        assert!(
+            svc.frontend_tasks() > before,
+            "pool should grow under listener load"
+        );
+        // Fan-out delays shrink as the pool grows.
+        let mut rng = SimRng::new(4);
+        let delays = svc.fanout_delays(1000, &mut rng);
+        assert_eq!(delays.len(), 1000);
+    }
+
+    #[test]
+    fn databases_route_to_their_region() {
+        let svc = service();
+        svc.create_database("app");
+        assert_eq!(
+            svc.router.route("app").unwrap(),
+            crate::router::RegionId("nam5".into())
+        );
+        assert!(svc.router.route("elsewhere").is_err());
+    }
+
+    #[test]
+    fn tick_runs_maintenance() {
+        let svc = service();
+        svc.create_database("app");
+        let mut rng = SimRng::new(5);
+        svc.commit(
+            "app",
+            vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+            &Caller::Service,
+            &mut rng,
+        )
+        .unwrap();
+        svc.tick();
+        assert!(svc.billing.usage("app").storage_bytes > 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Simulated time.
+//!
+//! All components in the workspace share one [`SimClock`]. Time only moves
+//! when something advances it (the discrete-event scheduler, or a test), so
+//! experiments are reproducible and can compress "10 minutes of wall clock"
+//! into milliseconds of real execution.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point in simulated time, in nanoseconds since the start of the
+/// simulation.
+///
+/// `Timestamp` doubles as the commit-timestamp type of the Spanner substrate:
+/// the TrueTime machinery guarantees that commit timestamps are globally
+/// ordered, so a plain integer comparison is a valid "happened before" test.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp, before any event.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The maximum representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(n: u64) -> Self {
+        Timestamp(n)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Timestamp(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds since simulation start.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating difference between two timestamps.
+    pub fn saturating_sub(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::ops::Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+}
+
+impl std::ops::Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(n: u64) -> Self {
+        Duration(n)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional milliseconds (rounds down to nanoseconds).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Duration((ms.max(0.0) * 1e6) as u64)
+    }
+
+    /// Nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a scalar.
+    pub fn mul_f64(self, k: f64) -> Duration {
+        Duration((self.0 as f64 * k).max(0.0) as u64)
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// A shared simulated clock.
+///
+/// Cloning is cheap and all clones observe the same time. The clock is
+/// monotonic: [`SimClock::advance_to`] with a timestamp in the past is a
+/// no-op rather than a rewind.
+#[derive(Clone, Default)]
+pub struct SimClock {
+    now_nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Create a clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.now_nanos.load(Ordering::SeqCst))
+    }
+
+    /// Move the clock forward by `d`, returning the new time.
+    pub fn advance(&self, d: Duration) -> Timestamp {
+        Timestamp(self.now_nanos.fetch_add(d.0, Ordering::SeqCst) + d.0)
+    }
+
+    /// Move the clock forward to `t` if `t` is in the future.
+    pub fn advance_to(&self, t: Timestamp) {
+        self.now_nanos.fetch_max(t.0, Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimClock({})", self.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic_round_trips() {
+        let t = Timestamp::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        assert_eq!(t + Duration::from_millis(3), Timestamp::from_millis(8));
+        assert_eq!(Timestamp::from_millis(8) - t, Duration::from_millis(3));
+        assert_eq!(t.as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn timestamp_saturating_ops() {
+        let t = Timestamp::from_millis(1);
+        assert_eq!(t.saturating_sub(Timestamp::from_millis(2)), Duration::ZERO);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_secs(1)),
+            Timestamp::MAX
+        );
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(Duration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Duration::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Duration::from_millis_f64(1.5).as_nanos(), 1_500_000);
+        assert_eq!(Duration::from_millis_f64(-3.0), Duration::ZERO);
+        assert_eq!(
+            Duration::from_millis(4).mul_f64(2.5),
+            Duration::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        c.advance(Duration::from_millis(10));
+        assert_eq!(c2.now(), Timestamp::from_millis(10));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = SimClock::new();
+        c.advance_to(Timestamp::from_millis(10));
+        c.advance_to(Timestamp::from_millis(5));
+        assert_eq!(c.now(), Timestamp::from_millis(10));
+    }
+}

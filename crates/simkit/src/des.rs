@@ -1,0 +1,208 @@
+//! A single-threaded discrete-event scheduler.
+//!
+//! The benchmark harness drives request arrivals, task service completions,
+//! auto-scaler ticks, changelog heartbeats, etc. as events on one timeline.
+//! Events at equal timestamps run in insertion order (a stable tiebreak keeps
+//! runs deterministic).
+
+use crate::clock::{Duration, SimClock, Timestamp};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event callback. It receives the scheduler so it can schedule follow-up
+/// events; shared state is captured by the closure (typically via `Rc`/`Arc`).
+pub type Event = Box<dyn FnOnce(&mut Scheduler)>;
+
+struct QueuedEvent {
+    at: Timestamp,
+    seq: u64,
+    run: Event,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event executor.
+///
+/// Time is shared via [`SimClock`], so components holding a clone of the
+/// clock observe event time without referencing the scheduler.
+pub struct Scheduler {
+    clock: SimClock,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl Scheduler {
+    /// Create a scheduler over the given clock.
+    pub fn new(clock: SimClock) -> Self {
+        Scheduler {
+            clock,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at absolute time `at`. Events scheduled in the past
+    /// run "now" (at the current clock reading).
+    pub fn schedule_at(&mut self, at: Timestamp, event: impl FnOnce(&mut Scheduler) + 'static) {
+        let at = at.max(self.clock.now());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq,
+            run: Box::new(event),
+        }));
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: Duration, event: impl FnOnce(&mut Scheduler) + 'static) {
+        self.schedule_at(self.clock.now() + delay, event);
+    }
+
+    /// Run events until the queue drains or the clock passes `deadline`.
+    /// Returns the number of events executed.
+    pub fn run_until(&mut self, deadline: Timestamp) -> u64 {
+        let start_count = self.executed;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.clock.advance_to(ev.at);
+            self.executed += 1;
+            (ev.run)(self);
+        }
+        self.clock.advance_to(deadline);
+        self.executed - start_count
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let start_count = self.executed;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.clock.advance_to(ev.at);
+            self.executed += 1;
+            (ev.run)(self);
+        }
+        self.executed - start_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut s = Scheduler::new(SimClock::new());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (label, ms) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let log = log.clone();
+            s.schedule_at(Timestamp::from_millis(ms), move |_| {
+                log.borrow_mut().push(label)
+            });
+        }
+        s.run_to_completion();
+        assert_eq!(*log.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(s.now(), Timestamp::from_millis(30));
+    }
+
+    #[test]
+    fn equal_times_run_in_insertion_order() {
+        let mut s = Scheduler::new(SimClock::new());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            s.schedule_at(Timestamp::from_millis(7), move |_| log.borrow_mut().push(i));
+        }
+        s.run_to_completion();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        let mut s = Scheduler::new(SimClock::new());
+        let count = Rc::new(RefCell::new(0u32));
+        fn tick(s: &mut Scheduler, count: Rc<RefCell<u32>>) {
+            *count.borrow_mut() += 1;
+            if *count.borrow() < 10 {
+                let c = count.clone();
+                s.schedule_in(Duration::from_millis(1), move |s| tick(s, c));
+            }
+        }
+        let c = count.clone();
+        s.schedule_at(Timestamp::ZERO, move |s| tick(s, c));
+        s.run_to_completion();
+        assert_eq!(*count.borrow(), 10);
+        assert_eq!(s.now(), Timestamp::from_millis(9));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut s = Scheduler::new(SimClock::new());
+        let hits = Rc::new(RefCell::new(0u32));
+        for ms in [5u64, 15, 25] {
+            let hits = hits.clone();
+            s.schedule_at(Timestamp::from_millis(ms), move |_| *hits.borrow_mut() += 1);
+        }
+        let ran = s.run_until(Timestamp::from_millis(20));
+        assert_eq!(ran, 2);
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(s.now(), Timestamp::from_millis(20));
+        assert_eq!(s.pending(), 1);
+        s.run_to_completion();
+        assert_eq!(*hits.borrow(), 3);
+    }
+
+    #[test]
+    fn past_events_run_at_current_time() {
+        let mut s = Scheduler::new(SimClock::new());
+        s.clock().advance(Duration::from_millis(100));
+        let at = Rc::new(RefCell::new(Timestamp::ZERO));
+        let at2 = at.clone();
+        s.schedule_at(Timestamp::from_millis(1), move |s| {
+            *at2.borrow_mut() = s.now()
+        });
+        s.run_to_completion();
+        assert_eq!(*at.borrow(), Timestamp::from_millis(100));
+    }
+}

@@ -1,0 +1,268 @@
+//! Latency and CPU-cost models.
+//!
+//! These models stand in for the parts of the paper's testbed a laptop cannot
+//! reproduce: Paxos quorum round trips between replicas (regional vs the
+//! `nam5` multi-region used in §V-B), RPC hops between Frontend, Backend, and
+//! Real-time Cache tasks, and the per-operation CPU cost that the fair-share
+//! scheduler arbitrates (§IV-C, Fig 11).
+//!
+//! Draws are log-normal — the canonical shape of datacenter RPC latency —
+//! parameterized by a median and a dispersion factor, so p50 stays put while
+//! the tail produces realistic p99 behaviour.
+
+use crate::clock::Duration;
+use crate::rng::SimRng;
+
+/// Where a database's replicas live; multi-region quorums cross metro
+/// boundaries and pay a much larger RTT (paper §IV-D2: "Network latency
+/// between replicas is higher for a multi-regional deployment").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Deployment {
+    /// Replicas within one region: sub-millisecond RTTs.
+    Regional,
+    /// A multi-region configuration like `nam5`: tens of milliseconds.
+    MultiRegional,
+}
+
+/// A log-normal latency distribution described by its median and a sigma
+/// (dispersion of the underlying normal).
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormalLatency {
+    /// Median latency.
+    pub median: Duration,
+    /// Dispersion (σ of ln X). 0.25 is a tight service, 0.6 a long tail.
+    pub sigma: f64,
+}
+
+impl LogNormalLatency {
+    /// Construct from median milliseconds and sigma.
+    pub fn from_millis(median_ms: f64, sigma: f64) -> Self {
+        LogNormalLatency {
+            median: Duration::from_millis_f64(median_ms),
+            sigma,
+        }
+    }
+
+    /// Draw one latency.
+    pub fn sample(&self, rng: &mut SimRng) -> Duration {
+        let factor = rng.lognormal(0.0, self.sigma);
+        self.median.mul_f64(factor)
+    }
+}
+
+/// The full latency model used by the simulated deployment.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    /// Replica placement.
+    pub deployment: Deployment,
+    /// One Paxos quorum agreement (leader → quorum of replicas → leader).
+    pub quorum_commit: LogNormalLatency,
+    /// A single RPC hop between tasks in the same region.
+    pub rpc_hop: LogNormalLatency,
+    /// A single-row Spanner read at a given timestamp (no locks).
+    pub storage_read: LogNormalLatency,
+    /// Extra latency per additional 2PC participant group beyond the first;
+    /// multi-tablet commits coordinate more Paxos groups (paper §IV-D2).
+    pub per_participant: LogNormalLatency,
+    /// Extra latency per KiB of payload written (storage + replication
+    /// bandwidth term for the Fig 10 document-size sweep).
+    pub per_kib_write: Duration,
+}
+
+impl LatencyModel {
+    /// Model for a regional deployment.
+    pub fn regional() -> Self {
+        LatencyModel {
+            deployment: Deployment::Regional,
+            quorum_commit: LogNormalLatency::from_millis(1.2, 0.35),
+            rpc_hop: LogNormalLatency::from_millis(0.25, 0.3),
+            storage_read: LogNormalLatency::from_millis(0.9, 0.35),
+            per_participant: LogNormalLatency::from_millis(0.35, 0.3),
+            per_kib_write: Duration::from_micros(8),
+        }
+    }
+
+    /// Model for a multi-region deployment such as `nam5` (central US),
+    /// the configuration used for every benchmark in paper §V-B.
+    pub fn multi_regional() -> Self {
+        LatencyModel {
+            deployment: Deployment::MultiRegional,
+            quorum_commit: LogNormalLatency::from_millis(12.0, 0.3),
+            rpc_hop: LogNormalLatency::from_millis(0.25, 0.3),
+            storage_read: LogNormalLatency::from_millis(4.0, 0.3),
+            per_participant: LogNormalLatency::from_millis(1.0, 0.3),
+            per_kib_write: Duration::from_micros(12),
+        }
+    }
+
+    /// Latency of one quorum commit.
+    pub fn quorum(&self, rng: &mut SimRng) -> Duration {
+        self.quorum_commit.sample(rng)
+    }
+
+    /// Latency of a full Spanner commit touching `participants` groups and
+    /// writing `payload_bytes` in total. A single-group commit is one quorum
+    /// round; additional groups add prepare-phase cost.
+    pub fn spanner_commit(
+        &self,
+        participants: usize,
+        payload_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Duration {
+        let mut d = self.quorum_commit.sample(rng);
+        if participants > 1 {
+            // Two-phase commit: a prepare round (in parallel across the
+            // non-coordinator groups — pay the slowest) plus per-group
+            // bookkeeping.
+            let mut slowest_prepare = Duration::ZERO;
+            for _ in 1..participants {
+                slowest_prepare = slowest_prepare.max(self.quorum_commit.sample(rng));
+            }
+            d += slowest_prepare;
+            for _ in 1..participants {
+                d += self.per_participant.sample(rng);
+            }
+        }
+        d += self.per_kib_write.mul_f64(payload_bytes as f64 / 1024.0);
+        d
+    }
+
+    /// Latency of a timestamp read of `rows` rows.
+    pub fn spanner_read(&self, rows: usize, rng: &mut SimRng) -> Duration {
+        let mut d = self.storage_read.sample(rng);
+        // Sequential row decoding is cheap relative to the seek.
+        d += Duration::from_micros(2) * rows as u64;
+        d
+    }
+
+    /// One RPC hop.
+    pub fn hop(&self, rng: &mut SimRng) -> Duration {
+        self.rpc_hop.sample(rng)
+    }
+}
+
+/// CPU cost model: how much *CPU time* an operation consumes on a Backend
+/// task. This is the quantity the fair-CPU-share scheduler (paper §IV-C)
+/// arbitrates, distinct from end-to-end latency.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuCostModel {
+    /// Fixed overhead per RPC (parsing, routing, security rules).
+    pub per_rpc: Duration,
+    /// Cost per index entry scanned by a query.
+    pub per_index_entry: Duration,
+    /// Cost per document materialized.
+    pub per_document: Duration,
+    /// Cost per KiB of payload processed.
+    pub per_kib: Duration,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        CpuCostModel {
+            per_rpc: Duration::from_micros(50),
+            per_index_entry: Duration::from_micros(2),
+            per_document: Duration::from_micros(10),
+            per_kib: Duration::from_micros(4),
+        }
+    }
+}
+
+impl CpuCostModel {
+    /// CPU cost of a query that scanned `entries` index entries and returned
+    /// `documents` documents totalling `bytes` bytes.
+    pub fn query_cost(&self, entries: usize, documents: usize, bytes: usize) -> Duration {
+        self.per_rpc
+            + self.per_index_entry * entries as u64
+            + self.per_document * documents as u64
+            + self.per_kib.mul_f64(bytes as f64 / 1024.0)
+    }
+
+    /// CPU cost of a write producing `index_entries` index mutations with
+    /// `bytes` of document payload.
+    pub fn write_cost(&self, index_entries: usize, bytes: usize) -> Duration {
+        self.per_rpc
+            + self.per_index_entry * index_entries as u64
+            + self.per_kib.mul_f64(bytes as f64 / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let dist = LogNormalLatency::from_millis(10.0, 0.4);
+        let mut rng = SimRng::new(1);
+        let mut xs: Vec<f64> = (0..20_000)
+            .map(|_| dist.sample(&mut rng).as_millis_f64())
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median - 10.0).abs() < 0.5, "median {median} should be ≈10");
+        // And it must have a tail.
+        let p99 = xs[(xs.len() as f64 * 0.99) as usize];
+        assert!(p99 > 15.0, "p99 {p99} should exceed median substantially");
+    }
+
+    #[test]
+    fn multi_region_commits_are_slower() {
+        let mut rng = SimRng::new(2);
+        let reg = LatencyModel::regional();
+        let multi = LatencyModel::multi_regional();
+        let avg = |m: &LatencyModel, rng: &mut SimRng| {
+            (0..2000)
+                .map(|_| m.spanner_commit(1, 1024, rng).as_millis_f64())
+                .sum::<f64>()
+                / 2000.0
+        };
+        let r = avg(&reg, &mut rng);
+        let m = avg(&multi, &mut rng);
+        assert!(
+            m > 3.0 * r,
+            "multi-region ({m}ms) should dwarf regional ({r}ms)"
+        );
+    }
+
+    #[test]
+    fn more_participants_cost_more() {
+        let mut rng = SimRng::new(3);
+        let m = LatencyModel::multi_regional();
+        let avg = |participants: usize, rng: &mut SimRng| {
+            (0..2000)
+                .map(|_| m.spanner_commit(participants, 0, rng).as_millis_f64())
+                .sum::<f64>()
+                / 2000.0
+        };
+        let one = avg(1, &mut rng);
+        let five = avg(5, &mut rng);
+        let twenty = avg(20, &mut rng);
+        assert!(five > one);
+        assert!(twenty > five);
+    }
+
+    #[test]
+    fn payload_size_adds_latency() {
+        let mut rng = SimRng::new(4);
+        let m = LatencyModel::regional();
+        let avg = |bytes: usize, rng: &mut SimRng| {
+            (0..2000)
+                .map(|_| m.spanner_commit(1, bytes, rng).as_millis_f64())
+                .sum::<f64>()
+                / 2000.0
+        };
+        let small = avg(1024, &mut rng);
+        let big = avg(1024 * 1024, &mut rng);
+        assert!(
+            big > small + 5.0,
+            "1MiB ({big}ms) should cost visibly more than 1KiB ({small}ms)"
+        );
+    }
+
+    #[test]
+    fn cpu_cost_scales_with_entries() {
+        let c = CpuCostModel::default();
+        assert!(c.write_cost(500, 1000) > c.write_cost(1, 1000));
+        assert!(c.query_cost(1000, 100, 10_000) > c.query_cost(10, 1, 100));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Simulation kit shared by the whole `firestore-rs` workspace.
+//!
+//! The library engine (documents, indexes, transactions, real-time matching)
+//! executes for real; what a laptop cannot reproduce is the *latency* of a
+//! planet-scale deployment: Paxos quorum round trips, task CPU contention,
+//! auto-scaler reaction times. `simkit` provides the building blocks used to
+//! model those components deterministically:
+//!
+//! * [`clock::SimClock`] — a shared, monotonically advancing simulated clock.
+//! * [`truetime::TrueTime`] — Spanner-style bounded-uncertainty time source
+//!   producing globally ordered commit timestamps.
+//! * [`des::Scheduler`] — a single-threaded discrete-event executor.
+//! * [`rng::SimRng`] — a seeded, splittable random number generator with the
+//!   distributions used by the workload generators.
+//! * [`latency`] — latency models for replication quorums, RPC hops, and CPU
+//!   service times.
+//! * [`stats`] — percentile / histogram / boxplot summaries used by the
+//!   benchmark harness.
+//!
+//! Everything is deterministic given a seed: running an experiment twice
+//! produces identical output.
+
+pub mod clock;
+pub mod des;
+pub mod latency;
+pub mod rng;
+pub mod stats;
+pub mod truetime;
+
+pub use clock::{Duration, SimClock, Timestamp};
+pub use des::Scheduler;
+pub use rng::SimRng;
+pub use truetime::{TrueTime, TtInterval};

@@ -1,0 +1,363 @@
+//! Measurement collection and summaries for the benchmark harness.
+//!
+//! The paper's figures report p50/p99 latency series (Figs 7–11) and
+//! median-normalized boxplots (Fig 6); this module provides exactly those
+//! summaries.
+
+use crate::clock::Duration;
+
+/// An append-only collection of samples with percentile queries.
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Create an empty collection.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Add a duration sample in milliseconds.
+    pub fn push_duration(&mut self, d: Duration) {
+        self.push(d.as_millis_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0.0..=1.0) by linear interpolation between
+    /// closest ranks. Returns `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 1.0);
+        let rank = p * (self.values.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Minimum.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.values.first().copied()
+    }
+
+    /// Maximum.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.values.last().copied()
+    }
+
+    /// All values (unsorted order not guaranteed after percentile calls).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Produce the five-number summary used by Fig 6's boxplots.
+    pub fn boxplot(&mut self) -> Option<Boxplot> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(Boxplot {
+            min: self.min().unwrap(),
+            q1: self.percentile(0.25).unwrap(),
+            median: self.median().unwrap(),
+            q3: self.percentile(0.75).unwrap(),
+            max: self.max().unwrap(),
+            p1: self.percentile(0.01).unwrap(),
+            p99: self.percentile(0.99).unwrap(),
+        })
+    }
+}
+
+/// Five-number summary plus 1/99 whiskers, as plotted in the paper's Fig 6.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Boxplot {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// 1st percentile (lower whisker).
+    pub p1: f64,
+    /// 99th percentile (upper whisker).
+    pub p99: f64,
+}
+
+impl Boxplot {
+    /// Normalize every statistic to the median, matching the paper's
+    /// presentation ("values normalized to their respective median").
+    pub fn normalized(&self) -> Boxplot {
+        let m = if self.median == 0.0 { 1.0 } else { self.median };
+        Boxplot {
+            min: self.min / m,
+            q1: self.q1 / m,
+            median: 1.0,
+            q3: self.q3 / m,
+            max: self.max / m,
+            p1: self.p1 / m,
+            p99: self.p99 / m,
+        }
+    }
+
+    /// Orders of magnitude between max and median — the paper highlights
+    /// spreads of ~9 OoM for storage and QPS.
+    pub fn orders_of_magnitude(&self) -> f64 {
+        if self.median <= 0.0 || self.max <= 0.0 {
+            0.0
+        } else {
+            (self.max / self.median).log10()
+        }
+    }
+}
+
+/// A labelled (x, p50, p99) series — the shape of Figs 7–11.
+#[derive(Clone, Debug, Default)]
+pub struct LatencySeries {
+    /// Series label (e.g. "workload A read").
+    pub label: String,
+    /// Points of `(x, p50_ms, p99_ms)`.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl LatencySeries {
+    /// Create an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        LatencySeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Summarize `samples` at x-coordinate `x` and append the point.
+    pub fn add_point(&mut self, x: f64, samples: &mut Samples) {
+        let p50 = samples.percentile(0.5).unwrap_or(f64::NAN);
+        let p99 = samples.percentile(0.99).unwrap_or(f64::NAN);
+        self.points.push((x, p50, p99));
+    }
+
+    /// Render as aligned text rows (used by the figure binaries).
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "# {}\n{:>12} {:>12} {:>12}\n",
+            self.label, "x", "p50_ms", "p99_ms"
+        );
+        for (x, p50, p99) in &self.points {
+            out.push_str(&format!("{x:>12.2} {p50:>12.3} {p99:>12.3}\n"));
+        }
+        out
+    }
+
+    /// Render as CSV rows `label,x,p50_ms,p99_ms`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (x, p50, p99) in &self.points {
+            out.push_str(&format!("{},{x},{p50},{p99}\n", self.label));
+        }
+        out
+    }
+}
+
+/// A fixed-boundary histogram for cheap streaming distribution sketches.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Build a histogram with exponentially growing bucket boundaries from
+    /// `first_bound`, multiplying by `growth`, with `buckets` buckets plus an
+    /// overflow bucket.
+    pub fn exponential(first_bound: f64, growth: f64, buckets: usize) -> Self {
+        assert!(first_bound > 0.0 && growth > 1.0 && buckets > 0);
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut b = first_bound;
+        for _ in 0..buckets {
+            bounds.push(b);
+            b *= growth;
+        }
+        let counts = vec![0; buckets + 1];
+        Histogram {
+            bounds,
+            counts,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b <= v);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket counts (last bucket is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate quantile from bucket boundaries.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return Some(if i == 0 {
+                    self.bounds[0] / 2.0
+                } else if i >= self.bounds.len() {
+                    *self.bounds.last().unwrap()
+                } else {
+                    (self.bounds[i - 1] + self.bounds[i]) / 2.0
+                });
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(1.0), Some(4.0));
+        assert_eq!(s.median(), Some(2.5));
+        assert_eq!(s.mean(), Some(2.5));
+    }
+
+    #[test]
+    fn empty_samples_return_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert!(s.boxplot().is_none());
+    }
+
+    #[test]
+    fn boxplot_ordering_invariant() {
+        let mut s = Samples::new();
+        let mut rng = crate::rng::SimRng::new(9);
+        for _ in 0..1000 {
+            s.push(rng.lognormal(0.0, 1.0));
+        }
+        let b = s.boxplot().unwrap();
+        assert!(b.min <= b.p1 && b.p1 <= b.q1 && b.q1 <= b.median);
+        assert!(b.median <= b.q3 && b.q3 <= b.p99 && b.p99 <= b.max);
+    }
+
+    #[test]
+    fn normalized_boxplot_has_unit_median() {
+        let mut s = Samples::new();
+        for v in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            s.push(v);
+        }
+        let n = s.boxplot().unwrap().normalized();
+        assert_eq!(n.median, 1.0);
+        assert!((n.max - 50.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orders_of_magnitude() {
+        let b = Boxplot {
+            min: 1.0,
+            q1: 1.0,
+            median: 1.0,
+            q3: 1.0,
+            max: 1e9,
+            p1: 1.0,
+            p99: 1e8,
+        };
+        assert!((b.orders_of_magnitude() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_series_renders() {
+        let mut series = LatencySeries::new("test");
+        let mut s = Samples::new();
+        for v in 0..100 {
+            s.push(v as f64);
+        }
+        series.add_point(500.0, &mut s);
+        let table = series.to_table();
+        assert!(table.contains("test"));
+        assert!(table.contains("500.00"));
+        let csv = series.to_csv();
+        assert!(csv.starts_with("test,500,"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::exponential(1.0, 2.0, 10);
+        for v in [0.5, 1.5, 3.0, 100.0, 10_000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts().iter().sum::<u64>(), 5);
+        // Overflow bucket catches the huge value.
+        assert_eq!(*h.counts().last().unwrap(), 1);
+        assert!(h.quantile(0.5).is_some());
+        assert!(Histogram::exponential(1.0, 2.0, 4).quantile(0.5).is_none());
+    }
+}

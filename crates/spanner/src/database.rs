@@ -1,0 +1,921 @@
+//! The Spanner database: tables, directories, transactions, commits.
+//!
+//! One `SpannerDatabase` models one of the "small number of pre-initialized
+//! Spanner databases" per region that Firestore multiplexes millions of
+//! customer databases onto (paper §IV-D1). Customer databases map to
+//! *directories* — key-prefix placement units — allocated from this object.
+
+use crate::error::{SpannerError, SpannerResult};
+use crate::key::{Key, KeyRange};
+use crate::lock::{LockManager, LockMode};
+use crate::mvcc::MvccStore;
+use crate::tablet::{SplitPolicy, TabletMap};
+use crate::txn::{Mutation, ReadWriteTransaction, TxnId};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use simkit::{SimClock, Timestamp, TrueTime};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A table name. Firestore uses `Entities` and `IndexEntries` (§IV-D1), plus
+/// a `Messages` table for the transactional messaging system (§IV-D2).
+pub type TableName = &'static str;
+
+/// Options controlling substrate behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct SpannerOptions {
+    /// Tablet split policy applied to every table.
+    pub split_policy: SplitPolicy,
+}
+
+struct TableData {
+    store: RwLock<MvccStore>,
+    tablets: Mutex<TabletMap>,
+}
+
+/// A directory id: the placement unit one Firestore database occupies.
+/// Directory `d`'s keys all start with the 4-byte big-endian encoding of `d`,
+/// so a directory is a contiguous key range in every table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DirectoryId(pub u32);
+
+impl DirectoryId {
+    /// The key prefix of this directory.
+    pub fn prefix(&self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Prefix a key with this directory.
+    pub fn key(&self, suffix: &[u8]) -> Key {
+        let mut v = Vec::with_capacity(4 + suffix.len());
+        v.extend_from_slice(&self.prefix());
+        v.extend_from_slice(suffix);
+        Key::from(v)
+    }
+
+    /// The key range covering the whole directory.
+    pub fn range(&self) -> KeyRange {
+        KeyRange::prefix(&Key::from(self.prefix().to_vec()))
+    }
+}
+
+/// The result of a successful commit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// The TrueTime commit timestamp assigned to the transaction.
+    pub commit_ts: Timestamp,
+    /// Distinct tablets (Paxos participant groups) the commit touched.
+    pub participants: usize,
+    /// Total mutation payload bytes.
+    pub payload_bytes: usize,
+    /// Number of mutations applied.
+    pub mutation_count: usize,
+}
+
+/// Failure injection hooks for testing the write pipeline's error paths
+/// (paper §IV-D2 enumerates them; §VI stresses testing them).
+#[derive(Debug, Default)]
+struct FailureInjector {
+    /// Fail the next `n` commits with the given error.
+    fail_commits: Mutex<Vec<SpannerError>>,
+}
+
+struct Inner {
+    truetime: TrueTime,
+    tables: RwLock<HashMap<&'static str, (u32, Arc<TableData>)>>,
+    locks: LockManager,
+    next_txn: AtomicU64,
+    next_directory: AtomicU32,
+    options: SpannerOptions,
+    failures: FailureInjector,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+/// A Spanner-like database. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct SpannerDatabase {
+    inner: Arc<Inner>,
+}
+
+impl SpannerDatabase {
+    /// Create a database over the given clock with default options.
+    pub fn new(clock: SimClock) -> Self {
+        SpannerDatabase::with_options(clock, SpannerOptions::default())
+    }
+
+    /// Create a database with explicit options.
+    pub fn with_options(clock: SimClock, options: SpannerOptions) -> Self {
+        let truetime = TrueTime::with_default_epsilon(clock);
+        SpannerDatabase {
+            inner: Arc::new(Inner {
+                truetime,
+                tables: RwLock::new(HashMap::new()),
+                locks: LockManager::new(),
+                next_txn: AtomicU64::new(1),
+                next_directory: AtomicU32::new(1),
+                options,
+                failures: FailureInjector::default(),
+                commits: AtomicU64::new(0),
+                aborts: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The TrueTime source.
+    pub fn truetime(&self) -> &TrueTime {
+        &self.inner.truetime
+    }
+
+    /// Create `name` if it does not exist; idempotent.
+    pub fn create_table(&self, name: TableName) {
+        let mut tables = self.inner.tables.write();
+        let next_id = tables.len() as u32;
+        tables.entry(name).or_insert_with(|| {
+            (
+                next_id,
+                Arc::new(TableData {
+                    store: RwLock::new(MvccStore::new()),
+                    tablets: Mutex::new(TabletMap::new(self.inner.options.split_policy)),
+                }),
+            )
+        });
+    }
+
+    fn table(&self, name: &str) -> SpannerResult<(u32, Arc<TableData>)> {
+        self.inner
+            .tables
+            .read()
+            .get(name)
+            .map(|(id, t)| (*id, t.clone()))
+            .ok_or_else(|| SpannerError::NoSuchTable(name.to_string()))
+    }
+
+    /// Allocate a fresh directory (a Firestore database's placement unit).
+    pub fn allocate_directory(&self) -> DirectoryId {
+        DirectoryId(self.inner.next_directory.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Begin a read-write transaction.
+    pub fn begin(&self) -> ReadWriteTransaction {
+        ReadWriteTransaction::new(TxnId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst)))
+    }
+
+    /// Transactional read with a shared lock. Sees the transaction's own
+    /// buffered writes.
+    pub fn txn_read(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        key: &Key,
+    ) -> SpannerResult<Option<Bytes>> {
+        self.txn_read_locked(txn, table, key, LockMode::Shared)
+    }
+
+    /// Transactional read with an exclusive lock, as the Backend does for
+    /// documents it is about to write (paper §IV-D2 step 2).
+    pub fn txn_read_for_update(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        key: &Key,
+    ) -> SpannerResult<Option<Bytes>> {
+        self.txn_read_locked(txn, table, key, LockMode::Exclusive)
+    }
+
+    fn txn_read_locked(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        key: &Key,
+        mode: LockMode,
+    ) -> SpannerResult<Option<Bytes>> {
+        if txn.closed {
+            return Err(SpannerError::TxnClosed(txn.id));
+        }
+        let (tid, data) = self.table(table)?;
+        if let Some(buffered) = txn.buffered(tid, key) {
+            return Ok(buffered);
+        }
+        if let Err(e) = self.inner.locks.acquire(txn.id, tid, key, mode) {
+            self.abort(txn);
+            return Err(e);
+        }
+        txn.read_keys.push((tid, key.clone()));
+        let value = data.store.read().read_latest(key);
+        Ok(value)
+    }
+
+    /// Transactional scan: shared-locks each returned key so concurrent
+    /// writers conflict (the read-lock behaviour of queries inside
+    /// transactions, §IV-D3). Does not merge buffered writes — Firestore's
+    /// Backend performs queries before buffering mutations.
+    pub fn txn_scan(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        range: &KeyRange,
+        limit: usize,
+    ) -> SpannerResult<Vec<(Key, Bytes)>> {
+        if txn.closed {
+            return Err(SpannerError::TxnClosed(txn.id));
+        }
+        let (tid, data) = self.table(table)?;
+        let rows: Vec<(Key, Bytes)> = {
+            let store = data.store.read();
+            let mut out = Vec::new();
+            for (k, v) in store
+                .scan_at(&range.clone(), Timestamp::MAX, limit)
+                .unwrap_or_default()
+            {
+                out.push((k, v));
+            }
+            out
+        };
+        for (k, _) in &rows {
+            if let Err(e) = self.inner.locks.acquire(txn.id, tid, k, LockMode::Shared) {
+                self.abort(txn);
+                return Err(e);
+            }
+        }
+        txn.scanned_ranges.push((tid, range.clone()));
+        Ok(rows)
+    }
+
+    /// Buffer an insert/update.
+    pub fn txn_put(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        key: Key,
+        value: Bytes,
+    ) -> SpannerResult<()> {
+        self.txn_mutate(txn, table, key, Some(value))
+    }
+
+    /// Buffer a delete.
+    pub fn txn_delete(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        key: Key,
+    ) -> SpannerResult<()> {
+        self.txn_mutate(txn, table, key, None)
+    }
+
+    fn txn_mutate(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        key: Key,
+        value: Option<Bytes>,
+    ) -> SpannerResult<()> {
+        if txn.closed {
+            return Err(SpannerError::TxnClosed(txn.id));
+        }
+        let (tid, _) = self.table(table)?;
+        txn.mutations.push(Mutation {
+            table: tid,
+            key,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Abort a transaction, releasing its locks.
+    pub fn abort(&self, txn: &mut ReadWriteTransaction) {
+        if !txn.closed {
+            txn.closed = true;
+            self.inner.locks.release_all(txn.id);
+            self.inner.aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Commit a transaction with a commit timestamp constrained to
+    /// `[min_ts, max_ts]` (the window negotiated with the Real-time Cache,
+    /// paper §IV-D2 steps 5–6).
+    ///
+    /// On success every buffered mutation is applied atomically at the
+    /// commit timestamp and commit-wait is performed so the timestamp is in
+    /// the past when this returns.
+    pub fn commit(
+        &self,
+        mut txn: ReadWriteTransaction,
+        min_ts: Timestamp,
+        max_ts: Timestamp,
+    ) -> SpannerResult<CommitInfo> {
+        if txn.closed {
+            return Err(SpannerError::TxnClosed(txn.id));
+        }
+        // Injected failures (tests / failure-injection experiments).
+        if let Some(err) = self.inner.failures.fail_commits.lock().pop() {
+            self.abort(&mut txn);
+            return Err(err);
+        }
+
+        // Phase 1: acquire exclusive locks on every written cell.
+        for m in &txn.mutations {
+            if let Err(e) = self
+                .inner
+                .locks
+                .acquire(txn.id, m.table, &m.key, LockMode::Exclusive)
+            {
+                self.abort(&mut txn);
+                return Err(e);
+            }
+        }
+
+        // Phase 2: assign a TrueTime commit timestamp inside the window.
+        let commit_ts = match self.inner.truetime.assign_commit_timestamp(min_ts, max_ts) {
+            Some(ts) => ts,
+            None => {
+                self.abort(&mut txn);
+                return Err(SpannerError::CommitWindowExpired);
+            }
+        };
+
+        // Phase 3: apply mutations atomically (later writes to the same key
+        // within the txn win) and account tablet participation.
+        let now = self.inner.truetime.clock().now();
+        let mut participants = 0usize;
+        let payload = txn.payload_bytes();
+        let mutation_count = txn.mutations.len();
+        {
+            // Group mutations per table to hold each write lock once.
+            let mut by_table: HashMap<u32, Vec<&Mutation>> = HashMap::new();
+            let mut dedup: HashMap<(u32, &Key), usize> = HashMap::new();
+            for (i, m) in txn.mutations.iter().enumerate() {
+                dedup.insert((m.table, &m.key), i);
+            }
+            for (i, m) in txn.mutations.iter().enumerate() {
+                if dedup[&(m.table, &m.key)] == i {
+                    by_table.entry(m.table).or_default().push(m);
+                }
+            }
+            let tables = self.inner.tables.read();
+            let mut id_to_data: HashMap<u32, &Arc<TableData>> = HashMap::new();
+            for (id, data) in tables.values() {
+                id_to_data.insert(*id, data);
+            }
+            for (tid, muts) in by_table {
+                let data = id_to_data.get(&tid).expect("table ids are stable");
+                let mut tablets = data.tablets.lock();
+                let mut store = data.store.write();
+                let mut idxs: Vec<usize> = Vec::with_capacity(muts.len());
+                for m in muts {
+                    let bytes = m.key.len() + m.value.as_ref().map_or(0, |v| v.len());
+                    idxs.push(tablets.record_write(&m.key, bytes, now));
+                    store.apply(m.key.clone(), commit_ts, m.value.clone());
+                }
+                idxs.sort_unstable();
+                idxs.dedup();
+                participants += idxs.len();
+            }
+        }
+        participants = participants.max(1);
+
+        // Phase 4: commit wait (external consistency), then release locks.
+        self.inner.truetime.commit_wait(commit_ts);
+        txn.closed = true;
+        self.inner.locks.release_all(txn.id);
+        self.inner.commits.fetch_add(1, Ordering::Relaxed);
+
+        Ok(CommitInfo {
+            commit_ts,
+            participants,
+            payload_bytes: payload,
+            mutation_count,
+        })
+    }
+
+    /// A timestamp at which a strong (lock-free) read sees every commit that
+    /// completed before now.
+    pub fn strong_read_ts(&self) -> Timestamp {
+        self.inner.truetime.strong_read_timestamp()
+    }
+
+    /// Lock-free read of `key` at `ts`.
+    pub fn snapshot_read(
+        &self,
+        table: TableName,
+        key: &Key,
+        ts: Timestamp,
+    ) -> SpannerResult<Option<Bytes>> {
+        let (_, data) = self.table(table)?;
+        let r = data
+            .store
+            .read()
+            .read_at(key, ts)
+            .map_err(|_| SpannerError::SnapshotTooOld);
+        r
+    }
+
+    /// Lock-free ordered scan of `range` at `ts`, up to `limit` rows.
+    pub fn snapshot_scan(
+        &self,
+        table: TableName,
+        range: &KeyRange,
+        ts: Timestamp,
+        limit: usize,
+    ) -> SpannerResult<Vec<(Key, Bytes)>> {
+        let (_, data) = self.table(table)?;
+        let r = data
+            .store
+            .read()
+            .scan_at(range, ts, limit)
+            .map_err(|_| SpannerError::SnapshotTooOld);
+        r
+    }
+
+    /// Lock-free read of `key` at `ts`, returning the value and the commit
+    /// timestamp of the version read.
+    pub fn snapshot_read_versioned(
+        &self,
+        table: TableName,
+        key: &Key,
+        ts: Timestamp,
+    ) -> SpannerResult<Option<(Bytes, Timestamp)>> {
+        let (_, data) = self.table(table)?;
+        let r = data
+            .store
+            .read()
+            .read_at_versioned(key, ts)
+            .map_err(|_| SpannerError::SnapshotTooOld);
+        r
+    }
+
+    /// Transactional read (shared lock) returning the value and its commit
+    /// timestamp; sees buffered writes as having an unknown timestamp
+    /// (`None` versions are not reported — buffered values return the
+    /// current latest committed timestamp of zero).
+    pub fn txn_read_versioned(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        key: &Key,
+    ) -> SpannerResult<Option<(Bytes, Timestamp)>> {
+        if txn.closed {
+            return Err(SpannerError::TxnClosed(txn.id));
+        }
+        let (tid, data) = self.table(table)?;
+        if let Some(buffered) = txn.buffered(tid, key) {
+            return Ok(buffered.map(|b| (b, Timestamp::ZERO)));
+        }
+        if let Err(e) = self.inner.locks.acquire(txn.id, tid, key, LockMode::Shared) {
+            self.abort(txn);
+            return Err(e);
+        }
+        txn.read_keys.push((tid, key.clone()));
+        let value = data.store.read().read_latest_versioned(key);
+        Ok(value)
+    }
+
+    /// Transactional read with an *exclusive* lock returning value and
+    /// commit timestamp.
+    pub fn txn_read_for_update_versioned(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        key: &Key,
+    ) -> SpannerResult<Option<(Bytes, Timestamp)>> {
+        if txn.closed {
+            return Err(SpannerError::TxnClosed(txn.id));
+        }
+        let (tid, data) = self.table(table)?;
+        if let Some(buffered) = txn.buffered(tid, key) {
+            return Ok(buffered.map(|b| (b, Timestamp::ZERO)));
+        }
+        if let Err(e) = self
+            .inner
+            .locks
+            .acquire(txn.id, tid, key, LockMode::Exclusive)
+        {
+            self.abort(txn);
+            return Err(e);
+        }
+        txn.read_keys.push((tid, key.clone()));
+        let value = data.store.read().read_latest_versioned(key);
+        Ok(value)
+    }
+
+    /// Lock-free ordered scan of `range` at `ts` in reverse key order, up to
+    /// `limit` rows.
+    pub fn snapshot_scan_rev(
+        &self,
+        table: TableName,
+        range: &KeyRange,
+        ts: Timestamp,
+        limit: usize,
+    ) -> SpannerResult<Vec<(Key, Bytes)>> {
+        let (_, data) = self.table(table)?;
+        let r = data
+            .store
+            .read()
+            .scan_rev_at(range, ts, limit)
+            .map_err(|_| SpannerError::SnapshotTooOld);
+        r
+    }
+
+    /// Lock-free ordered scan returning `(key, value, version timestamp)`
+    /// triples at `ts`, optionally in reverse key order.
+    pub fn snapshot_scan_versioned(
+        &self,
+        table: TableName,
+        range: &KeyRange,
+        ts: Timestamp,
+        limit: usize,
+        reverse: bool,
+    ) -> SpannerResult<Vec<(Key, Bytes, Timestamp)>> {
+        let (_, data) = self.table(table)?;
+        let r = data
+            .store
+            .read()
+            .scan_at_versioned(range, ts, limit, reverse)
+            .map_err(|_| SpannerError::SnapshotTooOld);
+        r
+    }
+
+    /// Count live rows in `range` at `ts`.
+    pub fn snapshot_count(
+        &self,
+        table: TableName,
+        range: &KeyRange,
+        ts: Timestamp,
+    ) -> SpannerResult<usize> {
+        let (_, data) = self.table(table)?;
+        let r = data
+            .store
+            .read()
+            .count_at(range, ts)
+            .map_err(|_| SpannerError::SnapshotTooOld);
+        r
+    }
+
+    /// Run maintenance: split overloaded tablets at their median keys and
+    /// garbage-collect versions older than `gc_before`.
+    pub fn maintain(&self, gc_before: Timestamp) {
+        let now = self.inner.truetime.clock().now();
+        let tables: Vec<Arc<TableData>> = self
+            .inner
+            .tables
+            .read()
+            .values()
+            .map(|(_, d)| d.clone())
+            .collect();
+        for data in tables {
+            let mut tablets = data.tablets.lock();
+            for idx in tablets.overloaded() {
+                let median = {
+                    let store = data.store.read();
+                    store.median_key_in(&tablets.tablets()[idx].range)
+                };
+                if let Some(m) = median {
+                    tablets.split_at(idx, m, now);
+                }
+            }
+            // Merge tablets that have gone cold (splits reverse under
+            // sustained low load, §IV-D1).
+            tablets.merge_cold(now);
+            data.store.write().gc(gc_before);
+        }
+    }
+
+    /// Pre-split a table at explicit boundaries (for experiments that need
+    /// multi-tablet commits from the start, §V-B2).
+    pub fn pre_split(&self, table: TableName, boundaries: Vec<Key>) -> SpannerResult<()> {
+        let (_, data) = self.table(table)?;
+        let now = self.inner.truetime.clock().now();
+        data.tablets.lock().pre_split(boundaries, now);
+        Ok(())
+    }
+
+    /// Number of tablets currently backing `table`.
+    pub fn tablet_count(&self, table: TableName) -> SpannerResult<usize> {
+        let (_, data) = self.table(table)?;
+        let n = data.tablets.lock().len();
+        Ok(n)
+    }
+
+    /// How many distinct tablets the given keys of `table` span — the
+    /// participant count a commit over those keys would pay.
+    pub fn participants_for(&self, table: TableName, keys: &[Key]) -> SpannerResult<usize> {
+        let (_, data) = self.table(table)?;
+        let n = data.tablets.lock().participants(keys.iter());
+        Ok(n)
+    }
+
+    /// Live key count of a table.
+    pub fn live_keys(&self, table: TableName) -> SpannerResult<usize> {
+        let (_, data) = self.table(table)?;
+        let n = data.store.read().live_keys();
+        Ok(n)
+    }
+
+    /// Approximate live bytes of a table.
+    pub fn live_bytes(&self, table: TableName) -> SpannerResult<usize> {
+        let (_, data) = self.table(table)?;
+        let n = data.store.read().live_bytes();
+        Ok(n)
+    }
+
+    /// Total committed transactions.
+    pub fn commit_count(&self) -> u64 {
+        self.inner.commits.load(Ordering::Relaxed)
+    }
+
+    /// Total aborted transactions.
+    pub fn abort_count(&self) -> u64 {
+        self.inner.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Inject a failure for the next commit (testing hook; also used by the
+    /// failure-injection integration tests).
+    pub fn inject_commit_failure(&self, err: SpannerError) {
+        self.inner.failures.fail_commits.lock().push(err);
+    }
+}
+
+impl std::fmt::Debug for SpannerDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SpannerDatabase(tables={}, commits={})",
+            self.inner.tables.read().len(),
+            self.commit_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Duration;
+
+    const T: TableName = "Entities";
+
+    fn db() -> SpannerDatabase {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let db = SpannerDatabase::new(clock);
+        db.create_table(T);
+        db
+    }
+
+    fn bytes(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn basic_commit_and_snapshot_read() {
+        let db = db();
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v")).unwrap();
+        let info = db.commit(txn, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        assert_eq!(info.participants, 1);
+        assert_eq!(info.mutation_count, 1);
+        let ts = db.strong_read_ts();
+        assert!(ts >= info.commit_ts);
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("k"), ts).unwrap(),
+            Some(bytes("v"))
+        );
+    }
+
+    #[test]
+    fn read_your_writes_within_txn() {
+        let db = db();
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v")).unwrap();
+        assert_eq!(
+            db.txn_read(&mut txn, T, &Key::from("k")).unwrap(),
+            Some(bytes("v"))
+        );
+        db.txn_delete(&mut txn, T, Key::from("k")).unwrap();
+        assert_eq!(db.txn_read(&mut txn, T, &Key::from("k")).unwrap(), None);
+        db.abort(&mut txn);
+    }
+
+    #[test]
+    fn write_write_conflict_fails_fast() {
+        let db = db();
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        db.txn_read_for_update(&mut t1, T, &Key::from("k")).unwrap();
+        let err = db
+            .txn_read_for_update(&mut t2, T, &Key::from("k"))
+            .unwrap_err();
+        assert!(matches!(err, SpannerError::LockConflict { .. }));
+        // t2 was auto-aborted; t1 can still commit.
+        db.txn_put(&mut t1, T, Key::from("k"), bytes("v")).unwrap();
+        db.commit(t1, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        assert_eq!(db.abort_count(), 1);
+        assert_eq!(db.commit_count(), 1);
+    }
+
+    #[test]
+    fn readers_do_not_block_snapshot_reads() {
+        let db = db();
+        let mut t1 = db.begin();
+        db.txn_put(&mut t1, T, Key::from("k"), bytes("v1")).unwrap();
+        db.commit(t1, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        let ts = db.strong_read_ts();
+
+        // A transaction holds an exclusive lock...
+        let mut t2 = db.begin();
+        db.txn_read_for_update(&mut t2, T, &Key::from("k")).unwrap();
+        // ...but timestamp reads sail through without blocking.
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("k"), ts).unwrap(),
+            Some(bytes("v1"))
+        );
+        db.abort(&mut t2);
+    }
+
+    #[test]
+    fn snapshot_scan_is_consistent_at_timestamp() {
+        let db = db();
+        for (k, v) in [("a", "1"), ("b", "2")] {
+            let mut t = db.begin();
+            db.txn_put(&mut t, T, Key::from(k), bytes(v)).unwrap();
+            db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        }
+        let ts = db.strong_read_ts();
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("c"), bytes("3")).unwrap();
+        db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        let rows = db.snapshot_scan(T, &KeyRange::all(), ts, 100).unwrap();
+        assert_eq!(
+            rows.len(),
+            2,
+            "the later commit is invisible at the snapshot"
+        );
+    }
+
+    #[test]
+    fn commit_window_expired() {
+        let db = db();
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v")).unwrap();
+        // A max timestamp in the past cannot be honored.
+        let err = db
+            .commit(txn, Timestamp::ZERO, Timestamp::from_nanos(1))
+            .unwrap_err();
+        assert_eq!(err, SpannerError::CommitWindowExpired);
+    }
+
+    #[test]
+    fn commit_respects_min_timestamp() {
+        let db = db();
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v")).unwrap();
+        let min = db.truetime().clock().now() + Duration::from_secs(5);
+        let info = db.commit(txn, min, Timestamp::MAX).unwrap();
+        assert!(info.commit_ts >= min);
+    }
+
+    #[test]
+    fn injected_failure_aborts() {
+        let db = db();
+        db.inject_commit_failure(SpannerError::UnknownOutcome);
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v")).unwrap();
+        assert_eq!(
+            db.commit(txn, Timestamp::ZERO, Timestamp::MAX).unwrap_err(),
+            SpannerError::UnknownOutcome
+        );
+        // The write is not visible.
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("k"), db.strong_read_ts())
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn multi_table_commit_is_atomic() {
+        let db = db();
+        db.create_table("IndexEntries");
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("doc"), bytes("d"))
+            .unwrap();
+        db.txn_put(&mut txn, "IndexEntries", Key::from("idx"), bytes(""))
+            .unwrap();
+        let info = db.commit(txn, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        let ts = db.strong_read_ts();
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("doc"), ts).unwrap(),
+            Some(bytes("d"))
+        );
+        assert_eq!(
+            db.snapshot_read("IndexEntries", &Key::from("idx"), ts)
+                .unwrap(),
+            Some(bytes(""))
+        );
+        // Both rows currently live in single tablets of separate tables.
+        assert_eq!(info.participants, 2);
+    }
+
+    #[test]
+    fn pre_split_raises_participant_count() {
+        let db = db();
+        db.pre_split(T, vec![Key::from("m")]).unwrap();
+        assert_eq!(db.tablet_count(T).unwrap(), 2);
+        let keys = vec![Key::from("a"), Key::from("z")];
+        assert_eq!(db.participants_for(T, &keys).unwrap(), 2);
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("a"), bytes("1")).unwrap();
+        db.txn_put(&mut txn, T, Key::from("z"), bytes("2")).unwrap();
+        let info = db.commit(txn, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        assert_eq!(info.participants, 2);
+    }
+
+    #[test]
+    fn maintenance_splits_hot_tablet() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let db = SpannerDatabase::with_options(
+            clock,
+            SpannerOptions {
+                split_policy: SplitPolicy {
+                    split_write_threshold: 50,
+                    ..SplitPolicy::default()
+                },
+            },
+        );
+        db.create_table(T);
+        for i in 0..100 {
+            let mut t = db.begin();
+            db.txn_put(
+                &mut t,
+                T,
+                Key::from(format!("key{i:04}").as_str()),
+                bytes("v"),
+            )
+            .unwrap();
+            db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        }
+        assert_eq!(db.tablet_count(T).unwrap(), 1);
+        db.maintain(Timestamp::ZERO);
+        assert!(db.tablet_count(T).unwrap() >= 2, "hot tablet should split");
+    }
+
+    #[test]
+    fn commit_after_close_fails() {
+        let db = db();
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v")).unwrap();
+        db.abort(&mut txn);
+        let id = txn.id();
+        assert_eq!(
+            db.commit(txn, Timestamp::ZERO, Timestamp::MAX).unwrap_err(),
+            SpannerError::TxnClosed(id)
+        );
+    }
+
+    #[test]
+    fn directories_are_disjoint_prefixes() {
+        let db = db();
+        let d1 = db.allocate_directory();
+        let d2 = db.allocate_directory();
+        assert_ne!(d1, d2);
+        let k1 = d1.key(b"doc");
+        assert!(d1.range().contains(&k1));
+        assert!(!d2.range().contains(&k1));
+        assert!(!d1.range().intersects(&d2.range()));
+    }
+
+    #[test]
+    fn last_write_wins_within_one_txn() {
+        let db = db();
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v1"))
+            .unwrap();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v2"))
+            .unwrap();
+        db.commit(txn, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("k"), db.strong_read_ts())
+                .unwrap(),
+            Some(bytes("v2"))
+        );
+    }
+
+    #[test]
+    fn txn_scan_locks_scanned_rows() {
+        let db = db();
+        let mut t0 = db.begin();
+        db.txn_put(&mut t0, T, Key::from("a"), bytes("1")).unwrap();
+        db.commit(t0, Timestamp::ZERO, Timestamp::MAX).unwrap();
+
+        let mut reader = db.begin();
+        let rows = db.txn_scan(&mut reader, T, &KeyRange::all(), 100).unwrap();
+        assert_eq!(rows.len(), 1);
+        // A writer now conflicts on the scanned row.
+        let mut writer = db.begin();
+        assert!(db
+            .txn_read_for_update(&mut writer, T, &Key::from("a"))
+            .is_err());
+        db.abort(&mut reader);
+    }
+}

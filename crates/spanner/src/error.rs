@@ -1,0 +1,102 @@
+//! Error types for the Spanner substrate.
+
+use crate::key::Key;
+use crate::txn::TxnId;
+use std::fmt;
+
+/// Result alias for substrate operations.
+pub type SpannerResult<T> = Result<T, SpannerError>;
+
+/// Errors surfaced by the storage substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpannerError {
+    /// A lock could not be acquired because another transaction holds a
+    /// conflicting lock. The caller is expected to abort and retry — the
+    /// paper's stated strategy for contention and deadlocks (§IV-D3).
+    LockConflict {
+        /// Transaction that failed to acquire the lock.
+        requester: TxnId,
+        /// Transaction currently holding a conflicting lock.
+        holder: TxnId,
+        /// Key being locked.
+        key: Key,
+    },
+    /// The transaction was already aborted or committed.
+    TxnClosed(TxnId),
+    /// No commit timestamp exists within the `[min, max]` window the caller
+    /// allowed (paper §IV-D2's "not being able to respect the maximum
+    /// timestamp" failure).
+    CommitWindowExpired,
+    /// The commit outcome is unknown (simulated timeout injected by tests or
+    /// by the failure-injection hooks).
+    UnknownOutcome,
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// A read was attempted at a timestamp that has been garbage collected.
+    SnapshotTooOld,
+}
+
+impl fmt::Display for SpannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpannerError::LockConflict {
+                requester,
+                holder,
+                key,
+            } => {
+                write!(
+                    f,
+                    "lock conflict: txn {requester:?} blocked by {holder:?} on {key:?}"
+                )
+            }
+            SpannerError::TxnClosed(id) => write!(f, "transaction {id:?} is closed"),
+            SpannerError::CommitWindowExpired => {
+                write!(f, "no commit timestamp available within the allowed window")
+            }
+            SpannerError::UnknownOutcome => write!(f, "commit outcome unknown"),
+            SpannerError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SpannerError::SnapshotTooOld => write!(f, "snapshot timestamp is too old"),
+        }
+    }
+}
+
+impl std::error::Error for SpannerError {}
+
+impl SpannerError {
+    /// Whether the error is transient and the operation should be retried
+    /// with backoff (the Server SDK behaviour described in §III-D).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SpannerError::LockConflict { .. }
+                | SpannerError::CommitWindowExpired
+                | SpannerError::UnknownOutcome
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        let conflict = SpannerError::LockConflict {
+            requester: TxnId(1),
+            holder: TxnId(2),
+            key: Key::from("k"),
+        };
+        assert!(conflict.is_retryable());
+        assert!(SpannerError::CommitWindowExpired.is_retryable());
+        assert!(SpannerError::UnknownOutcome.is_retryable());
+        assert!(!SpannerError::NoSuchTable("t".into()).is_retryable());
+        assert!(!SpannerError::TxnClosed(TxnId(3)).is_retryable());
+        assert!(!SpannerError::SnapshotTooOld.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpannerError::NoSuchTable("Entities".into());
+        assert!(e.to_string().contains("Entities"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Row keys and key ranges.
+//!
+//! Spanner rows are ordered by key, and both Firestore tables exploit that
+//! order: `Entities` keys are encoded document names (so a collection is a
+//! contiguous range) and `IndexEntries` keys are `(index-id, values, name)`
+//! tuples (so an index scan is a contiguous range). Keys are plain byte
+//! strings; all structure lives in the encoding layer above.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// An ordered byte-string row key.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub Bytes);
+
+impl Key {
+    /// The empty key — the smallest possible key.
+    pub const fn empty() -> Key {
+        Key(Bytes::new())
+    }
+
+    /// Construct from anything byte-like.
+    pub fn from_bytes(b: impl Into<Bytes>) -> Key {
+        Key(b.into())
+    }
+
+    /// The raw bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the empty key.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `prefix` is a byte prefix of this key.
+    pub fn has_prefix(&self, prefix: &[u8]) -> bool {
+        self.0.starts_with(prefix)
+    }
+
+    /// The immediate successor key (`key ++ 0x00`): the smallest key
+    /// strictly greater than `self`. Useful for turning inclusive bounds
+    /// into half-open ranges.
+    pub fn successor(&self) -> Key {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(0);
+        Key(Bytes::from(v))
+    }
+
+    /// The smallest key that is *not* prefixed by `self`: increments the
+    /// last non-0xFF byte. Returns `None` when every byte is 0xFF (the
+    /// prefix range extends to the end of the key space).
+    pub fn prefix_end(&self) -> Option<Key> {
+        let mut v = self.0.to_vec();
+        while let Some(&last) = v.last() {
+            if last == 0xFF {
+                v.pop();
+            } else {
+                *v.last_mut().unwrap() += 1;
+                return Some(Key(Bytes::from(v)));
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key(")?;
+        for &b in self.0.iter().take(48) {
+            if (0x20..0x7f).contains(&b) && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.0.len() > 48 {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[u8]> for Key {
+    fn from(b: &[u8]) -> Key {
+        Key(Bytes::copy_from_slice(b))
+    }
+}
+
+impl From<Vec<u8>> for Key {
+    fn from(b: Vec<u8>) -> Key {
+        Key(Bytes::from(b))
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Key {
+        Key(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+/// A half-open key range `[start, end)`. An unbounded end is represented by
+/// `end = None`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct KeyRange {
+    /// Inclusive start.
+    pub start: Key,
+    /// Exclusive end; `None` means "to the end of the key space".
+    pub end: Option<Key>,
+}
+
+impl KeyRange {
+    /// The range covering every key.
+    pub fn all() -> KeyRange {
+        KeyRange {
+            start: Key::empty(),
+            end: None,
+        }
+    }
+
+    /// `[start, end)`.
+    pub fn new(start: Key, end: Option<Key>) -> KeyRange {
+        KeyRange { start, end }
+    }
+
+    /// All keys with the given byte prefix.
+    pub fn prefix(prefix: &Key) -> KeyRange {
+        KeyRange {
+            start: prefix.clone(),
+            end: prefix.prefix_end(),
+        }
+    }
+
+    /// Whether the range contains `key`.
+    pub fn contains(&self, key: &Key) -> bool {
+        if key < &self.start {
+            return false;
+        }
+        match &self.end {
+            Some(end) => key < end,
+            None => true,
+        }
+    }
+
+    /// Whether two ranges share at least one key.
+    pub fn intersects(&self, other: &KeyRange) -> bool {
+        let self_before_other = match &self.end {
+            Some(end) => end <= &other.start,
+            None => false,
+        };
+        let other_before_self = match &other.end {
+            Some(end) => end <= &self.start,
+            None => false,
+        };
+        !(self_before_other || other_before_self)
+    }
+
+    /// Whether the range is empty (`end <= start`).
+    pub fn is_empty(&self) -> bool {
+        match &self.end {
+            Some(end) => end <= &self.start,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_is_next_key() {
+        let k = Key::from("abc");
+        let s = k.successor();
+        assert!(s > k);
+        assert!(s.as_slice() == b"abc\x00");
+        // No key fits strictly between k and its successor.
+        assert!(Key::from("abc") < s);
+    }
+
+    #[test]
+    fn prefix_end_bounds_the_prefix() {
+        let p = Key::from("ab");
+        let end = p.prefix_end().unwrap();
+        assert_eq!(end.as_slice(), b"ac");
+        assert!(Key::from_bytes(vec![b'a', b'b', 0xFF, 0xFF]) < end);
+        assert!(Key::from("ac") >= end);
+        // All-0xFF prefix has no end.
+        assert!(Key::from_bytes(vec![0xFF, 0xFF]).prefix_end().is_none());
+    }
+
+    #[test]
+    fn prefix_end_carries_over_ff() {
+        let p = Key::from_bytes(vec![b'a', 0xFF]);
+        assert_eq!(p.prefix_end().unwrap().as_slice(), b"b");
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = KeyRange::new(Key::from("b"), Some(Key::from("d")));
+        assert!(!r.contains(&Key::from("a")));
+        assert!(r.contains(&Key::from("b")));
+        assert!(r.contains(&Key::from("c")));
+        assert!(!r.contains(&Key::from("d")));
+        let unbounded = KeyRange::new(Key::from("b"), None);
+        assert!(unbounded.contains(&Key::from("zzzz")));
+    }
+
+    #[test]
+    fn prefix_range_contains_only_prefixed() {
+        let r = KeyRange::prefix(&Key::from("coll/"));
+        assert!(r.contains(&Key::from("coll/doc1")));
+        assert!(!r.contains(&Key::from("colk/doc")));
+        assert!(!r.contains(&Key::from("colm")));
+    }
+
+    #[test]
+    fn intersects() {
+        let ab = KeyRange::new(Key::from("a"), Some(Key::from("b")));
+        let bc = KeyRange::new(Key::from("b"), Some(Key::from("c")));
+        let ac = KeyRange::new(Key::from("a"), Some(Key::from("c")));
+        assert!(
+            !ab.intersects(&bc),
+            "half-open ranges touching at b do not overlap"
+        );
+        assert!(ab.intersects(&ac));
+        assert!(bc.intersects(&ac));
+        assert!(KeyRange::all().intersects(&ab));
+    }
+
+    #[test]
+    fn empty_range() {
+        assert!(KeyRange::new(Key::from("b"), Some(Key::from("a"))).is_empty());
+        assert!(KeyRange::new(Key::from("b"), Some(Key::from("b"))).is_empty());
+        assert!(!KeyRange::all().is_empty());
+    }
+
+    #[test]
+    fn debug_renders_printable_and_hex() {
+        let k = Key::from_bytes(vec![b'a', 0x00, b'z']);
+        assert_eq!(format!("{k:?}"), "Key(a\\x00z)");
+    }
+}

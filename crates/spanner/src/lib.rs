@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! A Spanner-like storage substrate, built from scratch.
+//!
+//! Firestore stores every document as one row of a fixed-schema `Entities`
+//! table and every index entry as one row of an `IndexEntries` table inside a
+//! Spanner *directory* (paper §IV-D1). This crate implements the Spanner
+//! semantics that layout depends on:
+//!
+//! * **MVCC storage** ([`mvcc`]): every cell keeps a timestamped version
+//!   chain; reads at a timestamp are lock-free and repeatable.
+//! * **TrueTime commit timestamps** (via [`simkit::truetime`]): strictly
+//!   increasing, externally consistent timestamps with commit wait.
+//! * **Lock-based read-write transactions** ([`txn`]): exclusive and shared
+//!   cell locks, buffered mutations, atomic multi-table commit. Conflicts
+//!   fail fast and the caller retries — the paper's stated resolution for
+//!   lock contention and deadlocks (§IV-D3).
+//! * **Tablets with load-based splitting** ([`tablet`]): each table's key
+//!   space is partitioned into tablets that split under write load; commits
+//!   spanning multiple tablets pay two-phase-commit coordination, which the
+//!   latency model surfaces (Fig 10's participant scaling).
+//! * **Directories** ([`database`]): key-prefix placement units; each
+//!   Firestore database maps to one directory inside a shared Spanner
+//!   database — the foundation of Firestore's multi-tenancy.
+//! * **Transactional messaging** ([`messaging`]): the queue Firestore's
+//!   write triggers ride on (§IV-D2).
+//!
+//! What is *modeled* instead of executed: replica quorums. A commit here is
+//! applied to one in-process store; the latency a Paxos quorum would add is
+//! drawn from [`simkit::latency::LatencyModel`] by the serving layer.
+
+pub mod database;
+pub mod error;
+pub mod key;
+pub mod lock;
+pub mod messaging;
+pub mod mvcc;
+pub mod tablet;
+pub mod txn;
+
+pub use database::{CommitInfo, SpannerDatabase, SpannerOptions, TableName};
+pub use error::{SpannerError, SpannerResult};
+pub use key::{Key, KeyRange};
+pub use txn::{ReadWriteTransaction, TxnId};

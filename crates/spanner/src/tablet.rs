@@ -1,0 +1,368 @@
+//! Tablets: key-range shards with load-based splitting.
+//!
+//! Spanner automatically splits and merges rows into tablets holding
+//! consecutive key ranges, which is what lets Firestore "scale to arbitrary
+//! read and write loads" (paper §IV-D1). We track tablets as metadata over
+//! the shared MVCC store: splitting moves a boundary, it does not move data.
+//! What tablets *do* affect:
+//!
+//! * the participant count of a commit (multi-tablet commits pay 2PC
+//!   coordination — the Fig 10 field-count experiment),
+//! * hotspot detection: a monotonically increasing key (e.g. an indexed
+//!   timestamp field, §III-B) keeps hammering the last tablet, which is
+//!   "inherently difficult to split" (§IV-D2),
+//! * load statistics driving split decisions.
+
+use crate::key::{Key, KeyRange};
+use simkit::{Duration, Timestamp};
+
+/// Configuration for the load-based split policy.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitPolicy {
+    /// Writes within the decay window that trigger a split attempt.
+    pub split_write_threshold: u64,
+    /// Live bytes in one tablet that trigger a split attempt.
+    pub split_size_threshold: usize,
+    /// Sliding window over which write load is measured.
+    pub window: Duration,
+    /// Upper bound on tablets per table (a laptop stand-in for "thousands of
+    /// servers").
+    pub max_tablets: usize,
+}
+
+impl Default for SplitPolicy {
+    fn default() -> Self {
+        SplitPolicy {
+            split_write_threshold: 500,
+            split_size_threshold: 64 << 20, // 64 MiB
+            window: Duration::from_secs(10),
+            max_tablets: 4096,
+        }
+    }
+}
+
+/// Metadata for one tablet.
+#[derive(Clone, Debug)]
+pub struct Tablet {
+    /// The key range this tablet owns.
+    pub range: KeyRange,
+    /// Writes observed in the current window.
+    pub window_writes: u64,
+    /// Start of the current measurement window.
+    pub window_start: Timestamp,
+    /// Approximate live bytes in the tablet.
+    pub approx_bytes: usize,
+}
+
+impl Tablet {
+    fn new(range: KeyRange, now: Timestamp) -> Self {
+        Tablet {
+            range,
+            window_writes: 0,
+            window_start: now,
+            approx_bytes: 0,
+        }
+    }
+}
+
+/// The tablet map of one table: an ordered partition of the key space.
+#[derive(Debug)]
+pub struct TabletMap {
+    tablets: Vec<Tablet>,
+    policy: SplitPolicy,
+    splits_performed: u64,
+}
+
+impl TabletMap {
+    /// A single tablet covering everything.
+    pub fn new(policy: SplitPolicy) -> Self {
+        TabletMap {
+            tablets: vec![Tablet::new(KeyRange::all(), Timestamp::ZERO)],
+            policy,
+            splits_performed: 0,
+        }
+    }
+
+    /// Number of tablets.
+    pub fn len(&self) -> usize {
+        self.tablets.len()
+    }
+
+    /// Whether the map is in its initial single-tablet state.
+    pub fn is_empty(&self) -> bool {
+        false // a tablet map always covers the key space
+    }
+
+    /// Total splits performed since creation.
+    pub fn splits_performed(&self) -> u64 {
+        self.splits_performed
+    }
+
+    /// Index of the tablet owning `key`.
+    pub fn tablet_index(&self, key: &Key) -> usize {
+        // Tablets are sorted by range start; find the last tablet whose
+        // start is <= key.
+        match self.tablets.binary_search_by(|t| t.range.start.cmp(key)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The distinct tablets touched by `keys` — the participant groups of a
+    /// commit.
+    pub fn participants<'a>(&self, keys: impl Iterator<Item = &'a Key>) -> usize {
+        let mut idxs: Vec<usize> = keys.map(|k| self.tablet_index(k)).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        idxs.len().max(1)
+    }
+
+    /// Record a write of `bytes` to `key` at time `now`; returns the tablet
+    /// index written.
+    pub fn record_write(&mut self, key: &Key, bytes: usize, now: Timestamp) -> usize {
+        let policy_window = self.policy.window;
+        let i = self.tablet_index(key);
+        let t = &mut self.tablets[i];
+        if now.saturating_sub(t.window_start) > policy_window {
+            t.window_writes = 0;
+            t.window_start = now;
+        }
+        t.window_writes += 1;
+        t.approx_bytes += bytes;
+        i
+    }
+
+    /// Tablets exceeding a load or size threshold that want splitting.
+    /// Returns their indexes, hottest first.
+    pub fn overloaded(&self) -> Vec<usize> {
+        if self.tablets.len() >= self.policy.max_tablets {
+            return Vec::new();
+        }
+        let mut hot: Vec<usize> = (0..self.tablets.len())
+            .filter(|&i| {
+                let t = &self.tablets[i];
+                t.window_writes >= self.policy.split_write_threshold
+                    || t.approx_bytes >= self.policy.split_size_threshold
+            })
+            .collect();
+        hot.sort_by_key(|&i| std::cmp::Reverse(self.tablets[i].window_writes));
+        hot
+    }
+
+    /// Split tablet `index` at `split_key` (typically the median live key,
+    /// supplied by the storage layer). Returns `false` when the split key
+    /// does not fall strictly inside the tablet.
+    pub fn split_at(&mut self, index: usize, split_key: Key, now: Timestamp) -> bool {
+        let t = &self.tablets[index];
+        if split_key <= t.range.start || !t.range.contains(&split_key) {
+            return false;
+        }
+        let right_range = KeyRange::new(split_key.clone(), t.range.end.clone());
+        let mut right = Tablet::new(right_range, now);
+        right.approx_bytes = t.approx_bytes / 2;
+        let left = &mut self.tablets[index];
+        left.range.end = Some(split_key);
+        left.approx_bytes /= 2;
+        left.window_writes = 0;
+        left.window_start = now;
+        self.tablets.insert(index + 1, right);
+        self.splits_performed += 1;
+        true
+    }
+
+    /// Pre-split the key space into `n` tablets at the given boundary keys
+    /// (sorted, distinct). Used by experiments that start from a loaded
+    /// database "to ensure that commits spanned multiple tablets" (§V-B2).
+    pub fn pre_split(&mut self, boundaries: Vec<Key>, now: Timestamp) {
+        for b in boundaries {
+            let i = self.tablet_index(&b);
+            self.split_at(i, b, now);
+        }
+    }
+
+    /// All tablet metadata, in key order.
+    pub fn tablets(&self) -> &[Tablet] {
+        &self.tablets
+    }
+
+    /// Merge cold adjacent tablets ("automatic load-based splitting and
+    /// merging", §IV-D1): two neighbours merge when both are idle in the
+    /// current window and small. Returns the number of merges performed.
+    pub fn merge_cold(&mut self, now: Timestamp) -> usize {
+        let mut merges = 0;
+        let mut i = 0;
+        while i + 1 < self.tablets.len() {
+            let window = self.policy.window;
+            // Cold = no write activity for a full window AND small: a
+            // freshly split tablet (window_start = now) is never merged
+            // right back.
+            let cold = |t: &Tablet| {
+                now.saturating_sub(t.window_start) > window
+                    && t.approx_bytes < self.policy.split_size_threshold / 8
+            };
+            if cold(&self.tablets[i]) && cold(&self.tablets[i + 1]) {
+                let right = self.tablets.remove(i + 1);
+                let left = &mut self.tablets[i];
+                left.range.end = right.range.end;
+                left.approx_bytes += right.approx_bytes;
+                left.window_writes += right.window_writes;
+                merges += 1;
+                // Do not merge the same survivor again this pass: keep the
+                // fleet from collapsing to one tablet in a single sweep.
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+        merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> TabletMap {
+        TabletMap::new(SplitPolicy::default())
+    }
+
+    #[test]
+    fn single_tablet_owns_everything() {
+        let m = map();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.tablet_index(&Key::from("anything")), 0);
+        assert_eq!(m.participants([Key::from("a"), Key::from("z")].iter()), 1);
+    }
+
+    #[test]
+    fn split_partitions_ownership() {
+        let mut m = map();
+        assert!(m.split_at(0, Key::from("m"), Timestamp::ZERO));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.tablet_index(&Key::from("a")), 0);
+        assert_eq!(m.tablet_index(&Key::from("m")), 1);
+        assert_eq!(m.tablet_index(&Key::from("z")), 1);
+        assert_eq!(m.participants([Key::from("a"), Key::from("z")].iter()), 2);
+        assert_eq!(m.splits_performed(), 1);
+    }
+
+    #[test]
+    fn split_rejects_out_of_range_key() {
+        let mut m = map();
+        m.split_at(0, Key::from("m"), Timestamp::ZERO);
+        // Splitting the left tablet at a key it doesn't own fails.
+        assert!(!m.split_at(0, Key::from("z"), Timestamp::ZERO));
+        // Splitting at the range start fails (would create an empty tablet).
+        assert!(!m.split_at(1, Key::from("m"), Timestamp::ZERO));
+    }
+
+    #[test]
+    fn pre_split_creates_sorted_partition() {
+        let mut m = map();
+        m.pre_split(
+            vec![Key::from("g"), Key::from("p"), Key::from("w")],
+            Timestamp::ZERO,
+        );
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.tablet_index(&Key::from("a")), 0);
+        assert_eq!(m.tablet_index(&Key::from("h")), 1);
+        assert_eq!(m.tablet_index(&Key::from("q")), 2);
+        assert_eq!(m.tablet_index(&Key::from("x")), 3);
+    }
+
+    #[test]
+    fn load_tracking_flags_hot_tablets() {
+        let mut m = TabletMap::new(SplitPolicy {
+            split_write_threshold: 10,
+            ..SplitPolicy::default()
+        });
+        for i in 0..12 {
+            m.record_write(
+                &Key::from(format!("k{i}").as_str()),
+                100,
+                Timestamp::from_secs(1),
+            );
+        }
+        assert_eq!(m.overloaded(), vec![0]);
+    }
+
+    #[test]
+    fn window_decay_resets_load() {
+        let mut m = TabletMap::new(SplitPolicy {
+            split_write_threshold: 10,
+            window: Duration::from_secs(1),
+            ..SplitPolicy::default()
+        });
+        for _ in 0..12 {
+            m.record_write(&Key::from("k"), 1, Timestamp::from_secs(1));
+        }
+        assert!(!m.overloaded().is_empty());
+        // One write far in the future resets the window.
+        m.record_write(&Key::from("k"), 1, Timestamp::from_secs(100));
+        assert!(m.overloaded().is_empty());
+    }
+
+    #[test]
+    fn max_tablets_stops_splitting() {
+        let mut m = TabletMap::new(SplitPolicy {
+            split_write_threshold: 1,
+            max_tablets: 2,
+            ..SplitPolicy::default()
+        });
+        m.split_at(0, Key::from("m"), Timestamp::ZERO);
+        for _ in 0..10 {
+            m.record_write(&Key::from("a"), 1, Timestamp::from_secs(1));
+        }
+        assert!(
+            m.overloaded().is_empty(),
+            "at max_tablets no split candidates are offered"
+        );
+    }
+
+    #[test]
+    fn cold_neighbours_merge() {
+        let mut m = map();
+        m.pre_split(
+            vec![Key::from("g"), Key::from("p"), Key::from("w")],
+            Timestamp::ZERO,
+        );
+        assert_eq!(m.len(), 4);
+        // Everything idle: one pass merges disjoint pairs.
+        let merges = m.merge_cold(Timestamp::from_secs(100));
+        assert_eq!(merges, 2);
+        assert_eq!(m.len(), 2);
+        // Ownership is still a full partition.
+        assert_eq!(m.tablet_index(&Key::from("a")), 0);
+        assert_eq!(m.tablet_index(&Key::from("z")), 1);
+    }
+
+    #[test]
+    fn hot_tablets_do_not_merge() {
+        let mut m = TabletMap::new(SplitPolicy {
+            split_write_threshold: 8,
+            ..SplitPolicy::default()
+        });
+        m.pre_split(vec![Key::from("m")], Timestamp::ZERO);
+        let now = Timestamp::from_secs(1);
+        for _ in 0..10 {
+            m.record_write(&Key::from("a"), 100, now);
+            m.record_write(&Key::from("z"), 100, now);
+        }
+        assert_eq!(m.merge_cold(now), 0, "busy tablets stay split");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn sequential_keys_keep_hitting_last_tablet() {
+        // The paper's hotspot: an ever-increasing key (e.g. creation
+        // timestamp index) always lands in the final tablet.
+        let mut m = map();
+        m.pre_split(vec![Key::from("5")], Timestamp::ZERO);
+        for i in 0..100 {
+            let k = Key::from(format!("9-{i:04}").as_str());
+            let idx = m.record_write(&k, 10, Timestamp::from_secs(1));
+            assert_eq!(idx, m.len() - 1);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Data-shape workloads (paper §V-B2, Fig 10).
+//!
+//! "In the first experiment, each document comprises a single field with a
+//! varying length of single-byte characters, from 10KB to almost 1MiB ...
+//! In the second experiment, each document has a varying number of
+//! numeric-value fields from 1 to 500, which results in a linear increase
+//! in the number of index entries written per commit." The database is
+//! pre-populated "to ensure that commits spanned multiple tablets".
+
+use firestore_core::database::doc;
+use firestore_core::{Caller, DocumentName, FirestoreDatabase, FirestoreResult, Value, Write};
+use simkit::SimRng;
+
+/// Build a commit inserting one document with a single string field of
+/// `size` bytes.
+pub fn single_large_field_write(name: DocumentName, size: usize) -> Write {
+    Write::set(name, [("payload", Value::Str("x".repeat(size)))])
+}
+
+/// Build a commit inserting one document with `n` numeric fields (each gets
+/// its own automatic index entry).
+pub fn many_fields_write(name: DocumentName, n: usize, rng: &mut SimRng) -> Write {
+    let fields: Vec<(String, Value)> = (0..n)
+        .map(|i| {
+            (
+                format!("f{i:04}"),
+                Value::Int(rng.gen_range(1_000_000) as i64),
+            )
+        })
+        .collect();
+    Write {
+        op: firestore_core::WriteOp::Set {
+            name,
+            fields: fields.into_iter().collect(),
+        },
+        precondition: firestore_core::Precondition::None,
+    }
+}
+
+/// Pre-populate `db` with `count` filler documents and pre-split its
+/// Entities/IndexEntries tablets so subsequent single-document commits are
+/// distributed Spanner commits (multi-tablet 2PC), as in the paper's setup.
+pub fn prepopulate(db: &FirestoreDatabase, count: usize, rng: &mut SimRng) -> FirestoreResult<()> {
+    for i in 0..count {
+        let w = many_fields_write(doc(&format!("/shapes/seed{i:05}")), 8, rng);
+        db.commit_writes(vec![w], &Caller::Service)?;
+    }
+    // Force load-based splits to materialize.
+    db.spanner().maintain(simkit::Timestamp::ZERO);
+    Ok(())
+}
+
+/// The document-size sweep of Fig 10a (10 KB → ~1 MiB).
+pub fn size_sweep() -> Vec<usize> {
+    vec![
+        10 << 10,
+        50 << 10,
+        100 << 10,
+        250 << 10,
+        500 << 10,
+        (1 << 20) - 4096,
+    ]
+}
+
+/// The field-count sweep of Fig 10b (1 → 500 fields).
+pub fn field_sweep() -> Vec<usize> {
+    vec![1, 10, 50, 100, 250, 500]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firestore_core::Consistency;
+    use simkit::{Duration, SimClock};
+    use spanner::SpannerDatabase;
+
+    fn db() -> FirestoreDatabase {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        FirestoreDatabase::create_default(SpannerDatabase::new(clock))
+    }
+
+    #[test]
+    fn large_field_write_has_requested_size() {
+        let d = db();
+        let w = single_large_field_write(doc("/shapes/big"), 10 << 10);
+        let result = d.commit_writes(vec![w], &Caller::Service).unwrap();
+        assert!(result.stats.payload_bytes >= 10 << 10);
+        // One field → few index entries regardless of size.
+        assert!(result.stats.index_entries_touched <= 2);
+    }
+
+    #[test]
+    fn field_count_drives_index_entries() {
+        let d = db();
+        let mut rng = SimRng::new(1);
+        let w1 = many_fields_write(doc("/shapes/one"), 1, &mut rng);
+        let r1 = d.commit_writes(vec![w1], &Caller::Service).unwrap();
+        let w500 = many_fields_write(doc("/shapes/many"), 500, &mut rng);
+        let r500 = d.commit_writes(vec![w500], &Caller::Service).unwrap();
+        assert_eq!(r1.stats.index_entries_touched, 1);
+        assert_eq!(
+            r500.stats.index_entries_touched, 500,
+            "linear in field count"
+        );
+    }
+
+    #[test]
+    fn oversized_document_rejected() {
+        let d = db();
+        let w = single_large_field_write(doc("/shapes/toobig"), (1 << 20) + 1000);
+        assert!(d.commit_writes(vec![w], &Caller::Service).is_err());
+    }
+
+    #[test]
+    fn prepopulate_creates_documents() {
+        let d = db();
+        let mut rng = SimRng::new(2);
+        prepopulate(&d, 30, &mut rng).unwrap();
+        assert_eq!(d.storage_stats().unwrap().0, 30);
+        let got = d
+            .get_document(
+                &doc("/shapes/seed00000"),
+                Consistency::Strong,
+                &Caller::Service,
+            )
+            .unwrap();
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn sweeps_are_monotone() {
+        assert!(size_sweep().windows(2).all(|w| w[0] < w[1]));
+        assert!(field_sweep().windows(2).all(|w| w[0] < w[1]));
+        assert!(*size_sweep().last().unwrap() < 1 << 20);
+        assert_eq!(*field_sweep().last().unwrap(), 500);
+    }
+}

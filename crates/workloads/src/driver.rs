@@ -1,0 +1,374 @@
+//! The measurement load driver.
+//!
+//! Drives a [`server::FirestoreService`] with Poisson arrivals at a target
+//! QPS and measures per-request latency = Backend CPU queueing (from the
+//! fair-share scheduler) + modeled storage/replication latency. A
+//! configurable fraction of arrivals executes *for real* against the engine
+//! — keeping the dataset live and continuously calibrating the CPU cost and
+//! storage latency of each operation class — while the remainder are
+//! cost-equivalent synthetic jobs, letting a laptop sustain the paper's
+//! thousands of QPS for ten simulated minutes.
+
+use crate::ycsb::{YcsbGenerator, YcsbOp};
+use server::fairshare::Job;
+use server::FirestoreService;
+use simkit::stats::Samples;
+use simkit::{Duration, SimRng, Timestamp};
+use std::collections::HashMap;
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Offered load.
+    pub target_qps: f64,
+    /// Total run length (the paper uses 10 minutes).
+    pub duration: Duration,
+    /// Leading time excluded from the report (the paper measures the last
+    /// 5 of 10 minutes).
+    pub warmup: Duration,
+    /// Execute one real engine operation per this many arrivals.
+    pub sample_every: usize,
+    /// Scheduler quantum.
+    pub quantum: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            target_qps: 500.0,
+            duration: Duration::from_secs(600),
+            warmup: Duration::from_secs(300),
+            sample_every: 50,
+            quantum: Duration::from_micros(250),
+            seed: 0xF1DE,
+        }
+    }
+}
+
+/// Models Spanner's load-based splitting lag during a rapid ramp: a write
+/// rate beyond the currently split capacity concentrates commits on hot
+/// tablets until splits catch up ("scale-up instead relies on ... dynamic
+/// load splitting in Spanner, and this particularly affects writes",
+/// §V-B1). Capacity starts at the conforming-traffic base (500 QPS) and
+/// doubles roughly every three minutes of sustained load.
+pub fn split_pressure(write_qps: f64, elapsed: Duration) -> f64 {
+    let capacity = 500.0 * 2f64.powf(elapsed.as_secs_f64() / 180.0);
+    (write_qps / capacity).max(1.0)
+}
+
+/// Measured output of one run.
+#[derive(Debug, Default)]
+pub struct DriverReport {
+    /// Read latencies (ms), post-warmup.
+    pub read_latency: Samples,
+    /// Update latencies (ms), post-warmup.
+    pub update_latency: Samples,
+    /// Total operations offered.
+    pub operations: u64,
+    /// Real engine executions among them.
+    pub real_executions: u64,
+}
+
+/// Exponentially-weighted estimator of an operation class's cost.
+#[derive(Clone, Copy, Debug)]
+struct CostEstimate {
+    cpu: Duration,
+    storage: Duration,
+}
+
+impl CostEstimate {
+    fn update(&mut self, cpu: Duration, storage: Duration) {
+        let blend = |old: Duration, new: Duration| {
+            Duration::from_nanos(
+                ((old.as_nanos() as f64) * 0.9 + (new.as_nanos() as f64) * 0.1) as u64,
+            )
+        };
+        self.cpu = blend(self.cpu, cpu);
+        self.storage = blend(self.storage, storage);
+    }
+}
+
+struct Inflight {
+    is_read: bool,
+    storage_latency: Duration,
+}
+
+/// The generic driver: submit per-database work, advance simulated time,
+/// collect per-op latencies. Used directly by the isolation experiment and
+/// via [`run_ycsb`] by the YCSB experiments.
+pub struct LoadDriver<'a> {
+    svc: &'a FirestoreService,
+    next_job: u64,
+    inflight: HashMap<u64, Inflight>,
+    /// Completed `(database, is_read, submitted, latency)` tuples.
+    pub outcomes: Vec<(String, bool, Timestamp, Duration)>,
+}
+
+impl<'a> LoadDriver<'a> {
+    /// Create a driver over a service.
+    pub fn new(svc: &'a FirestoreService) -> LoadDriver<'a> {
+        LoadDriver {
+            svc,
+            next_job: 1,
+            inflight: HashMap::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Submit one operation's backend work.
+    pub fn submit(
+        &mut self,
+        database: &str,
+        is_read: bool,
+        cpu: Duration,
+        storage_latency: Duration,
+        at: Timestamp,
+    ) {
+        let id = self.next_job;
+        self.next_job += 1;
+        self.inflight.insert(
+            id,
+            Inflight {
+                is_read,
+                storage_latency,
+            },
+        );
+        self.svc
+            .backend
+            .lock()
+            .submit(Job::new(id, database, cpu, at));
+    }
+
+    /// Advance the backend pool from `from` to `until`, collecting
+    /// completions into [`LoadDriver::outcomes`].
+    pub fn advance(&mut self, from: Timestamp, until: Timestamp, quantum: Duration) {
+        let done = self.svc.backend.lock().advance(from, until, quantum);
+        for job in done {
+            if let Some(info) = self.inflight.remove(&job.id) {
+                let latency = job.latency() + info.storage_latency;
+                self.outcomes
+                    .push((job.database, info.is_read, job.submitted, latency));
+            }
+        }
+        self.svc.clock().advance_to(until);
+    }
+
+    /// Jobs not yet completed.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+/// Run the YCSB workload (Figs 7–8) against `database` on `svc`.
+pub fn run_ycsb(
+    svc: &FirestoreService,
+    database: &str,
+    generator: &YcsbGenerator,
+    config: &DriverConfig,
+) -> DriverReport {
+    let mut rng = SimRng::new(config.seed);
+    let db = svc.database(database).expect("database exists");
+    let mut driver = LoadDriver::new(svc);
+    let mut report = DriverReport::default();
+
+    // Bootstrap cost estimates with one real op of each class.
+    let mut read_cost = CostEstimate {
+        cpu: Duration::from_micros(80),
+        storage: Duration::from_millis(4),
+    };
+    let mut update_cost = CostEstimate {
+        cpu: Duration::from_micros(120),
+        storage: Duration::from_millis(14),
+    };
+
+    let start = svc.clock().now();
+    let end = start + config.duration;
+    let measure_from = start + config.warmup;
+    let block = Duration::from_secs(1);
+    let mut block_start = start;
+    let mut arrivals_seen: u64 = 0;
+
+    while block_start < end {
+        let block_end = (block_start + block).min(end);
+        // Poisson arrivals in this block, in time order.
+        let mut arrivals: Vec<(Timestamp, YcsbOp)> = Vec::new();
+        let mut t = 0.0f64;
+        let block_secs = (block_end - block_start).as_secs_f64();
+        loop {
+            t += rng.exponential(1.0 / config.target_qps.max(1e-9));
+            if t >= block_secs {
+                break;
+            }
+            let at = block_start + Duration::from_millis_f64(t * 1000.0);
+            arrivals.push((at, generator.next_op(&mut rng)));
+        }
+        // Interleave: the scheduler only sees a job once it has arrived.
+        let mut cursor = block_start;
+        for (at, op) in arrivals {
+            if at > cursor {
+                driver.advance(cursor, at, config.quantum);
+                cursor = at;
+            }
+            arrivals_seen += 1;
+            report.operations += 1;
+            let is_read = op.is_read();
+            let (cpu, storage) = if arrivals_seen.is_multiple_of(config.sample_every as u64) {
+                // Real execution: refresh the estimators.
+                report.real_executions += 1;
+                let served = match &op {
+                    YcsbOp::Read(name) => svc
+                        .get_document(database, name, &firestore_core::Caller::Service, &mut rng)
+                        .map(|(_, s)| s),
+                    YcsbOp::Update(_) => generator.execute(&db, &op, &mut rng).map(|_| {
+                        server::service::ServedRequest {
+                            cpu_cost: svc
+                                .cost_model()
+                                .write_cost(2, generator.config().field_size),
+                            storage_latency: svc.latency_model().spanner_commit(
+                                2,
+                                generator.config().field_size,
+                                &mut rng,
+                            ),
+                        }
+                    }),
+                };
+                match served {
+                    Ok(s) => {
+                        let est = if is_read {
+                            &mut read_cost
+                        } else {
+                            &mut update_cost
+                        };
+                        est.update(s.cpu_cost, s.storage_latency);
+                        (s.cpu_cost, s.storage_latency)
+                    }
+                    Err(_) => {
+                        let est = if is_read { read_cost } else { update_cost };
+                        (est.cpu, est.storage)
+                    }
+                }
+            } else {
+                // Synthetic: calibrated cost with model noise, plus the
+                // split-pressure penalty of the current ramp state.
+                let est = if is_read { read_cost } else { update_cost };
+                let write_qps =
+                    config.target_qps * (1.0 - generator.config().workload.read_proportion());
+                let pressure = split_pressure(write_qps, block_start - start);
+                let storage = if is_read {
+                    svc.latency_model()
+                        .spanner_read(1, &mut rng)
+                        .mul_f64(pressure.powf(0.3))
+                } else {
+                    svc.latency_model()
+                        .spanner_commit(2, generator.config().field_size, &mut rng)
+                        .mul_f64(pressure.powf(0.7))
+                };
+                (est.cpu.mul_f64(rng.lognormal(0.0, 0.15)), storage)
+            };
+            driver.submit(database, is_read, cpu, storage, at);
+        }
+        driver.advance(cursor, block_end, config.quantum);
+        // Auto-scaling observes the pool every block.
+        svc.autoscale_backend(block_end);
+        // Harvest outcomes.
+        for (_db, is_read, submitted, latency) in driver.outcomes.drain(..) {
+            if submitted >= measure_from {
+                if is_read {
+                    report.read_latency.push_duration(latency);
+                } else {
+                    report.update_latency.push_duration(latency);
+                }
+            }
+        }
+        block_start = block_end;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ycsb::{YcsbConfig, YcsbWorkload};
+    use server::ServiceOptions;
+    use simkit::SimClock;
+
+    fn quick_config(qps: f64) -> DriverConfig {
+        DriverConfig {
+            target_qps: qps,
+            duration: Duration::from_secs(20),
+            warmup: Duration::from_secs(5),
+            sample_every: 25,
+            ..DriverConfig::default()
+        }
+    }
+
+    fn setup(tasks: usize, autoscaling: bool) -> FirestoreService {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let svc = FirestoreService::new(
+            clock,
+            ServiceOptions {
+                backend_tasks: tasks,
+                autoscaling,
+                ..ServiceOptions::default()
+            },
+        );
+        svc.create_database("ycsb");
+        svc
+    }
+
+    #[test]
+    fn driver_produces_latency_samples() {
+        let svc = setup(4, true);
+        let g = YcsbGenerator::new(YcsbConfig {
+            records: 200,
+            field_size: 100,
+            workload: YcsbWorkload::A,
+        });
+        let mut rng = SimRng::new(1);
+        g.load(&svc.database("ycsb").unwrap(), &mut rng).unwrap();
+        let mut report = run_ycsb(&svc, "ycsb", &g, &quick_config(100.0));
+        assert!(report.operations > 1000, "{} ops", report.operations);
+        assert!(report.real_executions > 10);
+        assert!(report.read_latency.len() > 100);
+        assert!(report.update_latency.len() > 100);
+        let p50 = report.read_latency.median().unwrap();
+        assert!(p50 > 0.0 && p50 < 1000.0, "read p50 {p50}ms");
+    }
+
+    #[test]
+    fn overload_inflates_latency() {
+        // One core at high offered CPU load: queueing delay dominates.
+        let run = |qps: f64| {
+            let svc = setup(1, false);
+            let g = YcsbGenerator::new(YcsbConfig {
+                records: 100,
+                field_size: 100,
+                workload: YcsbWorkload::B,
+            });
+            let mut rng = SimRng::new(2);
+            g.load(&svc.database("ycsb").unwrap(), &mut rng).unwrap();
+            // Freeze autoscaling by using a tiny run before it reacts.
+            let mut report = run_ycsb(
+                &svc,
+                "ycsb",
+                &g,
+                &DriverConfig {
+                    target_qps: qps,
+                    duration: Duration::from_secs(10),
+                    warmup: Duration::from_secs(2),
+                    ..DriverConfig::default()
+                },
+            );
+            report.read_latency.percentile(0.99).unwrap_or(0.0)
+        };
+        let light = run(1000.0);
+        let heavy = run(30_000.0);
+        assert!(
+            heavy > 2.0 * light,
+            "p99 under heavy load ({heavy}ms) should dwarf light load ({light}ms)"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! The Fig 9 broadcast workload.
+//!
+//! "We set up a workload that writes to a single document once every
+//! second, while an increasing number of Firestore clients open a real-time
+//! query that includes that document in its result set. Thus, each write to
+//! the document triggers a small update that is sent to each client."
+
+use firestore_core::database::doc;
+use firestore_core::{Caller, FirestoreResult, Query, Value, Write};
+use realtime::{Connection, QueryId};
+use server::FirestoreService;
+
+/// The broadcast fixture: one scoreboard document, N listening clients.
+pub struct FanoutFixture {
+    /// Service under test.
+    pub database: String,
+    /// Listening connections with their query ids.
+    pub listeners: Vec<(Connection, QueryId)>,
+    seq: i64,
+}
+
+impl FanoutFixture {
+    /// Create the scoreboard and register `n` listeners (e.g. sports-score
+    /// viewers).
+    pub fn new(svc: &FirestoreService, database: &str, n: usize) -> FirestoreResult<FanoutFixture> {
+        let db = svc.database(database).expect("database exists");
+        db.commit_writes(
+            vec![Write::set(
+                doc("/scores/game1"),
+                [("home", Value::Int(0)), ("away", Value::Int(0))],
+            )],
+            &Caller::Service,
+        )?;
+        let mut listeners = Vec::with_capacity(n);
+        for _ in 0..n {
+            let conn = svc.connect();
+            let q = Query::parse("/scores").unwrap();
+            let qid = svc.listen(database, &conn, q, &Caller::Service)?;
+            conn.poll(); // drain the initial snapshot
+            listeners.push((conn, qid));
+        }
+        Ok(FanoutFixture {
+            database: database.to_string(),
+            listeners,
+            seq: 0,
+        })
+    }
+
+    /// Perform one scoreboard write (a team scores).
+    pub fn write_once(&mut self, svc: &FirestoreService) -> FirestoreResult<()> {
+        self.seq += 1;
+        let db = svc.database(&self.database).expect("database exists");
+        db.commit_writes(
+            vec![Write::set(
+                doc("/scores/game1"),
+                [("home", Value::Int(self.seq)), ("away", Value::Int(0))],
+            )],
+            &Caller::Service,
+        )?;
+        Ok(())
+    }
+
+    /// Poll all listeners; returns how many received a (non-initial)
+    /// snapshot.
+    pub fn poll_all(&self) -> usize {
+        self.listeners
+            .iter()
+            .filter(|(conn, _)| {
+                conn.poll()
+                    .iter()
+                    .any(|e| matches!(e, realtime::ListenEvent::Snapshot { .. }))
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use server::ServiceOptions;
+    use simkit::{Duration, SimClock};
+
+    #[test]
+    fn every_listener_hears_every_write() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let svc = FirestoreService::new(clock, ServiceOptions::default());
+        svc.create_database("scores");
+        let mut fixture = FanoutFixture::new(&svc, "scores", 25).unwrap();
+        for _ in 0..3 {
+            fixture.write_once(&svc).unwrap();
+            svc.realtime().tick();
+            assert_eq!(fixture.poll_all(), 25, "all listeners notified");
+        }
+        // Realtime stats counted the deliveries: 25 listeners × 3 writes.
+        assert_eq!(svc.realtime().stats().notifications, 75);
+    }
+}

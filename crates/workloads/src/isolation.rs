@@ -1,0 +1,120 @@
+//! The Fig 11 isolation experiment workloads.
+//!
+//! "A 'culprit' database sends CPU-intensive (due to an inefficient
+//! indexing setup) queries that linearly ramp up to 500 QPS to hit scaling
+//! limits of the test environment, and a 'bystander' database sends 100 QPS
+//! of single-document fetches."
+
+use firestore_core::database::doc;
+use firestore_core::{Caller, FilterOp, FirestoreDatabase, FirestoreResult, Query, Value, Write};
+use simkit::SimRng;
+
+/// Names of the two databases.
+pub const CULPRIT: &str = "culprit";
+/// The well-behaved database.
+pub const BYSTANDER: &str = "bystander";
+
+/// Populate the culprit with data whose only serving plan is an expensive
+/// zig-zag join over low-selectivity automatic indexes — the "inefficient
+/// indexing setup". Each equality matches ~half the documents while the
+/// conjunction matches almost nothing, so each query scans many entries.
+pub fn setup_culprit(db: &FirestoreDatabase, docs: usize, rng: &mut SimRng) -> FirestoreResult<()> {
+    for i in 0..docs {
+        let a = rng.gen_range(2) as i64;
+        let b = rng.gen_range(2) as i64;
+        let w = Write::set(
+            doc(&format!("/events/e{i:06}")),
+            [
+                ("a", Value::Int(a)),
+                ("b", Value::Int(b)),
+                ("payload", Value::Str("x".repeat(200))),
+            ],
+        );
+        db.commit_writes(vec![w], &Caller::Service)?;
+    }
+    Ok(())
+}
+
+/// One culprit query: a conjunction with no composite index, forcing a
+/// zig-zag join that scans a large fraction of both posting lists.
+pub fn culprit_query(rng: &mut SimRng) -> Query {
+    Query::parse("/events")
+        .unwrap()
+        .filter("a", FilterOp::Eq, rng.gen_range(2) as i64)
+        .filter("b", FilterOp::Eq, rng.gen_range(2) as i64)
+}
+
+/// Populate the bystander with point-lookup targets.
+pub fn setup_bystander(db: &FirestoreDatabase, docs: usize) -> FirestoreResult<()> {
+    for i in 0..docs {
+        let w = Write::set(
+            doc(&format!("/profiles/p{i:04}")),
+            [
+                ("name", Value::Str(format!("user {i}"))),
+                ("score", Value::Int(i as i64)),
+            ],
+        );
+        db.commit_writes(vec![w], &Caller::Service)?;
+    }
+    Ok(())
+}
+
+/// One bystander operation: a single-document fetch.
+pub fn bystander_doc(docs: usize, rng: &mut SimRng) -> firestore_core::DocumentName {
+    doc(&format!("/profiles/p{:04}", rng.gen_range(docs as u64)))
+}
+
+/// The culprit's linear QPS ramp: from 0 to `peak` over `duration_s`,
+/// evaluated at second `t`.
+pub fn culprit_qps_at(t: f64, duration_s: f64, peak: f64) -> f64 {
+    (peak * (t / duration_s)).clamp(0.0, peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firestore_core::Consistency;
+    use simkit::{Duration, SimClock};
+    use spanner::SpannerDatabase;
+
+    fn db() -> FirestoreDatabase {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        FirestoreDatabase::create_default(SpannerDatabase::new(clock))
+    }
+
+    #[test]
+    fn culprit_queries_are_expensive() {
+        let d = db();
+        let mut rng = SimRng::new(1);
+        setup_culprit(&d, 400, &mut rng).unwrap();
+        let q = culprit_query(&mut rng);
+        let result = d
+            .run_query(&q, Consistency::Strong, &Caller::Service)
+            .unwrap();
+        // Zig-zag join scans a large share of both ~200-entry posting
+        // lists even though it returns ~100 docs.
+        assert!(result.stats.entries_scanned > 150, "{:?}", result.stats);
+        assert!(!result.documents.is_empty());
+    }
+
+    #[test]
+    fn bystander_fetches_are_cheap() {
+        let d = db();
+        let mut rng = SimRng::new(2);
+        setup_bystander(&d, 50).unwrap();
+        let name = bystander_doc(50, &mut rng);
+        let got = d
+            .get_document(&name, Consistency::Strong, &Caller::Service)
+            .unwrap();
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn ramp_is_linear_and_clamped() {
+        assert_eq!(culprit_qps_at(0.0, 100.0, 500.0), 0.0);
+        assert_eq!(culprit_qps_at(50.0, 100.0, 500.0), 250.0);
+        assert_eq!(culprit_qps_at(100.0, 100.0, 500.0), 500.0);
+        assert_eq!(culprit_qps_at(150.0, 100.0, 500.0), 500.0);
+    }
+}

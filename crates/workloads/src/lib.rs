@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Workload generators and load drivers for the paper's evaluation (§V).
+//!
+//! * [`ycsb`] — the YCSB benchmark (§V-B1): workload A (50% reads / 50%
+//!   updates) and workload B (95/5), uniform key distribution, 900-byte
+//!   single-field documents.
+//! * [`datashape`] — the Fig 10 sweeps: documents of growing size and
+//!   documents with a growing number of indexed fields.
+//! * [`fanout`] — the Fig 9 broadcast scenario: one document written once a
+//!   second while N clients hold a real-time query over it.
+//! * [`isolation`] — the Fig 11 culprit/bystander pair: CPU-hungry
+//!   inefficiently-indexed queries ramping up against steady single-
+//!   document fetches.
+//! * [`production`] — the Fig 6 synthesis: heavy-tailed per-database
+//!   storage / QPS / active-query distributions spanning many orders of
+//!   magnitude.
+//! * [`driver`] — the closed measurement loop: Poisson arrivals at a target
+//!   QPS feeding the Backend CPU scheduler, with calibrated costs sampled
+//!   from real engine executions, producing per-request latency samples.
+
+pub mod datashape;
+pub mod driver;
+pub mod fanout;
+pub mod isolation;
+pub mod production;
+pub mod ycsb;
+
+pub use driver::{DriverConfig, DriverReport};
+pub use ycsb::{YcsbConfig, YcsbOp, YcsbWorkload};

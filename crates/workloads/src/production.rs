@@ -1,0 +1,172 @@
+//! Synthesis of the Fig 6 production statistics.
+//!
+//! The paper reports boxplots over all active Firestore databases: storage
+//! size, QPS, and active real-time queries each span roughly nine orders of
+//! magnitude around the median, with the real-time query count also showing
+//! daily twenty-fold spikes. We cannot observe Google's fleet, so this
+//! module synthesizes a fleet of per-database activity profiles from
+//! heavy-tailed distributions calibrated to the spreads the paper reports:
+//! a log-normal body (most databases are tiny) with a Pareto tail (a few
+//! are enormous). The experiment then *measures* the boxplot statistics
+//! from the synthesized fleet exactly as the paper's figure does.
+
+use simkit::stats::{Boxplot, Samples};
+use simkit::SimRng;
+
+/// One database's activity profile.
+#[derive(Clone, Debug)]
+pub struct DatabaseProfile {
+    /// Stored bytes.
+    pub storage_bytes: f64,
+    /// Steady queries per second.
+    pub qps: f64,
+    /// Active real-time queries.
+    pub active_queries: f64,
+}
+
+/// Fleet-synthesis parameters.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of databases.
+    pub databases: usize,
+    /// σ of the log-normal body (larger = wider spread).
+    pub sigma: f64,
+    /// Fraction of databases drawn from the Pareto tail.
+    pub tail_fraction: f64,
+    /// Pareto shape (smaller = heavier tail).
+    pub tail_alpha: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            databases: 10_000,
+            sigma: 2.8,
+            tail_fraction: 0.02,
+            tail_alpha: 0.55,
+        }
+    }
+}
+
+/// Draw one heavy-tailed metric around `median`.
+fn heavy_tailed(median: f64, cfg: &FleetConfig, rng: &mut SimRng) -> f64 {
+    if rng.gen_bool(cfg.tail_fraction) {
+        // Tail draw: Pareto starting at the body's upper range.
+        median * rng.pareto(50.0, cfg.tail_alpha)
+    } else {
+        median * rng.lognormal(0.0, cfg.sigma)
+    }
+}
+
+/// Synthesize a fleet of database profiles.
+pub fn synthesize_fleet(cfg: &FleetConfig, rng: &mut SimRng) -> Vec<DatabaseProfile> {
+    (0..cfg.databases)
+        .map(|_| DatabaseProfile {
+            // Medians loosely calibrated: a median database stores ~1 MB,
+            // serves ~0.1 QPS, and has ~1 active real-time query.
+            storage_bytes: heavy_tailed(1e6, cfg, rng).max(1.0),
+            qps: heavy_tailed(0.1, cfg, rng).max(1e-6),
+            active_queries: heavy_tailed(1.0, cfg, rng).max(0.0),
+        })
+        .collect()
+}
+
+/// The three Fig 6 boxplots (median-normalized like the paper's
+/// presentation).
+#[derive(Clone, Debug)]
+pub struct FleetBoxplots {
+    /// Storage-size distribution.
+    pub storage: Boxplot,
+    /// QPS distribution.
+    pub qps: Boxplot,
+    /// Active real-time query distribution.
+    pub active_queries: Boxplot,
+}
+
+/// Compute the boxplots from a fleet.
+pub fn fleet_boxplots(fleet: &[DatabaseProfile]) -> FleetBoxplots {
+    let mut storage = Samples::new();
+    let mut qps = Samples::new();
+    let mut active = Samples::new();
+    for p in fleet {
+        storage.push(p.storage_bytes);
+        qps.push(p.qps);
+        active.push(p.active_queries);
+    }
+    FleetBoxplots {
+        storage: storage.boxplot().expect("non-empty fleet"),
+        qps: qps.boxplot().expect("non-empty fleet"),
+        active_queries: active.boxplot().expect("non-empty fleet"),
+    }
+}
+
+/// A daily spike factor for active real-time queries: the paper reports
+/// "many instances daily where the active query count for a given database
+/// grows twenty-fold within minutes".
+pub fn spike_factor(rng: &mut SimRng) -> f64 {
+    if rng.gen_bool(0.01) {
+        rng.gen_range_f64(15.0, 30.0)
+    } else {
+        rng.gen_range_f64(0.8, 1.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_spans_many_orders_of_magnitude() {
+        let cfg = FleetConfig::default();
+        let mut rng = SimRng::new(42);
+        let fleet = synthesize_fleet(&cfg, &mut rng);
+        assert_eq!(fleet.len(), cfg.databases);
+        let plots = fleet_boxplots(&fleet);
+        // The paper: storage and QPS spread ≥ 9 orders of magnitude from
+        // median to max.
+        assert!(
+            plots.storage.orders_of_magnitude() >= 6.0,
+            "storage spread {} OoM",
+            plots.storage.orders_of_magnitude()
+        );
+        assert!(
+            plots.qps.orders_of_magnitude() >= 6.0,
+            "qps spread {} OoM",
+            plots.qps.orders_of_magnitude()
+        );
+    }
+
+    #[test]
+    fn normalized_median_is_one() {
+        let mut rng = SimRng::new(7);
+        let fleet = synthesize_fleet(&FleetConfig::default(), &mut rng);
+        let plots = fleet_boxplots(&fleet);
+        let n = plots.storage.normalized();
+        assert_eq!(n.median, 1.0);
+        assert!(n.max > n.q3 && n.q3 > 1.0);
+        assert!(n.min < n.q1 && n.q1 < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = FleetConfig {
+            databases: 100,
+            ..FleetConfig::default()
+        };
+        let f1 = synthesize_fleet(&cfg, &mut SimRng::new(5));
+        let f2 = synthesize_fleet(&cfg, &mut SimRng::new(5));
+        assert_eq!(f1.len(), f2.len());
+        for (a, b) in f1.iter().zip(&f2) {
+            assert_eq!(a.storage_bytes, b.storage_bytes);
+        }
+    }
+
+    #[test]
+    fn spikes_are_rare_but_large() {
+        let mut rng = SimRng::new(11);
+        let draws: Vec<f64> = (0..10_000).map(|_| spike_factor(&mut rng)).collect();
+        let spikes = draws.iter().filter(|&&f| f > 10.0).count();
+        assert!(spikes > 20 && spikes < 300, "spike count {spikes}");
+        assert!(draws.iter().cloned().fold(0.0, f64::max) >= 15.0);
+    }
+}

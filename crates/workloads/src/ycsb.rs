@@ -1,0 +1,238 @@
+//! The YCSB benchmark over Firestore (paper §V-B1).
+//!
+//! "We ran the YCSB benchmark: workload A with 50% reads and 50% updates
+//! and workload B with 95% reads and 5% updates. We used a uniform key
+//! distribution with 900-byte sized documents, each composed of a single
+//! field of that size."
+
+use firestore_core::database::doc;
+use firestore_core::{
+    Caller, Document, DocumentName, FirestoreDatabase, FirestoreResult, Value, Write,
+};
+use simkit::SimRng;
+
+/// Which YCSB core workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YcsbWorkload {
+    /// 50% reads / 50% updates.
+    A,
+    /// 95% reads / 5% updates.
+    B,
+}
+
+impl YcsbWorkload {
+    /// The read proportion.
+    pub fn read_proportion(&self) -> f64 {
+        match self {
+            YcsbWorkload::A => 0.5,
+            YcsbWorkload::B => 0.95,
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "A",
+            YcsbWorkload::B => "B",
+        }
+    }
+}
+
+/// Benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct YcsbConfig {
+    /// Which workload mix.
+    pub workload: YcsbWorkload,
+    /// Number of records in `usertable`.
+    pub records: usize,
+    /// Document payload size (900 bytes in the paper).
+    pub field_size: usize,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            workload: YcsbWorkload::A,
+            records: 10_000,
+            field_size: 900,
+        }
+    }
+}
+
+/// One benchmark operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum YcsbOp {
+    /// Read a record.
+    Read(DocumentName),
+    /// Update (replace) a record.
+    Update(DocumentName),
+}
+
+impl YcsbOp {
+    /// Whether this is a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, YcsbOp::Read(_))
+    }
+}
+
+/// The generator.
+pub struct YcsbGenerator {
+    config: YcsbConfig,
+}
+
+impl YcsbGenerator {
+    /// Create a generator.
+    pub fn new(config: YcsbConfig) -> YcsbGenerator {
+        YcsbGenerator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// The document name of record `i`.
+    pub fn record_name(&self, i: usize) -> DocumentName {
+        doc(&format!("/usertable/user{i:010}"))
+    }
+
+    /// A record's payload.
+    pub fn record_fields(&self, rng: &mut SimRng) -> Vec<(&'static str, Value)> {
+        let mut s = String::with_capacity(self.config.field_size);
+        for _ in 0..self.config.field_size {
+            // Printable ASCII payload.
+            s.push((b'a' + rng.gen_range(26) as u8) as char);
+        }
+        vec![("field0", Value::Str(s))]
+    }
+
+    /// Load the table into `db` (the YCSB load phase).
+    pub fn load(&self, db: &FirestoreDatabase, rng: &mut SimRng) -> FirestoreResult<()> {
+        for i in 0..self.config.records {
+            let w = Write::set(self.record_name(i), self.record_fields(rng));
+            db.commit_writes(vec![w], &Caller::Service)?;
+        }
+        Ok(())
+    }
+
+    /// Draw the next operation (uniform key chooser).
+    pub fn next_op(&self, rng: &mut SimRng) -> YcsbOp {
+        let key = rng.gen_range(self.config.records as u64) as usize;
+        let name = self.record_name(key);
+        if rng.gen_bool(self.config.workload.read_proportion()) {
+            YcsbOp::Read(name)
+        } else {
+            YcsbOp::Update(name)
+        }
+    }
+
+    /// Execute one operation against a database; returns the document read
+    /// or written.
+    pub fn execute(
+        &self,
+        db: &FirestoreDatabase,
+        op: &YcsbOp,
+        rng: &mut SimRng,
+    ) -> FirestoreResult<Option<Document>> {
+        match op {
+            YcsbOp::Read(name) => {
+                db.get_document(name, firestore_core::Consistency::Strong, &Caller::Service)
+            }
+            YcsbOp::Update(name) => {
+                let w = Write::set(name.clone(), self.record_fields(rng));
+                db.commit_writes(vec![w], &Caller::Service)?;
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{Duration, SimClock};
+    use spanner::SpannerDatabase;
+
+    fn db() -> FirestoreDatabase {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        FirestoreDatabase::create_default(SpannerDatabase::new(clock))
+    }
+
+    #[test]
+    fn op_mix_matches_workload() {
+        let mut rng = SimRng::new(1);
+        for (workload, expect) in [(YcsbWorkload::A, 0.5), (YcsbWorkload::B, 0.95)] {
+            let g = YcsbGenerator::new(YcsbConfig {
+                workload,
+                records: 100,
+                field_size: 10,
+            });
+            let n = 20_000;
+            let reads = (0..n).filter(|_| g.next_op(&mut rng).is_read()).count() as f64 / n as f64;
+            assert!(
+                (reads - expect).abs() < 0.02,
+                "workload {workload:?}: {reads}"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_are_uniform_over_records() {
+        let g = YcsbGenerator::new(YcsbConfig {
+            records: 10,
+            field_size: 10,
+            ..YcsbConfig::default()
+        });
+        let mut rng = SimRng::new(2);
+        let mut seen = [0u32; 10];
+        for _ in 0..10_000 {
+            match g.next_op(&mut rng) {
+                YcsbOp::Read(n) | YcsbOp::Update(n) => {
+                    let idx: usize = n.id().trim_start_matches("user").parse().unwrap();
+                    seen[idx] += 1;
+                }
+            }
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            assert!((800..1200).contains(&count), "key {i} hit {count} times");
+        }
+    }
+
+    #[test]
+    fn record_payload_is_900_bytes() {
+        let g = YcsbGenerator::new(YcsbConfig {
+            field_size: 900,
+            ..YcsbConfig::default()
+        });
+        let mut rng = SimRng::new(3);
+        let fields = g.record_fields(&mut rng);
+        match &fields[0].1 {
+            Value::Str(s) => assert_eq!(s.len(), 900),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_and_execute_round_trip() {
+        let database = db();
+        let g = YcsbGenerator::new(YcsbConfig {
+            records: 20,
+            field_size: 50,
+            workload: YcsbWorkload::A,
+        });
+        let mut rng = SimRng::new(4);
+        g.load(&database, &mut rng).unwrap();
+        assert_eq!(database.storage_stats().unwrap().0, 20);
+        let mut reads = 0;
+        for _ in 0..50 {
+            let op = g.next_op(&mut rng);
+            let out = g.execute(&database, &op, &mut rng).unwrap();
+            if op.is_read() {
+                assert!(out.is_some(), "loaded records must exist");
+                reads += 1;
+            }
+        }
+        assert!(reads > 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Quickstart: create a database, write documents, query, listen.
+//!
+//! Run with: `cargo run -p bench --example quickstart`
+
+use firestore_core::database::doc;
+use firestore_core::{Caller, Consistency, Direction, FilterOp, Query, Value, Write};
+use server::{FirestoreService, ServiceOptions};
+use simkit::{Duration, SimClock};
+
+fn main() {
+    // Bring up a (simulated) region and provision a database — all a
+    // Firestore customer ever does (paper §I: "truly serverless").
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    let service = FirestoreService::new(clock, ServiceOptions::default());
+    let db = service.create_database("quickstart");
+
+    // Write a few documents. Every field is automatically indexed.
+    for (id, name, city, rating) in [
+        ("one", "One Fine Dine", "SF", 4.5),
+        ("two", "Brisket Barn", "SF", 4.8),
+        ("three", "Bagel Bay", "NY", 4.1),
+    ] {
+        db.commit_writes(
+            vec![Write::set(
+                doc(&format!("/restaurants/{id}")),
+                [
+                    ("name", Value::from(name)),
+                    ("city", Value::from(city)),
+                    ("avgRating", Value::from(rating)),
+                ],
+            )],
+            &Caller::Service,
+        )
+        .expect("write");
+    }
+
+    // Point read.
+    let one = db
+        .get_document(
+            &doc("/restaurants/one"),
+            Consistency::Strong,
+            &Caller::Service,
+        )
+        .expect("read")
+        .expect("exists");
+    println!("read back: {one}");
+
+    // Query on an automatic single-field index.
+    let q = Query::parse("/restaurants")
+        .unwrap()
+        .filter("city", FilterOp::Eq, "SF");
+    let sf = db
+        .run_query(&q, Consistency::Strong, &Caller::Service)
+        .expect("query");
+    println!("\nrestaurants in SF ({} results):", sf.documents.len());
+    for d in &sf.documents {
+        println!("  {d}");
+    }
+
+    // A query that needs a composite index fails with the index to create —
+    // then works once it is built (backfill included).
+    let sorted = Query::parse("/restaurants")
+        .unwrap()
+        .filter("city", FilterOp::Eq, "SF")
+        .order_by("avgRating", Direction::Desc);
+    match db.run_query(&sorted, Consistency::Strong, &Caller::Service) {
+        Err(e) => println!("\nas expected: {e}"),
+        Ok(_) => unreachable!("needs a composite index"),
+    }
+    firestore_core::database::create_index_blocking(
+        &db,
+        "restaurants",
+        vec![
+            firestore_core::index::IndexedField::asc("city"),
+            firestore_core::index::IndexedField::desc("avgRating"),
+        ],
+    )
+    .expect("index build");
+    let best = db
+        .run_query(&sorted, Consistency::Strong, &Caller::Service)
+        .expect("query");
+    println!("\nSF by rating (after creating the composite index):");
+    for d in &best.documents {
+        println!("  {d}");
+    }
+
+    // Real-time: listen to the query and watch a write arrive.
+    let conn = service.connect();
+    service
+        .listen("quickstart", &conn, q, &Caller::Service)
+        .expect("listen");
+    conn.poll(); // initial snapshot
+    db.commit_writes(
+        vec![Write::set(
+            doc("/restaurants/four"),
+            [
+                ("name", Value::from("Newcomer")),
+                ("city", Value::from("SF")),
+                ("avgRating", Value::from(5.0)),
+            ],
+        )],
+        &Caller::Service,
+    )
+    .expect("write");
+    service.realtime().tick();
+    for event in conn.poll() {
+        if let realtime::ListenEvent::Snapshot { changes, at, .. } = event {
+            println!("\nreal-time snapshot at {at}:");
+            for c in changes {
+                println!("  {:?}: {}", c.kind, c.doc);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The Firestore Web Codelab restaurant-recommendation app (paper §III,
+//! §V-D), reproduced end to end:
+//!
+//! * a list of restaurants with filtering and sorting (real-time query),
+//! * viewing and adding reviews — a transaction that inserts the rating
+//!   document and updates the restaurant's `numRatings`/`avgRating`
+//!   (exactly the example walked through in §IV-D2),
+//! * the Figure 3 security rules protecting ratings from end users.
+//!
+//! Run with: `cargo run -p bench --example restaurant_reviews`
+
+use client::{ClientOptions, FirestoreClient};
+use firestore_core::database::doc;
+use firestore_core::{Caller, Direction, FilterOp, Query, Value};
+use rules::AuthContext;
+use server::{FirestoreService, ServiceOptions};
+use simkit::{Duration, SimClock};
+
+/// The Figure 3 rules, extended with open read access to restaurants.
+const RULES: &str = r#"
+service cloud.firestore {
+  match /databases/{database}/documents {
+    match /restaurants/{restaurant} {
+      allow read;
+      allow write: if request.auth != null;
+      match /ratings/{rating} {
+        allow read;
+        allow create: if request.auth != null
+                      && request.resource.data.userId == request.auth.uid;
+        allow update, delete: if false;
+      }
+    }
+  }
+}
+"#;
+
+fn main() {
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    let service = FirestoreService::new(clock, ServiceOptions::default());
+    let db = service.create_database("friendlyeats");
+    db.set_rules(RULES).expect("valid rules");
+
+    // Seed the restaurant list (the codelab's "add mock data" button).
+    for (id, name, city, category, price) in [
+        ("s1", "Burrito Cafe", "SF", "Mexican", 2i64),
+        ("s2", "Pho Palace", "SF", "Vietnamese", 1),
+        ("s3", "Deli Deluxe", "NY", "Deli", 3),
+        ("s4", "BBQ Barn", "SF", "BBQ", 2),
+    ] {
+        db.commit_writes(
+            vec![firestore_core::Write::set(
+                doc(&format!("/restaurants/{id}")),
+                [
+                    ("name", Value::from(name)),
+                    ("city", Value::from(city)),
+                    ("category", Value::from(category)),
+                    ("price", Value::Int(price)),
+                    ("numRatings", Value::Int(0)),
+                    ("avgRating", Value::Double(0.0)),
+                ],
+            )],
+            &Caller::Service,
+        )
+        .expect("seed");
+    }
+    // The codelab's filtered+sorted view needs a composite index; the error
+    // message tells the developer which one (§IV-D3), created here upfront.
+    firestore_core::database::create_index_blocking(
+        &db,
+        "restaurants",
+        vec![
+            firestore_core::index::IndexedField::asc("city"),
+            firestore_core::index::IndexedField::desc("avgRating"),
+        ],
+    )
+    .expect("index");
+
+    // An end user signs in via Firebase Auth and opens the app: a
+    // real-time query drives the restaurant list (onSnapshot, §V-D).
+    let alice = FirestoreClient::connect(
+        db.clone(),
+        service.realtime().clone(),
+        ClientOptions {
+            auth: Some(AuthContext::uid("alice")),
+        },
+    );
+    let list_query = Query::parse("/restaurants")
+        .unwrap()
+        .filter("city", FilterOp::Eq, "SF")
+        .order_by("avgRating", Direction::Desc)
+        .limit(50);
+    let listener = alice.listen(list_query).expect("listen");
+    let initial = alice.take_snapshots(listener);
+    println!("SF restaurants by rating:");
+    for d in &initial[0].documents {
+        println!(
+            "  {} ({}⭐ from {} ratings)",
+            d.fields["name"], d.fields["avgRating"], d.fields["numRatings"]
+        );
+    }
+
+    // Alice adds a review: the §IV-D2 transaction — insert the rating and
+    // update the aggregates on the parent document.
+    alice
+        .run_transaction(5, |txn| {
+            let r = txn.get("/restaurants/s4")?.expect("restaurant exists");
+            let n = match r.fields["numRatings"] {
+                Value::Int(n) => n,
+                _ => 0,
+            };
+            let avg = match r.fields["avgRating"] {
+                Value::Double(a) => a,
+                _ => 0.0,
+            };
+            let rating = 5.0;
+            let new_avg = (avg * n as f64 + rating) / (n + 1) as f64;
+            txn.set(
+                "/restaurants/s4/ratings/1",
+                [
+                    ("rating", Value::Double(rating)),
+                    ("text", Value::from("Best brisket in town")),
+                    ("userId", Value::from("alice")),
+                ],
+            )?;
+            let mut fields: Vec<(String, Value)> = r.fields.clone().into_iter().collect();
+            fields.retain(|(k, _)| k != "numRatings" && k != "avgRating");
+            fields.push(("numRatings".into(), Value::Int(n + 1)));
+            fields.push(("avgRating".into(), Value::Double(new_avg)));
+            txn.set("/restaurants/s4", fields)?;
+            Ok(())
+        })
+        .expect("review transaction");
+
+    // The real-time query updates the displayed list automatically.
+    service.realtime().tick();
+    alice.sync().expect("sync");
+    let snaps = alice.take_snapshots(listener);
+    println!("\nafter Alice's 5-star review of BBQ Barn:");
+    for d in &snaps.last().expect("snapshot").documents {
+        println!(
+            "  {} ({}⭐ from {} ratings)",
+            d.fields["name"], d.fields["avgRating"], d.fields["numRatings"]
+        );
+    }
+
+    // Security rules in action: Mallory tries to forge a rating as Alice
+    // and to edit Alice's review — both denied by the Figure 3 rules.
+    let mallory = FirestoreClient::connect(
+        db.clone(),
+        service.realtime().clone(),
+        ClientOptions {
+            auth: Some(AuthContext::uid("mallory")),
+        },
+    );
+    mallory
+        .set(
+            "/restaurants/s4/ratings/2",
+            [
+                ("rating", Value::Double(1.0)),
+                ("userId", Value::from("alice")),
+            ],
+        )
+        .expect("queued");
+    mallory
+        .set(
+            "/restaurants/s4/ratings/1",
+            [
+                ("rating", Value::Double(1.0)),
+                ("userId", Value::from("mallory")),
+            ],
+        )
+        .expect("queued");
+    let rejections = mallory.take_write_errors();
+    println!(
+        "\nsecurity rules rejected {} of Mallory's writes:",
+        rejections.len()
+    );
+    for e in rejections {
+        println!("  {e}");
+    }
+    let review = mallory
+        .get("/restaurants/s4/ratings/1")
+        .expect("read")
+        .expect("exists");
+    println!("Alice's review is intact: {review}");
+}

@@ -1,0 +1,396 @@
+//! Failure-injection tests: every failure path the paper enumerates in
+//! §IV-D2's write pipeline, plus Real-time Cache recovery and client-side
+//! rollback.
+
+use client::{ClientError, ClientOptions, FirestoreClient};
+use firestore_core::database::doc;
+use firestore_core::observer::{
+    CommitObserver, CommitOutcome, DocumentChange, PrepareToken, PrepareUnavailable,
+};
+use firestore_core::{Caller, Consistency, FirestoreDatabase, FirestoreError, Query, Value, Write};
+use realtime::{ListenEvent, RealtimeCache, RealtimeOptions};
+use rules::AuthContext;
+use simkit::{Duration, SimClock, Timestamp};
+use spanner::{SpannerDatabase, SpannerError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const OPEN_RULES: &str = r#"
+service cloud.firestore {
+  match /databases/{db}/documents {
+    match /{document=**} { allow read, write; }
+  }
+}
+"#;
+
+fn setup() -> (FirestoreDatabase, RealtimeCache) {
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    let spanner = SpannerDatabase::new(clock);
+    let db = FirestoreDatabase::create_default(spanner.clone());
+    db.set_rules(OPEN_RULES).unwrap();
+    let cache = RealtimeCache::new(spanner.truetime().clone(), RealtimeOptions::default());
+    db.set_observer(cache.observer_for(db.directory()));
+    (db, cache)
+}
+
+/// §IV-D2: "/restaurants/one does not exist ... an error is returned to
+/// the user" — precondition failures abort before any mutation.
+#[test]
+fn precondition_failure_returns_error_and_mutates_nothing() {
+    let (db, _) = setup();
+    let update = Write::update(doc("/restaurants/one"), [("x", Value::Int(1))]);
+    assert!(matches!(
+        db.commit_writes(vec![update], &Caller::Service)
+            .unwrap_err(),
+        FirestoreError::NotFound(_)
+    ));
+    assert_eq!(db.storage_stats().unwrap().0, 0);
+}
+
+/// §IV-D2: "The Prepare RPC fails because the Real-time Cache is
+/// unavailable ... the write fails and an error is returned to the user."
+#[test]
+fn prepare_failure_fails_the_write() {
+    struct UnavailableObserver;
+    impl CommitObserver for UnavailableObserver {
+        fn prepare(
+            &self,
+            _names: &[firestore_core::DocumentName],
+            _max_ts: Timestamp,
+        ) -> Result<(PrepareToken, Timestamp), PrepareUnavailable> {
+            Err(PrepareUnavailable)
+        }
+        fn accept(&self, _: PrepareToken, _: CommitOutcome, _: Vec<DocumentChange>) {
+            panic!("accept must not run after a failed prepare");
+        }
+    }
+    let (db, _) = setup();
+    db.set_observer(Arc::new(UnavailableObserver));
+    let err = db
+        .commit_writes(
+            vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+            &Caller::Service,
+        )
+        .unwrap_err();
+    assert!(matches!(err, FirestoreError::Unavailable(_)));
+    assert_eq!(db.storage_stats().unwrap().0, 0, "nothing was committed");
+}
+
+/// §IV-D2: "The Spanner commit definitively fails ... The Accept RPC
+/// notifies the Real-time Cache, and an error is returned to the user."
+#[test]
+fn definitive_commit_failure_sends_accept_failed() {
+    struct Recording {
+        outcome: Arc<AtomicU64>, // 0=none 1=committed 2=failed 3=unknown
+    }
+    impl CommitObserver for Recording {
+        fn prepare(
+            &self,
+            _names: &[firestore_core::DocumentName],
+            _max_ts: Timestamp,
+        ) -> Result<(PrepareToken, Timestamp), PrepareUnavailable> {
+            Ok((PrepareToken(1), Timestamp::ZERO))
+        }
+        fn accept(&self, _: PrepareToken, outcome: CommitOutcome, changes: Vec<DocumentChange>) {
+            let code = match outcome {
+                CommitOutcome::Committed(_) => 1,
+                CommitOutcome::Failed => 2,
+                CommitOutcome::Unknown => 3,
+            };
+            assert!(changes.is_empty() || code == 1);
+            self.outcome.store(code, Ordering::SeqCst);
+        }
+    }
+    let (db, _) = setup();
+    let outcome = Arc::new(AtomicU64::new(0));
+    db.set_observer(Arc::new(Recording {
+        outcome: outcome.clone(),
+    }));
+    db.spanner()
+        .inject_commit_failure(SpannerError::CommitWindowExpired);
+    let err = db
+        .commit_writes(
+            vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+            &Caller::Service,
+        )
+        .unwrap_err();
+    assert!(matches!(err, FirestoreError::Aborted(_)));
+    assert_eq!(
+        outcome.load(Ordering::SeqCst),
+        2,
+        "Accept(Failed) was delivered"
+    );
+}
+
+/// §IV-D2: "The Spanner commit has an unknown outcome ... The Accept RPC
+/// notifies the Real-time Cache that the write outcome is unknown, which in
+/// turn discards the in-memory sequence of mutations" — and §IV-D4: the
+/// range is marked out-of-sync, resetting matching queries.
+#[test]
+fn unknown_outcome_resets_realtime_queries() {
+    let (db, cache) = setup();
+    let conn = cache.connect();
+    let qid = conn.listen(
+        db.directory(),
+        Query::parse("/c").unwrap(),
+        vec![],
+        db.strong_read_ts(),
+    );
+    conn.poll();
+    db.spanner()
+        .inject_commit_failure(SpannerError::UnknownOutcome);
+    let err = db
+        .commit_writes(
+            vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+            &Caller::Service,
+        )
+        .unwrap_err();
+    assert!(matches!(err, FirestoreError::Unknown(_)));
+    cache.tick();
+    let events = conn.poll();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ListenEvent::Reset { query } if *query == qid)),
+        "the matching query was reset: {events:?}"
+    );
+    // Recovery: the client re-runs the query and re-listens; updates flow
+    // again ("this reset is fast, and is mostly transparent").
+    let ts = db.strong_read_ts();
+    let fresh = db
+        .run_query(
+            &Query::parse("/c").unwrap(),
+            Consistency::AtTimestamp(ts),
+            &Caller::Service,
+        )
+        .unwrap();
+    let qid2 = conn.listen(
+        db.directory(),
+        Query::parse("/c").unwrap(),
+        fresh.documents,
+        ts,
+    );
+    conn.poll();
+    db.commit_writes(
+        vec![Write::set(doc("/c/e"), [("v", Value::Int(2))])],
+        &Caller::Service,
+    )
+    .unwrap();
+    cache.tick();
+    let events = conn.poll();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ListenEvent::Snapshot { query, .. } if *query == qid2)));
+}
+
+/// A lost Accept (e.g. the Backend crashes after the Spanner commit): the
+/// write IS durable, and the Changelog eventually times out the pending
+/// prepare and resets matching queries rather than stalling forever.
+#[test]
+fn lost_accept_times_out_and_resets() {
+    struct DropAccept {
+        inner: Arc<realtime::cache::DatabaseObserver>,
+        drop_next: Arc<AtomicBool>,
+    }
+    impl CommitObserver for DropAccept {
+        fn prepare(
+            &self,
+            names: &[firestore_core::DocumentName],
+            max_ts: Timestamp,
+        ) -> Result<(PrepareToken, Timestamp), PrepareUnavailable> {
+            self.inner.prepare(names, max_ts)
+        }
+        fn accept(
+            &self,
+            token: PrepareToken,
+            outcome: CommitOutcome,
+            changes: Vec<DocumentChange>,
+        ) {
+            if self.drop_next.swap(false, Ordering::SeqCst) {
+                return; // the Accept never arrives
+            }
+            self.inner.accept(token, outcome, changes)
+        }
+    }
+    let (db, cache) = setup();
+    let drop_next = Arc::new(AtomicBool::new(true));
+    db.set_observer(Arc::new(DropAccept {
+        inner: cache.observer_for(db.directory()),
+        drop_next: drop_next.clone(),
+    }));
+    let conn = cache.connect();
+    let qid = conn.listen(
+        db.directory(),
+        Query::parse("/c").unwrap(),
+        vec![],
+        db.strong_read_ts(),
+    );
+    conn.poll();
+    // The write succeeds (acknowledged to the user) but the Accept is lost.
+    db.commit_writes(
+        vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+        &Caller::Service,
+    )
+    .unwrap();
+    assert!(db
+        .get_document(&doc("/c/d"), Consistency::Strong, &Caller::Service)
+        .unwrap()
+        .is_some());
+    cache.tick();
+    assert!(
+        conn.poll().is_empty(),
+        "no snapshot until the timeout resolves the gap"
+    );
+    // Past max_ts + margin the pending prepare expires → reset.
+    db.spanner()
+        .truetime()
+        .clock()
+        .advance(Duration::from_secs(60));
+    cache.tick();
+    let events = conn.poll();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ListenEvent::Reset { query } if *query == qid)));
+}
+
+/// The client SDK recovers from a Real-time Cache reset transparently: the
+/// paper calls the reset "mostly transparent to the end-user" — the SDK
+/// re-runs the query and re-subscribes on its own during `sync()`.
+#[test]
+fn client_recovers_from_reset_transparently() {
+    let (db, cache) = setup();
+    let c = FirestoreClient::connect(
+        db.clone(),
+        cache.clone(),
+        ClientOptions {
+            auth: Some(AuthContext::uid("u")),
+        },
+    );
+    let listener = c.listen(Query::parse("/c").unwrap()).unwrap();
+    c.take_snapshots(listener);
+
+    // An unknown-outcome write marks the range out of sync.
+    db.spanner().inject_commit_failure(SpannerError::UnknownOutcome);
+    let _ = db.commit_writes(
+        vec![Write::set(doc("/c/x"), [("v", Value::Int(1))])],
+        &Caller::Service,
+    );
+    cache.tick();
+    // The app just keeps calling sync(); the listener re-seeds itself.
+    c.sync().unwrap();
+    // New writes flow to the re-established listener.
+    db.commit_writes(
+        vec![Write::set(doc("/c/y"), [("v", Value::Int(2))])],
+        &Caller::Service,
+    )
+    .unwrap();
+    cache.tick();
+    c.sync().unwrap();
+    let snaps = c.take_snapshots(listener);
+    let last = snaps.last().expect("listener kept working");
+    assert!(last.documents.iter().any(|d| d.name.id() == "y"));
+}
+
+/// §III-E: a queued offline write that the rules reject is rolled back on
+/// the client once connectivity returns.
+#[test]
+fn rules_rejection_after_reconnect_rolls_back() {
+    let (db, cache) = setup();
+    db.set_rules(
+        r#"
+        service cloud.firestore {
+          match /databases/{db}/documents {
+            match /docs/{id} {
+              allow read;
+              allow write: if request.resource.data.owner == request.auth.uid;
+            }
+          }
+        }
+        "#,
+    )
+    .unwrap();
+    let c = FirestoreClient::connect(
+        db.clone(),
+        cache,
+        ClientOptions {
+            auth: Some(AuthContext::uid("alice")),
+        },
+    );
+    c.disconnect();
+    c.set("/docs/mine", [("owner", Value::from("alice"))])
+        .unwrap();
+    c.set("/docs/forged", [("owner", Value::from("bob"))])
+        .unwrap();
+    assert_eq!(c.pending_writes(), 2);
+    c.reconnect().unwrap();
+    assert_eq!(c.pending_writes(), 0);
+    let errors = c.take_write_errors();
+    assert_eq!(errors.len(), 1);
+    assert!(matches!(
+        errors[0],
+        ClientError::WriteRejected(FirestoreError::PermissionDenied(_))
+    ));
+    // The legitimate write landed; the forged one did not.
+    assert!(db
+        .get_document(&doc("/docs/mine"), Consistency::Strong, &Caller::Service)
+        .unwrap()
+        .is_some());
+    assert!(db
+        .get_document(&doc("/docs/forged"), Consistency::Strong, &Caller::Service)
+        .unwrap()
+        .is_none());
+}
+
+/// Lock conflicts abort and are retryable (§IV-D3: "resolved by failing
+/// and retrying such transactions").
+#[test]
+fn lock_conflicts_are_retryable_errors() {
+    let (db, _) = setup();
+    db.commit_writes(
+        vec![Write::set(doc("/c/d"), [("v", Value::Int(0))])],
+        &Caller::Service,
+    )
+    .unwrap();
+    let mut holder = db.begin_transaction();
+    holder.get(&doc("/c/d")).unwrap();
+    let err = db
+        .commit_writes(
+            vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+            &Caller::Service,
+        )
+        .unwrap_err();
+    assert!(err.is_retryable());
+    holder.abort();
+    // Retry succeeds.
+    db.commit_writes(
+        vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+        &Caller::Service,
+    )
+    .unwrap();
+}
+
+/// A batch with a failing member is atomic: nothing from the batch lands.
+#[test]
+fn failed_batch_is_all_or_nothing() {
+    let (db, cache) = setup();
+    let conn = cache.connect();
+    conn.listen(
+        db.directory(),
+        Query::parse("/c").unwrap(),
+        vec![],
+        db.strong_read_ts(),
+    );
+    conn.poll();
+    let batch = vec![
+        Write::set(doc("/c/ok"), [("v", Value::Int(1))]),
+        Write::update(doc("/c/missing"), [("v", Value::Int(2))]), // fails
+    ];
+    assert!(db.commit_writes(batch, &Caller::Service).is_err());
+    assert_eq!(db.storage_stats().unwrap().0, 0);
+    cache.tick();
+    assert!(
+        conn.poll().is_empty(),
+        "listeners never observe the failed batch"
+    );
+}

@@ -1,0 +1,358 @@
+//! Property-based tests of the engine's core invariants.
+
+use firestore_core::database::doc;
+use firestore_core::encoding::{encoded, Direction};
+use firestore_core::executor::{ENTITIES, INDEX_ENTRIES};
+use firestore_core::index::{entries_for_document, IndexState};
+use firestore_core::matching::matches_document;
+use firestore_core::{
+    Caller, Consistency, Document, FilterOp, FirestoreDatabase, Query, Value, Write,
+};
+use proptest::prelude::*;
+use simkit::{Duration, SimClock};
+use spanner::{KeyRange, SpannerDatabase};
+use std::collections::BTreeSet;
+
+// --- generators -------------------------------------------------------------
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles plus the interesting specials.
+        prop_oneof![
+            any::<f64>().prop_filter("finite", |x| x.is_finite()),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(-0.0),
+        ]
+        .prop_map(Value::Double),
+        any::<i64>().prop_map(Value::Timestamp),
+        "[a-z0-9]{0,12}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..12).prop_map(Value::Bytes),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::btree_map("[a-c]{1}", inner, 0..3).prop_map(Value::Map),
+        ]
+    })
+}
+
+fn value_sort_key(v: &Value) -> Vec<u8> {
+    encoded(v)
+}
+
+// --- encoding order ----------------------------------------------------------
+
+proptest! {
+    /// The index encoding is *order-preserving and prefix-free*: for any two
+    /// values, byte order is a total order, equal encodings imply rules-equal
+    /// values, and no encoding is a strict prefix of another's.
+    #[test]
+    fn encoding_is_prefix_free(a in arb_value(), b in arb_value()) {
+        let ea = value_sort_key(&a);
+        let eb = value_sort_key(&b);
+        if ea != eb {
+            prop_assert!(
+                !ea.starts_with(&eb) && !eb.starts_with(&ea),
+                "prefix collision between {a:?} and {b:?}"
+            );
+        }
+    }
+
+    /// Tuple-order consistency: concatenating encodings compares like
+    /// comparing component-wise (the property zig-zag joins rely on).
+    #[test]
+    fn tuple_concatenation_preserves_order(
+        a1 in arb_scalar(), a2 in arb_scalar(),
+        b1 in arb_scalar(), b2 in arb_scalar(),
+    ) {
+        let tuple = |x: &Value, y: &Value| {
+            let mut v = value_sort_key(x);
+            v.extend(value_sort_key(y));
+            v
+        };
+        let component = (value_sort_key(&a1), value_sort_key(&a2));
+        let component_b = (value_sort_key(&b1), value_sort_key(&b2));
+        prop_assert_eq!(
+            tuple(&a1, &a2).cmp(&tuple(&b1, &b2)),
+            component.cmp(&component_b)
+        );
+    }
+
+    /// Descending encoding is exactly the reverse order of ascending.
+    #[test]
+    fn descending_reverses(a in arb_value(), b in arb_value()) {
+        let mut da = Vec::new();
+        let mut db = Vec::new();
+        firestore_core::encoding::encode_value(&a, Direction::Desc, &mut da);
+        firestore_core::encoding::encode_value(&b, Direction::Desc, &mut db);
+        prop_assert_eq!(value_sort_key(&a).cmp(&value_sort_key(&b)), db.cmp(&da));
+    }
+
+    /// Document serialization round-trips (NaN compares by bit pattern via
+    /// re-encoding).
+    #[test]
+    fn document_round_trip(fields in proptest::collection::btree_map("[a-z]{1,6}", arb_value(), 0..6)) {
+        let d = Document::new(doc("/t/x"), fields);
+        let bytes = d.encode();
+        let decoded = Document::decode(d.name.clone(), &bytes).unwrap();
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+}
+
+// --- engine invariants --------------------------------------------------------
+
+/// A random mutation script against one collection.
+#[derive(Clone, Debug)]
+enum Op {
+    Set(u8, i64, &'static str),
+    Delete(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (
+                any::<u8>(),
+                any::<i64>(),
+                prop_oneof![Just("SF"), Just("NY"), Just("LA")]
+            )
+                .prop_map(|(id, v, city)| Op::Set(id % 24, v % 100, city)),
+            any::<u8>().prop_map(|id| Op::Delete(id % 24)),
+        ],
+        1..40,
+    )
+}
+
+fn fresh_db() -> FirestoreDatabase {
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    FirestoreDatabase::create_default(SpannerDatabase::new(clock))
+}
+
+fn apply_ops(db: &FirestoreDatabase, ops: &[Op]) {
+    for op in ops {
+        let w = match op {
+            Op::Set(id, v, city) => Write::set(
+                doc(&format!("/c/d{id:03}")),
+                [("v", Value::Int(*v)), ("city", Value::from(*city))],
+            ),
+            Op::Delete(id) => Write::delete(doc(&format!("/c/d{id:03}"))),
+        };
+        db.commit_writes(vec![w], &Caller::Service).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any mutation sequence, the IndexEntries table equals the set
+    /// recomputed from the live documents — "Firestore indexes stay
+    /// strongly consistent with the documents" (§IV-D2).
+    #[test]
+    fn index_entries_match_documents(ops in arb_ops()) {
+        let db = fresh_db();
+        apply_ops(&db, &ops);
+        let ts = db.strong_read_ts();
+        let spanner = db.spanner();
+        let dir = db.directory();
+        // Recompute expected entries from every live document.
+        let rows = spanner.snapshot_scan(ENTITIES, &dir.range(), ts, usize::MAX).unwrap();
+        let mut expected: BTreeSet<Vec<u8>> = BTreeSet::new();
+        for (key, bytes) in rows {
+            let name = firestore_core::DocumentName::decode(&key.as_slice()[4..]).unwrap();
+            let d = Document::decode(name, &bytes).unwrap();
+            let keys = db.with_catalog(|c| {
+                entries_for_document(c, dir, &d, &[IndexState::Ready])
+            });
+            for k in keys {
+                expected.insert(k.as_slice().to_vec());
+            }
+        }
+        let actual: BTreeSet<Vec<u8>> = spanner
+            .snapshot_scan(INDEX_ENTRIES, &KeyRange::all(), ts, usize::MAX)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k.as_slice().to_vec())
+            .collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Every query result equals the naive scan filtered through
+    /// `matches_document` and sorted by the order key (the index path and
+    /// the matcher/local-cache path agree by construction — this checks the
+    /// planner + executor against them).
+    #[test]
+    fn query_equals_naive_scan(ops in arb_ops(), threshold in -100i64..100) {
+        let db = fresh_db();
+        apply_ops(&db, &ops);
+        let queries = vec![
+            Query::parse("/c").unwrap(),
+            Query::parse("/c").unwrap().filter("city", FilterOp::Eq, "SF"),
+            Query::parse("/c").unwrap().filter("v", FilterOp::Gt, threshold),
+            Query::parse("/c").unwrap().order_by("v", Direction::Desc).limit(5),
+            Query::parse("/c").unwrap().filter("v", FilterOp::Le, threshold).order_by("v", Direction::Asc),
+        ];
+        let ts = db.strong_read_ts();
+        for q in queries {
+            let result = db.run_query(&q, Consistency::AtTimestamp(ts), &Caller::Service).unwrap();
+            // Naive: scan all docs, filter, sort by order key, window.
+            let rows = db
+                .spanner()
+                .snapshot_scan(ENTITIES, &db.directory().range(), ts, usize::MAX)
+                .unwrap();
+            let mut expected: Vec<(Vec<u8>, String)> = rows
+                .into_iter()
+                .filter_map(|(key, bytes)| {
+                    let name = firestore_core::DocumentName::decode(&key.as_slice()[4..])?;
+                    let d = Document::decode(name, &bytes)?;
+                    if matches_document(&q, &d) {
+                        let ok = firestore_core::matching::order_key(&q, &d)?;
+                        Some((ok, d.name.to_string()))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            expected.sort();
+            let expected_names: Vec<String> = expected
+                .into_iter()
+                .map(|(_, n)| n)
+                .skip(q.offset)
+                .take(q.limit.unwrap_or(usize::MAX))
+                .collect();
+            let actual: Vec<String> =
+                result.documents.iter().map(|d| d.name.to_string()).collect();
+            prop_assert_eq!(actual, expected_names, "query {:?}", q);
+        }
+    }
+
+    /// MVCC: a snapshot taken mid-sequence returns the same result before
+    /// and after later mutations.
+    #[test]
+    fn snapshots_are_repeatable(ops_before in arb_ops(), ops_after in arb_ops()) {
+        let db = fresh_db();
+        apply_ops(&db, &ops_before);
+        let ts = db.strong_read_ts();
+        let q = Query::parse("/c").unwrap();
+        let first = db.run_query(&q, Consistency::AtTimestamp(ts), &Caller::Service).unwrap();
+        apply_ops(&db, &ops_after);
+        let second = db.run_query(&q, Consistency::AtTimestamp(ts), &Caller::Service).unwrap();
+        let names = |r: &firestore_core::executor::QueryResult| {
+            r.documents.iter().map(|d| (d.name.to_string(), d.update_time)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(names(&first), names(&second));
+    }
+
+    /// The real-time view converges: a listener that receives the
+    /// incremental snapshots ends with exactly the backend's result.
+    #[test]
+    fn realtime_view_converges(ops in arb_ops()) {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let spanner = SpannerDatabase::new(clock);
+        let db = FirestoreDatabase::create_default(spanner.clone());
+        let cache = realtime::RealtimeCache::new(
+            spanner.truetime().clone(),
+            realtime::RealtimeOptions::default(),
+        );
+        db.set_observer(cache.observer_for(db.directory()));
+        let conn = cache.connect();
+        let q = Query::parse("/c").unwrap();
+        conn.listen(db.directory(), q.clone(), vec![], db.strong_read_ts());
+        conn.poll();
+        apply_ops(&db, &ops);
+        cache.tick();
+        // Accumulate the view from snapshots.
+        let mut view: BTreeSet<String> = BTreeSet::new();
+        for e in conn.poll() {
+            if let realtime::ListenEvent::Snapshot { changes, .. } = e {
+                for c in changes {
+                    match c.kind {
+                        realtime::ChangeKind::Removed => {
+                            view.remove(&c.doc.name.to_string());
+                        }
+                        _ => {
+                            view.insert(c.doc.name.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        let backend: BTreeSet<String> = db
+            .run_query(&q, Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .documents
+            .iter()
+            .map(|d| d.name.to_string())
+            .collect();
+        prop_assert_eq!(view, backend);
+    }
+
+    /// Offline/online equivalence: a client applying ops offline and then
+    /// reconnecting converges to the same server state as applying them
+    /// online ("last update wins").
+    #[test]
+    fn offline_replay_converges(ops in arb_ops()) {
+        let run = |offline: bool| {
+            let clock = SimClock::new();
+            clock.advance(Duration::from_secs(1));
+            let spanner = SpannerDatabase::new(clock);
+            let db = FirestoreDatabase::create_default(spanner.clone());
+            db.set_rules(r#"
+                service cloud.firestore {
+                  match /databases/{db}/documents {
+                    match /{document=**} { allow read, write; }
+                  }
+                }
+            "#).unwrap();
+            let cache = realtime::RealtimeCache::new(
+                spanner.truetime().clone(),
+                realtime::RealtimeOptions::default(),
+            );
+            db.set_observer(cache.observer_for(db.directory()));
+            let c = client::FirestoreClient::connect(
+                db.clone(),
+                cache,
+                client::ClientOptions { auth: Some(rules::AuthContext::uid("u")) },
+            );
+            if offline {
+                c.disconnect();
+            }
+            for op in &ops {
+                match op {
+                    Op::Set(id, v, city) => c
+                        .set(
+                            &format!("/c/d{id:03}"),
+                            [("v", Value::Int(*v)), ("city", Value::from(*city))],
+                        )
+                        .unwrap(),
+                    Op::Delete(id) => c.delete(&format!("/c/d{id:03}")).unwrap(),
+                }
+            }
+            if offline {
+                c.reconnect().unwrap();
+            }
+            let result = db
+                .run_query(
+                    &Query::parse("/c").unwrap(),
+                    Consistency::Strong,
+                    &Caller::Service,
+                )
+                .unwrap();
+            result
+                .documents
+                .iter()
+                .map(|d| (d.name.to_string(), format!("{:?}", d.fields)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}
