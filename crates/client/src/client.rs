@@ -16,8 +16,8 @@
 use crate::listener::{local_results, ClientSnapshot, ListenerId, ListenerState};
 use crate::store::{LocalStore, ServerEntry};
 use firestore_core::{
-    Caller, Consistency, Document, DocumentName, FirestoreDatabase, FirestoreError, Precondition,
-    Query, Value, Write,
+    Backoff, Caller, Consistency, Document, DocumentName, FirestoreDatabase, FirestoreError,
+    Precondition, Query, RetryBudget, RetryPolicy, Value, Write,
 };
 use parking_lot::Mutex;
 use realtime::{Connection, ListenEvent, RealtimeCache};
@@ -57,6 +57,29 @@ impl fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+impl ClientError {
+    /// Whether retrying the same operation can succeed without user action.
+    /// Offline and after-the-fact rejections are not retriable: the former
+    /// needs a reconnect, the latter was rejected definitively.
+    pub fn is_retriable(&self) -> bool {
+        match self {
+            ClientError::Offline => false,
+            ClientError::Service(e) => e.is_retriable(),
+            ClientError::WriteRejected(_) => false,
+        }
+    }
+
+    /// Whether the error reflects a transient condition. Being offline is
+    /// transient (connectivity can return) even though it is not retriable.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Offline => true,
+            ClientError::Service(e) => e.is_transient(),
+            ClientError::WriteRejected(_) => false,
+        }
+    }
+}
+
 impl From<FirestoreError> for ClientError {
     fn from(e: FirestoreError) -> Self {
         ClientError::Service(e)
@@ -79,6 +102,11 @@ pub struct FirestoreClient {
     rtc: RealtimeCache,
     auth: Option<AuthContext>,
     state: Mutex<ClientState>,
+    retry_policy: RetryPolicy,
+    /// Shared across all of this client's flushes: a burst of transient
+    /// failures drains it and silences further retries (no retry storms on
+    /// an overloaded service, §VI).
+    retry_budget: Mutex<RetryBudget>,
 }
 
 impl FirestoreClient {
@@ -97,6 +125,8 @@ impl FirestoreClient {
                 conn: Some(conn),
                 write_errors: Vec::new(),
             }),
+            retry_policy: RetryPolicy::default(),
+            retry_budget: Mutex::new(RetryBudget::default()),
         }
     }
 
@@ -262,10 +292,14 @@ impl FirestoreClient {
         Ok(())
     }
 
-    /// Push queued writes to the service in order. Transient errors keep
-    /// the mutation queued; permanent rejections roll back the local cache
-    /// and surface via [`FirestoreClient::take_write_errors`].
+    /// Push queued writes to the service in order. Transient errors are
+    /// retried in place with deterministic jittered backoff (spent by
+    /// advancing the simulated clock) while the retry budget allows;
+    /// exhausted budgets leave the mutation queued for a later sync.
+    /// Permanent rejections roll back the local cache and surface via
+    /// [`FirestoreClient::take_write_errors`].
     pub fn flush(&self) -> Result<(), ClientError> {
+        let clock = self.db.spanner().truetime().clock().clone();
         loop {
             let (id, write) = {
                 let st = self.state.lock();
@@ -279,7 +313,33 @@ impl FirestoreClient {
                 }
             };
             let name = write.op.name().clone();
-            match self.db.commit_writes(vec![write.clone()], &self.caller()) {
+            let mut backoff = Backoff::new(self.retry_policy, clock.now().as_nanos());
+            let outcome = loop {
+                match self.db.commit_writes(vec![write.clone()], &self.caller()) {
+                    Ok(result) => {
+                        self.retry_budget.lock().record_success();
+                        break Ok(result);
+                    }
+                    Err(e) if e.is_retryable() => {
+                        let can_retry = {
+                            let mut budget = self.retry_budget.lock();
+                            budget.record_failure();
+                            budget.can_retry()
+                        };
+                        if !can_retry {
+                            // Budget drained: stay queued, don't amplify.
+                            return Ok(());
+                        }
+                        match backoff.next_delay() {
+                            Some(delay) => clock.advance(delay),
+                            // Attempts exhausted: stay queued for later.
+                            None => return Ok(()),
+                        };
+                    }
+                    Err(e) => break Err(e),
+                }
+            };
+            match outcome {
                 Ok(result) => {
                     let mut st = self.state.lock();
                     st.store.remove_pending(id);
@@ -314,10 +374,6 @@ impl FirestoreClient {
                     };
                     st.store.apply_server(name.clone(), server_doc);
                     Self::notify_listeners(&mut st, &[name], false);
-                }
-                Err(e) if e.is_retryable() => {
-                    // Keep it queued; a later sync retries.
-                    return Ok(());
                 }
                 Err(e) => {
                     // Permanent rejection: roll back the local effect.
@@ -951,6 +1007,54 @@ mod tests {
             .unwrap();
         assert_eq!(on_server.fields["name"], Value::from("Dana"));
         assert_eq!(on_server.fields["bio"], Value::from("new"));
+    }
+
+    #[test]
+    fn flush_retries_transient_errors_in_place() {
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        // Two transient failures, then success: one flush rides them out
+        // with backoff instead of leaving the write queued.
+        db.spanner()
+            .inject_commit_failure(spanner::SpannerError::Unavailable("injected"));
+        db.spanner()
+            .inject_commit_failure(spanner::SpannerError::Unavailable("injected"));
+        c.set("/todos/1", [("t", Value::from("x"))]).unwrap();
+        assert_eq!(c.pending_writes(), 0, "retried to completion");
+        assert!(c.take_write_errors().is_empty());
+        assert!(db
+            .get_document(&docname("/todos/1"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn retry_budget_prevents_storms() {
+        use simkit::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        let clock = db.spanner().truetime().clock().clone();
+        // Every commit fails: the budget must drain and leave the write
+        // queued rather than retrying forever.
+        let plan = FaultPlan::new(11).rule(FaultRule::probabilistic(
+            FaultKind::TabletUnavailable,
+            1.0,
+        ));
+        let injector = FaultInjector::new(clock, plan);
+        db.spanner().set_fault_injector(Some(injector.clone()));
+        c.set("/todos/1", [("t", Value::from("x"))]).unwrap();
+        assert_eq!(c.pending_writes(), 1, "write stays queued");
+        assert!(c.take_write_errors().is_empty(), "transient, not rejected");
+        let attempts = injector.stats().injected;
+        assert!(
+            attempts < 20,
+            "budget bounds the attempt count, got {attempts}"
+        );
+        // The outage ends: the next sync flushes the queue.
+        db.spanner().set_fault_injector(None);
+        c.sync().unwrap();
+        assert_eq!(c.pending_writes(), 0);
     }
 
     #[test]

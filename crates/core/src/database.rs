@@ -13,6 +13,7 @@ use crate::observer::{CommitObserver, CommitOutcome, DocumentChange, NullObserve
 use crate::path::{CollectionPath, DocumentName};
 use crate::planner::plan_query;
 use crate::query::Query;
+use crate::retry::{Backoff, Deadline, RetryPolicy};
 use crate::triggers::TriggerRegistry;
 #[cfg(test)]
 use crate::write::Precondition;
@@ -324,11 +325,26 @@ impl FirestoreDatabase {
         writes: Vec<Write>,
         caller: &Caller,
     ) -> FirestoreResult<WriteResult> {
+        self.commit_writes_with_deadline(writes, caller, None)
+    }
+
+    /// Commit a batch of writes atomically under a per-request deadline
+    /// budget. The deadline propagates through the whole pipeline: it caps
+    /// the maximum commit timestamp `M` handed to Prepare and to the Spanner
+    /// commit, so no stage can run past the caller's budget. A spent budget
+    /// returns [`FirestoreError::DeadlineExceeded`], which is deliberately
+    /// not retriable.
+    pub fn commit_writes_with_deadline(
+        &self,
+        writes: Vec<Write>,
+        caller: &Caller,
+        deadline: Option<Deadline>,
+    ) -> FirestoreResult<WriteResult> {
         for w in &writes {
             write::validate_write(w)?;
         }
         let mut txn = self.inner.spanner.begin();
-        let result = self.commit_pipeline(&mut txn, writes, caller);
+        let result = self.commit_pipeline(&mut txn, writes, caller, deadline);
         if result.is_err() {
             self.inner.spanner.abort(&mut txn);
         }
@@ -342,9 +358,18 @@ impl FirestoreDatabase {
         txn: &mut ReadWriteTransaction,
         writes: Vec<Write>,
         caller: &Caller,
+        deadline: Option<Deadline>,
     ) -> FirestoreResult<WriteResult> {
         let spanner = &self.inner.spanner;
         let dir = self.inner.dir;
+
+        if let Some(dl) = deadline {
+            if dl.expired(spanner.truetime().clock().now()) {
+                return Err(FirestoreError::DeadlineExceeded(
+                    "request budget spent before commit started".into(),
+                ));
+            }
+        }
 
         // Step 2: read affected documents with exclusive locks; verify
         // preconditions.
@@ -446,9 +471,18 @@ impl FirestoreDatabase {
 
         stats.payload_bytes = txn.payload_bytes();
 
-        // Step 5: Prepare the Real-time Cache with max timestamp M.
+        // Step 5: Prepare the Real-time Cache with max timestamp M. The
+        // caller's deadline caps M so the commit cannot outlive the budget.
         let now = spanner.truetime().clock().now();
-        let max_ts = now + self.inner.options.max_commit_window;
+        let mut max_ts = now + self.inner.options.max_commit_window;
+        if let Some(dl) = deadline {
+            max_ts = max_ts.min(dl.ts());
+            if max_ts <= now {
+                return Err(FirestoreError::DeadlineExceeded(
+                    "no commit window remains within the request deadline".into(),
+                ));
+            }
+        }
         let names: Vec<DocumentName> = changes.iter().map(|c| c.name.clone()).collect();
         let observer = self.inner.observer.read().clone();
         let (token, min_ts) = observer
@@ -505,18 +539,36 @@ impl FirestoreDatabase {
     pub fn run_transaction<R>(
         &self,
         max_attempts: usize,
+        f: impl FnMut(&mut FirestoreTransaction) -> FirestoreResult<R>,
+    ) -> FirestoreResult<R> {
+        let policy = RetryPolicy::default().with_max_attempts(max_attempts.max(1) as u32);
+        self.run_transaction_with_policy(policy, f)
+    }
+
+    /// Run `f` in a transaction under an explicit [`RetryPolicy`]: transient
+    /// failures are retried with exponential backoff whose jittered delays
+    /// are drawn deterministically (seeded from the simulated clock) and
+    /// spent by advancing that clock, so a chaos run replays identically.
+    pub fn run_transaction_with_policy<R>(
+        &self,
+        policy: RetryPolicy,
         mut f: impl FnMut(&mut FirestoreTransaction) -> FirestoreResult<R>,
     ) -> FirestoreResult<R> {
-        let mut last_err = FirestoreError::Aborted("no attempts made".into());
-        for _ in 0..max_attempts.max(1) {
+        let clock = self.inner.spanner.truetime().clock().clone();
+        let mut backoff = Backoff::new(policy, clock.now().as_nanos());
+        loop {
             let mut txn = self.begin_transaction();
             match f(&mut txn).and_then(|r| txn.commit().map(|_| r)) {
                 Ok(r) => return Ok(r),
-                Err(e) if e.is_retryable() => last_err = e,
+                Err(e) if e.is_retryable() => match backoff.next_delay() {
+                    Some(delay) => {
+                        clock.advance(delay);
+                    }
+                    None => return Err(e),
+                },
                 Err(e) => return Err(e),
             }
         }
-        Err(last_err)
     }
 
     // --- maintenance ---------------------------------------------------------
@@ -638,7 +690,7 @@ impl FirestoreDatabase {
         writes: Vec<Write>,
     ) -> FirestoreResult<WriteResult> {
         // Interactive transactions come from Server SDKs: privileged.
-        self.commit_pipeline(txn, writes, &Caller::Service)
+        self.commit_pipeline(txn, writes, &Caller::Service, None)
     }
 }
 
@@ -1127,6 +1179,37 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), 25);
+    }
+
+    #[test]
+    fn deadline_budget_caps_the_commit() {
+        let db = setup();
+        let clock = db.spanner().truetime().clock().clone();
+        // A spent budget fails fast, and the failure is not retriable.
+        let expired = Deadline::at(clock.now());
+        let err = db
+            .commit_writes_with_deadline(
+                vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+                &Caller::Service,
+                Some(expired),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::DeadlineExceeded(_)));
+        assert!(!err.is_retryable());
+        assert!(db
+            .get_document(&doc("/c/d"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_none());
+        // A live budget commits, with M capped by the deadline.
+        let dl = Deadline::after(&clock, Duration::from_secs(2));
+        let r = db
+            .commit_writes_with_deadline(
+                vec![Write::set(doc("/c/d"), [("v", Value::Int(2))])],
+                &Caller::Service,
+                Some(dl),
+            )
+            .unwrap();
+        assert!(r.commit_ts <= dl.ts(), "commit timestamp respects deadline");
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub enum FirestoreError {
     Unavailable(String),
     /// The write outcome is unknown (commit timed out).
     Unknown(String),
+    /// The per-request deadline budget was exhausted. Not retriable: the
+    /// caller's budget is spent, so retrying would only amplify load.
+    DeadlineExceeded(String),
     /// Internal invariant violation.
     Internal(String),
 }
@@ -45,6 +48,19 @@ impl FirestoreError {
             self,
             FirestoreError::Aborted(_) | FirestoreError::Unavailable(_)
         )
+    }
+
+    /// Alias for [`FirestoreError::is_retryable`] matching the taxonomy used
+    /// across the workspace's error types.
+    pub fn is_retriable(&self) -> bool {
+        self.is_retryable()
+    }
+
+    /// Whether the error reflects a transient condition. Broader than
+    /// retriability: an exhausted deadline is transient (the system may
+    /// recover) but must not be retried because the budget is spent.
+    pub fn is_transient(&self) -> bool {
+        self.is_retryable() || matches!(self, FirestoreError::DeadlineExceeded(_))
     }
 }
 
@@ -62,6 +78,7 @@ impl fmt::Display for FirestoreError {
             FirestoreError::Aborted(m) => write!(f, "aborted: {m}"),
             FirestoreError::Unavailable(m) => write!(f, "unavailable: {m}"),
             FirestoreError::Unknown(m) => write!(f, "unknown outcome: {m}"),
+            FirestoreError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
             FirestoreError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -76,6 +93,8 @@ impl From<SpannerError> for FirestoreError {
             SpannerError::CommitWindowExpired => FirestoreError::Aborted(e.to_string()),
             SpannerError::UnknownOutcome => FirestoreError::Unknown(e.to_string()),
             SpannerError::SnapshotTooOld => FirestoreError::FailedPrecondition(e.to_string()),
+            SpannerError::Unavailable(_) => FirestoreError::Unavailable(e.to_string()),
+            SpannerError::LockTimeout => FirestoreError::Aborted(e.to_string()),
             other => FirestoreError::Internal(other.to_string()),
         }
     }
@@ -91,6 +110,10 @@ mod tests {
         assert!(FirestoreError::Unavailable("x".into()).is_retryable());
         assert!(!FirestoreError::NotFound("x".into()).is_retryable());
         assert!(!FirestoreError::PermissionDenied("x".into()).is_retryable());
+        // A spent deadline is transient but must not be retried.
+        let dl = FirestoreError::DeadlineExceeded("x".into());
+        assert!(!dl.is_retriable());
+        assert!(dl.is_transient());
     }
 
     #[test]
@@ -107,5 +130,8 @@ mod tests {
             FirestoreError::from(SpannerError::NoSuchTable("t".into())),
             FirestoreError::Internal(_)
         ));
+        // Chaos-layer faults stay retriable across the mapping.
+        assert!(FirestoreError::from(SpannerError::Unavailable("tablet")).is_retryable());
+        assert!(FirestoreError::from(SpannerError::LockTimeout).is_retryable());
     }
 }

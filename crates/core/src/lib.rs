@@ -30,6 +30,9 @@
 //!   index-entry diffs, Prepare/Accept two-phase commit with the Real-time
 //!   Cache (via the [`observer::CommitObserver`] trait), and every failure
 //!   path the paper enumerates.
+//! * [`retry`] — retry policies with deterministic jittered backoff,
+//!   per-request deadlines, and retry-token budgets (§III-D auto-retry,
+//!   §VI retry-storm avoidance).
 //! * [`backfill`] — the background index build/removal service.
 //! * [`triggers`] — write triggers over the substrate's transactional
 //!   messaging (§III-F).
@@ -47,6 +50,7 @@ pub mod observer;
 pub mod path;
 pub mod planner;
 pub mod query;
+pub mod retry;
 pub mod triggers;
 pub mod write;
 
@@ -58,4 +62,5 @@ pub use index::{IndexCatalog, IndexDefinition, IndexId};
 pub use observer::{CommitObserver, CommitOutcome, DocumentChange, NullObserver};
 pub use path::{CollectionPath, DocumentName};
 pub use query::{FieldFilter, FilterOp, Query};
+pub use retry::{Backoff, Deadline, RetryBudget, RetryPolicy};
 pub use write::{Caller, Precondition, Write, WriteOp, WriteResult};

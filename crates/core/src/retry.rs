@@ -1,0 +1,269 @@
+//! Retry policies, deterministic backoff, deadlines, and retry budgets.
+//!
+//! The paper's Server SDKs "automatically retry transient errors with
+//! backoff" (§III-D), and §VI warns that naive retries amplify overload:
+//! admission-control rejections must not turn into retry storms. This module
+//! provides the shared machinery:
+//!
+//! * [`RetryPolicy`] / [`Backoff`] — exponential backoff with deterministic
+//!   jitter drawn from a seeded [`SimRng`], so a retried run replays
+//!   identically. Delays are *bounded*: jitter is applied downward from the
+//!   exponential value, so `max_backoff` is a hard cap.
+//! * [`Deadline`] — a per-request time budget on the simulated clock that
+//!   propagates through the write pipeline (commit → Prepare → Accept) by
+//!   capping the commit window's maximum timestamp.
+//! * [`RetryBudget`] — a token bucket that only permits retries while the
+//!   recent success rate keeps tokens above half the cap, preventing
+//!   rejected traffic from multiplying itself.
+
+use simkit::{Duration, SimClock, SimRng, Timestamp};
+
+/// Parameters of an exponential-backoff retry loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub initial_backoff: Duration,
+    /// Hard cap on any single delay.
+    pub max_backoff: Duration,
+    /// Exponential growth factor between attempts.
+    pub multiplier: f64,
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Fraction of each delay randomized away (0.0 = none, 1.0 = full
+    /// jitter). Jitter is subtractive, so delays never exceed the
+    /// un-jittered exponential value.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(5),
+            multiplier: 2.0,
+            max_attempts: 5,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt).
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Builder: set the attempt limit.
+    pub fn with_max_attempts(mut self, n: u32) -> RetryPolicy {
+        self.max_attempts = n;
+        self
+    }
+
+    /// Builder: set the initial backoff.
+    pub fn with_initial_backoff(mut self, d: Duration) -> RetryPolicy {
+        self.initial_backoff = d;
+        self
+    }
+
+    /// Builder: set the backoff cap.
+    pub fn with_max_backoff(mut self, d: Duration) -> RetryPolicy {
+        self.max_backoff = d;
+        self
+    }
+}
+
+/// The delay sequence of one retry loop. Deterministic given the seed.
+#[derive(Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    rng: SimRng,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Start a backoff sequence under `policy`, seeded for determinism.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Backoff {
+        Backoff {
+            policy,
+            rng: SimRng::new(seed),
+            attempt: 0,
+        }
+    }
+
+    /// Attempts made so far (calls to [`Backoff::next_delay`]).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The delay before the next retry, or `None` when the attempt limit is
+    /// exhausted. The `n`-th delay is
+    /// `min(max_backoff, initial * multiplier^n)` scaled down by up to
+    /// `jitter` of itself, so `max_backoff` bounds every delay.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        // attempt counts *tries*; the first try burns one slot and only the
+        // remaining slots produce delays.
+        if self.attempt + 1 >= self.policy.max_attempts {
+            return None;
+        }
+        let exp = self.policy.initial_backoff.as_nanos() as f64
+            * self.policy.multiplier.powi(self.attempt as i32);
+        let capped = exp.min(self.policy.max_backoff.as_nanos() as f64);
+        let scale = 1.0 - self.policy.jitter * self.rng.next_f64();
+        self.attempt += 1;
+        Some(Duration::from_nanos((capped * scale) as u64))
+    }
+}
+
+/// A per-request time budget on the simulated clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    ts: Timestamp,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now on `clock`.
+    pub fn after(clock: &SimClock, budget: Duration) -> Deadline {
+        Deadline {
+            ts: clock.now() + budget,
+        }
+    }
+
+    /// A deadline at an absolute simulated timestamp.
+    pub fn at(ts: Timestamp) -> Deadline {
+        Deadline { ts }
+    }
+
+    /// The absolute expiry timestamp.
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Whether the deadline has passed at `now`.
+    pub fn expired(&self, now: Timestamp) -> bool {
+        now >= self.ts
+    }
+
+    /// Budget left at `now` (zero once expired).
+    pub fn remaining(&self, now: Timestamp) -> Duration {
+        self.ts.saturating_sub(now)
+    }
+}
+
+/// A gRPC-style client retry budget: a token bucket that earns back slowly
+/// on success and spends on every failed attempt. Retries are allowed only
+/// while the bucket stays above half its capacity, so a burst of failures
+/// quickly silences retries instead of amplifying them into a storm.
+#[derive(Debug)]
+pub struct RetryBudget {
+    capacity: f64,
+    tokens: f64,
+    refill_per_success: f64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> RetryBudget {
+        RetryBudget::new(10.0, 0.1)
+    }
+}
+
+impl RetryBudget {
+    /// A budget of `capacity` tokens that earns `refill_per_success` tokens
+    /// back per successful request.
+    pub fn new(capacity: f64, refill_per_success: f64) -> RetryBudget {
+        RetryBudget {
+            capacity,
+            tokens: capacity,
+            refill_per_success,
+        }
+    }
+
+    /// Whether a retry may be attempted now.
+    pub fn can_retry(&self) -> bool {
+        self.tokens > self.capacity / 2.0
+    }
+
+    /// Record a failed attempt (spends one token).
+    pub fn record_failure(&mut self) {
+        self.tokens = (self.tokens - 1.0).max(0.0);
+    }
+
+    /// Record a successful request (earns back a fraction of a token).
+    pub fn record_success(&mut self) {
+        self.tokens = (self.tokens + self.refill_per_success).min(self.capacity);
+    }
+
+    /// Remaining tokens (for tests and metrics).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut b = Backoff::new(RetryPolicy::default().with_max_attempts(8), seed);
+            std::iter::from_fn(|| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn backoff_respects_attempt_limit_and_cap() {
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+            multiplier: 2.0,
+            max_attempts: 6,
+            jitter: 0.5,
+        };
+        let mut b = Backoff::new(policy, 7);
+        let delays: Vec<_> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(delays.len(), 5, "max_attempts-1 delays");
+        for d in &delays {
+            assert!(*d <= policy.max_backoff, "delay {d:?} exceeds cap");
+        }
+        // With 50% jitter the floor is half the exponential value.
+        assert!(delays[0] >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn no_retry_policy_yields_no_delays() {
+        let mut b = Backoff::new(RetryPolicy::no_retry(), 1);
+        assert_eq!(b.next_delay(), None);
+    }
+
+    #[test]
+    fn deadline_expiry_and_remaining() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let d = Deadline::after(&clock, Duration::from_millis(100));
+        assert!(!d.expired(clock.now()));
+        assert_eq!(d.remaining(clock.now()), Duration::from_millis(100));
+        clock.advance(Duration::from_millis(150));
+        assert!(d.expired(clock.now()));
+        assert_eq!(d.remaining(clock.now()), Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_budget_silences_storms() {
+        let mut b = RetryBudget::new(10.0, 0.1);
+        assert!(b.can_retry());
+        for _ in 0..5 {
+            b.record_failure();
+        }
+        assert!(!b.can_retry(), "half-drained bucket refuses retries");
+        // Successes slowly earn the budget back.
+        for _ in 0..20 {
+            b.record_success();
+        }
+        assert!(b.can_retry());
+    }
+}

@@ -24,6 +24,7 @@ use firestore_core::observer::{
 };
 use firestore_core::{Document, Query};
 use parking_lot::Mutex;
+use simkit::fault::{FaultInjector, FaultKind};
 use simkit::{Duration, Timestamp, TrueTime};
 use spanner::database::DirectoryId;
 use spanner::{Key, KeyRange};
@@ -139,6 +140,7 @@ struct RtState {
     next_query: u64,
     next_token: u64,
     stats: RealtimeStats,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 /// The Real-time Cache. Cheap to clone; clones share state.
@@ -169,8 +171,17 @@ impl RealtimeCache {
                 next_query: 1,
                 next_token: 1,
                 stats: RealtimeStats::default(),
+                injector: None,
             })),
         }
+    }
+
+    /// Attach (or clear) a chaos [`FaultInjector`]. While a
+    /// [`FaultKind::CacheUnavailable`] rule fires, Prepare RPCs fail — the
+    /// write path surfaces this as a retriable `Unavailable` ("a failure to
+    /// process the Prepare request fails the write", §IV-D4).
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        self.state.lock().injector = injector;
     }
 
     /// Current statistics.
@@ -240,6 +251,13 @@ impl RealtimeCache {
         max_ts: Timestamp,
     ) -> Result<(PrepareToken, Timestamp), PrepareUnavailable> {
         let mut st = self.state.lock();
+        if st
+            .injector
+            .as_ref()
+            .is_some_and(|inj| inj.should_inject(FaultKind::CacheUnavailable, "rtc-prepare"))
+        {
+            return Err(PrepareUnavailable);
+        }
         st.stats.prepares += 1;
         let token = st.next_token;
         st.next_token += 1;

@@ -28,9 +28,14 @@
 //! Failure handling follows the paper: a Prepare that cannot be tracked
 //! fails the write; an `Accept(Unknown)` or a Prepare that times out marks
 //! the range out-of-sync and resets every real-time query matching it — the
-//! client re-runs the initial query and re-subscribes.
+//! client re-runs the initial query and re-subscribes. The [`degrade`]
+//! module packages that recovery loop as a [`degrade::ResilientListener`]:
+//! on a reset or an injected cache outage it falls back to Spanner-backed
+//! polling snapshots and re-subscribes (with changelog catch-up) once the
+//! cache answers again, never missing or duplicating an event.
 
 pub mod cache;
+pub mod degrade;
 pub mod range;
 pub mod view;
 
@@ -38,4 +43,5 @@ pub use cache::{
     ChangeKind, Connection, ConnectionId, DocChangeEvent, ListenEvent, QueryId, RealtimeCache,
     RealtimeOptions,
 };
+pub use degrade::{ListenerEvent, ListenerMode, ListenerStats, ResilientListener};
 pub use range::RangeMap;

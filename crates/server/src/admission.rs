@@ -6,6 +6,7 @@
 //! components do targeted load-shedding to drop excess work before
 //! auto-scaling can take effect."
 
+use firestore_core::FirestoreError;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -16,6 +17,22 @@ pub enum AdmissionError {
     PerDatabaseLimit,
     /// The whole component is shedding load.
     Overloaded,
+}
+
+impl From<AdmissionError> for FirestoreError {
+    /// Admission rejections surface as a retriable `Unavailable`: clients
+    /// should back off and retry — under their retry budget, so shed load
+    /// does not multiply itself into a retry storm (§VI).
+    fn from(e: AdmissionError) -> FirestoreError {
+        match e {
+            AdmissionError::PerDatabaseLimit => FirestoreError::Unavailable(
+                "per-database in-flight limit reached; retry with backoff".into(),
+            ),
+            AdmissionError::Overloaded => {
+                FirestoreError::Unavailable("service is shedding load; retry with backoff".into())
+            }
+        }
+    }
 }
 
 /// Counters for observability.
@@ -165,5 +182,13 @@ mod tests {
         let a = AdmissionController::new(10, 100);
         a.release("never-admitted");
         assert_eq!(a.inflight("never-admitted"), 0);
+    }
+
+    #[test]
+    fn rejections_map_to_retriable_unavailable() {
+        let e: FirestoreError = AdmissionError::PerDatabaseLimit.into();
+        assert!(e.is_retriable());
+        let e: FirestoreError = AdmissionError::Overloaded.into();
+        assert!(e.is_retriable());
     }
 }

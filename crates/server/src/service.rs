@@ -191,6 +191,17 @@ impl FirestoreService {
             .ok_or_else(|| FirestoreError::NotFound(format!("database {id}")))
     }
 
+    /// Admit one request for `database` or fail with a retriable
+    /// `Unavailable`; the returned guard releases the slot when dropped, so
+    /// every exit path of an entry point gives the slot back.
+    fn admit<'a>(&'a self, database: &'a str) -> FirestoreResult<AdmitGuard<'a>> {
+        self.admission.try_admit(database)?;
+        Ok(AdmitGuard {
+            admission: &self.admission,
+            database,
+        })
+    }
+
     // --- metered request entry points -------------------------------------
 
     /// Serve a single-document read.
@@ -202,6 +213,7 @@ impl FirestoreService {
         rng: &mut SimRng,
     ) -> FirestoreResult<(Option<Document>, ServedRequest)> {
         let db = self.require(database)?;
+        let _slot = self.admit(database)?;
         let doc = db.get_document(name, Consistency::Strong, caller)?;
         self.billing.record_reads(database, 1);
         let bytes = doc.as_ref().map(|d| d.approx_size()).unwrap_or(0);
@@ -221,6 +233,7 @@ impl FirestoreService {
         rng: &mut SimRng,
     ) -> FirestoreResult<(firestore_core::executor::QueryResult, ServedRequest)> {
         let db = self.require(database)?;
+        let _slot = self.admit(database)?;
         let result = db.run_query(query, Consistency::Strong, caller)?;
         self.billing
             .record_reads(database, result.documents.len() as u64);
@@ -247,6 +260,7 @@ impl FirestoreService {
         rng: &mut SimRng,
     ) -> FirestoreResult<(WriteResult, ServedRequest)> {
         let db = self.require(database)?;
+        let _slot = self.admit(database)?;
         let deletes = writes
             .iter()
             .filter(|w| matches!(w.op, firestore_core::WriteOp::Delete { .. }))
@@ -371,6 +385,18 @@ impl FirestoreService {
     }
 }
 
+/// Holds one admitted-request slot; dropping it releases the slot.
+struct AdmitGuard<'a> {
+    admission: &'a AdmissionController,
+    database: &'a str,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.admission.release(self.database);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +470,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(svc.billing.usage("app").deletes, 1);
+    }
+
+    #[test]
+    fn admission_gates_entry_points_with_retriable_errors() {
+        let svc = service();
+        svc.create_database("throttled");
+        let mut rng = SimRng::new(9);
+        // Emergency-cap the database to zero in-flight requests (§VI).
+        svc.admission.set_override("throttled", 0);
+        let err = svc
+            .get_document("throttled", &doc("/c/d"), &Caller::Service, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::Unavailable(_)));
+        assert!(err.is_retriable(), "shed load must invite a backoff-retry");
+        let err = svc
+            .commit(
+                "throttled",
+                vec![Write::set(doc("/c/d"), [("v", Value::Int(1))])],
+                &Caller::Service,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(err.is_retriable());
+        assert!(svc.admission.stats().rejected_per_db >= 2);
+        // Lifting the cap restores service, and slots were not leaked.
+        svc.admission.clear_override("throttled");
+        svc.get_document("throttled", &doc("/c/d"), &Caller::Service, &mut rng)
+            .unwrap();
+        assert_eq!(svc.admission.inflight("throttled"), 0);
     }
 
     #[test]

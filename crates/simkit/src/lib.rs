@@ -16,6 +16,8 @@
 //!   distributions used by the workload generators.
 //! * [`latency`] — latency models for replication quorums, RPC hops, and CPU
 //!   service times.
+//! * [`fault::FaultInjector`] — seeded, replayable fault injection (the
+//!   chaos layer) consulted by the storage, messaging, and cache layers.
 //! * [`stats`] — percentile / histogram / boxplot summaries used by the
 //!   benchmark harness.
 //!
@@ -24,6 +26,7 @@
 
 pub mod clock;
 pub mod des;
+pub mod fault;
 pub mod latency;
 pub mod rng;
 pub mod stats;
@@ -31,5 +34,6 @@ pub mod truetime;
 
 pub use clock::{Duration, SimClock, Timestamp};
 pub use des::Scheduler;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultStats};
 pub use rng::SimRng;
 pub use truetime::{TrueTime, TtInterval};

@@ -13,6 +13,7 @@ use crate::tablet::{SplitPolicy, TabletMap};
 use crate::txn::{Mutation, ReadWriteTransaction, TxnId};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
+use simkit::fault::{FaultInjector, FaultKind};
 use simkit::{SimClock, Timestamp, TrueTime};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -89,6 +90,7 @@ struct Inner {
     next_directory: AtomicU32,
     options: SpannerOptions,
     failures: FailureInjector,
+    fault_injector: Mutex<Option<Arc<FaultInjector>>>,
     commits: AtomicU64,
     aborts: AtomicU64,
 }
@@ -117,6 +119,7 @@ impl SpannerDatabase {
                 next_directory: AtomicU32::new(1),
                 options,
                 failures: FailureInjector::default(),
+                fault_injector: Mutex::new(None),
                 commits: AtomicU64::new(0),
                 aborts: AtomicU64::new(0),
             }),
@@ -126,6 +129,29 @@ impl SpannerDatabase {
     /// The TrueTime source.
     pub fn truetime(&self) -> &TrueTime {
         &self.inner.truetime
+    }
+
+    /// Install (or clear) the chaos-layer fault injector. Tablet
+    /// unavailability, TrueTime uncertainty spikes, and lock timeouts are
+    /// then injected per the injector's [`simkit::fault::FaultPlan`].
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        self.inner.locks.set_injector(injector.clone());
+        *self.inner.fault_injector.lock() = injector;
+    }
+
+    /// The installed fault injector, if any (shared with the messaging and
+    /// cache layers so all decisions come from one seeded stream).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.inner.fault_injector.lock().clone()
+    }
+
+    /// Consult the chaos layer at an injection site.
+    fn inject(&self, kind: FaultKind, site: &'static str) -> bool {
+        self.inner
+            .fault_injector
+            .lock()
+            .as_ref()
+            .is_some_and(|inj| inj.should_inject(kind, site))
     }
 
     /// Create `name` if it does not exist; idempotent.
@@ -193,6 +219,10 @@ impl SpannerDatabase {
     ) -> SpannerResult<Option<Bytes>> {
         if txn.closed {
             return Err(SpannerError::TxnClosed(txn.id));
+        }
+        if self.inject(FaultKind::TabletUnavailable, "txn-read") {
+            self.abort(txn);
+            return Err(SpannerError::Unavailable("txn-read: tablet unreachable"));
         }
         let (tid, data) = self.table(table)?;
         if let Some(buffered) = txn.buffered(tid, key) {
@@ -313,6 +343,11 @@ impl SpannerDatabase {
             self.abort(&mut txn);
             return Err(err);
         }
+        // Chaos layer: a participant tablet is transiently unreachable.
+        if self.inject(FaultKind::TabletUnavailable, "commit") {
+            self.abort(&mut txn);
+            return Err(SpannerError::Unavailable("commit: tablet unreachable"));
+        }
 
         // Phase 1: acquire exclusive locks on every written cell.
         for m in &txn.mutations {
@@ -376,6 +411,14 @@ impl SpannerDatabase {
         participants = participants.max(1);
 
         // Phase 4: commit wait (external consistency), then release locks.
+        // A TrueTime uncertainty spike widens ε, stretching the wait.
+        if self.inject(FaultKind::TtUncertaintySpike, "commit-wait") {
+            let spike = self
+                .fault_injector()
+                .map(|inj| inj.tt_spike())
+                .unwrap_or_default();
+            self.inner.truetime.clock().advance(spike);
+        }
         self.inner.truetime.commit_wait(commit_ts);
         txn.closed = true;
         self.inner.locks.release_all(txn.id);
@@ -402,6 +445,9 @@ impl SpannerDatabase {
         key: &Key,
         ts: Timestamp,
     ) -> SpannerResult<Option<Bytes>> {
+        if self.inject(FaultKind::TabletUnavailable, "snapshot-read") {
+            return Err(SpannerError::Unavailable("snapshot-read: tablet unreachable"));
+        }
         let (_, data) = self.table(table)?;
         let r = data
             .store
@@ -419,6 +465,9 @@ impl SpannerDatabase {
         ts: Timestamp,
         limit: usize,
     ) -> SpannerResult<Vec<(Key, Bytes)>> {
+        if self.inject(FaultKind::TabletUnavailable, "snapshot-scan") {
+            return Err(SpannerError::Unavailable("snapshot-scan: tablet unreachable"));
+        }
         let (_, data) = self.table(table)?;
         let r = data
             .store
@@ -917,5 +966,38 @@ mod tests {
             .txn_read_for_update(&mut writer, T, &Key::from("a"))
             .is_err());
         db.abort(&mut reader);
+    }
+
+    #[test]
+    fn chaos_injector_fails_commits_and_locks() {
+        use simkit::fault::{FaultPlan, FaultRule};
+
+        let db = db();
+        let clock = db.truetime().clock().clone();
+        let plan = FaultPlan::new(5)
+            .rule(FaultRule::probabilistic(FaultKind::TabletUnavailable, 1.0))
+            .rule(FaultRule::probabilistic(FaultKind::LockTimeout, 1.0));
+        db.set_fault_injector(Some(FaultInjector::new(clock, plan)));
+
+        let mut txn = db.begin();
+        assert_eq!(
+            db.txn_read(&mut txn, T, &Key::from("k")).unwrap_err(),
+            SpannerError::Unavailable("txn-read: tablet unreachable")
+        );
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v")).unwrap();
+        assert_eq!(
+            db.commit(txn, Timestamp::ZERO, Timestamp::MAX).unwrap_err(),
+            SpannerError::Unavailable("commit: tablet unreachable")
+        );
+        assert!(db
+            .snapshot_read(T, &Key::from("k"), db.strong_read_ts())
+            .is_err());
+
+        // Clearing the injector restores normal behaviour.
+        db.set_fault_injector(None);
+        let mut txn = db.begin();
+        db.txn_put(&mut txn, T, Key::from("k"), bytes("v")).unwrap();
+        db.commit(txn, Timestamp::ZERO, Timestamp::MAX).unwrap();
     }
 }

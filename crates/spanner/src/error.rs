@@ -34,6 +34,12 @@ pub enum SpannerError {
     NoSuchTable(String),
     /// A read was attempted at a timestamp that has been garbage collected.
     SnapshotTooOld,
+    /// A tablet or service dependency is transiently unavailable (injected
+    /// by the chaos layer); the operation should be retried with backoff.
+    Unavailable(&'static str),
+    /// A lock acquisition timed out instead of resolving promptly (injected
+    /// by the chaos layer). Retryable like any lock conflict.
+    LockTimeout,
 }
 
 impl fmt::Display for SpannerError {
@@ -56,6 +62,8 @@ impl fmt::Display for SpannerError {
             SpannerError::UnknownOutcome => write!(f, "commit outcome unknown"),
             SpannerError::NoSuchTable(t) => write!(f, "no such table: {t}"),
             SpannerError::SnapshotTooOld => write!(f, "snapshot timestamp is too old"),
+            SpannerError::Unavailable(site) => write!(f, "transiently unavailable: {site}"),
+            SpannerError::LockTimeout => write!(f, "lock acquisition timed out"),
         }
     }
 }
@@ -71,7 +79,21 @@ impl SpannerError {
             SpannerError::LockConflict { .. }
                 | SpannerError::CommitWindowExpired
                 | SpannerError::UnknownOutcome
+                | SpannerError::Unavailable(_)
+                | SpannerError::LockTimeout
         )
+    }
+
+    /// Alias for [`SpannerError::is_retryable`] matching the taxonomy used
+    /// across the workspace's error types.
+    pub fn is_retriable(&self) -> bool {
+        self.is_retryable()
+    }
+
+    /// Whether the error reflects a transient condition rather than a
+    /// permanent one. Currently identical to retriability.
+    pub fn is_transient(&self) -> bool {
+        self.is_retryable()
     }
 }
 
@@ -89,9 +111,14 @@ mod tests {
         assert!(conflict.is_retryable());
         assert!(SpannerError::CommitWindowExpired.is_retryable());
         assert!(SpannerError::UnknownOutcome.is_retryable());
+        assert!(SpannerError::Unavailable("tablet").is_retryable());
+        assert!(SpannerError::LockTimeout.is_retryable());
         assert!(!SpannerError::NoSuchTable("t".into()).is_retryable());
         assert!(!SpannerError::TxnClosed(TxnId(3)).is_retryable());
         assert!(!SpannerError::SnapshotTooOld.is_retryable());
+        // Aliases agree.
+        assert!(SpannerError::LockTimeout.is_retriable());
+        assert!(SpannerError::Unavailable("x").is_transient());
     }
 
     #[test]

@@ -16,7 +16,9 @@ use crate::error::{SpannerError, SpannerResult};
 use crate::key::Key;
 use crate::txn::TxnId;
 use parking_lot::Mutex;
+use simkit::fault::{FaultInjector, FaultKind};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Lock mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +42,7 @@ pub type LockName = (u32, Key);
 #[derive(Debug, Default)]
 pub struct LockManager {
     locks: Mutex<HashMap<LockName, LockState>>,
+    injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl LockManager {
@@ -48,11 +51,22 @@ impl LockManager {
         LockManager::default()
     }
 
+    /// Install a fault injector; [`FaultKind::LockTimeout`] faults then make
+    /// `acquire` fail with [`SpannerError::LockTimeout`].
+    pub fn set_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.injector.lock() = injector;
+    }
+
     /// Try to acquire a lock for `txn`. Shared locks are compatible with
     /// other shared locks; a transaction already holding a shared lock can
     /// upgrade to exclusive if it is the only holder. Re-acquisition is
     /// idempotent.
     pub fn acquire(&self, txn: TxnId, table: u32, key: &Key, mode: LockMode) -> SpannerResult<()> {
+        if let Some(inj) = self.injector.lock().as_ref() {
+            if inj.should_inject(FaultKind::LockTimeout, "lock-acquire") {
+                return Err(SpannerError::LockTimeout);
+            }
+        }
         let mut locks = self.locks.lock();
         let name = (table, key.clone());
         match locks.get_mut(&name) {

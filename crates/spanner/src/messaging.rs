@@ -12,10 +12,11 @@
 //! consumer is a cursor that scans forward and deletes delivered rows.
 
 use crate::database::{SpannerDatabase, TableName};
-use crate::error::SpannerResult;
+use crate::error::{SpannerError, SpannerResult};
 use crate::key::{Key, KeyRange};
 use crate::txn::ReadWriteTransaction;
 use bytes::Bytes;
+use simkit::fault::FaultKind;
 use simkit::Timestamp;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -111,7 +112,23 @@ impl MessageQueue {
 
     /// Convenience: dequeue (peek + ack) up to `limit` messages at the
     /// current strong-read timestamp.
+    ///
+    /// Under the chaos layer delivery is at-least-once: a
+    /// [`FaultKind::MessageDrop`] fault fails the attempt while messages
+    /// stay queued (delayed, never lost), and a
+    /// [`FaultKind::MessageDuplicate`] fault delivers without acknowledging,
+    /// so the same messages are redelivered on the next dequeue.
     pub fn dequeue(&self, topic: &[u8], limit: usize) -> SpannerResult<Vec<QueuedMessage>> {
+        if let Some(inj) = self.db.fault_injector() {
+            if inj.should_inject(FaultKind::MessageDrop, "dequeue") {
+                return Err(SpannerError::Unavailable("dequeue: delivery dropped"));
+            }
+            if inj.should_inject(FaultKind::MessageDuplicate, "dequeue") {
+                // Deliver without acking: redelivered next time.
+                let ts = self.db.strong_read_ts();
+                return self.peek(topic, ts, limit);
+            }
+        }
         let ts = self.db.strong_read_ts();
         let msgs = self.peek(topic, ts, limit)?;
         self.ack(&msgs)?;

@@ -394,3 +394,234 @@ fn failed_batch_is_all_or_nothing() {
         "listeners never observe the failed batch"
     );
 }
+
+// --- deterministic chaos layer ----------------------------------------------
+
+/// Acceptance: a seeded [`FaultPlan`] run over the YCSB driver completes
+/// with zero lost or duplicated writes, and the same seed reproduces the
+/// identical fault trace, retry count, and final database state.
+#[test]
+fn seeded_ycsb_chaos_run_is_lossless_and_reproducible() {
+    use firestore_core::{Backoff, RetryPolicy};
+    use simkit::fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule};
+    use simkit::SimRng;
+    use std::collections::HashMap;
+    use workloads::ycsb::{YcsbConfig, YcsbGenerator, YcsbOp, YcsbWorkload};
+
+    let run = |seed: u64| -> (Vec<FaultEvent>, u64, Vec<(String, i64)>) {
+        let (db, _cache) = setup();
+        let clock = db.spanner().truetime().clock().clone();
+        let gen = YcsbGenerator::new(YcsbConfig {
+            workload: YcsbWorkload::A,
+            records: 40,
+            field_size: 16,
+        });
+        let mut rng = SimRng::new(seed ^ 0xD1CE);
+        gen.load(&db, &mut rng).unwrap();
+
+        // Chaos starts after the load phase: tablets flap and locks time out.
+        let plan = FaultPlan::new(seed)
+            .rule(FaultRule::probabilistic(FaultKind::TabletUnavailable, 0.15))
+            .rule(FaultRule::probabilistic(FaultKind::LockTimeout, 0.05));
+        let injector = FaultInjector::new(clock.clone(), plan);
+        db.spanner().set_fault_injector(Some(injector.clone()));
+
+        // Each acknowledged update stamps its op index; `expected` tracks the
+        // last acknowledged stamp per record.
+        let mut expected: HashMap<String, i64> = HashMap::new();
+        let mut retries = 0u64;
+        for i in 0..150i64 {
+            let op = gen.next_op(&mut rng);
+            let mut backoff = Backoff::new(RetryPolicy::default(), clock.now().as_nanos());
+            loop {
+                let attempt = match &op {
+                    YcsbOp::Read(name) => db
+                        .get_document(name, Consistency::Strong, &Caller::Service)
+                        .map(|_| ()),
+                    YcsbOp::Update(name) => db
+                        .commit_writes(
+                            vec![Write::set(name.clone(), [("seq", Value::Int(i))])],
+                            &Caller::Service,
+                        )
+                        .map(|_| ()),
+                };
+                match attempt {
+                    Ok(()) => {
+                        if let YcsbOp::Update(name) = &op {
+                            expected.insert(name.to_string(), i);
+                        }
+                        break;
+                    }
+                    Err(e) if e.is_retriable() => match backoff.next_delay() {
+                        Some(delay) => {
+                            retries += 1;
+                            clock.advance(delay);
+                        }
+                        // Budget exhausted: the op is abandoned; the fault
+                        // fired before Spanner committed, so nothing may
+                        // have been applied.
+                        None => break,
+                    },
+                    Err(e) => panic!("unexpected non-retriable chaos error: {e}"),
+                }
+            }
+        }
+        db.spanner().set_fault_injector(None);
+
+        // Zero lost, zero duplicated: every record carries exactly the stamp
+        // of its last acknowledged update — an abandoned attempt never
+        // half-applied, an acknowledged one never vanished.
+        let mut state: Vec<(String, i64)> = Vec::new();
+        for (path, seq) in &expected {
+            let d = db
+                .get_document(&doc(path), Consistency::Strong, &Caller::Service)
+                .unwrap()
+                .unwrap_or_else(|| panic!("acknowledged write to {path} was lost"));
+            assert_eq!(
+                d.fields["seq"],
+                Value::Int(*seq),
+                "{path} does not match its last acknowledged update"
+            );
+            state.push((path.clone(), *seq));
+        }
+        state.sort();
+        (injector.trace(), retries, state)
+    };
+
+    let (trace_a, retries_a, state_a) = run(7);
+    let (trace_b, retries_b, state_b) = run(7);
+    assert!(!trace_a.is_empty(), "the plan must actually inject faults");
+    assert!(retries_a > 0, "the workload must actually retry");
+    assert_eq!(trace_a, trace_b, "same seed, same fault trace");
+    assert_eq!(retries_a, retries_b, "same seed, same retry schedule");
+    assert_eq!(state_a, state_b, "same seed, same final state");
+}
+
+/// §III-F triggers are at-least-once; a [`FaultKind::MessageDuplicate`]
+/// window redelivers the same event on every drain, and an idempotent
+/// handler (keyed by document name) converges to the same state.
+#[test]
+fn trigger_redelivery_under_duplication_is_idempotent() {
+    use firestore_core::triggers::TriggerExecutor;
+    use simkit::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+    use std::collections::HashMap;
+
+    let (db, _) = setup();
+    let clock = db.spanner().truetime().clock().clone();
+    let tid = db.triggers().register("ratings");
+    db.commit_writes(
+        vec![Write::set(
+            doc("/restaurants/one/ratings/1"),
+            [("stars", Value::Int(5))],
+        )],
+        &Caller::Service,
+    )
+    .unwrap();
+
+    // For the next 10 simulated seconds every dequeue redelivers without
+    // acking (delivery observed, ack lost).
+    let start = db.spanner().truetime().clock().now();
+    let plan = FaultPlan::new(5).rule(FaultRule::scheduled(
+        FaultKind::MessageDuplicate,
+        start,
+        start + Duration::from_secs(10),
+    ));
+    db.spanner()
+        .set_fault_injector(Some(FaultInjector::new(clock.clone(), plan)));
+
+    let mut applied: HashMap<String, Value> = HashMap::new();
+    let mut deliveries = 0usize;
+    for _ in 0..3 {
+        deliveries += TriggerExecutor::drain(db.queue(), tid, 10, |ev| {
+            if let Some(new) = &ev.new {
+                applied.insert(ev.name.to_string(), new.fields["stars"].clone());
+            }
+        })
+        .unwrap();
+    }
+    assert_eq!(deliveries, 3, "the duplicate fault must redeliver");
+    assert_eq!(applied.len(), 1, "idempotent application collapses redeliveries");
+    assert_eq!(applied["/restaurants/one/ratings/1"], Value::Int(5));
+
+    // Outage over: one final delivery acks the message; the queue drains dry.
+    clock.advance(Duration::from_secs(11));
+    let n = TriggerExecutor::drain(db.queue(), tid, 10, |_| {}).unwrap();
+    assert_eq!(n, 1);
+    let n = TriggerExecutor::drain(db.queue(), tid, 10, |_| {}).unwrap();
+    assert_eq!(n, 0, "acked messages must not redeliver");
+}
+
+/// Acceptance: a listen stream survives a mid-stream Real-time Cache outage
+/// — it degrades to Spanner-backed polling, catches up, re-subscribes via
+/// the changelog, and the subscriber sees every event exactly once.
+#[test]
+fn listen_stream_survives_cache_outage_without_missed_or_duplicate_events() {
+    use realtime::{ChangeKind, ResilientListener};
+    use simkit::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+    use std::collections::HashMap;
+
+    let (db, cache) = setup();
+    let clock = db.spanner().truetime().clock().clone();
+    let conn = cache.connect();
+    let mut listener = ResilientListener::listen(
+        &db,
+        &conn,
+        Query::parse("/scores").unwrap(),
+        Caller::Service,
+    )
+    .unwrap();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut deliver = |events: Vec<realtime::ListenerEvent>| {
+        for e in events {
+            for c in &e.changes {
+                assert_eq!(c.kind, ChangeKind::Added, "only fresh documents here");
+                *seen.entry(c.doc.name.to_string()).or_default() += 1;
+            }
+        }
+    };
+    deliver(listener.poll().unwrap()); // empty initial snapshot
+
+    // Streaming delivery while healthy.
+    let put = |path: &str| {
+        db.commit_writes(
+            vec![Write::set(doc(path), [("v", Value::Int(1))])],
+            &Caller::Service,
+        )
+        .unwrap();
+    };
+    put("/scores/a");
+    cache.tick();
+    deliver(listener.poll().unwrap());
+
+    // The cache goes dark for 2 simulated seconds; writes keep landing.
+    let start = clock.now();
+    let plan = FaultPlan::new(13).rule(FaultRule::scheduled(
+        FaultKind::CacheUnavailable,
+        start,
+        start + Duration::from_secs(2),
+    ));
+    listener.set_fault_injector(Some(FaultInjector::new(clock.clone(), plan)));
+    put("/scores/b");
+    deliver(listener.poll().unwrap());
+    assert!(listener.is_degraded(), "outage must force polling fallback");
+    put("/scores/c");
+    deliver(listener.poll().unwrap());
+
+    // Outage ends: the listener recovers and streams again.
+    clock.advance(Duration::from_secs(3));
+    deliver(listener.poll().unwrap());
+    assert!(!listener.is_degraded(), "listener must re-subscribe");
+    put("/scores/d");
+    cache.tick();
+    deliver(listener.poll().unwrap());
+
+    assert_eq!(listener.stats().fallbacks, 1);
+    assert_eq!(listener.stats().recoveries, 1);
+    let mut names: Vec<_> = seen.keys().cloned().collect();
+    names.sort();
+    assert_eq!(names, ["/scores/a", "/scores/b", "/scores/c", "/scores/d"]);
+    assert!(
+        seen.values().all(|&n| n == 1),
+        "every event exactly once across the outage: {seen:?}"
+    );
+}

@@ -356,3 +356,39 @@ proptest! {
         prop_assert_eq!(run(false), run(true));
     }
 }
+
+// --- retry backoff determinism ----------------------------------------------
+
+proptest! {
+    /// Backoff delay sequences are a pure function of (policy, seed): the
+    /// same seed replays the identical jittered sequence, the sequence has
+    /// exactly `max_attempts - 1` delays, and every delay respects the
+    /// `max_backoff` hard cap (subtractive jitter never overshoots).
+    #[test]
+    fn backoff_sequences_deterministic_and_bounded(
+        seed in any::<u64>(),
+        initial_ms in 1u64..500,
+        cap_ms in 1u64..2_000,
+        attempts in 1u32..10,
+        jitter_pct in 0u32..101,
+    ) {
+        let policy = firestore_core::RetryPolicy {
+            initial_backoff: Duration::from_millis(initial_ms),
+            max_backoff: Duration::from_millis(cap_ms),
+            multiplier: 2.0,
+            max_attempts: attempts,
+            jitter: f64::from(jitter_pct) / 100.0,
+        };
+        let collect = || {
+            let mut b = firestore_core::Backoff::new(policy, seed);
+            std::iter::from_fn(|| b.next_delay()).collect::<Vec<_>>()
+        };
+        let first = collect();
+        let replay = collect();
+        prop_assert_eq!(&first, &replay, "same seed must replay identically");
+        prop_assert_eq!(first.len() as u32, attempts - 1);
+        for d in &first {
+            prop_assert!(*d <= policy.max_backoff, "delay {:?} exceeds cap {:?}", d, policy.max_backoff);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline vendored mini benchmark harness exposing the `criterion` API
+//! subset the workspace uses: `Criterion::bench_function`, `Bencher::iter`
+//! and `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Timing is wall-clock with a fixed warm-up and measurement budget; output
+//! is a single line per benchmark (median ns/iter). Good enough to compare
+//! hot paths locally without crates.io access.
+
+use std::time::{Duration, Instant};
+
+/// How batches are sized in [`Bencher::iter_batched`]; accepted for API
+/// compatibility — every batch holds one setup product.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup product per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to group functions.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark and print its median iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.samples.sort_unstable();
+        let median = b
+            .samples
+            .get(b.samples.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        println!("bench {id:<48} {median:>12.1} ns/iter ({} samples)", b.samples.len());
+        self
+    }
+}
+
+/// Runs the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<u64>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        while start.elapsed() < self.budget && self.samples.len() < 100_000 {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.budget && self.samples.len() < 100_000 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work.
+pub use std::hint::black_box;
+
+/// Declare a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(Vec::<u8>::new, |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,112 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (biased toward edge values).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // One case in eight is an edge value; the rest are raw bits.
+                if rng.chance(1, 8) {
+                    const EDGES: &[$t] = &[0, 1, <$t>::MAX, <$t>::MIN];
+                    EDGES[rng.usize_in(0, EDGES.len())]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        if rng.chance(1, 8) {
+            const EDGES: &[f64] = &[
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::MIN_POSITIVE,
+                f64::MAX,
+                f64::EPSILON,
+            ];
+            EDGES[rng.usize_in(0, EDGES.len())]
+        } else if rng.chance(1, 4) {
+            // A "reasonable" magnitude double.
+            (rng.next_u64() as i64 % 1_000_000) as f64 / 997.0
+        } else {
+            // Raw bit pattern: covers subnormals, infinities, NaNs.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        if rng.chance(3, 4) {
+            (0x20 + rng.below(0x5f) as u8) as char
+        } else {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_edges_and_bulk() {
+        let mut rng = TestRng::for_test("arb");
+        let vals: Vec<i64> = (0..256).map(|_| i64::arbitrary(&mut rng)).collect();
+        assert!(vals.contains(&0) || vals.contains(&i64::MAX) || vals.contains(&i64::MIN));
+        let distinct: std::collections::BTreeSet<_> = vals.iter().collect();
+        assert!(distinct.len() > 100, "raw-bit values should dominate");
+    }
+
+    #[test]
+    fn f64_hits_specials_sometimes() {
+        let mut rng = TestRng::for_test("arb-f64");
+        let vals: Vec<f64> = (0..512).map(|_| f64::arbitrary(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_finite()));
+        assert!(vals.iter().any(|v| *v == 0.0));
+    }
+}

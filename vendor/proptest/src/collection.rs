@@ -1,0 +1,93 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Vectors of `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = draw_size(&self.size, rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// BTree maps with up to `size` entries (duplicate keys collapse, as in
+/// upstream proptest).
+pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy { keys, values, size }
+}
+
+/// Strategy returned by [`btree_map`].
+#[derive(Clone, Debug)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = draw_size(&self.size, rng);
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            out.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        out
+    }
+}
+
+fn draw_size(range: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(range.start < range.end, "empty size range");
+    rng.usize_in(range.start, range.end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_size() {
+        let s = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn map_keys_collapse() {
+        let s = btree_map("[a-b]{1}", any::<u8>(), 0..8);
+        let mut rng = TestRng::for_test("map");
+        for _ in 0..50 {
+            let m = s.generate(&mut rng);
+            assert!(m.len() <= 2, "only two possible keys");
+        }
+    }
+}
