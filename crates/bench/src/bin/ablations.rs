@@ -117,33 +117,33 @@ fn ablation_query_plans() -> String {
     println!(
         "{:>28} {:>10} {:>8} {:>8}",
         "zig-zag (2 indexes)",
-        zigzag.stats.entries_scanned,
+        zigzag.stats.entries_examined,
         zigzag.stats.seeks,
         zigzag.documents.len()
     );
     println!(
         "{:>28} {:>10} {:>8} {:>8}",
         "dedicated composite",
-        composite.stats.entries_scanned,
+        composite.stats.entries_examined,
         composite.stats.seeks,
         composite.documents.len()
     );
     println!(
         "{:>28} {:>10} {:>8} {:>8}",
-        "naive scan + filter", all.stats.entries_scanned, 0, naive_matches
+        "naive scan + filter", all.stats.entries_examined, 0, naive_matches
     );
     println!(
         "→ the composite scans {:.1}x fewer entries than the zig-zag and {:.1}x fewer than a scan",
-        zigzag.stats.entries_scanned as f64 / composite.stats.entries_scanned.max(1) as f64,
-        all.stats.entries_scanned as f64 / composite.stats.entries_scanned.max(1) as f64,
+        zigzag.stats.entries_examined as f64 / composite.stats.entries_examined.max(1) as f64,
+        all.stats.entries_examined as f64 / composite.stats.entries_examined.max(1) as f64,
     );
     format!(
         "zigzag,{},{}\ncomposite,{},{}\nnaive,{},{}\n",
-        zigzag.stats.entries_scanned,
+        zigzag.stats.entries_examined,
         zigzag.stats.seeks,
-        composite.stats.entries_scanned,
+        composite.stats.entries_examined,
         composite.stats.seeks,
-        all.stats.entries_scanned,
+        all.stats.entries_examined,
         0
     )
 }

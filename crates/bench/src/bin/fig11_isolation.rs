@@ -59,7 +59,7 @@ fn run(mode: SchedulingMode) -> RunResult {
             .run_query(&q, firestore_core::Consistency::Strong, &Caller::Service)
             .unwrap();
         let c = svc.cost_model().query_cost(
-            result.stats.entries_scanned + result.stats.seeks * 4,
+            result.stats.entries_examined + result.stats.seeks * 4,
             result.stats.docs_fetched,
             result.stats.bytes_returned,
         );

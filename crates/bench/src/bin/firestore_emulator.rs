@@ -208,7 +208,7 @@ impl Emulator {
                         let mut out = format!(
                             "{} result(s), {} index entries scanned\n",
                             result.documents.len(),
-                            result.stats.entries_scanned
+                            result.stats.entries_examined
                         );
                         for d in &result.documents {
                             out.push_str(&format!("  {d}\n"));
@@ -229,7 +229,7 @@ impl Emulator {
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
                     "count = {n} ({} entries examined)",
-                    stats.entries_scanned
+                    stats.entries_examined
                 ))
             }
             "index" => {

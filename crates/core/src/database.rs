@@ -829,7 +829,7 @@ mod tests {
             .unwrap();
         let ids: Vec<&str> = res.documents.iter().map(|d| d.name.id()).collect();
         assert_eq!(ids, vec!["a", "c"]);
-        assert!(res.stats.entries_scanned >= 2);
+        assert!(res.stats.entries_examined >= 2);
     }
 
     #[test]
@@ -1129,7 +1129,7 @@ mod tests {
             .unwrap();
         assert_eq!(count, 10);
         assert!(
-            stats.entries_scanned >= 10,
+            stats.entries_examined >= 10,
             "the count is billed by entries examined"
         );
         assert_eq!(stats.docs_fetched, 0, "COUNT never fetches documents");

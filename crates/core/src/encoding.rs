@@ -46,7 +46,7 @@ const TAG_MAP: u8 = 0x50;
 const TAG_END: u8 = 0x00;
 
 /// Sort direction of an indexed field.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Direction {
     /// Ascending.
     Asc,

@@ -225,14 +225,27 @@ pub fn expand_fields(doc: &Document) -> Vec<(String, &Value)> {
 }
 
 /// Build the `IndexEntries` row key for `(directory, index, value bytes,
-/// document)`.
-pub fn entry_key(dir: DirectoryId, index: IndexId, value_bytes: &[u8], name: &DocumentName) -> Key {
+/// document)`. `name_dir` is the direction the implicit `__name__` tiebreak
+/// is stored in: it must follow the index's *last* field so a scan yields
+/// the query's name-tiebreak order in both scan directions (for an index
+/// `(city asc, rating desc)`, a forward scan must produce `rating desc,
+/// name desc` — the order `matching::order_key` defines).
+pub fn entry_key(
+    dir: DirectoryId,
+    index: IndexId,
+    value_bytes: &[u8],
+    name: &DocumentName,
+    name_dir: Direction,
+) -> Key {
     let name_enc = name.encode();
     let mut v = Vec::with_capacity(4 + 8 + value_bytes.len() + name_enc.len());
     v.extend_from_slice(&dir.prefix());
     v.extend_from_slice(&index.0.to_be_bytes());
     v.extend_from_slice(value_bytes);
-    v.extend_from_slice(&name_enc);
+    match name_dir {
+        Direction::Asc => v.extend_from_slice(&name_enc),
+        Direction::Desc => v.extend(name_enc.iter().map(|b| !b)),
+    }
     Key::from(v)
 }
 
@@ -263,13 +276,13 @@ pub fn entries_for_document(
         };
         let mut value_bytes = Vec::new();
         encode_value_asc(value, &mut value_bytes);
-        keys.push(entry_key(dir, index, &value_bytes, &doc.name));
+        keys.push(entry_key(dir, index, &value_bytes, &doc.name, Direction::Asc));
         if let Value::Array(items) = value {
             // Element entries for array-contains (§V-B2 flattening).
             for item in items {
                 let mut elem_bytes = vec![ARRAY_ELEMENT_TAG];
                 encode_value_asc(item, &mut elem_bytes);
-                keys.push(entry_key(dir, index, &elem_bytes, &doc.name));
+                keys.push(entry_key(dir, index, &elem_bytes, &doc.name, Direction::Asc));
             }
         }
     }
@@ -289,7 +302,8 @@ pub fn entries_for_document(
             }
         }
         if complete {
-            keys.push(entry_key(dir, def.id, &tuple, &doc.name));
+            let name_dir = def.fields.last().expect("composite has fields").direction;
+            keys.push(entry_key(dir, def.id, &tuple, &doc.name, name_dir));
         }
     }
     keys
@@ -461,6 +475,34 @@ mod tests {
         let kb = entries_for_document(&mut cat, dir(), &doc_b, &[IndexState::Ready]);
         // Same index, value 1 sorts before value 2.
         assert!(ka[0] < kb[0]);
+    }
+
+    #[test]
+    fn desc_last_composite_stores_name_reversed() {
+        // An index ending in a descending field stores the name tiebreak
+        // descending too, so a forward scan yields (value desc, name desc)
+        // — the order matching::order_key defines for rating ties.
+        let mut cat = IndexCatalog::new();
+        let id = cat.add_composite(
+            "r",
+            vec![IndexedField::asc("city"), IndexedField::desc("rating")],
+            IndexState::Ready,
+        );
+        let c = crate::path::CollectionPath::parse("/r").unwrap();
+        let fields = [("city", Value::from("SF")), ("rating", Value::Int(4))];
+        let doc_a = Document::new(c.doc("a"), fields.clone());
+        let doc_b = Document::new(c.doc("b"), fields);
+        let prefix = index_prefix(dir(), id);
+        let mut key_of = |d: &Document| {
+            entries_for_document(&mut cat, dir(), d, &[IndexState::Ready])
+                .into_iter()
+                .find(|k| k.has_prefix(&prefix))
+                .unwrap()
+        };
+        let ka = key_of(&doc_a);
+        let kb = key_of(&doc_b);
+        // Equal (city, rating): the name decides, reversed — "b" first.
+        assert!(kb < ka);
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub fn matches_document(query: &Query, doc: &Document) -> bool {
                 }
                 _ => false,
             },
+            FilterOp::In => match &f.value {
+                Value::Array(candidates) => {
+                    let have = encoded(value);
+                    candidates.iter().any(|c| encoded(c) == have)
+                }
+                _ => false,
+            },
             FilterOp::Lt | FilterOp::Le | FilterOp::Gt | FilterOp::Ge => {
                 // Inequalities only match values of the same type class.
                 if class_tags(value) != class_tags(&f.value) {
@@ -166,6 +173,27 @@ mod tests {
             &q("/c").filter("tags", FilterOp::ArrayContains, "a"),
             &scalar
         ));
+    }
+
+    #[test]
+    fn in_matches_any_candidate() {
+        let d = doc("/c/d", vec![("city", Value::from("SF"))]);
+        let hit = q("/c").filter(
+            "city",
+            FilterOp::In,
+            Value::Array(vec![Value::from("NY"), Value::from("SF")]),
+        );
+        assert!(matches_document(&hit, &d));
+        let miss = q("/c").filter(
+            "city",
+            FilterOp::In,
+            Value::Array(vec![Value::from("NY"), Value::from("LA")]),
+        );
+        assert!(!matches_document(&miss, &d));
+        // Int/double unify inside `in` like plain equality.
+        let num = doc("/c/d", vec![("n", Value::Double(3.0))]);
+        let q_in = q("/c").filter("n", FilterOp::In, Value::Array(vec![Value::Int(3)]));
+        assert!(matches_document(&q_in, &num));
     }
 
     #[test]

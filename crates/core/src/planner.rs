@@ -19,6 +19,7 @@
 use crate::encoding::{class_tags, encode_value, Direction};
 use crate::error::{FirestoreError, FirestoreResult};
 use crate::index::{index_prefix, IndexCatalog, IndexId, IndexState, ARRAY_ELEMENT_TAG};
+use crate::path::DocumentName;
 use crate::query::{FilterOp, Query};
 use spanner::database::DirectoryId;
 use std::collections::BTreeMap;
@@ -49,9 +50,20 @@ pub struct SuffixBound {
     pub inclusive: bool,
 }
 
-/// A full query plan.
+/// One participant of a zig-zag join: a single index scan, or — when the
+/// query has an `in` filter covered by this index — a *union* of equality
+/// scans, one arm per `in` alternative. All arms share the suffix structure,
+/// so the union merged in suffix order is itself suffix-ordered (distinct
+/// `in` values produce disjoint posting lists).
 #[derive(Clone, Debug, PartialEq)]
-pub enum Plan {
+pub struct IndexScan {
+    /// The union arms (exactly one for a plain scan, ≤10 for `in`).
+    pub arms: Vec<ScanSpec>,
+}
+
+/// The access path of a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanNode {
     /// Scan the `Entities` table over the collection's key range (queries
     /// with no predicates and name-only ordering).
     PrimaryScan {
@@ -61,19 +73,42 @@ pub enum Plan {
     /// Scan one index, or zig-zag join several.
     IndexScans {
         /// The participating scans (one = plain scan, several = zig-zag).
-        scans: Vec<ScanSpec>,
+        scans: Vec<IndexScan>,
         /// Scan all participants backwards (sort orders are the reverse of
         /// the stored direction).
         reverse: bool,
     },
 }
 
+/// The result window pushed down into the executor: how few index entries
+/// the scan can get away with examining. The executor stops pulling from
+/// the merged stream once `offset + limit` results past the cursor have
+/// been produced (§IV-D3: cost scales with the result set).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Window {
+    /// Results to skip after cursor positioning.
+    pub offset: usize,
+    /// Maximum results to return.
+    pub limit: Option<usize>,
+    /// Resume cursor: skip results up to and including this document.
+    pub start_after: Option<DocumentName>,
+}
+
+/// A full query plan: an access path plus the pushdown window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// The access path.
+    pub node: PlanNode,
+    /// Offset/limit/cursor bounds the executor enforces while streaming.
+    pub window: Window,
+}
+
 impl Plan {
     /// Number of indexes joined (0 for a primary scan).
     pub fn joined_indexes(&self) -> usize {
-        match self {
-            Plan::PrimaryScan { .. } => 0,
-            Plan::IndexScans { scans, .. } => scans.len(),
+        match &self.node {
+            PlanNode::PrimaryScan { .. } => 0,
+            PlanNode::IndexScans { scans, .. } => scans.len(),
         }
     }
 }
@@ -85,6 +120,9 @@ struct Candidate {
     equality_fields: Vec<(String, Direction)>,
     /// Stored directions of the suffix fields.
     suffix_dirs: Vec<Direction>,
+    /// Direction the implicit `__name__` tiebreak is stored in (the index's
+    /// last field direction; ascending for auto indexes).
+    name_dir: Direction,
 }
 
 /// Plan `query` against `catalog`. `dir` scopes entry keys to the database's
@@ -99,6 +137,12 @@ pub fn plan_query(
     // with the name implicitly (it is part of every entry key).
     let orders: Vec<(String, Direction)> = effective_orders[..effective_orders.len() - 1].to_vec();
     let name_dir = effective_orders.last().expect("always present").1;
+
+    let window = Window {
+        offset: query.offset,
+        limit: query.limit,
+        start_after: query.start_after.clone(),
+    };
 
     // Equality predicates by field (validate() guarantees ≤1 array-contains
     // and a single inequality field).
@@ -120,8 +164,11 @@ pub fn plan_query(
     // No predicates and no value orders: the Entities table itself is the
     // name-ordered "index".
     if equalities.is_empty() && inequalities.is_empty() && orders.is_empty() {
-        return Ok(Plan::PrimaryScan {
-            reverse: name_dir == Direction::Desc,
+        return Ok(Plan {
+            node: PlanNode::PrimaryScan {
+                reverse: name_dir == Direction::Desc,
+            },
+            window,
         });
     }
 
@@ -141,6 +188,7 @@ pub fn plan_query(
                     index: id,
                     equality_fields: vec![(field.clone(), Direction::Asc)],
                     suffix_dirs: vec![],
+                    name_dir: Direction::Asc,
                 });
             }
         }
@@ -152,6 +200,7 @@ pub fn plan_query(
                     index: id,
                     equality_fields: vec![],
                     suffix_dirs: vec![Direction::Asc],
+                    name_dir: Direction::Asc,
                 });
             }
         }
@@ -164,8 +213,14 @@ pub fn plan_query(
         }
         let split = def.fields.len() - requested_suffix.len();
         let (eq_part, suffix_part) = def.fields.split_at(split);
-        // Every leading field must have an equality predicate.
-        if !eq_part.iter().all(|f| equalities.contains_key(&f.path)) {
+        // Every leading field must have an equality predicate — and not an
+        // `array-contains` one: per-element entries exist only in the auto
+        // single-field indexes (composites store the whole array value).
+        if !eq_part.iter().all(|f| {
+            equalities
+                .get(&f.path)
+                .is_some_and(|flt| flt.op != FilterOp::ArrayContains)
+        }) {
             continue;
         }
         // Suffix fields must match the requested orders, either all in the
@@ -197,82 +252,100 @@ pub fn plan_query(
                 .map(|f| (f.path.clone(), f.direction))
                 .collect(),
             suffix_dirs: suffix_part.iter().map(|f| f.direction).collect(),
+            name_dir: def.fields.last().expect("composite has fields").direction,
         });
     }
 
-    // Greedy selection: cover all equality fields with the fewest indexes,
-    // while keeping the suffix byte-encoding consistent across picks.
-    let mut uncovered: std::collections::BTreeSet<String> = equalities.keys().cloned().collect();
-    let mut chosen: Vec<&Candidate> = Vec::new();
-    let mut suffix_dirs: Option<Vec<Direction>> = None;
+    // Greedy selection: cover all equality fields with the fewest indexes.
+    // The zig-zag merge compares raw suffix bytes, so every participant
+    // must store the sort-order values *and* the implicit name tiebreak in
+    // the same directions. Candidates therefore partition into constraint
+    // groups by `(suffix_dirs, name_dir)`; the greedy pass runs once per
+    // group and the smallest successful join wins (a single global pass
+    // could dead-end by pinning a group that cannot cover the rest).
+    let mut groups: Vec<(Vec<Direction>, Direction)> = candidates
+        .iter()
+        .map(|c| (c.suffix_dirs.clone(), c.name_dir))
+        .collect();
+    groups.sort();
+    groups.dedup();
 
-    // When the query has sort orders, at least one chosen index must carry
-    // the suffix — every candidate here does, by construction.
-    loop {
-        let need_first = chosen.is_empty() && !requested_suffix.is_empty();
-        if !need_first && uncovered.is_empty() {
-            break;
-        }
-        let best = candidates
+    let mut best_choice: Option<(Vec<&Candidate>, Direction)> = None;
+    for (g_suffix, g_name) in &groups {
+        let pool: Vec<&Candidate> = candidates
             .iter()
-            .filter(|c| match &suffix_dirs {
-                Some(dirs) => &c.suffix_dirs == dirs,
-                None => true,
-            })
-            .filter(|c| !chosen.iter().any(|ch| ch.index == c.index))
-            .max_by_key(|c| {
-                let coverage = c
-                    .equality_fields
-                    .iter()
-                    .filter(|(p, _)| uncovered.contains(p))
-                    .count();
-                // Prefer coverage; tie-break on fewer total fields (cheaper
-                // posting lists).
-                (coverage, usize::MAX - c.equality_fields.len())
-            });
-        let best = match best {
-            Some(c)
-                if !c.equality_fields.is_empty()
-                    && c.equality_fields
+            .filter(|c| &c.suffix_dirs == g_suffix && c.name_dir == *g_name)
+            .collect();
+        let mut uncovered: std::collections::BTreeSet<String> =
+            equalities.keys().cloned().collect();
+        let mut chosen: Vec<&Candidate> = Vec::new();
+        let covered = loop {
+            let need_first = chosen.is_empty() && !requested_suffix.is_empty();
+            if !need_first && uncovered.is_empty() {
+                break true;
+            }
+            let best = pool
+                .iter()
+                .filter(|c| !chosen.iter().any(|ch| ch.index == c.index))
+                .max_by_key(|c| {
+                    let coverage = c
+                        .equality_fields
                         .iter()
-                        .all(|(p, _)| !uncovered.contains(p))
-                    && !need_first =>
-            {
-                None
-            }
-            other => other,
-        };
-        match best {
-            None => {
-                let mut fields: Vec<String> =
-                    equalities.keys().map(|f| format!("{f} asc")).collect();
-                fields.extend(requested_suffix.iter().map(|(f, d)| {
-                    format!("{f} {}", if *d == Direction::Asc { "asc" } else { "desc" })
-                }));
-                return Err(FirestoreError::MissingIndex {
-                    suggestion: format!(
-                        "composite index on {collection_id} ({})",
-                        fields.join(", ")
-                    ),
+                        .filter(|(p, _)| uncovered.contains(p))
+                        .count();
+                    // Prefer coverage; tie-break on fewer total fields
+                    // (cheaper posting lists).
+                    (coverage, usize::MAX - c.equality_fields.len())
                 });
-            }
-            Some(c) => {
-                for (p, _) in &c.equality_fields {
-                    uncovered.remove(p);
+            let best = match best {
+                Some(c)
+                    if !c.equality_fields.is_empty()
+                        && c.equality_fields
+                            .iter()
+                            .all(|(p, _)| !uncovered.contains(p))
+                        && !need_first =>
+                {
+                    None
                 }
-                if suffix_dirs.is_none() {
-                    suffix_dirs = Some(c.suffix_dirs.clone());
+                other => other.copied(),
+            };
+            match best {
+                None => break false,
+                Some(c) => {
+                    for (p, _) in &c.equality_fields {
+                        uncovered.remove(p);
+                    }
+                    chosen.push(c);
                 }
-                chosen.push(c);
             }
+        };
+        if covered && best_choice.as_ref().is_none_or(|(b, _)| chosen.len() < b.len()) {
+            best_choice = Some((chosen, *g_name));
         }
     }
 
-    // Resolve global scan direction: forward iff the stored suffix
-    // directions equal the requested ones.
-    let stored_dirs = suffix_dirs.unwrap_or_default();
+    let Some((chosen, chosen_name_dir)) = best_choice else {
+        let mut fields: Vec<String> = equalities.keys().map(|f| format!("{f} asc")).collect();
+        fields.extend(requested_suffix.iter().map(|(f, d)| {
+            format!("{f} {}", if *d == Direction::Asc { "asc" } else { "desc" })
+        }));
+        return Err(FirestoreError::MissingIndex {
+            suggestion: format!("composite index on {collection_id} ({})", fields.join(", ")),
+        });
+    };
+
+    // Resolve global scan direction. With sort orders: forward iff the
+    // stored suffix directions equal the requested ones (the stored name
+    // direction follows the last suffix field, so it comes out right in
+    // both cases). Without sort orders the suffix is just the name, and
+    // the scan runs backwards iff its stored direction disagrees with the
+    // requested name order.
+    let stored_dirs = chosen
+        .first()
+        .map(|c| c.suffix_dirs.clone())
+        .unwrap_or_default();
     let reverse = if requested_suffix.is_empty() {
-        name_dir == Direction::Desc
+        chosen_name_dir != name_dir
     } else {
         stored_dirs
             .iter()
@@ -280,31 +353,86 @@ pub fn plan_query(
             .all(|(stored, (_, want))| *stored == want.reversed())
     };
 
-    // Build scan specs.
+    // Build scan specs. Each `in` alternative multiplies the prefix set,
+    // yielding one union arm per alternative (validate() caps `in` arrays
+    // at 10 elements and one `in` per query, so ≤10 arms per index).
     let mut scans = Vec::with_capacity(chosen.len());
     for c in &chosen {
-        let mut prefix = index_prefix(dir, c.index);
+        let mut prefixes = vec![index_prefix(dir, c.index)];
         for (path, stored_dir) in &c.equality_fields {
             let filter = equalities[path];
             match filter.op {
                 FilterOp::ArrayContains => {
-                    prefix.push(ARRAY_ELEMENT_TAG);
-                    // Element entries are stored ascending (auto indexes).
-                    encode_value(&filter.value, Direction::Asc, &mut prefix);
+                    for p in &mut prefixes {
+                        p.push(ARRAY_ELEMENT_TAG);
+                        // Element entries are stored ascending (auto indexes).
+                        encode_value(&filter.value, Direction::Asc, p);
+                    }
                 }
-                _ => encode_value(&filter.value, *stored_dir, &mut prefix),
+                FilterOp::In => {
+                    let crate::document::Value::Array(alts) = &filter.value else {
+                        return Err(FirestoreError::Internal(
+                            "validated `in` filter must hold an array".into(),
+                        ));
+                    };
+                    // Dedupe alternatives by encoding (3 and 3.0 are the
+                    // same posting list); sort for a deterministic plan.
+                    let mut encs: Vec<Vec<u8>> = alts
+                        .iter()
+                        .map(|v| {
+                            let mut b = Vec::new();
+                            encode_value(v, *stored_dir, &mut b);
+                            b
+                        })
+                        .collect();
+                    encs.sort();
+                    encs.dedup();
+                    prefixes = prefixes
+                        .iter()
+                        .flat_map(|p| {
+                            encs.iter().map(move |e| {
+                                let mut np = p.clone();
+                                np.extend_from_slice(e);
+                                np
+                            })
+                        })
+                        .collect();
+                }
+                _ => {
+                    for p in &mut prefixes {
+                        encode_value(&filter.value, *stored_dir, p);
+                    }
+                }
             }
         }
-        let (lower, upper) = inequality_bounds(&inequalities, &stored_dirs)?;
-        scans.push(ScanSpec {
-            index: c.index,
-            prefix,
-            lower,
-            upper,
-        });
+        let (lower, mut upper) = inequality_bounds(&inequalities, &stored_dirs)?;
+        // An ascending value suffix with no upper bound would sweep past the
+        // whole-value entries into the per-element array entries of an auto
+        // index (ARRAY_ELEMENT_TAG sorts above every value type tag). Clamp
+        // the scan below the marker; descending suffixes are composites,
+        // which never store element entries.
+        if upper.is_none() && stored_dirs.first() == Some(&Direction::Asc) {
+            upper = Some(SuffixBound {
+                value_bytes: vec![ARRAY_ELEMENT_TAG],
+                inclusive: false,
+            });
+        }
+        let arms = prefixes
+            .into_iter()
+            .map(|prefix| ScanSpec {
+                index: c.index,
+                prefix,
+                lower: lower.clone(),
+                upper: upper.clone(),
+            })
+            .collect();
+        scans.push(IndexScan { arms });
     }
 
-    Ok(Plan::IndexScans { scans, reverse })
+    Ok(Plan {
+        node: PlanNode::IndexScans { scans, reverse },
+        window,
+    })
 }
 
 /// Translate inequality predicates into suffix bounds in the *stored*
@@ -321,6 +449,61 @@ fn inequality_bounds(
         .ok_or_else(|| FirestoreError::Internal("inequality without a suffix field".into()))?;
     let mut lower: Option<SuffixBound> = None;
     let mut upper: Option<SuffixBound> = None;
+    // Keep the tighter of two bounds on one side. Inclusive bounds are
+    // *prefix*-inclusive (they reach past longer encodings starting with the
+    // same bytes — that is how `scan_range` realises them), so raw byte
+    // comparison misjudges them: `[tag]` inclusive spans a whole type class
+    // and is looser than `[tag, …]` despite sorting first. Compare the
+    // effective half-open endpoints the executor will scan between instead.
+    fn prefix_successor(bytes: &[u8]) -> Option<Vec<u8>> {
+        let mut v = bytes.to_vec();
+        while let Some(last) = v.last_mut() {
+            if *last == 0xFF {
+                v.pop();
+            } else {
+                *last += 1;
+                return Some(v);
+            }
+        }
+        None
+    }
+    fn tighten(slot: &mut Option<SuffixBound>, bound: SuffixBound, is_lower: bool) {
+        let Some(existing) = slot else {
+            *slot = Some(bound);
+            return;
+        };
+        let tighter = if is_lower {
+            // Scan starts at the bound bytes (inclusive) or just past every
+            // key prefixed by them (exclusive); higher start is tighter.
+            let start = |b: &SuffixBound| {
+                if b.inclusive {
+                    b.value_bytes.clone()
+                } else {
+                    prefix_successor(&b.value_bytes).unwrap_or_else(|| vec![0xFF; 64])
+                }
+            };
+            start(&bound) > start(existing)
+        } else {
+            // Scan ends before the bound bytes (exclusive) or after every
+            // key prefixed by them (inclusive); lower end is tighter, and
+            // `None` (successor overflow) is unbounded.
+            let end = |b: &SuffixBound| {
+                if b.inclusive {
+                    prefix_successor(&b.value_bytes)
+                } else {
+                    Some(b.value_bytes.clone())
+                }
+            };
+            match (end(&bound), end(existing)) {
+                (Some(new), Some(old)) => new < old,
+                (Some(_), None) => true,
+                (None, _) => false,
+            }
+        };
+        if tighter {
+            *slot = Some(bound);
+        }
+    }
     for f in inequalities {
         let mut bytes = Vec::new();
         encode_value(&f.value, stored, &mut bytes);
@@ -333,63 +516,40 @@ fn inequality_bounds(
             _ => unreachable!("only inequalities reach here"),
         };
         let inclusive = matches!(f.op, FilterOp::Ge | FilterOp::Le);
-        let bound = SuffixBound {
-            value_bytes: bytes,
-            inclusive,
+        tighten(
+            if is_lower { &mut lower } else { &mut upper },
+            SuffixBound {
+                value_bytes: bytes,
+                inclusive,
+            },
+            is_lower,
+        );
+        // Each inequality also clamps its *other* side to the value's type
+        // class: inequalities only match values of the same type (`n > 2`
+        // excludes strings even though strings sort above every number).
+        // With mixed-type bounds the classes intersect to nothing and the
+        // scan range collapses to empty.
+        let (first, last) = class_tags(&f.value);
+        let (class_lo, class_hi) = match stored {
+            Direction::Asc => (vec![first], vec![last]),
+            Direction::Desc => (vec![!last], vec![!first]),
         };
-        let slot = if is_lower { &mut lower } else { &mut upper };
-        match slot {
-            None => *slot = Some(bound),
-            Some(existing) => {
-                // Keep the tighter bound.
-                let tighter = if is_lower {
-                    bound.value_bytes > existing.value_bytes
-                        || (bound.value_bytes == existing.value_bytes && !bound.inclusive)
-                } else {
-                    bound.value_bytes < existing.value_bytes
-                        || (bound.value_bytes == existing.value_bytes && !bound.inclusive)
-                };
-                if tighter {
-                    *slot = Some(bound);
-                }
-            }
-        }
-    }
-    // Fill the missing side with the value's type-class bound: inequalities
-    // only match values of the same type (e.g. `n > 2` excludes strings even
-    // though strings sort above every number).
-    let class = class_tags(&inequalities[0].value);
-    let (first, last) = class;
-    match stored {
-        Direction::Asc => {
-            if lower.is_none() {
-                lower = Some(SuffixBound {
-                    value_bytes: vec![first],
-                    inclusive: true,
-                });
-            }
-            if upper.is_none() {
-                // Prefix-inclusive on the last tag covers the whole class.
-                upper = Some(SuffixBound {
-                    value_bytes: vec![last],
-                    inclusive: true,
-                });
-            }
-        }
-        Direction::Desc => {
-            if lower.is_none() {
-                lower = Some(SuffixBound {
-                    value_bytes: vec![!last],
-                    inclusive: true,
-                });
-            }
-            if upper.is_none() {
-                upper = Some(SuffixBound {
-                    value_bytes: vec![!first],
-                    inclusive: true,
-                });
-            }
-        }
+        tighten(
+            &mut lower,
+            SuffixBound {
+                value_bytes: class_lo,
+                inclusive: true,
+            },
+            true,
+        );
+        tighten(
+            &mut upper,
+            SuffixBound {
+                value_bytes: class_hi,
+                inclusive: true,
+            },
+            false,
+        );
     }
     Ok((lower, upper))
 }
@@ -412,7 +572,8 @@ mod tests {
     fn bare_collection_scan_uses_primary() {
         let mut cat = IndexCatalog::new();
         let p = plan(&mut cat, Query::parse("/restaurants").unwrap()).unwrap();
-        assert_eq!(p, Plan::PrimaryScan { reverse: false });
+        assert_eq!(p.node, PlanNode::PrimaryScan { reverse: false });
+        assert_eq!(p.window, Window::default());
     }
 
     #[test]
@@ -421,11 +582,13 @@ mod tests {
         let q = Query::parse("/restaurants")
             .unwrap()
             .filter("city", FilterOp::Eq, "SF");
-        match plan(&mut cat, q).unwrap() {
-            Plan::IndexScans { scans, reverse } => {
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, reverse } => {
                 assert_eq!(scans.len(), 1);
                 assert!(!reverse);
-                assert!(scans[0].lower.is_none() && scans[0].upper.is_none());
+                assert_eq!(scans[0].arms.len(), 1);
+                let arm = &scans[0].arms[0];
+                assert!(arm.lower.is_none() && arm.upper.is_none());
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -439,8 +602,8 @@ mod tests {
             .unwrap()
             .filter("city", FilterOp::Eq, "SF")
             .filter("type", FilterOp::Eq, "BBQ");
-        match plan(&mut cat, q).unwrap() {
-            Plan::IndexScans { scans, .. } => assert_eq!(scans.len(), 2),
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, .. } => assert_eq!(scans.len(), 2),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -454,11 +617,11 @@ mod tests {
             .unwrap()
             .filter("numRatings", FilterOp::Gt, 2i64)
             .order_by("numRatings", Direction::Desc);
-        match plan(&mut cat, q).unwrap() {
-            Plan::IndexScans { scans, reverse } => {
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, reverse } => {
                 assert_eq!(scans.len(), 1);
                 assert!(reverse);
-                let s = &scans[0];
+                let s = &scans[0].arms[0];
                 assert!(s.lower.is_some());
                 assert!(!s.lower.as_ref().unwrap().inclusive);
                 // The open side is clamped to the number type class.
@@ -491,8 +654,8 @@ mod tests {
             vec![IndexedField::asc("city"), IndexedField::desc("avgRating")],
             IndexState::Ready,
         );
-        match plan(&mut cat, q).unwrap() {
-            Plan::IndexScans { scans, reverse } => {
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, reverse } => {
                 assert_eq!(scans.len(), 1);
                 assert!(!reverse, "stored desc matches requested desc");
             }
@@ -520,8 +683,8 @@ mod tests {
             .filter("city", FilterOp::Eq, "New York")
             .filter("type", FilterOp::Eq, "BBQ")
             .order_by("avgRating", Direction::Desc);
-        match plan(&mut cat, q).unwrap() {
-            Plan::IndexScans { scans, reverse } => {
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, reverse } => {
                 assert_eq!(scans.len(), 2);
                 assert!(!reverse);
             }
@@ -543,8 +706,8 @@ mod tests {
             .unwrap()
             .filter("city", FilterOp::Eq, "SF")
             .filter("type", FilterOp::Eq, "BBQ");
-        match plan(&mut cat, q).unwrap() {
-            Plan::IndexScans { scans, .. } => assert_eq!(scans.len(), 1),
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, .. } => assert_eq!(scans.len(), 1),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -573,8 +736,8 @@ mod tests {
         let q = Query::parse("/restaurants")
             .unwrap()
             .order_by("avgRating", Direction::Desc);
-        match plan(&mut cat, q).unwrap() {
-            Plan::IndexScans { scans, reverse } => {
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, reverse } => {
                 assert_eq!(scans.len(), 1);
                 assert!(reverse);
             }
@@ -589,14 +752,50 @@ mod tests {
             Query::parse("/restaurants")
                 .unwrap()
                 .filter("tags", FilterOp::ArrayContains, "bbq");
-        match plan(&mut cat, q).unwrap() {
-            Plan::IndexScans { scans, .. } => {
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, .. } => {
                 assert_eq!(scans.len(), 1);
                 // Prefix contains the element marker right after dir+id.
-                assert_eq!(scans[0].prefix[12], ARRAY_ELEMENT_TAG);
+                assert_eq!(scans[0].arms[0].prefix[12], ARRAY_ELEMENT_TAG);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn composite_never_covers_array_contains() {
+        // Composite entries hold the whole array value; only the auto
+        // index has per-element entries. A composite must not be chosen to
+        // serve `array-contains`, even when its fields line up.
+        let mut cat = IndexCatalog::new();
+        cat.add_composite(
+            "restaurants",
+            vec![IndexedField::asc("tags"), IndexedField::asc("city")],
+            IndexState::Ready,
+        );
+        let q = Query::parse("/restaurants")
+            .unwrap()
+            .filter("tags", FilterOp::ArrayContains, "bbq")
+            .filter("city", FilterOp::Eq, "SF");
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, .. } => {
+                assert_eq!(scans.len(), 2, "zig-zag of the two auto indexes");
+                assert!(scans
+                    .iter()
+                    .any(|s| s.arms[0].prefix.contains(&ARRAY_ELEMENT_TAG)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // With an order-by it cannot be served at all (no composite can
+        // carry the element entries).
+        let q = Query::parse("/restaurants")
+            .unwrap()
+            .filter("tags", FilterOp::ArrayContains, "bbq")
+            .order_by("city", Direction::Asc);
+        assert!(matches!(
+            plan(&mut cat, q),
+            Err(FirestoreError::MissingIndex { .. })
+        ));
     }
 
     #[test]
@@ -620,14 +819,117 @@ mod tests {
             .unwrap()
             .filter("n", FilterOp::Ge, 2i64)
             .filter("n", FilterOp::Lt, 9i64);
-        match plan(&mut cat, q).unwrap() {
-            Plan::IndexScans { scans, .. } => {
-                let s = &scans[0];
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, .. } => {
+                let s = &scans[0].arms[0];
                 assert!(s.lower.as_ref().unwrap().inclusive);
                 assert!(!s.upper.as_ref().unwrap().inclusive);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn order_by_scan_excludes_array_element_entries() {
+        // An unbounded ascending suffix scan must stop before the
+        // per-element array entries, or array-valued docs would surface
+        // once per element (and out of place) in order-by results.
+        let mut cat = IndexCatalog::new();
+        let q = Query::parse("/r")
+            .unwrap()
+            .order_by("v", Direction::Asc);
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, .. } => {
+                let upper = scans[0].arms[0].upper.as_ref().expect("clamped");
+                assert_eq!(upper.value_bytes, vec![ARRAY_ELEMENT_TAG]);
+                assert!(!upper.inclusive);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_type_inequalities_collapse_to_empty_range() {
+        use crate::document::Value;
+        // `a > "y" AND a <= [1]`: inequalities only match same-type values,
+        // so the conjunction is unsatisfiable. Each bound carries its type
+        // class, and the intersection inverts (upper below lower).
+        let mut cat = IndexCatalog::new();
+        let q = Query::parse("/r")
+            .unwrap()
+            .filter("a", FilterOp::Gt, "y")
+            .filter("a", FilterOp::Le, Value::Array(vec![Value::Int(1)]))
+            .order_by("a", Direction::Asc);
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, .. } => {
+                let arm = &scans[0].arms[0];
+                let lower = arm.lower.as_ref().unwrap();
+                let upper = arm.upper.as_ref().unwrap();
+                assert!(
+                    upper.value_bytes < lower.value_bytes,
+                    "range must invert: {lower:?} vs {upper:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_filter_plans_union_arms() {
+        use crate::document::Value;
+        let mut cat = IndexCatalog::new();
+        // 3 and 3.0 encode identically: arms dedupe to two.
+        let q = Query::parse("/r").unwrap().filter(
+            "n",
+            FilterOp::In,
+            Value::Array(vec![Value::Int(3), Value::Int(7), Value::Double(3.0)]),
+        );
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, .. } => {
+                assert_eq!(scans.len(), 1);
+                assert_eq!(scans[0].arms.len(), 2);
+                assert_ne!(scans[0].arms[0].prefix, scans[0].arms[1].prefix);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_filter_joins_with_equality() {
+        use crate::document::Value;
+        let mut cat = IndexCatalog::new();
+        let q = Query::parse("/r")
+            .unwrap()
+            .filter("city", FilterOp::Eq, "SF")
+            .filter(
+                "type",
+                FilterOp::In,
+                Value::Array(vec![Value::from("BBQ"), Value::from("Thai")]),
+            );
+        match plan(&mut cat, q).unwrap().node {
+            PlanNode::IndexScans { scans, .. } => {
+                assert_eq!(scans.len(), 2, "zig-zag of city eq with type union");
+                let arm_counts: Vec<usize> = scans.iter().map(|s| s.arms.len()).collect();
+                let mut sorted = arm_counts.clone();
+                sorted.sort();
+                assert_eq!(sorted, vec![1, 2], "{arm_counts:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_is_pushed_down() {
+        let mut cat = IndexCatalog::new();
+        let q = Query::parse("/r")
+            .unwrap()
+            .filter("n", FilterOp::Eq, 1i64)
+            .limit(5)
+            .offset(2);
+        let p = plan(&mut cat, q).unwrap();
+        assert_eq!(p.window.limit, Some(5));
+        assert_eq!(p.window.offset, 2);
+        assert!(p.window.start_after.is_none());
     }
 
     #[test]
@@ -643,8 +945,8 @@ mod tests {
         // primary scan.
         let bare = Query::parse("/r").unwrap();
         assert_eq!(
-            plan(&mut cat, bare).unwrap(),
-            Plan::PrimaryScan { reverse: false }
+            plan(&mut cat, bare).unwrap().node,
+            PlanNode::PrimaryScan { reverse: false }
         );
         // Explicit __name__ order is uncommon; accept either planning.
         let _ = plan(&mut cat, q);

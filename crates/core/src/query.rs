@@ -26,6 +26,11 @@ pub enum FilterOp {
     Ge,
     /// Array membership (`array-contains`).
     ArrayContains,
+    /// Disjunctive equality (`in`): the field equals any element of the
+    /// filter's array constant. Served as a union of equality index scans
+    /// (one arm per element) merged in suffix order, so results stay in
+    /// query order without in-memory sorting.
+    In,
 }
 
 impl FilterOp {
@@ -198,6 +203,35 @@ impl Query {
                 "at most one array-contains filter is allowed".into(),
             ));
         }
+        // At most one `in` (a single disjunction per query, matching
+        // production), with a non-empty array constant of at most 10
+        // elements.
+        let ins: Vec<&FieldFilter> = self.filters.iter().filter(|f| f.op == FilterOp::In).collect();
+        if ins.len() > 1 {
+            return Err(FirestoreError::InvalidArgument(
+                "at most one `in` filter is allowed".into(),
+            ));
+        }
+        if let Some(f) = ins.first() {
+            match &f.value {
+                Value::Array(items) if items.is_empty() => {
+                    return Err(FirestoreError::InvalidArgument(
+                        "`in` requires a non-empty array of candidate values".into(),
+                    ));
+                }
+                Value::Array(items) if items.len() > 10 => {
+                    return Err(FirestoreError::InvalidArgument(
+                        "`in` supports at most 10 candidate values".into(),
+                    ));
+                }
+                Value::Array(_) => {}
+                _ => {
+                    return Err(FirestoreError::InvalidArgument(
+                        "`in` requires an array of candidate values".into(),
+                    ));
+                }
+            }
+        }
         let mut orders = self.order_by.clone();
         if let Some(field) = ineq_field {
             match orders.first() {
@@ -339,6 +373,38 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(matches!(err, FirestoreError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn in_filter_validation() {
+        // Well-formed `in` passes.
+        base()
+            .filter(
+                "city",
+                FilterOp::In,
+                Value::Array(vec![Value::from("SF"), Value::from("NY")]),
+            )
+            .validate()
+            .unwrap();
+        // Non-array constant rejected.
+        assert!(base()
+            .filter("city", FilterOp::In, "SF")
+            .validate()
+            .is_err());
+        // Empty array rejected.
+        assert!(base()
+            .filter("city", FilterOp::In, Value::Array(vec![]))
+            .validate()
+            .is_err());
+        // More than 10 candidates rejected.
+        let big = Value::Array((0..11).map(Value::Int).collect());
+        assert!(base().filter("n", FilterOp::In, big).validate().is_err());
+        // Two `in` filters rejected.
+        assert!(base()
+            .filter("a", FilterOp::In, Value::Array(vec![Value::Int(1)]))
+            .filter("b", FilterOp::In, Value::Array(vec![Value::Int(2)]))
+            .validate()
+            .is_err());
     }
 
     #[test]

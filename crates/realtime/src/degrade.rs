@@ -42,6 +42,9 @@ pub struct ListenerStats {
     pub fallbacks: u64,
     /// Degraded polls executed.
     pub polls: u64,
+    /// Degraded polls skipped because the strong read itself failed
+    /// transiently (retried at the next poll interval).
+    pub skipped_polls: u64,
     /// Successful re-subscriptions to the cache.
     pub recoveries: u64,
     /// `Reset` events received from the cache.
@@ -214,11 +217,21 @@ impl ResilientListener {
     fn poll_degraded(&mut self) -> FirestoreResult<Vec<ListenerEvent>> {
         self.stats.polls += 1;
         let ts = self.db.strong_read_ts();
-        let full = self.db.run_query(
+        let full = match self.db.run_query(
             &self.query.without_window(),
             Consistency::AtTimestamp(ts),
             &self.caller,
-        )?;
+        ) {
+            Ok(full) => full,
+            // The fallback is "strictly an enhancement" over the database:
+            // a transient storage error costs one poll interval, never the
+            // subscription. The next tick retries with a fresh timestamp.
+            Err(e) if e.is_retriable() => {
+                self.stats.skipped_polls += 1;
+                return Ok(Vec::new());
+            }
+            Err(e) => return Err(e),
+        };
         let visible = QueryView::new(self.query.clone(), full.documents.clone()).visible();
         let changes = self.diff_delivered(&visible);
         self.last_ts = ts;

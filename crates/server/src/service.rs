@@ -239,13 +239,13 @@ impl FirestoreService {
             .record_reads(database, result.documents.len() as u64);
         let served = ServedRequest {
             cpu_cost: self.cost.query_cost(
-                result.stats.entries_scanned + result.stats.seeks * 4,
+                result.stats.entries_examined + result.stats.seeks * 4,
                 result.stats.docs_fetched,
                 result.stats.bytes_returned,
             ),
             storage_latency: self
                 .latency
-                .spanner_read(result.stats.entries_scanned.max(1), rng)
+                .spanner_read(result.stats.entries_examined.max(1), rng)
                 + self.latency.hop(rng),
         };
         Ok((result, served))

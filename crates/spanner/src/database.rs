@@ -273,6 +273,36 @@ impl SpannerDatabase {
         Ok(rows)
     }
 
+    /// Transactional scan in *reverse* key order: shared-locks each returned
+    /// key, reading at most `limit` rows from the top of the range. The
+    /// bounded reverse read lets descending limit queries inside
+    /// transactions lock only the rows they actually examine.
+    pub fn txn_scan_rev(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        table: TableName,
+        range: &KeyRange,
+        limit: usize,
+    ) -> SpannerResult<Vec<(Key, Bytes)>> {
+        if txn.closed {
+            return Err(SpannerError::TxnClosed(txn.id));
+        }
+        let (tid, data) = self.table(table)?;
+        let rows: Vec<(Key, Bytes)> = data
+            .store
+            .read()
+            .scan_rev_at(&range.clone(), Timestamp::MAX, limit)
+            .unwrap_or_default();
+        for (k, _) in &rows {
+            if let Err(e) = self.inner.locks.acquire(txn.id, tid, k, LockMode::Shared) {
+                self.abort(txn);
+                return Err(e);
+            }
+        }
+        txn.scanned_ranges.push((tid, range.clone()));
+        Ok(rows)
+    }
+
     /// Buffer an insert/update.
     pub fn txn_put(
         &self,
@@ -492,6 +522,32 @@ impl SpannerDatabase {
             .read_at_versioned(key, ts)
             .map_err(|_| SpannerError::SnapshotTooOld);
         r
+    }
+
+    /// Lock-free batched read of many keys at `ts`, returning value and
+    /// commit timestamp per key (in input order; `None` for absent rows).
+    /// One storage lock acquisition serves the whole page — the query
+    /// executor's per-result-page document fetch (§IV-D3).
+    pub fn snapshot_read_many_versioned(
+        &self,
+        table: TableName,
+        keys: &[Key],
+        ts: Timestamp,
+    ) -> SpannerResult<Vec<Option<(Bytes, Timestamp)>>> {
+        if self.inject(FaultKind::TabletUnavailable, "snapshot-read-many") {
+            return Err(SpannerError::Unavailable(
+                "snapshot-read-many: tablet unreachable",
+            ));
+        }
+        let (_, data) = self.table(table)?;
+        let store = data.store.read();
+        keys.iter()
+            .map(|k| {
+                store
+                    .read_at_versioned(k, ts)
+                    .map_err(|_| SpannerError::SnapshotTooOld)
+            })
+            .collect()
     }
 
     /// Transactional read (shared lock) returning the value and its commit

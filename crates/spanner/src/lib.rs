@@ -29,6 +29,7 @@
 //! applied to one in-process store; the latency a Paxos quorum would add is
 //! drawn from [`simkit::latency::LatencyModel`] by the serving layer.
 
+pub mod cursor;
 pub mod database;
 pub mod error;
 pub mod key;
@@ -38,6 +39,7 @@ pub mod mvcc;
 pub mod tablet;
 pub mod txn;
 
+pub use cursor::{RangeCursor, ScanBackend, SnapshotBackend};
 pub use database::{CommitInfo, SpannerDatabase, SpannerOptions, TableName};
 pub use error::{SpannerError, SpannerResult};
 pub use key::{Key, KeyRange};

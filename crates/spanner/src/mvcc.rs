@@ -166,6 +166,9 @@ impl MvccStore {
         if ts < self.gc_horizon {
             return Err(SnapshotTooOld);
         }
+        if range.is_empty() {
+            return Ok(Vec::new());
+        }
         let lower = Bound::Included(range.start.clone());
         let upper = match &range.end {
             Some(end) => Bound::Excluded(end.clone()),
@@ -195,6 +198,9 @@ impl MvccStore {
     ) -> Result<Vec<(Key, Bytes)>, SnapshotTooOld> {
         if ts < self.gc_horizon {
             return Err(SnapshotTooOld);
+        }
+        if range.is_empty() {
+            return Ok(Vec::new());
         }
         let lower = Bound::Included(range.start.clone());
         let upper = match &range.end {
@@ -228,6 +234,9 @@ impl MvccStore {
     ) -> Result<Vec<(Key, Bytes, Timestamp)>, SnapshotTooOld> {
         if ts < self.gc_horizon {
             return Err(SnapshotTooOld);
+        }
+        if range.is_empty() {
+            return Ok(Vec::new());
         }
         let lower = Bound::Included(range.start.clone());
         let upper = match &range.end {
@@ -300,6 +309,9 @@ impl MvccStore {
 
     /// The median live key of `range`, used by load-based tablet splitting.
     pub fn median_key_in(&self, range: &KeyRange) -> Option<Key> {
+        if range.is_empty() {
+            return None;
+        }
         let lower = Bound::Included(range.start.clone());
         let upper = match &range.end {
             Some(end) => Bound::Excluded(end.clone()),

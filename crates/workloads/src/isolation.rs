@@ -94,7 +94,7 @@ mod tests {
             .unwrap();
         // Zig-zag join scans a large share of both ~200-entry posting
         // lists even though it returns ~100 docs.
-        assert!(result.stats.entries_scanned > 150, "{:?}", result.stats);
+        assert!(result.stats.entries_examined > 150, "{:?}", result.stats);
         assert!(!result.documents.is_empty());
     }
 

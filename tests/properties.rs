@@ -50,6 +50,85 @@ fn value_sort_key(v: &Value) -> Vec<u8> {
 
 // --- encoding order ----------------------------------------------------------
 
+/// Structural reference order over values — Firestore's documented semantic
+/// order, written *without* the byte encoding: null < bool < numbers (NaN
+/// first, int and double unified, -0 == 0) < timestamp < string < bytes <
+/// reference < array (elementwise, shorter first) < map (as sorted key/value
+/// pairs). The encoding must agree with this bytewise.
+fn reference_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Double(_) => 2,
+            Value::Timestamp(_) => 3,
+            Value::Str(_) => 4,
+            Value::Bytes(_) => 5,
+            Value::Reference(_) => 6,
+            Value::Array(_) => 7,
+            Value::Map(_) => 8,
+        }
+    }
+    fn num_cmp(x: f64, y: f64) -> Ordering {
+        // NaN sorts before every number; -0 and 0 are equal.
+        match (x.is_nan(), y.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => {
+                let (x, y) = (x + 0.0, y + 0.0); // -0.0 → 0.0
+                x.partial_cmp(&y).expect("non-NaN")
+            }
+        }
+    }
+    fn as_f64(v: &Value) -> f64 {
+        match v {
+            Value::Int(i) => *i as f64,
+            Value::Double(x) => *x,
+            _ => unreachable!("only numbers"),
+        }
+    }
+    match rank(a).cmp(&rank(b)) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Int(_) | Value::Double(_), Value::Int(_) | Value::Double(_)) => {
+            num_cmp(as_f64(a), as_f64(b))
+        }
+        (Value::Timestamp(x), Value::Timestamp(y)) => x.cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.as_bytes().cmp(y.as_bytes()),
+        (Value::Bytes(x), Value::Bytes(y)) => x.cmp(y),
+        (Value::Reference(x), Value::Reference(y)) => x.encode().cmp(&y.encode()),
+        (Value::Array(x), Value::Array(y)) => {
+            for (xi, yi) in x.iter().zip(y.iter()) {
+                match reference_cmp(xi, yi) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            for ((xk, xv), (yk, yv)) in x.iter().zip(y.iter()) {
+                match xk.as_bytes().cmp(yk.as_bytes()) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+                match reference_cmp(xv, yv) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => unreachable!("ranks matched"),
+    }
+}
+
 proptest! {
     /// The index encoding is *order-preserving and prefix-free*: for any two
     /// values, byte order is a total order, equal encodings imply rules-equal
@@ -64,6 +143,21 @@ proptest! {
                 "prefix collision between {a:?} and {b:?}"
             );
         }
+    }
+
+    /// The index encoding is *order-preserving*: byte order of encodings
+    /// equals the structural reference order — `encode(a) < encode(b)` iff
+    /// `a < b` under Firestore's documented value order. This is the single
+    /// property the whole index-scan design leans on: a linear scan of
+    /// IndexEntries rows IS a sorted walk of the logical index.
+    #[test]
+    fn encoding_preserves_reference_order(a in arb_value(), b in arb_value()) {
+        let byte_order = value_sort_key(&a).cmp(&value_sort_key(&b));
+        prop_assert_eq!(
+            byte_order,
+            reference_cmp(&a, &b),
+            "byte order disagrees with semantic order for {:?} vs {:?}", a, b
+        );
     }
 
     /// Tuple-order consistency: concatenating encodings compares like

@@ -1,0 +1,426 @@
+//! Differential query conformance: seeded random worlds and random queries
+//! executed through the planner + streaming executor must agree *exactly*
+//! (membership and order) with a naive full-scan oracle built on
+//! `firestore_core::matching` — the module that defines query semantics by
+//! the index encoding.
+//!
+//! Seed control:
+//! * `CONFORMANCE_SEED` — RNG seed (default fixed; CI's nightly job sets a
+//!   random one and prints it for reproduction).
+//! * `CONFORMANCE_CASES` — number of query cases (default 1000).
+//!
+//! The file also pins the executor's limit-pushdown invariant: a limit-k
+//! query examines O(k) index entries regardless of index size.
+
+use firestore_core::database::{create_index_blocking, doc, FirestoreDatabase};
+use firestore_core::index::IndexedField;
+use firestore_core::matching::{matches_document, order_key};
+use firestore_core::{
+    Caller, Consistency, Direction, Document, DocumentName, FilterOp, FirestoreError, Query,
+    Value, Write,
+};
+use simkit::{Duration, SimClock, SimRng};
+use spanner::SpannerDatabase;
+
+const FIELDS: [&str; 3] = ["a", "b", "c"];
+
+fn fresh_db() -> FirestoreDatabase {
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    FirestoreDatabase::create_default(SpannerDatabase::new(clock))
+}
+
+/// Values drawn from a small pool so random equality/`in` filters actually
+/// intersect. Int/double collisions (3 vs 3.0) are deliberate.
+fn pool_value(rng: &mut SimRng) -> Value {
+    match rng.gen_range(9) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 | 3 => Value::Int(rng.gen_range(5) as i64),
+        4 => Value::Double(rng.gen_range(5) as f64),
+        5 => Value::Double(rng.gen_range(5) as f64 + 0.5),
+        6 | 7 => Value::Str(["x", "y", "z", "zz"][rng.gen_range(4) as usize].to_string()),
+        _ => Value::Array(
+            (0..1 + rng.gen_range(3))
+                .map(|_| Value::Int(rng.gen_range(3) as i64))
+                .collect(),
+        ),
+    }
+}
+
+/// A random world: a database with composite indexes over every ordered
+/// field pair (both suffix directions) and 20–60 documents with randomly
+/// present fields. Returns the documents as the oracle sees them.
+fn build_world(rng: &mut SimRng) -> (FirestoreDatabase, Vec<Document>) {
+    let db = fresh_db();
+    for e in FIELDS {
+        for s in FIELDS {
+            if e == s {
+                continue;
+            }
+            create_index_blocking(&db, "c", vec![IndexedField::asc(e), IndexedField::asc(s)])
+                .unwrap();
+            create_index_blocking(&db, "c", vec![IndexedField::asc(e), IndexedField::desc(s)])
+                .unwrap();
+        }
+    }
+    let n = 20 + rng.gen_range(41) as usize;
+    let mut docs = Vec::with_capacity(n);
+    let mut writes = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = doc(&format!("/c/d{i:03}"));
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        for f in FIELDS {
+            // Occasionally absent: missing fields have no index entries.
+            if rng.gen_bool(0.85) {
+                fields.push((f.to_string(), pool_value(rng)));
+            }
+        }
+        docs.push(Document::new(name.clone(), fields.clone()));
+        writes.push(Write::set(name, fields));
+    }
+    for chunk in writes.chunks(25) {
+        db.commit_writes(chunk.to_vec(), &Caller::Service).unwrap();
+    }
+    (db, docs)
+}
+
+/// A random query over the world's fields: equalities, at most one `in`,
+/// array-contains, inequality bounds, order-by, offset and limit.
+fn gen_query(rng: &mut SimRng) -> Query {
+    let mut q = Query::parse("/c").unwrap();
+    let mut unused: Vec<&str> = FIELDS.to_vec();
+    // Equality filters on up to two fields.
+    let n_eq = rng.gen_range(3);
+    for _ in 0..n_eq {
+        if unused.is_empty() {
+            break;
+        }
+        let f = unused.remove(rng.gen_range(unused.len() as u64) as usize);
+        q = q.filter(f, FilterOp::Eq, pool_value(rng));
+    }
+    // Maybe one `in` filter.
+    if rng.gen_bool(0.25) && !unused.is_empty() {
+        let f = unused.remove(rng.gen_range(unused.len() as u64) as usize);
+        let alts: Vec<Value> = (0..1 + rng.gen_range(3)).map(|_| pool_value(rng)).collect();
+        q = q.filter(f, FilterOp::In, Value::Array(alts));
+    }
+    // Maybe array-contains.
+    if rng.gen_bool(0.15) && !unused.is_empty() {
+        let f = unused.remove(rng.gen_range(unused.len() as u64) as usize);
+        q = q.filter(f, FilterOp::ArrayContains, Value::Int(rng.gen_range(3) as i64));
+    }
+    // Maybe an inequality (one or two bounds on one field), ordered by that
+    // field so the query validates.
+    if rng.gen_bool(0.35) && !unused.is_empty() {
+        let f = unused.remove(rng.gen_range(unused.len() as u64) as usize);
+        let lower_ops = [FilterOp::Gt, FilterOp::Ge];
+        let upper_ops = [FilterOp::Lt, FilterOp::Le];
+        let v = pool_value(rng);
+        if rng.gen_bool(0.5) {
+            q = q.filter(f, lower_ops[rng.gen_range(2) as usize], v.clone());
+        } else {
+            q = q.filter(f, upper_ops[rng.gen_range(2) as usize], v.clone());
+        }
+        if rng.gen_bool(0.4) {
+            q = q.filter(f, upper_ops[rng.gen_range(2) as usize], pool_value(rng));
+        }
+        let dir = if rng.gen_bool(0.5) {
+            Direction::Asc
+        } else {
+            Direction::Desc
+        };
+        q = q.order_by(f, dir);
+    } else if rng.gen_bool(0.5) && !unused.is_empty() {
+        let f = unused.remove(rng.gen_range(unused.len() as u64) as usize);
+        let dir = if rng.gen_bool(0.5) {
+            Direction::Asc
+        } else {
+            Direction::Desc
+        };
+        q = q.order_by(f, dir);
+    }
+    if rng.gen_bool(0.5) {
+        q = q.limit(1 + rng.gen_range(6) as usize);
+    }
+    if rng.gen_bool(0.3) {
+        q = q.offset(rng.gen_range(4) as usize);
+    }
+    q
+}
+
+/// Full-scan oracle: filter with `matches_document`, order by `order_key`,
+/// then apply cursor / offset / limit. `None` when the query is invalid.
+fn oracle(query: &Query, docs: &[Document]) -> Option<Vec<DocumentName>> {
+    query.validate().ok()?;
+    let mut matched: Vec<&Document> = docs.iter().filter(|d| matches_document(query, d)).collect();
+    matched.sort_by_key(|d| order_key(query, d).expect("matched docs have all order fields"));
+    let mut names: Vec<DocumentName> = matched.into_iter().map(|d| d.name.clone()).collect();
+    if let Some(after) = &query.start_after {
+        match names.iter().position(|n| n == after) {
+            Some(pos) => names.drain(..=pos),
+            // Cursor document not in the result set: resumes nowhere.
+            None => return Some(Vec::new()),
+        };
+    }
+    Some(
+        names
+            .into_iter()
+            .skip(query.offset)
+            .take(query.limit.unwrap_or(usize::MAX))
+            .collect(),
+    )
+}
+
+#[test]
+fn random_queries_match_full_scan_oracle() {
+    let seed: u64 = std::env::var("CONFORMANCE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF1DE_5707);
+    let cases: usize = std::env::var("CONFORMANCE_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    println!("query conformance: CONFORMANCE_SEED={seed} CONFORMANCE_CASES={cases}");
+
+    let queries_per_world = 40;
+    let worlds = cases.div_ceil(queries_per_world);
+    let mut rng = SimRng::new(seed);
+    let (mut executed, mut missing_index, mut invalid) = (0usize, 0usize, 0usize);
+
+    for w in 0..worlds {
+        let mut wrng = rng.split();
+        let (db, docs) = build_world(&mut wrng);
+        for i in 0..queries_per_world {
+            let mut query = gen_query(&mut wrng);
+            // Sometimes resume from a cursor: usually a real result, rarely
+            // a document outside the result set.
+            if wrng.gen_bool(0.25) {
+                if wrng.gen_bool(0.85) {
+                    if let Some(full) = oracle(&query, &docs) {
+                        if !full.is_empty() {
+                            let pick = wrng.gen_range(full.len() as u64) as usize;
+                            query = query.start_after(full[pick].clone());
+                        }
+                    }
+                } else {
+                    query = query.start_after(doc("/c/no-such-doc"));
+                }
+            }
+            let expect = oracle(&query, &docs);
+            match db.run_query(&query, Consistency::Strong, &Caller::Service) {
+                Ok(res) => {
+                    let got: Vec<DocumentName> =
+                        res.documents.iter().map(|d| d.name.clone()).collect();
+                    let expect = expect.unwrap_or_else(|| {
+                        panic!(
+                            "world {w} case {i} seed {seed}: executor accepted a query \
+                             the oracle rejects: {query:?}"
+                        )
+                    });
+                    assert_eq!(
+                        got, expect,
+                        "world {w} case {i} seed {seed}: result mismatch for {query:?}"
+                    );
+                    let (count, _) = db
+                        .run_count(&query, Consistency::Strong, &Caller::Service)
+                        .unwrap();
+                    assert_eq!(
+                        count,
+                        expect.len(),
+                        "world {w} case {i} seed {seed}: count mismatch for {query:?}"
+                    );
+                    executed += 1;
+                }
+                Err(FirestoreError::MissingIndex { .. }) => missing_index += 1,
+                Err(FirestoreError::InvalidArgument(msg)) => {
+                    assert!(
+                        expect.is_none(),
+                        "world {w} case {i} seed {seed}: executor rejected ({msg}) a query \
+                         the oracle accepts: {query:?}"
+                    );
+                    invalid += 1;
+                }
+                Err(e) => panic!("world {w} case {i} seed {seed}: unexpected error {e:?}"),
+            }
+        }
+    }
+    println!(
+        "conformance: executed={executed} missing_index={missing_index} invalid={invalid}"
+    );
+    assert!(
+        executed * 2 >= cases,
+        "too few executable cases (executed {executed} of {cases}) — generator drifted"
+    );
+}
+
+/// Documents whose field `v` is `i`, plus two constant fields every
+/// document shares (so zig-zag joins always have fat posting lists).
+fn seed_sequential(db: &FirestoreDatabase, n: usize) {
+    let writes: Vec<Write> = (0..n)
+        .map(|i| {
+            Write::set(
+                doc(&format!("/c/d{i:06}")),
+                [
+                    ("v".to_string(), Value::Int(i as i64)),
+                    ("tag".to_string(), Value::Str("all".into())),
+                    ("flag".to_string(), Value::Str("on".into())),
+                ],
+            )
+        })
+        .collect();
+    for chunk in writes.chunks(200) {
+        db.commit_writes(chunk.to_vec(), &Caller::Service).unwrap();
+    }
+}
+
+#[test]
+fn limit_query_examines_o_limit_entries_not_o_index() {
+    // The pushdown invariant (§IV-D3): limit-k cost is flat across index
+    // sizes. Examined counts for the same query must be identical for a
+    // 500-doc and a 2000-doc index, and far below the index size.
+    let mut examined = Vec::new();
+    for n in [500usize, 2000] {
+        let db = fresh_db();
+        seed_sequential(&db, n);
+        let q = Query::parse("/c")
+            .unwrap()
+            .order_by("v", Direction::Asc)
+            .limit(10);
+        let res = db.run_query(&q, Consistency::Strong, &Caller::Service).unwrap();
+        assert_eq!(res.documents.len(), 10);
+        assert!(
+            res.stats.entries_examined <= 32,
+            "limit(10) over {n} entries examined {} — not O(limit)",
+            res.stats.entries_examined
+        );
+        examined.push(res.stats.entries_examined);
+    }
+    assert_eq!(
+        examined[0], examined[1],
+        "entries_examined must be independent of index size"
+    );
+}
+
+#[test]
+fn zigzag_limit_examines_o_limit_per_joined_index() {
+    let db = fresh_db();
+    create_index_blocking(
+        &db,
+        "c",
+        vec![IndexedField::asc("tag"), IndexedField::asc("v")],
+    )
+    .unwrap();
+    create_index_blocking(
+        &db,
+        "c",
+        vec![IndexedField::asc("flag"), IndexedField::asc("v")],
+    )
+    .unwrap();
+    seed_sequential(&db, 1500);
+    // Every document matches both filters: the join is width 2 and each
+    // side must stream only O(limit).
+    let q = Query::parse("/c")
+        .unwrap()
+        .filter("tag", FilterOp::Eq, Value::Str("all".into()))
+        .filter("flag", FilterOp::Eq, Value::Str("on".into()))
+        .order_by("v", Direction::Asc)
+        .limit(10);
+    let res = db.run_query(&q, Consistency::Strong, &Caller::Service).unwrap();
+    assert_eq!(res.documents.len(), 10);
+    assert!(
+        res.stats.entries_examined <= 2 * 32,
+        "limit(10) zig-zag of 2 indexes examined {} — not O(limit · width)",
+        res.stats.entries_examined
+    );
+    assert_eq!(res.stats.docs_fetched, 10, "documents fetched per result only");
+}
+
+#[test]
+fn desc_zigzag_with_cursor_matches_oracle_in_snapshot_and_txn() {
+    // Pins the descending transactional scan path: a capped forward scan
+    // reversed in memory would return the *lowest* entries here.
+    let db = fresh_db();
+    create_index_blocking(
+        &db,
+        "r",
+        vec![IndexedField::asc("city"), IndexedField::desc("rating")],
+    )
+    .unwrap();
+    create_index_blocking(
+        &db,
+        "r",
+        vec![IndexedField::asc("kind"), IndexedField::desc("rating")],
+    )
+    .unwrap();
+    let mut rng = SimRng::new(7);
+    let mut docs = Vec::new();
+    let mut writes = Vec::new();
+    for i in 0..60 {
+        let name = doc(&format!("/r/d{i:03}"));
+        let fields = vec![
+            (
+                "city".to_string(),
+                Value::Str(["SF", "NY"][rng.gen_range(2) as usize].to_string()),
+            ),
+            (
+                "kind".to_string(),
+                Value::Str(["BBQ", "Thai"][rng.gen_range(2) as usize].to_string()),
+            ),
+            ("rating".to_string(), Value::Int(rng.gen_range(10) as i64)),
+        ];
+        docs.push(Document::new(name.clone(), fields.clone()));
+        writes.push(Write::set(name, fields));
+    }
+    db.commit_writes(writes, &Caller::Service).unwrap();
+
+    let base = Query::parse("/r")
+        .unwrap()
+        .filter("city", FilterOp::Eq, Value::Str("SF".into()))
+        .filter("kind", FilterOp::Eq, Value::Str("BBQ".into()))
+        .order_by("rating", Direction::Desc);
+    let full = oracle(&base, &docs).unwrap();
+    assert!(full.len() >= 5, "world too sparse for the test");
+    let query = base.clone().start_after(full[1].clone()).limit(3);
+    let expect = oracle(&query, &docs).unwrap();
+    assert!(!expect.is_empty());
+
+    // Snapshot access.
+    let res = db
+        .run_query(&query, Consistency::Strong, &Caller::Service)
+        .unwrap();
+    let got: Vec<DocumentName> = res.documents.iter().map(|d| d.name.clone()).collect();
+    assert_eq!(got, expect, "snapshot desc + cursor");
+
+    // Transactional access (locking reads; descending scans must cap from
+    // the top of the range, not the bottom).
+    let mut txn = db.begin_transaction();
+    let res = txn.query(&query).unwrap();
+    let got: Vec<DocumentName> = res.documents.iter().map(|d| d.name.clone()).collect();
+    txn.abort();
+    assert_eq!(got, expect, "transactional desc + cursor");
+}
+
+#[test]
+fn in_filter_matches_union_of_equalities() {
+    let db = fresh_db();
+    let mut writes = Vec::new();
+    let mut docs = Vec::new();
+    for (i, city) in ["SF", "NY", "LA", "SF", "NY", "Austin"].iter().enumerate() {
+        let name = doc(&format!("/c/d{i}"));
+        let fields = vec![("a".to_string(), Value::Str(city.to_string()))];
+        docs.push(Document::new(name.clone(), fields.clone()));
+        writes.push(Write::set(name, fields));
+    }
+    db.commit_writes(writes, &Caller::Service).unwrap();
+    let q = Query::parse("/c").unwrap().filter(
+        "a",
+        FilterOp::In,
+        Value::Array(vec![Value::Str("SF".into()), Value::Str("Austin".into())]),
+    );
+    let res = db.run_query(&q, Consistency::Strong, &Caller::Service).unwrap();
+    let got: Vec<DocumentName> = res.documents.iter().map(|d| d.name.clone()).collect();
+    assert_eq!(got, oracle(&q, &docs).unwrap());
+    assert_eq!(got.len(), 3);
+}
