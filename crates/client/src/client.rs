@@ -298,10 +298,16 @@ impl FirestoreClient {
     /// exhausted budgets leave the mutation queued for a later sync.
     /// Permanent rejections roll back the local cache and surface via
     /// [`FirestoreClient::take_write_errors`].
+    ///
+    /// Every mutation flushes under an idempotent write id
+    /// (`client-{session}:{mutation}`) recorded in the service's dedup
+    /// ledger atomically with the commit, so a retry after an *ambiguous*
+    /// outcome — the server crashed after logging the commit but before
+    /// acknowledging it — acks from the ledger instead of applying twice.
     pub fn flush(&self) -> Result<(), ClientError> {
         let clock = self.db.spanner().truetime().clock().clone();
         loop {
-            let (id, write) = {
+            let (id, write, session) = {
                 let st = self.state.lock();
                 if !st.connected {
                     return Ok(());
@@ -309,18 +315,28 @@ impl FirestoreClient {
                 let next = st.store.pending().next().map(|p| (p.id, p.write.clone()));
                 match next {
                     None => return Ok(()),
-                    Some(pair) => pair,
+                    Some((id, write)) => (id, write, st.store.session_id()),
                 }
             };
             let name = write.op.name().clone();
+            let dedup_id = format!("client-{session}:{id}");
             let mut backoff = Backoff::new(self.retry_policy, clock.now().as_nanos());
             let outcome = loop {
-                match self.db.commit_writes(vec![write.clone()], &self.caller()) {
+                match self
+                    .db
+                    .commit_writes_dedup(&dedup_id, vec![write.clone()], &self.caller())
+                {
                     Ok(result) => {
                         self.retry_budget.lock().record_success();
                         break Ok(result);
                     }
-                    Err(e) if e.is_retryable() => {
+                    // An ambiguous outcome (`Unknown`) is not retryable in
+                    // general — the commit may have landed — but the dedup
+                    // ledger makes this retry exactly-once, so flush treats
+                    // it like any transient failure.
+                    Err(e)
+                        if e.is_retryable() || matches!(e, FirestoreError::Unknown(_)) =>
+                    {
                         let can_retry = {
                             let mut budget = self.retry_budget.lock();
                             budget.record_failure();
@@ -1055,6 +1071,53 @@ mod tests {
         db.spanner().set_fault_injector(None);
         c.sync().unwrap();
         assert_eq!(c.pending_writes(), 0);
+    }
+
+    #[test]
+    fn flush_retry_across_ambiguous_crash_does_not_double_apply() {
+        use simkit::{CrashPoints, SimDisk};
+
+        let (db, rtc) = setup();
+        let sp = db.spanner().clone();
+        sp.attach_durability(SimDisk::new());
+        let cp = CrashPoints::new();
+        sp.set_crash_points(Some(cp.clone()));
+        // Crash inside the ambiguous window: the commit (document + dedup
+        // ledger row) is durably logged but never acknowledged.
+        cp.arm("commit-after-outcome", 0);
+
+        let a = client(&db, &rtc);
+        a.set("/doc/x", [("v", Value::from("from-a"))]).unwrap();
+        assert_eq!(
+            a.pending_writes(),
+            1,
+            "ambiguous ack leaves the write queued"
+        );
+        assert!(a.take_write_errors().is_empty(), "not a rejection");
+
+        let report = sp.recover();
+        assert!(report.replayed_txns >= 1, "the logged commit replays");
+        // A later writer updates the document after recovery.
+        db.commit_writes(
+            vec![Write::set(docname("/doc/x"), [("v", Value::from("from-b"))])],
+            &Caller::Service,
+        )
+        .unwrap();
+
+        // The retried flush hits the dedup ledger and acks without
+        // re-applying — the later write survives.
+        a.sync().unwrap();
+        assert_eq!(a.pending_writes(), 0);
+        assert!(a.take_write_errors().is_empty());
+        let doc = db
+            .get_document(&docname("/doc/x"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            doc.fields["v"],
+            Value::from("from-b"),
+            "retry must not clobber the post-recovery write"
+        );
     }
 
     #[test]

@@ -9,6 +9,19 @@
 use firestore_core::{Document, DocumentName, Value, Write, WriteOp};
 use simkit::Timestamp;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide session allocator: each store (one per client instance)
+/// gets a distinct session id, so idempotent write ids (`session:mutation`)
+/// never collide across clients sharing a database.
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+/// Magic prefix of the v2 persistence format. Legacy (v1) blobs start with
+/// a big-endian document count instead, which realistic caches never push
+/// past this value.
+const PERSIST_MAGIC: [u8; 4] = *b"FSLC";
+/// Current persistence format version.
+const PERSIST_VERSION: u8 = 2;
 
 /// One unacknowledged local mutation.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,17 +42,37 @@ pub enum ServerEntry {
 }
 
 /// The client-side cache.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LocalStore {
     server: HashMap<DocumentName, ServerEntry>,
     pending: BTreeMap<u64, PendingMutation>,
     next_mutation: u64,
+    /// Scopes this store's mutation ids into globally-unique idempotent
+    /// write ids. Survives persistence so a flush retried after a client
+    /// restart dedups against commits from before the restart.
+    session: u64,
+}
+
+impl Default for LocalStore {
+    fn default() -> Self {
+        LocalStore {
+            server: HashMap::new(),
+            pending: BTreeMap::new(),
+            next_mutation: 0,
+            session: NEXT_SESSION.fetch_add(1, Ordering::Relaxed),
+        }
+    }
 }
 
 impl LocalStore {
     /// Empty store.
     pub fn new() -> Self {
         LocalStore::default()
+    }
+
+    /// The session id scoping this store's idempotent write ids.
+    pub fn session_id(&self) -> u64 {
+        self.session
     }
 
     /// Record the server's version of a document.
@@ -138,9 +171,16 @@ impl LocalStore {
 
     /// Serialize the *server* cache for opt-in persistence ("an end user
     /// can choose to persist their local cache", §IV-E). Pending mutations
-    /// are persisted too so queued writes survive restarts.
+    /// are persisted too — with their session-scoped mutation ids — so
+    /// queued writes survive restarts *and* keep their idempotent write
+    /// ids: a flush that straddles a client restart dedups against any
+    /// pre-restart commit instead of double-applying.
     pub fn persist(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        out.extend_from_slice(&PERSIST_MAGIC);
+        out.push(PERSIST_VERSION);
+        out.extend_from_slice(&self.session.to_be_bytes());
+        out.extend_from_slice(&self.next_mutation.to_be_bytes());
         let docs: Vec<(&DocumentName, &ServerEntry)> = self.server.iter().collect();
         out.extend_from_slice(&(docs.len() as u32).to_be_bytes());
         for (name, entry) in docs {
@@ -159,6 +199,7 @@ impl LocalStore {
         let pending: Vec<&PendingMutation> = self.pending.values().collect();
         out.extend_from_slice(&(pending.len() as u32).to_be_bytes());
         for p in pending {
+            out.extend_from_slice(&p.id.to_be_bytes());
             let name_enc = p.write.op.name().encode();
             out.extend_from_slice(&(name_enc.len() as u32).to_be_bytes());
             out.extend_from_slice(&name_enc);
@@ -179,50 +220,106 @@ impl LocalStore {
         out
     }
 
-    /// Restore a persisted cache (warm start).
+    /// Restore a persisted cache (warm start). Understands the current v2
+    /// format (magic header, session id, stable mutation ids) and falls
+    /// back to the legacy headerless layout, which predates idempotent
+    /// write ids and gets a fresh session.
     pub fn restore(bytes: &[u8]) -> Option<LocalStore> {
+        if bytes.len() >= 5 && bytes[..4] == PERSIST_MAGIC {
+            if bytes[4] != PERSIST_VERSION {
+                return None;
+            }
+            LocalStore::restore_v2(&bytes[5..])
+        } else {
+            LocalStore::restore_legacy(bytes)
+        }
+    }
+
+    fn restore_v2(bytes: &[u8]) -> Option<LocalStore> {
         let mut store = LocalStore::new();
         let mut pos = 0usize;
-        let read_u32 = |bytes: &[u8], pos: &mut usize| -> Option<u32> {
-            let raw = bytes.get(*pos..*pos + 4)?;
-            *pos += 4;
-            Some(u32::from_be_bytes(raw.try_into().ok()?))
-        };
+        store.session = read_u64(bytes, &mut pos)?;
+        store.next_mutation = read_u64(bytes, &mut pos)?;
         let n_docs = read_u32(bytes, &mut pos)?;
         for _ in 0..n_docs {
-            let name_len = read_u32(bytes, &mut pos)? as usize;
-            let name = DocumentName::decode(bytes.get(pos..pos + name_len)?)?;
-            pos += name_len;
-            let doc_len = read_u32(bytes, &mut pos)?;
-            if doc_len == u32::MAX {
-                store.server.insert(name, ServerEntry::Missing);
-            } else {
-                let doc_len = doc_len as usize;
-                let doc = Document::decode(name.clone(), bytes.get(pos..pos + doc_len)?)?;
-                pos += doc_len;
-                store.server.insert(name, ServerEntry::Exists(doc));
-            }
+            let (name, entry) = read_server_entry(bytes, &mut pos)?;
+            store.server.insert(name, entry);
         }
         let n_pending = read_u32(bytes, &mut pos)?;
         for _ in 0..n_pending {
-            let name_len = read_u32(bytes, &mut pos)? as usize;
-            let name = DocumentName::decode(bytes.get(pos..pos + name_len)?)?;
-            pos += name_len;
-            let doc_len = read_u32(bytes, &mut pos)?;
-            if doc_len == u32::MAX {
-                store.enqueue(Write::delete(name));
-            } else {
-                let doc_len = doc_len as usize;
-                let doc = Document::decode(name.clone(), bytes.get(pos..pos + doc_len)?)?;
-                pos += doc_len;
-                let fields: Vec<(String, Value)> = doc.fields.into_iter().collect();
-                store.enqueue(Write::set(name, fields));
+            let id = read_u64(bytes, &mut pos)?;
+            if id >= store.next_mutation {
+                return None; // ids must precede the allocator watermark
             }
+            let write = read_pending_write(bytes, &mut pos)?;
+            store.pending.insert(id, PendingMutation { id, write });
         }
         if pos != bytes.len() {
             return None;
         }
         Some(store)
+    }
+
+    fn restore_legacy(bytes: &[u8]) -> Option<LocalStore> {
+        let mut store = LocalStore::new();
+        let mut pos = 0usize;
+        let n_docs = read_u32(bytes, &mut pos)?;
+        for _ in 0..n_docs {
+            let (name, entry) = read_server_entry(bytes, &mut pos)?;
+            store.server.insert(name, entry);
+        }
+        let n_pending = read_u32(bytes, &mut pos)?;
+        for _ in 0..n_pending {
+            let write = read_pending_write(bytes, &mut pos)?;
+            store.enqueue(write);
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(store)
+    }
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let raw = bytes.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_be_bytes(raw.try_into().ok()?))
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let raw = bytes.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_be_bytes(raw.try_into().ok()?))
+}
+
+fn read_server_entry(bytes: &[u8], pos: &mut usize) -> Option<(DocumentName, ServerEntry)> {
+    let name_len = read_u32(bytes, pos)? as usize;
+    let name = DocumentName::decode(bytes.get(*pos..*pos + name_len)?)?;
+    *pos += name_len;
+    let doc_len = read_u32(bytes, pos)?;
+    if doc_len == u32::MAX {
+        Some((name, ServerEntry::Missing))
+    } else {
+        let doc_len = doc_len as usize;
+        let doc = Document::decode(name.clone(), bytes.get(*pos..*pos + doc_len)?)?;
+        *pos += doc_len;
+        Some((name, ServerEntry::Exists(doc)))
+    }
+}
+
+fn read_pending_write(bytes: &[u8], pos: &mut usize) -> Option<Write> {
+    let name_len = read_u32(bytes, pos)? as usize;
+    let name = DocumentName::decode(bytes.get(*pos..*pos + name_len)?)?;
+    *pos += name_len;
+    let doc_len = read_u32(bytes, pos)?;
+    if doc_len == u32::MAX {
+        Some(Write::delete(name))
+    } else {
+        let doc_len = doc_len as usize;
+        let doc = Document::decode(name.clone(), bytes.get(*pos..*pos + doc_len)?)?;
+        *pos += doc_len;
+        let fields: Vec<(String, Value)> = doc.fields.into_iter().collect();
+        Some(Write::set(name, fields))
     }
 }
 
@@ -327,5 +424,51 @@ mod tests {
         assert_eq!(restored.merged_doc(&name("/c/gone")), Some(None));
         // Truncated blobs are rejected.
         assert!(LocalStore::restore(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn persist_preserves_session_and_mutation_ids() {
+        let mut s = LocalStore::new();
+        let first = s.enqueue(Write::set(name("/c/a"), [("v", Value::Int(1))]));
+        let second = s.enqueue(Write::set(name("/c/b"), [("v", Value::Int(2))]));
+        s.remove_pending(first);
+        let restored = LocalStore::restore(&s.persist()).unwrap();
+        assert_eq!(restored.session_id(), s.session_id());
+        let ids: Vec<u64> = restored.pending().map(|p| p.id).collect();
+        assert_eq!(ids, vec![second], "surviving mutation keeps its id");
+        // The allocator watermark survives too: new mutations never reuse
+        // an id that may already sit in the server's dedup ledger.
+        let mut restored = restored;
+        let next = restored.enqueue(Write::delete(name("/c/b")));
+        assert_eq!(next, second + 1);
+    }
+
+    #[test]
+    fn legacy_blob_without_header_still_restores() {
+        // Hand-encode the legacy (headerless) layout: no docs, one pending
+        // delete. Legacy caches predate idempotent ids, so the restored
+        // store gets a fresh session.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&0u32.to_be_bytes());
+        blob.extend_from_slice(&1u32.to_be_bytes());
+        let name_enc = name("/c/d").encode();
+        blob.extend_from_slice(&(name_enc.len() as u32).to_be_bytes());
+        blob.extend_from_slice(&name_enc);
+        blob.extend_from_slice(&u32::MAX.to_be_bytes());
+        let s = LocalStore::restore(&blob).unwrap();
+        assert_eq!(s.pending_len(), 1);
+        assert_eq!(s.merged_doc(&name("/c/d")), Some(None));
+    }
+
+    #[test]
+    fn v2_rejects_id_at_or_past_watermark() {
+        let mut s = LocalStore::new();
+        s.enqueue(Write::delete(name("/c/d")));
+        let mut blob = s.persist();
+        // Corrupt the persisted next_mutation down to zero: the pending
+        // id (0) is no longer below the watermark.
+        let at = PERSIST_MAGIC.len() + 1 + 8;
+        blob[at..at + 8].copy_from_slice(&0u64.to_be_bytes());
+        assert!(LocalStore::restore(&blob).is_none());
     }
 }

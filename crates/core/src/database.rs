@@ -28,6 +28,12 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Table holding idempotence-ledger rows: one row per client-supplied dedup
+/// id, written in the same Spanner transaction as the writes it guards, so
+/// "applied" and "recorded as applied" are atomic — even across a server
+/// crash and redo-log recovery.
+pub const WRITE_LEDGER: &str = "WriteLedger";
+
 /// Read consistency of a non-transactional read or query (§III-C: "point-in-
 /// time queries that are either strongly-consistent or from a recent
 /// timestamp").
@@ -81,6 +87,7 @@ impl FirestoreDatabase {
     pub fn create(spanner: SpannerDatabase, options: DatabaseOptions) -> FirestoreDatabase {
         spanner.create_table(ENTITIES);
         spanner.create_table(crate::executor::INDEX_ENTRIES);
+        spanner.create_table(WRITE_LEDGER);
         let dir = spanner.allocate_directory();
         let queue = MessageQueue::new(spanner.clone());
         FirestoreDatabase {
@@ -347,6 +354,59 @@ impl FirestoreDatabase {
         let result = self.commit_pipeline(&mut txn, writes, caller, deadline);
         if result.is_err() {
             self.inner.spanner.abort(&mut txn);
+        }
+        result
+    }
+
+    /// Commit a batch of writes atomically and *idempotently*: a ledger row
+    /// keyed by `dedup_id` is written in the same Spanner transaction as the
+    /// writes, so a retry of the same `dedup_id` after an ambiguous outcome
+    /// (a crash after the redo-log append but before the ack) observes the
+    /// row and returns the original commit timestamp instead of applying the
+    /// writes a second time.
+    ///
+    /// A dedup hit returns the original commit timestamp with empty
+    /// [`WriteStats`] (no work was done on this attempt).
+    pub fn commit_writes_dedup(
+        &self,
+        dedup_id: &str,
+        writes: Vec<Write>,
+        caller: &Caller,
+    ) -> FirestoreResult<WriteResult> {
+        for w in &writes {
+            write::validate_write(w)?;
+        }
+        let spanner = &self.inner.spanner;
+        let key = self.inner.dir.key(dedup_id.as_bytes());
+        let mut txn = spanner.begin();
+        match spanner.txn_read_for_update_versioned(&mut txn, WRITE_LEDGER, &key) {
+            // Already applied: the ledger row's MVCC version timestamp *is*
+            // the original commit timestamp.
+            Ok(Some((_, version_ts))) => {
+                spanner.abort(&mut txn);
+                return Ok(WriteResult {
+                    commit_ts: version_ts,
+                    stats: WriteStats::default(),
+                });
+            }
+            Ok(None) => {}
+            Err(e) => {
+                spanner.abort(&mut txn);
+                return Err(e.into());
+            }
+        }
+        if let Err(e) = spanner.txn_put(
+            &mut txn,
+            WRITE_LEDGER,
+            key,
+            bytes::Bytes::from_static(b"1"),
+        ) {
+            spanner.abort(&mut txn);
+            return Err(e.into());
+        }
+        let result = self.commit_pipeline(&mut txn, writes, caller, None);
+        if result.is_err() {
+            spanner.abort(&mut txn);
         }
         result
     }

@@ -242,6 +242,88 @@ impl RealtimeCache {
         self.advance_all(&mut st);
     }
 
+    /// Rebuild the Query Matcher and every registered view after a cache
+    /// restart. All volatile write-path state (pending Prepares, task
+    /// watermarks, buffered changes) died with the process; each query's
+    /// result set is re-read from the authoritative store via `requery` at
+    /// `snapshot_ts` — a strong read timestamp taken *after* the storage
+    /// layer recovered. Listeners receive exactly the deltas between what
+    /// they last saw and the authoritative snapshot, so resumed listeners
+    /// converge with no missed or duplicated events. A query whose requery
+    /// fails is reset instead (the client re-runs and re-listens).
+    ///
+    /// `requery` receives the registered (windowless-applied) query and must
+    /// perform a read-only snapshot query; it must not write through the
+    /// observer (the cache lock is held).
+    ///
+    /// Returns the number of queries caught up.
+    pub fn restart<E>(
+        &self,
+        mut requery: impl FnMut(&Query) -> Result<Vec<Document>, E>,
+        snapshot_ts: Timestamp,
+    ) -> usize {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        for task in st.tasks.iter_mut() {
+            task.pending.clear();
+            task.watermark = task.watermark.max(snapshot_ts);
+        }
+        let mut caught_up = 0usize;
+        let (mut snapshots, mut notifications, mut resets) = (0u64, 0u64, 0u64);
+        let mut conn_ids: Vec<ConnectionId> = st.conns.keys().copied().collect();
+        conn_ids.sort();
+        for conn_id in conn_ids {
+            let Some(conn) = st.conns.get_mut(&conn_id) else {
+                continue;
+            };
+            let mut qids: Vec<QueryId> = conn.queries.keys().copied().collect();
+            qids.sort();
+            for qid in qids {
+                let Some(qs) = conn.queries.get_mut(&qid) else {
+                    continue;
+                };
+                match requery(qs.view.query()) {
+                    Ok(docs) => {
+                        let deltas = qs.view.catch_up(docs);
+                        qs.buffered.clear();
+                        qs.resume = snapshot_ts;
+                        let sources = qs.sources.clone();
+                        for s in sources {
+                            qs.source_watermarks.insert(s, snapshot_ts);
+                        }
+                        caught_up += 1;
+                        if !deltas.is_empty() {
+                            notifications += deltas.len() as u64;
+                            snapshots += 1;
+                            conn.out.push_back(ListenEvent::Snapshot {
+                                query: qid,
+                                at: snapshot_ts,
+                                changes: deltas,
+                                is_initial: false,
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        conn.queries.remove(&qid);
+                        conn.out.push_back(ListenEvent::Reset { query: qid });
+                        resets += 1;
+                    }
+                }
+            }
+        }
+        for task in st.tasks.iter_mut() {
+            task.subscribers.retain(|(c, q)| {
+                st.conns
+                    .get(c)
+                    .is_some_and(|conn| conn.queries.contains_key(q))
+            });
+        }
+        st.stats.snapshots += snapshots;
+        st.stats.notifications += notifications;
+        st.stats.resets += resets;
+        caught_up
+    }
+
     // --- write-path protocol -------------------------------------------------
 
     fn prepare(
@@ -428,7 +510,7 @@ impl RealtimeCache {
         if conn.queries.is_empty() {
             return;
         }
-        let conn_watermark = conn
+        let Some(conn_watermark) = conn
             .queries
             .values()
             .map(|qs| {
@@ -444,7 +526,9 @@ impl RealtimeCache {
                     .unwrap_or(Timestamp::ZERO)
             })
             .min()
-            .expect("non-empty");
+        else {
+            return;
+        };
         let mut emitted = Vec::new();
         for (qid, qs) in conn.queries.iter_mut() {
             if conn_watermark <= qs.resume {
@@ -514,6 +598,13 @@ impl Connection {
         let mut st = self.cache.state.lock();
         let qid = QueryId(st.next_query);
         st.next_query += 1;
+        if !st.conns.contains_key(&self.id) {
+            // The connection was closed (or lost to a restart) before the
+            // listen landed: the registration is a no-op and the returned id
+            // is dead — the client's poll loop observes nothing and
+            // re-connects.
+            return qid;
+        }
         let range = collection_range(dir, &query);
         let sources = st.ranges.owners_of_range(&range);
         for &s in &sources {
@@ -525,7 +616,9 @@ impl Connection {
         }
         let view = QueryView::new(query, initial);
         let initial_events = view.initial_events();
-        let conn = st.conns.get_mut(&self.id).expect("connection registered");
+        let Some(conn) = st.conns.get_mut(&self.id) else {
+            return qid;
+        };
         conn.out.push_back(ListenEvent::Snapshot {
             query: qid,
             at: snapshot_ts,
@@ -848,6 +941,77 @@ mod tests {
         put(&db, "/restaurants/x", 1);
         cache.tick();
         assert!(conn.poll().is_empty());
+    }
+
+    #[test]
+    fn restart_catch_up_converges_without_missed_or_duplicate_events() {
+        let (db, cache) = setup();
+        put(&db, "/restaurants/a", 1);
+        let conn = cache.connect();
+        listen_all(&db, &cache, &conn, Query::parse("/restaurants").unwrap());
+        conn.poll();
+        put(&db, "/restaurants/b", 2);
+        cache.tick();
+        assert_eq!(conn.poll().len(), 1);
+
+        // A write the cache never hears about (lost during its outage).
+        db.set_observer(Arc::new(firestore_core::NullObserver));
+        put(&db, "/restaurants/c", 3);
+        db.set_observer(cache.observer_for(db.directory()));
+
+        let ts = db.strong_read_ts();
+        let requery = |q: &Query| {
+            db.run_query(
+                &q.without_window(),
+                Consistency::AtTimestamp(ts),
+                &Caller::Service,
+            )
+            .map(|r| r.documents)
+        };
+        assert_eq!(cache.restart(requery, ts), 1);
+        let events = conn.poll();
+        assert_eq!(events.len(), 1, "exactly one catch-up snapshot");
+        match &events[0] {
+            ListenEvent::Snapshot { changes, .. } => {
+                assert_eq!(changes.len(), 1, "only the missed write surfaces");
+                assert_eq!(changes[0].kind, ChangeKind::Added);
+                assert_eq!(changes[0].doc.name.id(), "c");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A second restart with no intervening writes emits nothing: no
+        // duplicated events.
+        let ts2 = db.strong_read_ts();
+        let requery2 = |q: &Query| {
+            db.run_query(
+                &q.without_window(),
+                Consistency::AtTimestamp(ts2),
+                &Caller::Service,
+            )
+            .map(|r| r.documents)
+        };
+        assert_eq!(cache.restart(requery2, ts2), 1);
+        assert!(conn.poll().is_empty());
+
+        // The live stream continues normally afterwards.
+        put(&db, "/restaurants/d", 4);
+        cache.tick();
+        assert_eq!(conn.poll().len(), 1);
+    }
+
+    #[test]
+    fn restart_requery_failure_resets_query() {
+        let (db, cache) = setup();
+        put(&db, "/restaurants/a", 1);
+        let conn = cache.connect();
+        let qid = listen_all(&db, &cache, &conn, Query::parse("/restaurants").unwrap());
+        conn.poll();
+        let caught = cache.restart(|_q| Err::<Vec<Document>, ()>(()), db.strong_read_ts());
+        assert_eq!(caught, 0);
+        let events = conn.poll();
+        assert!(matches!(events[0], ListenEvent::Reset { query } if query == qid));
+        assert_eq!(cache.stats().active_queries, 0);
     }
 
     #[test]

@@ -112,6 +112,25 @@ impl QueryView {
         deltas
     }
 
+    /// Replace the full result set with an authoritative snapshot (a
+    /// changelog catch-up after a cache restart) and return the visible
+    /// deltas relative to what the client last saw. A client whose view
+    /// already matches the snapshot gets no events — convergence with no
+    /// missed or duplicated notifications.
+    pub fn catch_up(&mut self, authoritative: Vec<Document>) -> Vec<DocChangeEvent> {
+        self.result.clear();
+        self.by_name.clear();
+        for doc in authoritative {
+            if matches_document(&self.query, &doc) {
+                self.upsert(doc);
+            }
+        }
+        let visible = self.visible();
+        let deltas = diff_visible(&self.last_visible, &visible);
+        self.last_visible = visible;
+        deltas
+    }
+
     /// The initial `Added` events for the seeded snapshot.
     pub fn initial_events(&self) -> Vec<DocChangeEvent> {
         self.last_visible

@@ -43,6 +43,12 @@ pub enum FaultKind {
     /// The Real-time Cache is unavailable (Prepare fails, listen streams
     /// break and must degrade to polling).
     CacheUnavailable,
+    /// A crash leaves a partially flushed record at the end of a redo log
+    /// (a torn tail); recovery must detect and truncate it.
+    TornTail,
+    /// A durable-medium fsync fails; bytes appended since the last
+    /// successful fsync are not durable.
+    FsyncFail,
 }
 
 impl fmt::Display for FaultKind {
@@ -54,6 +60,8 @@ impl fmt::Display for FaultKind {
             FaultKind::LockTimeout => "lock-timeout",
             FaultKind::TtUncertaintySpike => "tt-uncertainty-spike",
             FaultKind::CacheUnavailable => "cache-unavailable",
+            FaultKind::TornTail => "torn-tail",
+            FaultKind::FsyncFail => "fsync-fail",
         };
         f.write_str(s)
     }

@@ -26,6 +26,7 @@
 
 pub mod clock;
 pub mod des;
+pub mod disk;
 pub mod fault;
 pub mod latency;
 pub mod rng;
@@ -34,6 +35,7 @@ pub mod truetime;
 
 pub use clock::{Duration, SimClock, Timestamp};
 pub use des::Scheduler;
+pub use disk::{CrashPoints, DiskError, LogReplay, SimDisk};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultStats};
 pub use rng::SimRng;
 pub use truetime::{TrueTime, TtInterval};

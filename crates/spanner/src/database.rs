@@ -9,19 +9,24 @@ use crate::error::{SpannerError, SpannerResult};
 use crate::key::{Key, KeyRange};
 use crate::lock::{LockManager, LockMode};
 use crate::mvcc::MvccStore;
+use crate::redo::{tablet_log, RecoveryReport, RedoRecord, OUTCOMES_LOG, TABLET_LOG_PREFIX};
 use crate::tablet::{SplitPolicy, TabletMap};
 use crate::txn::{Mutation, ReadWriteTransaction, TxnId};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use simkit::fault::{FaultInjector, FaultKind};
-use simkit::{SimClock, Timestamp, TrueTime};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use simkit::{CrashPoints, SimClock, SimDisk, Timestamp, TrueTime};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A table name. Firestore uses `Entities` and `IndexEntries` (§IV-D1), plus
 /// a `Messages` table for the transactional messaging system (§IV-D2).
 pub type TableName = &'static str;
+
+/// Commit mutations grouped by participant tablet `(table id, tablet index)`,
+/// the unit that receives one redo `Prepared` record during 2PC.
+type ParticipantMutations = BTreeMap<(u32, usize), Vec<(Key, Option<Bytes>)>>;
 
 /// Options controlling substrate behaviour.
 #[derive(Clone, Debug, Default)]
@@ -93,6 +98,19 @@ struct Inner {
     fault_injector: Mutex<Option<Arc<FaultInjector>>>,
     commits: AtomicU64,
     aborts: AtomicU64,
+    /// The durable medium redo records are appended to; `None` runs the
+    /// database fully volatile (the pre-durability behaviour).
+    disk: Mutex<Option<SimDisk>>,
+    /// The crash-point registry consulted inside the commit path.
+    crash_points: Mutex<Option<CrashPoints>>,
+    /// Set by [`SpannerDatabase::crash`]; every operation fails until
+    /// [`SpannerDatabase::recover`] completes.
+    crashed: AtomicBool,
+    /// Transactions begun before the last crash are fenced off: any id
+    /// below this is rejected (its locks and buffers died with the process).
+    min_live_txn: AtomicU64,
+    /// Locks discarded by the last crash (reported by `recover`).
+    orphan_locks: AtomicU64,
 }
 
 /// A Spanner-like database. Cheap to clone; clones share state.
@@ -122,8 +140,183 @@ impl SpannerDatabase {
                 fault_injector: Mutex::new(None),
                 commits: AtomicU64::new(0),
                 aborts: AtomicU64::new(0),
+                disk: Mutex::new(None),
+                crash_points: Mutex::new(None),
+                crashed: AtomicBool::new(false),
+                min_live_txn: AtomicU64::new(0),
+                orphan_locks: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Attach a durable medium. From now on every commit appends per-tablet
+    /// `Prepared` redo records and a coordinator `Outcome` record (the
+    /// durability point) before applying mutations, and
+    /// [`SpannerDatabase::recover`] can rebuild state after a
+    /// [`SpannerDatabase::crash`].
+    pub fn attach_durability(&self, disk: SimDisk) {
+        *self.inner.disk.lock() = Some(disk);
+    }
+
+    /// The attached durable medium, if any.
+    pub fn durability(&self) -> Option<SimDisk> {
+        self.inner.disk.lock().clone()
+    }
+
+    /// Install (or clear) the crash-point registry consulted inside the
+    /// commit path. When a registered site is armed, reaching it crashes the
+    /// database mid-commit.
+    pub fn set_crash_points(&self, points: Option<CrashPoints>) {
+        *self.inner.crash_points.lock() = points;
+    }
+
+    /// Whether the process is currently crashed (every operation returns
+    /// [`SpannerError::Unavailable`] until [`SpannerDatabase::recover`]).
+    pub fn crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Record that execution reached a named crash site; returns `true` —
+    /// after crashing the database — iff the site was armed.
+    fn crash_if_armed(&self, site: &'static str) -> bool {
+        let points = self.inner.crash_points.lock().clone();
+        match points {
+            Some(p) if p.reached(site) => {
+                self.crash();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Crash the process: drop every piece of volatile state — MVCC stores,
+    /// tablet maps, the lock table, all in-flight transactions — and fail
+    /// every subsequent operation until [`SpannerDatabase::recover`]. The
+    /// attached [`SimDisk`] (if any) also crashes, losing unsynced bytes and
+    /// possibly leaving torn log tails.
+    pub fn crash(&self) {
+        self.inner.crashed.store(true, Ordering::SeqCst);
+        // Fence off every transaction begun before the crash: its locks and
+        // buffers died with the process.
+        self.inner.min_live_txn.store(
+            self.inner.next_txn.load(Ordering::SeqCst),
+            Ordering::SeqCst,
+        );
+        let orphans = self.inner.locks.clear();
+        self.inner
+            .orphan_locks
+            .store(orphans as u64, Ordering::SeqCst);
+        for (_, data) in self.inner.tables.read().values() {
+            *data.store.write() = MvccStore::new();
+            *data.tablets.lock() = TabletMap::new(self.inner.options.split_policy);
+        }
+        if let Some(disk) = self.inner.disk.lock().as_ref() {
+            disk.crash();
+        }
+    }
+
+    /// Recover from a crash by replaying the redo logs: rebuild every tablet
+    /// from its durable `Prepared` records whose transaction has a durable
+    /// coordinator `Outcome`, discard prepared-but-undecided participants
+    /// (the 2PC coordinator resolution), and truncate torn log tails. A
+    /// no-op when the database is not crashed.
+    pub fn recover(&self) -> RecoveryReport {
+        let mut report = RecoveryReport {
+            orphan_locks_discarded: self.inner.orphan_locks.swap(0, Ordering::SeqCst) as usize,
+            ..RecoveryReport::default()
+        };
+        if !self.inner.crashed.swap(false, Ordering::SeqCst) {
+            return report;
+        }
+        let Some(disk) = self.inner.disk.lock().clone() else {
+            return report;
+        };
+        // Chaos layer: a TrueTime uncertainty spike during replay stretches
+        // recovery (the commit-wait equivalent for the restart path).
+        if self.inject(FaultKind::TtUncertaintySpike, "recover-replay") {
+            let spike = self
+                .fault_injector()
+                .map(|inj| inj.tt_spike())
+                .unwrap_or_default();
+            self.inner.truetime.clock().advance(spike);
+        }
+        // 1. The coordinator log decides which transactions committed.
+        let outcomes = disk.read(OUTCOMES_LOG);
+        report.torn_tails += usize::from(outcomes.torn_tail);
+        let mut committed: HashMap<u64, Timestamp> = HashMap::new();
+        for raw in &outcomes.records {
+            if let Some(RedoRecord::Outcome { txn_id, commit_ts }) = RedoRecord::decode(raw) {
+                committed.insert(txn_id, commit_ts);
+            }
+        }
+        // 2. Scan every participant log, keeping prepared mutations whose
+        // transaction has a durable outcome.
+        let mut replayed: Vec<(Timestamp, u64, u32, Key, Option<Bytes>)> = Vec::new();
+        let mut replayed_txns: HashMap<u64, ()> = HashMap::new();
+        for log in disk.logs_with_prefix(TABLET_LOG_PREFIX) {
+            report.logs_scanned += 1;
+            let replay = disk.read(&log);
+            report.torn_tails += usize::from(replay.torn_tail);
+            for raw in &replay.records {
+                let Some(RedoRecord::Prepared {
+                    txn_id,
+                    commit_ts,
+                    table,
+                    mutations,
+                }) = RedoRecord::decode(raw)
+                else {
+                    continue;
+                };
+                if committed.get(&txn_id) == Some(&commit_ts) {
+                    replayed_txns.insert(txn_id, ());
+                    for (key, value) in mutations {
+                        replayed.push((commit_ts, txn_id, table, key, value));
+                    }
+                } else {
+                    report.discarded_prepares += 1;
+                }
+            }
+        }
+        // 3. Reapply in commit-timestamp order so each key's version chain
+        // is rebuilt monotonically.
+        replayed.sort_by(|a, b| (a.0, a.1, a.2, &a.3).cmp(&(b.0, b.1, b.2, &b.3)));
+        report.replayed_txns = replayed_txns.len();
+        report.replayed_mutations = replayed.len();
+        let now = self.inner.truetime.clock().now();
+        let tables = self.inner.tables.read();
+        let mut id_to_data: HashMap<u32, &Arc<TableData>> = HashMap::new();
+        for (id, data) in tables.values() {
+            id_to_data.insert(*id, data);
+        }
+        for (commit_ts, _txn, tid, key, value) in replayed {
+            let Some(data) = id_to_data.get(&tid) else {
+                // A log for a table this schema no longer knows: skip rather
+                // than wedge recovery.
+                continue;
+            };
+            let bytes = key.len() + value.as_ref().map_or(0, |v| v.len());
+            data.tablets.lock().record_write(&key, bytes, now);
+            data.store.write().apply(key, commit_ts, value);
+        }
+        report
+    }
+
+    /// Fail with [`SpannerError::Unavailable`] while crashed.
+    fn ensure_up(&self) -> SpannerResult<()> {
+        if self.crashed() {
+            return Err(SpannerError::Unavailable("process crashed; recovery required"));
+        }
+        Ok(())
+    }
+
+    /// Reject operations on transactions that predate the last crash (their
+    /// locks and buffers were volatile) and all operations while crashed.
+    fn fence(&self, txn: &ReadWriteTransaction) -> SpannerResult<()> {
+        self.ensure_up()?;
+        if txn.id.0 < self.inner.min_live_txn.load(Ordering::SeqCst) {
+            return Err(SpannerError::TxnClosed(txn.id));
+        }
+        Ok(())
     }
 
     /// The TrueTime source.
@@ -170,6 +363,7 @@ impl SpannerDatabase {
     }
 
     fn table(&self, name: &str) -> SpannerResult<(u32, Arc<TableData>)> {
+        self.ensure_up()?;
         self.inner
             .tables
             .read()
@@ -220,6 +414,7 @@ impl SpannerDatabase {
         if txn.closed {
             return Err(SpannerError::TxnClosed(txn.id));
         }
+        self.fence(txn)?;
         if self.inject(FaultKind::TabletUnavailable, "txn-read") {
             self.abort(txn);
             return Err(SpannerError::Unavailable("txn-read: tablet unreachable"));
@@ -251,6 +446,7 @@ impl SpannerDatabase {
         if txn.closed {
             return Err(SpannerError::TxnClosed(txn.id));
         }
+        self.fence(txn)?;
         let (tid, data) = self.table(table)?;
         let rows: Vec<(Key, Bytes)> = {
             let store = data.store.read();
@@ -287,6 +483,7 @@ impl SpannerDatabase {
         if txn.closed {
             return Err(SpannerError::TxnClosed(txn.id));
         }
+        self.fence(txn)?;
         let (tid, data) = self.table(table)?;
         let rows: Vec<(Key, Bytes)> = data
             .store
@@ -334,6 +531,7 @@ impl SpannerDatabase {
         if txn.closed {
             return Err(SpannerError::TxnClosed(txn.id));
         }
+        self.fence(txn)?;
         let (tid, _) = self.table(table)?;
         txn.mutations.push(Mutation {
             table: tid,
@@ -368,6 +566,7 @@ impl SpannerDatabase {
         if txn.closed {
             return Err(SpannerError::TxnClosed(txn.id));
         }
+        self.fence(&txn)?;
         // Injected failures (tests / failure-injection experiments).
         if let Some(err) = self.inner.failures.fail_commits.lock().pop() {
             self.abort(&mut txn);
@@ -400,31 +599,122 @@ impl SpannerDatabase {
             }
         };
 
-        // Phase 3: apply mutations atomically (later writes to the same key
-        // within the txn win) and account tablet participation.
+        // Phase 3: log redo records, then apply mutations atomically (later
+        // writes to the same key within the txn win) and account tablet
+        // participation.
         let now = self.inner.truetime.clock().now();
         let mut participants = 0usize;
         let payload = txn.payload_bytes();
         let mutation_count = txn.mutations.len();
         {
-            // Group mutations per table to hold each write lock once.
-            let mut by_table: HashMap<u32, Vec<&Mutation>> = HashMap::new();
-            let mut dedup: HashMap<(u32, &Key), usize> = HashMap::new();
-            for (i, m) in txn.mutations.iter().enumerate() {
-                dedup.insert((m.table, &m.key), i);
-            }
-            for (i, m) in txn.mutations.iter().enumerate() {
-                if dedup[&(m.table, &m.key)] == i {
-                    by_table.entry(m.table).or_default().push(m);
+            // Group mutations per table, deduplicated last-write-wins, in
+            // deterministic table-id order (the redo logs must be stable
+            // across identically seeded runs).
+            let by_table: BTreeMap<u32, Vec<Mutation>> = {
+                let mut dedup: HashMap<(u32, &Key), usize> = HashMap::new();
+                for (i, m) in txn.mutations.iter().enumerate() {
+                    dedup.insert((m.table, &m.key), i);
+                }
+                let mut grouped: BTreeMap<u32, Vec<Mutation>> = BTreeMap::new();
+                for (i, m) in txn.mutations.iter().enumerate() {
+                    if dedup[&(m.table, &m.key)] == i {
+                        grouped.entry(m.table).or_default().push(m.clone());
+                    }
+                }
+                grouped
+            };
+            // Snapshot the table map as owned handles: the crash sites
+            // below re-enter the table map, so no guard may be held here.
+            let id_to_data: HashMap<u32, Arc<TableData>> = self
+                .inner
+                .tables
+                .read()
+                .values()
+                .map(|(id, data)| (*id, data.clone()))
+                .collect();
+            // Pre-flight: resolve every table id before touching any store,
+            // so a corrupt id degrades to a clean abort instead of either a
+            // panic or a partially applied transaction.
+            for tid in by_table.keys() {
+                if !id_to_data.contains_key(tid) {
+                    self.abort(&mut txn);
+                    return Err(SpannerError::Internal(format!(
+                        "commit references unknown table id {tid}"
+                    )));
                 }
             }
-            let tables = self.inner.tables.read();
-            let mut id_to_data: HashMap<u32, &Arc<TableData>> = HashMap::new();
-            for (id, data) in tables.values() {
-                id_to_data.insert(*id, data);
+
+            // Phase 3a: 2PC prepare — append one redo record per participant
+            // tablet, fsync, then log the coordinator outcome (the
+            // durability point). Only then are mutations applied.
+            let disk = self.inner.disk.lock().clone();
+            if let Some(disk) = &disk {
+                if self.crash_if_armed("commit-before-log") {
+                    return Err(SpannerError::UnknownOutcome);
+                }
+                // Group each table's mutations by participant tablet.
+                let mut by_participant = ParticipantMutations::new();
+                for (tid, muts) in &by_table {
+                    let data = &id_to_data[tid];
+                    let tablets = data.tablets.lock();
+                    for m in muts {
+                        by_participant
+                            .entry((*tid, tablets.tablet_index(&m.key)))
+                            .or_default()
+                            .push((m.key.clone(), m.value.clone()));
+                    }
+                }
+                let multi = by_participant.len() > 1;
+                for (i, ((tid, tablet_idx), mutations)) in by_participant.into_iter().enumerate()
+                {
+                    let record = RedoRecord::Prepared {
+                        txn_id: txn.id.0,
+                        commit_ts,
+                        table: tid,
+                        mutations,
+                    };
+                    let log = tablet_log(tid, tablet_idx);
+                    disk.append(&log, &record.encode());
+                    if disk.fsync(&log).is_err() {
+                        // The prepare is not durable; abort cleanly. Earlier
+                        // participants' prepares may be durable but have no
+                        // outcome, so recovery discards them.
+                        self.abort(&mut txn);
+                        return Err(SpannerError::Unavailable("redo-log fsync failed"));
+                    }
+                    // A crash after the first of several prepares leaves a
+                    // prepared-but-undecided participant for recovery to
+                    // resolve.
+                    if multi && i == 0 && self.crash_if_armed("commit-partial-prepare") {
+                        return Err(SpannerError::UnknownOutcome);
+                    }
+                }
+                if self.crash_if_armed("commit-after-prepare") {
+                    return Err(SpannerError::UnknownOutcome);
+                }
+                // The coordinator outcome record: the transaction is
+                // committed iff this record is durable.
+                let outcome = RedoRecord::Outcome {
+                    txn_id: txn.id.0,
+                    commit_ts,
+                };
+                disk.append(OUTCOMES_LOG, &outcome.encode());
+                if disk.fsync(OUTCOMES_LOG).is_err() {
+                    self.abort(&mut txn);
+                    return Err(SpannerError::Unavailable("redo-log fsync failed"));
+                }
+                // The ambiguous window: the commit is durable but the client
+                // never hears the ack.
+                if self.crash_if_armed("commit-after-outcome") {
+                    return Err(SpannerError::UnknownOutcome);
+                }
             }
+
+            // Phase 3b: apply to the volatile MVCC stores.
             for (tid, muts) in by_table {
-                let data = id_to_data.get(&tid).expect("table ids are stable");
+                let Some(data) = id_to_data.get(&tid) else {
+                    continue; // unreachable: pre-flight validated every id
+                };
                 let mut tablets = data.tablets.lock();
                 let mut store = data.store.write();
                 let mut idxs: Vec<usize> = Vec::with_capacity(muts.len());
@@ -439,6 +729,11 @@ impl SpannerDatabase {
             }
         }
         participants = participants.max(1);
+        // Crash after apply but before the ack: durable and applied, yet the
+        // client still observes an unknown outcome.
+        if self.crash_if_armed("commit-after-apply") {
+            return Err(SpannerError::UnknownOutcome);
+        }
 
         // Phase 4: commit wait (external consistency), then release locks.
         // A TrueTime uncertainty spike widens ε, stretching the wait.
@@ -563,6 +858,7 @@ impl SpannerDatabase {
         if txn.closed {
             return Err(SpannerError::TxnClosed(txn.id));
         }
+        self.fence(txn)?;
         let (tid, data) = self.table(table)?;
         if let Some(buffered) = txn.buffered(tid, key) {
             return Ok(buffered.map(|b| (b, Timestamp::ZERO)));
@@ -587,6 +883,7 @@ impl SpannerDatabase {
         if txn.closed {
             return Err(SpannerError::TxnClosed(txn.id));
         }
+        self.fence(txn)?;
         let (tid, data) = self.table(table)?;
         if let Some(buffered) = txn.buffered(tid, key) {
             return Ok(buffered.map(|b| (b, Timestamp::ZERO)));
@@ -1022,6 +1319,172 @@ mod tests {
             .txn_read_for_update(&mut writer, T, &Key::from("a"))
             .is_err());
         db.abort(&mut reader);
+    }
+
+    #[test]
+    fn acked_commits_survive_crash_and_recover() {
+        let db = db();
+        let disk = SimDisk::new();
+        db.attach_durability(disk.clone());
+        for (k, v) in [("a", "1"), ("b", "2")] {
+            let mut t = db.begin();
+            db.txn_put(&mut t, T, Key::from(k), bytes(v)).unwrap();
+            db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        }
+        db.crash();
+        assert!(db.crashed());
+        assert!(matches!(
+            db.snapshot_read(T, &Key::from("a"), Timestamp::MAX),
+            Err(SpannerError::Unavailable(_))
+        ));
+        let report = db.recover();
+        assert_eq!(report.replayed_txns, 2);
+        assert_eq!(report.replayed_mutations, 2);
+        let ts = db.strong_read_ts();
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("a"), ts).unwrap(),
+            Some(bytes("1"))
+        );
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("b"), ts).unwrap(),
+            Some(bytes("2"))
+        );
+    }
+
+    #[test]
+    fn crash_without_disk_loses_everything() {
+        let db = db();
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("k"), bytes("v")).unwrap();
+        db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap();
+        db.crash();
+        let report = db.recover();
+        assert_eq!(report.replayed_txns, 0);
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("k"), db.strong_read_ts())
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn armed_crash_after_outcome_is_durable_but_unacked() {
+        let db = db();
+        let disk = SimDisk::new();
+        db.attach_durability(disk.clone());
+        let cp = CrashPoints::new();
+        db.set_crash_points(Some(cp.clone()));
+        cp.arm("commit-after-outcome", 0);
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("k"), bytes("v")).unwrap();
+        assert_eq!(
+            db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap_err(),
+            SpannerError::UnknownOutcome
+        );
+        assert_eq!(cp.fired(), Some("commit-after-outcome"));
+        let report = db.recover();
+        assert_eq!(report.replayed_txns, 1, "outcome was durable: replay wins");
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("k"), db.strong_read_ts())
+                .unwrap(),
+            Some(bytes("v"))
+        );
+    }
+
+    #[test]
+    fn armed_crash_after_prepare_discards_undecided_txn() {
+        let db = db();
+        let disk = SimDisk::new();
+        db.attach_durability(disk.clone());
+        let cp = CrashPoints::new();
+        db.set_crash_points(Some(cp.clone()));
+        cp.arm("commit-after-prepare", 0);
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("k"), bytes("v")).unwrap();
+        assert_eq!(
+            db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap_err(),
+            SpannerError::UnknownOutcome
+        );
+        let report = db.recover();
+        assert_eq!(report.replayed_txns, 0);
+        assert_eq!(report.discarded_prepares, 1, "no outcome: prepare dropped");
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("k"), db.strong_read_ts())
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn multi_tablet_crash_between_prepares_stays_atomic() {
+        let db = db();
+        let disk = SimDisk::new();
+        db.attach_durability(disk.clone());
+        db.pre_split(T, vec![Key::from("m")]).unwrap();
+        let cp = CrashPoints::new();
+        db.set_crash_points(Some(cp.clone()));
+        cp.arm("commit-partial-prepare", 0);
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("a"), bytes("1")).unwrap();
+        db.txn_put(&mut t, T, Key::from("z"), bytes("2")).unwrap();
+        assert_eq!(
+            db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap_err(),
+            SpannerError::UnknownOutcome
+        );
+        let report = db.recover();
+        assert_eq!(report.replayed_txns, 0, "undecided 2PC resolves to abort");
+        let ts = db.strong_read_ts();
+        assert_eq!(db.snapshot_read(T, &Key::from("a"), ts).unwrap(), None);
+        assert_eq!(db.snapshot_read(T, &Key::from("z"), ts).unwrap(), None);
+    }
+
+    #[test]
+    fn stale_txn_is_fenced_after_recovery() {
+        let db = db();
+        db.attach_durability(SimDisk::new());
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("k"), bytes("v")).unwrap();
+        db.crash();
+        db.recover();
+        assert_eq!(
+            db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap_err(),
+            SpannerError::TxnClosed(TxnId(1))
+        );
+        // Fresh transactions proceed normally.
+        let mut t2 = db.begin();
+        db.txn_put(&mut t2, T, Key::from("k"), bytes("v2")).unwrap();
+        db.commit(t2, Timestamp::ZERO, Timestamp::MAX).unwrap();
+    }
+
+    #[test]
+    fn fsync_failure_aborts_commit_cleanly() {
+        use simkit::fault::{FaultPlan, FaultRule};
+
+        let db = db();
+        let disk = SimDisk::new();
+        let plan = FaultPlan::new(3).rule(FaultRule::probabilistic(FaultKind::FsyncFail, 1.0));
+        disk.set_fault_injector(Some(FaultInjector::new(
+            db.truetime().clock().clone(),
+            plan,
+        )));
+        db.attach_durability(disk.clone());
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("k"), bytes("v")).unwrap();
+        assert_eq!(
+            db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap_err(),
+            SpannerError::Unavailable("redo-log fsync failed")
+        );
+        // Nothing applied, no lock left behind, and a retry with a fresh
+        // injector-free disk state succeeds.
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("k"), db.strong_read_ts())
+                .unwrap(),
+            None
+        );
+        disk.set_fault_injector(None);
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("k"), bytes("v")).unwrap();
+        db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap();
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub enum SpannerError {
     /// A lock acquisition timed out instead of resolving promptly (injected
     /// by the chaos layer). Retryable like any lock conflict.
     LockTimeout,
+    /// An internal invariant was violated (e.g. a stale table id or a
+    /// corrupted lock-table entry). Surfaced as a typed error so an injected
+    /// fault degrades the one request instead of wedging the whole simulated
+    /// process with a panic. Not retryable.
+    Internal(String),
 }
 
 impl fmt::Display for SpannerError {
@@ -64,6 +69,7 @@ impl fmt::Display for SpannerError {
             SpannerError::SnapshotTooOld => write!(f, "snapshot timestamp is too old"),
             SpannerError::Unavailable(site) => write!(f, "transiently unavailable: {site}"),
             SpannerError::LockTimeout => write!(f, "lock acquisition timed out"),
+            SpannerError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -116,6 +122,7 @@ mod tests {
         assert!(!SpannerError::NoSuchTable("t".into()).is_retryable());
         assert!(!SpannerError::TxnClosed(TxnId(3)).is_retryable());
         assert!(!SpannerError::SnapshotTooOld.is_retryable());
+        assert!(!SpannerError::Internal("bad table id".into()).is_retryable());
         // Aliases agree.
         assert!(SpannerError::LockTimeout.is_retriable());
         assert!(SpannerError::Unavailable("x").is_transient());

@@ -36,6 +36,7 @@ pub mod key;
 pub mod lock;
 pub mod messaging;
 pub mod mvcc;
+pub mod redo;
 pub mod tablet;
 pub mod txn;
 
@@ -43,4 +44,5 @@ pub use cursor::{RangeCursor, ScanBackend, SnapshotBackend};
 pub use database::{CommitInfo, SpannerDatabase, SpannerOptions, TableName};
 pub use error::{SpannerError, SpannerResult};
 pub use key::{Key, KeyRange};
+pub use redo::{RecoveryReport, RedoRecord};
 pub use txn::{ReadWriteTransaction, TxnId};

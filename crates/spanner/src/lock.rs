@@ -94,12 +94,18 @@ impl LockManager {
                             state.mode = LockMode::Exclusive; // upgrade
                             Ok(())
                         } else if already_holds {
-                            // Another reader blocks our upgrade.
-                            let holder = *state
-                                .holders
-                                .iter()
-                                .find(|&&h| h != txn)
-                                .expect("other holder");
+                            // Another reader blocks our upgrade. A holder
+                            // list that contains only us despite len > 1 is
+                            // a corrupted entry: surface it as a typed
+                            // internal error rather than panicking.
+                            let Some(holder) =
+                                state.holders.iter().find(|&&h| h != txn).copied()
+                            else {
+                                return Err(SpannerError::Internal(format!(
+                                    "lock table corrupted: shared holder list for \
+                                     {name:?} duplicates {txn:?}"
+                                )));
+                            };
                             Err(SpannerError::LockConflict {
                                 requester: txn,
                                 holder,
@@ -141,6 +147,15 @@ impl LockManager {
     /// Number of currently locked cells (for tests and metrics).
     pub fn locked_cells(&self) -> usize {
         self.locks.lock().len()
+    }
+
+    /// Drop every lock (a process crash loses the volatile lock table).
+    /// Returns how many cells were locked — the orphan locks discarded.
+    pub fn clear(&self) -> usize {
+        let mut locks = self.locks.lock();
+        let n = locks.len();
+        locks.clear();
+        n
     }
 }
 

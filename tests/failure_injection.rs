@@ -625,3 +625,138 @@ fn listen_stream_survives_cache_outage_without_missed_or_duplicate_events() {
         "every event exactly once across the outage: {seen:?}"
     );
 }
+
+/// Crash recovery under a TrueTime uncertainty spike: replay waits out the
+/// widened interval, replayed commits keep their original timestamps, and
+/// post-recovery commits stay monotonic past the spike.
+#[test]
+fn recovery_correct_under_truetime_spike_during_replay() {
+    use simkit::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+    use simkit::{CrashPoints, SimDisk};
+
+    let (db, _) = setup();
+    let spanner = db.spanner().clone();
+    spanner.attach_durability(SimDisk::new());
+    let cp = CrashPoints::new();
+    spanner.set_crash_points(Some(cp.clone()));
+
+    db.commit_writes(
+        vec![Write::set(doc("/c/a"), [("v", Value::Int(1))])],
+        &Caller::Service,
+    )
+    .unwrap();
+    let acked = db
+        .get_document(&doc("/c/a"), Consistency::Strong, &Caller::Service)
+        .unwrap()
+        .unwrap();
+
+    // Crash in the ambiguous window of the second commit: durably logged,
+    // never acknowledged.
+    cp.arm("commit-after-outcome", 1);
+    let err = db
+        .commit_writes(
+            vec![Write::set(doc("/c/b"), [("v", Value::Int(2))])],
+            &Caller::Service,
+        )
+        .unwrap_err();
+    assert!(matches!(err, FirestoreError::Unknown(_)));
+
+    // A 500 ms uncertainty spike hits exactly during replay.
+    let clock = spanner.truetime().clock().clone();
+    let before = clock.now();
+    let spike = Duration::from_millis(500);
+    let plan = FaultPlan::new(7)
+        .rule(FaultRule::probabilistic(FaultKind::TtUncertaintySpike, 1.0))
+        .with_tt_spike(spike);
+    spanner.set_fault_injector(Some(FaultInjector::new(clock.clone(), plan)));
+    let report = spanner.recover();
+    spanner.set_fault_injector(None);
+    assert!(report.replayed_txns >= 1);
+    assert!(
+        clock.now() >= before + spike,
+        "replay must wait out the widened uncertainty interval"
+    );
+
+    // Replayed state keeps its original commit timestamps.
+    let a = db
+        .get_document(&doc("/c/a"), Consistency::Strong, &Caller::Service)
+        .unwrap()
+        .unwrap();
+    assert_eq!(a.update_time, acked.update_time);
+    // The logged-but-unacked commit recovered too (outcome was durable).
+    let b = db
+        .get_document(&doc("/c/b"), Consistency::Strong, &Caller::Service)
+        .unwrap()
+        .unwrap();
+    assert_eq!(b.fields["v"], Value::Int(2));
+    // New commits are monotonic past the spike.
+    db.commit_writes(
+        vec![Write::set(doc("/c/c"), [("v", Value::Int(3))])],
+        &Caller::Service,
+    )
+    .unwrap();
+    let c = db
+        .get_document(&doc("/c/c"), Consistency::Strong, &Caller::Service)
+        .unwrap()
+        .unwrap();
+    assert!(c.update_time > b.update_time);
+}
+
+/// Crash recovery under message-dequeue drops: the transactional trigger
+/// queue is redo-logged, so messages enqueued before the crash replay, and
+/// dequeue drops active through the replay window neither lose nor
+/// duplicate them — the delivery lands exactly once when the outage ends.
+#[test]
+fn message_drops_during_replay_do_not_lose_trigger_messages() {
+    use firestore_core::triggers::TriggerExecutor;
+    use simkit::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+    use simkit::SimDisk;
+
+    let (db, _) = setup();
+    let spanner = db.spanner().clone();
+    spanner.attach_durability(SimDisk::new());
+    let clock = spanner.truetime().clock().clone();
+    let tid = db.triggers().register("ratings");
+
+    db.commit_writes(
+        vec![Write::set(
+            doc("/restaurants/one/ratings/1"),
+            [("stars", Value::Int(4))],
+        )],
+        &Caller::Service,
+    )
+    .unwrap();
+
+    // Crash before the trigger drains; every dequeue attempt in the next
+    // 10 simulated seconds is dropped, covering the replay window.
+    let start = clock.now();
+    let plan = FaultPlan::new(9).rule(FaultRule::scheduled(
+        FaultKind::MessageDrop,
+        start,
+        start + Duration::from_secs(10),
+    ));
+    spanner.set_fault_injector(Some(FaultInjector::new(clock.clone(), plan)));
+    spanner.crash();
+    let report = spanner.recover();
+    assert!(report.replayed_txns >= 1, "the enqueue commit must replay");
+
+    // While drops are active the drain attempt fails but loses nothing.
+    assert!(
+        TriggerExecutor::drain(db.queue(), tid, 10, |_| {}).is_err(),
+        "dequeue drops surface as transient failures"
+    );
+
+    // Outage over: the message survived crash + drops, delivering once.
+    clock.advance(Duration::from_secs(11));
+    let mut stars = Vec::new();
+    let n = TriggerExecutor::drain(db.queue(), tid, 10, |ev| {
+        if let Some(new) = &ev.new {
+            stars.push(new.fields["stars"].clone());
+        }
+    })
+    .unwrap();
+    assert_eq!(n, 1, "exactly one delivery after recovery");
+    assert_eq!(stars, vec![Value::Int(4)]);
+    let n = TriggerExecutor::drain(db.queue(), tid, 10, |_| {}).unwrap();
+    assert_eq!(n, 0, "no duplicate deliveries");
+}
