@@ -239,6 +239,12 @@ impl LocalStore {
         let mut store = LocalStore::new();
         let mut pos = 0usize;
         store.session = read_u64(bytes, &mut pos)?;
+        // Reserve the adopted session in the process-wide allocator: a
+        // blob can carry a session the allocator has not issued yet (fresh
+        // process), and a later `LocalStore::new` must not collide with it
+        // — colliding `client-{session}:{id}` dedup ids would let one
+        // client's flush ack against another's ledger row.
+        NEXT_SESSION.fetch_max(store.session.saturating_add(1), Ordering::Relaxed);
         store.next_mutation = read_u64(bytes, &mut pos)?;
         let n_docs = read_u32(bytes, &mut pos)?;
         for _ in 0..n_docs {
@@ -441,6 +447,22 @@ mod tests {
         let mut restored = restored;
         let next = restored.enqueue(Write::delete(name("/c/b")));
         assert_eq!(next, second + 1);
+    }
+
+    #[test]
+    fn restored_session_is_reserved_in_the_allocator() {
+        // Craft a blob carrying a session far past anything this process has
+        // issued (a fresh process restoring another machine's cache): the
+        // session field sits right after the 4-byte magic + version byte.
+        let s = LocalStore::new();
+        let mut blob = s.persist();
+        let foreign = u32::MAX as u64 + 17;
+        blob[5..13].copy_from_slice(&foreign.to_be_bytes());
+        let restored = LocalStore::restore(&blob).unwrap();
+        assert_eq!(restored.session_id(), foreign);
+        // A new store must never be handed the restored session — colliding
+        // sessions would collide idempotent write ids across clients.
+        assert!(LocalStore::new().session_id() > foreign);
     }
 
     #[test]

@@ -646,6 +646,42 @@ impl FirestoreDatabase {
         let bytes = rows.iter().map(|(k, v)| k.len() + v.len()).sum();
         Ok((docs, bytes))
     }
+
+    /// Garbage-collect `WriteLedger` rows whose commit is older than
+    /// `older_than`. Without this the ledger grows by one row per client
+    /// mutation forever, inflating storage and recovery replay. A ledger row
+    /// only needs to outlive the longest window in which its `dedup_id`
+    /// could still be retried (the client retry-budget horizon); a retry
+    /// arriving *after* its row was collected re-applies the write, so
+    /// callers must pass a horizon no shorter than their retry policy's.
+    /// Returns the number of rows dropped.
+    pub fn gc_write_ledger(&self, older_than: Timestamp) -> FirestoreResult<usize> {
+        let spanner = &self.inner.spanner;
+        let ts = self.strong_read_ts();
+        let range = self.inner.dir.range();
+        let rows =
+            spanner.snapshot_scan_versioned(WRITE_LEDGER, &range, ts, usize::MAX, false)?;
+        let mut txn = spanner.begin();
+        let mut dropped = 0usize;
+        for (key, _, version_ts) in rows {
+            if version_ts >= older_than {
+                continue;
+            }
+            if let Err(e) = spanner.txn_delete(&mut txn, WRITE_LEDGER, key) {
+                spanner.abort(&mut txn);
+                return Err(e.into());
+            }
+            dropped += 1;
+        }
+        if dropped == 0 {
+            spanner.abort(&mut txn);
+            return Ok(0);
+        }
+        match spanner.commit(txn, Timestamp::ZERO, Timestamp::MAX) {
+            Ok(_) => Ok(dropped),
+            Err(e) => Err(e.into()),
+        }
+    }
 }
 
 impl std::fmt::Debug for FirestoreDatabase {
@@ -812,6 +848,36 @@ mod tests {
     fn put(db: &FirestoreDatabase, path: &str, fs: Vec<(&'static str, Value)>) -> WriteResult {
         db.commit_writes(vec![Write::set(doc(path), fs)], &Caller::Service)
             .unwrap()
+    }
+
+    #[test]
+    fn write_ledger_gc_drops_only_expired_rows() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let spanner = SpannerDatabase::new(clock.clone());
+        let db = FirestoreDatabase::create_default(spanner);
+        let w = |v: i64| vec![Write::set(doc("/c/d"), vec![("v", Value::Int(v))])];
+        let old = db.commit_writes_dedup("old", w(1), &Caller::Service).unwrap();
+        clock.advance(Duration::from_secs(60));
+        let fresh = db
+            .commit_writes_dedup("fresh", w(2), &Caller::Service)
+            .unwrap();
+
+        // Collect rows committed before the retry horizon (between the two).
+        let horizon = old.commit_ts + Duration::from_secs(30);
+        assert_eq!(db.gc_write_ledger(horizon).unwrap(), 1);
+        assert_eq!(db.gc_write_ledger(horizon).unwrap(), 0, "idempotent");
+
+        // The surviving row still dedups: a retry acks the original commit.
+        let retry = db
+            .commit_writes_dedup("fresh", w(2), &Caller::Service)
+            .unwrap();
+        assert_eq!(retry.commit_ts, fresh.commit_ts);
+        assert_eq!(retry.stats, WriteStats::default());
+        // The collected id is past its retry horizon, so a (contract-
+        // violating) late retry re-applies as a fresh commit.
+        let late = db.commit_writes_dedup("old", w(3), &Caller::Service).unwrap();
+        assert!(late.commit_ts > old.commit_ts);
     }
 
     #[test]

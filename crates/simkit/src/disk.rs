@@ -140,6 +140,17 @@ impl SimDisk {
         Ok(())
     }
 
+    /// Drop `log`'s unsynced tail without flushing it. A caller that aborts
+    /// after a failed [`SimDisk::fsync`] must discard the dead record;
+    /// otherwise a later, unrelated fsync of the same log would flush it,
+    /// making a write durable that the caller reported as failed.
+    pub fn discard_unsynced(&self, log: &str) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(l) = st.logs.get_mut(log) {
+            l.unsynced.clear();
+        }
+    }
+
     /// Simulate a process crash: all unsynced tails are lost. Where a
     /// [`FaultKind::TornTail`] fault fires, a *prefix* of the unsynced tail
     /// reaches the durable image instead — a partially flushed record that
@@ -433,6 +444,27 @@ mod tests {
         disk.fsync("wal").unwrap();
         disk.crash();
         assert_eq!(disk.read("wal").records, vec![b"r".to_vec()]);
+    }
+
+    #[test]
+    fn discarded_tail_is_not_flushed_by_a_later_fsync() {
+        let clock = SimClock::new();
+        // First fsync consultation fails, later ones succeed.
+        let plan = FaultPlan::new(1).rule(FaultRule::scheduled(
+            FaultKind::FsyncFail,
+            crate::clock::Timestamp::ZERO,
+            crate::clock::Timestamp::from_nanos(1),
+        ));
+        let disk = SimDisk::new();
+        disk.set_fault_injector(Some(FaultInjector::new(clock.clone(), plan)));
+        disk.append("wal", b"dead");
+        assert_eq!(disk.fsync("wal"), Err(DiskError::FsyncFailed));
+        disk.discard_unsynced("wal");
+        clock.advance(crate::clock::Duration::from_millis(1));
+        disk.append("wal", b"live");
+        disk.fsync("wal").unwrap();
+        disk.crash();
+        assert_eq!(disk.read("wal").records, vec![b"live".to_vec()]);
     }
 
     #[test]

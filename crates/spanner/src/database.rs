@@ -16,7 +16,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use simkit::fault::{FaultInjector, FaultKind};
 use simkit::{CrashPoints, SimClock, SimDisk, Timestamp, TrueTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -243,10 +243,14 @@ impl SpannerDatabase {
         // 1. The coordinator log decides which transactions committed.
         let outcomes = disk.read(OUTCOMES_LOG);
         report.torn_tails += usize::from(outcomes.torn_tail);
-        let mut committed: HashMap<u64, Timestamp> = HashMap::new();
+        // Keyed by (txn id, commit ts), not txn id alone: the on-disk format
+        // permits duplicate txn ids (a fresh database attached to an existing
+        // disk restarts the id sequence), and an id reuse must not shadow an
+        // earlier acked commit's outcome.
+        let mut committed: HashSet<(u64, Timestamp)> = HashSet::new();
         for raw in &outcomes.records {
             if let Some(RedoRecord::Outcome { txn_id, commit_ts }) = RedoRecord::decode(raw) {
-                committed.insert(txn_id, commit_ts);
+                committed.insert((txn_id, commit_ts));
             }
         }
         // 2. Scan every participant log, keeping prepared mutations whose
@@ -267,7 +271,7 @@ impl SpannerDatabase {
                 else {
                     continue;
                 };
-                if committed.get(&txn_id) == Some(&commit_ts) {
+                if committed.contains(&(txn_id, commit_ts)) {
                     replayed_txns.insert(txn_id, ());
                     for (key, value) in mutations {
                         replayed.push((commit_ts, txn_id, table, key, value));
@@ -675,10 +679,19 @@ impl SpannerDatabase {
                     };
                     let log = tablet_log(tid, tablet_idx);
                     disk.append(&log, &record.encode());
+                    // A crash between the append and its fsync dies mid
+                    // log write: the record is in flight, not durable, and
+                    // may reach the disk torn.
+                    if self.crash_if_armed("commit-prepare-unsynced") {
+                        return Err(SpannerError::UnknownOutcome);
+                    }
                     if disk.fsync(&log).is_err() {
-                        // The prepare is not durable; abort cleanly. Earlier
+                        // The prepare is not durable; discard the dead
+                        // record (a later commit's fsync of this log must
+                        // not flush it) and abort cleanly. Earlier
                         // participants' prepares may be durable but have no
                         // outcome, so recovery discards them.
+                        disk.discard_unsynced(&log);
                         self.abort(&mut txn);
                         return Err(SpannerError::Unavailable("redo-log fsync failed"));
                     }
@@ -699,7 +712,19 @@ impl SpannerDatabase {
                     commit_ts,
                 };
                 disk.append(OUTCOMES_LOG, &outcome.encode());
+                // A crash here dies mid write of the outcome record: not
+                // durable, possibly torn — recovery resolves to abort.
+                if self.crash_if_armed("commit-outcome-unsynced") {
+                    return Err(SpannerError::UnknownOutcome);
+                }
                 if disk.fsync(OUTCOMES_LOG).is_err() {
+                    // The outcome is not durable, so the transaction aborts
+                    // — but the appended record still sits in the shared
+                    // log's unsynced tail, and the next successful commit's
+                    // fsync would flush it, silently resurrecting this
+                    // aborted transaction after a crash (its prepares are
+                    // already durable). Discard the tail before aborting.
+                    disk.discard_unsynced(OUTCOMES_LOG);
                     self.abort(&mut txn);
                     return Err(SpannerError::Unavailable("redo-log fsync failed"));
                 }
@@ -1485,6 +1510,59 @@ mod tests {
         let mut t = db.begin();
         db.txn_put(&mut t, T, Key::from("k"), bytes("v")).unwrap();
         db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap();
+    }
+
+    #[test]
+    fn failed_outcome_fsync_cannot_resurrect_aborted_txn() {
+        use simkit::fault::{FaultPlan, FaultRule};
+        use simkit::SimRng;
+
+        let db = db();
+        let disk = SimDisk::new();
+        // A single-participant commit consults FsyncFail twice: the prepare
+        // fsync, then the outcome fsync. Find a seed whose first draw lets
+        // the prepare through and whose second fails the outcome, so the
+        // prepare is durable but the outcome append is left unsynced.
+        let p = 0.5;
+        let seed = (0u64..)
+            .find(|&s| {
+                let mut r = SimRng::new(s);
+                r.next_f64() >= p && r.next_f64() < p
+            })
+            .unwrap();
+        let plan = FaultPlan::new(seed).rule(FaultRule::probabilistic(FaultKind::FsyncFail, p));
+        disk.set_fault_injector(Some(FaultInjector::new(
+            db.truetime().clock().clone(),
+            plan,
+        )));
+        db.attach_durability(disk.clone());
+
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("poison"), bytes("v1")).unwrap();
+        assert_eq!(
+            db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap_err(),
+            SpannerError::Unavailable("redo-log fsync failed")
+        );
+
+        // A later commit fsyncs the shared outcomes log successfully. It
+        // must not flush the aborted transaction's stale outcome record.
+        disk.set_fault_injector(None);
+        let mut t = db.begin();
+        db.txn_put(&mut t, T, Key::from("other"), bytes("v2")).unwrap();
+        db.commit(t, Timestamp::ZERO, Timestamp::MAX).unwrap();
+
+        db.crash();
+        db.recover();
+        let ts = db.strong_read_ts();
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("poison"), ts).unwrap(),
+            None,
+            "aborted txn must not become durable via a later commit's fsync"
+        );
+        assert_eq!(
+            db.snapshot_read(T, &Key::from("other"), ts).unwrap(),
+            Some(bytes("v2"))
+        );
     }
 
     #[test]

@@ -455,8 +455,10 @@ fn crash_point_sweep() {
     println!("registered crash sites: {sites:?}");
     for expected in [
         "commit-before-log",
+        "commit-prepare-unsynced",
         "commit-partial-prepare",
         "commit-after-prepare",
+        "commit-outcome-unsynced",
         "commit-after-outcome",
         "commit-after-apply",
     ] {
@@ -484,10 +486,11 @@ fn crash_point_sweep() {
 }
 
 /// Torn redo-log tails are detected and truncated. The commit path fsyncs
-/// every append, so the one way an unsynced tail arises is a *failed*
-/// fsync (the commit aborts but the appended record lingers unsynced); a
-/// crash then tears that tail, and recovery must not let the half-written
-/// record resurrect the aborted transaction.
+/// every append and discards the tail when an fsync fails, so the way an
+/// unsynced tail exists at crash time is a crash *between* an append and
+/// its fsync (the `commit-*-unsynced` sites); with a `TornTail` fault a
+/// prefix of the half-written record reaches the durable image, and
+/// recovery must not let it resurrect the unacknowledged transaction.
 #[test]
 fn torn_tail_recovers_to_consistent_state() {
     use simkit::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
@@ -505,26 +508,28 @@ fn torn_tail_recovers_to_consistent_state() {
     )
     .unwrap();
 
-    // Next commit's prepare fsync fails: clean abort, but the appended
-    // prepare record stays in the unsynced tail.
-    let fsync_fail = FaultPlan::new(seed).rule(FaultRule::probabilistic(FaultKind::FsyncFail, 1.0));
-    disk.set_fault_injector(Some(FaultInjector::new(clock.clone(), fsync_fail)));
+    // The next commit dies between the outcome append and its fsync, with
+    // a TornTail fault active: its prepares are durable, and a prefix of
+    // the half-written outcome record reaches the durable image.
+    let torn = FaultPlan::new(seed).rule(FaultRule::probabilistic(FaultKind::TornTail, 1.0));
+    disk.set_fault_injector(Some(FaultInjector::new(clock, torn)));
+    let points = CrashPoints::new();
+    points.arm("commit-outcome-unsynced", 0);
+    spanner.set_crash_points(Some(points));
     let err = db
         .commit_writes(
             vec![Write::set(doc("/c/a1"), [("v", Value::Int(2))])],
             &Caller::Service,
         )
         .unwrap_err();
-    assert!(matches!(err, FirestoreError::Unavailable(_)));
-
-    // Crash with a TornTail fault: a prefix of the unsynced tail reaches
-    // the durable image as a half-written record.
-    let torn = FaultPlan::new(seed).rule(FaultRule::probabilistic(FaultKind::TornTail, 1.0));
-    disk.set_fault_injector(Some(FaultInjector::new(clock, torn)));
-    spanner.crash();
+    assert!(matches!(err, FirestoreError::Unknown(_)));
 
     let report = spanner.recover();
     assert!(report.torn_tails > 0, "the torn tail must be observed");
+    assert!(
+        report.discarded_prepares > 0,
+        "the prepared-but-undecided participant resolves to abort"
+    );
     let got = db
         .get_document(&doc("/c/a1"), Consistency::Strong, &Caller::Service)
         .unwrap()
@@ -532,7 +537,7 @@ fn torn_tail_recovers_to_consistent_state() {
     assert_eq!(
         got.fields["v"],
         Value::Int(1),
-        "the aborted commit must not survive via a torn tail"
+        "the unacked commit must not survive via a torn tail"
     );
     verify_index_consistency(&db, "after torn-tail recovery");
 }
