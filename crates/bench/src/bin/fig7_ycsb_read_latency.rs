@@ -45,7 +45,7 @@ fn main() {
             generator
                 .load(&svc.database("ycsb").unwrap(), &mut rng)
                 .unwrap();
-            let mut report = run_ycsb(
+            let report = run_ycsb(
                 &svc,
                 "ycsb",
                 &generator,
@@ -57,7 +57,7 @@ fn main() {
                     ..DriverConfig::default()
                 },
             );
-            p_series.add_point(qps, &mut report.read_latency);
+            p_series.add_point_hist(qps, &report.read_latency);
             eprintln!(
                 "  workload {} @ {qps:>6} QPS: {} ops, {} real, backend scaled to {} tasks",
                 workload.label(),

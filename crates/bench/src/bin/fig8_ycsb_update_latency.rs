@@ -42,7 +42,7 @@ fn main() {
             generator
                 .load(&svc.database("ycsb").unwrap(), &mut rng)
                 .unwrap();
-            let mut report = run_ycsb(
+            let report = run_ycsb(
                 &svc,
                 "ycsb",
                 &generator,
@@ -54,11 +54,11 @@ fn main() {
                     ..DriverConfig::default()
                 },
             );
-            p_series.add_point(qps, &mut report.update_latency);
+            p_series.add_point_hist(qps, &report.update_latency);
             eprintln!(
                 "  workload {} @ {qps:>6} QPS: {} update samples",
                 workload.label(),
-                report.update_latency.len()
+                report.update_latency.total()
             );
         }
         all_series.push(p_series);

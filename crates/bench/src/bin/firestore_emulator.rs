@@ -166,16 +166,21 @@ impl Emulator {
                     "update" => firestore_core::Write::update(name, fields),
                     _ => firestore_core::Write::set(name, fields),
                 };
-                let (result, _) = self
+                let (result, served) = self
                     .service
                     .commit("emulator", vec![w], &self.caller, &mut self.rng)
                     .map_err(|e| e.to_string())?;
                 self.service.realtime().tick();
-                Ok(format!("committed at {}", result.commit_ts))
+                Ok(format!(
+                    "committed at {}\nphases: {}",
+                    result.commit_ts,
+                    served.breakdown.render()
+                ))
             }
             "delete" => {
                 let path = args.first().ok_or("delete needs a document path")?;
-                self.service
+                let (_, served) = self
+                    .service
                     .commit(
                         "emulator",
                         vec![firestore_core::Write::delete(doc(path))],
@@ -184,35 +189,42 @@ impl Emulator {
                     )
                     .map_err(|e| e.to_string())?;
                 self.service.realtime().tick();
-                Ok("deleted".to_string())
+                Ok(format!("deleted\nphases: {}", served.breakdown.render()))
             }
             "get" => {
                 let path = args.first().ok_or("get needs a document path")?;
-                let (d, _) = self
+                let (d, served) = self
                     .service
                     .get_document("emulator", &doc(path), &self.caller, &mut self.rng)
                     .map_err(|e| e.to_string())?;
-                match d {
-                    Some(d) => Ok(format!("{d}")),
-                    None => Ok("(not found)".to_string()),
-                }
+                let body = match d {
+                    Some(d) => format!("{d}"),
+                    None => "(not found)".to_string(),
+                };
+                Ok(format!("{body}\nphases: {}", served.breakdown.render()))
             }
             "query" => {
                 let q = parse_query(args)?;
                 match self
                     .service
                     .run_query("emulator", &q, &self.caller, &mut self.rng)
-                    .map(|(r, _)| r)
                 {
-                    Ok(result) => {
+                    Ok((result, served)) => {
+                        let stats = served.query_stats.unwrap_or(result.stats);
                         let mut out = format!(
-                            "{} result(s), {} index entries scanned\n",
+                            "{} result(s); stats: entries_examined={} entries_returned={} \
+                             seeks={} docs_fetched={} bytes_returned={}\n",
                             result.documents.len(),
-                            result.stats.entries_examined
+                            stats.entries_examined,
+                            stats.entries_returned,
+                            stats.seeks,
+                            stats.docs_fetched,
+                            stats.bytes_returned,
                         );
                         for d in &result.documents {
                             out.push_str(&format!("  {d}\n"));
                         }
+                        out.push_str(&format!("phases: {}", served.breakdown.render()));
                         Ok(out)
                     }
                     Err(FirestoreError::MissingIndex { suggestion }) => Err(format!(
@@ -221,6 +233,30 @@ impl Emulator {
                     Err(e) => Err(e.to_string()),
                 }
             }
+            "explain" => {
+                // explain [analyze] <query...>
+                let (analyze, rest) = match args.first() {
+                    Some(&"analyze") => (true, &args[1..]),
+                    _ => (false, args),
+                };
+                let q = parse_query(rest)?;
+                let rendered = if analyze {
+                    self.database
+                        .explain_analyze(&q, Consistency::Strong, &self.caller)
+                        .map(|(text, _)| text)
+                } else {
+                    self.database.explain(&q)
+                };
+                match rendered {
+                    Ok(text) => Ok(text),
+                    Err(FirestoreError::MissingIndex { suggestion }) => Err(format!(
+                        "missing index — create it with: index {suggestion}"
+                    )),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            "metrics" => Ok(self.service.obs().metrics.snapshot().to_text()),
+            "trace" => Ok(self.service.obs().tracer.render()),
             "count" => {
                 let q = parse_query(args)?;
                 let (n, stats) = self
@@ -354,6 +390,8 @@ commands:
   get    /coll/doc                     point read
   query  /coll [where f op v]... [order f asc|desc]... [limit n] [offset n]
   count  /coll [where ...]             COUNT aggregation
+  explain [analyze] /coll [where ...]  render the chosen query plan
+                                       (analyze: also execute and join stats)
   index  <collection> f:asc g:desc     build a composite index (with backfill)
   exempt <collection> <field>          exclude a field from auto-indexing
   listen /coll [where ...]             register a real-time query
@@ -363,6 +401,8 @@ commands:
   rules clear                          remove rules
   auth <uid>|anon|service              switch the caller identity
   stats                                storage / realtime / billing counters
+  metrics                              observability metrics snapshot
+  trace                                render the deterministic trace so far
   quit
 values: 42, 4.5, true, false, null, \"quoted string\", bareword";
 

@@ -1,0 +1,173 @@
+//! Observability smoke run (E11): seeded workload, trace + metrics artifacts.
+//!
+//! Drives a short YCSB-A mix plus a handful of queries through the full
+//! service, then writes the deterministic trace and the metrics snapshot to
+//! an output directory and prints the per-phase latency breakdown table
+//! (queue / plan / execute / lock-wait / commit-wait / fanout).
+//!
+//! Fixed-seed runs are byte-identical: CI runs this binary twice with the
+//! same `--seed` and `diff`s the two `trace.txt` files — any divergence is
+//! a determinism regression in the engine or the tracer.
+//!
+//! ```text
+//! cargo run -p bench --bin obs_smoke -- --seed 181 --out target/obs_smoke
+//! ```
+
+use bench::banner;
+use firestore_core::{Caller, Direction, Query};
+use server::{FirestoreService, ServiceOptions};
+use simkit::{Duration, SimClock, SimRng};
+use workloads::driver::{run_ycsb, DriverConfig};
+use workloads::ycsb::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+
+const DATABASE: &str = "obs";
+
+fn main() {
+    let mut seed: u64 = 0xB5;
+    let mut out = String::from("target/obs_smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--out" => {
+                out = it.next().expect("--out needs a directory").clone();
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    banner(
+        "observability smoke (E11)",
+        "seeded YCSB-A mix; per-phase latency breakdown, trace and metrics artifacts",
+    );
+    println!("(seed {seed}, output dir {out})");
+
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    let svc = FirestoreService::new(
+        clock,
+        ServiceOptions {
+            obs_seed: seed,
+            ..ServiceOptions::default()
+        },
+    );
+    let db = svc.create_database(DATABASE);
+
+    // Load a small YCSB table and run the mix at modest QPS: enough traffic
+    // to exercise every instrumented site, small enough for a CI smoke job.
+    let generator = YcsbGenerator::new(YcsbConfig {
+        workload: YcsbWorkload::A,
+        records: 400,
+        field_size: 64,
+    });
+    let mut rng = SimRng::new(seed ^ 0x5EED);
+    generator.load(&db, &mut rng).expect("ycsb load");
+    let report = run_ycsb(
+        &svc,
+        DATABASE,
+        &generator,
+        &DriverConfig {
+            target_qps: 200.0,
+            duration: Duration::from_secs(20),
+            warmup: Duration::from_secs(5),
+            sample_every: 5,
+            quantum: Duration::from_micros(250),
+            seed,
+        },
+    );
+    println!(
+        "ycsb: {} ops offered, {} real executions, read p50 {:.2}ms",
+        report.operations,
+        report.real_executions,
+        report.read_latency.quantile(0.5).unwrap_or(0.0)
+    );
+
+    // A few planner-visible queries so the `op=query` phase rows exist.
+    for limit in [1usize, 5, 25] {
+        let q = Query::parse("/usertable")
+            .unwrap()
+            .order_by("field0", Direction::Asc)
+            .limit(limit);
+        svc.run_query(DATABASE, &q, &Caller::Service, &mut rng)
+            .expect("smoke query");
+    }
+    // And service-path commits (run_ycsb's real updates go straight to the
+    // engine), so the `op=commit` rows carry lock-wait / commit-wait / fanout.
+    for i in 0..32 {
+        let w = firestore_core::Write::set(
+            firestore_core::database::doc(&format!("/obs/doc{i:03}")),
+            [("n", firestore_core::Value::Int(i))],
+        );
+        svc.commit(DATABASE, vec![w], &Caller::Service, &mut rng)
+            .expect("smoke commit");
+    }
+
+    // Per-phase latency breakdown table (spirit of the paper's Fig 7: where
+    // does a request's latency actually go).
+    let metrics = &svc.obs().metrics;
+    println!();
+    println!(
+        "{:<8} {:<12} {:>8} {:>10} {:>10}",
+        "op", "phase", "count", "p50_ms", "p99_ms"
+    );
+    let queue = metrics.histogram("phase_ms", &[("db", DATABASE), ("phase", "queue")]);
+    if let Some(h) = queue {
+        println!(
+            "{:<8} {:<12} {:>8} {:>10.3} {:>10.3}",
+            "(sched)",
+            "queue",
+            h.total(),
+            h.quantile(0.5).unwrap_or(0.0),
+            h.quantile(0.99).unwrap_or(0.0)
+        );
+    }
+    for op in ["get", "query", "commit"] {
+        for phase in [
+            "queue",
+            "plan",
+            "execute",
+            "lock_wait",
+            "commit_wait",
+            "fanout",
+        ] {
+            let labels = [("db", DATABASE), ("op", op), ("phase", phase)];
+            if let Some(h) = metrics.histogram("phase_ms", &labels) {
+                println!(
+                    "{:<8} {:<12} {:>8} {:>10.3} {:>10.3}",
+                    op,
+                    phase,
+                    h.total(),
+                    h.quantile(0.5).unwrap_or(0.0),
+                    h.quantile(0.99).unwrap_or(0.0)
+                );
+            }
+        }
+    }
+
+    // Artifacts: the deterministic trace and both metrics snapshot formats.
+    let dir = std::path::PathBuf::from(&out);
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let trace = svc.obs().tracer.render();
+    let snapshot = svc.obs().metrics.snapshot();
+    std::fs::write(dir.join("trace.txt"), &trace).expect("write trace");
+    std::fs::write(dir.join("metrics.json"), snapshot.to_json()).expect("write metrics json");
+    std::fs::write(dir.join("metrics.txt"), snapshot.to_text()).expect("write metrics text");
+    println!();
+    println!(
+        "(wrote {}, {}, {})",
+        dir.join("trace.txt").display(),
+        dir.join("metrics.json").display(),
+        dir.join("metrics.txt").display()
+    );
+    println!(
+        "trace: {} spans finished, {} metric series",
+        svc.obs().tracer.finished_count(),
+        snapshot.len()
+    );
+}

@@ -189,21 +189,25 @@ fn main() {
         );
     }
 
-    let mut json = String::from("{\n  \"bench\": \"query_scaling\",\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!(
-        "  \"sizes\": [{}],\n  \"results\": [\n",
-        sizes
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"index_size\": {}, \"query\": \"{}\", \"limit\": {}, \"join_width\": {}, \
+    let mut report = bench::report::BenchReport::new("query_scaling")
+        .field("smoke", smoke.to_string())
+        .metrics(&svc.obs().metrics.snapshot())
+        .field(
+            "sizes",
+            format!(
+                "[{}]",
+                sizes
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+    for r in &rows {
+        report.row(format!(
+            "{{\"index_size\": {}, \"query\": \"{}\", \"limit\": {}, \"join_width\": {}, \
              \"wall_us_p50\": {}, \"entries_examined\": {}, \"entries_returned\": {}, \
-             \"seeks\": {}, \"docs_fetched\": {}, \"model_storage_us\": {}}}{}\n",
+             \"seeks\": {}, \"docs_fetched\": {}, \"model_storage_us\": {}}}",
             r.index_size,
             r.query,
             r.limit,
@@ -214,10 +218,7 @@ fn main() {
             r.seeks,
             r.docs_fetched,
             r.model_storage_us,
-            if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_query_scaling.json", &json).expect("write BENCH_query_scaling.json");
-    println!("(wrote BENCH_query_scaling.json)");
+    report.write();
 }

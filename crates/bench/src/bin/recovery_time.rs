@@ -108,22 +108,14 @@ fn main() {
         );
     }
 
-    let mut json = String::from("{\n  \"bench\": \"recovery_time\",\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n  \"results\": [\n"));
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"commits\": {}, \"replayed_txns\": {}, \"replayed_mutations\": {}, \
-             \"logs_scanned\": {}, \"wall_ms\": {:.3}, \"per_txn_us\": {:.3}}}{}\n",
-            r.commits,
-            r.replayed_txns,
-            r.replayed_mutations,
-            r.logs_scanned,
-            r.wall_ms,
-            r.per_txn_us,
-            if i + 1 == rows.len() { "" } else { "," }
+    let mut report =
+        bench::report::BenchReport::new("recovery").field("smoke", smoke.to_string());
+    for r in &rows {
+        report.row(format!(
+            "{{\"commits\": {}, \"replayed_txns\": {}, \"replayed_mutations\": {}, \
+             \"logs_scanned\": {}, \"wall_ms\": {:.3}, \"per_txn_us\": {:.3}}}",
+            r.commits, r.replayed_txns, r.replayed_mutations, r.logs_scanned, r.wall_ms, r.per_txn_us,
         ));
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
-    println!("(wrote BENCH_recovery.json)");
+    report.write();
 }

@@ -7,6 +7,8 @@
 //! printing the series to stdout and writing CSV under
 //! `target/experiments/`.
 
+pub mod report;
+
 use simkit::stats::LatencySeries;
 use std::fs;
 use std::path::PathBuf;

@@ -306,6 +306,7 @@ impl FirestoreClient {
     /// acknowledging it — acks from the ledger instead of applying twice.
     pub fn flush(&self) -> Result<(), ClientError> {
         let clock = self.db.spanner().truetime().clock().clone();
+        let obs = self.db.obs();
         loop {
             let (id, write, session) = {
                 let st = self.state.lock();
@@ -320,6 +321,11 @@ impl FirestoreClient {
             };
             let name = write.op.name().clone();
             let dedup_id = format!("client-{session}:{id}");
+            let span = obs.as_ref().map(|o| o.tracer.span("client.flush"));
+            if let Some(s) = &span {
+                s.attr("doc", &name);
+                s.attr("dedup_id", &dedup_id);
+            }
             let mut backoff = Backoff::new(self.retry_policy, clock.now().as_nanos());
             let outcome = loop {
                 match self
@@ -344,12 +350,34 @@ impl FirestoreClient {
                         };
                         if !can_retry {
                             // Budget drained: stay queued, don't amplify.
+                            if let Some(o) = &obs {
+                                o.metrics.incr("client.flush.stalled", &[("cause", "budget")], 1);
+                            }
                             return Ok(());
                         }
                         match backoff.next_delay() {
-                            Some(delay) => clock.advance(delay),
+                            Some(delay) => {
+                                if let Some(o) = &obs {
+                                    o.metrics.incr("client.flush.retries", &[], 1);
+                                    o.metrics
+                                        .observe_duration("client.flush.backoff_ms", &[], delay);
+                                }
+                                if let Some(s) = &span {
+                                    s.event(format!("retry backoff={}ns", delay.as_nanos()));
+                                }
+                                clock.advance(delay)
+                            }
                             // Attempts exhausted: stay queued for later.
-                            None => return Ok(()),
+                            None => {
+                                if let Some(o) = &obs {
+                                    o.metrics.incr(
+                                        "client.flush.stalled",
+                                        &[("cause", "attempts")],
+                                        1,
+                                    );
+                                }
+                                return Ok(());
+                            }
                         };
                     }
                     Err(e) => break Err(e),
@@ -357,6 +385,9 @@ impl FirestoreClient {
             };
             match outcome {
                 Ok(result) => {
+                    if let Some(o) = &obs {
+                        o.metrics.incr("client.flushes", &[], 1);
+                    }
                     let mut st = self.state.lock();
                     st.store.remove_pending(id);
                     // The acknowledged server state equals the write.
@@ -393,6 +424,9 @@ impl FirestoreClient {
                 }
                 Err(e) => {
                     // Permanent rejection: roll back the local effect.
+                    if let Some(o) = &obs {
+                        o.metrics.incr("client.flush.rejected", &[], 1);
+                    }
                     let mut st = self.state.lock();
                     st.store.remove_pending(id);
                     st.write_errors.push(ClientError::WriteRejected(e));

@@ -20,7 +20,7 @@ use crate::write::Precondition;
 use crate::write::{self, Caller, Write, WriteResult, WriteStats};
 use parking_lot::RwLock;
 use rules::{Method, RequestContext, Ruleset};
-use simkit::{Duration, Timestamp};
+use simkit::{Duration, Obs, Timestamp};
 use spanner::database::DirectoryId;
 use spanner::messaging::MessageQueue;
 use spanner::{ReadWriteTransaction, SpannerDatabase};
@@ -122,6 +122,29 @@ impl FirestoreDatabase {
     /// The directory this database occupies.
     pub fn directory(&self) -> DirectoryId {
         self.inner.dir
+    }
+
+    /// The observability handle, if one was attached to the underlying
+    /// Spanner database (the service attaches one handle for the whole
+    /// stack, so spans from every layer share one trace).
+    pub fn obs(&self) -> Option<Obs> {
+        self.inner.spanner.obs()
+    }
+
+    /// Record the executor's work counters into the metrics registry and
+    /// onto the enclosing span, labelled with this database's id.
+    fn observe_query_stats(&self, obs: &Obs, kind: &str, stats: &crate::executor::QueryStats) {
+        let labels = [("db", self.id()), ("kind", kind)];
+        obs.metrics.incr("query.runs", &labels, 1);
+        obs.metrics
+            .incr("query.entries_examined", &labels, stats.entries_examined as u64);
+        obs.metrics
+            .incr("query.entries_returned", &labels, stats.entries_returned as u64);
+        obs.metrics.incr("query.seeks", &labels, stats.seeks as u64);
+        obs.metrics
+            .incr("query.docs_fetched", &labels, stats.docs_fetched as u64);
+        obs.metrics
+            .incr("query.bytes_returned", &labels, stats.bytes_returned as u64);
     }
 
     /// The transactional message queue (used by triggers).
@@ -249,14 +272,36 @@ impl FirestoreDatabase {
         caller: &Caller,
     ) -> FirestoreResult<QueryResult> {
         let ts = self.read_ts(consistency);
-        let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
-        let result = executor::execute(
-            &self.inner.spanner,
-            self.inner.dir,
-            &plan,
-            query,
-            ReadAccess::Snapshot(ts),
-        )?;
+        let obs = self.obs();
+        let plan = {
+            let span = obs.as_ref().map(|o| o.tracer.span("query.plan"));
+            let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
+            if let Some(s) = &span {
+                s.attr("collection", &query.collection);
+                s.attr("joined_indexes", plan.joined_indexes());
+            }
+            plan
+        };
+        let result = {
+            let span = obs.as_ref().map(|o| o.tracer.span("query.execute"));
+            let result = executor::execute(
+                &self.inner.spanner,
+                self.inner.dir,
+                &plan,
+                query,
+                ReadAccess::Snapshot(ts),
+            )?;
+            if let Some(s) = &span {
+                s.attr("entries_examined", result.stats.entries_examined);
+                s.attr("entries_returned", result.stats.entries_returned);
+                s.attr("seeks", result.stats.seeks);
+                s.attr("docs_fetched", result.stats.docs_fetched);
+            }
+            result
+        };
+        if let Some(o) = &obs {
+            self.observe_query_stats(o, "query", &result.stats);
+        }
         if caller.is_third_party() {
             // Authorize each returned document as a `list` access. (The
             // production service proves the query's constraints satisfy the
@@ -280,15 +325,35 @@ impl FirestoreDatabase {
         work_limit: usize,
     ) -> FirestoreResult<QueryResult> {
         let ts = self.read_ts(consistency);
-        let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
-        let result = executor::execute_limited(
-            &self.inner.spanner,
-            self.inner.dir,
-            &plan,
-            query,
-            ReadAccess::Snapshot(ts),
-            work_limit,
-        )?;
+        let obs = self.obs();
+        let plan = {
+            let span = obs.as_ref().map(|o| o.tracer.span("query.plan"));
+            let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
+            if let Some(s) = &span {
+                s.attr("collection", &query.collection);
+                s.attr("joined_indexes", plan.joined_indexes());
+            }
+            plan
+        };
+        let result = {
+            let span = obs.as_ref().map(|o| o.tracer.span("query.execute"));
+            let result = executor::execute_limited(
+                &self.inner.spanner,
+                self.inner.dir,
+                &plan,
+                query,
+                ReadAccess::Snapshot(ts),
+                work_limit,
+            )?;
+            if let Some(s) = &span {
+                s.attr("entries_examined", result.stats.entries_examined);
+                s.attr("truncated", result.resume_after.is_some());
+            }
+            result
+        };
+        if let Some(o) = &obs {
+            self.observe_query_stats(o, "partial", &result.stats);
+        }
         if caller.is_third_party() {
             for doc in &result.documents {
                 self.authorize_read(&doc.name, Some(doc), Method::List, caller, ts)?;
@@ -319,9 +384,52 @@ impl FirestoreDatabase {
         // semantics with no window... production COUNT respects the window;
         // we count the windowed result set to match it.
         let ts = self.read_ts(consistency);
+        let obs = self.obs();
         let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
         let counted = executor::count(&self.inner.spanner, self.inner.dir, &plan, query, ts)?;
+        if let Some(o) = &obs {
+            self.observe_query_stats(o, "count", &counted.1);
+        }
         Ok(counted)
+    }
+
+    // --- EXPLAIN ------------------------------------------------------------
+
+    /// EXPLAIN: plan the query and render the chosen access path (indexes,
+    /// zig-zag arms, pushed-down window) as a deterministic text tree,
+    /// without executing it.
+    pub fn explain(&self, query: &Query) -> FirestoreResult<String> {
+        let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
+        let catalog = self.inner.catalog.read();
+        Ok(crate::explain::render_plan(&catalog, query, &plan))
+    }
+
+    /// EXPLAIN ANALYZE: plan, execute, and render the plan tree joined with
+    /// the executor's observed work counters. Returns the rendering and the
+    /// full query result.
+    pub fn explain_analyze(
+        &self,
+        query: &Query,
+        consistency: Consistency,
+        caller: &Caller,
+    ) -> FirestoreResult<(String, QueryResult)> {
+        let ts = self.read_ts(consistency);
+        let plan = plan_query(&mut self.inner.catalog.write(), self.inner.dir, query)?;
+        let result = executor::execute(
+            &self.inner.spanner,
+            self.inner.dir,
+            &plan,
+            query,
+            ReadAccess::Snapshot(ts),
+        )?;
+        if caller.is_third_party() {
+            for doc in &result.documents {
+                self.authorize_read(&doc.name, Some(doc), Method::List, caller, ts)?;
+            }
+        }
+        let catalog = self.inner.catalog.read();
+        let text = crate::explain::render_analyze(&catalog, query, &plan, &result.stats);
+        Ok((text, result))
     }
 
     // --- writes -------------------------------------------------------------
@@ -422,6 +530,12 @@ impl FirestoreDatabase {
     ) -> FirestoreResult<WriteResult> {
         let spanner = &self.inner.spanner;
         let dir = self.inner.dir;
+        let obs = self.obs();
+        let pipeline_span = obs.as_ref().map(|o| o.tracer.span("core.commit_pipeline"));
+        if let Some(s) = &pipeline_span {
+            s.attr("db", self.id());
+            s.attr("writes", writes.len());
+        }
 
         if let Some(dl) = deadline {
             if dl.expired(spanner.truetime().clock().now()) {
@@ -554,6 +668,13 @@ impl FirestoreDatabase {
         match spanner.commit(taken, min_ts, max_ts) {
             Ok(info) => {
                 stats.participants = info.participants;
+                stats.lock_wait = info.lock_wait;
+                stats.commit_wait = info.commit_wait;
+                if let Some(s) = &pipeline_span {
+                    s.attr("commit_ts", info.commit_ts.as_nanos());
+                    s.attr("documents", stats.documents);
+                    s.attr("index_entries", stats.index_entries_touched);
+                }
                 // Step 7: Accept with full document copies at the commit
                 // timestamp.
                 let mut final_changes = changes;

@@ -1,0 +1,218 @@
+//! EXPLAIN / EXPLAIN ANALYZE: render the planner's chosen access path as a
+//! deterministic text tree, optionally joined with the executor's live
+//! [`QueryStats`].
+//!
+//! The paper's planner compiles every query to index scans (§III-C, §IV-D3);
+//! this module makes the compilation inspectable: which indexes were chosen,
+//! how many zig-zag participants and `in`-union arms each has, what suffix
+//! bounds the inequality contributed, and what result window was pushed down
+//! into the executor. The ANALYZE variant appends the observed work counters
+//! so billed cost ("entries examined") can be audited against the plan.
+//!
+//! Rendering is byte-deterministic: plans print in structural order, sizes
+//! in bytes, no floats, no addresses — a fixed seed produces identical
+//! EXPLAIN output across runs, so goldens can pin exact strings.
+
+use crate::executor::QueryStats;
+use crate::index::IndexCatalog;
+use crate::planner::{Plan, PlanNode, ScanSpec, SuffixBound};
+use crate::query::{FilterOp, Query};
+
+fn op_str(op: FilterOp) -> &'static str {
+    match op {
+        FilterOp::Eq => "==",
+        FilterOp::Lt => "<",
+        FilterOp::Le => "<=",
+        FilterOp::Gt => ">",
+        FilterOp::Ge => ">=",
+        FilterOp::ArrayContains => "array-contains",
+        FilterOp::In => "in",
+    }
+}
+
+fn bound_str(prefix: &str, open: &str, closed: &str, b: &SuffixBound) -> String {
+    let op = if b.inclusive { closed } else { open };
+    format!("{prefix}{op}({}B)", b.value_bytes.len())
+}
+
+fn scan_line(catalog: &IndexCatalog, spec: &ScanSpec) -> String {
+    let desc = catalog
+        .describe(spec.index)
+        .unwrap_or_else(|| "unknown index".to_string());
+    let mut line = format!("index #{} [{desc}] prefix={}B", spec.index.0, spec.prefix.len());
+    if let Some(lower) = &spec.lower {
+        line.push(' ');
+        line.push_str(&bound_str("lower", ">", ">=", lower));
+    }
+    if let Some(upper) = &spec.upper {
+        line.push(' ');
+        line.push_str(&bound_str("upper", "<", "<=", upper));
+    }
+    line
+}
+
+/// Render the query header: collection, filters, orders, window inputs.
+fn render_query(out: &mut String, query: &Query) {
+    out.push_str(&format!("query: {}\n", query.collection));
+    for f in &query.filters {
+        out.push_str(&format!("  filter: {} {} {}\n", f.field, op_str(f.op), f.value));
+    }
+    for (field, dir) in &query.order_by {
+        out.push_str(&format!("  order:  {field} {dir:?}\n"));
+    }
+    if query.offset > 0 {
+        out.push_str(&format!("  offset: {}\n", query.offset));
+    }
+    if let Some(limit) = query.limit {
+        out.push_str(&format!("  limit:  {limit}\n"));
+    }
+    if let Some(cursor) = &query.start_after {
+        out.push_str(&format!("  start_after: {cursor}\n"));
+    }
+}
+
+/// Render a [`Plan`] as a deterministic text tree (the EXPLAIN body).
+pub fn render_plan(catalog: &IndexCatalog, query: &Query, plan: &Plan) -> String {
+    let mut out = String::new();
+    render_query(&mut out, query);
+    out.push_str("plan:\n");
+    match &plan.node {
+        PlanNode::PrimaryScan { reverse } => {
+            let dir = if *reverse { "reverse" } else { "forward" };
+            out.push_str(&format!("  primary scan ({dir}) over Entities\n"));
+        }
+        PlanNode::IndexScans { scans, reverse } => {
+            let dir = if *reverse { "reverse" } else { "forward" };
+            if scans.len() > 1 {
+                out.push_str(&format!("  zig-zag join ({} scans, {dir})\n", scans.len()));
+            } else {
+                out.push_str(&format!("  index scan ({dir})\n"));
+            }
+            for scan in scans {
+                if scan.arms.len() > 1 {
+                    out.push_str(&format!("    union ({} arms)\n", scan.arms.len()));
+                    for arm in &scan.arms {
+                        out.push_str(&format!("      {}\n", scan_line(catalog, arm)));
+                    }
+                } else {
+                    out.push_str(&format!("    {}\n", scan_line(catalog, &scan.arms[0])));
+                }
+            }
+        }
+    }
+    let w = &plan.window;
+    let limit = w
+        .limit
+        .map(|l| l.to_string())
+        .unwrap_or_else(|| "none".to_string());
+    out.push_str(&format!("  window: offset={} limit={limit}", w.offset));
+    if let Some(cursor) = &w.start_after {
+        out.push_str(&format!(" start_after={cursor}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render EXPLAIN ANALYZE: the plan tree plus the observed executor work
+/// counters from a real run of the query.
+pub fn render_analyze(
+    catalog: &IndexCatalog,
+    query: &Query,
+    plan: &Plan,
+    stats: &QueryStats,
+) -> String {
+    let mut out = render_plan(catalog, query, plan);
+    out.push_str("analyze:\n");
+    out.push_str(&format!("  entries_examined: {}\n", stats.entries_examined));
+    out.push_str(&format!("  entries_returned: {}\n", stats.entries_returned));
+    out.push_str(&format!("  seeks:            {}\n", stats.seeks));
+    out.push_str(&format!("  docs_fetched:     {}\n", stats.docs_fetched));
+    out.push_str(&format!("  bytes_returned:   {}\n", stats.bytes_returned));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::encoding::Direction;
+    use crate::query::{FilterOp, Query};
+
+    use super::*;
+    use crate::index::IndexCatalog;
+    use crate::planner::plan_query;
+    use spanner::database::DirectoryId;
+
+    fn dir() -> DirectoryId {
+        DirectoryId(7)
+    }
+
+    #[test]
+    fn explain_primary_scan_renders_window() {
+        let mut catalog = IndexCatalog::new();
+        let query = Query::parse("rooms").unwrap().limit(3);
+        let plan = plan_query(&mut catalog, dir(), &query).unwrap();
+        let text = render_plan(&catalog, &query, &plan);
+        assert!(text.contains("primary scan (forward) over Entities"), "{text}");
+        assert!(text.contains("window: offset=0 limit=3"), "{text}");
+    }
+
+    #[test]
+    fn explain_zigzag_names_both_indexes() {
+        let mut catalog = IndexCatalog::new();
+        let query = Query::parse("rooms")
+            .unwrap()
+            .filter("a", FilterOp::Eq, 1i64)
+            .filter("b", FilterOp::Eq, 2i64);
+        let plan = plan_query(&mut catalog, dir(), &query).unwrap();
+        let text = render_plan(&catalog, &query, &plan);
+        assert!(text.contains("zig-zag join (2 scans, forward)"), "{text}");
+        assert!(text.contains("auto rooms.a"), "{text}");
+        assert!(text.contains("auto rooms.b"), "{text}");
+    }
+
+    #[test]
+    fn explain_in_filter_renders_union_arms() {
+        let mut catalog = IndexCatalog::new();
+        let query = Query::parse("rooms").unwrap().filter(
+            "a",
+            FilterOp::In,
+            crate::document::Value::Array(vec![
+                crate::document::Value::Int(1),
+                crate::document::Value::Int(2),
+                crate::document::Value::Int(3),
+            ]),
+        );
+        let plan = plan_query(&mut catalog, dir(), &query).unwrap();
+        let text = render_plan(&catalog, &query, &plan);
+        assert!(text.contains("union (3 arms)"), "{text}");
+    }
+
+    #[test]
+    fn explain_inequality_renders_bounds_and_direction() {
+        let mut catalog = IndexCatalog::new();
+        let query = Query::parse("rooms")
+            .unwrap()
+            .filter("a", FilterOp::Ge, 5i64)
+            .order_by("a", Direction::Desc);
+        let plan = plan_query(&mut catalog, dir(), &query).unwrap();
+        let text = render_plan(&catalog, &query, &plan);
+        assert!(text.contains("index scan (reverse)"), "{text}");
+        assert!(text.contains("lower>=("), "{text}");
+    }
+
+    #[test]
+    fn analyze_appends_stats_block() {
+        let mut catalog = IndexCatalog::new();
+        let query = Query::parse("rooms").unwrap();
+        let plan = plan_query(&mut catalog, dir(), &query).unwrap();
+        let stats = QueryStats {
+            entries_examined: 10,
+            entries_returned: 4,
+            seeks: 2,
+            docs_fetched: 4,
+            bytes_returned: 128,
+        };
+        let text = render_analyze(&catalog, &query, &plan, &stats);
+        assert!(text.contains("entries_examined: 10"), "{text}");
+        assert!(text.contains("bytes_returned:   128"), "{text}");
+    }
+}

@@ -204,6 +204,34 @@ impl IndexCatalog {
             .get(&(collection_id.to_string(), field.to_string()))
             .copied()
     }
+
+    /// Reverse lookup for EXPLAIN output: a human-readable description of an
+    /// index id — the composite's field list, or `auto <collection>.<field>`
+    /// for an automatic single-field index. `None` for unknown ids.
+    pub fn describe(&self, id: IndexId) -> Option<String> {
+        if let Some(def) = self.composites.get(&id) {
+            let fields: Vec<String> = def
+                .fields
+                .iter()
+                .map(|f| {
+                    let d = match f.direction {
+                        Direction::Asc => "asc",
+                        Direction::Desc => "desc",
+                    };
+                    format!("{} {d}", f.path)
+                })
+                .collect();
+            return Some(format!(
+                "composite on {}: {}",
+                def.collection_id,
+                fields.join(", ")
+            ));
+        }
+        self.auto_ids
+            .iter()
+            .find(|(_, v)| **v == id)
+            .map(|((coll, field), _)| format!("auto {coll}.{field}"))
+    }
 }
 
 /// Expand a document into `(dotted field path, value)` pairs: top-level

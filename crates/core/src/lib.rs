@@ -26,6 +26,8 @@
 //!   serving index set fail with the index the user must create.
 //! * [`executor`] — index scans / zig-zag joins over `IndexEntries` followed
 //!   by document lookups in `Entities`, with no in-memory sort or filter.
+//! * [`explain`] — EXPLAIN / EXPLAIN ANALYZE: the chosen plan rendered as a
+//!   deterministic text tree, joined with the executor's work counters.
 //! * [`write`] — the commit pipeline of §IV-D2: read+lock, security rules,
 //!   index-entry diffs, Prepare/Accept two-phase commit with the Real-time
 //!   Cache (via the [`observer::CommitObserver`] trait), and every failure
@@ -44,6 +46,7 @@ pub mod document;
 pub mod encoding;
 pub mod error;
 pub mod executor;
+pub mod explain;
 pub mod index;
 pub mod matching;
 pub mod observer;
@@ -58,6 +61,7 @@ pub use database::{Consistency, FirestoreDatabase};
 pub use document::{Document, Value};
 pub use encoding::Direction;
 pub use error::{FirestoreError, FirestoreResult};
+pub use executor::{QueryResult, QueryStats};
 pub use index::{IndexCatalog, IndexDefinition, IndexId};
 pub use observer::{CommitObserver, CommitOutcome, DocumentChange, NullObserver};
 pub use path::{CollectionPath, DocumentName};

@@ -30,7 +30,7 @@ use crate::observer::{CommitOutcome, DocumentChange};
 use crate::path::DocumentName;
 use bytes::Bytes;
 use rules::{AuthContext, DataSource, Method, RequestContext, RuleValue};
-use simkit::Timestamp;
+use simkit::{Duration, Timestamp};
 use spanner::{ReadWriteTransaction, SpannerError};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -221,6 +221,11 @@ pub struct WriteStats {
     pub participants: usize,
     /// Documents written or deleted.
     pub documents: usize,
+    /// Simulated time spent waiting for Spanner write locks (Phase 1).
+    pub lock_wait: Duration,
+    /// Simulated commit-wait (Spanner Phase 4, out of the TrueTime
+    /// uncertainty window).
+    pub commit_wait: Duration,
 }
 
 /// The result of a successful commit.

@@ -25,7 +25,7 @@ use firestore_core::observer::{
 use firestore_core::{Document, Query};
 use parking_lot::Mutex;
 use simkit::fault::{FaultInjector, FaultKind};
-use simkit::{Duration, Timestamp, TrueTime};
+use simkit::{Duration, Obs, Timestamp, TrueTime};
 use spanner::database::DirectoryId;
 use spanner::{Key, KeyRange};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -141,6 +141,7 @@ struct RtState {
     next_token: u64,
     stats: RealtimeStats,
     injector: Option<Arc<FaultInjector>>,
+    obs: Option<Obs>,
 }
 
 /// The Real-time Cache. Cheap to clone; clones share state.
@@ -172,6 +173,7 @@ impl RealtimeCache {
                 next_token: 1,
                 stats: RealtimeStats::default(),
                 injector: None,
+                obs: None,
             })),
         }
     }
@@ -182,6 +184,17 @@ impl RealtimeCache {
     /// process the Prepare request fails the write", §IV-D4).
     pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
         self.state.lock().injector = injector;
+    }
+
+    /// Attach (or clear) an observability handle. Prepare/Accept spans and
+    /// matcher-fanout metrics are recorded through it.
+    pub fn set_obs(&self, obs: Option<Obs>) {
+        self.state.lock().obs = obs;
+    }
+
+    /// The attached observability handle, if any.
+    pub fn obs(&self) -> Option<Obs> {
+        self.state.lock().obs.clone()
     }
 
     /// Current statistics.
@@ -234,6 +247,12 @@ impl RealtimeCache {
             });
             if !expired_keys.is_empty() {
                 expired.push((ti, expired_keys));
+            }
+        }
+        if !expired.is_empty() {
+            if let Some(o) = &st.obs {
+                o.metrics
+                    .incr("rtc.resets", &[("cause", "prepare-expired")], expired.len() as u64);
             }
         }
         for (_, keys) in expired {
@@ -333,14 +352,25 @@ impl RealtimeCache {
         max_ts: Timestamp,
     ) -> Result<(PrepareToken, Timestamp), PrepareUnavailable> {
         let mut st = self.state.lock();
+        let span = st.obs.as_ref().map(|o| o.tracer.span("rtc.prepare"));
+        if let Some(s) = &span {
+            s.attr("names", names.len());
+            s.attr("max_ts", max_ts.as_nanos());
+        }
         if st
             .injector
             .as_ref()
             .is_some_and(|inj| inj.should_inject(FaultKind::CacheUnavailable, "rtc-prepare"))
         {
+            if let Some(o) = &st.obs {
+                o.metrics.incr("rtc.prepare.unavailable", &[], 1);
+            }
             return Err(PrepareUnavailable);
         }
         st.stats.prepares += 1;
+        if let Some(o) = &st.obs {
+            o.metrics.incr("rtc.prepares", &[], 1);
+        }
         let token = st.next_token;
         st.next_token += 1;
         let keys: Vec<Key> = names.iter().map(|n| dir.key(&n.encode())).collect();
@@ -372,6 +402,24 @@ impl RealtimeCache {
     ) {
         let mut st = self.state.lock();
         st.stats.accepts += 1;
+        let span = st.obs.as_ref().map(|o| o.tracer.span("rtc.accept"));
+        if let Some(s) = &span {
+            let label = match &outcome {
+                CommitOutcome::Committed(_) => "committed",
+                CommitOutcome::Failed => "failed",
+                CommitOutcome::Unknown => "unknown",
+            };
+            s.attr("outcome", label);
+            s.attr("changes", changes.len());
+        }
+        if let Some(o) = &st.obs {
+            let label = match &outcome {
+                CommitOutcome::Committed(_) => "committed",
+                CommitOutcome::Failed => "failed",
+                CommitOutcome::Unknown => "unknown",
+            };
+            o.metrics.incr("rtc.accepts", &[("outcome", label)], 1);
+        }
         // Collect this token's pending keys and drop the entries.
         let mut pending_keys: Vec<Key> = Vec::new();
         for task in st.tasks.iter_mut() {
@@ -396,6 +444,9 @@ impl RealtimeCache {
             CommitOutcome::Unknown => {
                 // "the system cannot guarantee ordering of the updates for
                 // that name range": reset every query matching the range.
+                if let Some(o) = &st.obs {
+                    o.metrics.incr("rtc.resets", &[("cause", "unknown-outcome")], 1);
+                }
                 Self::reset_matching(&mut st, &pending_keys);
             }
         }
@@ -433,6 +484,10 @@ impl RealtimeCache {
                         targets.push((conn, qid));
                     }
                 }
+            }
+            if let Some(o) = &st.obs {
+                o.metrics
+                    .incr("rtc.fanout.notifications", &[], targets.len() as u64);
             }
             for (conn, qid) in targets {
                 if let Some(conn_state) = st.conns.get_mut(&conn) {

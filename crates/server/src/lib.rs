@@ -37,4 +37,4 @@ pub use autoscale::AutoScaler;
 pub use billing::{BillingMeter, FreeQuota, Usage};
 pub use conformance::TrafficConformance;
 pub use fairshare::{CpuScheduler, Job, SchedulingMode};
-pub use service::{FirestoreService, ServiceOptions};
+pub use service::{FirestoreService, ServedRequest, ServiceOptions};

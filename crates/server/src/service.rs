@@ -22,7 +22,7 @@ use firestore_core::{
 use parking_lot::{Mutex, RwLock};
 use realtime::{Connection, QueryId, RealtimeCache, RealtimeOptions};
 use simkit::latency::{CpuCostModel, Deployment, LatencyModel};
-use simkit::{Duration, SimClock, SimRng, Timestamp};
+use simkit::{Duration, Obs, PhaseBreakdown, SimClock, SimRng, Timestamp};
 use spanner::SpannerDatabase;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -45,6 +45,9 @@ pub struct ServiceOptions {
     pub autoscaling: bool,
     /// Real-time cache task pairs.
     pub realtime_tasks: usize,
+    /// Seed for the observability trace id (spans and metrics are
+    /// deterministic given this seed and the workload).
+    pub obs_seed: u64,
 }
 
 impl Default for ServiceOptions {
@@ -57,6 +60,7 @@ impl Default for ServiceOptions {
             scheduling: SchedulingMode::FairShare,
             autoscaling: true,
             realtime_tasks: 4,
+            obs_seed: 0xB5,
         }
     }
 }
@@ -69,6 +73,11 @@ pub struct ServedRequest {
     pub cpu_cost: Duration,
     /// Modeled storage/replication latency (excluding CPU queueing).
     pub storage_latency: Duration,
+    /// Per-phase latency breakdown (queue is filled in by the scheduler-
+    /// aware harness; lock/commit-wait are measured simulated-clock time).
+    pub breakdown: PhaseBreakdown,
+    /// Executor work counters, for queries (EXPLAIN ANALYZE surface).
+    pub query_stats: Option<firestore_core::QueryStats>,
 }
 
 /// One region of the multi-tenant Firestore service.
@@ -93,6 +102,7 @@ pub struct FirestoreService {
     latency: LatencyModel,
     cost: CpuCostModel,
     options: ServiceOptions,
+    obs: Obs,
 }
 
 impl FirestoreService {
@@ -110,6 +120,11 @@ impl FirestoreService {
             Deployment::Regional => LatencyModel::regional(),
             Deployment::MultiRegional => LatencyModel::multi_regional(),
         };
+        // One observability handle for the whole region: spans from the
+        // service, planner, Spanner, and Real-time Cache share one trace.
+        let obs = Obs::new(clock.clone(), options.obs_seed);
+        spanner.set_obs(Some(obs.clone()));
+        rtc.set_obs(Some(obs.clone()));
         FirestoreService {
             clock,
             spanner,
@@ -126,7 +141,13 @@ impl FirestoreService {
             latency,
             cost: CpuCostModel::default(),
             options,
+            obs,
         }
+    }
+
+    /// The region's observability handle (tracer + metrics registry).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The shared simulated clock.
@@ -195,11 +216,23 @@ impl FirestoreService {
     /// `Unavailable`; the returned guard releases the slot when dropped, so
     /// every exit path of an entry point gives the slot back.
     fn admit<'a>(&'a self, database: &'a str) -> FirestoreResult<AdmitGuard<'a>> {
-        self.admission.try_admit(database)?;
-        Ok(AdmitGuard {
-            admission: &self.admission,
-            database,
-        })
+        match self.admission.try_admit(database) {
+            Ok(()) => {
+                self.obs
+                    .metrics
+                    .incr("service.admission.admitted", &[("db", database)], 1);
+                Ok(AdmitGuard {
+                    admission: &self.admission,
+                    database,
+                })
+            }
+            Err(e) => {
+                self.obs
+                    .metrics
+                    .incr("service.admission.rejected", &[("db", database)], 1);
+                Err(e.into())
+            }
+        }
     }
 
     // --- metered request entry points -------------------------------------
@@ -212,14 +245,25 @@ impl FirestoreService {
         caller: &Caller,
         rng: &mut SimRng,
     ) -> FirestoreResult<(Option<Document>, ServedRequest)> {
+        let span = self.obs.tracer.span("service.get_document");
+        span.attr("db", database);
         let db = self.require(database)?;
         let _slot = self.admit(database)?;
         let doc = db.get_document(name, Consistency::Strong, caller)?;
         self.billing.record_reads(database, 1);
         let bytes = doc.as_ref().map(|d| d.approx_size()).unwrap_or(0);
+        let cpu_cost = self.cost.query_cost(1, 1, bytes);
+        let storage_latency = self.latency.spanner_read(1, rng) + self.latency.hop(rng);
+        let breakdown = PhaseBreakdown {
+            execute: cpu_cost + storage_latency,
+            ..PhaseBreakdown::default()
+        };
+        breakdown.record(&self.obs.metrics, &[("db", database), ("op", "get")]);
         let served = ServedRequest {
-            cpu_cost: self.cost.query_cost(1, 1, bytes),
-            storage_latency: self.latency.spanner_read(1, rng) + self.latency.hop(rng),
+            cpu_cost,
+            storage_latency,
+            breakdown,
+            query_stats: None,
         };
         Ok((doc, served))
     }
@@ -232,21 +276,36 @@ impl FirestoreService {
         caller: &Caller,
         rng: &mut SimRng,
     ) -> FirestoreResult<(firestore_core::executor::QueryResult, ServedRequest)> {
+        let span = self.obs.tracer.span("service.run_query");
+        span.attr("db", database);
         let db = self.require(database)?;
         let _slot = self.admit(database)?;
         let result = db.run_query(query, Consistency::Strong, caller)?;
         self.billing
             .record_reads(database, result.documents.len() as u64);
+        let cpu_cost = self.cost.query_cost(
+            result.stats.entries_examined + result.stats.seeks * 4,
+            result.stats.docs_fetched,
+            result.stats.bytes_returned,
+        );
+        let storage_latency = self
+            .latency
+            .spanner_read(result.stats.entries_examined.max(1), rng)
+            + self.latency.hop(rng);
+        // The fixed per-RPC overhead models parsing + planning; the rest of
+        // the CPU cost plus the storage reads are the executor's share.
+        let plan = self.cost.per_rpc;
+        let breakdown = PhaseBreakdown {
+            plan,
+            execute: cpu_cost.saturating_sub(plan) + storage_latency,
+            ..PhaseBreakdown::default()
+        };
+        breakdown.record(&self.obs.metrics, &[("db", database), ("op", "query")]);
         let served = ServedRequest {
-            cpu_cost: self.cost.query_cost(
-                result.stats.entries_examined + result.stats.seeks * 4,
-                result.stats.docs_fetched,
-                result.stats.bytes_returned,
-            ),
-            storage_latency: self
-                .latency
-                .spanner_read(result.stats.entries_examined.max(1), rng)
-                + self.latency.hop(rng),
+            cpu_cost,
+            storage_latency,
+            breakdown,
+            query_stats: Some(result.stats),
         };
         Ok((result, served))
     }
@@ -259,6 +318,8 @@ impl FirestoreService {
         caller: &Caller,
         rng: &mut SimRng,
     ) -> FirestoreResult<(WriteResult, ServedRequest)> {
+        let span = self.obs.tracer.span("service.commit");
+        span.attr("db", database);
         let db = self.require(database)?;
         let _slot = self.admit(database)?;
         let deletes = writes
@@ -271,16 +332,29 @@ impl FirestoreService {
             (result.stats.documents - deletes.min(result.stats.documents)) as u64,
         );
         self.billing.record_deletes(database, deletes as u64);
+        let cpu_cost = self.cost.write_cost(
+            result.stats.index_entries_touched,
+            result.stats.payload_bytes,
+        );
+        let rtc_hops = self.latency.hop(rng).mul_f64(2.0); // Prepare + Accept hops
+        let spanner_latency = self.latency.spanner_commit(
+            result.stats.participants,
+            result.stats.payload_bytes,
+            rng,
+        );
+        let breakdown = PhaseBreakdown {
+            execute: cpu_cost + spanner_latency,
+            lock_wait: result.stats.lock_wait,
+            commit_wait: result.stats.commit_wait,
+            fanout: rtc_hops,
+            ..PhaseBreakdown::default()
+        };
+        breakdown.record(&self.obs.metrics, &[("db", database), ("op", "commit")]);
         let served = ServedRequest {
-            cpu_cost: self.cost.write_cost(
-                result.stats.index_entries_touched,
-                result.stats.payload_bytes,
-            ),
-            storage_latency: self.latency.spanner_commit(
-                result.stats.participants,
-                result.stats.payload_bytes,
-                rng,
-            ) + self.latency.hop(rng).mul_f64(2.0), // Prepare + Accept hops
+            cpu_cost,
+            storage_latency: spanner_latency + rtc_hops,
+            breakdown,
+            query_stats: None,
         };
         Ok((result, served))
     }
@@ -300,6 +374,11 @@ impl FirestoreService {
         query: Query,
         caller: &Caller,
     ) -> FirestoreResult<QueryId> {
+        let span = self.obs.tracer.span("service.listen");
+        span.attr("db", database);
+        self.obs
+            .metrics
+            .incr("service.listens", &[("db", database)], 1);
         let db = self.require(database)?;
         let snapshot_ts = db.strong_read_ts();
         let initial = db.run_query(

@@ -20,6 +20,8 @@
 //!   chaos layer) consulted by the storage, messaging, and cache layers.
 //! * [`stats`] — percentile / histogram / boxplot summaries used by the
 //!   benchmark harness.
+//! * [`obs`] — deterministic structured tracing, a metrics registry, and
+//!   per-request phase breakdowns threaded through every layer.
 //!
 //! Everything is deterministic given a seed: running an experiment twice
 //! produces identical output.
@@ -29,6 +31,7 @@ pub mod des;
 pub mod disk;
 pub mod fault;
 pub mod latency;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod truetime;
@@ -37,5 +40,6 @@ pub use clock::{Duration, SimClock, Timestamp};
 pub use des::Scheduler;
 pub use disk::{CrashPoints, DiskError, LogReplay, SimDisk};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultStats};
+pub use obs::{Metrics, MetricsSnapshot, Obs, PhaseBreakdown, Span, SpanGuard, SpanId, Tracer};
 pub use rng::SimRng;
 pub use truetime::{TrueTime, TtInterval};

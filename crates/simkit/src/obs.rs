@@ -1,0 +1,699 @@
+//! Deterministic observability: structured tracing, a metrics registry, and
+//! per-phase latency breakdowns shared by every layer of the stack.
+//!
+//! Three pillars, all driven exclusively by simulated time and seeded
+//! randomness so that a fixed-seed run emits **byte-identical** output:
+//!
+//! * [`Tracer`] — spans with parent/child causality. Span ids are sequential
+//!   (allocation order is deterministic under the discrete-event model) and
+//!   the trace id is derived from the seed via [`crate::rng::SimRng`];
+//!   timestamps come from the shared [`SimClock`]. [`Tracer::render`]
+//!   serializes spans sorted by id with attributes in insertion order, so
+//!   `diff` across two runs (or two commits) is meaningful.
+//! * [`Metrics`] — counters, gauges, and memory-bounded log-bucketed
+//!   histograms keyed by `name{label=value,…}` with labels sorted, exported
+//!   as deterministic text or JSON via [`MetricsSnapshot`].
+//! * [`PhaseBreakdown`] — the per-request queue / plan / execute / lock-wait
+//!   / commit-wait / fanout decomposition that the service attaches to every
+//!   response and the emulator prints after every command.
+//!
+//! Everything is optional at every call site: components hold an
+//! `Option<Obs>` and skip instrumentation entirely when unset, so existing
+//! constructors, tests, and benches are unaffected unless they opt in.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::{Duration, SimClock, Timestamp};
+use crate::rng::SimRng;
+use crate::stats::Histogram;
+
+/// Identifier of one span within a trace. Allocated sequentially.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw sequence number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One finished (or in-flight) span: a named interval of simulated time with
+/// a causal parent, key=value attributes, and point-in-time events.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// The enclosing span at the time this one started, if any.
+    pub parent: Option<SpanId>,
+    /// Dotted span name, e.g. `spanner.commit` (see DESIGN.md §11 taxonomy).
+    pub name: String,
+    /// Simulated start time.
+    pub start: Timestamp,
+    /// Simulated end time (== `start` until the guard drops).
+    pub end: Timestamp,
+    /// Attributes in insertion order.
+    pub attrs: Vec<(String, String)>,
+    /// Timestamped point events.
+    pub events: Vec<(Timestamp, String)>,
+}
+
+impl Span {
+    /// Span length in simulated time.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+#[derive(Default)]
+struct TracerInner {
+    next_id: u64,
+    /// Stack of currently open spans; the top is the parent of new spans.
+    stack: Vec<SpanId>,
+    open: BTreeMap<u64, Span>,
+    finished: Vec<Span>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Deterministic structured tracer. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Tracer {
+    clock: SimClock,
+    trace_id: u64,
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+/// Default cap on retained finished spans; older spans are dropped (and
+/// counted) past this, bounding memory on long runs.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+impl Tracer {
+    /// Create a tracer whose trace id is derived from `seed` and whose
+    /// timestamps come from `clock`.
+    pub fn new(clock: SimClock, seed: u64) -> Self {
+        Tracer {
+            clock,
+            trace_id: SimRng::new(seed).next_u64(),
+            inner: Arc::new(Mutex::new(TracerInner {
+                capacity: DEFAULT_TRACE_CAPACITY,
+                ..TracerInner::default()
+            })),
+        }
+    }
+
+    /// The seed-derived trace id.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Cap the number of retained finished spans (older spans are dropped).
+    pub fn set_capacity(&self, capacity: usize) {
+        self.inner.lock().capacity = capacity.max(1);
+    }
+
+    /// Start a span as a child of the innermost open span. The returned
+    /// guard finishes the span (stamping its end time) when dropped.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let id = SpanId(inner.next_id);
+        let parent = inner.stack.last().copied();
+        inner.stack.push(id);
+        inner.open.insert(
+            id.0,
+            Span {
+                id,
+                parent,
+                name: name.into(),
+                start: now,
+                end: now,
+                attrs: Vec::new(),
+                events: Vec::new(),
+            },
+        );
+        SpanGuard {
+            tracer: self.clone(),
+            id,
+        }
+    }
+
+    /// The innermost open span, if any.
+    pub fn current(&self) -> Option<SpanId> {
+        self.inner.lock().stack.last().copied()
+    }
+
+    /// Attach a point event to the innermost open span. A no-op when no
+    /// span is open (instrumented code may run outside any request).
+    pub fn event(&self, text: impl Into<String>) {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        if let Some(id) = inner.stack.last().copied() {
+            if let Some(span) = inner.open.get_mut(&id.0) {
+                span.events.push((now, text.into()));
+            }
+        }
+    }
+
+    /// Attach an attribute to the innermost open span (no-op without one).
+    pub fn attr(&self, key: &str, value: impl ToString) {
+        let mut inner = self.inner.lock();
+        if let Some(id) = inner.stack.last().copied() {
+            if let Some(span) = inner.open.get_mut(&id.0) {
+                span.attrs.push((key.to_string(), value.to_string()));
+            }
+        }
+    }
+
+    fn finish(&self, id: SpanId) {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.stack.iter().rposition(|&s| s == id) {
+            inner.stack.remove(pos);
+        }
+        if let Some(mut span) = inner.open.remove(&id.0) {
+            span.end = now;
+            inner.finished.push(span);
+            if inner.finished.len() > inner.capacity {
+                let excess = inner.finished.len() - inner.capacity;
+                inner.finished.drain(..excess);
+                inner.dropped += excess as u64;
+            }
+        }
+    }
+
+    /// Number of finished spans currently retained. Use as a mark for
+    /// [`Tracer::finished_since`].
+    pub fn mark(&self) -> usize {
+        self.inner.lock().finished.len()
+    }
+
+    /// Clones of the finished spans retained at positions `>= mark`.
+    pub fn finished_since(&self, mark: usize) -> Vec<Span> {
+        let inner = self.inner.lock();
+        inner.finished.iter().skip(mark).cloned().collect()
+    }
+
+    /// Total spans finished so far (including any dropped past capacity).
+    pub fn finished_count(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.finished.len() as u64 + inner.dropped
+    }
+
+    /// Serialize the retained finished spans, sorted by span id, in a
+    /// byte-stable text format:
+    ///
+    /// ```text
+    /// # trace 2545f4914f6cdd1d spans=3 dropped=0
+    /// [000001] parent=- service.commit t=1000000+500000ns db=app
+    /// [000001]   @1200000 locks-acquired
+    /// ```
+    ///
+    /// All numbers are integers (nanoseconds / counts): no float formatting
+    /// can perturb byte identity across runs.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock();
+        let mut spans: Vec<&Span> = inner.finished.iter().collect();
+        spans.sort_by_key(|s| s.id);
+        let mut out = format!(
+            "# trace {:016x} spans={} dropped={}\n",
+            self.trace_id,
+            spans.len(),
+            inner.dropped
+        );
+        for span in spans {
+            let _ = write!(
+                out,
+                "[{:06}] parent={} {} t={}+{}ns",
+                span.id.0,
+                span.parent
+                    .map(|p| format!("{:06}", p.0))
+                    .unwrap_or_else(|| "-".to_string()),
+                span.name,
+                span.start.as_nanos(),
+                span.duration().as_nanos(),
+            );
+            for (k, v) in &span.attrs {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+            for (at, text) in &span.events {
+                let _ = writeln!(out, "[{:06}]   @{} {}", span.id.0, at.as_nanos(), text);
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer({:016x})", self.trace_id)
+    }
+}
+
+/// RAII guard for an open span: finishes it (stamping the simulated end
+/// time and popping it off the causality stack) on drop.
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: SpanId,
+}
+
+impl SpanGuard {
+    /// This span's id.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Attach an attribute to this span.
+    pub fn attr(&self, key: &str, value: impl ToString) {
+        let mut inner = self.tracer.inner.lock();
+        if let Some(span) = inner.open.get_mut(&self.id.0) {
+            span.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Attach a timestamped point event to this span.
+    pub fn event(&self, text: impl Into<String>) {
+        let now = self.tracer.clock.now();
+        let mut inner = self.tracer.inner.lock();
+        if let Some(span) = inner.open.get_mut(&self.id.0) {
+            span.events.push((now, text.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.finish(self.id);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histo(Histogram),
+}
+
+/// Metrics registry: counters, gauges, and log-bucketed histograms keyed by
+/// `name{label=value,…}`. Cheap to clone; clones share state.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<BTreeMap<String, MetricValue>>>,
+}
+
+/// Render `name{k=v,…}` with labels sorted by key — the canonical series
+/// key used by [`Metrics`] and its snapshots.
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted = labels.to_vec();
+    sorted.sort();
+    let mut out = format!("{name}{{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}={v}");
+    }
+    out.push('}');
+    out
+}
+
+impl Metrics {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `by` to the counter `name{labels}`.
+    pub fn incr(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        let key = series_key(name, labels);
+        let mut inner = self.inner.lock();
+        match inner.entry(key).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c += by,
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Set the gauge `name{labels}` to `v`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = series_key(name, labels);
+        self.inner.lock().insert(key, MetricValue::Gauge(v));
+    }
+
+    /// Record one observation (milliseconds or any unit-consistent value)
+    /// into the log-bucketed histogram `name{labels}`.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = series_key(name, labels);
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histo(Histogram::log_millis()))
+        {
+            MetricValue::Histo(h) => h.record(v),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Record a simulated duration (as fractional milliseconds) into the
+    /// histogram `name{labels}`.
+    pub fn observe_duration(&self, name: &str, labels: &[(&str, &str)], d: Duration) {
+        self.observe(name, labels, d.as_millis_f64());
+    }
+
+    /// Current value of the counter `name{labels}` (0 when absent).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.inner.lock().get(&series_key(name, labels)) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of the gauge `name{labels}`, if set.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.inner.lock().get(&series_key(name, labels)) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Clone of the histogram `name{labels}`, if any observation landed.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        match self.inner.lock().get(&series_key(name, labels)) {
+            Some(MetricValue::Histo(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// A point-in-time copy of every series, for export.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            series: self.inner.lock().clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Metrics({} series)", self.inner.lock().len())
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] registry, renderable as
+/// deterministic text or JSON (series sorted by key).
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    series: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Number of series captured.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series were captured.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Series keys (`name{label=value,…}`), sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.series.keys().cloned().collect()
+    }
+
+    /// Whether any series of the given metric `name` exists (any labels).
+    pub fn has_series(&self, name: &str) -> bool {
+        self.series
+            .keys()
+            .any(|k| k == name || k.starts_with(&format!("{name}{{")))
+    }
+
+    /// One line per series, sorted by key:
+    /// `counter name{…} 12` / `gauge name 3.5` /
+    /// `histogram name total=9 p50=1.5 p99=12.0`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in &self.series {
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "counter {key} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "gauge {key} {g}");
+                }
+                MetricValue::Histo(h) => {
+                    let _ = writeln!(
+                        out,
+                        "histogram {key} total={} p50={} p99={}",
+                        h.total(),
+                        h.quantile(0.5).unwrap_or(0.0),
+                        h.quantile(0.99).unwrap_or(0.0),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object `{"counters":{…},"gauges":{…},"histograms":{…}}` with
+    /// keys sorted; histogram buckets are `[bucket_index, count]` pairs for
+    /// non-empty buckets only.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histos = String::new();
+        for (key, value) in &self.series {
+            match value {
+                MetricValue::Counter(c) => {
+                    if !counters.is_empty() {
+                        counters.push(',');
+                    }
+                    let _ = write!(counters, "\"{key}\":{c}");
+                }
+                MetricValue::Gauge(g) => {
+                    if !gauges.is_empty() {
+                        gauges.push(',');
+                    }
+                    let _ = write!(gauges, "\"{key}\":{g}");
+                }
+                MetricValue::Histo(h) => {
+                    if !histos.is_empty() {
+                        histos.push(',');
+                    }
+                    let mut buckets = String::new();
+                    for (i, &c) in h.counts().iter().enumerate() {
+                        if c > 0 {
+                            if !buckets.is_empty() {
+                                buckets.push(',');
+                            }
+                            let _ = write!(buckets, "[{i},{c}]");
+                        }
+                    }
+                    let _ = write!(
+                        histos,
+                        "\"{key}\":{{\"total\":{},\"p50\":{},\"p99\":{},\"buckets\":[{buckets}]}}",
+                        h.total(),
+                        h.quantile(0.5).unwrap_or(0.0),
+                        h.quantile(0.99).unwrap_or(0.0),
+                    );
+                }
+            }
+        }
+        format!("{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histos}}}}}")
+    }
+}
+
+/// Per-request latency decomposition across the serving stack (§ Fig 7's
+/// spirit): how long the request spent in each phase of its life.
+///
+/// Phases that the simulation models as instantaneous (e.g. lock acquisition
+/// without contention) are honestly zero; `queue`, `plan` and `execute` carry
+/// the modeled CPU/storage costs, `commit_wait` and `fanout` carry real
+/// simulated-clock time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Fair-share scheduler queueing delay (modeled).
+    pub queue: Duration,
+    /// Query planning share of CPU cost (modeled).
+    pub plan: Duration,
+    /// Execution CPU + storage time (modeled).
+    pub execute: Duration,
+    /// Time spent acquiring Spanner locks (measured simulated time).
+    pub lock_wait: Duration,
+    /// TrueTime commit wait (measured simulated time).
+    pub commit_wait: Duration,
+    /// Real-time Cache matcher fanout delay (modeled).
+    pub fanout: Duration,
+}
+
+/// The canonical phase label set, in breakdown order.
+pub const PHASES: [&str; 6] = [
+    "queue",
+    "plan",
+    "execute",
+    "lock_wait",
+    "commit_wait",
+    "fanout",
+];
+
+impl PhaseBreakdown {
+    /// Sum of every phase.
+    pub fn total(&self) -> Duration {
+        self.queue + self.plan + self.execute + self.lock_wait + self.commit_wait + self.fanout
+    }
+
+    /// The phases in canonical order, labelled as in [`PHASES`].
+    pub fn phases(&self) -> [(&'static str, Duration); 6] {
+        [
+            ("queue", self.queue),
+            ("plan", self.plan),
+            ("execute", self.execute),
+            ("lock_wait", self.lock_wait),
+            ("commit_wait", self.commit_wait),
+            ("fanout", self.fanout),
+        ]
+    }
+
+    /// One-line human rendering, e.g.
+    /// `queue=0.000ms plan=0.010ms … total=7.120ms`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (label, d) in self.phases() {
+            let _ = write!(out, "{label}={:.3}ms ", d.as_millis_f64());
+        }
+        let _ = write!(out, "total={:.3}ms", self.total().as_millis_f64());
+        out
+    }
+
+    /// Record every phase into `metrics` as `phase_ms{phase=…,…labels}`
+    /// histograms (shared by the service, the load driver, and the bench
+    /// bins so breakdowns aggregate uniformly).
+    pub fn record(&self, metrics: &Metrics, labels: &[(&str, &str)]) {
+        for (label, d) in self.phases() {
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            all.push(("phase", label));
+            metrics.observe_duration("phase_ms", &all, d);
+        }
+    }
+}
+
+/// The shared observability handle: one [`Tracer`] and one [`Metrics`]
+/// registry threaded through every layer. Cheap to clone.
+#[derive(Clone, Debug)]
+pub struct Obs {
+    /// Deterministic structured tracer.
+    pub tracer: Tracer,
+    /// Metrics registry.
+    pub metrics: Metrics,
+}
+
+impl Obs {
+    /// Create an observability handle over `clock`, deriving the trace id
+    /// from `seed`.
+    pub fn new(clock: SimClock, seed: u64) -> Self {
+        Obs {
+            tracer: Tracer::new(clock, seed),
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_render_deterministically() {
+        let run = || {
+            let clock = SimClock::new();
+            let obs = Obs::new(clock.clone(), 42);
+            {
+                let root = obs.tracer.span("service.commit");
+                root.attr("db", "app");
+                clock.advance(Duration::from_millis(1));
+                {
+                    let child = obs.tracer.span("spanner.commit");
+                    child.event("locks-acquired");
+                    clock.advance(Duration::from_millis(2));
+                }
+                obs.tracer.event("after-child");
+            }
+            obs.tracer.render()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed + same schedule must be byte-identical");
+        assert!(a.contains("service.commit"));
+        assert!(a.contains("parent=000001 spanner.commit"));
+        assert!(a.contains("locks-acquired"));
+        assert!(a.contains("db=app"));
+    }
+
+    #[test]
+    fn tracer_capacity_bounds_memory() {
+        let obs = Obs::new(SimClock::new(), 1);
+        obs.tracer.set_capacity(4);
+        for i in 0..10 {
+            let _s = obs.tracer.span(format!("s{i}"));
+        }
+        assert_eq!(obs.tracer.finished_count(), 10);
+        assert_eq!(obs.tracer.finished_since(0).len(), 4);
+        assert!(obs.tracer.render().contains("dropped=6"));
+    }
+
+    #[test]
+    fn metrics_snapshot_is_sorted_and_stable() {
+        let m = Metrics::new();
+        m.incr("b.count", &[("db", "x")], 2);
+        m.incr("a.count", &[], 1);
+        m.gauge_set("g", &[], 1.5);
+        m.observe("lat_ms", &[("op", "read")], 3.0);
+        m.observe("lat_ms", &[("op", "read")], 5.0);
+        let snap = m.snapshot();
+        let text = snap.to_text();
+        let a = text.find("a.count").unwrap();
+        let b = text.find("b.count").unwrap();
+        assert!(a < b, "series must be sorted by key");
+        assert!(snap.has_series("lat_ms"));
+        assert!(!snap.has_series("lat"));
+        assert_eq!(m.counter_value("b.count", &[("db", "x")]), 2);
+        let json = snap.to_json();
+        assert!(json.contains("\"a.count\":1"));
+        assert!(json.contains("\"lat_ms{op=read}\""));
+        assert_eq!(json, m.snapshot().to_json());
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        assert_eq!(
+            series_key("m", &[("z", "1"), ("a", "2")]),
+            series_key("m", &[("a", "2"), ("z", "1")]),
+        );
+    }
+
+    #[test]
+    fn phase_breakdown_renders_and_records() {
+        let pb = PhaseBreakdown {
+            queue: Duration::from_millis(1),
+            commit_wait: Duration::from_millis(7),
+            ..PhaseBreakdown::default()
+        };
+        assert_eq!(pb.total(), Duration::from_millis(8));
+        let line = pb.render();
+        assert!(line.contains("queue=1.000ms"));
+        assert!(line.contains("commit_wait=7.000ms"));
+        assert!(line.contains("total=8.000ms"));
+        let m = Metrics::new();
+        pb.record(&m, &[("db", "app")]);
+        let h = m.histogram("phase_ms", &[("db", "app"), ("phase", "queue")]);
+        assert_eq!(h.unwrap().total(), 1);
+    }
+}

@@ -181,6 +181,13 @@ impl LatencySeries {
         self.points.push((x, p50, p99));
     }
 
+    /// Summarize a [`Histogram`] at x-coordinate `x` and append the point.
+    pub fn add_point_hist(&mut self, x: f64, hist: &Histogram) {
+        let p50 = hist.quantile(0.5).unwrap_or(f64::NAN);
+        let p99 = hist.quantile(0.99).unwrap_or(f64::NAN);
+        self.points.push((x, p50, p99));
+    }
+
     /// Render as aligned text rows (used by the figure binaries).
     pub fn to_table(&self) -> String {
         let mut out = format!(
@@ -231,11 +238,37 @@ impl Histogram {
         }
     }
 
+    /// The fixed log-bucket layout used for latency histograms across the
+    /// workspace (milliseconds): 1µs first bound, doubling, 48 buckets plus
+    /// overflow — spans sub-microsecond to ~4.5 simulated years in ~400
+    /// bytes, so long runs stay memory-bounded.
+    pub fn log_millis() -> Self {
+        Histogram::exponential(0.001, 2.0, 48)
+    }
+
     /// Record one observation.
     pub fn record(&mut self, v: f64) {
         let idx = self.bounds.partition_point(|&b| b <= v);
         self.counts[idx] += 1;
         self.total += 1;
+    }
+
+    /// Record a duration observation in milliseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Merge another histogram with identical bucket boundaries into this
+    /// one (panics on layout mismatch — merge only same-layout sketches).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket layouts"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
     }
 
     /// Total observations.
@@ -359,5 +392,28 @@ mod tests {
         assert_eq!(*h.counts().last().unwrap(), 1);
         assert!(h.quantile(0.5).is_some());
         assert!(Histogram::exponential(1.0, 2.0, 4).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_merge_sums_buckets() {
+        let mut a = Histogram::log_millis();
+        let mut b = Histogram::log_millis();
+        for v in [0.5, 2.0, 8.0] {
+            a.record(v);
+        }
+        b.record_duration(Duration::from_millis(4));
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.counts().iter().sum::<u64>(), 4);
+        // Merging identical layouts keeps quantiles meaningful.
+        assert!(a.quantile(0.99).unwrap() >= a.quantile(0.5).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket layouts")]
+    fn histogram_merge_rejects_layout_mismatch() {
+        let mut a = Histogram::exponential(1.0, 2.0, 4);
+        let b = Histogram::exponential(1.0, 3.0, 4);
+        a.merge(&b);
     }
 }

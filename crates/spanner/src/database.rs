@@ -15,7 +15,7 @@ use crate::txn::{Mutation, ReadWriteTransaction, TxnId};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use simkit::fault::{FaultInjector, FaultKind};
-use simkit::{CrashPoints, SimClock, SimDisk, Timestamp, TrueTime};
+use simkit::{CrashPoints, Duration, Obs, SimClock, SimDisk, Timestamp, TrueTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -77,6 +77,11 @@ pub struct CommitInfo {
     pub payload_bytes: usize,
     /// Number of mutations applied.
     pub mutation_count: usize,
+    /// Simulated time spent acquiring exclusive locks (phase 1).
+    pub lock_wait: Duration,
+    /// Simulated time spent in TrueTime commit wait (phase 4), including
+    /// any injected uncertainty spike.
+    pub commit_wait: Duration,
 }
 
 /// Failure injection hooks for testing the write pipeline's error paths
@@ -96,6 +101,7 @@ struct Inner {
     options: SpannerOptions,
     failures: FailureInjector,
     fault_injector: Mutex<Option<Arc<FaultInjector>>>,
+    obs: Mutex<Option<Obs>>,
     commits: AtomicU64,
     aborts: AtomicU64,
     /// The durable medium redo records are appended to; `None` runs the
@@ -138,6 +144,7 @@ impl SpannerDatabase {
                 options,
                 failures: FailureInjector::default(),
                 fault_injector: Mutex::new(None),
+                obs: Mutex::new(None),
                 commits: AtomicU64::new(0),
                 aborts: AtomicU64::new(0),
                 disk: Mutex::new(None),
@@ -302,6 +309,14 @@ impl SpannerDatabase {
             data.tablets.lock().record_write(&key, bytes, now);
             data.store.write().apply(key, commit_ts, value);
         }
+        if let Some(o) = self.obs() {
+            o.metrics.incr("spanner.recoveries", &[], 1);
+            let s = o.tracer.span("spanner.recover");
+            s.attr("replayed_txns", report.replayed_txns);
+            s.attr("replayed_mutations", report.replayed_mutations);
+            s.attr("logs_scanned", report.logs_scanned);
+            s.attr("discarded_prepares", report.discarded_prepares);
+        }
         report
     }
 
@@ -340,6 +355,17 @@ impl SpannerDatabase {
     /// cache layers so all decisions come from one seeded stream).
     pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
         self.inner.fault_injector.lock().clone()
+    }
+
+    /// Install (or clear) the observability handle. Commit phases, redo
+    /// logging, tablet splits, and recovery then emit spans and metrics.
+    pub fn set_obs(&self, obs: Option<Obs>) {
+        *self.inner.obs.lock() = obs;
+    }
+
+    /// The installed observability handle, if any.
+    pub fn obs(&self) -> Option<Obs> {
+        self.inner.obs.lock().clone()
     }
 
     /// Consult the chaos layer at an injection site.
@@ -551,6 +577,9 @@ impl SpannerDatabase {
             txn.closed = true;
             self.inner.locks.release_all(txn.id);
             self.inner.aborts.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = self.obs() {
+                obs.metrics.incr("spanner.aborts", &[], 1);
+            }
         }
     }
 
@@ -571,6 +600,13 @@ impl SpannerDatabase {
             return Err(SpannerError::TxnClosed(txn.id));
         }
         self.fence(&txn)?;
+        let obs = self.obs();
+        let span = obs.as_ref().map(|o| {
+            let s = o.tracer.span("spanner.commit");
+            s.attr("txn", txn.id.0);
+            s.attr("mutations", txn.mutations.len());
+            s
+        });
         // Injected failures (tests / failure-injection experiments).
         if let Some(err) = self.inner.failures.fail_commits.lock().pop() {
             self.abort(&mut txn);
@@ -583,6 +619,7 @@ impl SpannerDatabase {
         }
 
         // Phase 1: acquire exclusive locks on every written cell.
+        let lock_start = self.inner.truetime.clock().now();
         for m in &txn.mutations {
             if let Err(e) = self
                 .inner
@@ -593,6 +630,10 @@ impl SpannerDatabase {
                 return Err(e);
             }
         }
+        let lock_wait = self.inner.truetime.clock().now().saturating_sub(lock_start);
+        if let Some(s) = &span {
+            s.event(format!("locks-acquired n={}", txn.mutations.len()));
+        }
 
         // Phase 2: assign a TrueTime commit timestamp inside the window.
         let commit_ts = match self.inner.truetime.assign_commit_timestamp(min_ts, max_ts) {
@@ -602,6 +643,9 @@ impl SpannerDatabase {
                 return Err(SpannerError::CommitWindowExpired);
             }
         };
+        if let Some(s) = &span {
+            s.attr("commit_ts", commit_ts.as_nanos());
+        }
 
         // Phase 3: log redo records, then apply mutations atomically (later
         // writes to the same key within the txn win) and account tablet
@@ -692,8 +736,18 @@ impl SpannerDatabase {
                         // participants' prepares may be durable but have no
                         // outcome, so recovery discards them.
                         disk.discard_unsynced(&log);
+                        if let Some(o) = &obs {
+                            o.metrics.incr("spanner.redo.fsync_failures", &[], 1);
+                        }
                         self.abort(&mut txn);
                         return Err(SpannerError::Unavailable("redo-log fsync failed"));
+                    }
+                    if let Some(o) = &obs {
+                        o.metrics.incr("spanner.redo.prepares", &[], 1);
+                        o.metrics.incr("spanner.redo.fsyncs", &[], 1);
+                    }
+                    if let Some(s) = &span {
+                        s.event(format!("prepare-durable table={tid} tablet={tablet_idx}"));
                     }
                     // A crash after the first of several prepares leaves a
                     // prepared-but-undecided participant for recovery to
@@ -725,8 +779,18 @@ impl SpannerDatabase {
                     // aborted transaction after a crash (its prepares are
                     // already durable). Discard the tail before aborting.
                     disk.discard_unsynced(OUTCOMES_LOG);
+                    if let Some(o) = &obs {
+                        o.metrics.incr("spanner.redo.fsync_failures", &[], 1);
+                    }
                     self.abort(&mut txn);
                     return Err(SpannerError::Unavailable("redo-log fsync failed"));
+                }
+                if let Some(o) = &obs {
+                    o.metrics.incr("spanner.redo.outcomes", &[], 1);
+                    o.metrics.incr("spanner.redo.fsyncs", &[], 1);
+                }
+                if let Some(s) = &span {
+                    s.event("outcome-durable");
                 }
                 // The ambiguous window: the commit is durable but the client
                 // never hears the ack.
@@ -762,6 +826,7 @@ impl SpannerDatabase {
 
         // Phase 4: commit wait (external consistency), then release locks.
         // A TrueTime uncertainty spike widens ε, stretching the wait.
+        let wait_start = self.inner.truetime.clock().now();
         if self.inject(FaultKind::TtUncertaintySpike, "commit-wait") {
             let spike = self
                 .fault_injector()
@@ -770,15 +835,28 @@ impl SpannerDatabase {
             self.inner.truetime.clock().advance(spike);
         }
         self.inner.truetime.commit_wait(commit_ts);
+        let commit_wait = self.inner.truetime.clock().now().saturating_sub(wait_start);
         txn.closed = true;
         self.inner.locks.release_all(txn.id);
         self.inner.commits.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &obs {
+            o.metrics.incr("spanner.commits", &[], 1);
+            o.metrics.observe_duration("spanner.lock_wait_ms", &[], lock_wait);
+            o.metrics.observe_duration("spanner.commit_wait_ms", &[], commit_wait);
+        }
+        if let Some(s) = &span {
+            s.attr("participants", participants);
+            s.attr("payload_bytes", payload);
+            s.attr("commit_wait_ns", commit_wait.as_nanos());
+        }
 
         Ok(CommitInfo {
             commit_ts,
             participants,
             payload_bytes: payload,
             mutation_count,
+            lock_wait,
+            commit_wait,
         })
     }
 
@@ -983,6 +1061,7 @@ impl SpannerDatabase {
     /// garbage-collect versions older than `gc_before`.
     pub fn maintain(&self, gc_before: Timestamp) {
         let now = self.inner.truetime.clock().now();
+        let obs = self.obs();
         let tables: Vec<Arc<TableData>> = self
             .inner
             .tables
@@ -990,6 +1069,7 @@ impl SpannerDatabase {
             .values()
             .map(|(_, d)| d.clone())
             .collect();
+        let (mut splits, mut merges) = (0u64, 0u64);
         for data in tables {
             let mut tablets = data.tablets.lock();
             for idx in tablets.overloaded() {
@@ -998,13 +1078,28 @@ impl SpannerDatabase {
                     store.median_key_in(&tablets.tablets()[idx].range)
                 };
                 if let Some(m) = median {
-                    tablets.split_at(idx, m, now);
+                    if tablets.split_at(idx, m, now) {
+                        splits += 1;
+                    }
                 }
             }
             // Merge tablets that have gone cold (splits reverse under
             // sustained low load, §IV-D1).
-            tablets.merge_cold(now);
+            merges += tablets.merge_cold(now) as u64;
             data.store.write().gc(gc_before);
+        }
+        if let Some(o) = &obs {
+            if splits > 0 {
+                o.metrics.incr("spanner.tablet.splits", &[], splits);
+            }
+            if merges > 0 {
+                o.metrics.incr("spanner.tablet.merges", &[], merges);
+            }
+            if splits > 0 || merges > 0 {
+                let s = o.tracer.span("spanner.maintain");
+                s.attr("splits", splits);
+                s.attr("merges", merges);
+            }
         }
     }
 

@@ -12,7 +12,7 @@
 use crate::ycsb::{YcsbGenerator, YcsbOp};
 use server::fairshare::Job;
 use server::FirestoreService;
-use simkit::stats::Samples;
+use simkit::stats::Histogram;
 use simkit::{Duration, SimRng, Timestamp};
 use std::collections::HashMap;
 
@@ -58,17 +58,30 @@ pub fn split_pressure(write_qps: f64, elapsed: Duration) -> f64 {
     (write_qps / capacity).max(1.0)
 }
 
-/// Measured output of one run.
-#[derive(Debug, Default)]
+/// Measured output of one run. Latencies accumulate into memory-bounded
+/// log-bucketed histograms (a ten-minute 30k-QPS run stays a few hundred
+/// bytes instead of an unbounded `Vec<f64>`).
+#[derive(Debug)]
 pub struct DriverReport {
     /// Read latencies (ms), post-warmup.
-    pub read_latency: Samples,
+    pub read_latency: Histogram,
     /// Update latencies (ms), post-warmup.
-    pub update_latency: Samples,
+    pub update_latency: Histogram,
     /// Total operations offered.
     pub operations: u64,
     /// Real engine executions among them.
     pub real_executions: u64,
+}
+
+impl Default for DriverReport {
+    fn default() -> Self {
+        DriverReport {
+            read_latency: Histogram::log_millis(),
+            update_latency: Histogram::log_millis(),
+            operations: 0,
+            real_executions: 0,
+        }
+    }
 }
 
 /// Exponentially-weighted estimator of an operation class's cost.
@@ -92,6 +105,7 @@ impl CostEstimate {
 
 struct Inflight {
     is_read: bool,
+    cpu: Duration,
     storage_latency: Duration,
 }
 
@@ -132,6 +146,7 @@ impl<'a> LoadDriver<'a> {
             id,
             Inflight {
                 is_read,
+                cpu,
                 storage_latency,
             },
         );
@@ -147,6 +162,14 @@ impl<'a> LoadDriver<'a> {
         let done = self.svc.backend.lock().advance(from, until, quantum);
         for job in done {
             if let Some(info) = self.inflight.remove(&job.id) {
+                // Fair-share queueing delay = scheduler latency minus the
+                // job's own CPU service time.
+                let queue = job.latency().saturating_sub(info.cpu);
+                self.svc.obs().metrics.observe_duration(
+                    "phase_ms",
+                    &[("db", &job.database), ("phase", "queue")],
+                    queue,
+                );
                 let latency = job.latency() + info.storage_latency;
                 self.outcomes
                     .push((job.database, info.is_read, job.submitted, latency));
@@ -231,6 +254,7 @@ pub fn run_ycsb(
                                 generator.config().field_size,
                                 &mut rng,
                             ),
+                            ..server::service::ServedRequest::default()
                         }
                     }),
                 };
@@ -276,9 +300,9 @@ pub fn run_ycsb(
         for (_db, is_read, submitted, latency) in driver.outcomes.drain(..) {
             if submitted >= measure_from {
                 if is_read {
-                    report.read_latency.push_duration(latency);
+                    report.read_latency.record_duration(latency);
                 } else {
-                    report.update_latency.push_duration(latency);
+                    report.update_latency.record_duration(latency);
                 }
             }
         }
@@ -329,12 +353,12 @@ mod tests {
         });
         let mut rng = SimRng::new(1);
         g.load(&svc.database("ycsb").unwrap(), &mut rng).unwrap();
-        let mut report = run_ycsb(&svc, "ycsb", &g, &quick_config(100.0));
+        let report = run_ycsb(&svc, "ycsb", &g, &quick_config(100.0));
         assert!(report.operations > 1000, "{} ops", report.operations);
         assert!(report.real_executions > 10);
-        assert!(report.read_latency.len() > 100);
-        assert!(report.update_latency.len() > 100);
-        let p50 = report.read_latency.median().unwrap();
+        assert!(report.read_latency.total() > 100);
+        assert!(report.update_latency.total() > 100);
+        let p50 = report.read_latency.quantile(0.5).unwrap();
         assert!(p50 > 0.0 && p50 < 1000.0, "read p50 {p50}ms");
     }
 
@@ -351,7 +375,7 @@ mod tests {
             let mut rng = SimRng::new(2);
             g.load(&svc.database("ycsb").unwrap(), &mut rng).unwrap();
             // Freeze autoscaling by using a tiny run before it reacts.
-            let mut report = run_ycsb(
+            let report = run_ycsb(
                 &svc,
                 "ycsb",
                 &g,
@@ -362,7 +386,7 @@ mod tests {
                     ..DriverConfig::default()
                 },
             );
-            report.read_latency.percentile(0.99).unwrap_or(0.0)
+            report.read_latency.quantile(0.99).unwrap_or(0.0)
         };
         let light = run(1000.0);
         let heavy = run(30_000.0);
