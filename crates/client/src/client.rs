@@ -388,6 +388,12 @@ impl FirestoreClient {
                     if let Some(o) = &obs {
                         o.metrics.incr("client.flushes", &[], 1);
                     }
+                    if let Some(h) = self.db.history() {
+                        h.record(simkit::history::HistoryEvent::ClientAck {
+                            dedup_id: dedup_id.clone(),
+                            commit_ts: result.commit_ts,
+                        });
+                    }
                     let mut st = self.state.lock();
                     st.store.remove_pending(id);
                     // The acknowledged server state equals the write.

@@ -24,8 +24,10 @@ use simkit::{Duration, Obs, Timestamp};
 use spanner::database::DirectoryId;
 use spanner::messaging::MessageQueue;
 use spanner::{ReadWriteTransaction, SpannerDatabase};
+use simkit::history::{HistoryEvent, HistoryRecorder};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Table holding idempotence-ledger rows: one row per client-supplied dedup
@@ -73,6 +75,10 @@ struct Inner {
     triggers: TriggerRegistry,
     queue: MessageQueue,
     options: DatabaseOptions,
+    /// Oracle mutation toggle: skip the dedup-ledger read in
+    /// [`FirestoreDatabase::commit_writes_dedup`], re-applying retried
+    /// mutations — a deliberate exactly-once bug the oracle must catch.
+    oracle_ignore_dedup: AtomicBool,
 }
 
 /// A Firestore database handle. Cheap to clone; clones share state.
@@ -100,6 +106,7 @@ impl FirestoreDatabase {
                 triggers: TriggerRegistry::new(),
                 queue,
                 options,
+                oracle_ignore_dedup: AtomicBool::new(false),
             }),
         }
     }
@@ -129,6 +136,20 @@ impl FirestoreDatabase {
     /// stack, so spans from every layer share one trace).
     pub fn obs(&self) -> Option<Obs> {
         self.inner.spanner.obs()
+    }
+
+    /// The consistency-oracle history recorder attached to the underlying
+    /// Spanner database, if any (one recorder serves the whole stack).
+    pub fn history(&self) -> Option<Arc<HistoryRecorder>> {
+        self.inner.spanner.history()
+    }
+
+    /// Oracle mutation toggle (test-only): when enabled,
+    /// [`FirestoreDatabase::commit_writes_dedup`] skips the ledger lookup
+    /// and re-applies retried mutations — a seeded exactly-once bug the
+    /// consistency oracle must detect.
+    pub fn oracle_ignore_dedup_ledger(&self, ignore: bool) {
+        self.inner.oracle_ignore_dedup.store(ignore, Ordering::SeqCst);
     }
 
     /// Record the executor's work counters into the metrics registry and
@@ -225,6 +246,13 @@ impl FirestoreDatabase {
         if caller.is_third_party() {
             self.authorize_read(name, doc.as_ref(), Method::Get, caller, ts)?;
         }
+        if let Some(h) = self.history() {
+            h.record(HistoryEvent::DocRead {
+                ts,
+                name: name.to_string(),
+                digest: doc.as_ref().map(crate::checker::doc_digest),
+            });
+        }
         Ok(doc)
     }
 
@@ -309,6 +337,19 @@ impl FirestoreDatabase {
             // rule shapes this reproduction supports.)
             for doc in &result.documents {
                 self.authorize_read(&doc.name, Some(doc), Method::List, caller, ts)?;
+            }
+        }
+        // Consistency oracle: record each served document (projections strip
+        // fields, so their rows cannot be digest-checked against the model).
+        if query.projection.is_none() {
+            if let Some(h) = self.history() {
+                for doc in &result.documents {
+                    h.record(HistoryEvent::DocRead {
+                        ts,
+                        name: doc.name.to_string(),
+                        digest: Some(crate::checker::doc_digest(doc)),
+                    });
+                }
             }
         }
         Ok(result)
@@ -487,7 +528,12 @@ impl FirestoreDatabase {
         let spanner = &self.inner.spanner;
         let key = self.inner.dir.key(dedup_id.as_bytes());
         let mut txn = spanner.begin();
-        match spanner.txn_read_for_update_versioned(&mut txn, WRITE_LEDGER, &key) {
+        let ledger_row = if self.inner.oracle_ignore_dedup.load(Ordering::SeqCst) {
+            Ok(None) // seeded bug: pretend the mutation was never applied
+        } else {
+            spanner.txn_read_for_update_versioned(&mut txn, WRITE_LEDGER, &key)
+        };
+        match ledger_row {
             // Already applied: the ledger row's MVCC version timestamp *is*
             // the original commit timestamp.
             Ok(Some((_, version_ts))) => {

@@ -41,6 +41,7 @@
 //! * [`database`] — `FirestoreDatabase`, the assembled engine.
 
 pub mod backfill;
+pub mod checker;
 pub mod database;
 pub mod document;
 pub mod encoding;

@@ -22,9 +22,11 @@ use firestore_core::executor::collection_range;
 use firestore_core::observer::{
     CommitObserver, CommitOutcome, DocumentChange, PrepareToken, PrepareUnavailable,
 };
+use firestore_core::checker::doc_digest;
 use firestore_core::{Document, Query};
 use parking_lot::Mutex;
 use simkit::fault::{FaultInjector, FaultKind};
+use simkit::history::{HistoryEvent, HistoryRecorder};
 use simkit::{Duration, Obs, Timestamp, TrueTime};
 use spanner::database::DirectoryId;
 use spanner::{Key, KeyRange};
@@ -142,7 +144,23 @@ struct RtState {
     stats: RealtimeStats,
     injector: Option<Arc<FaultInjector>>,
     obs: Option<Obs>,
+    /// Consistency-oracle recorder; every listener snapshot and reset is
+    /// recorded while one is attached.
+    history: Option<Arc<HistoryRecorder>>,
+    /// Oracle mutation toggle: silently drop the next `n` routed changes
+    /// (a seeded changelog gap the oracle must catch).
+    oracle_drop_changes: u64,
+    /// Oracle mutation toggle: hold one emitted snapshot back and deliver
+    /// it after a newer one (a seeded ordering bug the oracle must catch).
+    oracle_reorder: bool,
+    /// The snapshot held back by `oracle_reorder`, with its recorded
+    /// visible digests.
+    oracle_stash: Vec<StashedEmission>,
 }
+
+/// A held-back listener emission: the connection it belongs to, the event,
+/// and the visible per-document digests recorded with it.
+type StashedEmission = (ConnectionId, ListenEvent, Vec<(String, u64)>);
 
 /// The Real-time Cache. Cheap to clone; clones share state.
 #[derive(Clone)]
@@ -174,6 +192,10 @@ impl RealtimeCache {
                 stats: RealtimeStats::default(),
                 injector: None,
                 obs: None,
+                history: None,
+                oracle_drop_changes: 0,
+                oracle_reorder: false,
+                oracle_stash: Vec::new(),
             })),
         }
     }
@@ -195,6 +217,42 @@ impl RealtimeCache {
     /// The attached observability handle, if any.
     pub fn obs(&self) -> Option<Obs> {
         self.state.lock().obs.clone()
+    }
+
+    /// Attach (or clear) the consistency-oracle history recorder. While one
+    /// is attached every listener snapshot and reset is recorded.
+    pub fn set_history(&self, history: Option<Arc<HistoryRecorder>>) {
+        self.state.lock().history = history;
+    }
+
+    /// Oracle mutation toggle (test-only): silently drop the next `n`
+    /// committed changes at the Changelog → Query Matcher hop. A seeded
+    /// gap-in-changelog bug the consistency oracle must detect.
+    pub fn oracle_drop_next_changes(&self, n: u64) {
+        self.state.lock().oracle_drop_changes = n;
+    }
+
+    /// Oracle mutation toggle (test-only): hold one emitted snapshot back
+    /// and deliver it after a newer one, violating §V ordered delivery. A
+    /// seeded reordering bug the consistency oracle must detect.
+    pub fn oracle_reorder_delivery(&self, enable: bool) {
+        self.state.lock().oracle_reorder = enable;
+    }
+
+    /// Record `event` if a recorder is attached.
+    fn record(st: &RtState, event: HistoryEvent) {
+        if let Some(h) = &st.history {
+            h.record(event);
+        }
+    }
+
+    /// The `(name, digest)` list the oracle compares against the model:
+    /// exactly what the listener has seen after this snapshot.
+    fn visible_digests(view: &QueryView) -> Vec<(String, u64)> {
+        view.last_visible()
+            .iter()
+            .map(|d| (d.name.to_string(), doc_digest(d)))
+            .collect()
     }
 
     /// Current statistics.
@@ -289,6 +347,8 @@ impl RealtimeCache {
         }
         let mut caught_up = 0usize;
         let (mut snapshots, mut notifications, mut resets) = (0u64, 0u64, 0u64);
+        let record = st.history.is_some();
+        let mut recorded: Vec<HistoryEvent> = Vec::new();
         let mut conn_ids: Vec<ConnectionId> = st.conns.keys().copied().collect();
         conn_ids.sort();
         for conn_id in conn_ids {
@@ -314,6 +374,15 @@ impl RealtimeCache {
                         if !deltas.is_empty() {
                             notifications += deltas.len() as u64;
                             snapshots += 1;
+                            if record {
+                                recorded.push(HistoryEvent::ListenerSnapshot {
+                                    conn: conn_id.0,
+                                    query: qid.0,
+                                    at: snapshot_ts,
+                                    initial: false,
+                                    visible: Self::visible_digests(&qs.view),
+                                });
+                            }
                             conn.out.push_back(ListenEvent::Snapshot {
                                 query: qid,
                                 at: snapshot_ts,
@@ -326,9 +395,18 @@ impl RealtimeCache {
                         conn.queries.remove(&qid);
                         conn.out.push_back(ListenEvent::Reset { query: qid });
                         resets += 1;
+                        if record {
+                            recorded.push(HistoryEvent::ListenerReset {
+                                conn: conn_id.0,
+                                query: qid.0,
+                            });
+                        }
                     }
                 }
             }
+        }
+        for ev in recorded {
+            Self::record(st, ev);
         }
         for task in st.tasks.iter_mut() {
             task.subscribers.retain(|(c, q)| {
@@ -461,6 +539,12 @@ impl RealtimeCache {
         changes: &[DocumentChange],
     ) {
         for change in changes {
+            // Oracle mutation: silently drop the next N changelog entries —
+            // affected listeners never see the write (§V delivery violated).
+            if st.oracle_drop_changes > 0 {
+                st.oracle_drop_changes -= 1;
+                continue;
+            }
             // The change's true key: the writing database's directory plus
             // the encoded name. Subscriptions of other directories can
             // never contain it — tenant isolation at the matcher.
@@ -509,10 +593,23 @@ impl RealtimeCache {
             }
         }
         for (conn_id, qid) in to_reset {
-            if let Some(conn) = st.conns.get_mut(&conn_id) {
-                conn.queries.remove(&qid);
-                conn.out.push_back(ListenEvent::Reset { query: qid });
+            let removed = st.conns.get_mut(&conn_id).is_some_and(|conn| {
+                if conn.queries.remove(&qid).is_some() {
+                    conn.out.push_back(ListenEvent::Reset { query: qid });
+                    true
+                } else {
+                    false
+                }
+            });
+            if removed {
                 st.stats.resets += 1;
+                Self::record(
+                    st,
+                    HistoryEvent::ListenerReset {
+                        conn: conn_id.0,
+                        query: qid.0,
+                    },
+                );
             }
         }
         for task in st.tasks.iter_mut() {
@@ -559,6 +656,7 @@ impl RealtimeCache {
     /// to a timestamp t once all queries' max-commit-version has reached at
     /// least t", §IV-D4).
     fn pump(st: &mut RtState, conn_id: ConnectionId) {
+        let record = st.history.is_some();
         let Some(conn) = st.conns.get_mut(&conn_id) else {
             return;
         };
@@ -584,7 +682,9 @@ impl RealtimeCache {
         else {
             return;
         };
-        let mut emitted = Vec::new();
+        // Each emission carries the visible digests the oracle records
+        // (computed only while a recorder is attached).
+        let mut emitted: Vec<(ListenEvent, Vec<(String, u64)>)> = Vec::new();
         for (qid, qs) in conn.queries.iter_mut() {
             if conn_watermark <= qs.resume {
                 continue;
@@ -606,21 +706,56 @@ impl RealtimeCache {
             }
             let deltas = qs.view.apply(&batch);
             if !deltas.is_empty() {
-                emitted.push(ListenEvent::Snapshot {
-                    query: *qid,
-                    at: conn_watermark,
-                    changes: deltas,
-                    is_initial: false,
-                });
+                let visible = if record {
+                    Self::visible_digests(&qs.view)
+                } else {
+                    Vec::new()
+                };
+                emitted.push((
+                    ListenEvent::Snapshot {
+                        query: *qid,
+                        at: conn_watermark,
+                        changes: deltas,
+                        is_initial: false,
+                    },
+                    visible,
+                ));
             }
         }
-        for e in &emitted {
-            if let ListenEvent::Snapshot { changes, .. } = e {
+        // Oracle mutation: hold the first emitted snapshot back and deliver
+        // it only after a newer one — §V ordered delivery violated.
+        if st.oracle_reorder {
+            if st.oracle_stash.is_empty() {
+                if !emitted.is_empty() {
+                    let (ev, vis) = emitted.remove(0);
+                    st.oracle_stash.push((conn_id, ev, vis));
+                }
+            } else if !emitted.is_empty() && st.oracle_stash[0].0 == conn_id {
+                let (_, ev, vis) = st.oracle_stash.remove(0);
+                emitted.push((ev, vis));
+            }
+        }
+        for (e, visible) in &emitted {
+            if let ListenEvent::Snapshot { query, at, changes, is_initial } = e {
                 st.stats.notifications += changes.len() as u64;
                 st.stats.snapshots += 1;
+                if record {
+                    Self::record(
+                        st,
+                        HistoryEvent::ListenerSnapshot {
+                            conn: conn_id.0,
+                            query: query.0,
+                            at: *at,
+                            initial: *is_initial,
+                            visible: visible.clone(),
+                        },
+                    );
+                }
             }
         }
-        conn.out.extend(emitted);
+        if let Some(conn) = st.conns.get_mut(&conn_id) {
+            conn.out.extend(emitted.into_iter().map(|(e, _)| e));
+        }
     }
 }
 
@@ -671,6 +806,10 @@ impl Connection {
         }
         let view = QueryView::new(query, initial);
         let initial_events = view.initial_events();
+        let visible = st
+            .history
+            .is_some()
+            .then(|| RealtimeCache::visible_digests(&view));
         let Some(conn) = st.conns.get_mut(&self.id) else {
             return qid;
         };
@@ -692,14 +831,38 @@ impl Connection {
             },
         );
         st.stats.snapshots += 1;
+        if let Some(visible) = visible {
+            RealtimeCache::record(
+                &st,
+                HistoryEvent::ListenerSnapshot {
+                    conn: self.id.0,
+                    query: qid.0,
+                    at: snapshot_ts,
+                    initial: true,
+                    visible,
+                },
+            );
+        }
         qid
     }
 
     /// Stop a real-time query.
     pub fn unlisten(&self, qid: QueryId) {
         let mut st = self.cache.state.lock();
-        if let Some(conn) = st.conns.get_mut(&self.id) {
-            conn.queries.remove(&qid);
+        let removed = st
+            .conns
+            .get_mut(&self.id)
+            .is_some_and(|conn| conn.queries.remove(&qid).is_some());
+        if removed {
+            // The oracle treats a voluntary unlisten like a reset: the
+            // listener's continuity obligations end here.
+            RealtimeCache::record(
+                &st,
+                HistoryEvent::ListenerReset {
+                    conn: self.id.0,
+                    query: qid.0,
+                },
+            );
         }
         let conn_id = self.id;
         for task in st.tasks.iter_mut() {
@@ -720,7 +883,19 @@ impl Connection {
     /// Close the connection, dropping all its queries.
     pub fn close(&self) {
         let mut st = self.cache.state.lock();
-        st.conns.remove(&self.id);
+        if let Some(conn) = st.conns.remove(&self.id) {
+            let mut qids: Vec<QueryId> = conn.queries.keys().copied().collect();
+            qids.sort();
+            for qid in qids {
+                RealtimeCache::record(
+                    &st,
+                    HistoryEvent::ListenerReset {
+                        conn: self.id.0,
+                        query: qid.0,
+                    },
+                );
+            }
+        }
         let conn_id = self.id;
         for task in st.tasks.iter_mut() {
             task.subscribers.retain(|(c, _)| c != &conn_id);

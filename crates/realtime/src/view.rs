@@ -88,6 +88,12 @@ impl QueryView {
         self.result.len()
     }
 
+    /// The visible result set as of the last delivered snapshot — exactly
+    /// what the listener has seen (the consistency oracle digests this).
+    pub fn last_visible(&self) -> &[Document] {
+        &self.last_visible
+    }
+
     /// The currently visible (offset/limit-windowed) result set, in order.
     pub fn visible(&self) -> Vec<Document> {
         let it = self.result.values().skip(self.query.offset);

@@ -38,11 +38,13 @@ pub mod ast;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod render;
 pub mod value;
 
 pub use ast::{Method, Ruleset};
 pub use eval::{AuthContext, DataSource, EmptyDataSource, EvalError, RequestContext};
 pub use parser::{parse_ruleset, ParseError};
+pub use render::{render_expr, render_ruleset};
 pub use value::RuleValue;
 
 /// Parse and evaluate in one call: returns whether `request` is allowed by

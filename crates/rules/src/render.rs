@@ -1,0 +1,313 @@
+//! Rendering parsed rulesets back to source text.
+//!
+//! The renderer is the inverse of [`crate::parser`]: for any AST the parser
+//! can produce, `parse_ruleset(&render_ruleset(&rs))` yields `rs` again.
+//! Expressions are emitted *fully parenthesized* — the parser does not
+//! record grouping, so explicit parentheses around every binary and unary
+//! node make the round-trip independent of precedence.
+//!
+//! Limitations, inherited from the surface syntax: negative integer
+//! literals render as unary negation applied to the absolute value (the
+//! lexer has no signed literals), and float literals must have a decimal
+//! representation without an exponent. ASTs produced by the parser always
+//! satisfy both.
+
+use crate::ast::*;
+use crate::value::RuleValue;
+use std::fmt::Write;
+
+/// Render a ruleset as source text, wrapped in the conventional
+/// `service cloud.firestore { ... }` block.
+pub fn render_ruleset(rs: &Ruleset) -> String {
+    let mut out = String::from("service cloud.firestore {\n");
+    for block in &rs.roots {
+        render_match(&mut out, block, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_match(out: &mut String, block: &MatchBlock, depth: usize) {
+    indent(out, depth);
+    out.push_str("match ");
+    for seg in &block.pattern {
+        out.push('/');
+        match seg {
+            Segment::Literal(s) => out.push_str(s),
+            Segment::Single(name) => {
+                let _ = write!(out, "{{{name}}}");
+            }
+            Segment::Recursive(name) => {
+                let _ = write!(out, "{{{name}=**}}");
+            }
+        }
+    }
+    out.push_str(" {\n");
+    for allow in &block.allows {
+        indent(out, depth + 1);
+        out.push_str("allow ");
+        for (i, m) in allow.methods.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(method_spec_name(*m));
+        }
+        out.push_str(": if ");
+        out.push_str(&render_expr(&allow.condition));
+        out.push_str(";\n");
+    }
+    for child in &block.children {
+        render_match(out, child, depth + 1);
+    }
+    indent(out, depth);
+    out.push_str("}\n");
+}
+
+fn method_spec_name(m: MethodSpec) -> &'static str {
+    match m {
+        MethodSpec::Read => "read",
+        MethodSpec::Write => "write",
+        MethodSpec::Get => "get",
+        MethodSpec::List => "list",
+        MethodSpec::Create => "create",
+        MethodSpec::Update => "update",
+        MethodSpec::Delete => "delete",
+    }
+}
+
+/// Render one expression, fully parenthesized.
+pub fn render_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e);
+    out
+}
+
+/// Base of a postfix chain (`.field`, `[idx]`, call): bare identifiers are
+/// postfix-safe as written; everything else gets grouping parentheses.
+fn write_base(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Var(name) => out.push_str(name),
+        other => {
+            out.push('(');
+            write_expr(out, other);
+            out.push(')');
+        }
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Lit(v) => write_lit(out, v),
+        Expr::Var(name) => out.push_str(name),
+        Expr::Member(base, field) => {
+            write_base(out, base);
+            out.push('.');
+            out.push_str(field);
+        }
+        Expr::Index(base, idx) => {
+            write_base(out, base);
+            out.push('[');
+            write_expr(out, idx);
+            out.push(']');
+        }
+        Expr::Call(callee, args) => {
+            // The parser only builds calls on a variable or a member chain;
+            // render the callee without wrapping the whole chain so the
+            // call attaches to the same node on re-parse.
+            match &**callee {
+                Expr::Member(base, field) => {
+                    write_base(out, base);
+                    out.push('.');
+                    out.push_str(field);
+                }
+                other => write_base(out, other),
+            }
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::Unary(op, inner) => {
+            out.push(match op {
+                UnaryOp::Not => '!',
+                UnaryOp::Neg => '-',
+            });
+            out.push('(');
+            write_expr(out, inner);
+            out.push(')');
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            out.push('(');
+            write_expr(out, lhs);
+            let _ = write!(out, " {} ", binop_text(*op));
+            write_expr(out, rhs);
+            out.push(')');
+        }
+        Expr::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item);
+            }
+            out.push(']');
+        }
+        Expr::Path(parts) => {
+            for part in parts {
+                out.push('/');
+                match part {
+                    PathPart::Literal(s) => out.push_str(s),
+                    PathPart::Interp(e) => {
+                        out.push_str("$(");
+                        write_expr(out, e);
+                        out.push(')');
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn binop_text(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Or => "||",
+        BinOp::And => "&&",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::In => "in",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Mod => "%",
+    }
+}
+
+fn write_lit(out: &mut String, v: &RuleValue) {
+    match v {
+        RuleValue::Null => out.push_str("null"),
+        RuleValue::Bool(true) => out.push_str("true"),
+        RuleValue::Bool(false) => out.push_str("false"),
+        RuleValue::Int(i) => {
+            if *i < 0 {
+                // The lexer has no signed literals: emit the unary form.
+                // Re-parsing yields `Unary(Neg, Lit(abs))` — callers that
+                // need exact round-trips use non-negative literals (the
+                // parser itself never produces a negative `Lit`).
+                let _ = write!(out, "-({})", i.unsigned_abs());
+            } else {
+                let _ = write!(out, "{i}");
+            }
+        }
+        RuleValue::Float(x) => {
+            let s = format!("{x}");
+            out.push_str(&s);
+            if !s.contains('.') {
+                out.push_str(".0");
+            }
+        }
+        RuleValue::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        // Lists and maps never appear as literal tokens (the parser builds
+        // `Expr::List` instead); render a list body for completeness.
+        RuleValue::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_lit(out, item);
+            }
+            out.push(']');
+        }
+        RuleValue::Map(_) => out.push_str("null"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_ruleset};
+
+    fn roundtrip_expr(src: &str) {
+        let ast = parse_expr(src).unwrap();
+        let rendered = render_expr(&ast);
+        let reparsed = parse_expr(&rendered)
+            .unwrap_or_else(|e| panic!("render of {src:?} unparseable: {rendered:?}: {e}"));
+        assert_eq!(ast, reparsed, "round-trip of {src:?} via {rendered:?}");
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        for src in [
+            "true",
+            "request.auth != null && request.resource.data.userId == request.auth.uid",
+            "a || b && c",
+            "-3 + 4 * 5 % 2",
+            r#"'it\'s' in ['a', 'b', 'c']"#,
+            "get(/users/$(request.auth.uid)).data.role == 'admin'",
+            "request.resource.data.keys().size() <= 10",
+            "xs[0].y[z]",
+            "!(a < b) == !!c",
+            "1.5 > 0.25",
+            "\"quote\\\"and\\\\slash\"",
+        ] {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
+    fn ruleset_roundtrips() {
+        let src = r#"
+            rules_version = '2';
+            service cloud.firestore {
+              match /databases/{database}/documents {
+                match /restaurants/{restaurant}/ratings/{rating} {
+                  allow read;
+                  allow create: if request.auth != null
+                                && request.resource.data.userId == request.auth.uid;
+                  allow update, delete: if false;
+                }
+                match /open/{doc=**} {
+                  allow read, write;
+                }
+              }
+            }
+        "#;
+        let ast = parse_ruleset(src).unwrap();
+        let rendered = render_ruleset(&ast);
+        let reparsed = parse_ruleset(&rendered).unwrap();
+        assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let ast = parse_ruleset("match /a/{b} { allow read: if a.b(c, 1) in [d]; }").unwrap();
+        assert_eq!(render_ruleset(&ast), render_ruleset(&ast));
+    }
+}

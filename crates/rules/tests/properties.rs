@@ -1,0 +1,272 @@
+//! Property tests for the rules front-end.
+//!
+//! Two families:
+//!
+//! 1. **Never panic**: the lexer/parser must survive arbitrary *bytes* —
+//!    security rules are customer input to a multi-tenant service, so a
+//!    panic is an availability incident. (String-level soup lives in
+//!    `fuzz.rs`; this adds raw-byte coverage through lossy UTF-8.)
+//! 2. **Round-trip**: for generated ASTs, `parse(render(ast)) == ast` —
+//!    the renderer in `rules::render` is a true inverse of the parser.
+//!
+//! Generation is seeded: the default seed is fixed (CI is reproducible),
+//! and `RULES_SEED=<u64>` explores a fresh corner of the space (the
+//! nightly job sets a random one; a failure names the seed to replay).
+
+use proptest::test_runner::TestRng;
+use rules::ast::*;
+use rules::parser::{parse_expr, parse_ruleset};
+use rules::render::{render_expr, render_ruleset};
+use rules::value::RuleValue;
+
+const DEFAULT_SEED: u64 = 0xF1DE_5703;
+
+fn seed() -> u64 {
+    match std::env::var("RULES_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("RULES_SEED must be a u64, got {s:?}")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+// --- 1. never panic on arbitrary bytes -----------------------------------
+
+#[test]
+fn parser_never_panics_on_arbitrary_bytes() {
+    let seed = seed();
+    let mut rng = TestRng::from_seed(seed);
+    for case in 0..256 {
+        let len = rng.usize_in(0, 300);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        // Must not panic; Err is fine.
+        let _ = parse_ruleset(&input);
+        let _ = parse_expr(&input);
+        let _ = case; // seed replay: case index is implicit in the stream
+    }
+}
+
+#[test]
+fn parser_never_panics_on_token_soup_bytes() {
+    // Bias towards bytes the grammar actually uses, so deeper parser paths
+    // are reached than with uniform noise.
+    const ALPHABET: &[u8] = b"matchallowif/{}()[];:,.=!<>&|+-*%$'\"0123456789 _\n\\";
+    let seed = seed().wrapping_add(1);
+    let mut rng = TestRng::from_seed(seed);
+    for _ in 0..256 {
+        let len = rng.usize_in(0, 200);
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| ALPHABET[rng.usize_in(0, ALPHABET.len())])
+            .collect();
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_ruleset(&input);
+        let _ = parse_expr(&input);
+    }
+}
+
+// --- 2. parse ∘ render = identity on generated ASTs ----------------------
+
+/// Identifiers safe as `Expr::Var` / field / segment names: never the
+/// literal keywords (`true`/`false`/`null` re-parse as literals) and never
+/// `in` (an operator in relational position).
+fn gen_ident(rng: &mut TestRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    loop {
+        let len = rng.usize_in(1, 9);
+        let mut s = String::new();
+        s.push(FIRST[rng.usize_in(0, FIRST.len())] as char);
+        for _ in 1..len {
+            s.push(REST[rng.usize_in(0, REST.len())] as char);
+        }
+        if !matches!(s.as_str(), "true" | "false" | "null" | "in") {
+            return s;
+        }
+    }
+}
+
+fn gen_string(rng: &mut TestRng) -> String {
+    // Includes the characters the renderer must escape.
+    const CHARS: &[char] = &[
+        'a', 'b', 'z', '0', ' ', '_', '\'', '"', '\\', '\n', '\t', 'é', '∀',
+    ];
+    let len = rng.usize_in(0, 12);
+    (0..len).map(|_| CHARS[rng.usize_in(0, CHARS.len())]).collect()
+}
+
+fn gen_lit(rng: &mut TestRng) -> RuleValue {
+    match rng.below(5) {
+        0 => RuleValue::Null,
+        1 => RuleValue::Bool(rng.chance(1, 2)),
+        // Non-negative: the surface syntax has no signed literals, so the
+        // parser can only ever produce non-negative `Lit(Int)`.
+        2 => RuleValue::Int(rng.below(1_000_000) as i64),
+        3 => {
+            let a = rng.below(100);
+            let b = rng.below(100);
+            RuleValue::Float(format!("{a}.{b:02}").parse().unwrap())
+        }
+        _ => RuleValue::Str(gen_string(rng)),
+    }
+}
+
+fn gen_binop(rng: &mut TestRng) -> BinOp {
+    const OPS: &[BinOp] = &[
+        BinOp::Or,
+        BinOp::And,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::In,
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Mod,
+    ];
+    OPS[rng.usize_in(0, OPS.len())]
+}
+
+fn gen_expr(rng: &mut TestRng, depth: usize) -> Expr {
+    if depth == 0 || rng.chance(1, 4) {
+        return if rng.chance(1, 3) {
+            Expr::Var(gen_ident(rng))
+        } else {
+            Expr::Lit(gen_lit(rng))
+        };
+    }
+    match rng.below(8) {
+        0 => Expr::Member(Box::new(gen_expr(rng, depth - 1)), gen_ident(rng)),
+        1 => Expr::Index(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        2 => {
+            let op = if rng.chance(1, 2) {
+                UnaryOp::Not
+            } else {
+                UnaryOp::Neg
+            };
+            Expr::Unary(op, Box::new(gen_expr(rng, depth - 1)))
+        }
+        3 | 4 => Expr::Binary(
+            gen_binop(rng),
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        5 => {
+            // The parser only builds calls on a variable or member chain.
+            let callee = if rng.chance(1, 2) {
+                Expr::Var(gen_ident(rng))
+            } else {
+                Expr::Member(Box::new(gen_expr(rng, depth - 1)), gen_ident(rng))
+            };
+            let n = rng.usize_in(0, 3);
+            let args = (0..n).map(|_| gen_expr(rng, depth - 1)).collect();
+            Expr::Call(Box::new(callee), args)
+        }
+        6 => {
+            let n = rng.usize_in(0, 4);
+            Expr::List((0..n).map(|_| gen_expr(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.usize_in(1, 4);
+            Expr::Path(
+                (0..n)
+                    .map(|_| {
+                        if rng.chance(1, 3) {
+                            PathPart::Interp(gen_expr(rng, depth - 1))
+                        } else {
+                            PathPart::Literal(gen_ident(rng))
+                        }
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn gen_segment(rng: &mut TestRng) -> Segment {
+    match rng.below(3) {
+        0 => Segment::Literal(gen_ident(rng)),
+        1 => Segment::Single(gen_ident(rng)),
+        _ => Segment::Recursive(gen_ident(rng)),
+    }
+}
+
+fn gen_allow(rng: &mut TestRng) -> Allow {
+    const SPECS: &[MethodSpec] = &[
+        MethodSpec::Read,
+        MethodSpec::Write,
+        MethodSpec::Get,
+        MethodSpec::List,
+        MethodSpec::Create,
+        MethodSpec::Update,
+        MethodSpec::Delete,
+    ];
+    let n = rng.usize_in(1, 4);
+    let methods = (0..n).map(|_| SPECS[rng.usize_in(0, SPECS.len())]).collect();
+    Allow {
+        methods,
+        condition: gen_expr(rng, 3),
+    }
+}
+
+fn gen_match(rng: &mut TestRng, depth: usize) -> MatchBlock {
+    let nseg = rng.usize_in(1, 4);
+    let nallow = rng.usize_in(0, 3);
+    let nchild = if depth == 0 { 0 } else { rng.usize_in(0, 3) };
+    MatchBlock {
+        pattern: (0..nseg).map(|_| gen_segment(rng)).collect(),
+        allows: (0..nallow).map(|_| gen_allow(rng)).collect(),
+        children: (0..nchild).map(|_| gen_match(rng, depth - 1)).collect(),
+    }
+}
+
+#[test]
+fn expr_render_parse_roundtrip() {
+    let seed = seed().wrapping_add(2);
+    let mut rng = TestRng::from_seed(seed);
+    for case in 0..512 {
+        let ast = gen_expr(&mut rng, 4);
+        let rendered = render_expr(&ast);
+        let reparsed = parse_expr(&rendered).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed:#x} case {case}: rendered expression failed to \
+                 re-parse: {e}\nsource: {rendered}\nast: {ast:?}"
+            )
+        });
+        assert_eq!(
+            ast, reparsed,
+            "seed {seed:#x} case {case}: round-trip diverged\nsource: {rendered}"
+        );
+    }
+}
+
+#[test]
+fn ruleset_render_parse_roundtrip() {
+    let seed = seed().wrapping_add(3);
+    let mut rng = TestRng::from_seed(seed);
+    for case in 0..128 {
+        let ast = Ruleset {
+            roots: {
+                let n = rng.usize_in(1, 4);
+                (0..n).map(|_| gen_match(&mut rng, 2)).collect()
+            },
+        };
+        let rendered = render_ruleset(&ast);
+        let reparsed = parse_ruleset(&rendered).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed:#x} case {case}: rendered ruleset failed to \
+                 re-parse: {e}\nsource:\n{rendered}"
+            )
+        });
+        assert_eq!(
+            ast, reparsed,
+            "seed {seed:#x} case {case}: round-trip diverged\nsource:\n{rendered}"
+        );
+    }
+}

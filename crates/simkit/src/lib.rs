@@ -30,6 +30,7 @@ pub mod clock;
 pub mod des;
 pub mod disk;
 pub mod fault;
+pub mod history;
 pub mod latency;
 pub mod obs;
 pub mod rng;
@@ -40,6 +41,7 @@ pub use clock::{Duration, SimClock, Timestamp};
 pub use des::Scheduler;
 pub use disk::{CrashPoints, DiskError, LogReplay, SimDisk};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultStats};
+pub use history::{HistoryEvent, HistoryRecorder, ModelStore, Recorded, Violation};
 pub use obs::{Metrics, MetricsSnapshot, Obs, PhaseBreakdown, Span, SpanGuard, SpanId, Tracer};
 pub use rng::SimRng;
 pub use truetime::{TrueTime, TtInterval};

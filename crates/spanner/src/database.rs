@@ -15,6 +15,7 @@ use crate::txn::{Mutation, ReadWriteTransaction, TxnId};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use simkit::fault::{FaultInjector, FaultKind};
+use simkit::history::{hash_bytes, HistoryEvent, HistoryRecorder};
 use simkit::{CrashPoints, Duration, Obs, SimClock, SimDisk, Timestamp, TrueTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -117,6 +118,13 @@ struct Inner {
     min_live_txn: AtomicU64,
     /// Locks discarded by the last crash (reported by `recover`).
     orphan_locks: AtomicU64,
+    /// Consistency-oracle history recorder; commits, transactional reads,
+    /// and snapshot reads are recorded while one is attached.
+    history: Mutex<Option<Arc<HistoryRecorder>>>,
+    /// Oracle mutation toggle: serve snapshot reads from this much earlier
+    /// than the requested timestamp while *recording* the requested one — a
+    /// deliberate staleness bug the oracle must catch.
+    oracle_stale_reads: Mutex<Option<Duration>>,
 }
 
 /// A Spanner-like database. Cheap to clone; clones share state.
@@ -152,6 +160,8 @@ impl SpannerDatabase {
                 crashed: AtomicBool::new(false),
                 min_live_txn: AtomicU64::new(0),
                 orphan_locks: AtomicU64::new(0),
+                history: Mutex::new(None),
+                oracle_stale_reads: Mutex::new(None),
             }),
         }
     }
@@ -219,6 +229,9 @@ impl SpannerDatabase {
         }
         if let Some(disk) = self.inner.disk.lock().as_ref() {
             disk.crash();
+        }
+        if let Some(h) = self.inner.history.lock().as_ref() {
+            h.record(HistoryEvent::Crash);
         }
     }
 
@@ -317,6 +330,9 @@ impl SpannerDatabase {
             s.attr("logs_scanned", report.logs_scanned);
             s.attr("discarded_prepares", report.discarded_prepares);
         }
+        if let Some(h) = self.inner.history.lock().as_ref() {
+            h.record(HistoryEvent::Recovered);
+        }
         report
     }
 
@@ -366,6 +382,67 @@ impl SpannerDatabase {
     /// The installed observability handle, if any.
     pub fn obs(&self) -> Option<Obs> {
         self.inner.obs.lock().clone()
+    }
+
+    /// Attach (or clear) the consistency-oracle history recorder. While one
+    /// is attached every commit, transactional read, and snapshot read is
+    /// recorded; production paths pay a single null check otherwise.
+    pub fn set_history(&self, history: Option<Arc<HistoryRecorder>>) {
+        *self.inner.history.lock() = history;
+    }
+
+    /// The attached history recorder, if any.
+    pub fn history(&self) -> Option<Arc<HistoryRecorder>> {
+        self.inner.history.lock().clone()
+    }
+
+    /// Oracle mutation toggle (test-only): serve snapshot reads `delta`
+    /// earlier than the requested timestamp while recording the requested
+    /// one. A seeded staleness bug the consistency oracle must detect —
+    /// `None` restores correct behaviour.
+    pub fn oracle_serve_stale_reads(&self, delta: Option<Duration>) {
+        *self.inner.oracle_stale_reads.lock() = delta;
+    }
+
+    /// The timestamp snapshot reads are actually served at: the requested
+    /// one unless the stale-read oracle mutation is active.
+    fn serve_ts(&self, ts: Timestamp) -> Timestamp {
+        match *self.inner.oracle_stale_reads.lock() {
+            Some(delta) => Timestamp(ts.0.saturating_sub(delta.0)),
+            None => ts,
+        }
+    }
+
+    /// Record a snapshot-read observation, if a recorder is attached.
+    fn record_snapshot_read(
+        &self,
+        table: TableName,
+        key: &Key,
+        ts: Timestamp,
+        observed: Option<u64>,
+    ) {
+        if let Some(h) = self.inner.history.lock().as_ref() {
+            h.record(HistoryEvent::SnapshotRead {
+                ts,
+                table: table.to_string(),
+                key: key.as_slice().to_vec(),
+                observed,
+            });
+        }
+    }
+
+    /// Record a transactional read observation into the transaction, if a
+    /// recorder is attached (drained into the `Commit` event on commit).
+    fn observe_txn_read(
+        &self,
+        txn: &mut ReadWriteTransaction,
+        tid: u32,
+        key: &Key,
+        observed: Option<u64>,
+    ) {
+        if self.inner.history.lock().is_some() {
+            txn.observed_reads.push((tid, key.clone(), observed));
+        }
     }
 
     /// Consult the chaos layer at an injection site.
@@ -459,6 +536,7 @@ impl SpannerDatabase {
         }
         txn.read_keys.push((tid, key.clone()));
         let value = data.store.read().read_latest(key);
+        self.observe_txn_read(txn, tid, key, value.as_deref().map(hash_bytes));
         Ok(value)
     }
 
@@ -495,6 +573,9 @@ impl SpannerDatabase {
                 return Err(e);
             }
         }
+        for (k, v) in &rows {
+            self.observe_txn_read(txn, tid, k, Some(hash_bytes(v)));
+        }
         txn.scanned_ranges.push((tid, range.clone()));
         Ok(rows)
     }
@@ -525,6 +606,9 @@ impl SpannerDatabase {
                 self.abort(txn);
                 return Err(e);
             }
+        }
+        for (k, v) in &rows {
+            self.observe_txn_read(txn, tid, k, Some(hash_bytes(v)));
         }
         txn.scanned_ranges.push((tid, range.clone()));
         Ok(rows)
@@ -692,6 +776,49 @@ impl SpannerDatabase {
                 }
             }
 
+            // Consistency oracle: stage the Commit event now (the mutation
+            // groups are consumed by the apply loop below) and record it at
+            // the durability point — right after the coordinator outcome
+            // fsync when a disk is attached, so a commit that crashes inside
+            // the ambiguous window still enters the model, or after the
+            // volatile apply otherwise.
+            let history = self.inner.history.lock().clone();
+            let mut pending_commit_event = history.as_ref().map(|_| {
+                let name_of: HashMap<u32, String> = self
+                    .inner
+                    .tables
+                    .read()
+                    .iter()
+                    .map(|(name, (id, _))| (*id, name.to_string()))
+                    .collect();
+                let table_name =
+                    |tid: &u32| name_of.get(tid).cloned().unwrap_or_else(|| tid.to_string());
+                HistoryEvent::Commit {
+                    txn: txn.id.0,
+                    commit_ts,
+                    writes: by_table
+                        .iter()
+                        .flat_map(|(tid, muts)| {
+                            let t = table_name(tid);
+                            muts.iter().map(move |m| {
+                                (
+                                    t.clone(),
+                                    m.key.as_slice().to_vec(),
+                                    m.value.as_ref().map(|v| v.to_vec()),
+                                )
+                            })
+                        })
+                        .collect(),
+                    reads: txn
+                        .observed_reads
+                        .iter()
+                        .map(|(tid, key, observed)| {
+                            (table_name(tid), key.as_slice().to_vec(), *observed)
+                        })
+                        .collect(),
+                }
+            });
+
             // Phase 3a: 2PC prepare — append one redo record per participant
             // tablet, fsync, then log the coordinator outcome (the
             // durability point). Only then are mutations applied.
@@ -792,6 +919,11 @@ impl SpannerDatabase {
                 if let Some(s) = &span {
                     s.event("outcome-durable");
                 }
+                // Durability point reached: the transaction is committed
+                // whatever happens next, so the oracle's model must know it.
+                if let (Some(h), Some(ev)) = (&history, pending_commit_event.take()) {
+                    h.record(ev);
+                }
                 // The ambiguous window: the commit is durable but the client
                 // never hears the ack.
                 if self.crash_if_armed("commit-after-outcome") {
@@ -815,6 +947,10 @@ impl SpannerDatabase {
                 idxs.sort_unstable();
                 idxs.dedup();
                 participants += idxs.len();
+            }
+            // No durable medium: the volatile apply is the commit point.
+            if let (Some(h), Some(ev)) = (&history, pending_commit_event.take()) {
+                h.record(ev);
             }
         }
         participants = participants.max(1);
@@ -880,8 +1016,11 @@ impl SpannerDatabase {
         let r = data
             .store
             .read()
-            .read_at(key, ts)
+            .read_at(key, self.serve_ts(ts))
             .map_err(|_| SpannerError::SnapshotTooOld);
+        if let Ok(value) = &r {
+            self.record_snapshot_read(table, key, ts, value.as_deref().map(hash_bytes));
+        }
         r
     }
 
@@ -900,8 +1039,13 @@ impl SpannerDatabase {
         let r = data
             .store
             .read()
-            .scan_at(range, ts, limit)
+            .scan_at(range, self.serve_ts(ts), limit)
             .map_err(|_| SpannerError::SnapshotTooOld);
+        if let Ok(rows) = &r {
+            for (k, v) in rows {
+                self.record_snapshot_read(table, k, ts, Some(hash_bytes(v)));
+            }
+        }
         r
     }
 
@@ -917,8 +1061,11 @@ impl SpannerDatabase {
         let r = data
             .store
             .read()
-            .read_at_versioned(key, ts)
+            .read_at_versioned(key, self.serve_ts(ts))
             .map_err(|_| SpannerError::SnapshotTooOld);
+        if let Ok(value) = &r {
+            self.record_snapshot_read(table, key, ts, value.as_ref().map(|(b, _)| hash_bytes(b)));
+        }
         r
     }
 
@@ -938,14 +1085,22 @@ impl SpannerDatabase {
             ));
         }
         let (_, data) = self.table(table)?;
-        let store = data.store.read();
-        keys.iter()
-            .map(|k| {
-                store
-                    .read_at_versioned(k, ts)
-                    .map_err(|_| SpannerError::SnapshotTooOld)
-            })
-            .collect()
+        let r: SpannerResult<Vec<Option<(Bytes, Timestamp)>>> = {
+            let store = data.store.read();
+            keys.iter()
+                .map(|k| {
+                    store
+                        .read_at_versioned(k, self.serve_ts(ts))
+                        .map_err(|_| SpannerError::SnapshotTooOld)
+                })
+                .collect()
+        };
+        if let Ok(rows) = &r {
+            for (k, v) in keys.iter().zip(rows) {
+                self.record_snapshot_read(table, k, ts, v.as_ref().map(|(b, _)| hash_bytes(b)));
+            }
+        }
+        r
     }
 
     /// Transactional read (shared lock) returning the value and its commit
@@ -972,6 +1127,7 @@ impl SpannerDatabase {
         }
         txn.read_keys.push((tid, key.clone()));
         let value = data.store.read().read_latest_versioned(key);
+        self.observe_txn_read(txn, tid, key, value.as_ref().map(|(b, _)| hash_bytes(b)));
         Ok(value)
     }
 
@@ -1001,6 +1157,7 @@ impl SpannerDatabase {
         }
         txn.read_keys.push((tid, key.clone()));
         let value = data.store.read().read_latest_versioned(key);
+        self.observe_txn_read(txn, tid, key, value.as_ref().map(|(b, _)| hash_bytes(b)));
         Ok(value)
     }
 
@@ -1017,8 +1174,13 @@ impl SpannerDatabase {
         let r = data
             .store
             .read()
-            .scan_rev_at(range, ts, limit)
+            .scan_rev_at(range, self.serve_ts(ts), limit)
             .map_err(|_| SpannerError::SnapshotTooOld);
+        if let Ok(rows) = &r {
+            for (k, v) in rows {
+                self.record_snapshot_read(table, k, ts, Some(hash_bytes(v)));
+            }
+        }
         r
     }
 
@@ -1036,8 +1198,13 @@ impl SpannerDatabase {
         let r = data
             .store
             .read()
-            .scan_at_versioned(range, ts, limit, reverse)
+            .scan_at_versioned(range, self.serve_ts(ts), limit, reverse)
             .map_err(|_| SpannerError::SnapshotTooOld);
+        if let Ok(rows) = &r {
+            for (k, v, _) in rows {
+                self.record_snapshot_read(table, k, ts, Some(hash_bytes(v)));
+            }
+        }
         r
     }
 

@@ -43,6 +43,9 @@ pub struct ReadWriteTransaction {
     /// Key ranges scanned under this transaction (used for conflict-surface
     /// accounting and tests).
     pub(crate) scanned_ranges: Vec<(u32, KeyRange)>,
+    /// `(table, key, value-hash)` observations made under shared lock, kept
+    /// only while a history recorder is attached (consistency oracle).
+    pub(crate) observed_reads: Vec<(u32, Key, Option<u64>)>,
 }
 
 impl Default for ReadWriteTransaction {
@@ -63,6 +66,7 @@ impl ReadWriteTransaction {
             closed: false,
             read_keys: Vec::new(),
             scanned_ranges: Vec::new(),
+            observed_reads: Vec::new(),
         }
     }
 

@@ -22,9 +22,11 @@
 pub mod datashape;
 pub mod driver;
 pub mod fanout;
+pub mod history;
 pub mod isolation;
 pub mod production;
 pub mod ycsb;
 
 pub use driver::{DriverConfig, DriverReport};
+pub use history::{run_history_workload, HistoryConfig, HistoryOutcome, HistoryWorld};
 pub use ycsb::{YcsbConfig, YcsbOp, YcsbWorkload};

@@ -2,24 +2,19 @@
 //! single-threaded simulation — writers, readers, and listeners race from
 //! OS threads and every invariant must hold.
 
+mod common;
+
 use firestore_core::database::doc;
 use firestore_core::{
     Caller, Consistency, FilterOp, FirestoreDatabase, FirestoreError, Query, Value, Write,
 };
-use realtime::{RealtimeCache, RealtimeOptions};
-use simkit::{Duration, SimClock};
-use spanner::SpannerDatabase;
+use realtime::RealtimeCache;
 use std::sync::Arc;
 use std::thread;
 
 fn fresh() -> (FirestoreDatabase, RealtimeCache) {
-    let clock = SimClock::new();
-    clock.advance(Duration::from_secs(1));
-    let spanner = SpannerDatabase::new(clock);
-    let db = FirestoreDatabase::create_default(spanner.clone());
-    let cache = RealtimeCache::new(spanner.truetime().clone(), RealtimeOptions::default());
-    db.set_observer(cache.observer_for(db.directory()));
-    (db, cache)
+    let w = common::world();
+    (w.db, w.cache)
 }
 
 #[test]

@@ -18,16 +18,16 @@
 //! Seed control: `CRASH_SEED` (default fixed; CI's nightly job sets a
 //! random one and prints it for reproduction).
 
+mod common;
+
 use firestore_core::database::doc;
 use firestore_core::executor::{ENTITIES, INDEX_ENTRIES};
 use firestore_core::index::{entries_for_document, IndexState};
 use firestore_core::{
     Caller, Consistency, Document, FirestoreDatabase, FirestoreError, Query, Value, Write,
 };
-use realtime::{
-    ChangeKind, Connection, ListenEvent, QueryId, RealtimeCache, RealtimeOptions,
-};
-use simkit::{CrashPoints, Duration, SimClock, SimDisk, SimRng};
+use realtime::{ChangeKind, Connection, ListenEvent, QueryId, RealtimeCache};
+use simkit::{CrashPoints, SimDisk, SimRng};
 use spanner::{KeyRange, SpannerDatabase};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -46,18 +46,13 @@ fn fields_of(d: &Document) -> Fields {
 }
 
 fn build() -> (FirestoreDatabase, RealtimeCache, SpannerDatabase) {
-    let clock = SimClock::new();
-    clock.advance(Duration::from_secs(1));
-    let spanner = SpannerDatabase::new(clock);
-    let db = FirestoreDatabase::create_default(spanner.clone());
-    let cache = RealtimeCache::new(spanner.truetime().clone(), RealtimeOptions::default());
-    db.set_observer(cache.observer_for(db.directory()));
+    let w = common::world();
     // Split Entities at /c/m: commits touching ids on both sides become
     // multi-tablet (distributed) transactions.
-    spanner
-        .pre_split(ENTITIES, vec![db.directory().key(&doc("/c/m").encode())])
+    w.spanner
+        .pre_split(ENTITIES, vec![w.db.directory().key(&doc("/c/m").encode())])
         .unwrap();
-    (db, cache, spanner)
+    (w.db, w.cache, w.spanner)
 }
 
 /// One listener: a real-time connection plus the client-visible mirror

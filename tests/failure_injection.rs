@@ -8,30 +8,18 @@ use firestore_core::observer::{
     CommitObserver, CommitOutcome, DocumentChange, PrepareToken, PrepareUnavailable,
 };
 use firestore_core::{Caller, Consistency, FirestoreDatabase, FirestoreError, Query, Value, Write};
-use realtime::{ListenEvent, RealtimeCache, RealtimeOptions};
+use realtime::{ListenEvent, RealtimeCache};
 use rules::AuthContext;
-use simkit::{Duration, SimClock, Timestamp};
-use spanner::{SpannerDatabase, SpannerError};
+use simkit::{Duration, Timestamp};
+use spanner::SpannerError;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-const OPEN_RULES: &str = r#"
-service cloud.firestore {
-  match /databases/{db}/documents {
-    match /{document=**} { allow read, write; }
-  }
-}
-"#;
+mod common;
 
 fn setup() -> (FirestoreDatabase, RealtimeCache) {
-    let clock = SimClock::new();
-    clock.advance(Duration::from_secs(1));
-    let spanner = SpannerDatabase::new(clock);
-    let db = FirestoreDatabase::create_default(spanner.clone());
-    db.set_rules(OPEN_RULES).unwrap();
-    let cache = RealtimeCache::new(spanner.truetime().clone(), RealtimeOptions::default());
-    db.set_observer(cache.observer_for(db.directory()));
-    (db, cache)
+    let w = common::world_with_rules();
+    (w.db, w.cache)
 }
 
 /// §IV-D2: "/restaurants/one does not exist ... an error is returned to
