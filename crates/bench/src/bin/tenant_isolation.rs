@@ -1,0 +1,167 @@
+//! Tenant-fleet isolation benchmark (E13): the Fig 11 property at fleet
+//! scale.
+//!
+//! Runs the tenant-fleet chaos workload twice — a quiet fleet of conforming
+//! databases, then the same fleet with four adversarial tenants (hotspot
+//! hammer, unbounded-fanout batch scanner, free-tier quota edge, 500/50/5-
+//! violating ramp) — and reports the conforming majority's latency profile
+//! side by side with the adversaries' throttle/shed accounting. The paper's
+//! §IV-C promise is the headline row: conforming p99 under abuse within a
+//! small band of the quiet baseline while every rejection lands on an
+//! adversary.
+//!
+//! `FLEET_SEED=<u64>` overrides the workload seed; `--smoke` shrinks the
+//! fleet for a fast CI sanity pass.
+
+use bench::banner;
+use bench::report::BenchReport;
+use workloads::fleet::{run_fleet, FleetConfig, FleetReport, FleetWorld};
+
+fn fleet_seed() -> u64 {
+    match std::env::var("FLEET_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("FLEET_SEED must be a u64, got {s:?}")),
+        Err(_) => FleetConfig::default().seed,
+    }
+}
+
+fn config(adversaries: bool, smoke: bool) -> FleetConfig {
+    let base = if smoke {
+        FleetConfig {
+            quiet_databases: 25,
+            tracked: 2,
+            duration: simkit::Duration::from_secs(6),
+            warmup: simkit::Duration::from_secs(2),
+            hammer_qps: 400.0,
+            scan_qps: 40.0,
+            ramp_peak_qps: 400.0,
+            free_qps: 20.0,
+            backend_tasks: 1,
+            shed_watermark: 64,
+            ..FleetConfig::default()
+        }
+    } else {
+        FleetConfig::default()
+    };
+    FleetConfig {
+        seed: fleet_seed(),
+        adversaries,
+        ..base
+    }
+}
+
+fn quantile_ms(report: &FleetReport, conforming: bool, q: f64) -> f64 {
+    let hist = if conforming {
+        &report.conforming_latency
+    } else {
+        &report.adversary_latency
+    };
+    hist.quantile(q).unwrap_or(0.0)
+}
+
+fn throttle_json(report: &FleetReport) -> String {
+    let mut reasons: Vec<(&str, u64)> = report
+        .throttle_counts
+        .iter()
+        .map(|(k, v)| (*k, *v))
+        .collect();
+    reasons.sort();
+    let items: Vec<String> = reasons
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    format!("{{{}}}", items.join(", "))
+}
+
+fn row(run: &str, report: &FleetReport) -> String {
+    format!(
+        "{{\"run\": \"{run}\", \
+          \"conforming_p50_ms\": {:.3}, \"conforming_p99_ms\": {:.3}, \
+          \"conforming_samples\": {}, \
+          \"adversary_p50_ms\": {:.3}, \"adversary_p99_ms\": {:.3}, \
+          \"operations\": {}, \"admitted\": {}, \"rejected\": {}, \
+          \"rejected_conforming\": {}, \"crashes\": {}, \
+          \"pending_after_quiesce\": {}, \"throttles\": {}}}",
+        quantile_ms(report, true, 0.50),
+        quantile_ms(report, true, 0.99),
+        report.conforming_latency.total(),
+        quantile_ms(report, false, 0.50),
+        quantile_ms(report, false, 0.99),
+        report.operations,
+        report.admitted,
+        report.rejected,
+        report.rejected_conforming,
+        report.crashes,
+        report.pending_after_quiesce,
+        throttle_json(report),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("FLEET_SMOKE").is_ok_and(|v| v != "0");
+    let seed = fleet_seed();
+    banner(
+        "tenant-fleet isolation (E13)",
+        "conforming-majority latency under adversarial tenants vs a quiet fleet baseline",
+    );
+    if smoke {
+        eprintln!("(smoke mode: reduced fleet)");
+    }
+    eprintln!("seed {seed:#x}");
+
+    let quiet_cfg = config(false, smoke);
+    let quiet_world = FleetWorld::build(&quiet_cfg);
+    let quiet = run_fleet(&quiet_world, &quiet_cfg);
+
+    let abuse_cfg = config(true, smoke);
+    let abuse_world = FleetWorld::build(&abuse_cfg);
+    let abuse = run_fleet(&abuse_world, &abuse_cfg);
+
+    println!(
+        "{:>7} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "run", "conf p50 ms", "conf p99 ms", "admitted", "rejected", "rej conform"
+    );
+    for (name, report) in [("quiet", &quiet), ("abusive", &abuse)] {
+        println!(
+            "{:>7} {:>12.3} {:>12.3} {:>10} {:>10} {:>12}",
+            name,
+            quantile_ms(report, true, 0.50),
+            quantile_ms(report, true, 0.99),
+            report.admitted,
+            report.rejected,
+            report.rejected_conforming,
+        );
+    }
+    let quiet_p99 = quantile_ms(&quiet, true, 0.99);
+    let abuse_p99 = quantile_ms(&abuse, true, 0.99);
+    println!(
+        "isolation band: abusive conforming p99 = {:.2}x quiet baseline",
+        if quiet_p99 > 0.0 {
+            abuse_p99 / quiet_p99
+        } else {
+            0.0
+        }
+    );
+    println!("abusive-run throttles: {}", throttle_json(&abuse));
+
+    let mut report = BenchReport::new("tenant_isolation")
+        .field("smoke", smoke.to_string())
+        .field("seed", seed.to_string())
+        .field(
+            "databases",
+            abuse_world.svc.database_count().to_string(),
+        )
+        .field("p99_ratio", {
+            if quiet_p99 > 0.0 {
+                format!("{:.4}", abuse_p99 / quiet_p99)
+            } else {
+                "null".to_string()
+            }
+        })
+        .metrics(&abuse_world.svc.obs().metrics.snapshot());
+    report.row(row("quiet", &quiet));
+    report.row(row("abusive", &abuse));
+    report.write();
+}

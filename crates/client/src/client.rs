@@ -357,6 +357,13 @@ impl FirestoreClient {
                         }
                         match backoff.next_delay() {
                             Some(delay) => {
+                                // Throttle rejections carry a server-chosen
+                                // minimum backoff; honor it so shed load
+                                // drains instead of multiplying (§VI).
+                                let delay = match e.retry_after() {
+                                    Some(hint) => delay.max(hint),
+                                    None => delay,
+                                };
                                 if let Some(o) = &obs {
                                     o.metrics.incr("client.flush.retries", &[], 1);
                                     o.metrics
@@ -390,6 +397,7 @@ impl FirestoreClient {
                     }
                     if let Some(h) = self.db.history() {
                         h.record(simkit::history::HistoryEvent::ClientAck {
+                            dir: self.db.directory().prefix(),
                             dedup_id: dedup_id.clone(),
                             commit_ts: result.commit_ts,
                         });
@@ -1078,6 +1086,59 @@ mod tests {
         c.set("/todos/1", [("t", Value::from("x"))]).unwrap();
         assert_eq!(c.pending_writes(), 0, "retried to completion");
         assert!(c.take_write_errors().is_empty());
+        assert!(db
+            .get_document(&docname("/todos/1"), Consistency::Strong, &Caller::Service)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn flush_honors_server_retry_after_hint() {
+        use firestore_core::{GatedOp, RequestClass, TenantGate};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// A gate that throttles the first `reject` commits with a large
+        /// `retry_after`, then admits everything.
+        struct ThrottleFirst {
+            remaining: AtomicUsize,
+            retry_after: simkit::Duration,
+        }
+        impl TenantGate for ThrottleFirst {
+            fn check(&self, op: GatedOp, _class: RequestClass) -> firestore_core::FirestoreResult<()> {
+                if op == GatedOp::Commit
+                    && self
+                        .remaining
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                        .is_ok()
+                {
+                    return Err(FirestoreError::ResourceExhausted {
+                        message: "test throttle".into(),
+                        retry_after: self.retry_after,
+                    });
+                }
+                Ok(())
+            }
+        }
+
+        let (db, rtc) = setup();
+        let c = client(&db, &rtc);
+        let clock = db.spanner().truetime().clock().clone();
+        let retry_after = simkit::Duration::from_secs(2);
+        db.set_gate(Some(std::sync::Arc::new(ThrottleFirst {
+            remaining: AtomicUsize::new(2),
+            retry_after,
+        })));
+        let before = clock.now();
+        c.set("/todos/1", [("t", Value::from("x"))]).unwrap();
+        // Two throttles were ridden out: the write landed exactly once and
+        // each retry waited at least the server's hint.
+        assert_eq!(c.pending_writes(), 0, "retried through the throttle");
+        assert!(c.take_write_errors().is_empty());
+        let waited = clock.now().saturating_sub(before);
+        assert!(
+            waited >= retry_after + retry_after,
+            "each of 2 throttled attempts must wait >= the 2s hint; waited {waited}"
+        );
         assert!(db
             .get_document(&docname("/todos/1"), Consistency::Strong, &Caller::Service)
             .unwrap()

@@ -133,7 +133,12 @@ pub fn check_history(
         let suffix = key.strip_prefix(&prefix[..])?;
         Some(String::from_utf8_lossy(suffix).into_owned())
     };
-    violations.extend(check_exactly_once(events, WRITE_LEDGER, &key_to_dedup));
+    violations.extend(check_exactly_once(
+        events,
+        WRITE_LEDGER,
+        &key_to_dedup,
+        Some(prefix),
+    ));
 
     // Per-listener state: last snapshot (ts, visible), and whether a reset
     // forgave continuity since then.
@@ -145,8 +150,15 @@ pub fn check_history(
     let mut listeners: HashMap<(u64, u64), ListenerState> = HashMap::new();
 
     for rec in events {
+        // Document reads and listener events are per-database: in a
+        // multi-tenant history, only the target directory's are checked.
         match &rec.event {
-            HistoryEvent::DocRead { ts, name, digest } => {
+            HistoryEvent::DocRead {
+                dir: edir,
+                ts,
+                name,
+                digest,
+            } if *edir == prefix => {
                 let expected = DocumentName::parse(name)
                     .ok()
                     .and_then(|n| {
@@ -169,12 +181,13 @@ pub fn check_history(
                 }
             }
             HistoryEvent::ListenerSnapshot {
+                dir: edir,
                 conn,
                 query,
                 at,
                 initial,
                 visible,
-            } => {
+            } if *edir == prefix => {
                 let state = listeners.entry((*conn, *query)).or_insert(ListenerState {
                     last_at: Timestamp::ZERO,
                     last_visible: Vec::new(),
@@ -223,7 +236,11 @@ pub fn check_history(
                     }
                 }
             }
-            HistoryEvent::ListenerReset { conn, query } => {
+            HistoryEvent::ListenerReset {
+                dir: edir,
+                conn,
+                query,
+            } if *edir == prefix => {
                 if let Some(state) = listeners.get_mut(&(*conn, *query)) {
                     state.reset = true;
                 }
@@ -316,6 +333,7 @@ mod tests {
         let d = doc("col/a", 1, 10);
         rec.record(commit_doc(dir, 1, &d));
         rec.record(HistoryEvent::ListenerSnapshot {
+            dir: dir.prefix(),
             conn: 1,
             query: 7,
             at: Timestamp(15),
@@ -336,6 +354,7 @@ mod tests {
         rec.record(commit_doc(dir, 1, &d));
         // Snapshot claims an empty result set even though `col/a` exists.
         rec.record(HistoryEvent::ListenerSnapshot {
+            dir: dir.prefix(),
             conn: 1,
             query: 7,
             at: Timestamp(15),
@@ -357,6 +376,7 @@ mod tests {
         let rec = HistoryRecorder::new();
         let d = doc("col/a", 1, 10);
         rec.record(HistoryEvent::ListenerSnapshot {
+            dir: dir.prefix(),
             conn: 1,
             query: 7,
             at: Timestamp(5),
@@ -364,7 +384,11 @@ mod tests {
             visible: vec![],
         });
         rec.record(commit_doc(dir, 1, &d));
-        rec.record(HistoryEvent::ListenerReset { conn: 1, query: 7 });
+        rec.record(HistoryEvent::ListenerReset {
+            dir: dir.prefix(),
+            conn: 1,
+            query: 7,
+        });
         let mut queries = HashMap::new();
         queries.insert(7u64, base_query());
         let report = check_history(&rec.events(), dir, &queries, Timestamp(15));
@@ -377,6 +401,7 @@ mod tests {
         let rec = HistoryRecorder::new();
         for (at, initial) in [(20u64, true), (10, false)] {
             rec.record(HistoryEvent::ListenerSnapshot {
+                dir: dir.prefix(),
                 conn: 2,
                 query: 9,
                 at: Timestamp(at),

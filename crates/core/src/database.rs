@@ -8,6 +8,7 @@
 use crate::document::{Document, Value};
 use crate::error::{FirestoreError, FirestoreResult};
 use crate::executor::{self, QueryResult, ReadAccess, ENTITIES};
+use crate::gate::{GatedOp, RequestClass, TenantGate};
 use crate::index::{IndexCatalog, IndexId, IndexState, IndexedField};
 use crate::observer::{CommitObserver, CommitOutcome, DocumentChange, NullObserver};
 use crate::path::{CollectionPath, DocumentName};
@@ -75,6 +76,9 @@ struct Inner {
     triggers: TriggerRegistry,
     queue: MessageQueue,
     options: DatabaseOptions,
+    /// Control-plane hook: when installed, every entry point consults it
+    /// before doing engine work. `None` (the default) means ungated.
+    gate: RwLock<Option<Arc<dyn TenantGate>>>,
     /// Oracle mutation toggle: skip the dedup-ledger read in
     /// [`FirestoreDatabase::commit_writes_dedup`], re-applying retried
     /// mutations — a deliberate exactly-once bug the oracle must catch.
@@ -106,6 +110,7 @@ impl FirestoreDatabase {
                 triggers: TriggerRegistry::new(),
                 queue,
                 options,
+                gate: RwLock::new(None),
                 oracle_ignore_dedup: AtomicBool::new(false),
             }),
         }
@@ -196,6 +201,26 @@ impl FirestoreDatabase {
         *self.inner.observer.write() = observer;
     }
 
+    /// Install (or remove) the tenant gate. The serving layer's control
+    /// plane installs one at provisioning time so that every entry point —
+    /// including client-SDK flushes that call
+    /// [`FirestoreDatabase::commit_writes_dedup`] directly — is subject to
+    /// admission and throttle policy. Ungated databases admit everything.
+    pub fn set_gate(&self, gate: Option<Arc<dyn TenantGate>>) {
+        *self.inner.gate.write() = gate;
+    }
+
+    /// Consult the tenant gate (if installed) for one operation. Requests
+    /// entering through the engine directly are interactive; batch traffic
+    /// is classified at the service layer.
+    fn check_gate(&self, op: GatedOp) -> FirestoreResult<()> {
+        let gate = self.inner.gate.read();
+        match gate.as_ref() {
+            Some(g) => g.check(op, RequestClass::Interactive),
+            None => Ok(()),
+        }
+    }
+
     /// Run `f` with mutable access to the index catalog.
     pub fn with_catalog<R>(&self, f: impl FnOnce(&mut IndexCatalog) -> R) -> R {
         f(&mut self.inner.catalog.write())
@@ -230,6 +255,7 @@ impl FirestoreDatabase {
         consistency: Consistency,
         caller: &Caller,
     ) -> FirestoreResult<Option<Document>> {
+        self.check_gate(GatedOp::Get)?;
         let ts = self.read_ts(consistency);
         let key = self.inner.dir.key(&name.encode());
         let row = self
@@ -248,6 +274,7 @@ impl FirestoreDatabase {
         }
         if let Some(h) = self.history() {
             h.record(HistoryEvent::DocRead {
+                dir: self.inner.dir.prefix(),
                 ts,
                 name: name.to_string(),
                 digest: doc.as_ref().map(crate::checker::doc_digest),
@@ -299,6 +326,7 @@ impl FirestoreDatabase {
         consistency: Consistency,
         caller: &Caller,
     ) -> FirestoreResult<QueryResult> {
+        self.check_gate(GatedOp::Query)?;
         let ts = self.read_ts(consistency);
         let obs = self.obs();
         let plan = {
@@ -345,6 +373,7 @@ impl FirestoreDatabase {
             if let Some(h) = self.history() {
                 for doc in &result.documents {
                     h.record(HistoryEvent::DocRead {
+                        dir: self.inner.dir.prefix(),
                         ts,
                         name: doc.name.to_string(),
                         digest: Some(crate::checker::doc_digest(doc)),
@@ -365,6 +394,7 @@ impl FirestoreDatabase {
         caller: &Caller,
         work_limit: usize,
     ) -> FirestoreResult<QueryResult> {
+        self.check_gate(GatedOp::Query)?;
         let ts = self.read_ts(consistency);
         let obs = self.obs();
         let plan = {
@@ -496,6 +526,7 @@ impl FirestoreDatabase {
         caller: &Caller,
         deadline: Option<Deadline>,
     ) -> FirestoreResult<WriteResult> {
+        self.check_gate(GatedOp::Commit)?;
         for w in &writes {
             write::validate_write(w)?;
         }
@@ -522,6 +553,7 @@ impl FirestoreDatabase {
         writes: Vec<Write>,
         caller: &Caller,
     ) -> FirestoreResult<WriteResult> {
+        self.check_gate(GatedOp::Commit)?;
         for w in &writes {
             write::validate_write(w)?;
         }
@@ -929,6 +961,7 @@ impl FirestoreTransaction {
 
     /// Commit the transaction.
     pub fn commit(mut self) -> FirestoreResult<WriteResult> {
+        self.db.check_gate(GatedOp::Commit)?;
         for w in &self.writes {
             write::validate_write(w)?;
         }

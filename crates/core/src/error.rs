@@ -1,5 +1,6 @@
 //! Firestore-level errors.
 
+use simkit::Duration;
 use spanner::SpannerError;
 use std::fmt;
 
@@ -34,6 +35,16 @@ pub enum FirestoreError {
     Unavailable(String),
     /// The write outcome is unknown (commit timed out).
     Unknown(String),
+    /// The tenant exceeded a resource limit (admission slots, traffic
+    /// shedding under overload, free-quota exhaustion). Retriable after the
+    /// carried `retry_after` hint — clients must wait at least that long
+    /// before retrying, so shed load drains instead of multiplying (§VI).
+    ResourceExhausted {
+        /// What was exhausted.
+        message: String,
+        /// Server-suggested minimum backoff before the retry.
+        retry_after: Duration,
+    },
     /// The per-request deadline budget was exhausted. Not retriable: the
     /// caller's budget is spent, so retrying would only amplify load.
     DeadlineExceeded(String),
@@ -46,8 +57,20 @@ impl FirestoreError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            FirestoreError::Aborted(_) | FirestoreError::Unavailable(_)
+            FirestoreError::Aborted(_)
+                | FirestoreError::Unavailable(_)
+                | FirestoreError::ResourceExhausted { .. }
         )
+    }
+
+    /// The server's minimum-backoff hint, when the error carries one
+    /// (throttle rejections do; the client retry loop must wait at least
+    /// this long before the next attempt).
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            FirestoreError::ResourceExhausted { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
     }
 
     /// Alias for [`FirestoreError::is_retryable`] matching the taxonomy used
@@ -78,6 +101,10 @@ impl fmt::Display for FirestoreError {
             FirestoreError::Aborted(m) => write!(f, "aborted: {m}"),
             FirestoreError::Unavailable(m) => write!(f, "unavailable: {m}"),
             FirestoreError::Unknown(m) => write!(f, "unknown outcome: {m}"),
+            FirestoreError::ResourceExhausted {
+                message,
+                retry_after,
+            } => write!(f, "resource exhausted: {message} (retry after {retry_after})"),
             FirestoreError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
             FirestoreError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -114,6 +141,19 @@ mod tests {
         let dl = FirestoreError::DeadlineExceeded("x".into());
         assert!(!dl.is_retriable());
         assert!(dl.is_transient());
+    }
+
+    #[test]
+    fn resource_exhausted_is_retriable_and_carries_retry_after() {
+        let e = FirestoreError::ResourceExhausted {
+            message: "per-tenant QPS shed".into(),
+            retry_after: Duration::from_millis(250),
+        };
+        assert!(e.is_retryable());
+        assert!(e.is_transient());
+        assert_eq!(e.retry_after(), Some(Duration::from_millis(250)));
+        assert_eq!(FirestoreError::Aborted("x".into()).retry_after(), None);
+        assert!(e.to_string().contains("retry after"));
     }
 
     #[test]

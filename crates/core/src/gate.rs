@@ -1,0 +1,86 @@
+//! The tenant-gate seam between the data path and the control plane.
+//!
+//! The paper's serving layer promises that "a tenant's traffic cannot
+//! affect the latency of other tenants" (§IV-C). The machinery that makes
+//! that true — per-tenant admission, 500/50/5 traffic conformance, free
+//! quota, overload shedding — lives in the *control plane*
+//! (`server::tenants`); the data path must not own any of that policy, only
+//! consult it. This module is the seam: [`FirestoreDatabase`] holds an
+//! optional [`TenantGate`] and calls [`TenantGate::check`] at the top of
+//! every request entry point. The gate either admits the request (also
+//! recording it toward the tenant's observed rate) or rejects it with a
+//! retriable [`FirestoreError::ResourceExhausted`] carrying a `retry_after`
+//! hint.
+//!
+//! Databases without a gate installed (direct engine use, unit tests) are
+//! entirely unaffected.
+//!
+//! [`FirestoreDatabase`]: crate::database::FirestoreDatabase
+//! [`FirestoreError::ResourceExhausted`]: crate::error::FirestoreError::ResourceExhausted
+
+use crate::error::FirestoreResult;
+
+/// The operation classes a gate distinguishes. Coarser than the full API
+/// surface on purpose: the control plane prices and sheds by class, not by
+/// endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatedOp {
+    /// Single-document fetch.
+    Get,
+    /// Query execution (including a listener's initial snapshot).
+    Query,
+    /// A commit (service, client flush, or transaction).
+    Commit,
+    /// Real-time listener registration.
+    Listen,
+}
+
+impl GatedOp {
+    /// Stable lower-case label for metrics and ledger entries.
+    pub fn label(self) -> &'static str {
+        match self {
+            GatedOp::Get => "get",
+            GatedOp::Query => "query",
+            GatedOp::Commit => "commit",
+            GatedOp::Listen => "listen",
+        }
+    }
+}
+
+/// Request priority class, as carried on RPC tags (§IV-C: schedulers
+/// "prioritize latency-sensitive workloads over such RPCs"). Under overload
+/// the control plane sheds batch traffic before conforming interactive
+/// traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RequestClass {
+    /// User-facing, latency-sensitive traffic.
+    #[default]
+    Interactive,
+    /// Batch / background traffic (backfills, exports, cron jobs).
+    Batch,
+}
+
+impl RequestClass {
+    /// Stable lower-case label for metrics and ledger entries.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestClass::Interactive => "interactive",
+            RequestClass::Batch => "batch",
+        }
+    }
+}
+
+/// One tenant's view of the control plane, installed on a
+/// [`FirestoreDatabase`](crate::database::FirestoreDatabase) by the serving
+/// layer at provisioning time.
+///
+/// Implementations must be cheap (a map lookup plus counters under a short
+/// lock): `check` sits on the hot path of every request.
+pub trait TenantGate: Send + Sync {
+    /// Admit or reject one operation *before* any engine work happens. A
+    /// rejection must be a retriable error —
+    /// [`ResourceExhausted`](crate::error::FirestoreError::ResourceExhausted)
+    /// with a `retry_after` hint for throttles, or a non-retriable
+    /// `FailedPrecondition` for suspended tenants.
+    fn check(&self, op: GatedOp, class: RequestClass) -> FirestoreResult<()>;
+}

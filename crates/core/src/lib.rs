@@ -35,6 +35,9 @@
 //! * [`retry`] — retry policies with deterministic jittered backoff,
 //!   per-request deadlines, and retry-token budgets (§III-D auto-retry,
 //!   §VI retry-storm avoidance).
+//! * [`gate`] — the tenant-gate seam: the serving layer's control plane
+//!   installs a [`TenantGate`] on a database so every entry point consults
+//!   per-tenant admission/throttle policy before doing engine work.
 //! * [`backfill`] — the background index build/removal service.
 //! * [`triggers`] — write triggers over the substrate's transactional
 //!   messaging (§III-F).
@@ -48,6 +51,7 @@ pub mod encoding;
 pub mod error;
 pub mod executor;
 pub mod explain;
+pub mod gate;
 pub mod index;
 pub mod matching;
 pub mod observer;
@@ -63,6 +67,7 @@ pub use document::{Document, Value};
 pub use encoding::Direction;
 pub use error::{FirestoreError, FirestoreResult};
 pub use executor::{QueryResult, QueryStats};
+pub use gate::{GatedOp, RequestClass, TenantGate};
 pub use index::{IndexCatalog, IndexDefinition, IndexId};
 pub use observer::{CommitObserver, CommitOutcome, DocumentChange, NullObserver};
 pub use path::{CollectionPath, DocumentName};

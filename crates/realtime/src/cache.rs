@@ -118,6 +118,9 @@ struct TaskState {
 }
 
 struct QueryState {
+    /// Directory of the database the query listens on (stamped on the
+    /// oracle events this listener records).
+    dir: DirectoryId,
     range: KeyRange,
     sources: Vec<usize>,
     source_watermarks: HashMap<usize, Timestamp>,
@@ -158,9 +161,12 @@ struct RtState {
     oracle_stash: Vec<StashedEmission>,
 }
 
-/// A held-back listener emission: the connection it belongs to, the event,
-/// and the visible per-document digests recorded with it.
-type StashedEmission = (ConnectionId, ListenEvent, Vec<(String, u64)>);
+/// A listener emission in flight: the event, the visible per-document
+/// digests recorded with it, and the listening query's directory prefix.
+type Emission = (ListenEvent, Vec<(String, u64)>, [u8; 4]);
+
+/// A held-back listener emission plus the connection it belongs to.
+type StashedEmission = (ConnectionId, ListenEvent, Vec<(String, u64)>, [u8; 4]);
 
 /// The Real-time Cache. Cheap to clone; clones share state.
 #[derive(Clone)]
@@ -376,6 +382,7 @@ impl RealtimeCache {
                             snapshots += 1;
                             if record {
                                 recorded.push(HistoryEvent::ListenerSnapshot {
+                                    dir: qs.dir.prefix(),
                                     conn: conn_id.0,
                                     query: qid.0,
                                     at: snapshot_ts,
@@ -392,14 +399,17 @@ impl RealtimeCache {
                         }
                     }
                     Err(_) => {
-                        conn.queries.remove(&qid);
+                        let removed = conn.queries.remove(&qid);
                         conn.out.push_back(ListenEvent::Reset { query: qid });
                         resets += 1;
                         if record {
-                            recorded.push(HistoryEvent::ListenerReset {
-                                conn: conn_id.0,
-                                query: qid.0,
-                            });
+                            if let Some(qs) = removed {
+                                recorded.push(HistoryEvent::ListenerReset {
+                                    dir: qs.dir.prefix(),
+                                    conn: conn_id.0,
+                                    query: qid.0,
+                                });
+                            }
                         }
                     }
                 }
@@ -593,19 +603,17 @@ impl RealtimeCache {
             }
         }
         for (conn_id, qid) in to_reset {
-            let removed = st.conns.get_mut(&conn_id).is_some_and(|conn| {
-                if conn.queries.remove(&qid).is_some() {
-                    conn.out.push_back(ListenEvent::Reset { query: qid });
-                    true
-                } else {
-                    false
-                }
+            let removed = st.conns.get_mut(&conn_id).and_then(|conn| {
+                let qs = conn.queries.remove(&qid)?;
+                conn.out.push_back(ListenEvent::Reset { query: qid });
+                Some(qs)
             });
-            if removed {
+            if let Some(qs) = removed {
                 st.stats.resets += 1;
                 Self::record(
                     st,
                     HistoryEvent::ListenerReset {
+                        dir: qs.dir.prefix(),
                         conn: conn_id.0,
                         query: qid.0,
                     },
@@ -684,7 +692,7 @@ impl RealtimeCache {
         };
         // Each emission carries the visible digests the oracle records
         // (computed only while a recorder is attached).
-        let mut emitted: Vec<(ListenEvent, Vec<(String, u64)>)> = Vec::new();
+        let mut emitted: Vec<Emission> = Vec::new();
         for (qid, qs) in conn.queries.iter_mut() {
             if conn_watermark <= qs.resume {
                 continue;
@@ -719,6 +727,7 @@ impl RealtimeCache {
                         is_initial: false,
                     },
                     visible,
+                    qs.dir.prefix(),
                 ));
             }
         }
@@ -727,15 +736,15 @@ impl RealtimeCache {
         if st.oracle_reorder {
             if st.oracle_stash.is_empty() {
                 if !emitted.is_empty() {
-                    let (ev, vis) = emitted.remove(0);
-                    st.oracle_stash.push((conn_id, ev, vis));
+                    let (ev, vis, qdir) = emitted.remove(0);
+                    st.oracle_stash.push((conn_id, ev, vis, qdir));
                 }
             } else if !emitted.is_empty() && st.oracle_stash[0].0 == conn_id {
-                let (_, ev, vis) = st.oracle_stash.remove(0);
-                emitted.push((ev, vis));
+                let (_, ev, vis, qdir) = st.oracle_stash.remove(0);
+                emitted.push((ev, vis, qdir));
             }
         }
-        for (e, visible) in &emitted {
+        for (e, visible, qdir) in &emitted {
             if let ListenEvent::Snapshot { query, at, changes, is_initial } = e {
                 st.stats.notifications += changes.len() as u64;
                 st.stats.snapshots += 1;
@@ -743,6 +752,7 @@ impl RealtimeCache {
                     Self::record(
                         st,
                         HistoryEvent::ListenerSnapshot {
+                            dir: *qdir,
                             conn: conn_id.0,
                             query: query.0,
                             at: *at,
@@ -754,7 +764,7 @@ impl RealtimeCache {
             }
         }
         if let Some(conn) = st.conns.get_mut(&conn_id) {
-            conn.out.extend(emitted.into_iter().map(|(e, _)| e));
+            conn.out.extend(emitted.into_iter().map(|(e, _, _)| e));
         }
     }
 }
@@ -822,6 +832,7 @@ impl Connection {
         conn.queries.insert(
             qid,
             QueryState {
+                dir,
                 range,
                 sources,
                 source_watermarks,
@@ -835,6 +846,7 @@ impl Connection {
             RealtimeCache::record(
                 &st,
                 HistoryEvent::ListenerSnapshot {
+                    dir: dir.prefix(),
                     conn: self.id.0,
                     query: qid.0,
                     at: snapshot_ts,
@@ -852,13 +864,14 @@ impl Connection {
         let removed = st
             .conns
             .get_mut(&self.id)
-            .is_some_and(|conn| conn.queries.remove(&qid).is_some());
-        if removed {
+            .and_then(|conn| conn.queries.remove(&qid));
+        if let Some(qs) = removed {
             // The oracle treats a voluntary unlisten like a reset: the
             // listener's continuity obligations end here.
             RealtimeCache::record(
                 &st,
                 HistoryEvent::ListenerReset {
+                    dir: qs.dir.prefix(),
                     conn: self.id.0,
                     query: qid.0,
                 },
@@ -884,12 +897,17 @@ impl Connection {
     pub fn close(&self) {
         let mut st = self.cache.state.lock();
         if let Some(conn) = st.conns.remove(&self.id) {
-            let mut qids: Vec<QueryId> = conn.queries.keys().copied().collect();
+            let mut qids: Vec<(QueryId, [u8; 4])> = conn
+                .queries
+                .iter()
+                .map(|(qid, qs)| (*qid, qs.dir.prefix()))
+                .collect();
             qids.sort();
-            for qid in qids {
+            for (qid, qdir) in qids {
                 RealtimeCache::record(
                     &st,
                     HistoryEvent::ListenerReset {
+                        dir: qdir,
                         conn: self.id.0,
                         query: qid.0,
                     },

@@ -112,6 +112,39 @@ impl AdmissionController {
         Ok(())
     }
 
+    /// Like [`AdmissionController::try_admit`], but with the per-database
+    /// limit further bounded by `cap` — the tenant's fair share of the
+    /// global limit, computed by the control plane from the number of
+    /// currently active tenants. A manual override (the §VI emergency tool)
+    /// still wins when it is tighter.
+    pub fn try_admit_bounded(&self, database: &str, cap: usize) -> Result<(), AdmissionError> {
+        let mut st = self.state.lock();
+        if st.total_inflight >= self.global_limit {
+            st.stats.shed += 1;
+            return Err(AdmissionError::Overloaded);
+        }
+        let limit = st
+            .overrides
+            .get(database)
+            .copied()
+            .unwrap_or(self.default_limit)
+            .min(cap.max(1));
+        let inflight = st.inflight.entry(database.to_string()).or_insert(0);
+        if *inflight >= limit {
+            st.stats.rejected_per_db += 1;
+            return Err(AdmissionError::PerDatabaseLimit);
+        }
+        *inflight += 1;
+        st.total_inflight += 1;
+        st.stats.admitted += 1;
+        Ok(())
+    }
+
+    /// Number of databases with at least one in-flight request.
+    pub fn active_databases(&self) -> usize {
+        self.state.lock().inflight.values().filter(|&&n| n > 0).count()
+    }
+
     /// Release a previously admitted request.
     pub fn release(&self, database: &str) {
         let mut st = self.state.lock();
@@ -175,6 +208,28 @@ mod tests {
         a.clear_override("noisy");
         assert!(a.try_admit("noisy").is_ok());
         assert_eq!(a.inflight("noisy"), 2);
+    }
+
+    #[test]
+    fn bounded_admission_respects_fair_share_cap() {
+        let a = AdmissionController::new(10, 100);
+        // Fair-share cap of 2 binds below the default limit of 10.
+        assert!(a.try_admit_bounded("db1", 2).is_ok());
+        assert!(a.try_admit_bounded("db1", 2).is_ok());
+        assert_eq!(
+            a.try_admit_bounded("db1", 2),
+            Err(AdmissionError::PerDatabaseLimit)
+        );
+        // A cap of zero still admits one request (no tenant is starved).
+        assert!(a.try_admit_bounded("db2", 0).is_ok());
+        // A tighter manual override wins over a generous cap.
+        a.set_override("db3", 1);
+        assert!(a.try_admit_bounded("db3", 50).is_ok());
+        assert_eq!(
+            a.try_admit_bounded("db3", 50),
+            Err(AdmissionError::PerDatabaseLimit)
+        );
+        assert_eq!(a.active_databases(), 3);
     }
 
     #[test]

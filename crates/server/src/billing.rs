@@ -224,6 +224,30 @@ impl BillingMeter {
         }
     }
 
+    /// The free quota in force.
+    pub fn quota(&self) -> FreeQuota {
+        self.quota
+    }
+
+    /// Whether `database` has exhausted any daily free-quota dimension.
+    /// Only meaningful for free-tier tenants: paying tenants run past the
+    /// quota and get billed instead of blocked.
+    pub fn quota_exhausted(&self, database: &str) -> bool {
+        let u = self.usage(database);
+        u.total_reads() >= self.quota.reads_per_day
+            || u.writes >= self.quota.writes_per_day
+            || u.deletes >= self.quota.deletes_per_day
+    }
+
+    /// Time until the next daily quota reset — the `retry_after` a
+    /// quota-exhausted free-tier tenant is handed.
+    pub fn time_to_day_roll(&self, now: Timestamp) -> simkit::Duration {
+        let st = self.state.lock();
+        let elapsed = now.saturating_sub(st.day_start);
+        let day = simkit::Duration::from_secs(self.day_seconds);
+        day.saturating_sub(elapsed)
+    }
+
     /// Roll the billing day if `now` has passed the day boundary; counters
     /// reset (storage gauge persists).
     pub fn maybe_roll_day(&self, now: Timestamp) {
@@ -291,6 +315,20 @@ mod tests {
         let m = BillingMeter::default();
         m.record_realtime_docs("db", 60_000);
         assert_eq!(m.bill("db").billed_reads, 10_000);
+    }
+
+    #[test]
+    fn quota_exhaustion_and_reset_horizon() {
+        let m = BillingMeter::default();
+        assert!(!m.quota_exhausted("db"));
+        m.record_writes("db", 20_000);
+        assert!(m.quota_exhausted("db"));
+        // The retry horizon is the remainder of the billing day.
+        let ra = m.time_to_day_roll(Timestamp::from_secs(86_000));
+        assert_eq!(ra, simkit::Duration::from_secs(400));
+        // After the roll the tenant is whole again.
+        m.maybe_roll_day(Timestamp::from_secs(86_401));
+        assert!(!m.quota_exhausted("db"));
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! violates this rule as long as it can maintain isolation." The allowance
 //! is "designed to conservatively match Spanner's splitting behavior"
 //! (§IV-D1): load-based splits need time to react.
+//!
+//! The allowance therefore grows only under *sustained* traffic: a growth
+//! period must actually carry load near the current allowance before the
+//! next +50% step is granted, because an idle database gives Spanner
+//! nothing to split on. A database's first-ever request starts at the
+//! 500 QPS base — there is no retroactive compounding for time spent idle —
+//! and going idle for a full period drops the allowance back to base.
 
 use parking_lot::Mutex;
 use simkit::{Duration, Timestamp};
@@ -20,6 +27,14 @@ pub struct ConformanceRule {
     pub growth: f64,
     /// Growth period (5 minutes).
     pub period: Duration,
+    /// Fraction of the current allowance a period's average QPS must reach
+    /// for the next growth step to be granted. Below it the traffic is not
+    /// "sustained" — Spanner has nothing to split on — and the allowance
+    /// falls back to base.
+    pub sustain_fraction: f64,
+    /// Width of the short-term rate window behind
+    /// [`TrafficConformance::observed_qps`].
+    pub rate_window: Duration,
 }
 
 impl Default for ConformanceRule {
@@ -28,6 +43,8 @@ impl Default for ConformanceRule {
             base_qps: 500.0,
             growth: 1.5,
             period: Duration::from_secs(300),
+            sustain_fraction: 0.5,
+            rate_window: Duration::from_secs(1),
         }
     }
 }
@@ -36,8 +53,16 @@ impl Default for ConformanceRule {
 struct DbTraffic {
     /// The allowance last granted.
     allowance: f64,
-    /// When the allowance last grew.
-    last_growth: Timestamp,
+    /// Start of the current growth period.
+    period_start: Timestamp,
+    /// Operations recorded inside the current growth period.
+    period_ops: u64,
+    /// Start of the current short rate window.
+    win_start: Timestamp,
+    /// Operations recorded inside the current rate window.
+    win_ops: u64,
+    /// Rate over the last *completed* rate window (0 after an idle gap).
+    prev_rate: f64,
 }
 
 /// Tracks per-database traffic against the rule.
@@ -55,28 +80,97 @@ impl TrafficConformance {
         }
     }
 
-    /// The current allowance for `database` at `now`, growing it when a
-    /// full period of sustained traffic has elapsed.
+    /// The rule in force.
+    pub fn rule(&self) -> ConformanceRule {
+        self.rule
+    }
+
+    fn entry_rolled<'a>(
+        &self,
+        st: &'a mut HashMap<String, DbTraffic>,
+        database: &str,
+        now: Timestamp,
+    ) -> &'a mut DbTraffic {
+        let entry = st.entry(database.to_string()).or_insert(DbTraffic {
+            // First-ever request: start at base, right now. No credit for
+            // any time before the database was first seen.
+            allowance: self.rule.base_qps,
+            period_start: now,
+            period_ops: 0,
+            win_start: now,
+            win_ops: 0,
+            prev_rate: 0.0,
+        });
+        // Close out any completed growth periods. Only a period whose
+        // average QPS reached `sustain_fraction` of the allowance earns the
+        // +50% step; an idle (or near-idle) period resets to base.
+        let period_secs = self.rule.period.as_millis_f64() / 1000.0;
+        while now.saturating_sub(entry.period_start) >= self.rule.period {
+            let period_qps = entry.period_ops as f64 / period_secs;
+            if period_qps >= self.rule.sustain_fraction * entry.allowance {
+                entry.allowance *= self.rule.growth;
+            } else {
+                entry.allowance = self.rule.base_qps;
+            }
+            entry.period_ops = 0;
+            entry.period_start = entry.period_start + self.rule.period;
+        }
+        // Close out the short rate window.
+        let gap = now.saturating_sub(entry.win_start);
+        if gap >= self.rule.rate_window {
+            entry.prev_rate = if gap < self.rule.rate_window + self.rule.rate_window {
+                entry.win_ops as f64 / (self.rule.rate_window.as_millis_f64() / 1000.0)
+            } else {
+                0.0 // idle gap: the last window's rate has aged out
+            };
+            entry.win_start = now;
+            entry.win_ops = 0;
+        }
+        entry
+    }
+
+    /// Record `n` operations for `database` at `now`. The control plane
+    /// calls this on every admitted *and* rejected request so the observed
+    /// rate reflects offered load, not served load.
+    pub fn record(&self, database: &str, n: u64, now: Timestamp) {
+        let mut st = self.state.lock();
+        let entry = self.entry_rolled(&mut st, database, now);
+        entry.period_ops += n;
+        entry.win_ops += n;
+    }
+
+    /// The observed short-term request rate for `database` at `now`: the
+    /// last completed rate window, or the current partial window spread over
+    /// the full window width when that is higher (so a burst inside one
+    /// simulated instant is still visible).
+    pub fn observed_qps(&self, database: &str, now: Timestamp) -> f64 {
+        let mut st = self.state.lock();
+        let entry = self.entry_rolled(&mut st, database, now);
+        let win_secs = self.rule.rate_window.as_millis_f64() / 1000.0;
+        entry.prev_rate.max(entry.win_ops as f64 / win_secs)
+    }
+
+    /// The current allowance for `database` at `now`.
     pub fn allowance(&self, database: &str, now: Timestamp) -> f64 {
         let mut st = self.state.lock();
-        let entry = st.entry(database.to_string()).or_insert(DbTraffic {
-            allowance: self.rule.base_qps,
-            last_growth: now,
-        });
-        // Grow once per elapsed period.
-        while now.saturating_sub(entry.last_growth) >= self.rule.period {
-            entry.allowance *= self.rule.growth;
-            entry.last_growth = entry.last_growth + self.rule.period;
-        }
-        entry.allowance
+        self.entry_rolled(&mut st, database, now).allowance
     }
 
     /// Whether `qps` conforms for `database` at `now`. Non-conforming
-    /// traffic is *not* rejected (the paper accepts it while isolation
-    /// holds); callers use this signal for observability and SLO
-    /// accounting.
+    /// traffic is *not* rejected outright (the paper accepts it while
+    /// isolation holds); the control plane sheds non-conforming tenants
+    /// first when the backend is overloaded.
     pub fn is_conforming(&self, database: &str, qps: f64, now: Timestamp) -> bool {
         qps <= self.allowance(database, now)
+    }
+
+    /// Whether `database`'s *observed* traffic conforms at `now`.
+    pub fn observed_conforming(&self, database: &str, now: Timestamp) -> bool {
+        let mut st = self.state.lock();
+        let entry = self.entry_rolled(&mut st, database, now);
+        let win_secs = self.rule.rate_window.as_millis_f64() / 1000.0;
+        let qps = entry.prev_rate.max(entry.win_ops as f64 / win_secs);
+        qps <= entry.allowance
     }
 
     /// The time needed to ramp from the base to `target_qps` while
@@ -100,6 +194,17 @@ impl Default for TrafficConformance {
 mod tests {
     use super::*;
 
+    /// Drive one period of traffic at `qps`, spread over 1-second steps.
+    fn drive_period(t: &TrafficConformance, db: &str, qps: u64, from: Timestamp) -> Timestamp {
+        let period_secs = t.rule().period.as_millis_f64() as u64 / 1000;
+        let mut now = from;
+        for _ in 0..period_secs {
+            t.record(db, qps, now);
+            now = now + Duration::from_secs(1);
+        }
+        now
+    }
+
     #[test]
     fn base_allowance_is_500() {
         let t = TrafficConformance::default();
@@ -109,24 +214,73 @@ mod tests {
     }
 
     #[test]
-    fn allowance_grows_50_percent_per_5_minutes() {
+    fn ramp_schedule_matches_paper_under_sustained_traffic() {
+        // The paper's 500/50/5 schedule: a tenant driving its full
+        // allowance earns 500 → 750 → 1125 → 1687.5 at 5-minute steps.
         let t = TrafficConformance::default();
-        let _ = t.allowance("db", Timestamp::ZERO);
-        assert_eq!(t.allowance("db", Timestamp::from_secs(299)), 500.0);
-        assert_eq!(t.allowance("db", Timestamp::from_secs(300)), 750.0);
-        assert_eq!(t.allowance("db", Timestamp::from_secs(600)), 1125.0);
-        // Multiple periods at once compound.
-        assert_eq!(t.allowance("db", Timestamp::from_secs(900)), 1687.5);
+        let mut now = Timestamp::from_secs(1);
+        assert_eq!(t.allowance("db", now), 500.0);
+        now = drive_period(&t, "db", 500, now);
+        assert_eq!(t.allowance("db", now), 750.0);
+        now = drive_period(&t, "db", 750, now);
+        assert_eq!(t.allowance("db", now), 1125.0);
+        now = drive_period(&t, "db", 1125, now);
+        assert_eq!(t.allowance("db", now), 1687.5);
+    }
+
+    #[test]
+    fn cold_start_begins_at_base_with_no_retroactive_growth() {
+        // A database first seen an hour into the simulation gets exactly
+        // the 500-op base — idle wall-clock time earns nothing.
+        let t = TrafficConformance::default();
+        assert_eq!(t.allowance("late", Timestamp::from_secs(3600)), 500.0);
+        // And staying idle after the first request earns nothing either.
+        assert_eq!(t.allowance("late", Timestamp::from_secs(7200)), 500.0);
+    }
+
+    #[test]
+    fn idle_period_resets_allowance_to_base() {
+        let t = TrafficConformance::default();
+        let mut now = Timestamp::from_secs(1);
+        now = drive_period(&t, "db", 500, now);
+        assert_eq!(t.allowance("db", now), 750.0);
+        // One silent period: back to base.
+        now = now + Duration::from_secs(300);
+        assert_eq!(t.allowance("db", now), 500.0);
+    }
+
+    #[test]
+    fn trickle_traffic_does_not_grow_allowance() {
+        // 10 QPS is far below the sustain fraction of 500: no growth step.
+        let t = TrafficConformance::default();
+        let mut now = Timestamp::from_secs(1);
+        for _ in 0..3 {
+            now = drive_period(&t, "db", 10, now);
+        }
+        assert_eq!(t.allowance("db", now), 500.0);
     }
 
     #[test]
     fn databases_are_independent() {
         let t = TrafficConformance::default();
-        let _ = t.allowance("old", Timestamp::ZERO);
-        let _ = t.allowance("old", Timestamp::from_secs(600));
+        let mut now = Timestamp::from_secs(1);
+        now = drive_period(&t, "old", 500, now);
+        assert_eq!(t.allowance("old", now), 750.0);
         // A new database starts fresh at its first-seen time.
-        assert_eq!(t.allowance("new", Timestamp::from_secs(600)), 500.0);
-        assert!(t.allowance("old", Timestamp::from_secs(600)) > 500.0);
+        assert_eq!(t.allowance("new", now), 500.0);
+    }
+
+    #[test]
+    fn observed_qps_sees_bursts_within_one_window() {
+        let t = TrafficConformance::default();
+        let now = Timestamp::from_secs(5);
+        t.record("db", 10_000, now);
+        assert!(t.observed_qps("db", now) >= 10_000.0);
+        assert!(!t.observed_conforming("db", now));
+        // After an idle gap the burst ages out.
+        let later = now + Duration::from_secs(10);
+        assert_eq!(t.observed_qps("db", later), 0.0);
+        assert!(t.observed_conforming("db", later));
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub struct Job {
     pub id: u64,
     /// The owning database.
     pub database: String,
+    /// Total CPU cost.
+    pub cost: Duration,
     /// Remaining CPU time.
     pub remaining: Duration,
     /// Submission time.
@@ -61,6 +63,7 @@ impl Job {
         Job {
             id,
             database: database.into(),
+            cost,
             remaining: cost,
             submitted,
             priority: Priority::LatencySensitive,
@@ -81,6 +84,8 @@ pub struct CompletedJob {
     pub id: u64,
     /// Owning database.
     pub database: String,
+    /// CPU cost of the job (for completed-work-share accounting).
+    pub cost: Duration,
     /// Submission time.
     pub submitted: Timestamp,
     /// Completion time.
@@ -211,6 +216,7 @@ impl CpuScheduler {
                         self.completed.push(CompletedJob {
                             id: job.id,
                             database: job.database,
+                            cost: job.cost,
                             submitted: job.submitted,
                             completed: quantum_end,
                         });
@@ -248,6 +254,7 @@ impl CpuScheduler {
                                     self.completed.push(CompletedJob {
                                         id: job.id,
                                         database: job.database,
+                                        cost: job.cost,
                                         submitted: job.submitted,
                                         completed: quantum_end,
                                     });
@@ -427,6 +434,74 @@ mod tests {
         let done = advance_all(&mut s, 0, 1000);
         let other = done.iter().find(|j| j.id == 100).unwrap();
         assert!(other.latency() <= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn completed_work_share_stays_near_fair_share_under_flooding() {
+        // Property (seeded-loop style): with K total tenants — K-1 conforming
+        // tenants with equal offered cost and one flooder with 10× the work —
+        // every tenant that stays backlogged completes within ε of 1/K of
+        // the pool's work. The flooder gains nothing from flooding.
+        let base_seed: u64 = std::env::var("FAIRSHARE_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xF41E);
+        for case in 0..8u64 {
+            let mut rng = simkit::SimRng::new(base_seed ^ (case.wrapping_mul(0x9E37_79B9)));
+            let k = 3 + rng.gen_range(8) as usize; // 3..=10 total tenants
+            let horizon_ms: u64 = 2_000;
+            let fair_ms = horizon_ms / k as u64;
+            let mut s = CpuScheduler::new(1, SchedulingMode::FairShare);
+            let mut id = 0u64;
+            // Conforming tenants: twice their fair share of work, in jobs
+            // with seeded jittered costs — enough to stay backlogged for the
+            // whole horizon.
+            for t in 0..k - 1 {
+                let db = format!("tenant{t}");
+                let mut remaining = 2 * fair_ms;
+                while remaining > 0 {
+                    let cost = (1 + rng.gen_range(4)).min(remaining);
+                    s.submit(job(id, &db, cost, 0));
+                    id += 1;
+                    remaining -= cost;
+                }
+            }
+            // The flooder: 10× the whole horizon's capacity.
+            let mut remaining = 10 * horizon_ms;
+            while remaining > 0 {
+                let cost = (1 + rng.gen_range(4)).min(remaining);
+                s.submit(job(id, "flooder", cost, 0));
+                id += 1;
+                remaining -= cost;
+            }
+            let done = advance_all(&mut s, 0, horizon_ms);
+            let mut per_db: std::collections::HashMap<&str, f64> = Default::default();
+            let mut total = 0.0;
+            for j in &done {
+                let ms = j.cost.as_secs_f64() * 1000.0;
+                *per_db.entry(j.database.as_str()).or_default() += ms;
+                total += ms;
+            }
+            let fair = 1.0 / k as f64;
+            for t in 0..k - 1 {
+                let share = per_db
+                    .get(format!("tenant{t}").as_str())
+                    .copied()
+                    .unwrap_or(0.0)
+                    / total;
+                assert!(
+                    (share - fair).abs() <= 0.1 * fair + 0.01,
+                    "case {case} (seed {base_seed:#x}): tenant{t} share {share:.4} \
+                     vs fair {fair:.4} with k={k}",
+                );
+            }
+            // The flooder is capped at its fair share too.
+            let flooder = per_db.get("flooder").copied().unwrap_or(0.0) / total;
+            assert!(
+                flooder <= fair * 1.1 + 0.01,
+                "case {case}: flooder share {flooder:.4} exceeds fair {fair:.4}"
+            );
+        }
     }
 
     #[test]

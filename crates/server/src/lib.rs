@@ -20,6 +20,10 @@
 //!   pay-as-you-go pricing together with a daily free quota", §I);
 //! * [`router`] — global routing of requests to the region hosting each
 //!   database (§IV-A);
+//! * [`tenants`] — the tenant control plane: registry with per-database
+//!   limits and lifecycle, enforced conformance/quota/overload policy
+//!   behind the data path's gate seam, shed ordering, and a throttle
+//!   ledger;
 //! * [`service`] — the assembled [`service::FirestoreService`]: database
 //!   provisioning on shared infrastructure, metered request entry points,
 //!   and real-time listener registration.
@@ -31,6 +35,7 @@ pub mod conformance;
 pub mod fairshare;
 pub mod router;
 pub mod service;
+pub mod tenants;
 
 pub use admission::AdmissionController;
 pub use autoscale::AutoScaler;
@@ -38,3 +43,4 @@ pub use billing::{BillingMeter, FreeQuota, Usage};
 pub use conformance::TrafficConformance;
 pub use fairshare::{CpuScheduler, Job, SchedulingMode};
 pub use service::{FirestoreService, ServedRequest, ServiceOptions};
+pub use tenants::{ShedPolicy, TenantControl, TenantLimits, TenantState, ThrottleReason};

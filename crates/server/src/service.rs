@@ -14,10 +14,11 @@ use crate::billing::BillingMeter;
 use crate::conformance::TrafficConformance;
 use crate::fairshare::{CpuScheduler, SchedulingMode};
 use crate::router::{RegionId, Router};
+use crate::tenants::{DbGate, ShedPolicy, TenantControl};
 use firestore_core::database::DatabaseOptions;
 use firestore_core::{
     Caller, Consistency, Document, DocumentName, FirestoreDatabase, FirestoreError,
-    FirestoreResult, Query, Write, WriteResult,
+    FirestoreResult, Query, RequestClass, Write, WriteResult,
 };
 use parking_lot::{Mutex, RwLock};
 use realtime::{Connection, QueryId, RealtimeCache, RealtimeOptions};
@@ -26,6 +27,7 @@ use simkit::{Duration, Obs, PhaseBreakdown, SimClock, SimRng, Timestamp};
 use spanner::SpannerDatabase;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -48,6 +50,14 @@ pub struct ServiceOptions {
     /// Seed for the observability trace id (spans and metrics are
     /// deterministic given this seed and the workload).
     pub obs_seed: u64,
+    /// Backend backlog beyond which the control plane sheds load
+    /// (non-conforming tenants first, then batch traffic).
+    pub shed_watermark: usize,
+    /// How long `WriteLedger` dedup rows are retained before the periodic
+    /// GC collects them. Must cover the client retry-budget horizon.
+    pub ledger_retention: Duration,
+    /// How often [`FirestoreService::tick`] runs the write-ledger GC.
+    pub gc_interval: Duration,
 }
 
 impl Default for ServiceOptions {
@@ -61,6 +71,9 @@ impl Default for ServiceOptions {
             autoscaling: true,
             realtime_tasks: 4,
             obs_seed: 0xB5,
+            shed_watermark: 1024,
+            ledger_retention: Duration::from_secs(600),
+            gc_interval: Duration::from_secs(60),
         }
     }
 }
@@ -87,16 +100,20 @@ pub struct FirestoreService {
     rtc: RealtimeCache,
     databases: RwLock<HashMap<String, FirestoreDatabase>>,
     /// Billing meter shared by all hosted databases.
-    pub billing: BillingMeter,
+    pub billing: Arc<BillingMeter>,
     /// Backend admission control.
-    pub admission: AdmissionController,
+    pub admission: Arc<AdmissionController>,
     /// Conforming-traffic tracking.
-    pub conformance: TrafficConformance,
+    pub conformance: Arc<TrafficConformance>,
+    /// The tenant control plane: registry, lifecycle, throttles, sheds.
+    pub tenants: Arc<TenantControl>,
     /// Global routing table (§IV-A): database → hosting region.
     pub router: Router,
     /// The Backend CPU pool.
-    pub backend: Mutex<CpuScheduler>,
+    pub backend: Arc<Mutex<CpuScheduler>>,
     backend_scaler: Mutex<AutoScaler>,
+    /// Last write-ledger GC run.
+    last_gc: Mutex<Timestamp>,
     frontend_tasks: AtomicUsize,
     frontend_scaler: Mutex<AutoScaler>,
     latency: LatencyModel,
@@ -125,17 +142,38 @@ impl FirestoreService {
         let obs = Obs::new(clock.clone(), options.obs_seed);
         spanner.set_obs(Some(obs.clone()));
         rtc.set_obs(Some(obs.clone()));
+        let billing = Arc::new(BillingMeter::default());
+        let admission = Arc::new(AdmissionController::new(1000, 100_000));
+        let conformance = Arc::new(TrafficConformance::default());
+        let backend = Arc::new(Mutex::new(CpuScheduler::new(
+            options.backend_tasks,
+            options.scheduling,
+        )));
+        let tenants = Arc::new(TenantControl::new(
+            clock.clone(),
+            conformance.clone(),
+            billing.clone(),
+            backend.clone(),
+            admission.clone(),
+            obs.clone(),
+            ShedPolicy {
+                backlog_watermark: options.shed_watermark,
+                ..ShedPolicy::default()
+            },
+        ));
         FirestoreService {
             clock,
             spanner,
             rtc,
             databases: RwLock::new(HashMap::new()),
-            billing: BillingMeter::default(),
-            admission: AdmissionController::new(1000, 100_000),
-            conformance: TrafficConformance::default(),
+            billing,
+            admission,
+            conformance,
+            tenants,
             router: Router::new(),
-            backend: Mutex::new(CpuScheduler::new(options.backend_tasks, options.scheduling)),
+            backend,
             backend_scaler: Mutex::new(AutoScaler::new(options.backend_tasks.max(1), 4096)),
+            last_gc: Mutex::new(Timestamp::ZERO),
             frontend_tasks: AtomicUsize::new(options.frontend_tasks),
             frontend_scaler: Mutex::new(AutoScaler::new(options.frontend_tasks.max(1), 4096)),
             latency,
@@ -191,6 +229,11 @@ impl FirestoreService {
             },
         );
         db.set_observer(self.rtc.observer_for(db.directory()));
+        // Provision the tenant in the control plane and install its gate:
+        // from here on every entry point — including client-SDK flushes
+        // that reach the engine directly — consults tenant policy first.
+        self.tenants.register(id);
+        db.set_gate(Some(Arc::new(DbGate::new(id, self.tenants.clone()))));
         self.databases.write().insert(id.to_string(), db.clone());
         // Placement is chosen at creation time and immutable (§IV-A).
         let _ = self.router.register(id, RegionId(self.options.region.clone()));
@@ -214,9 +257,12 @@ impl FirestoreService {
 
     /// Admit one request for `database` or fail with a retriable
     /// `Unavailable`; the returned guard releases the slot when dropped, so
-    /// every exit path of an entry point gives the slot back.
+    /// every exit path of an entry point gives the slot back. The
+    /// per-database limit is bounded by the tenant's fair share of the
+    /// global in-flight budget, so one tenant cannot monopolize the slots.
     fn admit<'a>(&'a self, database: &'a str) -> FirestoreResult<AdmitGuard<'a>> {
-        match self.admission.try_admit(database) {
+        let cap = self.tenants.fair_slot_cap();
+        match self.admission.try_admit_bounded(database, cap) {
             Ok(()) => {
                 self.obs
                     .metrics
@@ -380,15 +426,33 @@ impl FirestoreService {
             .metrics
             .incr("service.listens", &[("db", database)], 1);
         let db = self.require(database)?;
+        // The initial snapshot below runs through the tenant gate (it is a
+        // query); the listener registration itself is capped here.
+        self.tenants.listener_opened(database)?;
         let snapshot_ts = db.strong_read_ts();
-        let initial = db.run_query(
+        let initial = match db.run_query(
             &query.without_window(),
             Consistency::AtTimestamp(snapshot_ts),
             caller,
-        )?;
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                self.tenants.listener_closed(database);
+                return Err(e);
+            }
+        };
         self.billing
             .record_reads(database, initial.documents.len() as u64);
         Ok(conn.listen(db.directory(), query, initial.documents, snapshot_ts))
+    }
+
+    /// Gate one unit of Backend work submitted outside the RPC entry points
+    /// (load-driver jobs, batch pipelines), honoring the request class: the
+    /// control plane sheds batch work before interactive work under
+    /// overload. Returns `Ok` when the work may be enqueued.
+    pub fn admit_work(&self, database: &str, class: RequestClass) -> FirestoreResult<()> {
+        self.tenants
+            .check(database, firestore_core::GatedOp::Query, class)
     }
 
     /// Model the per-listener notification delays of one fan-out: each
@@ -456,11 +520,43 @@ impl FirestoreService {
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
-        for (id, db) in dbs {
+        for (id, db) in &dbs {
             if let Ok((_, bytes)) = db.storage_stats() {
-                self.billing.set_storage(&id, bytes as u64);
+                self.billing.set_storage(id, bytes as u64);
             }
         }
+        // Collect expired write-ledger dedup rows (PR 3's exactly-once
+        // machinery) so long fleet runs don't grow the ledger unboundedly.
+        // The retention horizon must outlive the client retry budget, so a
+        // late retry still finds its row.
+        let run_gc = {
+            let mut last = self.last_gc.lock();
+            if now.saturating_sub(*last) >= self.options.gc_interval {
+                *last = now;
+                true
+            } else {
+                false
+            }
+        };
+        if run_gc {
+            let horizon = Timestamp::from_nanos(
+                now.as_nanos()
+                    .saturating_sub(self.options.ledger_retention.as_nanos()),
+            );
+            let mut collected = 0usize;
+            for (_, db) in &dbs {
+                if let Ok(n) = db.gc_write_ledger(horizon) {
+                    collected += n;
+                }
+            }
+            if collected > 0 {
+                self.obs
+                    .metrics
+                    .incr("service.ledger_gc.rows", &[], collected as u64);
+            }
+        }
+        // Per-tenant backlog gauges (top-K heavy hitters + `other`).
+        self.tenants.export_gauges();
     }
 }
 

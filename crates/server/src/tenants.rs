@@ -1,0 +1,710 @@
+//! The tenant control plane: registry, lifecycle, limits, and throttles.
+//!
+//! The paper's serving layer multiplexes thousands of customer databases
+//! over shared Frontend/Backend pools while promising that "a tenant's
+//! traffic cannot affect the latency of other tenants" (§IV-C). The
+//! FoundationDB Record Layer makes the same promise the same way: a
+//! management plane owns per-tenant accounting and throttling, and the
+//! request path merely consults it. This module is that management plane:
+//!
+//! * a **registry** of provisioned databases with per-tenant limits
+//!   (free-quota standing, listener caps, lifecycle state);
+//! * a **conformance + quota + overload policy** evaluated on every request
+//!   via the [`TenantGate`] seam the data path exposes — rejections are
+//!   retriable [`FirestoreError::ResourceExhausted`] with a `retry_after`
+//!   hint, except for suspended tenants which get a terminal
+//!   `FailedPrecondition`;
+//! * a **shed order** under Backend overload (§IV-C "targeted load-shedding
+//!   to drop excess work before auto-scaling can take effect"):
+//!   non-conforming tenants first, then batch traffic, never conforming
+//!   interactive traffic;
+//! * a **throttle ledger** recording every rejection for audit, plus
+//!   bounded-cardinality per-tenant metrics (top-K heavy hitters by name,
+//!   everyone else under `other`).
+
+use crate::admission::AdmissionController;
+use crate::billing::BillingMeter;
+use crate::conformance::TrafficConformance;
+use crate::fairshare::CpuScheduler;
+use firestore_core::{FirestoreError, FirestoreResult, GatedOp, RequestClass, TenantGate};
+use parking_lot::Mutex;
+use simkit::{Duration, Obs, SimClock, Timestamp, TopK};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Lifecycle state of a provisioned database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TenantState {
+    /// Serving normally.
+    Provisioned,
+    /// Administratively suspended (abuse, non-payment): every request is
+    /// rejected with a terminal error — retrying will not help.
+    Suspended,
+}
+
+/// Per-tenant limits, set at provisioning time and adjustable at runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantLimits {
+    /// Free-tier tenants are *blocked* (not billed) once the daily free
+    /// quota is exhausted; paying tenants run past it and get billed.
+    pub free_tier: bool,
+    /// Maximum concurrently registered real-time listeners.
+    pub listener_cap: usize,
+}
+
+impl Default for TenantLimits {
+    fn default() -> Self {
+        TenantLimits {
+            free_tier: false,
+            listener_cap: 10_000,
+        }
+    }
+}
+
+/// Why a request was throttled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThrottleReason {
+    /// The tenant is suspended.
+    Suspended,
+    /// A free-tier tenant exhausted its daily quota.
+    QuotaExhausted,
+    /// Shed under Backend overload as a non-conforming tenant.
+    ShedNonConforming,
+    /// Shed under Backend overload as batch traffic.
+    ShedBatch,
+    /// The tenant exceeded its listener cap.
+    ListenerCap,
+}
+
+impl ThrottleReason {
+    /// Stable label for metrics and the ledger.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThrottleReason::Suspended => "suspended",
+            ThrottleReason::QuotaExhausted => "quota_exhausted",
+            ThrottleReason::ShedNonConforming => "shed_nonconforming",
+            ThrottleReason::ShedBatch => "shed_batch",
+            ThrottleReason::ListenerCap => "listener_cap",
+        }
+    }
+}
+
+/// One audit-ledger entry: a request the control plane refused.
+#[derive(Clone, Debug)]
+pub struct ThrottleEntry {
+    /// When.
+    pub at: Timestamp,
+    /// Which database.
+    pub database: String,
+    /// Which operation class.
+    pub op: GatedOp,
+    /// Interactive or batch.
+    pub class: RequestClass,
+    /// Why.
+    pub reason: ThrottleReason,
+    /// The backoff hint handed to the client (zero for terminal errors).
+    pub retry_after: Duration,
+}
+
+/// Shed-policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ShedPolicy {
+    /// Backend backlog (queued jobs) beyond which the service starts
+    /// shedding. Below it even wildly non-conforming traffic is accepted —
+    /// the paper "will still accept traffic that violates this rule as long
+    /// as it can maintain isolation."
+    pub backlog_watermark: usize,
+    /// Base `retry_after` for overload sheds; scaled by how far past the
+    /// watermark the backlog is.
+    pub shed_retry_base: Duration,
+    /// Upper bound on any overload `retry_after` hint.
+    pub shed_retry_cap: Duration,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy {
+            backlog_watermark: 1024,
+            shed_retry_base: Duration::from_millis(100),
+            shed_retry_cap: Duration::from_secs(5),
+        }
+    }
+}
+
+struct TenantRecord {
+    state: TenantState,
+    limits: TenantLimits,
+    listeners: usize,
+}
+
+struct ControlState {
+    tenants: HashMap<String, TenantRecord>,
+    ledger: Vec<ThrottleEntry>,
+    /// Heavy-hitter sketch feeding the bounded-cardinality `db` label.
+    topk: TopK,
+}
+
+/// The control plane of one region. The data path holds per-database
+/// [`DbGate`] handles onto it; the service consults it for admission caps
+/// and shed decisions. It owns no request state of its own — it reads the
+/// conformance tracker, the billing meter, and the Backend scheduler the
+/// service already maintains.
+pub struct TenantControl {
+    clock: SimClock,
+    conformance: Arc<TrafficConformance>,
+    billing: Arc<BillingMeter>,
+    backend: Arc<Mutex<CpuScheduler>>,
+    admission: Arc<AdmissionController>,
+    obs: Obs,
+    policy: ShedPolicy,
+    state: Mutex<ControlState>,
+}
+
+/// Cap on retained ledger entries; older entries age out first.
+const LEDGER_CAP: usize = 4096;
+
+/// How many tenants get their own metric label; the rest share `other`.
+const METRIC_TOP_K: usize = 8;
+
+impl TenantControl {
+    /// Build the control plane over the service's shared components.
+    pub fn new(
+        clock: SimClock,
+        conformance: Arc<TrafficConformance>,
+        billing: Arc<BillingMeter>,
+        backend: Arc<Mutex<CpuScheduler>>,
+        admission: Arc<AdmissionController>,
+        obs: Obs,
+        policy: ShedPolicy,
+    ) -> TenantControl {
+        TenantControl {
+            clock,
+            conformance,
+            billing,
+            backend,
+            admission,
+            obs,
+            policy,
+            state: Mutex::new(ControlState {
+                tenants: HashMap::new(),
+                ledger: Vec::new(),
+                topk: TopK::new(METRIC_TOP_K),
+            }),
+        }
+    }
+
+    /// The shed policy in force.
+    pub fn policy(&self) -> ShedPolicy {
+        self.policy
+    }
+
+    // --- registry -----------------------------------------------------------
+
+    /// Provision a tenant with default limits (idempotent).
+    pub fn register(&self, database: &str) {
+        self.register_with(database, TenantLimits::default());
+    }
+
+    /// Provision a tenant with explicit limits.
+    pub fn register_with(&self, database: &str, limits: TenantLimits) {
+        let mut st = self.state.lock();
+        st.tenants
+            .entry(database.to_string())
+            .and_modify(|r| r.limits = limits)
+            .or_insert(TenantRecord {
+                state: TenantState::Provisioned,
+                limits,
+                listeners: 0,
+            });
+    }
+
+    /// Adjust a tenant's limits.
+    pub fn set_limits(&self, database: &str, limits: TenantLimits) {
+        self.register_with(database, limits);
+    }
+
+    /// A tenant's limits (default limits for unregistered databases).
+    pub fn limits(&self, database: &str) -> TenantLimits {
+        self.state
+            .lock()
+            .tenants
+            .get(database)
+            .map(|r| r.limits)
+            .unwrap_or_default()
+    }
+
+    /// A tenant's lifecycle state (unregistered databases count as
+    /// provisioned: the registry is advisory for direct engine users).
+    pub fn state(&self, database: &str) -> TenantState {
+        self.state
+            .lock()
+            .tenants
+            .get(database)
+            .map(|r| r.state)
+            .unwrap_or(TenantState::Provisioned)
+    }
+
+    /// Suspend a tenant: every subsequent request fails terminally.
+    pub fn suspend(&self, database: &str) {
+        let mut st = self.state.lock();
+        st.tenants
+            .entry(database.to_string())
+            .or_insert(TenantRecord {
+                state: TenantState::Provisioned,
+                limits: TenantLimits::default(),
+                listeners: 0,
+            })
+            .state = TenantState::Suspended;
+    }
+
+    /// Restore a suspended tenant.
+    pub fn resume(&self, database: &str) {
+        if let Some(r) = self.state.lock().tenants.get_mut(database) {
+            r.state = TenantState::Provisioned;
+        }
+    }
+
+    // --- enforcement --------------------------------------------------------
+
+    /// The per-tenant admission-slot cap: an equal share of the global
+    /// in-flight limit across currently active tenants (never below one
+    /// slot, never above the component default).
+    pub fn fair_slot_cap(&self) -> usize {
+        let active = self.admission.active_databases().max(1);
+        (self.admission.global_limit / active).max(1)
+    }
+
+    /// Admit or reject one request. This is the single enforcement point
+    /// behind every [`DbGate`]; the decision order is:
+    ///
+    /// 1. suspended tenant → terminal `FailedPrecondition`;
+    /// 2. free-tier tenant past its daily quota → `ResourceExhausted` with
+    ///    `retry_after` = time to the next quota reset;
+    /// 3. Backend backlog past the watermark → shed non-conforming tenants
+    ///    first, then batch traffic; conforming interactive traffic is
+    ///    never shed.
+    ///
+    /// Every offered request — admitted or not — counts toward the tenant's
+    /// observed rate, so a client hammering through rejections stays
+    /// non-conforming.
+    pub fn check(&self, database: &str, op: GatedOp, class: RequestClass) -> FirestoreResult<()> {
+        let now = self.clock.now();
+        self.conformance.record(database, 1, now);
+        {
+            let mut st = self.state.lock();
+            st.topk.observe(database, 1);
+        }
+
+        if self.state(database) == TenantState::Suspended {
+            self.note_throttle(database, op, class, ThrottleReason::Suspended, Duration::ZERO);
+            return Err(FirestoreError::FailedPrecondition(format!(
+                "database {database} is suspended"
+            )));
+        }
+
+        if self.limits(database).free_tier && self.billing.quota_exhausted(database) {
+            let retry_after = self.billing.time_to_day_roll(now);
+            self.note_throttle(database, op, class, ThrottleReason::QuotaExhausted, retry_after);
+            return Err(FirestoreError::ResourceExhausted {
+                message: format!("database {database} exhausted its daily free quota"),
+                retry_after,
+            });
+        }
+
+        let backlog = self.backend.lock().backlog();
+        if backlog > self.policy.backlog_watermark {
+            let retry_after = self.shed_retry_after(backlog);
+            if !self.conformance.observed_conforming(database, now) {
+                self.note_throttle(
+                    database,
+                    op,
+                    class,
+                    ThrottleReason::ShedNonConforming,
+                    retry_after,
+                );
+                return Err(FirestoreError::ResourceExhausted {
+                    message: format!(
+                        "backend overloaded (backlog {backlog}); shedding non-conforming \
+                         traffic from {database}"
+                    ),
+                    retry_after,
+                });
+            }
+            if class == RequestClass::Batch {
+                self.note_throttle(database, op, class, ThrottleReason::ShedBatch, retry_after);
+                return Err(FirestoreError::ResourceExhausted {
+                    message: format!("backend overloaded (backlog {backlog}); shedding batch"),
+                    retry_after,
+                });
+            }
+            // Conforming interactive traffic rides out the overload.
+        }
+        Ok(())
+    }
+
+    /// Overload `retry_after`: the base hint scaled by how overloaded the
+    /// Backend is, capped so clients never sleep absurdly long.
+    fn shed_retry_after(&self, backlog: usize) -> Duration {
+        let over = backlog as f64 / self.policy.backlog_watermark.max(1) as f64;
+        self.policy
+            .shed_retry_base
+            .mul_f64(over)
+            .min(self.policy.shed_retry_cap)
+            .max(self.policy.shed_retry_base)
+    }
+
+    /// Count a listener registration against the tenant's cap.
+    pub fn listener_opened(&self, database: &str) -> FirestoreResult<()> {
+        let (cap, over) = {
+            let mut st = self.state.lock();
+            let rec = st
+                .tenants
+                .entry(database.to_string())
+                .or_insert(TenantRecord {
+                    state: TenantState::Provisioned,
+                    limits: TenantLimits::default(),
+                    listeners: 0,
+                });
+            if rec.listeners >= rec.limits.listener_cap {
+                (rec.limits.listener_cap, true)
+            } else {
+                rec.listeners += 1;
+                (rec.limits.listener_cap, false)
+            }
+        };
+        if over {
+            let retry_after = Duration::from_secs(1);
+            self.note_throttle(
+                database,
+                GatedOp::Listen,
+                RequestClass::Interactive,
+                ThrottleReason::ListenerCap,
+                retry_after,
+            );
+            return Err(FirestoreError::ResourceExhausted {
+                message: format!("database {database} at its listener cap ({cap})"),
+                retry_after,
+            });
+        }
+        Ok(())
+    }
+
+    /// Release a listener slot.
+    pub fn listener_closed(&self, database: &str) {
+        if let Some(r) = self.state.lock().tenants.get_mut(database) {
+            r.listeners = r.listeners.saturating_sub(1);
+        }
+    }
+
+    /// Currently registered listeners for a tenant.
+    pub fn listeners(&self, database: &str) -> usize {
+        self.state
+            .lock()
+            .tenants
+            .get(database)
+            .map(|r| r.listeners)
+            .unwrap_or(0)
+    }
+
+    // --- observability ------------------------------------------------------
+
+    fn note_throttle(
+        &self,
+        database: &str,
+        op: GatedOp,
+        class: RequestClass,
+        reason: ThrottleReason,
+        retry_after: Duration,
+    ) {
+        let mut st = self.state.lock();
+        if st.ledger.len() >= LEDGER_CAP {
+            let drop = st.ledger.len() - LEDGER_CAP + 1;
+            st.ledger.drain(..drop);
+        }
+        st.ledger.push(ThrottleEntry {
+            at: self.clock.now(),
+            database: database.to_string(),
+            op,
+            class,
+            reason,
+            retry_after,
+        });
+        let label = if st.topk.contains(database) {
+            database
+        } else {
+            simkit::obs::OTHER_LABEL
+        };
+        self.obs.metrics.incr(
+            "tenant.throttles",
+            &[
+                ("db", label),
+                ("reason", reason.label()),
+                ("class", class.label()),
+            ],
+            1,
+        );
+    }
+
+    /// A snapshot of the throttle ledger (oldest first).
+    pub fn throttle_ledger(&self) -> Vec<ThrottleEntry> {
+        self.state.lock().ledger.clone()
+    }
+
+    /// Throttle counts grouped by reason.
+    pub fn throttle_counts(&self) -> HashMap<&'static str, u64> {
+        let st = self.state.lock();
+        let mut out: HashMap<&'static str, u64> = HashMap::new();
+        for e in &st.ledger {
+            *out.entry(e.reason.label()).or_default() += 1;
+        }
+        out
+    }
+
+    /// The current heavy hitters by offered load (approximate weights).
+    pub fn heavy_hitters(&self) -> Vec<(String, u64)> {
+        self.state.lock().topk.entries()
+    }
+
+    /// The bounded-cardinality metric label for `database`: its own name
+    /// while it is a top-K heavy hitter, `other` otherwise.
+    pub fn db_label<'a>(&self, database: &'a str) -> &'a str {
+        if self.state.lock().topk.contains(database) {
+            database
+        } else {
+            simkit::obs::OTHER_LABEL
+        }
+    }
+
+    /// Export per-tenant gauges (scheduler backlog for heavy hitters plus
+    /// the aggregate) into the metrics registry. Called from the service
+    /// tick.
+    pub fn export_gauges(&self) {
+        let backend = self.backend.lock();
+        let total = backend.backlog();
+        self.obs
+            .metrics
+            .gauge_set("service.backend.backlog", &[("db", "all")], total as f64);
+        let hitters = self.state.lock().topk.entries();
+        let mut named = 0usize;
+        for (db, _) in &hitters {
+            let b = backend.backlog_of(db);
+            named += b;
+            self.obs
+                .metrics
+                .gauge_set("service.backend.backlog", &[("db", db.as_str())], b as f64);
+        }
+        self.obs.metrics.gauge_set(
+            "service.backend.backlog",
+            &[("db", simkit::obs::OTHER_LABEL)],
+            total.saturating_sub(named) as f64,
+        );
+    }
+}
+
+/// The per-database [`TenantGate`] adapter the service installs on each
+/// [`FirestoreDatabase`](firestore_core::FirestoreDatabase) it provisions.
+pub struct DbGate {
+    database: String,
+    control: Arc<TenantControl>,
+}
+
+impl DbGate {
+    /// A gate binding `database` to `control`.
+    pub fn new(database: impl Into<String>, control: Arc<TenantControl>) -> DbGate {
+        DbGate {
+            database: database.into(),
+            control,
+        }
+    }
+}
+
+impl TenantGate for DbGate {
+    fn check(&self, op: GatedOp, class: RequestClass) -> FirestoreResult<()> {
+        self.control.check(&self.database, op, class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::ConformanceRule;
+    use crate::fairshare::{Job, SchedulingMode};
+
+    fn control(clock: &SimClock) -> (Arc<TenantControl>, Arc<Mutex<CpuScheduler>>) {
+        let backend = Arc::new(Mutex::new(CpuScheduler::new(4, SchedulingMode::FairShare)));
+        let c = Arc::new(TenantControl::new(
+            clock.clone(),
+            Arc::new(TrafficConformance::new(ConformanceRule::default())),
+            Arc::new(BillingMeter::default()),
+            backend.clone(),
+            Arc::new(AdmissionController::new(1000, 100_000)),
+            Obs::new(clock.clone(), 7),
+            ShedPolicy {
+                backlog_watermark: 10,
+                ..ShedPolicy::default()
+            },
+        ));
+        (c, backend)
+    }
+
+    fn flood_backlog(backend: &Mutex<CpuScheduler>, jobs: usize) {
+        let mut b = backend.lock();
+        for i in 0..jobs {
+            b.submit(Job::new(
+                i as u64,
+                "flooder",
+                Duration::from_millis(10),
+                Timestamp::ZERO,
+            ));
+        }
+    }
+
+    #[test]
+    fn suspended_tenant_is_terminal() {
+        let clock = SimClock::new();
+        let (c, _) = control(&clock);
+        c.register("app");
+        assert!(c
+            .check("app", GatedOp::Get, RequestClass::Interactive)
+            .is_ok());
+        c.suspend("app");
+        let err = c
+            .check("app", GatedOp::Get, RequestClass::Interactive)
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::FailedPrecondition(_)));
+        assert!(!err.is_retriable(), "suspension must not invite retries");
+        c.resume("app");
+        assert!(c
+            .check("app", GatedOp::Get, RequestClass::Interactive)
+            .is_ok());
+        assert_eq!(c.throttle_counts()["suspended"], 1);
+    }
+
+    #[test]
+    fn free_tier_quota_exhaustion_carries_reset_horizon() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1000));
+        let (c, _) = control(&clock);
+        c.register_with(
+            "hobby",
+            TenantLimits {
+                free_tier: true,
+                ..TenantLimits::default()
+            },
+        );
+        c.billing.record_writes("hobby", 20_000); // quota is 20k writes/day
+        let err = c
+            .check("hobby", GatedOp::Commit, RequestClass::Interactive)
+            .unwrap_err();
+        let retry_after = err.retry_after().expect("quota throttle carries a hint");
+        assert_eq!(retry_after, Duration::from_secs(86_400 - 1000));
+        assert!(err.is_retriable());
+        // A paying tenant with identical usage sails through.
+        c.register("pro");
+        c.billing.record_writes("pro", 20_000);
+        assert!(c
+            .check("pro", GatedOp::Commit, RequestClass::Interactive)
+            .is_ok());
+    }
+
+    #[test]
+    fn shed_order_spares_conforming_interactive_traffic() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(5));
+        let (c, backend) = control(&clock);
+        c.register("abuser");
+        c.register("good");
+        // Make `abuser` non-conforming: a 10k burst in one rate window.
+        for _ in 0..10_000 {
+            c.conformance.record("abuser", 1, clock.now());
+        }
+        // Overload the backend past the watermark of 10.
+        flood_backlog(&backend, 50);
+        // Non-conforming tenant is shed with a retry hint…
+        let err = c
+            .check("abuser", GatedOp::Query, RequestClass::Interactive)
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::ResourceExhausted { .. }));
+        assert!(err.retry_after().unwrap() > Duration::ZERO);
+        // …conforming batch traffic is shed too…
+        let err = c
+            .check("good", GatedOp::Query, RequestClass::Batch)
+            .unwrap_err();
+        assert!(matches!(err, FirestoreError::ResourceExhausted { .. }));
+        // …but conforming interactive traffic is never shed.
+        assert!(c
+            .check("good", GatedOp::Query, RequestClass::Interactive)
+            .is_ok());
+        let counts = c.throttle_counts();
+        assert_eq!(counts["shed_nonconforming"], 1);
+        assert_eq!(counts["shed_batch"], 1);
+    }
+
+    #[test]
+    fn below_watermark_nothing_is_shed() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(5));
+        let (c, _) = control(&clock);
+        c.register("spiky");
+        for _ in 0..10_000 {
+            c.conformance.record("spiky", 1, clock.now());
+        }
+        // Wildly non-conforming, but the backend is idle: accepted ("will
+        // still accept traffic that violates this rule as long as it can
+        // maintain isolation").
+        assert!(c
+            .check("spiky", GatedOp::Query, RequestClass::Interactive)
+            .is_ok());
+    }
+
+    #[test]
+    fn listener_cap_enforced_and_released() {
+        let clock = SimClock::new();
+        let (c, _) = control(&clock);
+        c.register_with(
+            "fanout",
+            TenantLimits {
+                listener_cap: 2,
+                ..TenantLimits::default()
+            },
+        );
+        assert!(c.listener_opened("fanout").is_ok());
+        assert!(c.listener_opened("fanout").is_ok());
+        let err = c.listener_opened("fanout").unwrap_err();
+        assert!(matches!(err, FirestoreError::ResourceExhausted { .. }));
+        c.listener_closed("fanout");
+        assert!(c.listener_opened("fanout").is_ok());
+        assert_eq!(c.listeners("fanout"), 2);
+    }
+
+    #[test]
+    fn ledger_is_bounded_and_ordered() {
+        let clock = SimClock::new();
+        let (c, _) = control(&clock);
+        c.suspend("spammer");
+        for _ in 0..(LEDGER_CAP + 100) {
+            let _ = c.check("spammer", GatedOp::Get, RequestClass::Interactive);
+        }
+        let ledger = c.throttle_ledger();
+        assert_eq!(ledger.len(), LEDGER_CAP);
+        assert!(ledger.iter().all(|e| e.reason == ThrottleReason::Suspended));
+    }
+
+    #[test]
+    fn offered_load_counts_even_when_rejected() {
+        // A tenant hammering through rejections must stay non-conforming:
+        // rejections still feed the observed rate.
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(5));
+        let (c, backend) = control(&clock);
+        c.register("hammer");
+        flood_backlog(&backend, 50);
+        // First burst marks it non-conforming; subsequent checks keep
+        // rejecting and keep counting.
+        for _ in 0..2000 {
+            let _ = c.check("hammer", GatedOp::Get, RequestClass::Interactive);
+        }
+        assert!(!c.conformance.observed_conforming("hammer", clock.now()));
+        assert!(c.throttle_counts()["shed_nonconforming"] > 0);
+    }
+}

@@ -66,6 +66,9 @@ pub enum HistoryEvent {
     /// A document-level read served by the Firestore layer (lookup or query
     /// row). `digest` is `firestore_core::checker::doc_digest`.
     DocRead {
+        /// 4-byte directory prefix of the database that served the read —
+        /// scopes per-database checks in a multi-tenant history.
+        dir: [u8; 4],
         /// Read timestamp.
         ts: Timestamp,
         /// Full document name.
@@ -75,6 +78,8 @@ pub enum HistoryEvent {
     },
     /// The client library acknowledged a flushed mutation to the caller.
     ClientAck {
+        /// 4-byte directory prefix of the database the mutation targeted.
+        dir: [u8; 4],
         /// Idempotency key of the mutation (`client-<session>:<id>`).
         dedup_id: String,
         /// Commit timestamp the ack reported.
@@ -83,6 +88,8 @@ pub enum HistoryEvent {
     /// A consistent snapshot delivered to one listener by the Real-time
     /// Cache: the full visible result set as `(doc name, doc digest)`.
     ListenerSnapshot {
+        /// 4-byte directory prefix of the database the query listens on.
+        dir: [u8; 4],
         /// Listening connection id.
         conn: u64,
         /// Query id (registry maintained by the test harness).
@@ -97,6 +104,8 @@ pub enum HistoryEvent {
     /// A listener was reset (cache restart / unknown outcome): the client
     /// must re-listen; prior snapshot continuity is forgiven.
     ListenerReset {
+        /// 4-byte directory prefix of the database the query listened on.
+        dir: [u8; 4],
         /// Listening connection id.
         conn: u64,
         /// Query id.
@@ -402,10 +411,16 @@ pub fn check_serializability(events: &[Recorded]) -> Vec<Violation> {
 /// dedup id via `key_to_dedup` — ledger GC deletes write `None` and do not
 /// count). Zero such commits means an acked write was lost; more than one
 /// means a retried mutation applied twice.
+///
+/// `scope`, when set, restricts the check to acks recorded against that
+/// directory prefix: in a multi-tenant history other databases' acks are
+/// backed by ledger rows `key_to_dedup` cannot decode, and would otherwise
+/// read as lost.
 pub fn check_exactly_once(
     events: &[Recorded],
     ledger_table: &str,
     key_to_dedup: &dyn Fn(&[u8]) -> Option<String>,
+    scope: Option<[u8; 4]>,
 ) -> Vec<Violation> {
     use std::collections::HashMap;
     // dedup_id -> [(seq, commit_ts)] of commits inserting its ledger row.
@@ -428,10 +443,14 @@ pub fn check_exactly_once(
     let mut violations = Vec::new();
     for rec in events {
         if let HistoryEvent::ClientAck {
+            dir,
             dedup_id,
             commit_ts,
         } = &rec.event
         {
+            if scope.is_some_and(|s| s != *dir) {
+                continue;
+            }
             match applies.get(dedup_id).map(Vec::as_slice) {
                 None | Some([]) => violations.push(Violation {
                     kind: "lost-ack",
@@ -530,6 +549,7 @@ fn summarize(event: &HistoryEvent) -> String {
         HistoryEvent::ClientAck {
             dedup_id,
             commit_ts,
+            ..
         } => format!("ClientAck {dedup_id} @ {} ns", commit_ts.0),
         HistoryEvent::ListenerSnapshot {
             conn,
@@ -537,13 +557,14 @@ fn summarize(event: &HistoryEvent) -> String {
             at,
             initial,
             visible,
+            ..
         } => format!(
             "ListenerSnapshot conn {conn} query {query} @ {} ns ({} visible{})",
             at.0,
             visible.len(),
             if *initial { ", initial" } else { "" }
         ),
-        HistoryEvent::ListenerReset { conn, query } => {
+        HistoryEvent::ListenerReset { conn, query, .. } => {
             format!("ListenerReset conn {conn} query {query}")
         }
         HistoryEvent::Crash => "Crash".into(),
@@ -669,16 +690,18 @@ mod tests {
         let events = record_all(vec![
             commit(1, 10, vec![(ledger, b"m1", Some(b"1"))]),
             HistoryEvent::ClientAck {
+                dir: [0; 4],
                 dedup_id: "m1".into(),
                 commit_ts: ts(10),
             },
             commit(2, 20, vec![(ledger, b"m1", Some(b"1"))]),
             HistoryEvent::ClientAck {
+                dir: [0; 4],
                 dedup_id: "m2".into(),
                 commit_ts: ts(30),
             },
         ]);
-        let v = check_exactly_once(&events, ledger, &to_id);
+        let v = check_exactly_once(&events, ledger, &to_id, None);
         assert_eq!(v.len(), 2);
         assert!(v.iter().any(|v| v.kind == "duplicate-apply"));
         assert!(v.iter().any(|v| v.kind == "lost-ack"));
@@ -691,12 +714,13 @@ mod tests {
         let events = record_all(vec![
             commit(1, 10, vec![(ledger, b"m1", Some(b"1"))]),
             HistoryEvent::ClientAck {
+                dir: [0; 4],
                 dedup_id: "m1".into(),
                 commit_ts: ts(10),
             },
             commit(2, 20, vec![(ledger, b"m1", None)]), // GC
         ]);
-        assert!(check_exactly_once(&events, ledger, &to_id).is_empty());
+        assert!(check_exactly_once(&events, ledger, &to_id, None).is_empty());
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub use des::Scheduler;
 pub use disk::{CrashPoints, DiskError, LogReplay, SimDisk};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultStats};
 pub use history::{HistoryEvent, HistoryRecorder, ModelStore, Recorded, Violation};
-pub use obs::{Metrics, MetricsSnapshot, Obs, PhaseBreakdown, Span, SpanGuard, SpanId, Tracer};
+pub use obs::{Metrics, MetricsSnapshot, Obs, PhaseBreakdown, Span, SpanGuard, SpanId, TopK, Tracer};
 pub use rng::SimRng;
 pub use truetime::{TrueTime, TtInterval};

@@ -585,6 +585,83 @@ impl PhaseBreakdown {
     }
 }
 
+/// A Misra–Gries heavy-hitter sketch for bounded-cardinality metric labels.
+///
+/// A fleet of thousands of databases cannot each get their own label value
+/// without blowing up the registry (the classic cardinality explosion), but
+/// the handful of heavy tenants are exactly the ones worth seeing by name.
+/// The sketch tracks at most `k` candidate heavy hitters; [`TopK::label_for`]
+/// returns the key itself while it is tracked and `"other"` once it is not.
+/// Any key consuming more than `1/(k+1)` of the total observed weight is
+/// guaranteed to be tracked.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    counters: BTreeMap<String, u64>,
+}
+
+/// The bucket label given to keys outside the top-K set.
+pub const OTHER_LABEL: &str = "other";
+
+impl TopK {
+    /// A sketch tracking at most `k` keys.
+    pub fn new(k: usize) -> TopK {
+        TopK {
+            k: k.max(1),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Add `n` observations of `key`.
+    pub fn observe(&mut self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += n;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(key.to_string(), n);
+            return;
+        }
+        // Misra–Gries decrement step: charge the new key against every
+        // tracked counter; keys driven to zero vacate their slot.
+        let dec = n.min(self.counters.values().copied().min().unwrap_or(0));
+        if dec > 0 {
+            for c in self.counters.values_mut() {
+                *c -= dec;
+            }
+            self.counters.retain(|_, c| *c > 0);
+        }
+        let leftover = n - dec;
+        if leftover > 0 && self.counters.len() < self.k {
+            self.counters.insert(key.to_string(), leftover);
+        }
+    }
+
+    /// The metric label for `key`: the key itself while it is a tracked
+    /// heavy hitter, [`OTHER_LABEL`] otherwise.
+    pub fn label_for<'a>(&'a self, key: &'a str) -> &'a str {
+        if self.counters.contains_key(key) {
+            key
+        } else {
+            OTHER_LABEL
+        }
+    }
+
+    /// Whether `key` is currently tracked.
+    pub fn contains(&self, key: &str) -> bool {
+        self.counters.contains_key(key)
+    }
+
+    /// The tracked keys and their (approximate, under-counted) weights, in
+    /// key order.
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+}
+
 /// The shared observability handle: one [`Tracer`] and one [`Metrics`]
 /// registry threaded through every layer. Cheap to clone.
 #[derive(Clone, Debug)]
@@ -609,6 +686,38 @@ impl Obs {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn topk_tracks_heavy_hitters_and_buckets_the_tail() {
+        let mut t = TopK::new(3);
+        // Three heavy tenants plus a long tail of one-hit wonders.
+        for _ in 0..100 {
+            t.observe("whale1", 10);
+            t.observe("whale2", 8);
+            t.observe("whale3", 6);
+        }
+        for i in 0..500 {
+            t.observe(&format!("minnow{i}"), 1);
+        }
+        assert!(t.contains("whale1"));
+        assert!(t.contains("whale2"));
+        assert!(t.contains("whale3"));
+        assert_eq!(t.label_for("whale1"), "whale1");
+        assert_eq!(t.label_for("minnow7"), OTHER_LABEL);
+        assert!(t.entries().len() <= 3);
+    }
+
+    #[test]
+    fn topk_evicts_cold_keys_under_pressure() {
+        let mut t = TopK::new(2);
+        t.observe("a", 1);
+        t.observe("b", 1);
+        // A new heavy key displaces both cold ones.
+        t.observe("c", 100);
+        assert!(t.contains("c"));
+        assert!(!t.contains("a"));
+        assert!(!t.contains("b"));
+    }
 
     #[test]
     fn spans_nest_and_render_deterministically() {

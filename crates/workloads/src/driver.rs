@@ -10,6 +10,7 @@
 //! thousands of QPS for ten simulated minutes.
 
 use crate::ycsb::{YcsbGenerator, YcsbOp};
+use firestore_core::{FirestoreResult, RequestClass};
 use server::fairshare::Job;
 use server::FirestoreService;
 use simkit::stats::Histogram;
@@ -154,6 +155,41 @@ impl<'a> LoadDriver<'a> {
             .backend
             .lock()
             .submit(Job::new(id, database, cpu, at));
+    }
+
+    /// Submit one operation's backend work *through the tenant control
+    /// plane*. The gate may refuse it — throttle, quota, overload shed — in
+    /// which case the work never reaches the scheduler and the rejection
+    /// (carrying any `retry_after` hint) is returned for the caller's retry
+    /// policy. Batch-class work is enqueued at batch priority, so the
+    /// fair-share scheduler serves it only after the same database's
+    /// latency-sensitive jobs.
+    pub fn try_submit(
+        &mut self,
+        database: &str,
+        class: RequestClass,
+        is_read: bool,
+        cpu: Duration,
+        storage_latency: Duration,
+        at: Timestamp,
+    ) -> FirestoreResult<()> {
+        self.svc.admit_work(database, class)?;
+        let id = self.next_job;
+        self.next_job += 1;
+        self.inflight.insert(
+            id,
+            Inflight {
+                is_read,
+                cpu,
+                storage_latency,
+            },
+        );
+        let mut job = Job::new(id, database, cpu, at);
+        if class == RequestClass::Batch {
+            job = job.batch();
+        }
+        self.svc.backend.lock().submit(job);
+        Ok(())
     }
 
     /// Advance the backend pool from `from` to `until`, collecting

@@ -12,6 +12,10 @@
 //! * [`isolation`] — the Fig 11 culprit/bystander pair: CPU-hungry
 //!   inefficiently-indexed queries ramping up against steady single-
 //!   document fetches.
+//! * [`fleet`] — the tenant-fleet chaos workload: hundreds of databases, a
+//!   conforming majority, and adversarial tenants (hotspot hammer, batch
+//!   scanner, quota-edge free tier, 500/50/5-violating ramp) driven through
+//!   the tenant control plane under seeded chaos and crash–recover cycles.
 //! * [`production`] — the Fig 6 synthesis: heavy-tailed per-database
 //!   storage / QPS / active-query distributions spanning many orders of
 //!   magnitude.
@@ -22,11 +26,13 @@
 pub mod datashape;
 pub mod driver;
 pub mod fanout;
+pub mod fleet;
 pub mod history;
 pub mod isolation;
 pub mod production;
 pub mod ycsb;
 
 pub use driver::{DriverConfig, DriverReport};
+pub use fleet::{run_fleet, FleetConfig, FleetReport, FleetWorld};
 pub use history::{run_history_workload, HistoryConfig, HistoryOutcome, HistoryWorld};
 pub use ycsb::{YcsbConfig, YcsbOp, YcsbWorkload};
