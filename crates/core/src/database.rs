@@ -67,11 +67,42 @@ impl Default for DatabaseOptions {
     }
 }
 
+/// The installed security rules: the parsed ruleset (retained as the
+/// reference interpreter) plus its compiled first-match decision tree.
+/// Serving decisions come from the compiled tree; under debug assertions
+/// every decision is cross-checked against the interpreter, so the whole
+/// debug test suite doubles as an equivalence harness.
+struct RulesEngine {
+    ruleset: Ruleset,
+    compiled: rules::CompiledRules,
+}
+
+impl RulesEngine {
+    fn new(ruleset: Ruleset) -> RulesEngine {
+        let compiled = rules::compile(&ruleset);
+        RulesEngine { ruleset, compiled }
+    }
+
+    fn allows(&self, req: &RequestContext, data: &dyn rules::DataSource) -> bool {
+        let decision = self.compiled.decide(req, data);
+        if cfg!(debug_assertions) {
+            let reference = self.ruleset.decide(req, data);
+            assert_eq!(
+                decision, reference,
+                "compiled rules diverged from the interpreter for {:?} /{}",
+                req.method,
+                req.path.join("/")
+            );
+        }
+        decision.allowed
+    }
+}
+
 struct Inner {
     spanner: SpannerDatabase,
     dir: DirectoryId,
     catalog: RwLock<IndexCatalog>,
-    ruleset: RwLock<Option<Ruleset>>,
+    ruleset: RwLock<Option<RulesEngine>>,
     observer: RwLock<Arc<dyn CommitObserver>>,
     triggers: TriggerRegistry,
     queue: MessageQueue,
@@ -183,12 +214,24 @@ impl FirestoreDatabase {
         &self.inner.triggers
     }
 
-    /// Install (or replace) the security rules.
+    /// Install (or replace) the security rules. The ruleset is compiled to
+    /// a first-match decision tree at install time; authorization decisions
+    /// are served from the compiled tree.
     pub fn set_rules(&self, source: &str) -> FirestoreResult<()> {
         let ruleset = rules::parse_ruleset(source)
             .map_err(|e| FirestoreError::InvalidArgument(e.to_string()))?;
-        *self.inner.ruleset.write() = Some(ruleset);
+        *self.inner.ruleset.write() = Some(RulesEngine::new(ruleset));
         Ok(())
+    }
+
+    /// Render the compiled rules decision tree (EXPLAIN for the
+    /// authorization path), or `None` if no rules are installed.
+    pub fn explain_rules(&self) -> Option<String> {
+        self.inner
+            .ruleset
+            .read()
+            .as_ref()
+            .map(|engine| engine.compiled.render())
     }
 
     /// Remove the security rules (all third-party access denied).
@@ -291,8 +334,8 @@ impl FirestoreDatabase {
         caller: &Caller,
         ts: Timestamp,
     ) -> FirestoreResult<()> {
-        let ruleset = self.inner.ruleset.read();
-        let Some(ruleset) = ruleset.as_ref() else {
+        let engine = self.inner.ruleset.read();
+        let Some(engine) = engine.as_ref() else {
             return Err(FirestoreError::PermissionDenied(
                 "no security rules installed; third-party access denied".into(),
             ));
@@ -310,7 +353,7 @@ impl FirestoreDatabase {
             dir: self.inner.dir,
             ts,
         };
-        if ruleset.allows(&req, &source) {
+        if engine.allows(&req, &source) {
             Ok(())
         } else {
             Err(FirestoreError::PermissionDenied(format!(
@@ -644,8 +687,8 @@ impl FirestoreDatabase {
         // Step 3: security rules for third-party requests, resolved inside
         // this transaction.
         if caller.is_third_party() {
-            let ruleset = self.inner.ruleset.read();
-            let Some(ruleset) = ruleset.as_ref() else {
+            let engine = self.inner.ruleset.read();
+            let Some(engine) = engine.as_ref() else {
                 return Err(FirestoreError::PermissionDenied(
                     "no security rules installed; third-party access denied".into(),
                 ));
@@ -658,7 +701,7 @@ impl FirestoreDatabase {
                         dir,
                         txn: RefCell::new(&mut *txn),
                     };
-                    ruleset.allows(&req, &source)
+                    engine.allows(&req, &source)
                 };
                 if !allowed {
                     return Err(FirestoreError::PermissionDenied(format!(
@@ -1345,6 +1388,17 @@ mod tests {
             )
             .unwrap();
         assert!(got.is_some());
+        // The authorization path is served by the compiled decision tree,
+        // and EXPLAIN renders it.
+        let explain = db.explain_rules().expect("rules installed");
+        assert!(explain.contains("rules decision tree"), "{explain}");
+        assert!(explain.contains("restaurants"), "{explain}");
+    }
+
+    #[test]
+    fn explain_rules_is_none_without_rules() {
+        let db = setup();
+        assert!(db.explain_rules().is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::executor::QueryStats;
 use crate::index::IndexCatalog;
+use crate::matchtree::{DescentStep, DescentTrace};
 use crate::planner::{Plan, PlanNode, ScanSpec, SuffixBound};
 use crate::query::{FilterOp, Query};
 
@@ -131,6 +132,49 @@ pub fn render_analyze(
     out
 }
 
+/// Render a Query Matcher descent ([`DescentTrace`]) as a deterministic
+/// text tree — EXPLAIN for the real-time matching path. Same rendering
+/// rules as the plan tree: structural order, no floats, no addresses.
+pub fn render_matcher_descent(trace: &DescentTrace) -> String {
+    let mut out = String::new();
+    out.push_str("matcher descent:\n");
+    out.push_str(&format!("  shard: {}\n", trace.shard));
+    out.push_str(&format!("  collection: {}\n", trace.collection));
+    if !trace.bucket_found {
+        out.push_str("  bucket: none (no registered query watches this collection)\n");
+        out.push_str("  on_no_match: drop change\n");
+        return out;
+    }
+    out.push_str(&format!("  bucket: {} shapes\n", trace.shapes_in_bucket));
+    for step in &trace.steps {
+        match step {
+            DescentStep::Scan { shapes } => {
+                out.push_str(&format!("    scan-list: {shapes} shapes\n"));
+            }
+            DescentStep::EqProbe { field, hits } => {
+                out.push_str(&format!("    eq-probe {field}: {hits} hits\n"));
+            }
+            DescentStep::RangeProbe {
+                field,
+                examined,
+                hits,
+            } => {
+                out.push_str(&format!(
+                    "    range-probe {field}: {examined} examined, {hits} hits\n"
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "  candidates: {} -> matched {} shapes, {} tokens\n",
+        trace.candidates, trace.matched_shapes, trace.tokens
+    ));
+    if trace.matched_shapes == 0 {
+        out.push_str("  on_no_match: drop change\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::encoding::Direction;
@@ -197,6 +241,44 @@ mod tests {
         let text = render_plan(&catalog, &query, &plan);
         assert!(text.contains("index scan (reverse)"), "{text}");
         assert!(text.contains("lower>=("), "{text}");
+    }
+
+    #[test]
+    fn explain_matcher_descent_is_deterministic() {
+        use crate::matchtree::MatcherTree;
+        use crate::observer::DocumentChange;
+
+        let mut tree: MatcherTree<u32> = MatcherTree::new(2);
+        let q = Query::parse("rooms")
+            .unwrap()
+            .filter("a", FilterOp::Eq, 1i64);
+        tree.register(1, &[0], dir(), &q);
+        tree.register(2, &[0], dir(), &Query::parse("rooms").unwrap());
+        let name = crate::database::doc("/rooms/r1");
+        let change = DocumentChange {
+            name: name.clone(),
+            old: None,
+            new: Some(crate::document::Document::new(
+                name,
+                vec![("a", crate::document::Value::Int(1))],
+            )),
+        };
+        let t1 = render_matcher_descent(&tree.explain_change(0, dir(), &change));
+        let t2 = render_matcher_descent(&tree.explain_change(0, dir(), &change));
+        assert_eq!(t1, t2, "descent rendering must be deterministic");
+        assert!(t1.contains("matcher descent:"), "{t1}");
+        assert!(t1.contains("eq-probe a: 1 hits"), "{t1}");
+        assert!(t1.contains("scan-list: 1 shapes"), "{t1}");
+        assert!(t1.contains("matched 2 shapes, 2 tokens"), "{t1}");
+        // A change nobody watches renders the no-match fallback.
+        let other = crate::database::doc("/other/x");
+        let miss = DocumentChange {
+            name: other.clone(),
+            old: None,
+            new: Some(crate::document::Document::new(other, Vec::<(String, crate::document::Value)>::new())),
+        };
+        let t3 = render_matcher_descent(&tree.explain_change(0, dir(), &miss));
+        assert!(t3.contains("on_no_match: drop change"), "{t3}");
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   by document lookups in `Entities`, with no in-memory sort or filter.
 //! * [`explain`] — EXPLAIN / EXPLAIN ANALYZE: the chosen plan rendered as a
 //!   deterministic text tree, joined with the executor's work counters.
+//! * [`matchtree`] — the Query Matcher decision tree: registered queries
+//!   indexed by collection prefix, encoded equality values, and encoded
+//!   range intervals, so matching a change is a tree descent instead of a
+//!   scan over every subscription (§IV-D4).
 //! * [`write`] — the commit pipeline of §IV-D2: read+lock, security rules,
 //!   index-entry diffs, Prepare/Accept two-phase commit with the Real-time
 //!   Cache (via the [`observer::CommitObserver`] trait), and every failure
@@ -54,6 +58,7 @@ pub mod explain;
 pub mod gate;
 pub mod index;
 pub mod matching;
+pub mod matchtree;
 pub mod observer;
 pub mod path;
 pub mod planner;
@@ -69,6 +74,7 @@ pub use error::{FirestoreError, FirestoreResult};
 pub use executor::{QueryResult, QueryStats};
 pub use gate::{GatedOp, RequestClass, TenantGate};
 pub use index::{IndexCatalog, IndexDefinition, IndexId};
+pub use matchtree::{DescentStep, DescentTrace, MatchStats, MatcherMutation, MatcherTree};
 pub use observer::{CommitObserver, CommitOutcome, DocumentChange, NullObserver};
 pub use path::{CollectionPath, DocumentName};
 pub use query::{FieldFilter, FilterOp, Query};

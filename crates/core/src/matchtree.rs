@@ -1,0 +1,975 @@
+//! The Query Matcher decision tree (paper §IV-D4, made sublinear).
+//!
+//! The Real-time Cache's Changelog → Query Matcher hop used to check every
+//! changed document against every subscribed query — a linear scan that
+//! caps fanout well below the million-listener goal. This module indexes
+//! registered queries the same way the storage layer indexes documents:
+//! keyed on the order-preserving index encoding from [`crate::encoding`],
+//! so matching one change costs a tree descent, not a scan.
+//!
+//! Structure, mirroring the x.uma matcher idiom (exact / prefix / range
+//! nodes, first-match leaves, explicit no-match fallback):
+//!
+//! * **Shards by key range** — the cache already partitions the key space
+//!   across tasks ([`realtime`]'s `RangeMap`); each shard holds the shapes
+//!   of the queries whose collection range intersects it, and a change is
+//!   matched only in its owner shard.
+//! * **Prefix (exact) nodes** — within a shard, shapes bucket by their
+//!   collection's encoded key prefix. A change probes exactly one bucket:
+//!   its document's parent collection. Changes to collections nobody
+//!   watches fall off the tree (no matcher ⇒ no match).
+//! * **Equality nodes** — shapes whose query has an `Eq`/`In`/
+//!   `ArrayContains` filter register under the *encoded* filter value(s) in
+//!   a per-field value map; a change probes with its documents' encoded
+//!   field values (and array elements), touching only value-identical
+//!   shapes.
+//! * **Range (interval) nodes** — inequality-only shapes become interval
+//!   entries `[lo, hi]` over encoded bytes with a type-class clamp, kept
+//!   sorted by lower bound so a probe scans only the prefix of entries
+//!   whose interval can contain the value.
+//! * **Fallback scan list** — shapes with no indexable filter (bare
+//!   collection listeners) are checked per bucket; they genuinely match
+//!   almost everything in their collection, so this is output-, not
+//!   registration-, proportional.
+//!
+//! Every candidate shape is confirmed with [`matches_document`] — the same
+//! brute-force predicate the differential suite uses as its oracle — so
+//! the tree can *never* produce a false positive; the differential suite
+//! in `tests/query_conformance.rs` (plus the seeded [`MatcherMutation`]s)
+//! guards against false negatives, i.e. wrong pruning.
+//!
+//! **Shape multiplexing:** registrations sharing a query shape (same
+//! collection, filter multiset and order-by — windows and projections
+//! don't affect matching) collapse into one [`ShapeState`] fanning out to
+//! many tokens, so a thousand listeners on the same query cost one probe.
+
+use crate::document::Document;
+use crate::encoding::{class_tags, encoded};
+use crate::matching::matches_document;
+use crate::observer::DocumentChange;
+use crate::query::{FilterOp, Query};
+use crate::Value;
+use spanner::database::DirectoryId;
+use std::collections::BTreeMap;
+
+/// A deliberately-introduced matcher bug, installed via
+/// [`MatcherTree::set_mutation`]. **Test-only**: proves the differential
+/// suites detect each class of pruning/lifecycle bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatcherMutation {
+    /// Range-node probes evaluate with the interval bounds' directions
+    /// flipped, producing false negatives for in-range values.
+    SwappedRangeBound,
+    /// `unregister` skips the last covering shard, leaving a stale
+    /// registration that keeps matching after the listener is gone.
+    StaleShardAfterUnregister,
+}
+
+/// Matching-cost counters, cumulative across [`MatcherTree::match_change`]
+/// calls. The `matcher_scaling` bench derives its sublinearity evidence
+/// from `candidates` vs registration count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Changes matched.
+    pub changes: u64,
+    /// Collection buckets found (≤ changes).
+    pub buckets_probed: u64,
+    /// Candidate shapes examined with the authoritative predicate.
+    pub candidates: u64,
+    /// Candidates that matched.
+    pub matched_shapes: u64,
+    /// Tokens fanned out.
+    pub tokens: u64,
+}
+
+/// One step of a descent, for EXPLAIN rendering (see
+/// [`crate::explain::render_matcher_descent`]).
+#[derive(Clone, Debug)]
+pub enum DescentStep {
+    /// Fallback scan-list shapes taken as candidates.
+    Scan {
+        /// Number of scan-list shapes.
+        shapes: usize,
+    },
+    /// An equality-node probe on one field.
+    EqProbe {
+        /// Field probed.
+        field: String,
+        /// Shapes hit by value-identical probes.
+        hits: usize,
+    },
+    /// A range-node probe on one field.
+    RangeProbe {
+        /// Field probed.
+        field: String,
+        /// Interval entries examined (after the sorted-prefix prune).
+        examined: usize,
+        /// Entries whose interval contained the value.
+        hits: usize,
+    },
+}
+
+/// A rendered-ready trace of one change's descent through the tree.
+#[derive(Clone, Debug)]
+pub struct DescentTrace {
+    /// Shard probed.
+    pub shard: usize,
+    /// The changed document's parent collection.
+    pub collection: String,
+    /// Whether any registered shape watches that collection.
+    pub bucket_found: bool,
+    /// Live shapes in the bucket.
+    pub shapes_in_bucket: usize,
+    /// Probe steps, in deterministic field order.
+    pub steps: Vec<DescentStep>,
+    /// Distinct candidate shapes examined.
+    pub candidates: usize,
+    /// Candidates confirmed by the authoritative predicate.
+    pub matched_shapes: usize,
+    /// Tokens fanned out.
+    pub tokens: usize,
+}
+
+/// How a shape is dispatched within its bucket.
+#[derive(Clone, Debug)]
+enum Dispatch {
+    /// Registered under encoded value(s) in the per-field equality map.
+    Eq { field: String, values: Vec<Vec<u8>> },
+    /// Registered as an interval entry on one field's range list.
+    Range { field: String },
+    /// On the bucket's fallback scan list.
+    Scan,
+}
+
+/// One registered query shape and the tokens multiplexed onto it.
+#[derive(Clone, Debug)]
+struct ShapeState<T> {
+    key: Vec<u8>,
+    bucket: Vec<u8>,
+    query: Query,
+    tokens: Vec<T>,
+    dispatch: Dispatch,
+}
+
+/// An interval entry in a bucket's per-field range list.
+#[derive(Clone, Debug)]
+struct RangeEntry {
+    /// Lower bound: encoded bytes + inclusive flag; `None` = unbounded.
+    lo: Option<(Vec<u8>, bool)>,
+    /// Upper bound.
+    hi: Option<(Vec<u8>, bool)>,
+    /// Type-class clamp: only values of this class can match.
+    class: (u8, u8),
+    shape: usize,
+}
+
+impl RangeEntry {
+    /// Sort key for the lower bound (`None` = −∞; encoded values are never
+    /// empty, so the empty string is a safe sentinel).
+    fn lo_key(&self) -> &[u8] {
+        self.lo.as_ref().map_or(&[], |(b, _)| b.as_slice())
+    }
+
+    fn contains(&self, enc: &[u8], swapped: bool) -> bool {
+        let lo_ok = match &self.lo {
+            None => true,
+            Some((b, incl)) => {
+                if swapped {
+                    // Seeded bug: bound direction flipped.
+                    if *incl {
+                        enc <= b.as_slice()
+                    } else {
+                        enc < b.as_slice()
+                    }
+                } else if *incl {
+                    enc >= b.as_slice()
+                } else {
+                    enc > b.as_slice()
+                }
+            }
+        };
+        let hi_ok = match &self.hi {
+            None => true,
+            Some((b, incl)) => {
+                if swapped {
+                    if *incl {
+                        enc >= b.as_slice()
+                    } else {
+                        enc > b.as_slice()
+                    }
+                } else if *incl {
+                    enc <= b.as_slice()
+                } else {
+                    enc < b.as_slice()
+                }
+            }
+        };
+        lo_ok && hi_ok
+    }
+}
+
+/// One collection's node: equality maps, range lists, fallback scan list.
+#[derive(Clone, Debug, Default)]
+struct Bucket {
+    eq: BTreeMap<String, BTreeMap<Vec<u8>, Vec<usize>>>,
+    ranges: BTreeMap<String, Vec<RangeEntry>>,
+    scan: Vec<usize>,
+}
+
+impl Bucket {
+    fn is_empty(&self) -> bool {
+        self.eq.is_empty() && self.ranges.is_empty() && self.scan.is_empty()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Shard<T> {
+    buckets: BTreeMap<Vec<u8>, Bucket>,
+    shapes: Vec<Option<ShapeState<T>>>,
+    by_key: BTreeMap<Vec<u8>, usize>,
+    free: Vec<usize>,
+}
+
+impl<T> Default for Shard<T> {
+    fn default() -> Shard<T> {
+        Shard {
+            buckets: BTreeMap::new(),
+            shapes: Vec::new(),
+            by_key: BTreeMap::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Registration {
+    shards: Vec<usize>,
+    bucket: Vec<u8>,
+    shape: Vec<u8>,
+}
+
+/// The sharded matcher tree. `T` is the registration token — the cache
+/// uses `(ConnectionId, QueryId)`.
+#[derive(Clone, Debug)]
+pub struct MatcherTree<T> {
+    shards: Vec<Shard<T>>,
+    regs: BTreeMap<T, Registration>,
+    stats: MatchStats,
+    mutation: Option<MatcherMutation>,
+}
+
+impl<T: Clone + Ord + std::fmt::Debug> MatcherTree<T> {
+    /// An empty tree with `num_shards` key-range shards.
+    pub fn new(num_shards: usize) -> MatcherTree<T> {
+        MatcherTree {
+            shards: (0..num_shards.max(1)).map(|_| Shard::default()).collect(),
+            regs: BTreeMap::new(),
+            stats: MatchStats::default(),
+            mutation: None,
+        }
+    }
+
+    /// Number of key-range shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live registrations (tokens).
+    pub fn registrations(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Live shapes across all shards (a multiplexed shape in `k` shards
+    /// counts `k` times).
+    pub fn shape_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.shapes.iter().filter(|x| x.is_some()).count())
+            .sum()
+    }
+
+    /// Cumulative matching-cost counters.
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    /// Install (or clear) a seeded matcher bug. **Test-only.**
+    pub fn set_mutation(&mut self, mutation: Option<MatcherMutation>) {
+        self.mutation = mutation;
+    }
+
+    /// Register `token` for `query` in every shard of `shards` (the shards
+    /// whose key range intersects the query's collection range). Replaces
+    /// any previous registration of the same token.
+    pub fn register(&mut self, token: T, shards: &[usize], dir: DirectoryId, query: &Query) {
+        self.unregister(&token);
+        let matching = query.without_window();
+        let bucket = dir.key(&matching.collection.encode_prefix()).as_slice().to_vec();
+        let shape = shape_key(&bucket, &matching);
+        let mut covered: Vec<usize> = shards
+            .iter()
+            .copied()
+            .filter(|&s| s < self.shards.len())
+            .collect();
+        covered.sort_unstable();
+        covered.dedup();
+        for &s in &covered {
+            self.shard_insert(s, &bucket, &shape, &matching, token.clone());
+        }
+        self.regs.insert(
+            token,
+            Registration {
+                shards: covered,
+                bucket,
+                shape,
+            },
+        );
+    }
+
+    /// Remove `token`'s registration (no-op if absent).
+    pub fn unregister(&mut self, token: &T) {
+        let Some(reg) = self.regs.remove(token) else {
+            return;
+        };
+        for (i, &s) in reg.shards.iter().enumerate() {
+            if self.mutation == Some(MatcherMutation::StaleShardAfterUnregister)
+                && i + 1 == reg.shards.len()
+            {
+                // Seeded bug: the last covering shard keeps the token.
+                continue;
+            }
+            self.shard_remove(s, &reg.bucket, &reg.shape, token);
+        }
+    }
+
+    /// Throw away the whole tree and rebuild it from `regs` in one pass —
+    /// the restart path. One rebuild replaces per-query
+    /// unregister/re-register churn and cannot leave stale or duplicate
+    /// registrations behind.
+    pub fn rebuild(&mut self, regs: impl IntoIterator<Item = (T, Vec<usize>, DirectoryId, Query)>) {
+        let n = self.shards.len();
+        let mutation = self.mutation;
+        let stats = self.stats;
+        *self = MatcherTree::new(n);
+        self.mutation = mutation;
+        self.stats = stats;
+        for (token, shards, dir, query) in regs {
+            self.register(token, &shards, dir, &query);
+        }
+    }
+
+    /// Match one document change in its owner `shard`: returns the sorted,
+    /// deduplicated tokens whose query matches the old or new version of
+    /// the document.
+    pub fn match_change(
+        &mut self,
+        shard: usize,
+        dir: DirectoryId,
+        change: &DocumentChange,
+    ) -> Vec<T> {
+        let (tokens, trace) = self.descend(shard, dir, change);
+        self.stats.changes += 1;
+        if trace.bucket_found {
+            self.stats.buckets_probed += 1;
+        }
+        self.stats.candidates += trace.candidates as u64;
+        self.stats.matched_shapes += trace.matched_shapes as u64;
+        self.stats.tokens += tokens.len() as u64;
+        tokens
+    }
+
+    /// The descent of [`MatcherTree::match_change`], with its trace, and
+    /// without mutating the stats — the EXPLAIN entry point.
+    pub fn explain_change(
+        &self,
+        shard: usize,
+        dir: DirectoryId,
+        change: &DocumentChange,
+    ) -> DescentTrace {
+        self.descend(shard, dir, change).1
+    }
+
+    fn descend(
+        &self,
+        shard: usize,
+        dir: DirectoryId,
+        change: &DocumentChange,
+    ) -> (Vec<T>, DescentTrace) {
+        let parent = change.name.parent();
+        let mut trace = DescentTrace {
+            shard,
+            collection: parent.to_string(),
+            bucket_found: false,
+            shapes_in_bucket: 0,
+            steps: Vec::new(),
+            candidates: 0,
+            matched_shapes: 0,
+            tokens: 0,
+        };
+        let Some(sh) = self.shards.get(shard) else {
+            return (Vec::new(), trace);
+        };
+        let bucket_key = dir.key(&parent.encode_prefix()).as_slice().to_vec();
+        let Some(bucket) = sh.buckets.get(&bucket_key) else {
+            return (Vec::new(), trace);
+        };
+        trace.bucket_found = true;
+        trace.shapes_in_bucket = bucket.scan.len()
+            + bucket
+                .eq
+                .values()
+                .map(|m| m.values().map(Vec::len).sum::<usize>())
+                .sum::<usize>()
+            + bucket.ranges.values().map(Vec::len).sum::<usize>();
+        let docs: Vec<&Document> = [change.old.as_ref(), change.new.as_ref()]
+            .into_iter()
+            .flatten()
+            .collect();
+        let swapped = self.mutation == Some(MatcherMutation::SwappedRangeBound);
+        let mut cand: Vec<usize> = Vec::new();
+
+        if !bucket.scan.is_empty() {
+            cand.extend_from_slice(&bucket.scan);
+            trace.steps.push(DescentStep::Scan {
+                shapes: bucket.scan.len(),
+            });
+        }
+        for (field, values) in &bucket.eq {
+            let mut hits = 0;
+            for doc in &docs {
+                if let Some(v) = doc.get(field) {
+                    let mut probe = |enc: Vec<u8>| {
+                        if let Some(shapes) = values.get(&enc) {
+                            hits += shapes.len();
+                            cand.extend_from_slice(shapes);
+                        }
+                    };
+                    probe(encoded(v));
+                    // Array elements too: array-contains shapes register
+                    // under their element value.
+                    if let Value::Array(items) = v {
+                        for item in items {
+                            probe(encoded(item));
+                        }
+                    }
+                }
+            }
+            trace.steps.push(DescentStep::EqProbe {
+                field: field.clone(),
+                hits,
+            });
+        }
+        for (field, entries) in &bucket.ranges {
+            let mut examined = 0;
+            let mut hits = 0;
+            for doc in &docs {
+                if let Some(v) = doc.get(field) {
+                    let enc = encoded(v);
+                    let class = class_tags(v);
+                    // Entries sorted by lower bound: everything past the
+                    // first entry with lo > enc cannot contain the value.
+                    let upto = if swapped {
+                        entries.len()
+                    } else {
+                        entries.partition_point(|e| e.lo_key() <= enc.as_slice())
+                    };
+                    for e in &entries[..upto] {
+                        examined += 1;
+                        if e.class == class && e.contains(&enc, swapped) {
+                            hits += 1;
+                            cand.push(e.shape);
+                        }
+                    }
+                }
+            }
+            trace.steps.push(DescentStep::RangeProbe {
+                field: field.clone(),
+                examined,
+                hits,
+            });
+        }
+
+        cand.sort_unstable();
+        cand.dedup();
+        trace.candidates = cand.len();
+        let mut out: Vec<T> = Vec::new();
+        for &sid in &cand {
+            let Some(shape) = sh.shapes.get(sid).and_then(|s| s.as_ref()) else {
+                continue;
+            };
+            // The authoritative predicate — the same oracle the
+            // differential suite uses. No false positives by construction.
+            let hit = docs.iter().any(|d| matches_document(&shape.query, d));
+            if hit {
+                trace.matched_shapes += 1;
+                out.extend(shape.tokens.iter().cloned());
+            }
+        }
+        out.sort();
+        out.dedup();
+        trace.tokens = out.len();
+        (out, trace)
+    }
+
+    fn shard_insert(&mut self, s: usize, bucket: &[u8], shape: &[u8], query: &Query, token: T) {
+        let sh = &mut self.shards[s];
+        if let Some(&sid) = sh.by_key.get(shape) {
+            let state = sh.shapes[sid].as_mut().expect("by_key points at live slot");
+            if !state.tokens.contains(&token) {
+                state.tokens.push(token);
+                state.tokens.sort();
+            }
+            return;
+        }
+        let dispatch = choose_dispatch(query);
+        let sid = match sh.free.pop() {
+            Some(slot) => slot,
+            None => {
+                sh.shapes.push(None);
+                sh.shapes.len() - 1
+            }
+        };
+        let node = sh.buckets.entry(bucket.to_vec()).or_default();
+        match &dispatch {
+            Dispatch::Eq { field, values } => {
+                let valmap = node.eq.entry(field.clone()).or_default();
+                for v in values {
+                    valmap.entry(v.clone()).or_default().push(sid);
+                }
+            }
+            Dispatch::Range { field } => {
+                let (lo, hi, class) = range_bounds(query, field);
+                let entry = RangeEntry {
+                    lo,
+                    hi,
+                    class,
+                    shape: sid,
+                };
+                let list = node.ranges.entry(field.clone()).or_default();
+                let pos = list.partition_point(|e| e.lo_key() <= entry.lo_key());
+                list.insert(pos, entry);
+            }
+            Dispatch::Scan => node.scan.push(sid),
+        }
+        sh.shapes[sid] = Some(ShapeState {
+            key: shape.to_vec(),
+            bucket: bucket.to_vec(),
+            query: query.clone(),
+            tokens: vec![token],
+            dispatch,
+        });
+        sh.by_key.insert(shape.to_vec(), sid);
+    }
+
+    fn shard_remove(&mut self, s: usize, bucket: &[u8], shape: &[u8], token: &T) {
+        let sh = &mut self.shards[s];
+        let Some(&sid) = sh.by_key.get(shape) else {
+            return;
+        };
+        let state = sh.shapes[sid].as_mut().expect("by_key points at live slot");
+        state.tokens.retain(|t| t != token);
+        if !state.tokens.is_empty() {
+            return;
+        }
+        // Last token gone: unlink the shape from its bucket node.
+        let state = sh.shapes[sid].take().expect("checked live above");
+        sh.by_key.remove(shape);
+        sh.free.push(sid);
+        if let Some(node) = sh.buckets.get_mut(bucket) {
+            match &state.dispatch {
+                Dispatch::Eq { field, values } => {
+                    if let Some(valmap) = node.eq.get_mut(field) {
+                        for v in values {
+                            if let Some(list) = valmap.get_mut(v) {
+                                list.retain(|&x| x != sid);
+                                if list.is_empty() {
+                                    valmap.remove(v);
+                                }
+                            }
+                        }
+                        if valmap.is_empty() {
+                            node.eq.remove(field);
+                        }
+                    }
+                }
+                Dispatch::Range { field } => {
+                    if let Some(list) = node.ranges.get_mut(field) {
+                        list.retain(|e| e.shape != sid);
+                        if list.is_empty() {
+                            node.ranges.remove(field);
+                        }
+                    }
+                }
+                Dispatch::Scan => node.scan.retain(|&x| x != sid),
+            }
+            if node.is_empty() {
+                sh.buckets.remove(bucket);
+            }
+        }
+    }
+
+    /// Structural consistency check, used by tests and the restart
+    /// regression suite: every registration is present exactly once in each
+    /// of its shards, every indexed shape id is live, and no shape holds a
+    /// token without a registration.
+    pub fn debug_validate(&self) -> Result<(), String> {
+        for (token, reg) in &self.regs {
+            for &s in &reg.shards {
+                let sh = self
+                    .shards
+                    .get(s)
+                    .ok_or_else(|| format!("reg {token:?}: shard {s} out of range"))?;
+                let sid = *sh
+                    .by_key
+                    .get(&reg.shape)
+                    .ok_or_else(|| format!("reg {token:?}: shape missing in shard {s}"))?;
+                let state = sh.shapes[sid]
+                    .as_ref()
+                    .ok_or_else(|| format!("reg {token:?}: dead slot in shard {s}"))?;
+                let n = state.tokens.iter().filter(|t| *t == token).count();
+                if n != 1 {
+                    return Err(format!(
+                        "reg {token:?}: token appears {n} times in shard {s}"
+                    ));
+                }
+            }
+        }
+        for (s, sh) in self.shards.iter().enumerate() {
+            for (sid, slot) in sh.shapes.iter().enumerate() {
+                let Some(state) = slot else { continue };
+                if state.tokens.is_empty() {
+                    return Err(format!("shard {s} slot {sid}: live shape with no tokens"));
+                }
+                if sh.by_key.get(&state.key) != Some(&sid) {
+                    return Err(format!("shard {s} slot {sid}: by_key out of sync"));
+                }
+                for t in &state.tokens {
+                    let reg = self
+                        .regs
+                        .get(t)
+                        .ok_or_else(|| format!("shard {s} slot {sid}: stale token {t:?}"))?;
+                    if !reg.shards.contains(&s) {
+                        return Err(format!(
+                            "shard {s} slot {sid}: token {t:?} not registered for this shard"
+                        ));
+                    }
+                }
+                let indexed = self.indexed_count(sh, sid, &state.bucket, &state.dispatch)?;
+                let expect = match &state.dispatch {
+                    Dispatch::Eq { values, .. } => values.len(),
+                    _ => 1,
+                };
+                if indexed != expect {
+                    return Err(format!(
+                        "shard {s} slot {sid}: indexed {indexed} times, expected {expect}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn indexed_count(
+        &self,
+        sh: &Shard<T>,
+        sid: usize,
+        bucket: &[u8],
+        dispatch: &Dispatch,
+    ) -> Result<usize, String> {
+        let node = sh
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| format!("slot {sid}: bucket missing"))?;
+        Ok(match dispatch {
+            Dispatch::Eq { field, .. } => node
+                .eq
+                .get(field)
+                .map(|valmap| {
+                    valmap
+                        .values()
+                        .map(|l| l.iter().filter(|&&x| x == sid).count())
+                        .sum()
+                })
+                .unwrap_or(0),
+            Dispatch::Range { field } => node
+                .ranges
+                .get(field)
+                .map(|l| l.iter().filter(|e| e.shape == sid).count())
+                .unwrap_or(0),
+            Dispatch::Scan => node.scan.iter().filter(|&&x| x == sid).count(),
+        })
+    }
+}
+
+/// Canonical shape key: collection bucket + sorted filter fingerprints +
+/// order-by list. Two queries with equal keys match identical document
+/// sets (filters are a conjunction, so their order is irrelevant; windows
+/// and projections don't affect matching and are excluded).
+fn shape_key(bucket: &[u8], q: &Query) -> Vec<u8> {
+    let mut chunks: Vec<Vec<u8>> = q
+        .filters
+        .iter()
+        .map(|f| {
+            let mut c = vec![filter_tag(f.op)];
+            c.extend_from_slice(&(f.field.len() as u32).to_be_bytes());
+            c.extend_from_slice(f.field.as_bytes());
+            c.extend_from_slice(&encoded(&f.value));
+            c
+        })
+        .collect();
+    chunks.sort();
+    let mut key = Vec::with_capacity(bucket.len() + 16);
+    key.extend_from_slice(bucket);
+    for c in &chunks {
+        key.push(0xF1);
+        key.extend_from_slice(&(c.len() as u32).to_be_bytes());
+        key.extend_from_slice(c);
+    }
+    for (field, direction) in &q.order_by {
+        key.push(0xF2);
+        key.push(matches!(direction, crate::encoding::Direction::Desc) as u8);
+        key.extend_from_slice(&(field.len() as u32).to_be_bytes());
+        key.extend_from_slice(field.as_bytes());
+    }
+    key
+}
+
+fn filter_tag(op: FilterOp) -> u8 {
+    match op {
+        FilterOp::Eq => 1,
+        FilterOp::Lt => 2,
+        FilterOp::Le => 3,
+        FilterOp::Gt => 4,
+        FilterOp::Ge => 5,
+        FilterOp::ArrayContains => 6,
+        FilterOp::In => 7,
+    }
+}
+
+/// Pick the dispatch for a shape: the most selective indexable filter
+/// available, else the fallback scan list.
+fn choose_dispatch(q: &Query) -> Dispatch {
+    for f in &q.filters {
+        if f.op == FilterOp::Eq {
+            return Dispatch::Eq {
+                field: f.field.clone(),
+                values: vec![encoded(&f.value)],
+            };
+        }
+    }
+    for f in &q.filters {
+        if f.op == FilterOp::ArrayContains {
+            // Registered under the element value; array-element probes in
+            // the descent find it.
+            return Dispatch::Eq {
+                field: f.field.clone(),
+                values: vec![encoded(&f.value)],
+            };
+        }
+    }
+    for f in &q.filters {
+        if f.op == FilterOp::In {
+            if let Value::Array(items) = &f.value {
+                if !items.is_empty() {
+                    return Dispatch::Eq {
+                        field: f.field.clone(),
+                        values: items.iter().map(encoded).collect(),
+                    };
+                }
+            }
+        }
+    }
+    let ineq: Vec<_> = q.filters.iter().filter(|f| f.op.is_inequality()).collect();
+    if let Some(first) = ineq.first() {
+        let field = first.field.clone();
+        let class = class_tags(&first.value);
+        // Mixed fields/classes can't form one interval; the (empty) match
+        // set stays correct through the authoritative predicate.
+        if ineq
+            .iter()
+            .all(|f| f.field == field && class_tags(&f.value) == class)
+        {
+            return Dispatch::Range { field };
+        }
+    }
+    Dispatch::Scan
+}
+
+/// One interval endpoint: the encoded bound and whether it is inclusive.
+type Bound = Option<(Vec<u8>, bool)>;
+
+/// Combine a query's inequality filters on `field` into one interval.
+fn range_bounds(q: &Query, field: &str) -> (Bound, Bound, (u8, u8)) {
+    let mut lo: Option<(Vec<u8>, bool)> = None;
+    let mut hi: Option<(Vec<u8>, bool)> = None;
+    let mut class = (0, 0);
+    for f in q.filters.iter().filter(|f| f.field == field && f.op.is_inequality()) {
+        let enc = encoded(&f.value);
+        class = class_tags(&f.value);
+        match f.op {
+            FilterOp::Gt | FilterOp::Ge => {
+                let incl = f.op == FilterOp::Ge;
+                let tighter = match &lo {
+                    None => true,
+                    Some((b, bi)) => {
+                        enc > *b || (enc == *b && *bi && !incl)
+                    }
+                };
+                if tighter {
+                    lo = Some((enc, incl));
+                }
+            }
+            FilterOp::Lt | FilterOp::Le => {
+                let incl = f.op == FilterOp::Le;
+                let tighter = match &hi {
+                    None => true,
+                    Some((b, bi)) => {
+                        enc < *b || (enc == *b && *bi && !incl)
+                    }
+                };
+                if tighter {
+                    hi = Some((enc, incl));
+                }
+            }
+            _ => unreachable!("is_inequality filtered"),
+        }
+    }
+    (lo, hi, class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::doc;
+    use crate::encoding::Direction;
+    use crate::query::Query;
+
+    fn dir() -> DirectoryId {
+        DirectoryId(7)
+    }
+
+    fn change(path: &str, fields: Vec<(&str, Value)>) -> DocumentChange {
+        let name = doc(path);
+        let d = Document::new(name.clone(), fields);
+        DocumentChange {
+            name,
+            old: None,
+            new: Some(d),
+        }
+    }
+
+    #[test]
+    fn eq_dispatch_matches_only_value_identical_shapes() {
+        let mut t: MatcherTree<u32> = MatcherTree::new(1);
+        for i in 0..10 {
+            let q = Query::parse("/c")
+                .unwrap()
+                .filter("v", FilterOp::Eq, Value::Int(i));
+            t.register(i as u32, &[0], dir(), &q);
+        }
+        let got = t.match_change(0, dir(), &change("/c/d1", vec![("v", Value::Int(3))]));
+        assert_eq!(got, vec![3]);
+        // Only one candidate shape was examined, not ten.
+        assert_eq!(t.stats().candidates, 1);
+    }
+
+    #[test]
+    fn shapes_multiplex_tokens() {
+        let mut t: MatcherTree<u32> = MatcherTree::new(1);
+        let q = Query::parse("/c")
+            .unwrap()
+            .filter("v", FilterOp::Eq, Value::Int(1));
+        for tok in 0..5 {
+            t.register(tok, &[0], dir(), &q.clone().limit(tok as usize + 1));
+        }
+        assert_eq!(t.registrations(), 5);
+        assert_eq!(t.shape_count(), 1, "same shape despite differing windows");
+        let got = t.match_change(0, dir(), &change("/c/x", vec![("v", Value::Int(1))]));
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        t.unregister(&2);
+        let got = t.match_change(0, dir(), &change("/c/x", vec![("v", Value::Int(1))]));
+        assert_eq!(got, vec![0, 1, 3, 4]);
+        t.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn range_dispatch_prunes_by_interval_and_class() {
+        let mut t: MatcherTree<u32> = MatcherTree::new(1);
+        for i in 0..10i64 {
+            let q = Query::parse("/c")
+                .unwrap()
+                .filter("v", FilterOp::Ge, Value::Int(i * 10))
+                .filter("v", FilterOp::Lt, Value::Int(i * 10 + 10))
+                .order_by("v", Direction::Asc);
+            t.register(i as u32, &[0], dir(), &q);
+        }
+        let got = t.match_change(0, dir(), &change("/c/d", vec![("v", Value::Int(42))]));
+        assert_eq!(got, vec![4]);
+        // Strings never match int intervals.
+        let got = t.match_change(0, dir(), &change("/c/d", vec![("v", Value::Str("42".into()))]));
+        assert!(got.is_empty());
+        t.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn unwatched_collections_fall_off_the_tree() {
+        let mut t: MatcherTree<u32> = MatcherTree::new(1);
+        t.register(1, &[0], dir(), &Query::parse("/c").unwrap());
+        let got = t.match_change(0, dir(), &change("/other/d", vec![]));
+        assert!(got.is_empty());
+        assert_eq!(t.stats().buckets_probed, 0);
+        // Sub-collection documents are not direct members either.
+        let got = t.match_change(0, dir(), &change("/c/d/sub/e", vec![]));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn delete_changes_match_via_old_version() {
+        let mut t: MatcherTree<u32> = MatcherTree::new(1);
+        let q = Query::parse("/c")
+            .unwrap()
+            .filter("v", FilterOp::Eq, Value::Int(1));
+        t.register(9, &[0], dir(), &q);
+        let name = doc("/c/d");
+        let old = Document::new(name.clone(), vec![("v", Value::Int(1))]);
+        let del = DocumentChange {
+            name,
+            old: Some(old),
+            new: None,
+        };
+        assert_eq!(t.match_change(0, dir(), &del), vec![9]);
+    }
+
+    #[test]
+    fn stale_shard_mutation_leaves_token_behind() {
+        let mut t: MatcherTree<u32> = MatcherTree::new(1);
+        let q = Query::parse("/c").unwrap();
+        t.register(5, &[0], dir(), &q);
+        t.set_mutation(Some(MatcherMutation::StaleShardAfterUnregister));
+        t.unregister(&5);
+        assert_eq!(t.registrations(), 0);
+        // The tree still matches the unregistered token: the differential
+        // (tree vs currently-registered brute force) must catch this.
+        let got = t.match_change(0, dir(), &change("/c/d", vec![]));
+        assert_eq!(got, vec![5]);
+        assert!(t.debug_validate().is_err());
+    }
+
+    #[test]
+    fn rebuild_is_single_pass_and_duplicate_free() {
+        let mut t: MatcherTree<u32> = MatcherTree::new(4);
+        let q = Query::parse("/c").unwrap();
+        t.register(1, &[0, 2], dir(), &q);
+        t.register(2, &[1], dir(), &q);
+        t.rebuild(vec![
+            (1, vec![0, 2], dir(), q.clone()),
+            (3, vec![3], dir(), q.clone()),
+        ]);
+        assert_eq!(t.registrations(), 2);
+        t.debug_validate().unwrap();
+        let got = t.match_change(0, dir(), &change("/c/d", vec![]));
+        assert_eq!(got, vec![1]);
+        let got = t.match_change(1, dir(), &change("/c/d", vec![]));
+        assert!(got.is_empty(), "token 2 was dropped by the rebuild");
+    }
+}

@@ -23,6 +23,7 @@ use firestore_core::observer::{
     CommitObserver, CommitOutcome, DocumentChange, PrepareToken, PrepareUnavailable,
 };
 use firestore_core::checker::doc_digest;
+use firestore_core::matchtree::{MatchStats, MatcherMutation, MatcherTree};
 use firestore_core::{Document, Query};
 use parking_lot::Mutex;
 use simkit::fault::{FaultInjector, FaultKind};
@@ -140,6 +141,12 @@ struct ConnState {
 struct RtState {
     ranges: RangeMap,
     tasks: Vec<TaskState>,
+    /// The Query Matcher decision tree: registered queries indexed by
+    /// collection prefix, encoded equality value, and encoded range
+    /// interval, sharded by the same key ranges as the tasks. Matching a
+    /// committed change is a tree descent instead of a scan over every
+    /// subscription.
+    matcher: MatcherTree<(ConnectionId, QueryId)>,
     conns: HashMap<ConnectionId, ConnState>,
     next_conn: u64,
     next_query: u64,
@@ -184,13 +191,15 @@ impl RealtimeCache {
         } else {
             RangeMap::uniform(opts.tasks)
         };
-        let tasks = (0..ranges.tasks()).map(|_| TaskState::default()).collect();
+        let tasks: Vec<TaskState> = (0..ranges.tasks()).map(|_| TaskState::default()).collect();
+        let matcher = MatcherTree::new(tasks.len());
         RealtimeCache {
             truetime,
             opts,
             state: Arc::new(Mutex::new(RtState {
                 ranges,
                 tasks,
+                matcher,
                 conns: HashMap::new(),
                 next_conn: 1,
                 next_query: 1,
@@ -259,6 +268,44 @@ impl RealtimeCache {
             .iter()
             .map(|d| (d.name.to_string(), doc_digest(d)))
             .collect()
+    }
+
+    /// Live Query Matcher registrations (one per active query).
+    pub fn matcher_registrations(&self) -> usize {
+        self.state.lock().matcher.registrations()
+    }
+
+    /// Live Query Matcher shapes across all shards. Lower than the
+    /// registration count when listeners multiplex onto shared shapes.
+    pub fn matcher_shape_count(&self) -> usize {
+        self.state.lock().matcher.shape_count()
+    }
+
+    /// Cumulative Query Matcher cost counters.
+    pub fn matcher_stats(&self) -> MatchStats {
+        self.state.lock().matcher.stats()
+    }
+
+    /// Structural consistency check of the Query Matcher tree against the
+    /// registration table (test/debug hook).
+    pub fn matcher_validate(&self) -> Result<(), String> {
+        self.state.lock().matcher.debug_validate()
+    }
+
+    /// Install (or clear) a seeded Query Matcher bug. **Test-only**: the
+    /// differential and chaos suites prove they catch each mutation.
+    pub fn set_matcher_mutation(&self, mutation: Option<MatcherMutation>) {
+        self.state.lock().matcher.set_mutation(mutation);
+    }
+
+    /// EXPLAIN for the real-time matching path: render the Query Matcher
+    /// descent the given change would take, without routing it.
+    pub fn explain_change(&self, dir: DirectoryId, change: &DocumentChange) -> String {
+        let st = self.state.lock();
+        let key = dir.key(&change.name.encode());
+        let owner = st.ranges.owner(&key);
+        let trace = st.matcher.explain_change(owner, dir, change);
+        firestore_core::explain::render_matcher_descent(&trace)
     }
 
     /// Current statistics.
@@ -425,6 +472,15 @@ impl RealtimeCache {
                     .is_some_and(|conn| conn.queries.contains_key(q))
             });
         }
+        // Rebuild the Query Matcher tree once, from the queries that
+        // survived the requery loop. A single from-scratch rebuild (rather
+        // than per-query unregister/re-register against the pre-crash tree)
+        // cannot leave stale shards or duplicate registrations behind.
+        st.matcher.rebuild(st.conns.iter().flat_map(|(cid, conn)| {
+            conn.queries.iter().map(move |(qid, qs)| {
+                ((*cid, *qid), qs.sources.clone(), qs.dir, qs.view.query().clone())
+            })
+        }));
         st.stats.snapshots += snapshots;
         st.stats.notifications += notifications;
         st.stats.resets += resets;
@@ -557,26 +613,27 @@ impl RealtimeCache {
             }
             // The change's true key: the writing database's directory plus
             // the encoded name. Subscriptions of other directories can
-            // never contain it — tenant isolation at the matcher.
+            // never contain it — tenant isolation at the matcher (the
+            // tree's collection buckets are directory-prefixed).
             let key = dir.key(&change.name.encode());
             let owner = st.ranges.owner(&key);
             // The Changelog task owning the document's key forwards the
-            // update to the Query Matcher, which matches it against the
-            // queries registered for that key range.
+            // update to the Query Matcher, which descends the decision tree
+            // of its shard: collection bucket, then equality/range probes
+            // with the change's encoded field values. Every candidate is
+            // confirmed against the full query predicate, so this produces
+            // exactly the queries whose result set the change can affect.
+            let tokens = st.matcher.match_change(owner, dir, change);
             let mut targets: Vec<(ConnectionId, QueryId)> = Vec::new();
-            let task = &st.tasks[owner];
-            {
-                for &(conn, qid) in &task.subscribers {
-                    let Some(conn_state) = st.conns.get(&conn) else {
-                        continue;
-                    };
-                    let Some(qs) = conn_state.queries.get(&qid) else {
-                        continue;
-                    };
-                    if qs.range.contains(&key) && ts > qs.resume && !targets.contains(&(conn, qid))
-                    {
-                        targets.push((conn, qid));
-                    }
+            for (conn, qid) in tokens {
+                let Some(conn_state) = st.conns.get(&conn) else {
+                    continue;
+                };
+                let Some(qs) = conn_state.queries.get(&qid) else {
+                    continue;
+                };
+                if ts > qs.resume {
+                    targets.push((conn, qid));
                 }
             }
             if let Some(o) = &st.obs {
@@ -603,6 +660,7 @@ impl RealtimeCache {
             }
         }
         for (conn_id, qid) in to_reset {
+            st.matcher.unregister(&(conn_id, qid));
             let removed = st.conns.get_mut(&conn_id).and_then(|conn| {
                 let qs = conn.queries.remove(&qid)?;
                 conn.out.push_back(ListenEvent::Reset { query: qid });
@@ -810,6 +868,9 @@ impl Connection {
         for &s in &sources {
             st.tasks[s].subscribers.push((self.id, qid));
         }
+        // Register the query shape with the Query Matcher tree in every
+        // shard whose key range intersects the query's collection range.
+        st.matcher.register((self.id, qid), &sources, dir, &query);
         let mut source_watermarks = HashMap::new();
         for &s in &sources {
             source_watermarks.insert(s, snapshot_ts);
@@ -861,6 +922,7 @@ impl Connection {
     /// Stop a real-time query.
     pub fn unlisten(&self, qid: QueryId) {
         let mut st = self.cache.state.lock();
+        st.matcher.unregister(&(self.id, qid));
         let removed = st
             .conns
             .get_mut(&self.id)
@@ -904,6 +966,7 @@ impl Connection {
                 .collect();
             qids.sort();
             for (qid, qdir) in qids {
+                st.matcher.unregister(&(self.id, qid));
                 RealtimeCache::record(
                     &st,
                     HistoryEvent::ListenerReset {
@@ -1260,6 +1323,114 @@ mod tests {
         let events = conn.poll();
         assert!(matches!(events[0], ListenEvent::Reset { query } if query == qid));
         assert_eq!(cache.stats().active_queries, 0);
+    }
+
+    #[test]
+    fn matcher_registrations_track_listener_lifecycle() {
+        let (db, cache) = setup();
+        let conn = cache.connect();
+        let q1 = listen_all(&db, &cache, &conn, Query::parse("/restaurants").unwrap());
+        let _q2 = listen_all(&db, &cache, &conn, Query::parse("/users").unwrap());
+        assert_eq!(cache.matcher_registrations(), 2);
+        cache.matcher_validate().unwrap();
+        conn.unlisten(q1);
+        assert_eq!(cache.matcher_registrations(), 1);
+        cache.matcher_validate().unwrap();
+        conn.close();
+        assert_eq!(cache.matcher_registrations(), 0);
+        cache.matcher_validate().unwrap();
+    }
+
+    #[test]
+    fn shared_query_shapes_multiplex_in_the_matcher() {
+        let (db, cache) = setup();
+        let conns: Vec<Connection> = (0..8).map(|_| cache.connect()).collect();
+        for c in &conns {
+            listen_all(&db, &cache, c, Query::parse("/restaurants").unwrap());
+            c.poll();
+        }
+        assert_eq!(cache.matcher_registrations(), 8);
+        let shapes = cache.matcher_shape_count();
+        assert!(
+            shapes < 8,
+            "eight identical listeners must share shapes, got {shapes}"
+        );
+        put(&db, "/restaurants/x", 7);
+        cache.tick();
+        for c in &conns {
+            assert_eq!(c.poll().len(), 1);
+        }
+    }
+
+    #[test]
+    fn restart_rebuilds_matcher_without_duplicate_registrations() {
+        let (db, cache) = setup();
+        put(&db, "/restaurants/a", 1);
+        let conn = cache.connect();
+        listen_all(&db, &cache, &conn, Query::parse("/restaurants").unwrap());
+        conn.poll();
+        assert_eq!(cache.matcher_registrations(), 1);
+
+        // Crash/recover twice; each restart must rebuild the tree once from
+        // the surviving queries — never re-register on top of the old tree.
+        for round in 0..2 {
+            let ts = db.strong_read_ts();
+            let requery = |q: &Query| {
+                db.run_query(
+                    &q.without_window(),
+                    Consistency::AtTimestamp(ts),
+                    &Caller::Service,
+                )
+                .map(|r| r.documents)
+            };
+            assert_eq!(cache.restart(requery, ts), 1, "round {round}");
+            assert_eq!(cache.matcher_registrations(), 1, "round {round}");
+            cache.matcher_validate().unwrap();
+        }
+
+        // One write → exactly one snapshot: a duplicated registration would
+        // double-buffer the change or double-count fanout.
+        put(&db, "/restaurants/z", 9);
+        cache.tick();
+        let events = conn.poll();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            ListenEvent::Snapshot { changes, .. } => assert_eq!(changes.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            cache.stats().notifications,
+            1,
+            "exactly the one post-restart write was delivered"
+        );
+
+        // A restart that resets the query leaves no registration behind.
+        let caught = cache.restart(|_q| Err::<Vec<Document>, ()>(()), db.strong_read_ts());
+        assert_eq!(caught, 0);
+        assert_eq!(cache.matcher_registrations(), 0);
+        cache.matcher_validate().unwrap();
+    }
+
+    #[test]
+    fn explain_change_renders_matcher_descent() {
+        let (db, cache) = setup();
+        let conn = cache.connect();
+        let q = Query::parse("/restaurants").unwrap().filter(
+            "rating",
+            firestore_core::FilterOp::Eq,
+            5i64,
+        );
+        listen_all(&db, &cache, &conn, q);
+        let name = doc("/restaurants/hi");
+        let change = DocumentChange {
+            name: name.clone(),
+            old: None,
+            new: Some(Document::new(name, [("rating", Value::Int(5))])),
+        };
+        let text = cache.explain_change(db.directory(), &change);
+        assert!(text.contains("matcher descent:"), "{text}");
+        assert!(text.contains("eq-probe rating: 1 hits"), "{text}");
+        assert!(text.contains("matched 1 shapes, 1 tokens"), "{text}");
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   (its watermark) — emitting heartbeats so idle ranges still make
 //!   progress;
 //! * the **Query Matcher** ([`cache`]) holds registered queries per
-//!   document-name range and matches each incoming document update against
+//!   document-name range — indexed as a decision tree over collection
+//!   prefixes and encoded field values ([`firestore_core::matchtree`]), so
+//!   matching an update is a tree descent, not a scan of every
+//!   subscription — and matches each incoming document update against
 //!   them;
 //! * **Frontend sessions** ([`view`], [`cache::Connection`]) assemble the
 //!   matched updates from all subscribed ranges into *consistent

@@ -1,0 +1,859 @@
+//! Compilation of rulesets into first-match decision trees.
+//!
+//! The interpreter in [`crate::eval`] re-walks the whole AST per request:
+//! every root block re-matches its pattern against the path, every allow
+//! re-filters its method list, and wildcard bindings are pushed and popped
+//! along the way. This module lowers the parsed ruleset **once** into a
+//! matcher tree in the x.uma idiom (SNIPPETS.md snippets 1–3), so that per
+//! request the cost is one descent over the path segments plus the
+//! evaluation of the few predicates that can actually apply.
+//!
+//! The six matcher evaluation rules, as implemented here:
+//!
+//! 1. **First match wins.** Candidate leaves are evaluated in ascending
+//!    pre-order rule id — exactly the interpreter's visit order — and the
+//!    first predicate that evaluates to `true` decides.
+//! 2. **OnMatch is action XOR nested matcher.** An interior [`Node`] holds
+//!    no decision, only edges (`exact` / `single`) and terminal id lists
+//!    (`here` / `tail`); a leaf id resolves to exactly one
+//!    [`CompiledRule`] action. A node never carries both an action and a
+//!    delegating matcher for the same input.
+//! 3. **A failed nested matcher propagates.** If a subtree yields no
+//!    candidate (or all candidate predicates are false/error), matching
+//!    resumes with the remaining candidates; nothing in a subtree can
+//!    "half-match".
+//! 4. **`on_no_match` is the deny fallback.** A descent that produces no
+//!    granting candidate returns [`Decision::DENY`] — the implicit
+//!    `on_no_match` of every node. (The [`LoweringMutation::DroppedFallback`]
+//!    seeded bug removes exactly this and is caught by the differential
+//!    suite.)
+//! 5. **Absent matcher means no match.** Paths that leave the tree (no
+//!    `exact` edge, no `single` edge, no `tail` list) contribute no
+//!    candidates.
+//! 6. **Errors never grant.** Predicate evaluation is three-valued
+//!    (`Ok(true)` / `Ok(false)` / `Err`) with the interpreter's exact
+//!    short-circuit structure, and an erroring candidate simply does not
+//!    grant.
+//!
+//! Equivalence with the interpreter is *proven operationally*, not assumed:
+//! `tests/rules_equivalence.rs` replays 1000+ seeded random rulesets ×
+//! requests through both engines and compares full [`Decision`]s, and the
+//! seeded [`LoweringMutation`]s demonstrate that suite catches lowering
+//! bugs of each class.
+
+use crate::ast::*;
+use crate::eval::{DataSource, Decision, Evaluator, RequestContext};
+use crate::value::RuleValue;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Method bitmask bits (one per concrete [`Method`]).
+const GET: u8 = 1 << 0;
+const LIST: u8 = 1 << 1;
+const CREATE: u8 = 1 << 2;
+const UPDATE: u8 = 1 << 3;
+const DELETE: u8 = 1 << 4;
+
+fn method_bit(m: Method) -> u8 {
+    match m {
+        Method::Get => GET,
+        Method::List => LIST,
+        Method::Create => CREATE,
+        Method::Update => UPDATE,
+        Method::Delete => DELETE,
+    }
+}
+
+fn spec_mask(spec: MethodSpec) -> u8 {
+    match spec {
+        MethodSpec::Read => GET | LIST,
+        MethodSpec::Write => CREATE | UPDATE | DELETE,
+        MethodSpec::Get => GET,
+        MethodSpec::List => LIST,
+        MethodSpec::Create => CREATE,
+        MethodSpec::Update => UPDATE,
+        MethodSpec::Delete => DELETE,
+    }
+}
+
+/// Where a wildcard binding's value comes from in the request path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Bind {
+    /// The path segment at this index.
+    Seg(usize),
+    /// All segments from this index on, `/`-joined (recursive wildcard).
+    Tail(usize),
+}
+
+/// A deliberately-introduced lowering bug, installed via
+/// [`CompiledRules::set_mutation`].
+///
+/// **Test-only.** These exist to prove the differential equivalence suites
+/// have teeth: each mutation makes the compiled tree diverge from the
+/// interpreter in a way the suite must catch. Production code never sets
+/// one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoweringMutation {
+    /// Comparison predicates evaluate with their bound direction flipped
+    /// (`<` behaves as `>`, `<=` as `>=`): the classic off-by-inversion in
+    /// range-node lowering.
+    SwappedRangeBound,
+    /// The implicit `on_no_match` deny fallback is dropped: a path that
+    /// matches *no* rule pattern is allowed instead of denied.
+    DroppedFallback,
+    /// Candidates are evaluated in *descending* rule id order, so a later
+    /// rule shadows an earlier one. Only a differential that compares the
+    /// granting rule id (not just the boolean) can see this.
+    ShadowReorder,
+}
+
+/// Direction of a compiled comparison predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, ord: std::cmp::Ordering) -> bool {
+        match self {
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+
+    fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+}
+
+/// One side of a compiled binary predicate. The common shapes (`literal`,
+/// `wildcard binding`, `request.auth.uid`) resolve without touching the
+/// expression evaluator; anything else falls back to it.
+#[derive(Clone, Debug)]
+enum Operand {
+    Lit(RuleValue),
+    Var(String),
+    AuthUid,
+    Expr(Expr),
+}
+
+impl Operand {
+    fn of(e: &Expr) -> Operand {
+        if let Expr::Lit(v) = e {
+            return Operand::Lit(v.clone());
+        }
+        if let Expr::Var(n) = e {
+            return Operand::Var(n.clone());
+        }
+        if is_auth_uid(e) {
+            return Operand::AuthUid;
+        }
+        Operand::Expr(e.clone())
+    }
+
+    /// Resolve to a value; `Err` carries the interpreter's errors-deny
+    /// semantics (the message itself is irrelevant to the decision).
+    fn resolve(&self, ev: &Evaluator<'_>, req: &RequestContext) -> Result<RuleValue, ()> {
+        match self {
+            Operand::Lit(v) => Ok(v.clone()),
+            Operand::Var(n) => ev.lookup_var(n).map_err(|_| ()),
+            // `request.auth.uid`: a field access on `null` when the caller
+            // is unauthenticated — an error, exactly as interpreted.
+            Operand::AuthUid => match &req.auth {
+                Some(a) => Ok(RuleValue::Str(a.uid.clone())),
+                None => Err(()),
+            },
+            Operand::Expr(e) => ev.eval(e).map_err(|_| ()),
+        }
+    }
+}
+
+/// `request.auth.uid`, syntactically.
+fn is_auth_uid(e: &Expr) -> bool {
+    if let Expr::Member(obj, field) = e {
+        if field == "uid" {
+            return is_request_auth(obj);
+        }
+    }
+    false
+}
+
+/// `request.auth`, syntactically.
+fn is_request_auth(e: &Expr) -> bool {
+    if let Expr::Member(obj, field) = e {
+        if field == "auth" {
+            if let Expr::Var(n) = &**obj {
+                return n == "request";
+            }
+        }
+    }
+    false
+}
+
+/// A compiled predicate. Evaluation is three-valued: `Ok(true)` grants (for
+/// a first-match candidate), `Ok(false)` passes to the next candidate, and
+/// `Err(())` — any evaluation error — also passes, because errors never
+/// grant. The `And`/`Or` short-circuit structure mirrors the interpreter
+/// exactly: `false && error` is `false`, but `error || true` is an error.
+#[derive(Clone, Debug)]
+enum Pred {
+    Const(bool),
+    /// `request.auth != null` (`true`) / `request.auth == null` (`false`).
+    AuthPresent(bool),
+    Eq {
+        lhs: Operand,
+        rhs: Operand,
+        negate: bool,
+    },
+    /// `lhs <op> bound` with a literal bound — the range node.
+    Cmp {
+        lhs: Operand,
+        op: CmpOp,
+        bound: RuleValue,
+    },
+    /// `lhs in [literals]` — an exact-set node.
+    InConst {
+        lhs: Operand,
+        items: Vec<RuleValue>,
+    },
+    All(Box<Pred>, Box<Pred>),
+    AnyOf(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+    /// Anything the lowering doesn't special-case: evaluated through the
+    /// shared interpreter expression evaluator (strict-bool at this level).
+    Residual(Expr),
+}
+
+fn lower(e: &Expr) -> Pred {
+    match e {
+        Expr::Lit(RuleValue::Bool(b)) => Pred::Const(*b),
+        Expr::Unary(UnaryOp::Not, inner) => Pred::Not(Box::new(lower(inner))),
+        Expr::Binary(BinOp::And, a, b) => Pred::All(Box::new(lower(a)), Box::new(lower(b))),
+        Expr::Binary(BinOp::Or, a, b) => Pred::AnyOf(Box::new(lower(a)), Box::new(lower(b))),
+        Expr::Binary(op @ (BinOp::Eq | BinOp::Ne), a, b) => {
+            let negate = *op == BinOp::Ne;
+            let null = |x: &Expr| matches!(x, Expr::Lit(RuleValue::Null));
+            if (is_request_auth(a) && null(b)) || (null(a) && is_request_auth(b)) {
+                // `request.auth == null` is true iff unauthenticated;
+                // `!=` iff authenticated. Never errors.
+                return Pred::AuthPresent(negate);
+            }
+            Pred::Eq {
+                lhs: Operand::of(a),
+                rhs: Operand::of(b),
+                negate,
+            }
+        }
+        Expr::Binary(op @ (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), a, b) => {
+            let cmp = match op {
+                BinOp::Lt => CmpOp::Lt,
+                BinOp::Le => CmpOp::Le,
+                BinOp::Gt => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            if let Expr::Lit(v) = &**b {
+                return Pred::Cmp {
+                    lhs: Operand::of(a),
+                    op: cmp,
+                    bound: v.clone(),
+                };
+            }
+            if let Expr::Lit(v) = &**a {
+                // `lit < x` is `x > lit`.
+                return Pred::Cmp {
+                    lhs: Operand::of(b),
+                    op: cmp.swapped(),
+                    bound: v.clone(),
+                };
+            }
+            Pred::Residual(e.clone())
+        }
+        Expr::Binary(BinOp::In, a, b) => {
+            if let Expr::List(items) = &**b {
+                let mut lits = Vec::with_capacity(items.len());
+                for i in items {
+                    match i {
+                        Expr::Lit(v) => lits.push(v.clone()),
+                        _ => return Pred::Residual(e.clone()),
+                    }
+                }
+                return Pred::InConst {
+                    lhs: Operand::of(a),
+                    items: lits,
+                };
+            }
+            Pred::Residual(e.clone())
+        }
+        _ => Pred::Residual(e.clone()),
+    }
+}
+
+/// One allow statement, compiled: a method bitmask, the wildcard bindings
+/// to reconstruct from the request path, and the lowered predicate.
+#[derive(Clone, Debug)]
+struct CompiledRule {
+    methods: u8,
+    binds: Vec<(String, Bind)>,
+    pred: Pred,
+    /// Rendered pattern, for the EXPLAIN-style tree rendering only.
+    pattern: String,
+}
+
+/// An interior node of the decision tree over path segments.
+///
+/// Edges are taken *all at once* during descent (a segment can follow both
+/// its exact edge and the anonymous single-wildcard edge — sibling match
+/// blocks may use either spelling), so a descent is a small frontier of
+/// nodes, not a single pointer. Literal segments dedup into the `exact`
+/// map; all single wildcards collapse into one anonymous `single` edge
+/// (binding *names* live on the leaves as path positions, which is what
+/// makes the merge sound). `here` lists the rules whose pattern ends
+/// exactly at this node; `tail` lists recursive-wildcard rules that
+/// consume *one or more* remaining segments from here.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    here: Vec<u32>,
+    tail: Vec<u32>,
+    exact: BTreeMap<String, Node>,
+    single: Option<Box<Node>>,
+}
+
+/// A ruleset compiled into a first-match decision tree. Build with
+/// [`compile`]; authorize with [`CompiledRules::decide`]. The original
+/// [`Ruleset`] interpreter remains the reference oracle.
+#[derive(Clone, Debug)]
+pub struct CompiledRules {
+    root: Node,
+    rules: Vec<CompiledRule>,
+    mutation: Option<LoweringMutation>,
+}
+
+/// A segment of the flattened pattern chain from the root to a leaf.
+#[derive(Clone, Debug)]
+enum ChainSeg {
+    Lit(String),
+    Single(String),
+    Tail(String),
+}
+
+struct Flattener {
+    root: Node,
+    rules: Vec<CompiledRule>,
+}
+
+impl Flattener {
+    /// Walk one block: extend the pattern chain, emit this block's allows
+    /// (ids in pre-order — allows before children), then recurse.
+    ///
+    /// `terminated` means an ancestor's recursive wildcard already consumed
+    /// the rest of the path; only empty-pattern descendants remain
+    /// reachable. `dead` marks structurally unreachable rules (a recursive
+    /// wildcard not in final position, or any pattern segment after
+    /// termination): they still receive ids — id parity with the
+    /// interpreter's pre-order numbering is what makes decisions
+    /// comparable — but are never inserted into the tree.
+    fn block(&mut self, block: &MatchBlock, chain: &mut Vec<ChainSeg>, terminated: bool, dead: bool) {
+        let start = chain.len();
+        let mut terminated = terminated;
+        let mut dead = dead;
+        for (i, seg) in block.pattern.iter().enumerate() {
+            if terminated {
+                dead = true;
+                break;
+            }
+            match seg {
+                Segment::Literal(s) => chain.push(ChainSeg::Lit(s.clone())),
+                Segment::Single(n) => chain.push(ChainSeg::Single(n.clone())),
+                Segment::Recursive(n) => {
+                    if i + 1 != block.pattern.len() {
+                        dead = true;
+                        break;
+                    }
+                    chain.push(ChainSeg::Tail(n.clone()));
+                    terminated = true;
+                }
+            }
+        }
+        for allow in &block.allows {
+            let id = self.rules.len() as u32;
+            let methods = allow
+                .methods
+                .iter()
+                .fold(0u8, |m, s| m | spec_mask(*s));
+            let binds = chain
+                .iter()
+                .enumerate()
+                .filter_map(|(p, s)| match s {
+                    ChainSeg::Lit(_) => None,
+                    ChainSeg::Single(n) => Some((n.clone(), Bind::Seg(p))),
+                    ChainSeg::Tail(n) => Some((n.clone(), Bind::Tail(p))),
+                })
+                .collect();
+            self.rules.push(CompiledRule {
+                methods,
+                binds,
+                pred: lower(&allow.condition),
+                pattern: render_chain(chain),
+            });
+            if !dead {
+                self.insert(chain, terminated, id);
+            }
+        }
+        for child in &block.children {
+            self.block(child, chain, terminated, dead);
+        }
+        chain.truncate(start);
+    }
+
+    fn insert(&mut self, chain: &[ChainSeg], terminated: bool, id: u32) {
+        let end = if terminated { chain.len() - 1 } else { chain.len() };
+        let mut node = &mut self.root;
+        for seg in &chain[..end] {
+            node = match seg {
+                ChainSeg::Lit(s) => node.exact.entry(s.clone()).or_default(),
+                ChainSeg::Single(_) => node.single.get_or_insert_with(Default::default),
+                ChainSeg::Tail(_) => unreachable!("tail is always the final chain segment"),
+            };
+        }
+        if terminated {
+            node.tail.push(id);
+        } else {
+            node.here.push(id);
+        }
+    }
+}
+
+fn render_chain(chain: &[ChainSeg]) -> String {
+    let mut s = String::new();
+    for seg in chain {
+        match seg {
+            ChainSeg::Lit(l) => {
+                let _ = write!(s, "/{l}");
+            }
+            ChainSeg::Single(n) => {
+                let _ = write!(s, "/{{{n}}}");
+            }
+            ChainSeg::Tail(n) => {
+                let _ = write!(s, "/{{{n}=**}}");
+            }
+        }
+    }
+    s
+}
+
+/// Compile `ruleset` into a decision tree. Infallible: every parseable
+/// ruleset lowers (unlowerable conditions become residual predicates that
+/// reuse the interpreter's expression evaluator).
+pub fn compile(ruleset: &Ruleset) -> CompiledRules {
+    let mut fl = Flattener {
+        root: Node::default(),
+        rules: Vec::new(),
+    };
+    let mut chain = Vec::new();
+    for root in &ruleset.roots {
+        fl.block(root, &mut chain, false, false);
+        debug_assert!(chain.is_empty());
+    }
+    debug_assert_eq!(fl.rules.len() as u32, ruleset.rule_count());
+    CompiledRules {
+        root: fl.root,
+        rules: fl.rules,
+        mutation: None,
+    }
+}
+
+impl CompiledRules {
+    /// Authorize one request by tree descent. Behaviourally identical to
+    /// [`Ruleset::decide`] — that equivalence is what the differential
+    /// suite enforces.
+    pub fn decide(&self, request: &RequestContext, data: &dyn DataSource) -> Decision {
+        let mut candidates = Vec::new();
+        collect(&self.root, &request.path, 0, &mut candidates);
+        candidates.sort_unstable();
+        if self.mutation == Some(LoweringMutation::ShadowReorder) {
+            candidates.reverse();
+        }
+        if candidates.is_empty() && self.mutation == Some(LoweringMutation::DroppedFallback) {
+            // Seeded bug: the on_no_match deny fallback is gone.
+            return Decision {
+                allowed: true,
+                rule: None,
+            };
+        }
+        let mbit = method_bit(request.method);
+        for &id in &candidates {
+            let rule = &self.rules[id as usize];
+            if rule.methods & mbit == 0 {
+                continue;
+            }
+            let bindings = rule
+                .binds
+                .iter()
+                .map(|(name, bind)| {
+                    let v = match bind {
+                        Bind::Seg(i) => request.path[*i].clone(),
+                        Bind::Tail(i) => request.path[*i..].join("/"),
+                    };
+                    (name.clone(), RuleValue::Str(v))
+                })
+                .collect();
+            let ev = Evaluator::for_request(request, data, bindings);
+            if self.eval_pred(&rule.pred, &ev, request) == Ok(true) {
+                return Decision {
+                    allowed: true,
+                    rule: Some(id),
+                };
+            }
+        }
+        Decision::DENY
+    }
+
+    /// Boolean form of [`CompiledRules::decide`].
+    pub fn allows(&self, request: &RequestContext, data: &dyn DataSource) -> bool {
+        self.decide(request, data).allowed
+    }
+
+    /// Number of compiled allow statements (equals the source ruleset's
+    /// [`Ruleset::rule_count`]).
+    pub fn rule_count(&self) -> u32 {
+        self.rules.len() as u32
+    }
+
+    /// Install (or clear) a seeded lowering bug. **Test-only**: exists so
+    /// the differential suites can prove they detect each mutation class.
+    pub fn set_mutation(&mut self, mutation: Option<LoweringMutation>) {
+        self.mutation = mutation;
+    }
+
+    fn eval_pred(
+        &self,
+        pred: &Pred,
+        ev: &Evaluator<'_>,
+        req: &RequestContext,
+    ) -> Result<bool, ()> {
+        match pred {
+            Pred::Const(b) => Ok(*b),
+            Pred::AuthPresent(expect) => Ok(req.auth.is_some() == *expect),
+            Pred::Eq { lhs, rhs, negate } => {
+                let l = lhs.resolve(ev, req)?;
+                let r = rhs.resolve(ev, req)?;
+                Ok(l.rules_eq(&r) != *negate)
+            }
+            Pred::Cmp { lhs, op, bound } => {
+                let v = lhs.resolve(ev, req)?;
+                let ord = v.rules_cmp(bound).ok_or(())?;
+                let op = if self.mutation == Some(LoweringMutation::SwappedRangeBound) {
+                    op.swapped()
+                } else {
+                    *op
+                };
+                Ok(op.apply(ord))
+            }
+            Pred::InConst { lhs, items } => {
+                let v = lhs.resolve(ev, req)?;
+                Ok(items.iter().any(|i| i.rules_eq(&v)))
+            }
+            Pred::All(a, b) => {
+                // `false && <error>` is false; `true && x` is x.
+                if !self.eval_pred(a, ev, req)? {
+                    return Ok(false);
+                }
+                self.eval_pred(b, ev, req)
+            }
+            Pred::AnyOf(a, b) => {
+                // `true || <error>` is true; `false || x` is x.
+                if self.eval_pred(a, ev, req)? {
+                    return Ok(true);
+                }
+                self.eval_pred(b, ev, req)
+            }
+            Pred::Not(inner) => Ok(!self.eval_pred(inner, ev, req)?),
+            Pred::Residual(e) => match ev.eval(e) {
+                Ok(RuleValue::Bool(b)) => Ok(b),
+                _ => Err(()),
+            },
+        }
+    }
+
+    /// Deterministic rendering of the decision tree (for EXPLAIN output and
+    /// debugging). Exact edges sort lexicographically; leaves list rule ids
+    /// with their method masks and pattern.
+    pub fn render(&self) -> String {
+        let mut out = String::from("rules decision tree\n");
+        self.render_node(&self.root, 1, &mut out);
+        out
+    }
+
+    fn render_node(&self, node: &Node, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        for &id in &node.here {
+            let _ = writeln!(out, "{pad}rule #{id} {}", self.rule_line(id));
+        }
+        for &id in &node.tail {
+            let _ = writeln!(out, "{pad}rule #{id} (tail) {}", self.rule_line(id));
+        }
+        for (seg, child) in &node.exact {
+            let _ = writeln!(out, "{pad}exact \"{seg}\"");
+            self.render_node(child, depth + 1, out);
+        }
+        if let Some(child) = &node.single {
+            let _ = writeln!(out, "{pad}single {{*}}");
+            self.render_node(child, depth + 1, out);
+        }
+    }
+
+    fn rule_line(&self, id: u32) -> String {
+        let r = &self.rules[id as usize];
+        format!(
+            "[{}] {} if {}",
+            methods_name(r.methods),
+            r.pattern,
+            pred_name(&r.pred)
+        )
+    }
+
+    /// Deterministic rendering of one descent: the candidate rules the tree
+    /// yields for `path` and, per candidate, whether the method mask admits
+    /// `method`. The decision itself needs the data source; this is the
+    /// EXPLAIN view of the matching structure.
+    pub fn explain_descent(&self, path: &[String], method: Method) -> String {
+        let mut candidates = Vec::new();
+        collect(&self.root, path, 0, &mut candidates);
+        candidates.sort_unstable();
+        let mut out = format!(
+            "rules descent: /{} [{}]\n",
+            path.join("/"),
+            method.name()
+        );
+        if candidates.is_empty() {
+            out.push_str("  no matching rule -> on_no_match: deny\n");
+            return out;
+        }
+        let mbit = method_bit(method);
+        for id in candidates {
+            let r = &self.rules[id as usize];
+            let verdict = if r.methods & mbit == 0 {
+                "method-skip"
+            } else {
+                "evaluate"
+            };
+            let _ = writeln!(out, "  #{id} {} -> {verdict}", self.rule_line(id));
+        }
+        out.push_str("  first true predicate wins; none -> on_no_match: deny\n");
+        out
+    }
+}
+
+fn methods_name(mask: u8) -> String {
+    let mut parts = Vec::new();
+    for (bit, name) in [
+        (GET, "get"),
+        (LIST, "list"),
+        (CREATE, "create"),
+        (UPDATE, "update"),
+        (DELETE, "delete"),
+    ] {
+        if mask & bit != 0 {
+            parts.push(name);
+        }
+    }
+    parts.join(",")
+}
+
+fn pred_name(pred: &Pred) -> &'static str {
+    match pred {
+        Pred::Const(true) => "const(true)",
+        Pred::Const(false) => "const(false)",
+        Pred::AuthPresent(_) => "auth-present",
+        Pred::Eq { .. } => "eq",
+        Pred::Cmp { op, .. } => match op {
+            CmpOp::Lt => "range(<)",
+            CmpOp::Le => "range(<=)",
+            CmpOp::Gt => "range(>)",
+            CmpOp::Ge => "range(>=)",
+        },
+        Pred::InConst { .. } => "in-set",
+        Pred::All(..) => "all",
+        Pred::AnyOf(..) => "any",
+        Pred::Not(_) => "not",
+        Pred::Residual(_) => "residual",
+    }
+}
+
+/// Gather candidate rule ids for `path` starting at segment `i` of `node`.
+fn collect(node: &Node, path: &[String], i: usize, out: &mut Vec<u32>) {
+    if i == path.len() {
+        out.extend_from_slice(&node.here);
+        return;
+    }
+    // A recursive wildcard here consumes the (non-empty) rest of the path.
+    out.extend_from_slice(&node.tail);
+    if let Some(child) = node.exact.get(&path[i]) {
+        collect(child, path, i + 1, out);
+    }
+    if let Some(child) = &node.single {
+        collect(child, path, i + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{AuthContext, EmptyDataSource};
+    use crate::parser::parse_ruleset;
+
+    const FIG3: &str = r#"
+        service cloud.firestore {
+          match /databases/{database}/documents {
+            match /restaurants/{restaurant}/ratings/{rating} {
+              allow read: if request.auth != null;
+              allow create: if request.auth != null
+                            && request.resource.data.userId == request.auth.uid;
+              allow update, delete: if false;
+            }
+          }
+        }
+    "#;
+
+    fn req(method: Method, auth: Option<AuthContext>) -> RequestContext {
+        RequestContext::for_document(
+            method,
+            &["restaurants", "one", "ratings", "2"],
+            auth,
+            None,
+            None,
+        )
+    }
+
+    #[test]
+    fn compiled_fig3_matches_interpreter() {
+        let rs = parse_ruleset(FIG3).unwrap();
+        let compiled = compile(&rs);
+        assert_eq!(compiled.rule_count(), rs.rule_count());
+        for (method, auth) in [
+            (Method::Get, None),
+            (Method::Get, Some(AuthContext::uid("a"))),
+            (Method::Update, Some(AuthContext::uid("a"))),
+            (Method::Delete, None),
+        ] {
+            let r = req(method, auth);
+            assert_eq!(
+                compiled.decide(&r, &EmptyDataSource),
+                rs.decide(&r, &EmptyDataSource),
+                "{method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_match_reports_earliest_rule() {
+        let src = r#"
+            match /databases/{db}/documents {
+              match /m/{id} {
+                allow read: if false;
+                allow read: if true;
+                allow read: if true;
+              }
+            }
+        "#;
+        let rs = parse_ruleset(src).unwrap();
+        let compiled = compile(&rs);
+        let r = RequestContext::for_document(Method::Get, &["m", "1"], None, None, None);
+        let d = compiled.decide(&r, &EmptyDataSource);
+        assert_eq!(d, rs.decide(&r, &EmptyDataSource));
+        assert_eq!(d.rule, Some(1), "second allow is the first granting one");
+    }
+
+    #[test]
+    fn exact_and_single_edges_both_descend() {
+        // Sibling blocks spelling the same position as a literal and a
+        // wildcard must both contribute candidates.
+        let src = r#"
+            match /databases/{db}/documents {
+              match /m/special { allow read: if false; }
+              match /m/{other} { allow read: if true; }
+            }
+        "#;
+        let rs = parse_ruleset(src).unwrap();
+        let compiled = compile(&rs);
+        let r = RequestContext::for_document(Method::Get, &["m", "special"], None, None, None);
+        let d = compiled.decide(&r, &EmptyDataSource);
+        assert_eq!(d, rs.decide(&r, &EmptyDataSource));
+        assert_eq!(d.rule, Some(1));
+    }
+
+    #[test]
+    fn recursive_tail_requires_one_segment() {
+        let src = r#"
+            match /databases/{db}/documents {
+              match /a/{rest=**} { allow read; }
+            }
+        "#;
+        let rs = parse_ruleset(src).unwrap();
+        let compiled = compile(&rs);
+        // `/a` alone: the recursive wildcard needs at least one segment.
+        for path in [vec!["a"], vec!["a", "b"], vec!["a", "b", "c"]] {
+            let r = RequestContext::for_document(Method::Get, &path, None, None, None);
+            assert_eq!(
+                compiled.decide(&r, &EmptyDataSource),
+                rs.decide(&r, &EmptyDataSource),
+                "path {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_change_decisions() {
+        let src = r#"
+            match /databases/{db}/documents {
+              match /m/{id} {
+                allow read: if request.auth.uid < 'm';
+              }
+            }
+        "#;
+        let rs = parse_ruleset(src).unwrap();
+        let mut compiled = compile(&rs);
+        let r = RequestContext::for_document(
+            Method::Get,
+            &["m", "1"],
+            Some(AuthContext::uid("a")),
+            None,
+            None,
+        );
+        assert!(compiled.decide(&r, &EmptyDataSource).allowed);
+        compiled.set_mutation(Some(LoweringMutation::SwappedRangeBound));
+        assert!(!compiled.decide(&r, &EmptyDataSource).allowed);
+        compiled.set_mutation(Some(LoweringMutation::DroppedFallback));
+        let unmatched = RequestContext::for_document(Method::Get, &["x", "1"], None, None, None);
+        assert!(compiled.decide(&unmatched, &EmptyDataSource).allowed);
+        compiled.set_mutation(None);
+        assert!(!compiled.decide(&unmatched, &EmptyDataSource).allowed);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_rules() {
+        let rs = parse_ruleset(FIG3).unwrap();
+        let compiled = compile(&rs);
+        let a = compiled.render();
+        assert_eq!(a, compiled.render());
+        assert!(a.contains("exact \"databases\""), "{a}");
+        assert!(a.contains("rule #0"), "{a}");
+        let descent = compiled.explain_descent(
+            &req(Method::Get, None).path,
+            Method::Get,
+        );
+        assert!(descent.contains("#0"), "{descent}");
+        assert!(descent.contains("on_no_match"), "{descent}");
+    }
+}

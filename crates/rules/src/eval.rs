@@ -158,7 +158,43 @@ fn err<T>(message: impl Into<String>) -> Result<T, EvalError> {
     })
 }
 
-struct Evaluator<'a> {
+/// The outcome of authorizing one request: whether access was granted and,
+/// if so, by which `allow` statement.
+///
+/// Rule ids are *stable pre-order positions* shared between the interpreter
+/// and the compiled decision tree ([`crate::compile::CompiledRules`]): roots
+/// in source order, and within each match block the allows before the
+/// children. The differential suites compare full decisions, not just the
+/// boolean, so a compiled tree that grants for the *wrong* rule (e.g. a
+/// shadowing reorder) is still a detected divergence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Whether access is granted.
+    pub allowed: bool,
+    /// The granting allow statement's pre-order id, when granted.
+    pub rule: Option<u32>,
+}
+
+impl Decision {
+    /// The deny fallback: no rule matched (or every condition was false).
+    pub const DENY: Decision = Decision {
+        allowed: false,
+        rule: None,
+    };
+}
+
+/// Number of allow statements in `block` and all its descendants — the
+/// width of the pre-order id range a block occupies.
+pub(crate) fn rules_in(block: &MatchBlock) -> u32 {
+    block.allows.len() as u32
+        + block
+            .children
+            .iter()
+            .map(rules_in)
+            .sum::<u32>()
+}
+
+pub(crate) struct Evaluator<'a> {
     request: RuleValue,
     resource: RuleValue,
     bindings: Vec<(String, RuleValue)>,
@@ -168,24 +204,61 @@ struct Evaluator<'a> {
 impl Ruleset {
     /// Whether `request` is allowed by this ruleset.
     pub fn allows(&self, request: &RequestContext, data: &dyn DataSource) -> bool {
-        let mut ev = Evaluator {
-            request: request.request_value(),
-            resource: request.resource_value(),
-            bindings: Vec::new(),
-            data,
-        };
-        self.roots
-            .iter()
-            .any(|block| ev.block_allows(block, &request.path, request.method))
+        self.decide(request, data).allowed
+    }
+
+    /// Authorize `request`, reporting which allow statement granted it.
+    pub fn decide(&self, request: &RequestContext, data: &dyn DataSource) -> Decision {
+        let mut ev = Evaluator::for_request(request, data, Vec::new());
+        let mut base = 0u32;
+        for block in &self.roots {
+            let depth = ev.bindings.len();
+            if let Some(rule) = ev.block_decide(block, &request.path, request.method, base) {
+                return Decision {
+                    allowed: true,
+                    rule: Some(rule),
+                };
+            }
+            ev.bindings.truncate(depth);
+            base += rules_in(block);
+        }
+        Decision::DENY
+    }
+
+    /// Total number of allow statements (the pre-order id space size).
+    pub fn rule_count(&self) -> u32 {
+        self.roots.iter().map(rules_in).sum()
     }
 }
 
 impl<'a> Evaluator<'a> {
+    /// An evaluator for one request with pre-computed wildcard `bindings`
+    /// (the compiled tree reconstructs them from the leaf's bind table).
+    pub(crate) fn for_request(
+        request: &RequestContext,
+        data: &'a dyn DataSource,
+        bindings: Vec<(String, RuleValue)>,
+    ) -> Evaluator<'a> {
+        Evaluator {
+            request: request.request_value(),
+            resource: request.resource_value(),
+            bindings,
+            data,
+        }
+    }
+
     /// Try to match `block` against `path`; if the block (or a descendant)
-    /// fully consumes the path and has a granting allow, return true.
-    fn block_allows(&mut self, block: &MatchBlock, path: &[String], method: Method) -> bool {
+    /// fully consumes the path and has a granting allow, return its id
+    /// (offset from `base`, the block's first pre-order id).
+    fn block_decide(
+        &mut self,
+        block: &MatchBlock,
+        path: &[String],
+        method: Method,
+        base: u32,
+    ) -> Option<u32> {
         let binding_depth = self.bindings.len();
-        let result = self.match_pattern_and_check(block, path, 0, method);
+        let result = self.match_pattern_and_check(block, path, 0, method, base);
         self.bindings.truncate(binding_depth);
         result
     }
@@ -196,51 +269,56 @@ impl<'a> Evaluator<'a> {
         path: &[String],
         seg: usize,
         method: Method,
-    ) -> bool {
+        base: u32,
+    ) -> Option<u32> {
         if seg == block.pattern.len() {
             let rest = path;
             if rest.is_empty() {
-                // Full path consumed: this block's allows apply.
-                if block
-                    .allows
-                    .iter()
-                    .filter(|a| a.methods.iter().any(|m| m.covers(method)))
-                    .any(|a| {
-                        self.eval(&a.condition)
+                // Full path consumed: this block's allows apply, first
+                // granting one wins (ties in `allows` are unobservable, but
+                // the id of the *first* true condition is the decision).
+                for (i, a) in block.allows.iter().enumerate() {
+                    if a.methods.iter().any(|m| m.covers(method))
+                        && self
+                            .eval(&a.condition)
                             .map(|v| v.is_true())
                             .unwrap_or(false)
-                    })
-                {
-                    return true;
+                    {
+                        return Some(base + i as u32);
+                    }
                 }
             } else {
                 // Remaining path: descend into children.
+                let mut child_base = base + block.allows.len() as u32;
                 for child in &block.children {
                     let depth = self.bindings.len();
-                    if self.match_pattern_and_check(child, rest, 0, method) {
-                        return true;
+                    if let Some(id) =
+                        self.match_pattern_and_check(child, rest, 0, method, child_base)
+                    {
+                        return Some(id);
                     }
                     self.bindings.truncate(depth);
+                    child_base += rules_in(child);
                 }
             }
-            return false;
+            return None;
         }
         if path.is_empty() {
-            return false;
+            return None;
         }
         match &block.pattern[seg] {
             Segment::Literal(lit) => {
                 if &path[0] == lit {
-                    self.match_pattern_and_check_rest(block, &path[1..], seg + 1, method)
+                    self.match_pattern_and_check(block, &path[1..], seg + 1, method, base)
                 } else {
-                    false
+                    None
                 }
             }
             Segment::Single(name) => {
                 self.bindings
                     .push((name.clone(), RuleValue::Str(path[0].clone())));
-                let ok = self.match_pattern_and_check_rest(block, &path[1..], seg + 1, method);
-                if !ok {
+                let ok = self.match_pattern_and_check(block, &path[1..], seg + 1, method, base);
+                if ok.is_none() {
                     self.bindings.pop();
                 }
                 ok
@@ -248,12 +326,12 @@ impl<'a> Evaluator<'a> {
             Segment::Recursive(name) => {
                 // Must be the final pattern segment; consumes everything.
                 if seg + 1 != block.pattern.len() {
-                    return false;
+                    return None;
                 }
                 self.bindings
                     .push((name.clone(), RuleValue::Str(path.join("/"))));
-                let ok = self.match_pattern_and_check_rest(block, &[], seg + 1, method);
-                if !ok {
+                let ok = self.match_pattern_and_check(block, &[], seg + 1, method, base);
+                if ok.is_none() {
                     self.bindings.pop();
                 }
                 ok
@@ -261,17 +339,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn match_pattern_and_check_rest(
-        &mut self,
-        block: &MatchBlock,
-        rest: &[String],
-        seg: usize,
-        method: Method,
-    ) -> bool {
-        self.match_pattern_and_check(block, rest, seg, method)
-    }
-
-    fn lookup_var(&self, name: &str) -> Result<RuleValue, EvalError> {
+    pub(crate) fn lookup_var(&self, name: &str) -> Result<RuleValue, EvalError> {
         if name == "request" {
             return Ok(self.request.clone());
         }
@@ -285,7 +353,7 @@ impl<'a> Evaluator<'a> {
         err(format!("unknown variable `{name}`"))
     }
 
-    fn eval(&self, e: &Expr) -> Result<RuleValue, EvalError> {
+    pub(crate) fn eval(&self, e: &Expr) -> Result<RuleValue, EvalError> {
         match e {
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Var(name) => self.lookup_var(name),

@@ -35,6 +35,7 @@
 //! * evaluation errors deny (an error in a condition never grants access).
 
 pub mod ast;
+pub mod compile;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
@@ -42,7 +43,8 @@ pub mod render;
 pub mod value;
 
 pub use ast::{Method, Ruleset};
-pub use eval::{AuthContext, DataSource, EmptyDataSource, EvalError, RequestContext};
+pub use compile::{compile, CompiledRules, LoweringMutation};
+pub use eval::{AuthContext, DataSource, Decision, EmptyDataSource, EvalError, RequestContext};
 pub use parser::{parse_ruleset, ParseError};
 pub use render::{render_expr, render_ruleset};
 pub use value::RuleValue;

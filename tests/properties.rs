@@ -451,6 +451,100 @@ proptest! {
     }
 }
 
+// --- first-match decision trees ----------------------------------------------
+
+proptest! {
+    /// First-match shadowing: among a block's allow statements, the decision
+    /// tree must report the *earliest* granting rule's static pre-order id —
+    /// later grants are shadowed — and agree with the reference interpreter
+    /// on the full decision.
+    #[test]
+    fn rules_first_match_reports_earliest_granting_rule(
+        grants in proptest::collection::vec(any::<bool>(), 1..6),
+    ) {
+        let allows: String = grants
+            .iter()
+            .map(|g| format!("allow read: if {g};\n"))
+            .collect();
+        let src = format!(
+            "service cloud.firestore {{\n  match /databases/{{db}}/documents {{\n    \
+             match /c/{{d}} {{\n{allows}    }}\n  }}\n}}"
+        );
+        let rs = rules::parse_ruleset(&src).unwrap();
+        let compiled = rules::compile(&rs);
+        let req = rules::RequestContext::for_document(
+            rules::Method::Get, &["c", "x"], None, None, None,
+        );
+        let decision = compiled.decide(&req, &rules::EmptyDataSource);
+        let earliest = grants.iter().position(|g| *g).map(|i| i as u32);
+        prop_assert_eq!(decision.allowed, earliest.is_some());
+        prop_assert_eq!(decision.rule, earliest, "shadowed rule reported");
+        prop_assert_eq!(decision, rs.decide(&req, &rules::EmptyDataSource));
+    }
+
+    /// on_no_match: a request whose path matches no rule pattern falls off
+    /// the decision tree and is denied with no rule id — identically in the
+    /// compiled tree and the interpreter.
+    #[test]
+    fn rules_unmatched_paths_deny_with_no_rule(seg in "[a-b]{1,8}", id in "[a-z]{1,8}") {
+        let rs = rules::parse_ruleset(r#"
+            service cloud.firestore {
+              match /databases/{db}/documents {
+                match /watched/{d} { allow read, write: if true; }
+              }
+            }
+        "#).unwrap();
+        let compiled = rules::compile(&rs);
+        let req = rules::RequestContext::for_document(
+            rules::Method::Get, &[seg.as_str(), id.as_str()], None, None, None,
+        );
+        let decision = compiled.decide(&req, &rules::EmptyDataSource);
+        prop_assert!(!decision.allowed);
+        prop_assert_eq!(decision.rule, None);
+        prop_assert_eq!(decision, rs.decide(&req, &rules::EmptyDataSource));
+    }
+
+    /// on_no_match for the Query Matcher: a change under a collection no
+    /// registered query watches descends to no bucket, matches no tokens,
+    /// and EXPLAIN renders the drop decision.
+    #[test]
+    fn matcher_unwatched_changes_drop(
+        n_regs in 1usize..12,
+        seg in "[d-z]{2,8}",
+        id in "[a-z]{1,6}",
+    ) {
+        use spanner::database::DirectoryId;
+        let dir = DirectoryId(5);
+        let mut tree: firestore_core::MatcherTree<usize> = firestore_core::MatcherTree::new(2);
+        for t in 0..n_regs {
+            // All registrations watch /c (and only /c).
+            let q = Query::parse("/c")
+                .unwrap()
+                .filter("v", FilterOp::Eq, Value::Int(t as i64));
+            tree.register(t, &[0, 1], dir, &q);
+        }
+        // `seg` starts with d-z: never the watched collection "c".
+        let change = firestore_core::DocumentChange {
+            name: doc(&format!("/{seg}/{id}")),
+            old: None,
+            new: Some(Document::new(
+                doc(&format!("/{seg}/{id}")),
+                [("v".to_string(), Value::Int(1))],
+            )),
+        };
+        for shard in 0..2 {
+            prop_assert!(tree.match_change(shard, dir, &change).is_empty());
+            let trace = tree.explain_change(shard, dir, &change);
+            prop_assert!(!trace.bucket_found);
+            let rendered = firestore_core::explain::render_matcher_descent(&trace);
+            prop_assert!(
+                rendered.contains("on_no_match: drop change"),
+                "EXPLAIN must show the drop: {}", rendered
+            );
+        }
+    }
+}
+
 // --- retry backoff determinism ----------------------------------------------
 
 proptest! {

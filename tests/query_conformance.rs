@@ -88,7 +88,12 @@ fn build_world(rng: &mut SimRng) -> (FirestoreDatabase, Vec<Document>) {
 /// A random query over the world's fields: equalities, at most one `in`,
 /// array-contains, inequality bounds, order-by, offset and limit.
 fn gen_query(rng: &mut SimRng) -> Query {
-    let mut q = Query::parse("/c").unwrap();
+    gen_query_in(rng, "c")
+}
+
+/// [`gen_query`] against an arbitrary collection path.
+fn gen_query_in(rng: &mut SimRng, coll: &str) -> Query {
+    let mut q = Query::parse(&format!("/{coll}")).unwrap();
     let mut unused: Vec<&str> = FIELDS.to_vec();
     // Equality filters on up to two fields.
     let n_eq = rng.gen_range(3);
@@ -423,4 +428,264 @@ fn in_filter_matches_union_of_equalities() {
     let got: Vec<DocumentName> = res.documents.iter().map(|d| d.name.clone()).collect();
     assert_eq!(got, oracle(&q, &docs).unwrap());
     assert_eq!(got.len(), 3);
+}
+
+// --- Query Matcher decision tree: differential against brute force --------
+//
+// The realtime Query Matcher (`firestore_core::matchtree`) must route a
+// document change to exactly the registered queries a per-change linear
+// scan with `matches_document` would pick. The differential tracks its own
+// registration list (token, shards, directory, unwindowed query) and
+// replays random register / unregister / change sequences against both.
+//
+// Seed control mirrors the query differential: `MATCHER_SEED` (default
+// fixed), `MATCHER_CASES` (default 800 change probes).
+
+use firestore_core::matchtree::{MatcherMutation, MatcherTree};
+use firestore_core::DocumentChange;
+use spanner::database::DirectoryId;
+
+const MATCHER_SHARDS: usize = 4;
+const MATCHER_COLLS: [&str; 3] = ["c", "d", "c/d0/sub"];
+const MATCHER_DIRS: [DirectoryId; 2] = [DirectoryId(3), DirectoryId(9)];
+
+struct MatcherReg {
+    token: usize,
+    shards: Vec<usize>,
+    dir: DirectoryId,
+    /// The matching semantics: the registered query without its window.
+    query: Query,
+}
+
+fn gen_matcher_reg(rng: &mut SimRng, token: usize) -> MatcherReg {
+    let coll = MATCHER_COLLS[rng.gen_range(MATCHER_COLLS.len() as u64) as usize];
+    let query = gen_query_in(rng, coll);
+    let mut shards: Vec<usize> = (0..MATCHER_SHARDS)
+        .filter(|_| rng.gen_bool(0.5))
+        .collect();
+    if shards.is_empty() {
+        shards.push(rng.gen_range(MATCHER_SHARDS as u64) as usize);
+    }
+    MatcherReg {
+        token,
+        shards,
+        dir: MATCHER_DIRS[rng.gen_range(2) as usize],
+        query: query.without_window(),
+    }
+}
+
+fn gen_matcher_doc(rng: &mut SimRng, name: &DocumentName) -> Document {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    for f in FIELDS {
+        if rng.gen_bool(0.85) {
+            fields.push((f.to_string(), pool_value(rng)));
+        }
+    }
+    Document::new(name.clone(), fields)
+}
+
+/// A random insert, update, or delete under one of the matcher collections
+/// — or, occasionally, under an unwatched one.
+fn gen_matcher_change(rng: &mut SimRng) -> DocumentChange {
+    let coll = if rng.gen_bool(0.1) {
+        "elsewhere"
+    } else {
+        MATCHER_COLLS[rng.gen_range(MATCHER_COLLS.len() as u64) as usize]
+    };
+    let name = doc(&format!("/{coll}/d{:02}", rng.gen_range(30)));
+    let old = rng.gen_bool(0.5).then(|| gen_matcher_doc(rng, &name));
+    let new = if old.is_none() || rng.gen_bool(0.8) {
+        Some(gen_matcher_doc(rng, &name))
+    } else {
+        None // delete
+    };
+    DocumentChange { name, old, new }
+}
+
+/// What the tree must return: every live registration covering this shard
+/// and directory whose query matches the old or the new document version.
+fn brute_force_tokens(
+    regs: &[MatcherReg],
+    shard: usize,
+    dir: DirectoryId,
+    change: &DocumentChange,
+) -> Vec<usize> {
+    let docs: Vec<&Document> = change.old.iter().chain(change.new.iter()).collect();
+    let mut tokens: Vec<usize> = regs
+        .iter()
+        .filter(|r| {
+            r.shards.contains(&shard)
+                && r.dir == dir
+                && docs.iter().any(|d| matches_document(&r.query, d))
+        })
+        .map(|r| r.token)
+        .collect();
+    tokens.sort_unstable();
+    tokens
+}
+
+/// One differential round: build a random registration set, churn it with
+/// some unregistrations, then probe random changes on both sides. Returns
+/// the number of (probe, shard, dir) comparisons that disagreed — the main
+/// test asserts zero; the mutation-sweep tests assert nonzero. When
+/// `witnesses` is given, each disagreement is rendered into it (the main
+/// test persists these as a CI failure artifact).
+fn matcher_differential_round(
+    rng: &mut SimRng,
+    probes: usize,
+    mutation: Option<MatcherMutation>,
+    mut witnesses: Option<&mut Vec<String>>,
+) -> usize {
+    let mut tree: MatcherTree<usize> = MatcherTree::new(MATCHER_SHARDS);
+    tree.set_mutation(mutation);
+    let mut regs: Vec<MatcherReg> = Vec::new();
+    let n = 1 + rng.gen_range(24) as usize;
+    for token in 0..n {
+        let reg = gen_matcher_reg(rng, token);
+        tree.register(reg.token, &reg.shards, reg.dir, &reg.query);
+        regs.push(reg);
+    }
+    // Churn: drop a few registrations so unregister paths are exercised.
+    let drops = rng.gen_range(4) as usize;
+    for _ in 0..drops.min(regs.len().saturating_sub(1)) {
+        let victim = rng.gen_range(regs.len() as u64) as usize;
+        let reg = regs.swap_remove(victim);
+        tree.unregister(&reg.token);
+    }
+    if mutation.is_none() {
+        tree.debug_validate().expect("matcher invariants after churn");
+    }
+    let mut mismatches = 0usize;
+    for _ in 0..probes {
+        let change = gen_matcher_change(rng);
+        let shard = rng.gen_range(MATCHER_SHARDS as u64) as usize;
+        let dir = MATCHER_DIRS[rng.gen_range(2) as usize];
+        let got = tree.match_change(shard, dir, &change);
+        let expect = brute_force_tokens(&regs, shard, dir, &change);
+        if got != expect {
+            mismatches += 1;
+            if let Some(out) = witnesses.as_deref_mut() {
+                let regs_desc: Vec<String> = regs
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "  token {} shards {:?} dir {:?}: {:?}",
+                            r.token, r.shards, r.dir, r.query
+                        )
+                    })
+                    .collect();
+                out.push(format!(
+                    "change {change:?}\nshard {shard} dir {dir:?}\n\
+                     tree:        {got:?}\nbrute force: {expect:?}\nregistrations:\n{}",
+                    regs_desc.join("\n")
+                ));
+            }
+        }
+    }
+    mismatches
+}
+
+#[test]
+fn matcher_tree_matches_brute_force_scan() {
+    let seed: u64 = std::env::var("MATCHER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF1DE_5711);
+    let cases: usize = std::env::var("MATCHER_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    println!("matcher differential: MATCHER_SEED={seed} MATCHER_CASES={cases}");
+    let probes_per_round = 20;
+    let rounds = cases.div_ceil(probes_per_round);
+    let mut rng = SimRng::new(seed);
+    for round in 0..rounds {
+        let mut rrng = rng.split();
+        let mut witnesses = Vec::new();
+        let mismatches =
+            matcher_differential_round(&mut rrng, probes_per_round, None, Some(&mut witnesses));
+        if mismatches > 0 {
+            // Persist every disagreement for CI's failure-artifact upload;
+            // seed + round replays the exact sequence locally.
+            let path = format!("target/matcher_counterexample_{seed}_{round}.txt");
+            let body = format!(
+                "MATCHER_SEED={seed} round {round}: {mismatches} divergent probes\n\n{}",
+                witnesses.join("\n\n")
+            );
+            if std::fs::write(&path, &body).is_ok() {
+                eprintln!("(counterexample written to {path})");
+            }
+            panic!(
+                "MATCHER_SEED={seed} round {round}: matcher tree diverged from \
+                 the brute-force scan on {mismatches} probes:\n\n{}",
+                witnesses.join("\n\n")
+            );
+        }
+    }
+}
+
+#[test]
+fn matcher_mutations_are_caught_by_the_differential() {
+    // Fixed internal seed: this asserts the suite's killing power and must
+    // not flake when the nightly randomizes MATCHER_SEED.
+    const SWEEP_SEED: u64 = 0xD1FF_0002;
+    for mutation in [
+        MatcherMutation::SwappedRangeBound,
+        MatcherMutation::StaleShardAfterUnregister,
+    ] {
+        let mut rng = SimRng::new(SWEEP_SEED);
+        let mut caught = 0usize;
+        for _ in 0..40 {
+            let mut rrng = rng.split();
+            caught += matcher_differential_round(&mut rrng, 20, Some(mutation), None);
+        }
+        assert!(
+            caught > 0,
+            "{mutation:?} survived a 40-round differential sweep — the \
+             matcher suite has lost its mutation-killing power"
+        );
+    }
+}
+
+#[test]
+fn swapped_range_bound_mutation_drops_interval_matches() {
+    // Deterministic witness: a range query `a > 2` must match a=3. The
+    // swapped-bound mutation inverts the interval probe and loses it.
+    let mut tree: MatcherTree<u32> = MatcherTree::new(1);
+    let q = Query::parse("/c")
+        .unwrap()
+        .filter("a", FilterOp::Gt, Value::Int(2))
+        .order_by("a", Direction::Asc);
+    tree.register(7, &[0], DirectoryId(3), &q);
+    let change = DocumentChange {
+        name: doc("/c/x"),
+        old: None,
+        new: Some(Document::new(doc("/c/x"), [("a".to_string(), Value::Int(3))])),
+    };
+    assert_eq!(tree.match_change(0, DirectoryId(3), &change), vec![7]);
+    tree.set_mutation(Some(MatcherMutation::SwappedRangeBound));
+    assert!(
+        tree.match_change(0, DirectoryId(3), &change).is_empty(),
+        "mutation must lose the interval hit for the differential to catch"
+    );
+}
+
+#[test]
+fn stale_shard_mutation_resurrects_unregistered_listener() {
+    let mut tree: MatcherTree<u32> = MatcherTree::new(2);
+    let q = Query::parse("/c")
+        .unwrap()
+        .filter("a", FilterOp::Eq, Value::Int(1));
+    tree.set_mutation(Some(MatcherMutation::StaleShardAfterUnregister));
+    tree.register(7, &[0, 1], DirectoryId(3), &q);
+    tree.unregister(&7);
+    let change = DocumentChange {
+        name: doc("/c/x"),
+        old: None,
+        new: Some(Document::new(doc("/c/x"), [("a".to_string(), Value::Int(1))])),
+    };
+    // The mutation skips the last covering shard during unregister: the
+    // dead token still matches there, and the invariant check notices.
+    assert_eq!(tree.match_change(1, DirectoryId(3), &change), vec![7]);
+    assert!(tree.debug_validate().is_err(), "stale index must fail validation");
 }
