@@ -336,7 +336,7 @@ impl Emulator {
                                 out.push_str(&format!("  {:?}: {}\n", c.kind, c.doc));
                             }
                         }
-                        ListenEvent::Reset { query } => {
+                        ListenEvent::Reset { query, .. } => {
                             out.push_str(&format!("reset {query:?}: re-run the query\n"));
                         }
                     }

@@ -20,7 +20,7 @@ use firestore_core::{
     Precondition, Query, RetryBudget, RetryPolicy, Value, Write,
 };
 use parking_lot::Mutex;
-use realtime::{Connection, ListenEvent, RealtimeCache};
+use realtime::{Connection, ListenEvent, RealtimeCache, ResetCause};
 use rules::AuthContext;
 use simkit::Timestamp;
 use std::collections::HashMap;
@@ -94,7 +94,17 @@ struct ClientState {
     conn: Option<Connection>,
     /// Errors from asynchronously rejected queued writes.
     write_errors: Vec<ClientError>,
+    /// Listeners shed by the cache under overload, with the number of
+    /// [`FirestoreClient::sync`] calls still to skip before re-seeding.
+    /// Immediate re-subscription would re-create the pressure that shed
+    /// them; fault resets recover without delay.
+    deferred_reseeds: Vec<(ListenerId, u32)>,
+    /// Overload (voluntary) resets observed, for tests and workloads.
+    overload_resets: u64,
 }
+
+/// `sync()` calls an overload-shed listener sits out before re-seeding.
+const OVERLOAD_RESEED_DELAY_SYNCS: u32 = 2;
 
 /// A Mobile/Web SDK client instance (one end-user device).
 pub struct FirestoreClient {
@@ -124,6 +134,8 @@ impl FirestoreClient {
                 next_listener: 1,
                 conn: Some(conn),
                 write_errors: Vec::new(),
+                deferred_reseeds: Vec::new(),
+                overload_resets: 0,
             }),
             retry_policy: RetryPolicy::default(),
             retry_budget: Mutex::new(RetryBudget::default()),
@@ -161,6 +173,11 @@ impl FirestoreClient {
     /// Drain asynchronously rejected write errors.
     pub fn take_write_errors(&self) -> Vec<ClientError> {
         std::mem::take(&mut self.state.lock().write_errors)
+    }
+
+    /// Overload (voluntary) resets this client has absorbed.
+    pub fn overload_resets(&self) -> u64 {
+        self.state.lock().overload_resets
     }
 
     /// Serialize the local cache for persistence.
@@ -596,6 +613,16 @@ impl FirestoreClient {
         let mut resets: Vec<ListenerId> = Vec::new();
         {
             let mut st = self.state.lock();
+            // Tick overload backoffs: expired entries re-seed this sync.
+            let mut i = 0;
+            while i < st.deferred_reseeds.len() {
+                if st.deferred_reseeds[i].1 == 0 {
+                    resets.push(st.deferred_reseeds.remove(i).0);
+                } else {
+                    st.deferred_reseeds[i].1 -= 1;
+                    i += 1;
+                }
+            }
             for event in events {
                 match event {
                     ListenEvent::Snapshot {
@@ -625,14 +652,21 @@ impl FirestoreClient {
                         let _ = query;
                         Self::notify_listeners(&mut st, &touched, false);
                     }
-                    ListenEvent::Reset { query } => {
+                    ListenEvent::Reset { query, cause } => {
                         let id = st
                             .listeners
                             .iter()
                             .find(|(_, l)| l.server_query == Some(query))
                             .map(|(id, _)| *id);
                         if let Some(id) = id {
-                            resets.push(id);
+                            match cause {
+                                ResetCause::Fault => resets.push(id),
+                                ResetCause::Overload => {
+                                    st.overload_resets += 1;
+                                    st.deferred_reseeds
+                                        .push((id, OVERLOAD_RESEED_DELAY_SYNCS));
+                                }
+                            }
                         }
                     }
                 }

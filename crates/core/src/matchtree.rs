@@ -80,6 +80,12 @@ pub struct MatchStats {
     pub matched_shapes: u64,
     /// Tokens fanned out.
     pub tokens: u64,
+    /// Top-level descents performed (bucket-key computation + lookup).
+    /// Under [`MatcherTree::match_batch`] this is per *distinct collection
+    /// per batch*, not per change.
+    pub descents: u64,
+    /// Changes whose top-level descent was answered by the batch memo.
+    pub memo_hits: u64,
 }
 
 /// One step of a descent, for EXPLAIN rendering (see
@@ -369,6 +375,7 @@ impl<T: Clone + Ord + std::fmt::Debug> MatcherTree<T> {
     ) -> Vec<T> {
         let (tokens, trace) = self.descend(shard, dir, change);
         self.stats.changes += 1;
+        self.stats.descents += 1;
         if trace.bucket_found {
             self.stats.buckets_probed += 1;
         }
@@ -376,6 +383,113 @@ impl<T: Clone + Ord + std::fmt::Debug> MatcherTree<T> {
         self.stats.matched_shapes += trace.matched_shapes as u64;
         self.stats.tokens += tokens.len() as u64;
         tokens
+    }
+
+    /// Match a batch of changes in their owner `shard`, amortizing the
+    /// top-level descent: the bucket-key computation and bucket lookup for
+    /// each distinct parent collection run once per batch (memoized), so a
+    /// burst of writes to a hot collection costs one tree descent plus one
+    /// per-change bucket probe. Returns one token list per change, aligned
+    /// with the input.
+    pub fn match_batch(
+        &mut self,
+        shard: usize,
+        dir: DirectoryId,
+        changes: &[&DocumentChange],
+    ) -> Vec<Vec<T>> {
+        let mut delta = MatchStats::default();
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(changes.len());
+        {
+            let mutation = self.mutation;
+            let shard_ref = self.shards.get(shard);
+            let mut memo: BTreeMap<crate::path::CollectionPath, Option<&Bucket>> = BTreeMap::new();
+            for change in changes {
+                delta.changes += 1;
+                let Some(sh) = shard_ref else {
+                    out.push(Vec::new());
+                    continue;
+                };
+                let parent = change.name.parent();
+                let bucket = match memo.get(&parent) {
+                    Some(b) => {
+                        delta.memo_hits += 1;
+                        *b
+                    }
+                    None => {
+                        delta.descents += 1;
+                        let key = dir.key(&parent.encode_prefix()).as_slice().to_vec();
+                        let b = sh.buckets.get(&key);
+                        memo.insert(parent, b);
+                        b
+                    }
+                };
+                let Some(bucket) = bucket else {
+                    out.push(Vec::new());
+                    continue;
+                };
+                delta.buckets_probed += 1;
+                let mut trace = DescentTrace {
+                    shard,
+                    collection: String::new(),
+                    bucket_found: true,
+                    shapes_in_bucket: 0,
+                    steps: Vec::new(),
+                    candidates: 0,
+                    matched_shapes: 0,
+                    tokens: 0,
+                };
+                let tokens = Self::probe_bucket(sh, bucket, mutation, change, &mut trace, false);
+                delta.candidates += trace.candidates as u64;
+                delta.matched_shapes += trace.matched_shapes as u64;
+                delta.tokens += tokens.len() as u64;
+                out.push(tokens);
+            }
+        }
+        self.stats.changes += delta.changes;
+        self.stats.descents += delta.descents;
+        self.stats.memo_hits += delta.memo_hits;
+        self.stats.buckets_probed += delta.buckets_probed;
+        self.stats.candidates += delta.candidates;
+        self.stats.matched_shapes += delta.matched_shapes;
+        self.stats.tokens += delta.tokens;
+        out
+    }
+
+    /// Every token registered in the collection bucket `bucket_key`
+    /// (a `dir.key(collection.encode_prefix())` key, the same form
+    /// [`MatcherTree::register`] buckets by), across all shards. This is
+    /// the reset path's inverse lookup: work is proportional to the
+    /// shapes *in that bucket*, never to total registrations, because
+    /// matching is bucket-exact — a query outside the bucket can never
+    /// have observed a document inside it.
+    pub fn bucket_tokens(&self, bucket_key: &[u8]) -> Vec<T> {
+        let mut out: Vec<T> = Vec::new();
+        for sh in &self.shards {
+            let Some(bucket) = sh.buckets.get(bucket_key) else {
+                continue;
+            };
+            let mut sids: Vec<usize> = bucket.scan.clone();
+            for values in bucket.eq.values() {
+                for shapes in values.values() {
+                    sids.extend_from_slice(shapes);
+                }
+            }
+            for entries in bucket.ranges.values() {
+                for e in entries {
+                    sids.push(e.shape);
+                }
+            }
+            sids.sort_unstable();
+            sids.dedup();
+            for sid in sids {
+                if let Some(shape) = sh.shapes.get(sid).and_then(|s| s.as_ref()) {
+                    out.extend(shape.tokens.iter().cloned());
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
     }
 
     /// The descent of [`MatcherTree::match_change`], with its trace, and
@@ -414,6 +528,22 @@ impl<T: Clone + Ord + std::fmt::Debug> MatcherTree<T> {
             return (Vec::new(), trace);
         };
         trace.bucket_found = true;
+        let out = Self::probe_bucket(sh, bucket, self.mutation, change, &mut trace, true);
+        (out, trace)
+    }
+
+    /// The bucket-level probe shared by [`MatcherTree::match_change`] and
+    /// [`MatcherTree::match_batch`] — everything below the top-level
+    /// collection lookup. `record_steps` gates the EXPLAIN step log (the
+    /// batch path skips it to keep the hot loop allocation-light).
+    fn probe_bucket(
+        sh: &Shard<T>,
+        bucket: &Bucket,
+        mutation: Option<MatcherMutation>,
+        change: &DocumentChange,
+        trace: &mut DescentTrace,
+        record_steps: bool,
+    ) -> Vec<T> {
         trace.shapes_in_bucket = bucket.scan.len()
             + bucket
                 .eq
@@ -425,14 +555,16 @@ impl<T: Clone + Ord + std::fmt::Debug> MatcherTree<T> {
             .into_iter()
             .flatten()
             .collect();
-        let swapped = self.mutation == Some(MatcherMutation::SwappedRangeBound);
+        let swapped = mutation == Some(MatcherMutation::SwappedRangeBound);
         let mut cand: Vec<usize> = Vec::new();
 
         if !bucket.scan.is_empty() {
             cand.extend_from_slice(&bucket.scan);
-            trace.steps.push(DescentStep::Scan {
-                shapes: bucket.scan.len(),
-            });
+            if record_steps {
+                trace.steps.push(DescentStep::Scan {
+                    shapes: bucket.scan.len(),
+                });
+            }
         }
         for (field, values) in &bucket.eq {
             let mut hits = 0;
@@ -454,10 +586,12 @@ impl<T: Clone + Ord + std::fmt::Debug> MatcherTree<T> {
                     }
                 }
             }
-            trace.steps.push(DescentStep::EqProbe {
-                field: field.clone(),
-                hits,
-            });
+            if record_steps {
+                trace.steps.push(DescentStep::EqProbe {
+                    field: field.clone(),
+                    hits,
+                });
+            }
         }
         for (field, entries) in &bucket.ranges {
             let mut examined = 0;
@@ -482,11 +616,13 @@ impl<T: Clone + Ord + std::fmt::Debug> MatcherTree<T> {
                     }
                 }
             }
-            trace.steps.push(DescentStep::RangeProbe {
-                field: field.clone(),
-                examined,
-                hits,
-            });
+            if record_steps {
+                trace.steps.push(DescentStep::RangeProbe {
+                    field: field.clone(),
+                    examined,
+                    hits,
+                });
+            }
         }
 
         cand.sort_unstable();
@@ -508,7 +644,7 @@ impl<T: Clone + Ord + std::fmt::Debug> MatcherTree<T> {
         out.sort();
         out.dedup();
         trace.tokens = out.len();
-        (out, trace)
+        out
     }
 
     fn shard_insert(&mut self, s: usize, bucket: &[u8], shape: &[u8], query: &Query, token: T) {
@@ -909,6 +1045,73 @@ mod tests {
         let got = t.match_change(0, dir(), &change("/c/d", vec![("v", Value::Str("42".into()))]));
         assert!(got.is_empty());
         t.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn match_batch_agrees_with_per_change_and_memoizes_descents() {
+        let mk = || {
+            let mut t: MatcherTree<u32> = MatcherTree::new(1);
+            for i in 0..10 {
+                let q = Query::parse("/c")
+                    .unwrap()
+                    .filter("v", FilterOp::Eq, Value::Int(i));
+                t.register(i as u32, &[0], dir(), &q);
+            }
+            t.register(99, &[0], dir(), &Query::parse("/d").unwrap());
+            t
+        };
+        let changes: Vec<DocumentChange> = (0..20)
+            .map(|i| change(&format!("/c/d{i}"), vec![("v", Value::Int(i % 10))]))
+            .chain([change("/d/x", vec![]), change("/nobody/x", vec![])])
+            .collect();
+        let mut batch_tree = mk();
+        let refs: Vec<&DocumentChange> = changes.iter().collect();
+        let batched = batch_tree.match_batch(0, dir(), &refs);
+        let mut single_tree = mk();
+        let singles: Vec<Vec<u32>> = changes
+            .iter()
+            .map(|c| single_tree.match_change(0, dir(), c))
+            .collect();
+        assert_eq!(batched, singles, "batch matching must be a pure refactor");
+        // 22 changes over 3 distinct collections: 3 descents, 19 memo hits.
+        assert_eq!(batch_tree.stats().descents, 3);
+        assert_eq!(batch_tree.stats().memo_hits, 19);
+        assert_eq!(single_tree.stats().descents, 22);
+        assert_eq!(single_tree.stats().memo_hits, 0);
+    }
+
+    #[test]
+    fn bucket_tokens_finds_every_registration_in_the_bucket_only() {
+        let mut t: MatcherTree<u32> = MatcherTree::new(2);
+        // Scan-list shape (bare collection), eq shape, range shape — all in /c.
+        t.register(1, &[0, 1], dir(), &Query::parse("/c").unwrap());
+        let q_eq = Query::parse("/c")
+            .unwrap()
+            .filter("v", FilterOp::Eq, Value::Int(5));
+        t.register(2, &[0], dir(), &q_eq);
+        // A second token multiplexed on the same eq shape.
+        t.register(3, &[0], dir(), &q_eq.clone().limit(1));
+        let q_range = Query::parse("/c")
+            .unwrap()
+            .filter("v", FilterOp::Gt, Value::Int(0))
+            .order_by("v", Direction::Asc);
+        t.register(4, &[1], dir(), &q_range);
+        // A different collection must not be swept in.
+        t.register(5, &[0], dir(), &Query::parse("/other").unwrap());
+
+        let bucket = dir()
+            .key(&crate::path::CollectionPath::parse("/c").unwrap().encode_prefix())
+            .as_slice()
+            .to_vec();
+        assert_eq!(t.bucket_tokens(&bucket), vec![1, 2, 3, 4]);
+        let other = dir()
+            .key(&crate::path::CollectionPath::parse("/other").unwrap().encode_prefix())
+            .as_slice()
+            .to_vec();
+        assert_eq!(t.bucket_tokens(&other), vec![5]);
+        assert!(t.bucket_tokens(b"missing").is_empty());
+        t.unregister(&2);
+        assert_eq!(t.bucket_tokens(&bucket), vec![1, 3, 4]);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!    only when every subscribed range has reached a common timestamp, and
 //!    all queries on a connection advance together.
 
+use crate::fanout::{
+    DeltaBuffer, FanoutMeter, FanoutOptions, OutboundQueue, QueueGauge, QueuePressure, ResetCause,
+};
 use crate::range::RangeMap;
 use crate::view::QueryView;
 pub use crate::view::{ChangeKind, DocChangeEvent};
@@ -30,8 +33,8 @@ use simkit::fault::{FaultInjector, FaultKind};
 use simkit::history::{HistoryEvent, HistoryRecorder};
 use simkit::{Duration, Obs, Timestamp, TrueTime};
 use spanner::database::DirectoryId;
-use spanner::{Key, KeyRange};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use spanner::Key;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A client connection id.
@@ -57,11 +60,17 @@ pub enum ListenEvent {
         /// Whether this is the initial snapshot after `listen`.
         is_initial: bool,
     },
-    /// The query's range went out of sync (unknown write outcome, task
-    /// restart); the client must re-run the query and listen again.
+    /// The query went out of sync and must be recovered: the client
+    /// re-runs the query and listens again. `cause` says why — `Fault` is
+    /// the paper's involuntary path (unknown write outcome, expired
+    /// Prepare, task restart); `Overload` is the voluntary path (the
+    /// listener exceeded a queue/buffer bound or stalled past its drain
+    /// deadline and its queued deltas were dropped).
     Reset {
         /// The invalidated query.
         query: QueryId,
+        /// Why the reset fired.
+        cause: ResetCause,
     },
 }
 
@@ -75,6 +84,9 @@ pub struct RealtimeOptions {
     /// timestamp (plus a small margin) sets how long the Changelog will
     /// wait", §IV-D4).
     pub accept_margin: Duration,
+    /// Overload-safety knobs: per-connection queue bounds, backpressure
+    /// watermark, stall deadline, flush cadence, coalescing buffer bound.
+    pub fanout: FanoutOptions,
 }
 
 impl Default for RealtimeOptions {
@@ -82,6 +94,7 @@ impl Default for RealtimeOptions {
         RealtimeOptions {
             tasks: 4,
             accept_margin: Duration::from_secs(5),
+            fanout: FanoutOptions::default(),
         }
     }
 }
@@ -97,45 +110,88 @@ pub struct RealtimeStats {
     pub notifications: u64,
     /// Snapshot events emitted.
     pub snapshots: u64,
-    /// Query resets due to out-of-sync ranges.
+    /// Query resets (fault + overload).
     pub resets: u64,
+    /// Resets on the involuntary fault path (§IV-D4 out-of-sync).
+    pub resets_fault: u64,
+    /// Voluntary overload resets (queue/buffer bound, stall deadline).
+    pub resets_overload: u64,
+    /// Buffered changes absorbed by per-flush coalescing (a hot document's
+    /// superseded versions that were never materialized).
+    pub coalesced: u64,
+    /// Outbound events dropped by overload resets.
+    pub dropped_events: u64,
+    /// Changelog flushes routed through the matcher.
+    pub flushes: u64,
     /// Currently registered real-time queries.
     pub active_queries: usize,
+    /// Resident outbound-queue bytes across all connections (gauge,
+    /// computed at [`RealtimeCache::stats`] time).
+    pub queued_bytes: usize,
+    /// Resident outbound-queue events across all connections (gauge).
+    pub queued_events: usize,
 }
 
 struct Pending {
     token: u64,
     min_ts: Timestamp,
     max_ts: Timestamp,
-    keys: Vec<Key>,
+    /// Collection-bucket keys (`dir.key(parent.encode_prefix())`) of the
+    /// prepared documents — the reset path's inverse-lookup handles. The
+    /// matcher routes changes bucket-exactly, so the queries registered in
+    /// these buckets are precisely the ones that could have observed the
+    /// writes.
+    buckets: Vec<Vec<u8>>,
 }
 
 #[derive(Default)]
 struct TaskState {
     pending: Vec<Pending>,
     watermark: Timestamp,
-    /// Subscriptions routed to this task.
-    subscribers: Vec<(ConnectionId, QueryId)>,
+    /// Committed changes accepted but not yet routed through the matcher
+    /// (batched changelog application; empty in eager mode). The task's
+    /// watermark cannot pass an unrouted entry.
+    backlog: Vec<(DirectoryId, Timestamp, Arc<DocumentChange>)>,
 }
 
 struct QueryState {
     /// Directory of the database the query listens on (stamped on the
     /// oracle events this listener records).
     dir: DirectoryId,
-    range: KeyRange,
     sources: Vec<usize>,
-    source_watermarks: HashMap<usize, Timestamp>,
     /// Updates at or below this timestamp are already reflected.
     resume: Timestamp,
     view: QueryView,
-    /// Committed-but-not-yet-consistent updates, by commit timestamp.
-    buffered: BTreeMap<Timestamp, Vec<DocumentChange>>,
+    /// Committed-but-not-yet-consistent updates, shared-payload and
+    /// coalesced per document at flush time.
+    buffered: DeltaBuffer,
 }
 
-#[derive(Default)]
 struct ConnState {
     queries: HashMap<QueryId, QueryState>,
-    out: VecDeque<ListenEvent>,
+    out: OutboundQueue<ListenEvent>,
+}
+
+impl ConnState {
+    fn new(opts: &FanoutOptions, now: Timestamp) -> ConnState {
+        ConnState {
+            queries: HashMap::new(),
+            out: OutboundQueue::new(opts, now),
+        }
+    }
+}
+
+/// Approximate wire cost of one outbound event, for queue byte-accounting.
+fn event_cost(event: &ListenEvent) -> usize {
+    match event {
+        ListenEvent::Snapshot { changes, .. } => {
+            32 + changes
+                .iter()
+                .map(|c| 24 + 24 * c.doc.fields.len())
+                .sum::<usize>()
+        }
+        ListenEvent::Reset { .. } => 40,
+    }
 }
 
 struct RtState {
@@ -166,6 +222,10 @@ struct RtState {
     /// The snapshot held back by `oracle_reorder`, with its recorded
     /// visible digests.
     oracle_stash: Vec<StashedEmission>,
+    /// Bounded-cardinality per-connection queue metrics (top-K + other).
+    meter: FanoutMeter,
+    /// When the changelog backlog was last flushed through the matcher.
+    last_flush: Timestamp,
 }
 
 /// A listener emission in flight: the event, the visible per-document
@@ -211,6 +271,8 @@ impl RealtimeCache {
                 oracle_drop_changes: 0,
                 oracle_reorder: false,
                 oracle_stash: Vec::new(),
+                meter: FanoutMeter::new(),
+                last_flush: Timestamp::ZERO,
             })),
         }
     }
@@ -313,15 +375,36 @@ impl RealtimeCache {
         let st = self.state.lock();
         let mut s = st.stats;
         s.active_queries = st.conns.values().map(|c| c.queries.len()).sum();
+        s.queued_bytes = st.conns.values().map(|c| c.out.bytes()).sum();
+        s.queued_events = st.conns.values().map(|c| c.out.len()).sum();
         s
+    }
+
+    /// How loaded the fanout pipeline is, in `[0, 1]`: the fraction of
+    /// connections at or above their backpressure watermark. The serving
+    /// layer feeds this into the tenant control plane so listener
+    /// admission sheds before the cache has to.
+    pub fn fanout_pressure(&self) -> f64 {
+        let st = self.state.lock();
+        if st.conns.is_empty() {
+            return 0.0;
+        }
+        let hot = st
+            .conns
+            .values()
+            .filter(|c| c.out.pressure() != QueuePressure::Normal)
+            .count();
+        hot as f64 / st.conns.len() as f64
     }
 
     /// Open a client connection (to a Frontend task).
     pub fn connect(&self) -> Connection {
+        let now = self.truetime.clock().now();
         let mut st = self.state.lock();
         let id = ConnectionId(st.next_conn);
         st.next_conn += 1;
-        st.conns.insert(id, ConnState::default());
+        st.conns
+            .insert(id, ConnState::new(&self.opts.fanout, now));
         Connection {
             cache: self.clone(),
             id,
@@ -344,20 +427,20 @@ impl RealtimeCache {
         let now = self.truetime.clock().now();
         let mut st = self.state.lock();
         // Expire pending prepares past max + margin: unknown outcome.
-        let mut expired: Vec<(usize, Vec<Key>)> = Vec::new();
-        for (ti, task) in st.tasks.iter_mut().enumerate() {
+        let mut expired: Vec<Vec<Vec<u8>>> = Vec::new();
+        for task in st.tasks.iter_mut() {
             let margin = self.opts.accept_margin;
-            let mut expired_keys = Vec::new();
+            let mut expired_buckets = Vec::new();
             task.pending.retain(|p| {
                 if p.max_ts.saturating_add(margin) < now {
-                    expired_keys.extend(p.keys.iter().cloned());
+                    expired_buckets.extend(p.buckets.iter().cloned());
                     false
                 } else {
                     true
                 }
             });
-            if !expired_keys.is_empty() {
-                expired.push((ti, expired_keys));
+            if !expired_buckets.is_empty() {
+                expired.push(expired_buckets);
             }
         }
         if !expired.is_empty() {
@@ -366,10 +449,33 @@ impl RealtimeCache {
                     .incr("rtc.resets", &[("cause", "prepare-expired")], expired.len() as u64);
             }
         }
-        for (_, keys) in expired {
-            Self::reset_matching(&mut st, &keys);
+        for buckets in expired {
+            Self::reset_matching(&mut st, &buckets, "prepare-expired");
         }
+        // Flush the batched changelog when its interval elapses (eager mode
+        // keeps the backlog empty, so this is a no-op there).
+        let interval = self.opts.fanout.flush_interval;
+        let backlogged: usize = st.tasks.iter().map(|t| t.backlog.len()).sum();
+        if backlogged > 0
+            && (interval == Duration::ZERO
+                || now.saturating_sub(st.last_flush) >= interval
+                || backlogged >= self.opts.fanout.changelog_flush_changes)
+        {
+            self.flush_backlogs(&mut st, now);
+        }
+        self.enforce_overload(&mut st, now);
         self.advance_all(&mut st);
+        // Bounded per-connection queue gauges: top-K + "other".
+        let st = &mut *st;
+        if let Some(o) = &st.obs {
+            let meter = &mut st.meter;
+            meter.export_gauges(
+                &o.metrics,
+                st.conns
+                    .iter()
+                    .map(|(id, c)| (id.0, &c.out as &dyn QueueGauge)),
+            );
+        }
     }
 
     /// Rebuild the Query Matcher and every registered view after a cache
@@ -396,6 +502,9 @@ impl RealtimeCache {
         let st = &mut *st;
         for task in st.tasks.iter_mut() {
             task.pending.clear();
+            // Unrouted backlog died with the process: the requery below
+            // re-reads everything authoritatively at `snapshot_ts`.
+            task.backlog.clear();
             task.watermark = task.watermark.max(snapshot_ts);
         }
         let mut caught_up = 0usize;
@@ -419,10 +528,6 @@ impl RealtimeCache {
                         let deltas = qs.view.catch_up(docs);
                         qs.buffered.clear();
                         qs.resume = snapshot_ts;
-                        let sources = qs.sources.clone();
-                        for s in sources {
-                            qs.source_watermarks.insert(s, snapshot_ts);
-                        }
                         caught_up += 1;
                         if !deltas.is_empty() {
                             notifications += deltas.len() as u64;
@@ -437,17 +542,24 @@ impl RealtimeCache {
                                     visible: Self::visible_digests(&qs.view),
                                 });
                             }
-                            conn.out.push_back(ListenEvent::Snapshot {
+                            let ev = ListenEvent::Snapshot {
                                 query: qid,
                                 at: snapshot_ts,
                                 changes: deltas,
                                 is_initial: false,
-                            });
+                            };
+                            let cost = event_cost(&ev);
+                            conn.out.push(ev, cost);
                         }
                     }
                     Err(_) => {
                         let removed = conn.queries.remove(&qid);
-                        conn.out.push_back(ListenEvent::Reset { query: qid });
+                        let ev = ListenEvent::Reset {
+                            query: qid,
+                            cause: ResetCause::Fault,
+                        };
+                        let cost = event_cost(&ev);
+                        conn.out.push(ev, cost);
                         resets += 1;
                         if record {
                             if let Some(qs) = removed {
@@ -465,13 +577,6 @@ impl RealtimeCache {
         for ev in recorded {
             Self::record(st, ev);
         }
-        for task in st.tasks.iter_mut() {
-            task.subscribers.retain(|(c, q)| {
-                st.conns
-                    .get(c)
-                    .is_some_and(|conn| conn.queries.contains_key(q))
-            });
-        }
         // Rebuild the Query Matcher tree once, from the queries that
         // survived the requery loop. A single from-scratch rebuild (rather
         // than per-query unregister/re-register against the pre-crash tree)
@@ -484,6 +589,7 @@ impl RealtimeCache {
         st.stats.snapshots += snapshots;
         st.stats.notifications += notifications;
         st.stats.resets += resets;
+        st.stats.resets_fault += resets;
         caught_up
     }
 
@@ -517,13 +623,20 @@ impl RealtimeCache {
         }
         let token = st.next_token;
         st.next_token += 1;
-        let keys: Vec<Key> = names.iter().map(|n| dir.key(&n.encode())).collect();
-        let mut by_task: HashMap<usize, Vec<Key>> = HashMap::new();
-        for k in keys {
-            by_task.entry(st.ranges.owner(&k)).or_default().push(k);
+        // Group by owning task; remember each document's parent-collection
+        // bucket key — the handle the reset path uses for its sublinear
+        // inverse lookup through the matcher tree.
+        let mut by_task: HashMap<usize, Vec<Vec<u8>>> = HashMap::new();
+        for n in names {
+            let k: Key = dir.key(&n.encode());
+            let owner = st.ranges.owner(&k);
+            let bucket = dir.key(&n.parent().encode_prefix()).as_slice().to_vec();
+            by_task.entry(owner).or_default().push(bucket);
         }
         let mut overall_min = Timestamp::ZERO;
-        for (ti, task_keys) in by_task {
+        for (ti, mut buckets) in by_task {
+            buckets.sort_unstable();
+            buckets.dedup();
             let task = &mut st.tasks[ti];
             let min_ts = task.watermark + Duration::from_nanos(1);
             overall_min = overall_min.max(min_ts);
@@ -531,7 +644,7 @@ impl RealtimeCache {
                 token,
                 min_ts,
                 max_ts,
-                keys: task_keys,
+                buckets,
             });
         }
         Ok((PrepareToken(token), overall_min))
@@ -564,12 +677,12 @@ impl RealtimeCache {
             };
             o.metrics.incr("rtc.accepts", &[("outcome", label)], 1);
         }
-        // Collect this token's pending keys and drop the entries.
-        let mut pending_keys: Vec<Key> = Vec::new();
+        // Collect this token's pending buckets and drop the entries.
+        let mut pending_buckets: Vec<Vec<u8>> = Vec::new();
         for task in st.tasks.iter_mut() {
             task.pending.retain(|p| {
                 if p.token == token.0 {
-                    pending_keys.extend(p.keys.iter().cloned());
+                    pending_buckets.extend(p.buckets.iter().cloned());
                     false
                 } else {
                     true
@@ -578,9 +691,35 @@ impl RealtimeCache {
         }
         match outcome {
             CommitOutcome::Committed(ts) => {
-                // Route each change to the subscriptions of the task owning
-                // its key (the Changelog → Query Matcher forward).
-                self.route_changes(&mut st, dir, ts, &changes);
+                // Append to the owning Changelog task's backlog; in eager
+                // mode (flush_interval == 0) route through the matcher
+                // immediately, otherwise the batch flushes on the next tick
+                // — one tree descent per collection per batch either way.
+                let now = self.truetime.clock().now();
+                for change in changes {
+                    // Oracle mutation: silently drop the next N changelog
+                    // entries — affected listeners never see the write (§V
+                    // delivery violated).
+                    if st.oracle_drop_changes > 0 {
+                        st.oracle_drop_changes -= 1;
+                        continue;
+                    }
+                    // The change's true key: the writing database's
+                    // directory plus the encoded name. Subscriptions of
+                    // other directories can never contain it — tenant
+                    // isolation at the matcher (the tree's collection
+                    // buckets are directory-prefixed).
+                    let key = dir.key(&change.name.encode());
+                    let owner = st.ranges.owner(&key);
+                    st.tasks[owner].backlog.push((dir, ts, Arc::new(change)));
+                }
+                let backlogged: usize = st.tasks.iter().map(|t| t.backlog.len()).sum();
+                if self.opts.fanout.flush_interval == Duration::ZERO
+                    || backlogged >= self.opts.fanout.changelog_flush_changes
+                {
+                    self.flush_backlogs(&mut st, now);
+                }
+                self.enforce_overload(&mut st, now);
             }
             CommitOutcome::Failed => {
                 // Dropped; nothing was committed.
@@ -591,83 +730,170 @@ impl RealtimeCache {
                 if let Some(o) = &st.obs {
                     o.metrics.incr("rtc.resets", &[("cause", "unknown-outcome")], 1);
                 }
-                Self::reset_matching(&mut st, &pending_keys);
+                Self::reset_matching(&mut st, &pending_buckets, "unknown-outcome");
             }
         }
         self.advance_all(&mut st);
     }
 
-    fn route_changes(
-        &self,
-        st: &mut RtState,
-        dir: DirectoryId,
-        ts: Timestamp,
-        changes: &[DocumentChange],
-    ) {
-        for change in changes {
-            // Oracle mutation: silently drop the next N changelog entries —
-            // affected listeners never see the write (§V delivery violated).
-            if st.oracle_drop_changes > 0 {
-                st.oracle_drop_changes -= 1;
+    /// Route every backlogged committed change through the Query Matcher
+    /// and buffer it at its subscribed listeners. Batched per task and
+    /// directory: [`MatcherTree::match_batch`] memoizes the top-level tree
+    /// descent per distinct collection, so a burst of writes to a hot
+    /// collection costs one descent, and the shared `Arc` payload means a
+    /// change fanning out to 10⁵ listeners costs 10⁵ pointers.
+    fn flush_backlogs(&self, st: &mut RtState, now: Timestamp) {
+        st.last_flush = now;
+        let mut flushed_any = false;
+        let mut over_buffer: Vec<(ConnectionId, QueryId)> = Vec::new();
+        for ti in 0..st.tasks.len() {
+            if st.tasks[ti].backlog.is_empty() {
                 continue;
             }
-            // The change's true key: the writing database's directory plus
-            // the encoded name. Subscriptions of other directories can
-            // never contain it — tenant isolation at the matcher (the
-            // tree's collection buckets are directory-prefixed).
-            let key = dir.key(&change.name.encode());
-            let owner = st.ranges.owner(&key);
-            // The Changelog task owning the document's key forwards the
-            // update to the Query Matcher, which descends the decision tree
-            // of its shard: collection bucket, then equality/range probes
-            // with the change's encoded field values. Every candidate is
-            // confirmed against the full query predicate, so this produces
-            // exactly the queries whose result set the change can affect.
-            let tokens = st.matcher.match_change(owner, dir, change);
-            let mut targets: Vec<(ConnectionId, QueryId)> = Vec::new();
-            for (conn, qid) in tokens {
-                let Some(conn_state) = st.conns.get(&conn) else {
-                    continue;
-                };
-                let Some(qs) = conn_state.queries.get(&qid) else {
-                    continue;
-                };
-                if ts > qs.resume {
-                    targets.push((conn, qid));
+            let backlog = std::mem::take(&mut st.tasks[ti].backlog);
+            flushed_any = true;
+            // Group consecutive same-directory runs so each match_batch
+            // call stays within one directory (commit order is preserved).
+            let mut i = 0usize;
+            while i < backlog.len() {
+                let dir = backlog[i].0;
+                let mut j = i;
+                while j < backlog.len() && backlog[j].0 == dir {
+                    j += 1;
                 }
-            }
-            if let Some(o) = &st.obs {
-                o.metrics
-                    .incr("rtc.fanout.notifications", &[], targets.len() as u64);
-            }
-            for (conn, qid) in targets {
-                if let Some(conn_state) = st.conns.get_mut(&conn) {
-                    if let Some(qs) = conn_state.queries.get_mut(&qid) {
-                        qs.buffered.entry(ts).or_default().push(change.clone());
+                let group = &backlog[i..j];
+                let refs: Vec<&DocumentChange> =
+                    group.iter().map(|(_, _, c)| c.as_ref()).collect();
+                let token_lists = st.matcher.match_batch(ti, dir, &refs);
+                if let Some(o) = &st.obs {
+                    o.metrics.incr(
+                        "rtc.fanout.routed",
+                        &[("shard", &ti.to_string())],
+                        group.len() as u64,
+                    );
+                }
+                for ((_, ts, change), tokens) in group.iter().zip(token_lists) {
+                    let mut buffered_to = 0u64;
+                    for (conn, qid) in tokens {
+                        let Some(conn_state) = st.conns.get_mut(&conn) else {
+                            continue;
+                        };
+                        let Some(qs) = conn_state.queries.get_mut(&qid) else {
+                            continue;
+                        };
+                        if *ts > qs.resume {
+                            qs.buffered.push(*ts, change.clone());
+                            buffered_to += 1;
+                            if qs.buffered.len() > self.opts.fanout.buffered_max_changes {
+                                over_buffer.push((conn, qid));
+                            }
+                        }
+                    }
+                    if let Some(o) = &st.obs {
+                        o.metrics
+                            .incr("rtc.fanout.notifications", &[], buffered_to);
                     }
                 }
+                i = j;
             }
+        }
+        if flushed_any {
+            st.stats.flushes += 1;
+        }
+        // A listener whose coalescing buffer outgrew its bound is shed —
+        // backpressure parked changes here, and the bound is the second
+        // resource limit after the outbound queue.
+        over_buffer.sort_unstable();
+        over_buffer.dedup();
+        if !over_buffer.is_empty() {
+            Self::reset_queries(st, over_buffer, ResetCause::Overload, "buffer");
         }
     }
 
-    fn reset_matching(st: &mut RtState, keys: &[Key]) {
-        let mut to_reset: Vec<(ConnectionId, QueryId)> = Vec::new();
+    /// Voluntary overload enforcement: shed connections whose outbound
+    /// queue exceeded its hard bound or stalled past the drain deadline.
+    /// The shed listener's queued deltas are dropped (the catch-up path
+    /// recovers it); conforming listeners on other connections are never
+    /// delayed.
+    fn enforce_overload(&self, st: &mut RtState, now: Timestamp) {
+        let deadline = self.opts.fanout.stall_deadline;
+        let mut shed: Vec<(ConnectionId, &'static str)> = Vec::new();
         for (conn_id, conn) in st.conns.iter() {
-            for (qid, qs) in conn.queries.iter() {
-                if keys.iter().any(|k| qs.range.contains(k)) {
-                    to_reset.push((*conn_id, *qid));
-                }
+            if conn.queries.is_empty() {
+                continue;
+            }
+            if conn.out.pressure() == QueuePressure::Overflow {
+                shed.push((*conn_id, "queue"));
+            } else if conn.out.stalled(now, deadline) {
+                shed.push((*conn_id, "stall"));
             }
         }
-        for (conn_id, qid) in to_reset {
+        for (conn_id, reason) in shed {
+            let mut qids: Vec<(ConnectionId, QueryId)> = Vec::new();
+            if let Some(conn) = st.conns.get_mut(&conn_id) {
+                // Drop the queued deltas first: the bound is hard.
+                let before = conn.out.dropped();
+                conn.out.clear(now);
+                st.stats.dropped_events += conn.out.dropped() - before;
+                qids.extend(conn.queries.keys().map(|q| (conn_id, *q)));
+            }
+            qids.sort_unstable();
+            Self::reset_queries(st, qids, ResetCause::Overload, reason);
+        }
+    }
+
+    /// Fault-path reset (§IV-D4 out-of-sync): reset every query registered
+    /// in the affected collection buckets. The inverse lookup goes through
+    /// the matcher tree's buckets — work proportional to the queries
+    /// watching those collections, never to total registrations — and is
+    /// exact because matching is bucket-exact: a query outside the bucket
+    /// can never have observed the affected documents.
+    fn reset_matching(st: &mut RtState, buckets: &[Vec<u8>], reason: &'static str) {
+        let mut targets: Vec<(ConnectionId, QueryId)> = Vec::new();
+        let mut seen: Vec<&Vec<u8>> = Vec::new();
+        for b in buckets {
+            if seen.contains(&b) {
+                continue;
+            }
+            seen.push(b);
+            targets.extend(st.matcher.bucket_tokens(b));
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        Self::reset_queries(st, targets, ResetCause::Fault, reason);
+    }
+
+    /// Shared reset tail for both causes: unregister from the matcher,
+    /// drop the query state (and its buffered deltas), notify the client,
+    /// record the oracle event, and count by cause.
+    fn reset_queries(
+        st: &mut RtState,
+        targets: Vec<(ConnectionId, QueryId)>,
+        cause: ResetCause,
+        reason: &'static str,
+    ) {
+        for (conn_id, qid) in targets {
             st.matcher.unregister(&(conn_id, qid));
             let removed = st.conns.get_mut(&conn_id).and_then(|conn| {
                 let qs = conn.queries.remove(&qid)?;
-                conn.out.push_back(ListenEvent::Reset { query: qid });
+                let ev = ListenEvent::Reset { query: qid, cause };
+                let cost = event_cost(&ev);
+                conn.out.push(ev, cost);
                 Some(qs)
             });
             if let Some(qs) = removed {
                 st.stats.resets += 1;
+                match cause {
+                    ResetCause::Fault => st.stats.resets_fault += 1,
+                    ResetCause::Overload => st.stats.resets_overload += 1,
+                }
+                if let Some(o) = &st.obs {
+                    o.metrics.incr(
+                        "rtc.fanout.resets",
+                        &[("cause", cause.label()), ("reason", reason)],
+                        1,
+                    );
+                }
                 Self::record(
                     st,
                     HistoryEvent::ListenerReset {
@@ -678,55 +904,59 @@ impl RealtimeCache {
                 );
             }
         }
-        for task in st.tasks.iter_mut() {
-            task.subscribers.retain(|(c, q)| {
-                st.conns
-                    .get(c)
-                    .is_some_and(|conn| conn.queries.contains_key(q))
-            });
-        }
     }
 
-    /// Recompute task watermarks, propagate them to subscriptions, and pump
-    /// every connection.
+    /// Recompute task watermarks and pump every connection. Watermarks are
+    /// *pulled* by connections at pump time (no per-listener push state):
+    /// a task's sequence is complete up to just before its earliest
+    /// pending Prepare or unrouted backlog entry.
     fn advance_all(&self, st: &mut RtState) {
         let safe_now = self.truetime.strong_read_timestamp();
-        for ti in 0..st.tasks.len() {
-            let task = &mut st.tasks[ti];
-            let w = task
+        for task in st.tasks.iter_mut() {
+            let pend_min = task
                 .pending
                 .iter()
-                .map(|p| Timestamp(p.min_ts.0.saturating_sub(1)))
+                .map(|p| p.min_ts.0.saturating_sub(1))
+                .min();
+            let backlog_min = task
+                .backlog
+                .iter()
+                .map(|(_, ts, _)| ts.0.saturating_sub(1))
+                .min();
+            let w = [pend_min, backlog_min]
+                .into_iter()
+                .flatten()
                 .min()
+                .map(Timestamp)
                 .unwrap_or(safe_now)
                 .max(task.watermark);
             task.watermark = w;
-            let subs = task.subscribers.clone();
-            for (conn, qid) in subs {
-                if let Some(conn_state) = st.conns.get_mut(&conn) {
-                    if let Some(qs) = conn_state.queries.get_mut(&qid) {
-                        let entry = qs.source_watermarks.entry(ti).or_insert(Timestamp::ZERO);
-                        *entry = (*entry).max(w);
-                    }
-                }
-            }
         }
+        let task_watermarks: Vec<Timestamp> = st.tasks.iter().map(|t| t.watermark).collect();
         let conn_ids: Vec<ConnectionId> = st.conns.keys().copied().collect();
         for conn in conn_ids {
-            Self::pump(st, conn);
+            self.pump(st, conn, &task_watermarks);
         }
     }
 
     /// Apply buffered updates up to the connection's consistent timestamp
     /// and emit snapshots ("queries on the same connection are only updated
     /// to a timestamp t once all queries' max-commit-version has reached at
-    /// least t", §IV-D4).
-    fn pump(st: &mut RtState, conn_id: ConnectionId) {
+    /// least t", §IV-D4). Under backpressure (the connection's outbound
+    /// queue at or above its watermark) nothing is materialized: changes
+    /// stay coalescing in the delta buffers and `resume` does not move, so
+    /// a later pump picks up exactly where this one left off.
+    fn pump(&self, st: &mut RtState, conn_id: ConnectionId, task_watermarks: &[Timestamp]) {
         let record = st.history.is_some();
         let Some(conn) = st.conns.get_mut(&conn_id) else {
             return;
         };
         if conn.queries.is_empty() {
+            return;
+        }
+        if conn.out.pressure() != QueuePressure::Normal {
+            // Backpressure: stop materializing for this connection. The
+            // hard bound and the stall deadline are enforced separately.
             return;
         }
         let Some(conn_watermark) = conn
@@ -736,8 +966,8 @@ impl RealtimeCache {
                 qs.sources
                     .iter()
                     .map(|s| {
-                        qs.source_watermarks
-                            .get(s)
+                        task_watermarks
+                            .get(*s)
                             .copied()
                             .unwrap_or(Timestamp::ZERO)
                     })
@@ -751,26 +981,20 @@ impl RealtimeCache {
         // Each emission carries the visible digests the oracle records
         // (computed only while a recorder is attached).
         let mut emitted: Vec<Emission> = Vec::new();
+        let mut coalesced_total = 0u64;
         for (qid, qs) in conn.queries.iter_mut() {
             if conn_watermark <= qs.resume {
                 continue;
             }
-            let ready: Vec<Timestamp> = qs
-                .buffered
-                .range(..=conn_watermark)
-                .map(|(t, _)| *t)
-                .collect();
-            let mut batch: Vec<DocumentChange> = Vec::new();
-            for t in ready {
-                if let Some(changes) = qs.buffered.remove(&t) {
-                    batch.extend(changes);
-                }
-            }
+            // Take everything consistent at the watermark, coalesced per
+            // document: a hot document costs one applied change per flush.
+            let (batch, coalesced) = qs.buffered.take_ready(conn_watermark);
+            coalesced_total += coalesced;
             qs.resume = conn_watermark;
             if batch.is_empty() {
                 continue;
             }
-            let deltas = qs.view.apply(&batch);
+            let deltas = qs.view.apply_refs(batch.iter().map(|c| c.as_ref()));
             if !deltas.is_empty() {
                 let visible = if record {
                     Self::visible_digests(&qs.view)
@@ -802,6 +1026,13 @@ impl RealtimeCache {
                 emitted.push((ev, vis, qdir));
             }
         }
+        st.stats.coalesced += coalesced_total;
+        if coalesced_total > 0 {
+            if let Some(o) = &st.obs {
+                o.metrics
+                    .incr("rtc.fanout.coalesced", &[], coalesced_total);
+            }
+        }
         for (e, visible, qdir) in &emitted {
             if let ListenEvent::Snapshot { query, at, changes, is_initial } = e {
                 st.stats.notifications += changes.len() as u64;
@@ -821,8 +1052,13 @@ impl RealtimeCache {
                 }
             }
         }
+        let st = &mut *st;
         if let Some(conn) = st.conns.get_mut(&conn_id) {
-            conn.out.extend(emitted.into_iter().map(|(e, _, _)| e));
+            for (e, _, _) in emitted {
+                let cost = event_cost(&e);
+                st.meter.note_queued(conn_id.0, cost);
+                conn.out.push(e, cost);
+            }
         }
     }
 }
@@ -865,16 +1101,9 @@ impl Connection {
         }
         let range = collection_range(dir, &query);
         let sources = st.ranges.owners_of_range(&range);
-        for &s in &sources {
-            st.tasks[s].subscribers.push((self.id, qid));
-        }
         // Register the query shape with the Query Matcher tree in every
         // shard whose key range intersects the query's collection range.
         st.matcher.register((self.id, qid), &sources, dir, &query);
-        let mut source_watermarks = HashMap::new();
-        for &s in &sources {
-            source_watermarks.insert(s, snapshot_ts);
-        }
         let view = QueryView::new(query, initial);
         let initial_events = view.initial_events();
         let visible = st
@@ -884,22 +1113,25 @@ impl Connection {
         let Some(conn) = st.conns.get_mut(&self.id) else {
             return qid;
         };
-        conn.out.push_back(ListenEvent::Snapshot {
+        let ev = ListenEvent::Snapshot {
             query: qid,
             at: snapshot_ts,
             changes: initial_events,
             is_initial: true,
-        });
+        };
+        let cost = event_cost(&ev);
+        conn.out.push(ev, cost);
+        // A listen is client activity: restart the stall clock so a
+        // recovering listener is not re-shed off its pre-stall drain time.
+        conn.out.touch(self.cache.truetime.clock().now());
         conn.queries.insert(
             qid,
             QueryState {
                 dir,
-                range,
                 sources,
-                source_watermarks,
                 resume: snapshot_ts,
                 view,
-                buffered: BTreeMap::new(),
+                buffered: DeltaBuffer::new(),
             },
         );
         st.stats.snapshots += 1;
@@ -939,18 +1171,16 @@ impl Connection {
                 },
             );
         }
-        let conn_id = self.id;
-        for task in st.tasks.iter_mut() {
-            task.subscribers
-                .retain(|(c, q)| !(c == &conn_id && q == &qid));
-        }
     }
 
-    /// Drain queued events.
+    /// Drain queued events. Draining stamps the connection's drain clock —
+    /// a connection that stops calling this stalls and is eventually shed
+    /// with an overload reset.
     pub fn poll(&self) -> Vec<ListenEvent> {
+        let now = self.cache.truetime.clock().now();
         let mut st = self.cache.state.lock();
         match st.conns.get_mut(&self.id) {
-            Some(conn) => conn.out.drain(..).collect(),
+            Some(conn) => conn.out.drain(now),
             None => Vec::new(),
         }
     }
@@ -976,10 +1206,6 @@ impl Connection {
                     },
                 );
             }
-        }
-        let conn_id = self.id;
-        for task in st.tasks.iter_mut() {
-            task.subscribers.retain(|(c, _)| c != &conn_id);
         }
     }
 }
@@ -1213,7 +1439,7 @@ mod tests {
         cache.tick();
         let events = conn.poll();
         assert_eq!(events.len(), 1);
-        assert!(matches!(events[0], ListenEvent::Reset { query } if query == qid));
+        assert!(matches!(events[0], ListenEvent::Reset { query, .. } if query == qid));
         assert_eq!(cache.stats().resets, 1);
         // The unrelated query is still live.
         let st = cache.stats();
@@ -1321,7 +1547,7 @@ mod tests {
         let caught = cache.restart(|_q| Err::<Vec<Document>, ()>(()), db.strong_read_ts());
         assert_eq!(caught, 0);
         let events = conn.poll();
-        assert!(matches!(events[0], ListenEvent::Reset { query } if query == qid));
+        assert!(matches!(events[0], ListenEvent::Reset { query, .. } if query == qid));
         assert_eq!(cache.stats().active_queries, 0);
     }
 

@@ -17,6 +17,7 @@
 //! because the client is already up to date.
 
 use crate::cache::{ChangeKind, Connection, DocChangeEvent, ListenEvent, QueryId};
+use crate::fanout::ResetCause;
 use crate::view::QueryView;
 use firestore_core::{
     Caller, Consistency, Document, DocumentName, FirestoreDatabase, FirestoreResult, Query,
@@ -49,7 +50,15 @@ pub struct ListenerStats {
     pub recoveries: u64,
     /// `Reset` events received from the cache.
     pub resets_seen: u64,
+    /// `Reset` events whose cause was `Overload` (the cache shed this
+    /// listener voluntarily; re-subscription is backed off).
+    pub overload_resets_seen: u64,
 }
+
+/// Degraded polls to run before re-subscribing after an overload reset.
+/// An overload-shed listener that re-subscribes instantly just re-creates
+/// the pressure that shed it; a fault reset recovers immediately.
+const OVERLOAD_RESUBSCRIBE_DELAY_POLLS: u32 = 2;
 
 /// One batch of visible changes delivered to the subscriber.
 #[derive(Clone, Debug)]
@@ -77,6 +86,9 @@ pub struct ResilientListener {
     /// Last state delivered to the subscriber: name → document version.
     delivered: BTreeMap<DocumentName, Document>,
     last_ts: Timestamp,
+    /// Degraded polls remaining before an overload-shed listener may
+    /// re-subscribe (0 = no backoff in force).
+    defer_resubscribe: u32,
     stats: ListenerStats,
 }
 
@@ -104,6 +116,7 @@ impl ResilientListener {
             injector: None,
             delivered: BTreeMap::new(),
             last_ts: ts,
+            defer_resubscribe: 0,
             stats: ListenerStats::default(),
         })
     }
@@ -133,6 +146,11 @@ impl ResilientListener {
     /// Timestamp of the last delivered batch.
     pub fn last_ts(&self) -> Timestamp {
         self.last_ts
+    }
+
+    /// The current cache-side query id, if streaming.
+    pub fn query_id(&self) -> Option<QueryId> {
+        self.qid
     }
 
     /// The visible result set as last delivered, ordered by document name.
@@ -195,9 +213,13 @@ impl ResilientListener {
                         degraded: false,
                     });
                 }
-                ListenEvent::Reset { query } => {
+                ListenEvent::Reset { query, cause } => {
                     if Some(query) == self.qid {
                         self.stats.resets_seen += 1;
+                        if cause == ResetCause::Overload {
+                            self.stats.overload_resets_seen += 1;
+                            self.defer_resubscribe = OVERLOAD_RESUBSCRIBE_DELAY_POLLS;
+                        }
                         reset = true;
                     }
                 }
@@ -242,6 +264,13 @@ impl ResilientListener {
                 changes,
                 degraded: true,
             });
+        }
+        // An overload-shed listener keeps polling (no data loss) but holds
+        // off re-subscribing so it does not immediately re-create the
+        // pressure that shed it.
+        if self.defer_resubscribe > 0 {
+            self.defer_resubscribe -= 1;
+            return Ok(out);
         }
         // Attempt recovery: re-subscribe seeded at the poll timestamp so the
         // changelog replays only commits after `ts`.
@@ -465,6 +494,64 @@ mod tests {
         cache.tick();
         let events = listener.poll().unwrap();
         assert_eq!(names(&events), vec![(ChangeKind::Added, "/scores/c".into())]);
+    }
+
+    #[test]
+    fn overload_reset_backs_off_resubscribe() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(1));
+        let spanner = SpannerDatabase::new(clock.clone());
+        let db = FirestoreDatabase::create_default(spanner.clone());
+        let mut opts = RealtimeOptions::default();
+        opts.fanout.stall_deadline = Duration::from_secs(1);
+        let cache = RealtimeCache::new(spanner.truetime().clone(), opts);
+        db.set_observer(cache.observer_for(db.directory()));
+
+        put(&db, "/scores/a", 1);
+        let conn = cache.connect();
+        let mut listener = ResilientListener::listen(
+            &db,
+            &conn,
+            Query::parse("/scores").unwrap(),
+            Caller::Service,
+        )
+        .unwrap();
+        listener.poll().unwrap(); // initial snapshot; stamps the drain clock
+
+        // Queue a delta, then stop draining past the stall deadline: the
+        // cache must shed this listener voluntarily, not buffer forever.
+        put(&db, "/scores/b", 2);
+        cache.tick();
+        clock.advance(Duration::from_secs(5));
+        cache.tick();
+
+        let events = listener.poll().unwrap();
+        assert_eq!(listener.stats().resets_seen, 1);
+        assert_eq!(listener.stats().overload_resets_seen, 1);
+        assert!(
+            listener.is_degraded(),
+            "overload reset must defer re-subscription"
+        );
+        // The queued delta was dropped with the reset, but the degraded
+        // poll recovered it from a strong read — no data loss.
+        assert_eq!(names(&events), vec![(ChangeKind::Added, "/scores/b".into())]);
+
+        // During backoff, polls keep delivering without re-subscribing.
+        put(&db, "/scores/c", 3);
+        let events = listener.poll().unwrap();
+        assert_eq!(names(&events), vec![(ChangeKind::Added, "/scores/c".into())]);
+        assert!(listener.is_degraded(), "still backing off");
+
+        // Backoff expired: this poll re-subscribes.
+        listener.poll().unwrap();
+        assert!(!listener.is_degraded());
+        assert_eq!(listener.stats().recoveries, 1);
+
+        // Streaming works again after the recovery.
+        put(&db, "/scores/d", 4);
+        cache.tick();
+        let events = listener.poll().unwrap();
+        assert_eq!(names(&events), vec![(ChangeKind::Added, "/scores/d".into())]);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod cache;
 pub mod degrade;
+pub mod fanout;
 pub mod range;
 pub mod view;
 
@@ -46,5 +47,6 @@ pub use cache::{
     ChangeKind, Connection, ConnectionId, DocChangeEvent, ListenEvent, QueryId, RealtimeCache,
     RealtimeOptions,
 };
+pub use fanout::{FanoutOptions, ResetCause};
 pub use degrade::{ListenerEvent, ListenerMode, ListenerStats, ResilientListener};
 pub use range::RangeMap;

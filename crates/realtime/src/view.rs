@@ -106,6 +106,19 @@ impl QueryView {
     /// Apply a batch of committed document changes and return the visible
     /// deltas (empty if the window is unaffected).
     pub fn apply(&mut self, changes: &[DocumentChange]) -> Vec<DocChangeEvent> {
+        self.apply_refs(changes.iter())
+    }
+
+    /// [`QueryView::apply`] over borrowed changes — the fanout pipeline
+    /// shares one `Arc<DocumentChange>` across every subscribed listener,
+    /// so applying must not require an owned slice. Application is
+    /// last-write-wins per document: only `change.new` and `change.name`
+    /// are read, which is what makes per-flush coalescing (keeping only
+    /// each document's final change) an equivalence, not an approximation.
+    pub fn apply_refs<'a>(
+        &mut self,
+        changes: impl IntoIterator<Item = &'a DocumentChange>,
+    ) -> Vec<DocChangeEvent> {
         for change in changes {
             match &change.new {
                 Some(doc) if matches_document(&self.query, doc) => self.upsert(doc.clone()),

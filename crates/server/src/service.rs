@@ -517,6 +517,10 @@ impl FirestoreService {
     pub fn tick(&self) {
         let now = self.clock.now();
         self.rtc.tick();
+        // Feed fanout queue pressure to the control plane: under pressure
+        // the effective per-tenant listener cap shrinks, shedding new
+        // subscriptions at admission instead of onto saturated queues.
+        self.tenants.set_fanout_pressure(self.rtc.fanout_pressure());
         self.billing.maybe_roll_day(now);
         self.spanner.maintain(Timestamp::from_nanos(
             now.as_nanos()

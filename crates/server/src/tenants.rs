@@ -74,6 +74,9 @@ pub enum ThrottleReason {
     ShedBatch,
     /// The tenant exceeded its listener cap.
     ListenerCap,
+    /// New listener refused because the real-time fanout pipeline is under
+    /// queue pressure; the effective listener cap shrinks with pressure.
+    FanoutPressure,
 }
 
 impl ThrottleReason {
@@ -85,6 +88,7 @@ impl ThrottleReason {
             ThrottleReason::ShedNonConforming => "shed_nonconforming",
             ThrottleReason::ShedBatch => "shed_batch",
             ThrottleReason::ListenerCap => "listener_cap",
+            ThrottleReason::FanoutPressure => "fanout_pressure",
         }
     }
 }
@@ -142,6 +146,11 @@ struct ControlState {
     ledger: Vec<ThrottleEntry>,
     /// Heavy-hitter sketch feeding the bounded-cardinality `db` label.
     topk: TopK,
+    /// Fraction of real-time connections under queue pressure (0.0–1.0),
+    /// fed by the service tick from the Real-time Cache. New listener
+    /// admissions shrink proportionally so fanout overload sheds at the
+    /// front door, not only inside the pipeline.
+    fanout_pressure: f64,
 }
 
 /// The control plane of one region. The data path holds per-database
@@ -189,6 +198,7 @@ impl TenantControl {
                 tenants: HashMap::new(),
                 ledger: Vec::new(),
                 topk: TopK::new(METRIC_TOP_K),
+                fanout_pressure: 0.0,
             }),
         }
     }
@@ -353,10 +363,26 @@ impl TenantControl {
             .max(self.policy.shed_retry_base)
     }
 
-    /// Count a listener registration against the tenant's cap.
+    /// Report fanout queue pressure (fraction of real-time connections at
+    /// or past their queue watermark, 0.0–1.0). Fed each service tick.
+    pub fn set_fanout_pressure(&self, pressure: f64) {
+        self.state.lock().fanout_pressure = pressure.clamp(0.0, 1.0);
+    }
+
+    /// The fanout pressure last reported.
+    pub fn fanout_pressure(&self) -> f64 {
+        self.state.lock().fanout_pressure
+    }
+
+    /// Count a listener registration against the tenant's cap. Under fanout
+    /// pressure the effective cap shrinks linearly (down to half the
+    /// configured cap at full pressure): existing listeners are untouched —
+    /// the pipeline sheds those itself — but the front door stops piling
+    /// new subscriptions onto already-saturated queues.
     pub fn listener_opened(&self, database: &str) -> FirestoreResult<()> {
-        let (cap, over) = {
+        let (cap, reason) = {
             let mut st = self.state.lock();
+            let pressure = st.fanout_pressure;
             let rec = st
                 .tenants
                 .entry(database.to_string())
@@ -365,24 +391,33 @@ impl TenantControl {
                     limits: TenantLimits::default(),
                     listeners: 0,
                 });
-            if rec.listeners >= rec.limits.listener_cap {
-                (rec.limits.listener_cap, true)
+            let cap = rec.limits.listener_cap;
+            let effective = ((cap as f64) * (1.0 - pressure / 2.0)).ceil() as usize;
+            let effective = effective.clamp(1, cap);
+            if rec.listeners >= cap {
+                (cap, Some(ThrottleReason::ListenerCap))
+            } else if rec.listeners >= effective {
+                (effective, Some(ThrottleReason::FanoutPressure))
             } else {
                 rec.listeners += 1;
-                (rec.limits.listener_cap, false)
+                (cap, None)
             }
         };
-        if over {
+        if let Some(reason) = reason {
             let retry_after = Duration::from_secs(1);
             self.note_throttle(
                 database,
                 GatedOp::Listen,
                 RequestClass::Interactive,
-                ThrottleReason::ListenerCap,
+                reason,
                 retry_after,
             );
+            let detail = match reason {
+                ThrottleReason::FanoutPressure => "effective listener cap under fanout pressure",
+                _ => "listener cap",
+            };
             return Err(FirestoreError::ResourceExhausted {
-                message: format!("database {database} at its listener cap ({cap})"),
+                message: format!("database {database} at its {detail} ({cap})"),
                 retry_after,
             });
         }
@@ -675,6 +710,40 @@ mod tests {
         c.listener_closed("fanout");
         assert!(c.listener_opened("fanout").is_ok());
         assert_eq!(c.listeners("fanout"), 2);
+    }
+
+    #[test]
+    fn fanout_pressure_shrinks_the_effective_listener_cap() {
+        let clock = SimClock::new();
+        let (c, _) = control(&clock);
+        c.register_with(
+            "hot",
+            TenantLimits {
+                listener_cap: 4,
+                ..TenantLimits::default()
+            },
+        );
+        // Full pressure halves the cap: 2 of 4 admit.
+        c.set_fanout_pressure(1.0);
+        assert!(c.listener_opened("hot").is_ok());
+        assert!(c.listener_opened("hot").is_ok());
+        let err = c.listener_opened("hot").unwrap_err();
+        assert!(matches!(err, FirestoreError::ResourceExhausted { .. }));
+        let last = c.throttle_ledger().last().unwrap().reason;
+        assert_eq!(last, ThrottleReason::FanoutPressure);
+        // Pressure subsides: the remaining slots open back up, and the
+        // hard cap still closes the door with its own reason.
+        c.set_fanout_pressure(0.0);
+        assert!(c.listener_opened("hot").is_ok());
+        assert!(c.listener_opened("hot").is_ok());
+        let err = c.listener_opened("hot").unwrap_err();
+        assert!(matches!(err, FirestoreError::ResourceExhausted { .. }));
+        assert_eq!(
+            c.throttle_ledger().last().unwrap().reason,
+            ThrottleReason::ListenerCap
+        );
+        // Existing listeners were never evicted by pressure.
+        assert_eq!(c.listeners("hot"), 4);
     }
 
     #[test]

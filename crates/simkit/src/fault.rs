@@ -49,6 +49,10 @@ pub enum FaultKind {
     /// A durable-medium fsync fails; bytes appended since the last
     /// successful fsync are not durable.
     FsyncFail,
+    /// A listener's client stops draining its outbound queue (slow or
+    /// wedged consumer); the fanout pipeline must shed it with an
+    /// overload reset instead of queueing unboundedly or stalling.
+    StalledConsumer,
 }
 
 impl fmt::Display for FaultKind {
@@ -62,6 +66,7 @@ impl fmt::Display for FaultKind {
             FaultKind::CacheUnavailable => "cache-unavailable",
             FaultKind::TornTail => "torn-tail",
             FaultKind::FsyncFail => "fsync-fail",
+            FaultKind::StalledConsumer => "stalled-consumer",
         };
         f.write_str(s)
     }

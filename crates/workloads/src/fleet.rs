@@ -256,7 +256,7 @@ struct TrackedListener {
 impl TrackedListener {
     fn drain(&mut self) {
         for event in self.conn.poll() {
-            if let ListenEvent::Reset { query } = event {
+            if let ListenEvent::Reset { query, .. } = event {
                 if query == self.qid {
                     self.reset = true;
                 }

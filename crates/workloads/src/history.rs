@@ -164,7 +164,7 @@ impl Listener {
 
     fn drain(&mut self) {
         for event in self.conn.poll() {
-            if let ListenEvent::Reset { query } = event {
+            if let ListenEvent::Reset { query, .. } = event {
                 if query == self.qid {
                     self.reset = true;
                 }

@@ -115,7 +115,7 @@ impl Listener {
                         }
                     }
                 }
-                ListenEvent::Reset { query } => {
+                ListenEvent::Reset { query, .. } => {
                     if query == self.qid {
                         self.reset = true;
                     }

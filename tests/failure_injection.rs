@@ -140,7 +140,7 @@ fn unknown_outcome_resets_realtime_queries() {
     assert!(
         events
             .iter()
-            .any(|e| matches!(e, ListenEvent::Reset { query } if *query == qid)),
+            .any(|e| matches!(e, ListenEvent::Reset { query, .. } if *query == qid)),
         "the matching query was reset: {events:?}"
     );
     // Recovery: the client re-runs the query and re-listens; updates flow
@@ -239,7 +239,7 @@ fn lost_accept_times_out_and_resets() {
     let events = conn.poll();
     assert!(events
         .iter()
-        .any(|e| matches!(e, ListenEvent::Reset { query } if *query == qid)));
+        .any(|e| matches!(e, ListenEvent::Reset { query, .. } if *query == qid)));
 }
 
 /// The client SDK recovers from a Real-time Cache reset transparently: the
@@ -611,6 +611,114 @@ fn listen_stream_survives_cache_outage_without_missed_or_duplicate_events() {
     assert!(
         seen.values().all(|&n| n == 1),
         "every event exactly once across the outage: {seen:?}"
+    );
+}
+
+/// A scheduled [`FaultKind::StalledConsumer`] window: one listener's client
+/// stops draining mid-run. The fanout pipeline must shed it with a
+/// voluntary `overload` reset — not stall the flush for everyone and not
+/// queue its deltas unboundedly — while the conforming listener keeps
+/// receiving every write on cadence. When the window ends, the shed
+/// listener degrades, backs off, and catches up without loss.
+#[test]
+fn stalled_consumer_is_shed_with_overload_reset_not_a_pipeline_stall() {
+    use realtime::{RealtimeOptions, ResilientListener};
+    use simkit::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+    use simkit::SimClock;
+    use spanner::SpannerDatabase;
+
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    let spanner = SpannerDatabase::new(clock.clone());
+    let db = FirestoreDatabase::create_default(spanner.clone());
+    let mut opts = RealtimeOptions::default();
+    opts.fanout.stall_deadline = Duration::from_millis(300);
+    let cache = RealtimeCache::new(spanner.truetime().clone(), opts);
+    db.set_observer(cache.observer_for(db.directory()));
+
+    let put = |path: &str, v: i64| {
+        db.commit_writes(
+            vec![Write::set(doc(path), [("v", Value::Int(v))])],
+            &Caller::Service,
+        )
+        .unwrap();
+    };
+    put("/scores/seed", 0);
+
+    let conn_ok = cache.connect();
+    let mut ok =
+        ResilientListener::listen(&db, &conn_ok, Query::parse("/scores").unwrap(), Caller::Service)
+            .unwrap();
+    let conn_slow = cache.connect();
+    let mut slow = ResilientListener::listen(
+        &db,
+        &conn_slow,
+        Query::parse("/scores").unwrap(),
+        Caller::Service,
+    )
+    .unwrap();
+    ok.poll().unwrap();
+    slow.poll().unwrap();
+
+    // The slow client goes dark for the next simulated second.
+    let start = clock.now();
+    let stall = FaultInjector::new(
+        clock.clone(),
+        FaultPlan::new(17).rule(FaultRule::scheduled(
+            FaultKind::StalledConsumer,
+            start,
+            start + Duration::from_secs(1),
+        )),
+    );
+
+    let mut ok_batches = 0usize;
+    for i in 1..=10i64 {
+        clock.advance(Duration::from_millis(200));
+        put(&format!("/scores/w{i}"), i);
+        cache.tick();
+        // The conforming listener is never delayed by the stalled sibling:
+        // every write arrives on the very next poll.
+        let events = ok.poll().unwrap();
+        assert!(
+            events.iter().any(|e| !e.changes.is_empty()),
+            "conforming listener stalled at write {i}"
+        );
+        ok_batches += 1;
+        if !stall.should_inject(FaultKind::StalledConsumer, "poll") {
+            slow.poll().unwrap();
+        }
+    }
+    assert_eq!(ok_batches, 10);
+
+    // The stalled listener was shed voluntarily (cause `overload`), its
+    // queued deltas dropped rather than held: memory stays bounded.
+    let stats = cache.stats();
+    assert!(
+        stats.resets_overload >= 1,
+        "the stalled consumer must be overload-reset: {stats:?}"
+    );
+    assert_eq!(stats.resets_fault, 0, "no involuntary resets fired");
+    assert!(stats.dropped_events > 0, "its queued deltas were dropped");
+    assert_eq!(
+        slow.stats().overload_resets_seen,
+        1,
+        "stats: {:?} cache: {stats:?}",
+        slow.stats()
+    );
+
+    // Both listeners converge on the full final state.
+    for _ in 0..6 {
+        clock.advance(Duration::from_millis(200));
+        cache.tick();
+        ok.poll().unwrap();
+        slow.poll().unwrap();
+    }
+    assert!(!slow.is_degraded(), "shed listener must recover");
+    assert_eq!(ok.delivered_docs().len(), 11);
+    assert_eq!(
+        slow.delivered_docs().len(),
+        11,
+        "catch-up must recover every dropped delta"
     );
 }
 
