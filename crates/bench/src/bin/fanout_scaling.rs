@@ -10,6 +10,9 @@
 //! tick cost is proportional to deliveries, not to deliveries × listeners.
 //! Resident outbound-queue bytes are sampled at their post-tick peak and
 //! must stay proportional to the population (bounded per connection).
+//! A hot-document burst sub-phase buffers several superseded versions of
+//! one document inside a single flush window so per-flush coalescing does
+//! real work; the `coalesced` column must be nonzero at every population.
 //!
 //! Phase 2 (overload): a fixed fleet with seeded slow consumers (clients
 //! that stop draining mid-run). Conforming listeners' sim-time delivery
@@ -27,7 +30,7 @@ use bench::banner;
 use firestore_core::database::doc;
 use firestore_core::{Caller, Consistency, FirestoreDatabase, Query, Value, Write};
 use realtime::{RealtimeCache, RealtimeOptions};
-use simkit::{Duration, SimClock};
+use simkit::{Duration, SimClock, SimDisk};
 use spanner::SpannerDatabase;
 use std::time::Instant;
 use workloads::fanout::{run_fanout, FanoutConfig};
@@ -36,6 +39,9 @@ use workloads::fanout::{run_fanout, FanoutConfig};
 const HOT_DOCS: usize = 4;
 /// Write cycles measured per population size.
 const CYCLES: usize = 24;
+/// Superseded versions of one document committed inside a single flush
+/// window by the burst sub-phase; all but the last coalesce away.
+const BURST: usize = 6;
 
 struct ScaleRow {
     listeners: usize,
@@ -124,6 +130,43 @@ fn measure(listeners: usize) -> ScaleRow {
         notifications += delivered;
         samples.push(tick_ns / delivered.max(1) as u128);
     }
+    // --- hot-document burst: the cycle loop above writes each doc at most
+    // once per flush, so per-flush coalescing never fires there. Buffer
+    // BURST superseded versions of one doc inside a single flush window,
+    // then flush once: each listener hears one snapshot and the pump
+    // coalesces away the BURST-1 stale versions per listener.
+    let coalesced_before = cache.stats().coalesced;
+    for _ in 0..BURST {
+        clock.advance(Duration::from_millis(1));
+        counter += 1;
+        db.commit_writes(
+            vec![Write::set(doc("/scores/hot0"), [("v", Value::Int(counter))])],
+            &Caller::Service,
+        )
+        .unwrap();
+    }
+    clock.advance(Duration::from_millis(100));
+    cache.tick();
+    let mut burst_delivered = 0u64;
+    for conn in &conns {
+        burst_delivered += conn
+            .poll()
+            .iter()
+            .filter(|e| matches!(e, realtime::ListenEvent::Snapshot { .. }))
+            .count() as u64;
+    }
+    assert_eq!(
+        burst_delivered, listeners as u64,
+        "the burst collapses to one snapshot per listener"
+    );
+    notifications += burst_delivered;
+    let burst_coalesced = cache.stats().coalesced - coalesced_before;
+    assert_eq!(
+        burst_coalesced,
+        (BURST as u64 - 1) * listeners as u64,
+        "each listener's queue absorbs the burst's superseded versions"
+    );
+
     samples.sort_unstable();
     let pick = |pct: f64| -> u128 {
         let rank = ((pct / 100.0) * samples.len() as f64).ceil() as usize;
@@ -138,6 +181,86 @@ fn measure(listeners: usize) -> ScaleRow {
         peak_queue_bytes,
         coalesced: stats.coalesced,
     }
+}
+
+/// Profile pass: a small fully-instrumented replay of the scaling loop.
+/// Kept separate from the measured sweep — tracer bookkeeping would pollute
+/// the wall-clock tick samples, and at 10^5 listeners the per-connection
+/// queue-walk spans alone run to millions. A few hundred listeners exercise
+/// every instrumented site (matcher descent, pump flush, queue walk,
+/// per-index maintenance, redo append) at negligible cost.
+fn profile_pass(listeners: usize) {
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    let obs = simkit::Obs::new(clock.clone(), 0xFA_0F11);
+    let spanner = SpannerDatabase::new(clock.clone());
+    spanner.set_obs(Some(obs.clone()));
+    spanner.attach_durability(SimDisk::new());
+    let db = FirestoreDatabase::create_default(spanner.clone());
+    let mut opts = RealtimeOptions::default();
+    opts.fanout.flush_interval = Duration::from_millis(50);
+    let cache = RealtimeCache::new(spanner.truetime().clone(), opts);
+    cache.set_obs(Some(obs.clone()));
+    db.set_observer(cache.observer_for(db.directory()));
+
+    for d in 0..HOT_DOCS {
+        db.commit_writes(
+            vec![Write::set(
+                doc(&format!("/scores/hot{d}")),
+                [("v", Value::Int(0))],
+            )],
+            &Caller::Service,
+        )
+        .unwrap();
+    }
+    cache.tick();
+
+    let query = Query::parse("/scores").unwrap();
+    let conns: Vec<realtime::Connection> = (0..listeners)
+        .map(|_| {
+            let conn = cache.connect();
+            let ts = db.strong_read_ts();
+            let docs = db
+                .run_query(
+                    &query.without_window(),
+                    Consistency::AtTimestamp(ts),
+                    &Caller::Service,
+                )
+                .unwrap()
+                .documents;
+            conn.listen(db.directory(), query.clone(), docs, ts);
+            conn.poll();
+            conn
+        })
+        .collect();
+
+    let mut counter = 0i64;
+    for cycle in 0..8usize {
+        clock.advance(Duration::from_millis(100));
+        counter += 1;
+        db.commit_writes(
+            vec![Write::set(
+                doc(&format!("/scores/hot{}", cycle % HOT_DOCS)),
+                [("v", Value::Int(counter))],
+            )],
+            &Caller::Service,
+        )
+        .unwrap();
+        cache.tick();
+        for conn in &conns {
+            conn.poll();
+        }
+    }
+
+    let profile = simkit::FoldedProfile::fold(&obs.tracer.finished_since(0));
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write("target/PROFILE_fanout.txt", profile.render()).expect("write profile tree");
+    std::fs::write("target/PROFILE_fanout.folded", profile.collapsed())
+        .expect("write folded profile");
+    println!(
+        "profile: {} spans folded ({} listeners) -> target/PROFILE_fanout.{{txt,folded}}",
+        profile.spans, listeners
+    );
 }
 
 fn main() {
@@ -185,6 +308,15 @@ fn main() {
             r.p50_ns_per_notification,
             r.p99_ns_per_notification,
             r.peak_queue_bytes,
+            r.coalesced
+        );
+    }
+
+    for r in &rows {
+        assert!(
+            r.coalesced >= (BURST as u64 - 1) * r.listeners as u64,
+            "{} listeners: burst sub-phase coalesced only {} deltas",
+            r.listeners,
             r.coalesced
         );
     }
@@ -287,4 +419,8 @@ fn main() {
         ));
     }
     report.write();
+
+    // Profile artifact, from a separate instrumented pass at the smallest
+    // population (see `profile_pass` for why the measured sweep is untraced).
+    profile_pass(sizes[0].min(200));
 }

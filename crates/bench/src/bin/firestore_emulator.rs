@@ -257,6 +257,18 @@ impl Emulator {
             }
             "metrics" => Ok(self.service.obs().metrics.snapshot().to_text()),
             "trace" => Ok(self.service.obs().tracer.render()),
+            "profile" => {
+                // profile [folded] — the weighted call tree over every span
+                // so far, or the collapsed-stack (flamegraph) export.
+                let profile = simkit::FoldedProfile::fold(
+                    &self.service.obs().tracer.finished_since(0),
+                );
+                match args.first() {
+                    Some(&"folded") => Ok(profile.collapsed()),
+                    None => Ok(profile.render()),
+                    Some(other) => Err(format!("unknown profile mode `{other}`")),
+                }
+            }
             "count" => {
                 let q = parse_query(args)?;
                 let (n, stats) = self
@@ -403,6 +415,8 @@ commands:
   stats                                storage / realtime / billing counters
   metrics                              observability metrics snapshot
   trace                                render the deterministic trace so far
+  profile [folded]                     folded span profile (self/cum time);
+                                       `folded`: collapsed flamegraph stacks
   quit
 values: 42, 4.5, true, false, null, \"quoted string\", bareword";
 

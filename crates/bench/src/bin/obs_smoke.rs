@@ -16,7 +16,7 @@
 use bench::banner;
 use firestore_core::{Caller, Direction, Query};
 use server::{FirestoreService, ServiceOptions};
-use simkit::{Duration, SimClock, SimRng};
+use simkit::{Duration, FoldedProfile, SimClock, SimDisk, SimRng};
 use workloads::driver::{run_ycsb, DriverConfig};
 use workloads::ycsb::{YcsbConfig, YcsbGenerator, YcsbWorkload};
 
@@ -57,6 +57,9 @@ fn main() {
             ..ServiceOptions::default()
         },
     );
+    // A simulated redo-log disk, so the durability spans (redo append/fsync)
+    // appear in the trace and the folded profile.
+    svc.spanner().attach_durability(SimDisk::new());
     let db = svc.create_database(DATABASE);
 
     // Load a small YCSB table and run the mix at modest QPS: enough traffic
@@ -150,7 +153,18 @@ fn main() {
         }
     }
 
-    // Artifacts: the deterministic trace and both metrics snapshot formats.
+    // Folded profile: the span stream weighted into a call tree, with the
+    // top flat frames by self-time (E16's attribution table).
+    let profile = FoldedProfile::fold(&svc.obs().tracer.finished_since(0));
+    println!();
+    println!("top frames by self-time (cost ledger):");
+    println!("{:<28} {:>8} {:>14}", "frame", "count", "self_ns");
+    for (name, count, self_time) in profile.top_self(10) {
+        println!("{:<28} {:>8} {:>14}", name, count, self_time.as_nanos());
+    }
+
+    // Artifacts: the deterministic trace, both metrics snapshot formats,
+    // and the folded profile (tree + collapsed stacks for flamegraphs).
     let dir = std::path::PathBuf::from(&out);
     std::fs::create_dir_all(&dir).expect("create output dir");
     let trace = svc.obs().tracer.render();
@@ -158,16 +172,22 @@ fn main() {
     std::fs::write(dir.join("trace.txt"), &trace).expect("write trace");
     std::fs::write(dir.join("metrics.json"), snapshot.to_json()).expect("write metrics json");
     std::fs::write(dir.join("metrics.txt"), snapshot.to_text()).expect("write metrics text");
+    std::fs::write(dir.join("profile.txt"), profile.render()).expect("write profile");
+    std::fs::write(dir.join("profile.folded"), profile.collapsed())
+        .expect("write folded profile");
     println!();
     println!(
-        "(wrote {}, {}, {})",
+        "(wrote {}, {}, {}, {}, {})",
         dir.join("trace.txt").display(),
         dir.join("metrics.json").display(),
-        dir.join("metrics.txt").display()
+        dir.join("metrics.txt").display(),
+        dir.join("profile.txt").display(),
+        dir.join("profile.folded").display()
     );
     println!(
-        "trace: {} spans finished, {} metric series",
+        "trace: {} spans finished, {} metric series, {} profiled",
         svc.obs().tracer.finished_count(),
-        snapshot.len()
+        snapshot.len(),
+        profile.spans
     );
 }

@@ -221,4 +221,18 @@ fn main() {
         ));
     }
     report.write();
+
+    // Profile artifact: the whole sweep ran under the service's tracer, so
+    // fold the span stream into the deterministic call tree and write the
+    // collapsed stacks next to the bench JSON (flamegraph-ready).
+    let profile = simkit::FoldedProfile::fold(&svc.obs().tracer.finished_since(0));
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write("target/PROFILE_query_scaling.txt", profile.render())
+        .expect("write profile tree");
+    std::fs::write("target/PROFILE_query_scaling.folded", profile.collapsed())
+        .expect("write folded profile");
+    println!(
+        "\nprofile: {} spans folded -> target/PROFILE_query_scaling.{{txt,folded}}",
+        profile.spans
+    );
 }

@@ -1,0 +1,612 @@
+//! The CI perf-regression gate over `BENCH_*.json` trajectories.
+//!
+//! Every benchmark's numbers come from a deterministic simulation, so a
+//! baseline committed under `bench/baselines/` is reproducible bit-for-bit
+//! on any machine — any drift in a *sim-derived* metric is a code change,
+//! not noise, and tight tolerances are safe. A few metrics are wall-clock
+//! (measured with `Instant` around in-process compute, e.g. the
+//! per-notification costs of `fanout_scaling`); those vary with the host,
+//! so they gate only against catastrophic regressions.
+//!
+//! The comparison walks the `results` rows of a fresh report against its
+//! baseline: string fields (phase labels, fleet names) must match exactly;
+//! numeric fields are classified by name into a [`MetricClass`] with a
+//! direction (lower- vs higher-is-better) and a relative tolerance plus an
+//! absolute slack floor. A missing row, a missing metric, or a value past
+//! its tolerance is a [`Regression`] and the `bench_gate` bin exits
+//! nonzero. No external JSON dependency exists in this workspace, so the
+//! parser below is hand-rolled for the small JSON dialect
+//! [`report::BenchReport`](crate::report::BenchReport) emits.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64; integers survive to 2^53, far beyond any
+    /// benchmark metric).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered by key.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Supports the full value grammar the repo's
+/// reports use: objects, arrays, double-quoted strings with `\"`/`\\`/`\n`
+/// escapes, numbers (including negatives and decimals), booleans, null.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8 passes through byte-wise; the
+                        // input is valid UTF-8 (it came from a &str).
+                        let start = *pos;
+                        let len = utf8_len(c);
+                        *pos += len;
+                        s.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| {
+                            format!("invalid UTF-8 in string: {e}")
+                        })?);
+                    }
+                }
+            }
+        }
+        Some(b't') => expect_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => expect_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => expect_lit(b, pos, "null", Json::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).unwrap_or("");
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at offset {start}"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric classification & tolerances
+// ---------------------------------------------------------------------------
+
+/// How a metric's fresh value is judged against its baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Deterministic sim-derived value where smaller is better (simulated
+    /// latencies, queue bytes): tight tolerance.
+    SimLowerBetter,
+    /// Deterministic sim-derived value where larger is better (coalesced
+    /// counts, throughput): tight tolerance, inverted direction.
+    SimHigherBetter,
+    /// Wall-clock measurement (`Instant`-based per-op costs): host-dependent,
+    /// gated loosely to catch only catastrophic regressions.
+    WallClockLowerBetter,
+    /// Workload-shape value (row counts, sizes): equal within tolerance in
+    /// *both* directions — drift means the workload changed, which requires
+    /// a baseline update, not a silent pass.
+    Shape,
+    /// Not compared (identifiers, flags).
+    Ignored,
+}
+
+/// Relative tolerance and absolute slack for one metric class.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerance {
+    /// Allowed relative drift in the bad direction (0.10 = 10%).
+    pub rel: f64,
+    /// Absolute slack floor, in the metric's own unit, so near-zero
+    /// baselines don't trip on epsilon drift.
+    pub abs: f64,
+}
+
+/// Classify a metric by its field name. The naming conventions are the
+/// repo's own (`*_ms` simulated milliseconds, `*_ns_per_*` wall-clock
+/// nanoseconds per op, `us_per_txn` wall-clock, counts bare).
+pub fn classify(metric: &str) -> MetricClass {
+    // Wall-clock costs measured with Instant: `wall` anywhere in the name
+    // (wall_us_p50, wall_ms, per_txn wall costs) or a per-op ns/us rate.
+    if metric.contains("wall")
+        || metric.contains("ns_per_")
+        || metric.contains("us_per_")
+        || metric == "per_txn_us"
+    {
+        return MetricClass::WallClockLowerBetter;
+    }
+    // Simulated latencies and resource peaks: lower is better.
+    if metric.ends_with("_ms")
+        || metric.ends_with("_us")
+        || metric.ends_with("_ns")
+        || metric.contains("_p50")
+        || metric.contains("_p99")
+        || metric.starts_with("p50_")
+        || metric.starts_with("p99_")
+        || metric.contains("queue_bytes")
+        || metric.contains("dropped")
+        || metric.contains("resets")
+        || metric.contains("entries_examined")
+        || metric.contains("rejected")
+    {
+        return MetricClass::SimLowerBetter;
+    }
+    // More work coalesced / carried per unit is better.
+    if metric.contains("coalesced") || metric.contains("ops_per_sec") || metric.contains("throughput")
+    {
+        return MetricClass::SimHigherBetter;
+    }
+    // Shape: the workload itself.
+    if metric.contains("listeners")
+        || metric.contains("size")
+        || metric.contains("notifications")
+        || metric.contains("docs")
+        || metric.contains("queries")
+        || metric.contains("txns")
+        || metric.contains("entries")
+        || metric.contains("documents")
+        || metric.contains("count")
+    {
+        return MetricClass::Shape;
+    }
+    if metric == "seed" || metric == "converged" {
+        return MetricClass::Ignored;
+    }
+    // Default: treat unknown numerics as sim lower-is-better — the
+    // conservative choice; misclassified metrics fail loudly and get a
+    // naming fix or an override, not a silent pass.
+    MetricClass::SimLowerBetter
+}
+
+/// Tolerance for a class.
+pub fn tolerance(class: MetricClass) -> Tolerance {
+    match class {
+        MetricClass::SimLowerBetter | MetricClass::SimHigherBetter => {
+            Tolerance { rel: 0.10, abs: 2.0 }
+        }
+        // Wall clock: only 4x-or-worse fails (CI runners vary ~2-3x).
+        MetricClass::WallClockLowerBetter => Tolerance { rel: 3.0, abs: 1000.0 },
+        MetricClass::Shape => Tolerance { rel: 0.01, abs: 0.5 },
+        MetricClass::Ignored => Tolerance { rel: f64::INFINITY, abs: f64::INFINITY },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate
+// ---------------------------------------------------------------------------
+
+/// One detected regression (or comparison error).
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Bench name (e.g. `fanout`).
+    pub bench: String,
+    /// Row index in `results` plus its identifying labels.
+    pub row: String,
+    /// The offending metric.
+    pub metric: String,
+    /// Human-readable verdict.
+    pub detail: String,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "REGRESSION [{} {}] {}: {}",
+            self.bench, self.row, self.metric, self.detail
+        )
+    }
+}
+
+/// Comparison summary for one report pair.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Metrics compared and found within tolerance.
+    pub passed: usize,
+    /// Detected regressions.
+    pub regressions: Vec<Regression>,
+    /// Informational lines (improvements, skipped metrics).
+    pub notes: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// A row's identity: its string-valued fields joined, falling back to the
+/// row index — so reordered or re-shaped workloads produce readable errors.
+fn row_label(row: &Json, idx: usize) -> String {
+    let mut parts = vec![format!("row{idx}")];
+    if let Json::Obj(pairs) = row {
+        for (k, v) in pairs {
+            if let Json::Str(s) = v {
+                parts.push(format!("{k}={s}"));
+            }
+        }
+    }
+    parts.join(" ")
+}
+
+/// Diff a fresh report against its baseline. `bench` names the pair for
+/// error messages (typically the `bench` field of the baseline).
+pub fn compare(bench: &str, baseline: &Json, fresh: &Json) -> GateReport {
+    let mut out = GateReport::default();
+    let base_rows = baseline
+        .get("results")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    let fresh_rows = fresh.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+    if fresh_rows.len() < base_rows.len() {
+        out.regressions.push(Regression {
+            bench: bench.into(),
+            row: "results".into(),
+            metric: "rows".into(),
+            detail: format!(
+                "baseline has {} rows, fresh has {} — coverage lost",
+                base_rows.len(),
+                fresh_rows.len()
+            ),
+        });
+    }
+    for (idx, (b_row, f_row)) in base_rows.iter().zip(fresh_rows).enumerate() {
+        let label = row_label(b_row, idx);
+        let Json::Obj(b_pairs) = b_row else { continue };
+        for (metric, b_val) in b_pairs {
+            compare_metric(bench, &label, metric, b_val, f_row.get(metric), &mut out);
+        }
+    }
+    out
+}
+
+/// Diff one metric of one row; recurses into nested objects with dotted
+/// metric names (e.g. `throttles.quota_exhausted`).
+fn compare_metric(
+    bench: &str,
+    label: &str,
+    metric: &str,
+    b_val: &Json,
+    f_val: Option<&Json>,
+    out: &mut GateReport,
+) {
+    match (b_val, f_val) {
+        (Json::Obj(b_nested), Some(f_obj @ Json::Obj(_))) => {
+            for (key, b_inner) in b_nested {
+                let dotted = format!("{metric}.{key}");
+                compare_metric(bench, label, &dotted, b_inner, f_obj.get(key), out);
+            }
+        }
+        (Json::Str(bs), Some(Json::Str(fs))) => {
+            if bs != fs {
+                out.regressions.push(Regression {
+                    bench: bench.into(),
+                    row: label.into(),
+                    metric: metric.into(),
+                    detail: format!("label changed: baseline {bs:?}, fresh {fs:?}"),
+                });
+            } else {
+                out.passed += 1;
+            }
+        }
+        (Json::Num(bn), Some(Json::Num(fn_))) => {
+            judge(bench, label, metric, *bn, *fn_, out);
+        }
+        (Json::Bool(bb), Some(Json::Bool(fb))) => {
+            if bb != fb && metric != "converged" {
+                out.regressions.push(Regression {
+                    bench: bench.into(),
+                    row: label.into(),
+                    metric: metric.into(),
+                    detail: format!("flag changed: baseline {bb}, fresh {fb}"),
+                });
+            } else if bb != fb {
+                // `converged` flipping false IS a regression.
+                if *bb && !*fb {
+                    out.regressions.push(Regression {
+                        bench: bench.into(),
+                        row: label.into(),
+                        metric: metric.into(),
+                        detail: "converged flipped to false".into(),
+                    });
+                }
+            } else {
+                out.passed += 1;
+            }
+        }
+        (_, None) => {
+            out.regressions.push(Regression {
+                bench: bench.into(),
+                row: label.into(),
+                metric: metric.into(),
+                detail: "metric missing from fresh report".into(),
+            });
+        }
+        _ => {
+            out.notes
+                .push(format!("[{bench} {label}] {metric}: type changed, skipped"));
+        }
+    }
+}
+
+fn judge(bench: &str, label: &str, metric: &str, base: f64, fresh: f64, out: &mut GateReport) {
+    let class = classify(metric);
+    let tol = tolerance(class);
+    let (bad, improved) = match class {
+        MetricClass::Ignored => {
+            out.notes
+                .push(format!("[{bench} {label}] {metric}: ignored"));
+            return;
+        }
+        MetricClass::SimLowerBetter | MetricClass::WallClockLowerBetter => {
+            let limit = (base * (1.0 + tol.rel)).max(base + tol.abs);
+            (fresh > limit, fresh < base)
+        }
+        MetricClass::SimHigherBetter => {
+            let limit = (base * (1.0 - tol.rel)).min(base - tol.abs);
+            (fresh < limit, fresh > base)
+        }
+        MetricClass::Shape => {
+            let hi = (base * (1.0 + tol.rel)).max(base + tol.abs);
+            let lo = (base * (1.0 - tol.rel)).min(base - tol.abs);
+            (fresh > hi || fresh < lo, false)
+        }
+    };
+    if bad {
+        out.regressions.push(Regression {
+            bench: bench.into(),
+            row: label.into(),
+            metric: metric.into(),
+            detail: format!(
+                "baseline {base}, fresh {fresh} ({class:?}, rel tol {}, abs slack {})",
+                tol.rel, tol.abs
+            ),
+        });
+    } else {
+        if improved && (base - fresh).abs() > tol.abs {
+            out.notes.push(format!(
+                "[{bench} {label}] {metric}: improved {base} -> {fresh}"
+            ));
+        }
+        out.passed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "bench": "demo",
+  "smoke": true,
+  "results": [
+    {"phase": "scaling", "listeners": 100, "p99_ms": 10.5, "coalesced": 40, "ns_per_op": 2000},
+    {"phase": "overload", "listeners": 100, "p99_ms": 20.0, "converged": true}
+  ]
+}"#;
+
+    #[test]
+    fn parser_round_trips_report_shape() {
+        let v = parse_json(BASE).unwrap();
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("demo"));
+        let rows = v.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("p99_ms").and_then(Json::as_num), Some(10.5));
+        assert_eq!(rows[1].get("converged"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = parse_json(BASE).unwrap();
+        let r = compare("demo", &b, &b);
+        assert!(r.ok(), "{:?}", r.regressions);
+        assert!(r.passed > 0);
+    }
+
+    #[test]
+    fn sim_latency_regression_fails_and_wallclock_noise_passes() {
+        let b = parse_json(BASE).unwrap();
+        // p99 +50% (sim: fail), ns_per_op +150% (wall clock: within 4x, pass).
+        let fresh = parse_json(&BASE.replace("10.5", "15.75").replace("2000", "5000")).unwrap();
+        let r = compare("demo", &b, &fresh);
+        assert_eq!(r.regressions.len(), 1, "{:?}", r.regressions);
+        assert_eq!(r.regressions[0].metric, "p99_ms");
+    }
+
+    #[test]
+    fn coalesced_drop_fails() {
+        let b = parse_json(BASE).unwrap();
+        let fresh = parse_json(&BASE.replace("\"coalesced\": 40", "\"coalesced\": 0")).unwrap();
+        let r = compare("demo", &b, &fresh);
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].metric, "coalesced");
+    }
+
+    #[test]
+    fn missing_metric_and_lost_rows_fail() {
+        let b = parse_json(BASE).unwrap();
+        let fresh = parse_json(&BASE.replace("\"coalesced\": 40, ", "")).unwrap();
+        let r = compare("demo", &b, &fresh);
+        assert!(r.regressions.iter().any(|x| x.metric == "coalesced"));
+        let one_row = parse_json(
+            r#"{"bench": "demo", "results": [{"phase": "scaling", "p99_ms": 10.5}]}"#,
+        )
+        .unwrap();
+        let r = compare("demo", &b, &one_row);
+        assert!(r.regressions.iter().any(|x| x.metric == "rows"));
+    }
+
+    #[test]
+    fn shape_drift_fails_both_directions() {
+        let b = parse_json(BASE).unwrap();
+        let fresh = parse_json(&BASE.replace("\"listeners\": 100, \"p99_ms\": 10.5", "\"listeners\": 90, \"p99_ms\": 10.5")).unwrap();
+        let r = compare("demo", &b, &fresh);
+        assert!(r.regressions.iter().any(|x| x.metric == "listeners"), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn converged_flip_fails() {
+        let b = parse_json(BASE).unwrap();
+        let fresh = parse_json(&BASE.replace("\"converged\": true", "\"converged\": false")).unwrap();
+        let r = compare("demo", &b, &fresh);
+        assert!(r.regressions.iter().any(|x| x.metric == "converged"));
+    }
+}

@@ -7,6 +7,7 @@
 //! printing the series to stdout and writing CSV under
 //! `target/experiments/`.
 
+pub mod gate;
 pub mod report;
 
 use simkit::stats::LatencySeries;

@@ -83,8 +83,8 @@ impl RulesEngine {
         RulesEngine { ruleset, compiled }
     }
 
-    fn allows(&self, req: &RequestContext, data: &dyn rules::DataSource) -> bool {
-        let decision = self.compiled.decide(req, data);
+    fn allows(&self, req: &RequestContext, data: &dyn rules::DataSource, obs: Option<&Obs>) -> bool {
+        let (decision, residual) = self.compiled.decide_traced(req, data);
         if cfg!(debug_assertions) {
             let reference = self.ruleset.decide(req, data);
             assert_eq!(
@@ -93,6 +93,15 @@ impl RulesEngine {
                 req.method,
                 req.path.join("/")
             );
+        }
+        if let Some(o) = obs {
+            // Bounded cardinality: two unlabelled counters. Their ratio is
+            // the fraction of authorization decisions that paid the
+            // residual-expression interpreter fallback.
+            o.metrics.incr("rules.decisions", &[], 1);
+            if residual {
+                o.metrics.incr("rules.residual_hits", &[], 1);
+            }
         }
         decision.allowed
     }
@@ -353,7 +362,7 @@ impl FirestoreDatabase {
             dir: self.inner.dir,
             ts,
         };
-        if engine.allows(&req, &source) {
+        if engine.allows(&req, &source, self.obs().as_ref()) {
             Ok(())
         } else {
             Err(FirestoreError::PermissionDenied(format!(
@@ -701,7 +710,7 @@ impl FirestoreDatabase {
                         dir,
                         txn: RefCell::new(&mut *txn),
                     };
-                    engine.allows(&req, &source)
+                    engine.allows(&req, &source, obs.as_ref())
                 };
                 if !allowed {
                     return Err(FirestoreError::PermissionDenied(format!(
@@ -753,8 +762,16 @@ impl FirestoreDatabase {
         {
             let mut catalog = self.inner.catalog.write();
             for change in &changes {
-                stats.index_entries_touched +=
-                    write::apply_change_to_txn(spanner, dir, &mut catalog, txn, change)?;
+                let (touched, charged) = write::apply_change_to_txn(
+                    spanner,
+                    dir,
+                    &mut catalog,
+                    txn,
+                    change,
+                    obs.as_ref(),
+                )?;
+                stats.index_entries_touched += touched;
+                stats.engine_cpu += charged;
                 stats.documents += 1;
             }
         }
@@ -791,10 +808,12 @@ impl FirestoreDatabase {
                 stats.participants = info.participants;
                 stats.lock_wait = info.lock_wait;
                 stats.commit_wait = info.commit_wait;
+                stats.engine_cpu += info.cpu_charged;
                 if let Some(s) = &pipeline_span {
                     s.attr("commit_ts", info.commit_ts.as_nanos());
                     s.attr("documents", stats.documents);
                     s.attr("index_entries", stats.index_entries_touched);
+                    s.attr("engine_cpu_ns", stats.engine_cpu.as_nanos());
                 }
                 // Step 7: Accept with full document copies at the commit
                 // timestamp.

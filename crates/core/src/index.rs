@@ -294,6 +294,21 @@ pub fn entries_for_document(
     doc: &Document,
     maintained_states: &[IndexState],
 ) -> Vec<Key> {
+    entries_for_document_tagged(catalog, dir, doc, maintained_states)
+        .into_iter()
+        .map(|(_, k)| k)
+        .collect()
+}
+
+/// [`entries_for_document`] with each key tagged by its owning index id —
+/// the write path uses the tags to attribute per-index maintenance cost
+/// (§III-C: every write maintains every applicable index).
+pub fn entries_for_document_tagged(
+    catalog: &mut IndexCatalog,
+    dir: DirectoryId,
+    doc: &Document,
+    maintained_states: &[IndexState],
+) -> Vec<(IndexId, Key)> {
     let collection_id = doc.name.collection_id().to_string();
     let mut keys = Vec::new();
 
@@ -304,13 +319,19 @@ pub fn entries_for_document(
         };
         let mut value_bytes = Vec::new();
         encode_value_asc(value, &mut value_bytes);
-        keys.push(entry_key(dir, index, &value_bytes, &doc.name, Direction::Asc));
+        keys.push((
+            index,
+            entry_key(dir, index, &value_bytes, &doc.name, Direction::Asc),
+        ));
         if let Value::Array(items) = value {
             // Element entries for array-contains (§V-B2 flattening).
             for item in items {
                 let mut elem_bytes = vec![ARRAY_ELEMENT_TAG];
                 encode_value_asc(item, &mut elem_bytes);
-                keys.push(entry_key(dir, index, &elem_bytes, &doc.name, Direction::Asc));
+                keys.push((
+                    index,
+                    entry_key(dir, index, &elem_bytes, &doc.name, Direction::Asc),
+                ));
             }
         }
     }
@@ -331,7 +352,7 @@ pub fn entries_for_document(
         }
         if complete {
             let name_dir = def.fields.last().expect("composite has fields").direction;
-            keys.push(entry_key(dir, def.id, &tuple, &doc.name, name_dir));
+            keys.push((def.id, entry_key(dir, def.id, &tuple, &doc.name, name_dir)));
         }
     }
     keys
@@ -358,6 +379,61 @@ pub fn entry_diff(
     let removals = old_keys.difference(&new_keys).cloned().collect();
     let additions = new_keys.difference(&old_keys).cloned().collect();
     (removals, additions)
+}
+
+/// The maintenance work one document change causes on one index.
+#[derive(Clone, Debug)]
+pub struct IndexMaintenance {
+    /// The index the entries belong to.
+    pub index: IndexId,
+    /// Entry keys to delete, sorted.
+    pub removals: Vec<Key>,
+    /// Entry keys to insert, sorted.
+    pub additions: Vec<Key>,
+}
+
+/// [`entry_diff`] grouped by owning index, in ascending index-id order.
+/// Every index *examined* appears — including those whose diff came out
+/// empty (an unchanged field still had its entries computed and compared),
+/// so the write path can attribute per-index cost honestly. Key lists are
+/// sorted, making the resulting mutation order deterministic.
+pub fn entry_diff_per_index(
+    catalog: &mut IndexCatalog,
+    dir: DirectoryId,
+    old: Option<&Document>,
+    new: Option<&Document>,
+    maintained_states: &[IndexState],
+) -> Vec<IndexMaintenance> {
+    let old_keys: HashSet<(IndexId, Key)> = old
+        .map(|d| entries_for_document_tagged(catalog, dir, d, maintained_states))
+        .unwrap_or_default()
+        .into_iter()
+        .collect();
+    let new_keys: HashSet<(IndexId, Key)> = new
+        .map(|d| entries_for_document_tagged(catalog, dir, d, maintained_states))
+        .unwrap_or_default()
+        .into_iter()
+        .collect();
+    let mut by_index: BTreeMap<IndexId, IndexMaintenance> = BTreeMap::new();
+    for (index, _) in old_keys.union(&new_keys) {
+        by_index.entry(*index).or_insert_with(|| IndexMaintenance {
+            index: *index,
+            removals: Vec::new(),
+            additions: Vec::new(),
+        });
+    }
+    for (index, key) in old_keys.difference(&new_keys) {
+        by_index.get_mut(index).expect("grouped").removals.push(key.clone());
+    }
+    for (index, key) in new_keys.difference(&old_keys) {
+        by_index.get_mut(index).expect("grouped").additions.push(key.clone());
+    }
+    let mut out: Vec<IndexMaintenance> = by_index.into_values().collect();
+    for m in &mut out {
+        m.removals.sort();
+        m.additions.sort();
+    }
+    out
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ use firestore_core::{Document, Query};
 use parking_lot::Mutex;
 use simkit::fault::{FaultInjector, FaultKind};
 use simkit::history::{HistoryEvent, HistoryRecorder};
-use simkit::{Duration, Obs, Timestamp, TrueTime};
+use simkit::{prof, Duration, Obs, Timestamp, TrueTime};
 use spanner::database::DirectoryId;
 use spanner::Key;
 use std::collections::HashMap;
@@ -744,6 +744,12 @@ impl RealtimeCache {
     /// change fanning out to 10⁵ listeners costs 10⁵ pointers.
     fn flush_backlogs(&self, st: &mut RtState, now: Timestamp) {
         st.last_flush = now;
+        let flush_span = st
+            .obs
+            .as_ref()
+            .map(|o| o.tracer.span("rtc.fanout.flush"));
+        let clock = self.truetime.clock();
+        let mut flushed_changes = 0usize;
         let mut flushed_any = false;
         let mut over_buffer: Vec<(ConnectionId, QueryId)> = Vec::new();
         for ti in 0..st.tasks.len() {
@@ -752,6 +758,7 @@ impl RealtimeCache {
             }
             let backlog = std::mem::take(&mut st.tasks[ti].backlog);
             flushed_any = true;
+            flushed_changes += backlog.len();
             // Group consecutive same-directory runs so each match_batch
             // call stays within one directory (commit order is preserved).
             let mut i = 0usize;
@@ -764,7 +771,23 @@ impl RealtimeCache {
                 let group = &backlog[i..j];
                 let refs: Vec<&DocumentChange> =
                     group.iter().map(|(_, _, c)| c.as_ref()).collect();
-                let token_lists = st.matcher.match_batch(ti, dir, &refs);
+                let token_lists = {
+                    // One matcher-tree bucket descent per directory run:
+                    // charge it and let the profiler see it.
+                    let descent_span = st
+                        .obs
+                        .as_ref()
+                        .map(|o| o.tracer.span("rtc.matcher.descent"));
+                    let lists = st.matcher.match_batch(ti, dir, &refs);
+                    clock.advance(
+                        prof::costs::MATCH_DESCENT_BASE
+                            + prof::costs::MATCH_PER_CHANGE * group.len() as u64,
+                    );
+                    if let Some(s) = &descent_span {
+                        s.attr("changes", group.len());
+                    }
+                    lists
+                };
                 if let Some(o) = &st.obs {
                     o.metrics.incr(
                         "rtc.fanout.routed",
@@ -800,6 +823,10 @@ impl RealtimeCache {
         if flushed_any {
             st.stats.flushes += 1;
         }
+        if let Some(s) = &flush_span {
+            s.attr("changes", flushed_changes);
+        }
+        drop(flush_span);
         // A listener whose coalescing buffer outgrew its bound is shed —
         // backpressure parked changes here, and the bound is the second
         // resource limit after the outbound queue.
@@ -982,6 +1009,7 @@ impl RealtimeCache {
         // (computed only while a recorder is attached).
         let mut emitted: Vec<Emission> = Vec::new();
         let mut coalesced_total = 0u64;
+        let mut walked_deltas = 0u64;
         for (qid, qs) in conn.queries.iter_mut() {
             if conn_watermark <= qs.resume {
                 continue;
@@ -990,6 +1018,7 @@ impl RealtimeCache {
             // document: a hot document costs one applied change per flush.
             let (batch, coalesced) = qs.buffered.take_ready(conn_watermark);
             coalesced_total += coalesced;
+            walked_deltas += batch.len() as u64 + coalesced;
             qs.resume = conn_watermark;
             if batch.is_empty() {
                 continue;
@@ -1031,6 +1060,25 @@ impl RealtimeCache {
             if let Some(o) = &st.obs {
                 o.metrics
                     .incr("rtc.fanout.coalesced", &[], coalesced_total);
+            }
+        }
+        if walked_deltas > 0 {
+            // The per-connection queue walk is the fanout pump's measured
+            // hot spot (ROADMAP item 3); charge it per delta examined —
+            // coalesced-away deltas were walked too. The span covers the
+            // charge so its self-time IS the ledger entry (spans are only
+            // emitted for pumps that did work, bounding trace volume at
+            // 10⁵-listener populations).
+            let walk_span = st
+                .obs
+                .as_ref()
+                .map(|o| o.tracer.span("rtc.fanout.queue_walk"));
+            self.truetime
+                .clock()
+                .advance(prof::costs::QUEUE_WALK_PER_DELTA * walked_deltas);
+            if let Some(s) = &walk_span {
+                s.attr("deltas", walked_deltas);
+                s.attr("coalesced", coalesced_total);
             }
         }
         for (e, visible, qdir) in &emitted {

@@ -46,6 +46,8 @@ use crate::eval::{DataSource, Decision, Evaluator, RequestContext};
 use crate::value::RuleValue;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Method bitmask bits (one per concrete [`Method`]).
 const GET: u8 = 1 << 0;
@@ -337,6 +339,33 @@ pub struct CompiledRules {
     root: Node,
     rules: Vec<CompiledRule>,
     mutation: Option<LoweringMutation>,
+    counters: Arc<RuleCounters>,
+}
+
+/// Bounded-cardinality evaluation counters, shared across clones of one
+/// compiled ruleset. Most predicates lower to specialised [`Pred`] forms
+/// that evaluate without the AST interpreter; expressions the lowering
+/// doesn't specialise are kept as [`Pred::Residual`] and fall back to
+/// [`Evaluator::eval`] per request. `residual_hits / decisions` is the
+/// fraction of requests that paid that fallback at least once — the
+/// compiler's coverage gap, measured on live traffic.
+#[derive(Debug, Default)]
+pub struct RuleCounters {
+    /// Requests decided (tree descents).
+    pub decisions: AtomicU64,
+    /// Decisions that evaluated at least one residual predicate via the
+    /// AST interpreter fallback.
+    pub residual_hits: AtomicU64,
+}
+
+impl RuleCounters {
+    /// Snapshot of `(decisions, residual_hits)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.decisions.load(Ordering::Relaxed),
+            self.residual_hits.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// A segment of the flattened pattern chain from the root to a leaf.
@@ -470,6 +499,7 @@ pub fn compile(ruleset: &Ruleset) -> CompiledRules {
         root: fl.root,
         rules: fl.rules,
         mutation: None,
+        counters: Arc::new(RuleCounters::default()),
     }
 }
 
@@ -478,6 +508,38 @@ impl CompiledRules {
     /// [`Ruleset::decide`] — that equivalence is what the differential
     /// suite enforces.
     pub fn decide(&self, request: &RequestContext, data: &dyn DataSource) -> Decision {
+        self.decide_traced(request, data).0
+    }
+
+    /// [`CompiledRules::decide`], also reporting whether this decision fell
+    /// back to the residual-expression interpreter ([`Pred::Residual`]) at
+    /// least once. The shared [`RuleCounters`] update on both entry points.
+    pub fn decide_traced(
+        &self,
+        request: &RequestContext,
+        data: &dyn DataSource,
+    ) -> (Decision, bool) {
+        let mut residual = false;
+        let decision = self.decide_inner(request, data, &mut residual);
+        self.counters.decisions.fetch_add(1, Ordering::Relaxed);
+        if residual {
+            self.counters.residual_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (decision, residual)
+    }
+
+    /// Evaluation counters for this compiled ruleset (shared across
+    /// clones).
+    pub fn counters(&self) -> &RuleCounters {
+        &self.counters
+    }
+
+    fn decide_inner(
+        &self,
+        request: &RequestContext,
+        data: &dyn DataSource,
+        residual: &mut bool,
+    ) -> Decision {
         let mut candidates = Vec::new();
         collect(&self.root, &request.path, 0, &mut candidates);
         candidates.sort_unstable();
@@ -509,7 +571,7 @@ impl CompiledRules {
                 })
                 .collect();
             let ev = Evaluator::for_request(request, data, bindings);
-            if self.eval_pred(&rule.pred, &ev, request) == Ok(true) {
+            if self.eval_pred(&rule.pred, &ev, request, residual) == Ok(true) {
                 return Decision {
                     allowed: true,
                     rule: Some(id),
@@ -541,6 +603,7 @@ impl CompiledRules {
         pred: &Pred,
         ev: &Evaluator<'_>,
         req: &RequestContext,
+        residual: &mut bool,
     ) -> Result<bool, ()> {
         match pred {
             Pred::Const(b) => Ok(*b),
@@ -566,23 +629,26 @@ impl CompiledRules {
             }
             Pred::All(a, b) => {
                 // `false && <error>` is false; `true && x` is x.
-                if !self.eval_pred(a, ev, req)? {
+                if !self.eval_pred(a, ev, req, residual)? {
                     return Ok(false);
                 }
-                self.eval_pred(b, ev, req)
+                self.eval_pred(b, ev, req, residual)
             }
             Pred::AnyOf(a, b) => {
                 // `true || <error>` is true; `false || x` is x.
-                if self.eval_pred(a, ev, req)? {
+                if self.eval_pred(a, ev, req, residual)? {
                     return Ok(true);
                 }
-                self.eval_pred(b, ev, req)
+                self.eval_pred(b, ev, req, residual)
             }
-            Pred::Not(inner) => Ok(!self.eval_pred(inner, ev, req)?),
-            Pred::Residual(e) => match ev.eval(e) {
-                Ok(RuleValue::Bool(b)) => Ok(b),
-                _ => Err(()),
-            },
+            Pred::Not(inner) => Ok(!self.eval_pred(inner, ev, req, residual)?),
+            Pred::Residual(e) => {
+                *residual = true;
+                match ev.eval(e) {
+                    Ok(RuleValue::Bool(b)) => Ok(b),
+                    _ => Err(()),
+                }
+            }
         }
     }
 

@@ -389,10 +389,13 @@ impl FirestoreService {
             (result.stats.documents - deletes.min(result.stats.documents)) as u64,
         );
         self.billing.record_deletes(database, deletes as u64);
-        let cpu_cost = self.cost.write_cost(
-            result.stats.index_entries_touched,
-            result.stats.payload_bytes,
-        );
+        // The engine's cost ledger now charges per-index maintenance, redo
+        // appends/fsyncs, and lock release to the clock itself
+        // (`stats.engine_cpu`, measured); the modeled residual is the RPC
+        // overhead + payload term, so the per-entry cost isn't counted
+        // twice.
+        let cpu_cost =
+            self.cost.write_cost(0, result.stats.payload_bytes) + result.stats.engine_cpu;
         let rtc_hops = self.latency.hop(rng).mul_f64(2.0); // Prepare + Accept hops
         let spanner_latency = self.latency.spanner_commit(
             result.stats.participants,

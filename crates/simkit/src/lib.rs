@@ -22,6 +22,9 @@
 //!   benchmark harness.
 //! * [`obs`] — deterministic structured tracing, a metrics registry, and
 //!   per-request phase breakdowns threaded through every layer.
+//! * [`prof`] — a span-folding profiler over the trace stream (self vs.
+//!   cumulative time, collapsed-stack export) and the integer cost ledger
+//!   charged to the clock on the hot paths.
 //!
 //! Everything is deterministic given a seed: running an experiment twice
 //! produces identical output.
@@ -33,6 +36,7 @@ pub mod fault;
 pub mod history;
 pub mod latency;
 pub mod obs;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod truetime;
@@ -43,5 +47,6 @@ pub use disk::{CrashPoints, DiskError, LogReplay, SimDisk};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultStats};
 pub use history::{HistoryEvent, HistoryRecorder, ModelStore, Recorded, Violation};
 pub use obs::{Metrics, MetricsSnapshot, Obs, PhaseBreakdown, Span, SpanGuard, SpanId, TopK, Tracer};
+pub use prof::FoldedProfile;
 pub use rng::SimRng;
 pub use truetime::{TrueTime, TtInterval};

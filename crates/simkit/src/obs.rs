@@ -180,7 +180,12 @@ impl Tracer {
             span.end = now;
             inner.finished.push(span);
             if inner.finished.len() > inner.capacity {
-                let excess = inner.finished.len() - inner.capacity;
+                // Amortized retention: dropping one span per push would
+                // memmove the whole buffer on every finish once the cap is
+                // reached; shedding down to half capacity in one drain keeps
+                // the cost O(1) amortized per span on long runs.
+                let keep = (inner.capacity / 2).max(1);
+                let excess = inner.finished.len() - keep;
                 inner.finished.drain(..excess);
                 inner.dropped += excess as u64;
             }

@@ -16,6 +16,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use simkit::fault::{FaultInjector, FaultKind};
 use simkit::history::{hash_bytes, HistoryEvent, HistoryRecorder};
+use simkit::prof;
 use simkit::{CrashPoints, Duration, Obs, SimClock, SimDisk, Timestamp, TrueTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -83,6 +84,9 @@ pub struct CommitInfo {
     /// Simulated time spent in TrueTime commit wait (phase 4), including
     /// any injected uncertainty spike.
     pub commit_wait: Duration,
+    /// CPU time the cost ledger charged to the clock inside this commit
+    /// (redo appends, fsyncs, lock release) — see `simkit::prof::costs`.
+    pub cpu_charged: Duration,
 }
 
 /// Failure injection hooks for testing the write pipeline's error paths
@@ -125,6 +129,10 @@ struct Inner {
     /// than the requested timestamp while *recording* the requested one — a
     /// deliberate staleness bug the oracle must catch.
     oracle_stale_reads: Mutex<Option<Duration>>,
+    /// Test-only perf-mutation knob (nanoseconds): extra charge added to
+    /// every redo-log fsync, modeling a degraded device. The bench-gate
+    /// mutation proof seeds this and asserts the gate fails.
+    fsync_padding_ns: AtomicU64,
 }
 
 /// A Spanner-like database. Cheap to clone; clones share state.
@@ -162,6 +170,7 @@ impl SpannerDatabase {
                 orphan_locks: AtomicU64::new(0),
                 history: Mutex::new(None),
                 oracle_stale_reads: Mutex::new(None),
+                fsync_padding_ns: AtomicU64::new(0),
             }),
         }
     }
@@ -178,6 +187,25 @@ impl SpannerDatabase {
     /// The attached durable medium, if any.
     pub fn durability(&self) -> Option<SimDisk> {
         self.inner.disk.lock().clone()
+    }
+
+    /// Test-only perf-mutation knob: pad every redo-log fsync charge by
+    /// `d`, modeling a degraded device. The bench-gate mutation proof seeds
+    /// this into a benched path and asserts the gate fails, then passes
+    /// once reset to zero.
+    pub fn set_redo_fsync_padding(&self, d: Duration) {
+        self.inner
+            .fsync_padding_ns
+            .store(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Charge one redo-log fsync to the clock (cost-ledger model plus any
+    /// test-only padding); returns the amount charged.
+    fn charge_fsync(&self) -> Duration {
+        let c = prof::costs::REDO_FSYNC
+            + Duration::from_nanos(self.inner.fsync_padding_ns.load(Ordering::Relaxed));
+        self.inner.truetime.clock().advance(c);
+        c
     }
 
     /// Install (or clear) the crash-point registry consulted inside the
@@ -702,7 +730,16 @@ impl SpannerDatabase {
             return Err(SpannerError::Unavailable("commit: tablet unreachable"));
         }
 
-        // Phase 1: acquire exclusive locks on every written cell.
+        // Phase 1: acquire exclusive locks on every written cell. The span
+        // brackets exactly the measured `lock_wait` window, so profiler
+        // self-time for `spanner.lock.acquire` reconciles against the
+        // breakdown's lock_wait phase (an aborted acquisition still records
+        // the time waited so far when the guard drops on the error return).
+        let lock_span = obs.as_ref().map(|o| {
+            let s = o.tracer.span("spanner.lock.acquire");
+            s.attr("cells", txn.mutations.len());
+            s
+        });
         let lock_start = self.inner.truetime.clock().now();
         for m in &txn.mutations {
             if let Err(e) = self
@@ -715,6 +752,8 @@ impl SpannerDatabase {
             }
         }
         let lock_wait = self.inner.truetime.clock().now().saturating_sub(lock_start);
+        drop(lock_span);
+        let mut cpu_charged = Duration::ZERO;
         if let Some(s) = &span {
             s.event(format!("locks-acquired n={}", txn.mutations.len()));
         }
@@ -849,14 +888,29 @@ impl SpannerDatabase {
                         mutations,
                     };
                     let log = tablet_log(tid, tablet_idx);
-                    disk.append(&log, &record.encode());
+                    let encoded = record.encode();
+                    {
+                        let append_span =
+                            obs.as_ref().map(|o| o.tracer.span("spanner.redo.append"));
+                        disk.append(&log, &encoded);
+                        let c = prof::costs::redo_append(encoded.len());
+                        self.inner.truetime.clock().advance(c);
+                        cpu_charged += c;
+                        if let Some(s) = &append_span {
+                            s.attr("bytes", encoded.len());
+                        }
+                    }
                     // A crash between the append and its fsync dies mid
                     // log write: the record is in flight, not durable, and
                     // may reach the disk torn.
                     if self.crash_if_armed("commit-prepare-unsynced") {
                         return Err(SpannerError::UnknownOutcome);
                     }
+                    let fsync_span = obs.as_ref().map(|o| o.tracer.span("spanner.redo.fsync"));
+                    let c = self.charge_fsync();
+                    cpu_charged += c;
                     if disk.fsync(&log).is_err() {
+                        drop(fsync_span);
                         // The prepare is not durable; discard the dead
                         // record (a later commit's fsync of this log must
                         // not flush it) and abort cleanly. Earlier
@@ -869,6 +923,7 @@ impl SpannerDatabase {
                         self.abort(&mut txn);
                         return Err(SpannerError::Unavailable("redo-log fsync failed"));
                     }
+                    drop(fsync_span);
                     if let Some(o) = &obs {
                         o.metrics.incr("spanner.redo.prepares", &[], 1);
                         o.metrics.incr("spanner.redo.fsyncs", &[], 1);
@@ -892,13 +947,27 @@ impl SpannerDatabase {
                     txn_id: txn.id.0,
                     commit_ts,
                 };
-                disk.append(OUTCOMES_LOG, &outcome.encode());
+                let encoded = outcome.encode();
+                {
+                    let append_span = obs.as_ref().map(|o| o.tracer.span("spanner.redo.append"));
+                    disk.append(OUTCOMES_LOG, &encoded);
+                    let c = prof::costs::redo_append(encoded.len());
+                    self.inner.truetime.clock().advance(c);
+                    cpu_charged += c;
+                    if let Some(s) = &append_span {
+                        s.attr("bytes", encoded.len());
+                    }
+                }
                 // A crash here dies mid write of the outcome record: not
                 // durable, possibly torn — recovery resolves to abort.
                 if self.crash_if_armed("commit-outcome-unsynced") {
                     return Err(SpannerError::UnknownOutcome);
                 }
+                let fsync_span = obs.as_ref().map(|o| o.tracer.span("spanner.redo.fsync"));
+                let c = self.charge_fsync();
+                cpu_charged += c;
                 if disk.fsync(OUTCOMES_LOG).is_err() {
+                    drop(fsync_span);
                     // The outcome is not durable, so the transaction aborts
                     // — but the appended record still sits in the shared
                     // log's unsynced tail, and the next successful commit's
@@ -912,6 +981,7 @@ impl SpannerDatabase {
                     self.abort(&mut txn);
                     return Err(SpannerError::Unavailable("redo-log fsync failed"));
                 }
+                drop(fsync_span);
                 if let Some(o) = &obs {
                     o.metrics.incr("spanner.redo.outcomes", &[], 1);
                     o.metrics.incr("spanner.redo.fsyncs", &[], 1);
@@ -962,6 +1032,7 @@ impl SpannerDatabase {
 
         // Phase 4: commit wait (external consistency), then release locks.
         // A TrueTime uncertainty spike widens ε, stretching the wait.
+        let wait_span = obs.as_ref().map(|o| o.tracer.span("spanner.commit_wait"));
         let wait_start = self.inner.truetime.clock().now();
         if self.inject(FaultKind::TtUncertaintySpike, "commit-wait") {
             let spike = self
@@ -972,8 +1043,18 @@ impl SpannerDatabase {
         }
         self.inner.truetime.commit_wait(commit_ts);
         let commit_wait = self.inner.truetime.clock().now().saturating_sub(wait_start);
+        drop(wait_span);
         txn.closed = true;
-        self.inner.locks.release_all(txn.id);
+        {
+            let release_span = obs.as_ref().map(|o| o.tracer.span("spanner.lock.release"));
+            self.inner.locks.release_all(txn.id);
+            let c = prof::costs::LOCK_RELEASE * txn.mutations.len().max(1) as u64;
+            self.inner.truetime.clock().advance(c);
+            cpu_charged += c;
+            if let Some(s) = &release_span {
+                s.attr("cells", txn.mutations.len());
+            }
+        }
         self.inner.commits.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = &obs {
             o.metrics.incr("spanner.commits", &[], 1);
@@ -993,6 +1074,7 @@ impl SpannerDatabase {
             mutation_count,
             lock_wait,
             commit_wait,
+            cpu_charged,
         })
     }
 

@@ -26,8 +26,9 @@ use simkit::{Duration, SimClock, SimDisk, SimRng};
 // --- seeded chaos workload ---------------------------------------------------
 
 /// Run a seeded mixed workload (with fault-injection chaos) through the full
-/// service and return the rendered trace plus the metrics snapshot text.
-fn seeded_chaos_run(seed: u64) -> (String, String) {
+/// service and return the rendered trace, the metrics snapshot text, and the
+/// folded profile (tree rendering + collapsed-stack export).
+fn seeded_chaos_run(seed: u64) -> (String, String, String) {
     let clock = SimClock::new();
     clock.advance(Duration::from_secs(1));
     let svc = FirestoreService::new(
@@ -94,14 +95,16 @@ fn seeded_chaos_run(seed: u64) -> (String, String) {
 
     let trace = svc.obs().tracer.render();
     let metrics = svc.obs().metrics.snapshot().to_text();
-    (trace, metrics)
+    let profile = simkit::FoldedProfile::fold(&svc.obs().tracer.finished_since(0));
+    let profile_text = format!("{}---\n{}", profile.render(), profile.collapsed());
+    (trace, metrics, profile_text)
 }
 
 /// Fixed-seed runs are byte-identical — the trace is diffable.
 #[test]
 fn same_seed_chaos_runs_render_identical_traces() {
-    let (trace_a, metrics_a) = seeded_chaos_run(0xAB);
-    let (trace_b, metrics_b) = seeded_chaos_run(0xAB);
+    let (trace_a, metrics_a, _) = seeded_chaos_run(0xAB);
+    let (trace_b, metrics_b, _) = seeded_chaos_run(0xAB);
     assert!(
         trace_a.contains("spanner.commit"),
         "chaos run must actually commit:\n{trace_a}"
@@ -115,9 +118,151 @@ fn same_seed_chaos_runs_render_identical_traces() {
 /// the determinism above is seed-derived, not hard-coded.
 #[test]
 fn different_seeds_render_different_traces() {
-    let (trace_a, _) = seeded_chaos_run(0xAB);
-    let (trace_c, _) = seeded_chaos_run(0xAC);
+    let (trace_a, _, _) = seeded_chaos_run(0xAB);
+    let (trace_c, _, _) = seeded_chaos_run(0xAC);
     assert_ne!(trace_a, trace_c);
+}
+
+// --- folded profiles ---------------------------------------------------------
+
+/// Same seed, byte-identical folded profile (tree + collapsed stacks) — the
+/// profile is diffable CI evidence, like the trace. The hot-path attribution
+/// spans must all appear: per-index maintenance, redo append/fsync, lock
+/// acquire/release, commit wait.
+#[test]
+fn same_seed_chaos_runs_fold_identical_profiles() {
+    let (_, _, profile_a) = seeded_chaos_run(0xAB);
+    let (_, _, profile_b) = seeded_chaos_run(0xAB);
+    assert_eq!(
+        profile_a, profile_b,
+        "same seed must fold byte-identical profiles"
+    );
+    for frame in [
+        "core.index.maintain",
+        "spanner.redo.append",
+        "spanner.redo.fsync",
+        "spanner.lock.acquire",
+        "spanner.lock.release",
+        "spanner.commit_wait",
+        "core.commit_pipeline",
+    ] {
+        assert!(
+            profile_a.contains(frame),
+            "attribution span `{frame}` missing from profile:\n{profile_a}"
+        );
+    }
+    // The collapsed export carries stack paths (`a;b;c self_ns`), so the
+    // index-maintenance cost is attributed under its commit ancestry.
+    assert!(
+        profile_a.contains("core.commit_pipeline;"),
+        "collapsed stacks must nest under the pipeline:\n{profile_a}"
+    );
+    let (_, _, profile_c) = seeded_chaos_run(0xAC);
+    assert_ne!(profile_a, profile_c, "profiles are seed-derived");
+}
+
+/// The profiler's per-phase self-time reconciles against the service's
+/// `PhaseBreakdown` totals: the *measured* phases (lock_wait, commit_wait)
+/// agree exactly, and the engine's charged CPU is a lower bound on the
+/// profiler's execute-phase self-time, which in turn is bounded by the
+/// breakdown's (modeled-cost-inclusive) execute total.
+#[test]
+fn profiler_phase_self_time_reconciles_with_breakdowns() {
+    let clock = SimClock::new();
+    clock.advance(Duration::from_secs(1));
+    let svc = FirestoreService::new(
+        clock.clone(),
+        ServiceOptions {
+            obs_seed: 0x9EC0,
+            ..ServiceOptions::default()
+        },
+    );
+    svc.spanner().attach_durability(SimDisk::new());
+    let _db = svc.create_database("rec");
+    let mut rng = SimRng::new(0x9EC0);
+
+    // TabletUnavailable only: it injects *before* lock acquisition, so every
+    // lock/commit-wait/redo span in the trace belongs to a successful commit
+    // and the breakdown sums match the profiler exactly. (LockTimeout chaos
+    // would leave partial-wait acquire spans with no matching breakdown.)
+    let plan = simkit::fault::FaultPlan::new(0x9EC0)
+        .rule(FaultRule::probabilistic(FaultKind::TabletUnavailable, 0.10));
+    svc.spanner()
+        .set_fault_injector(Some(FaultInjector::new(clock.clone(), plan)));
+
+    let mut lock_wait_total = Duration::ZERO;
+    let mut commit_wait_total = Duration::ZERO;
+    let mut engine_cpu_total = Duration::ZERO;
+    for i in 0..40i64 {
+        let mut backoff = firestore_core::Backoff::new(
+            firestore_core::RetryPolicy::default(),
+            clock.now().as_nanos(),
+        );
+        loop {
+            let w = Write::set(doc(&format!("/c/d{:02}", i % 12)), [("seq", Value::Int(i))]);
+            match svc.commit("rec", vec![w], &Caller::Service, &mut rng) {
+                Ok((result, served)) => {
+                    lock_wait_total += served.breakdown.lock_wait;
+                    commit_wait_total += served.breakdown.commit_wait;
+                    engine_cpu_total += result.stats.engine_cpu;
+                    break;
+                }
+                Err(e) if e.is_retryable() => match backoff.next_delay() {
+                    Some(d) => {
+                        clock.advance(d);
+                    }
+                    None => break,
+                },
+                Err(e) => panic!("unexpected chaos error: {e}"),
+            }
+        }
+    }
+    svc.spanner().set_fault_injector(None);
+
+    let profile = simkit::FoldedProfile::fold(&svc.obs().tracer.finished_since(0));
+    let phases = profile.phase_self_times();
+    let self_of = |p: &str| phases.get(p).copied().unwrap_or(Duration::ZERO);
+
+    assert!(
+        commit_wait_total > Duration::ZERO,
+        "TrueTime commit wait must be real time"
+    );
+    assert_eq!(
+        self_of("commit_wait"),
+        commit_wait_total,
+        "spanner.commit_wait spans bracket exactly the measured wait"
+    );
+    assert_eq!(
+        self_of("lock_wait"),
+        lock_wait_total,
+        "spanner.lock.acquire spans bracket exactly the measured lock wait"
+    );
+
+    // Execute: the profiler sees every clock charge made under engine spans.
+    // Successful commits' `engine_cpu` is a lower bound (attempts that
+    // charged index maintenance and then died on the commit-entry fault are
+    // profiled but not reported), and the modeled breakdown `execute`
+    // (RPC + storage-latency costs that never elapse on the clock) is far
+    // above it — so the measured value must sit in between, close to the
+    // ledger.
+    let execute_self = self_of("execute");
+    assert!(
+        engine_cpu_total > Duration::ZERO,
+        "the cost ledger must have charged engine work"
+    );
+    assert!(
+        execute_self >= engine_cpu_total,
+        "execute self-time {}ns < charged engine CPU {}ns",
+        execute_self.as_nanos(),
+        engine_cpu_total.as_nanos()
+    );
+    assert!(
+        execute_self.as_nanos() <= engine_cpu_total.as_nanos() * 3 / 2,
+        "execute self-time {}ns strays >50% above the charged ledger {}ns — \
+         unattributed clock advances under engine spans",
+        execute_self.as_nanos(),
+        engine_cpu_total.as_nanos()
+    );
 }
 
 // --- metrics coverage --------------------------------------------------------

@@ -395,6 +395,8 @@ fn compiled_tree_equals_interpreter_on_random_corpus() {
     let cases = cases();
     let mut rng = TestRng::from_seed(seed);
     let mut comparisons = 0usize;
+    let mut decisions_total = 0u64;
+    let mut residual_total = 0u64;
     for case in 0..cases {
         let rs = gen_ruleset(&mut rng);
         let compiled = compile(&rs);
@@ -412,8 +414,97 @@ fn compiled_tree_equals_interpreter_on_random_corpus() {
             }
             comparisons += 1;
         }
+        let (d, h) = compiled.counters().snapshot();
+        decisions_total += d;
+        residual_total += h;
     }
     assert!(comparisons >= 4000 || cases < 1000, "{comparisons}");
+    // Residual-fallback hit rate over the corpus: the generator mixes
+    // indexable condition shapes with fully random expressions, so the
+    // counters must see both specialised decisions (rate < 1) and
+    // interpreter fallbacks (hits > 0). This is the observable behind the
+    // `rules.residual_hits` metric.
+    assert_eq!(decisions_total, comparisons as u64);
+    assert!(residual_total > 0, "corpus never hit the residual path");
+    assert!(
+        residual_total < decisions_total,
+        "every decision fell back to the interpreter — the lowering \
+         specialises nothing"
+    );
+    println!(
+        "residual fallback hit rate: {residual_total}/{decisions_total} \
+         decisions ({:.1}%)",
+        100.0 * residual_total as f64 / decisions_total as f64
+    );
+}
+
+// --- 1b. the residual-hit counters themselves -----------------------------
+
+#[test]
+fn residual_counters_track_interpreter_fallbacks() {
+    // Fully specialised ruleset: decisions count up, residual hits stay 0.
+    let specialised = rules::parse_ruleset(
+        r#"
+        service cloud.firestore {
+          match /databases/{database}/documents {
+            match /docs/{d} {
+              allow read: if request.auth != null;
+            }
+          }
+        }
+    "#,
+    )
+    .unwrap();
+    let compiled = compile(&specialised);
+    let req = RequestContext::for_document(
+        Method::Get,
+        &["docs", "d1"],
+        Some(AuthContext::uid("u1")),
+        None,
+        None,
+    );
+    for _ in 0..3 {
+        assert!(compiled.decide(&req, &EmptyDataSource).allowed);
+    }
+    assert_eq!(compiled.counters().snapshot(), (3, 0));
+
+    // A bare member-chain condition is one the lowering can't specialise
+    // (it only special-cases `== / < / in` shapes), so it stays a residual
+    // predicate; every decision that evaluates it is a hit.
+    let residual = rules::parse_ruleset(
+        r#"
+        service cloud.firestore {
+          match /databases/{database}/documents {
+            match /docs/{d} {
+              allow read: if request.auth.token.admin;
+            }
+          }
+        }
+    "#,
+    )
+    .unwrap();
+    let compiled = compile(&residual);
+    let mut admin = AuthContext::uid("u1");
+    admin
+        .token
+        .insert("admin".to_string(), rules::value::RuleValue::Bool(true));
+    let req = RequestContext::for_document(
+        Method::Get,
+        &["docs", "d1"],
+        Some(admin),
+        None,
+        None,
+    );
+    for _ in 0..3 {
+        assert!(compiled.decide(&req, &EmptyDataSource).allowed);
+    }
+    assert_eq!(compiled.counters().snapshot(), (3, 3));
+
+    // Off-tree requests never reach the predicate: decision counted, no
+    // residual hit.
+    let miss = RequestContext::for_document(Method::Get, &["elsewhere"], None, None, None);
+    assert!(!compiled.decide(&miss, &EmptyDataSource).allowed);
+    assert_eq!(compiled.counters().snapshot(), (4, 3));
 }
 
 // --- 2. the lowering hits the indexable fast paths ------------------------
